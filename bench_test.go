@@ -1,0 +1,226 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one Benchmark function per artifact; see EXPERIMENTS.md for the mapping
+// and cmd/rhbench for the full-scale driver with series output).
+//
+// Workload sizes here are reduced so `go test -bench=.` completes quickly;
+// sub-benchmarks are keyed by engine (and parameters) so benchstat can
+// compare series. The metric that carries the paper's claims is
+// accesses/op (simulated shared accesses per committed operation — lower is
+// better, reported via b.ReportMetric), since host ns/op measures the
+// simulator rather than the simulated machine.
+package rhtm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rhtm/internal/harness"
+)
+
+// benchPoint runs b.N operations of workload w on one engine and reports
+// both host time and the architectural accesses/op metric.
+func benchPoint(b *testing.B, w harness.Workload, engine string, threads int) {
+	b.Helper()
+	cfg := harness.RunConfig{
+		Threads:      threads,
+		OpsPerThread: (b.N + threads - 1) / threads,
+		Seed:         1,
+	}
+	b.ResetTimer()
+	r, err := harness.Run(w, engine, cfg)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r.Ops > 0 {
+		b.ReportMetric(float64(r.Accesses)/float64(r.Ops), "accesses/op")
+		b.ReportMetric(r.Stats.AbortRatio(), "aborts/commit")
+	}
+}
+
+// --- Figure 1: Constant RB-Tree, 20% writes, instrumentation cost ---
+
+func BenchmarkFig1RBTree20(b *testing.B) {
+	engines := []string{harness.EngHTM, harness.EngStdHy, harness.EngTL2, harness.EngRH1Fast}
+	for _, eng := range engines {
+		for _, threads := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/t=%d", eng, threads), func(b *testing.B) {
+				benchPoint(b, harness.RBTreeWorkload(4096, 20), eng, threads)
+			})
+		}
+	}
+}
+
+// --- Figure 2 top: RB-Tree with the RH1 Mixed configurations ---
+
+func BenchmarkFig2aRBTree20Mixed(b *testing.B) {
+	engines := []string{harness.EngRH1Fast, harness.EngRH1Mix1, harness.EngRH1Mix2, harness.EngStdHy}
+	for _, eng := range engines {
+		b.Run(eng, func(b *testing.B) {
+			benchPoint(b, harness.RBTreeWorkload(4096, 20), eng, 4)
+		})
+	}
+}
+
+func BenchmarkFig2bRBTree80Mixed(b *testing.B) {
+	engines := []string{harness.EngRH1Fast, harness.EngRH1Mix1, harness.EngRH1Mix2, harness.EngStdHy}
+	for _, eng := range engines {
+		b.Run(eng, func(b *testing.B) {
+			benchPoint(b, harness.RBTreeWorkload(4096, 80), eng, 4)
+		})
+	}
+}
+
+// --- Figure 2 middle: single-thread speedup rows ---
+
+func BenchmarkFig2cSingleThread(b *testing.B) {
+	engines := []string{harness.EngRH1Slow, harness.EngTL2, harness.EngStdHy,
+		harness.EngRH1Fast, harness.EngHTM}
+	for _, eng := range engines {
+		b.Run(eng, func(b *testing.B) {
+			benchPoint(b, harness.RBTreeWorkload(4096, 20), eng, 1)
+		})
+	}
+}
+
+// --- Figure 2 bottom tables: single-thread breakdown (20% and 80%) ---
+
+func BenchmarkTab1Breakdown20(b *testing.B) {
+	benchBreakdown(b, 20)
+}
+
+func BenchmarkTab2Breakdown80(b *testing.B) {
+	benchBreakdown(b, 80)
+}
+
+// benchBreakdown runs the breakdown-instrumented single-thread configuration
+// and reports the phase percentages as benchmark metrics.
+func benchBreakdown(b *testing.B, writePct int) {
+	engines := []string{harness.EngRH1Slow, harness.EngTL2, harness.EngStdHy,
+		harness.EngRH1Fast, harness.EngHTM}
+	for _, eng := range engines {
+		b.Run(eng, func(b *testing.B) {
+			cfg := harness.RunConfig{
+				Threads:      1,
+				OpsPerThread: b.N,
+				Seed:         1,
+				Breakdown:    true,
+			}
+			b.ResetTimer()
+			r, err := harness.Run(harness.RBTreeWorkload(2048, writePct), eng, cfg)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bd := r.Breakdown; bd != nil {
+				b.ReportMetric(bd.ReadPct, "read%")
+				b.ReportMetric(bd.WritePct, "write%")
+				b.ReportMetric(bd.CommitPct, "commit%")
+			}
+		})
+	}
+}
+
+// --- Figure 3 left: Constant Hash Table, 20% writes ---
+
+func BenchmarkFig3aHashTable20(b *testing.B) {
+	engines := []string{harness.EngHTM, harness.EngStdHy, harness.EngTL2, harness.EngRH1Mix2}
+	for _, eng := range engines {
+		b.Run(eng, func(b *testing.B) {
+			benchPoint(b, harness.HashTableWorkload(2048, 20), eng, 4)
+		})
+	}
+}
+
+// --- Figure 3 middle: Constant Sorted List, 5% writes ---
+
+func BenchmarkFig3bSortedList5(b *testing.B) {
+	engines := []string{harness.EngHTM, harness.EngStdHy, harness.EngTL2,
+		harness.EngRH1Fast, harness.EngRH1Mix2}
+	for _, eng := range engines {
+		b.Run(eng, func(b *testing.B) {
+			benchPoint(b, harness.SortedListWorkload(256, 5), eng, 4)
+		})
+	}
+}
+
+// --- Figure 3 right: Random Array speedup matrix ---
+
+func BenchmarkFig3cRandomArray(b *testing.B) {
+	for _, txLen := range []int{400, 100, 40} {
+		for _, writePct := range []int{0, 20, 50, 90} {
+			for _, eng := range []string{harness.EngRH1Fast, harness.EngStdHy} {
+				b.Run(fmt.Sprintf("len=%d/w=%d/%s", txLen, writePct, eng), func(b *testing.B) {
+					benchPoint(b, harness.RandomArrayWorkload(1<<14, txLen, writePct), eng, 4)
+				})
+			}
+		}
+	}
+}
+
+// --- Extension ext1: GV6 vs GV5 clock ---
+
+func BenchmarkExtClockGV6vsGV5(b *testing.B) {
+	for _, gv5 := range []bool{false, true} {
+		name := "GV6"
+		if gv5 {
+			name = "GV5"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := harness.RunConfig{Threads: 4, OpsPerThread: (b.N + 3) / 4, Seed: 1, GV5: gv5}
+			b.ResetTimer()
+			r, err := harness.Run(harness.RBTreeWorkload(2048, 20), harness.EngRH1Mix2, cfg)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.Stats.AbortRatio(), "aborts/commit")
+		})
+	}
+}
+
+// --- Extension ext2: slow-path capacity extension ---
+
+func BenchmarkExtCapacity(b *testing.B) {
+	for _, txLen := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("len=%d", txLen), func(b *testing.B) {
+			lim := 32
+			cfg := harness.RunConfig{Threads: 1, OpsPerThread: b.N, Seed: 1}
+			hcfg := harness.CapacityHTMConfig(lim)
+			cfg.HTMOverride = &hcfg
+			b.ResetTimer()
+			r, err := harness.Run(harness.RandomArrayWorkload(1<<14, txLen, 10), harness.EngRH1Mix2, cfg)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c := r.Stats.Commits(); c > 0 {
+				b.ReportMetric(float64(r.Stats.FastCommits)/float64(c), "fast-share")
+			}
+		})
+	}
+}
+
+// --- Extension ext3: hybrid designs compared ---
+
+func BenchmarkExtHybrids(b *testing.B) {
+	engines := []string{harness.EngRH1Mix2, harness.EngStdHy, harness.EngNoRec, harness.EngPhased}
+	for _, eng := range engines {
+		b.Run(eng, func(b *testing.B) {
+			benchPoint(b, harness.RBTreeWorkload(2048, 20), eng, 4)
+		})
+	}
+}
+
+// --- Extension: real (mutating) red-black tree, enabled by the safe HTM ---
+
+func BenchmarkExtRealRBTree(b *testing.B) {
+	engines := []string{harness.EngRH1Mix2, harness.EngTL2}
+	for _, eng := range engines {
+		b.Run(eng, func(b *testing.B) {
+			// The mutating tree never recycles deleted nodes, so the heap is
+			// sized from b.N (see RBTreeRealWorkloadOps).
+			benchPoint(b, harness.RBTreeRealWorkloadOps(1024, 20, b.N+4096), eng, 4)
+		})
+	}
+}

@@ -1,0 +1,165 @@
+// Command rhbench regenerates every table and figure of the paper's
+// evaluation section (and the extension experiments in DESIGN.md) on the
+// simulated machine.
+//
+// Usage:
+//
+//	rhbench [flags] <experiment>
+//
+// Experiments:
+//
+//	fig1          RB-Tree 20%% writes: HTM / Standard HyTM / TL2 / RH1 Fast
+//	fig2a         RB-Tree 20%% writes incl. RH1 Mixed 10/100
+//	fig2b         RB-Tree 80%% writes incl. RH1 Mixed 10/100
+//	fig2c         single-thread speedup vs TL2 (20%% and 80%%)
+//	tab1          single-thread breakdown table, 20%% writes
+//	tab2          single-thread breakdown table, 80%% writes
+//	fig3a         Hash Table 20%% writes
+//	fig3b         Sorted List 5%% writes
+//	fig3c         Random Array speedup matrix (RH1 Fast vs Standard HyTM)
+//	ext-clock     GV6 vs GV5 clock ablation
+//	ext-capacity  slow-path transaction-length extension
+//	ext-hybrids   RH1 vs Standard HyTM / Hybrid NoRec / Phased TM
+//	all           everything above
+//
+// The default scale matches the paper (100K-node tree, threads 1..20,
+// 1s per point), which takes a while on a small machine; use -quick for a
+// reduced sweep or the individual -nodes/-threads/-dur flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rhtm/internal/harness"
+)
+
+func main() {
+	var (
+		dur     = flag.Duration("dur", time.Second, "measurement duration per point")
+		ops     = flag.Int("ops", 0, "ops per thread (overrides -dur; deterministic)")
+		nodes   = flag.Int("nodes", 100_000, "red-black tree size")
+		elems   = flag.Int("elems", 10_000, "hash table size")
+		list    = flag.Int("list", 1_000, "sorted list size")
+		array   = flag.Int("array", 128*1024, "random array size (words)")
+		threads = flag.String("threads", "1,2,4,6,8,10,12,14,16,18,20", "comma-separated thread sweep")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		quick   = flag.Bool("quick", false, "small, fast configuration (smoke run)")
+		capLim  = flag.Int("caplines", 64, "HTM footprint cap (lines) for ext-capacity")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	sc := harness.DefaultScale()
+	sc.RBNodes = *nodes
+	sc.HashElems = *elems
+	sc.ListElems = *list
+	sc.ArrayWords = *array
+	sc.Duration = *dur
+	sc.Seed = *seed
+	if *ops > 0 {
+		sc.Duration = 0
+		sc.OpsPerThread = *ops
+	}
+	var err error
+	sc.Threads, err = parseThreads(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *quick {
+		q := harness.SmallScale()
+		q.Threads = []int{1, 2, 4}
+		q.OpsPerThread = 300
+		sc = q
+	}
+
+	exp := flag.Arg(0)
+	if exp == "all" {
+		for _, e := range []string{"fig1", "fig2a", "fig2b", "fig2c", "tab1", "tab2",
+			"fig3a", "fig3b", "fig3c", "ext-clock", "ext-capacity", "ext-hybrids"} {
+			runExperiment(e, sc, *capLim)
+			fmt.Println()
+		}
+		return
+	}
+	runExperiment(exp, sc, *capLim)
+}
+
+// runExperiment dispatches one experiment id and prints its artifact.
+func runExperiment(exp string, sc harness.Scale, capLim int) {
+	out := os.Stdout
+	switch exp {
+	case "fig1":
+		harness.PrintThroughputSeries(out,
+			fmt.Sprintf("Figure 1: %d-node Constant RB-Tree, 20%% mutations", sc.RBNodes),
+			harness.Fig1(sc))
+	case "fig2a":
+		harness.PrintThroughputSeries(out,
+			fmt.Sprintf("Figure 2 (top left): %d-node Constant RB-Tree, 20%% mutations", sc.RBNodes),
+			harness.Fig2a(sc))
+	case "fig2b":
+		harness.PrintThroughputSeries(out,
+			fmt.Sprintf("Figure 2 (top right): %d-node Constant RB-Tree, 80%% mutations", sc.RBNodes),
+			harness.Fig2b(sc))
+	case "fig2c":
+		for _, wp := range []int{20, 80} {
+			harness.PrintSpeedupBars(out,
+				fmt.Sprintf("Figure 2 (middle): single-thread speedup, %d%% writes", wp),
+				harness.EngTL2, harness.Fig2c(sc, wp))
+		}
+	case "tab1":
+		harness.PrintBreakdownTable(out,
+			"Figure 2 table `20_100_R`: single-thread breakdown, 20% writes",
+			harness.Tables(sc, 20))
+	case "tab2":
+		harness.PrintBreakdownTable(out,
+			"Figure 2 table `80_100_R`: single-thread breakdown, 80% writes",
+			harness.Tables(sc, 80))
+	case "fig3a":
+		harness.PrintThroughputSeries(out,
+			fmt.Sprintf("Figure 3 (left): %d-element Constant Hash Table, 20%% mutations", sc.HashElems),
+			harness.Fig3a(sc))
+	case "fig3b":
+		harness.PrintThroughputSeries(out,
+			fmt.Sprintf("Figure 3 (middle): %d-node Constant Sorted List, 5%% mutations", sc.ListElems),
+			harness.Fig3b(sc))
+	case "fig3c":
+		harness.PrintFig3c(out, harness.Fig3c(sc))
+	case "ext-clock":
+		harness.PrintThroughputSeries(out,
+			"Extension: GV6 vs GV5 global clock (RH1 Mixed 100, RB-Tree 20%)",
+			harness.ExtClock(sc))
+	case "ext-capacity":
+		harness.PrintCapacity(out, harness.ExtCapacity(sc, capLim), capLim)
+	case "ext-hybrids":
+		harness.PrintThroughputSeries(out,
+			"Extension: hybrid designs compared (RB-Tree 20%)",
+			harness.ExtHybrids(sc))
+	default:
+		fmt.Fprintf(os.Stderr, "rhbench: unknown experiment %q\n", exp)
+		os.Exit(2)
+	}
+}
+
+// parseThreads parses "1,2,4" into a sweep.
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("rhbench: bad thread count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

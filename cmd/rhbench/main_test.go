@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("parseThreads = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseThreads = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseThreadsRejectsBadInput(t *testing.T) {
+	for _, in := range []string{"", "a", "0", "-3", "1,,2"} {
+		if _, err := parseThreads(in); err == nil {
+			t.Errorf("parseThreads(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package containers
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rhtm"
+)
+
+func TestHashTableOracle(t *testing.T) {
+	s := newSys(1 << 18)
+	ht := NewHashTable(s, 64)
+	tx := SetupTx(s)
+	oracle := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(9))
+	for op := 0; op < 3000; op++ {
+		key := uint64(rng.Intn(200) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Uint64()
+			fresh := ht.Insert(tx, key, val)
+			if _, existed := oracle[key]; fresh == existed {
+				t.Fatalf("op %d: Insert(%d) fresh=%v contradicts oracle", op, key, fresh)
+			}
+			oracle[key] = val
+		case 1:
+			removed := ht.Remove(tx, key)
+			if _, existed := oracle[key]; removed != existed {
+				t.Fatalf("op %d: Remove(%d)=%v contradicts oracle", op, key, removed)
+			}
+			delete(oracle, key)
+		default:
+			v, ok := ht.Get(tx, key)
+			w, okO := oracle[key]
+			if ok != okO || (ok && v != w) {
+				t.Fatalf("op %d: Get(%d)=%d,%v want %d,%v", op, key, v, ok, w, okO)
+			}
+		}
+	}
+	if ht.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", ht.Len(), len(oracle))
+	}
+}
+
+func TestHashTableConstOps(t *testing.T) {
+	s := newSys(1 << 16)
+	ht := NewHashTable(s, 16)
+	ht.Populate([]uint64{1, 2, 3, 4, 5})
+	tx := SetupTx(s)
+	for _, k := range []uint64{1, 3, 5} {
+		if !ht.ConstQuery(tx, k) {
+			t.Fatalf("ConstQuery(%d) = false", k)
+		}
+		if !ht.ConstUpdate(tx, k, 99) {
+			t.Fatalf("ConstUpdate(%d) = false", k)
+		}
+	}
+	if ht.ConstQuery(tx, 77) {
+		t.Fatal("ConstQuery(77) = true for absent key")
+	}
+	if ht.ConstUpdate(tx, 77, 1) {
+		t.Fatal("ConstUpdate(77) = true for absent key")
+	}
+	if ht.Len() != 5 {
+		t.Fatalf("Const ops changed size to %d", ht.Len())
+	}
+}
+
+func TestHashTableChaining(t *testing.T) {
+	// A single bucket forces every key into one chain; all operations must
+	// still behave.
+	s := newSys(1 << 14)
+	ht := NewHashTable(s, 1)
+	tx := SetupTx(s)
+	for k := uint64(1); k <= 20; k++ {
+		if !ht.Insert(tx, k, k*2) {
+			t.Fatalf("Insert(%d) reported duplicate", k)
+		}
+	}
+	for k := uint64(1); k <= 20; k++ {
+		v, ok := ht.Get(tx, k)
+		if !ok || v != k*2 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	// Remove from middle, head, and tail of the chain.
+	for _, k := range []uint64{10, 20, 1} {
+		if !ht.Remove(tx, k) {
+			t.Fatalf("Remove(%d) = false", k)
+		}
+	}
+	if ht.Len() != 17 {
+		t.Fatalf("Len = %d, want 17", ht.Len())
+	}
+}
+
+func TestHashTableZeroBucketsPanics(t *testing.T) {
+	s := newSys(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHashTable(0) did not panic")
+		}
+	}()
+	NewHashTable(s, 0)
+}
+
+func TestHashTableConcurrent(t *testing.T) {
+	s := newSys(1 << 20)
+	ht := NewHashTable(s, 256)
+	keys := make([]uint64, 0, 512)
+	for i := 1; i <= 512; i++ {
+		keys = append(keys, uint64(i))
+	}
+	ht.Populate(keys)
+	eng := rhtm.NewRH1(s, rhtm.DefaultRH1Options())
+	const workers, ops = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := eng.NewThread()
+		rng := rand.New(rand.NewSource(int64(w + 1)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := uint64(rng.Intn(512) + 1)
+				err := th.Atomic(func(tx rhtm.Tx) error {
+					if rng.Intn(5) == 0 {
+						ht.ConstUpdate(tx, key, rng.Uint64())
+					} else {
+						ht.ConstQuery(tx, key)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("op: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ht.Len() != 512 {
+		t.Fatalf("constant workload changed table size: %d", ht.Len())
+	}
+}

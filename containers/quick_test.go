@@ -1,0 +1,120 @@
+package containers
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any operation seed, a red-black tree driven by random
+// insert/delete/lookup agrees with a map oracle and keeps its invariants.
+func TestQuickRBTreeOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		s := newSys(1 << 18)
+		tree := NewRBTree(s)
+		tx := SetupTx(s)
+		oracle := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 300; op++ {
+			key := uint64(rng.Intn(64) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				val := rng.Uint64()
+				if tree.Insert(tx, key, val) == hasKey(oracle, key) {
+					return false // fresh-insert flag must negate prior existence
+				}
+				oracle[key] = val
+			case 1:
+				if tree.Delete(tx, key) != hasKey(oracle, key) {
+					return false
+				}
+				delete(oracle, key)
+			default:
+				v, ok := tree.Lookup(tx, key)
+				w, okO := oracle[key]
+				if ok != okO || (ok && v != w) {
+					return false
+				}
+			}
+		}
+		if tree.Validate() != nil {
+			return false
+		}
+		return len(tree.Keys()) == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hasKey(m map[uint64]uint64, k uint64) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// Property: a sorted list stays sorted and duplicate-free under any
+// insert/remove sequence.
+func TestQuickSortedListInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		s := newSys(1 << 16)
+		l := NewSortedList(s)
+		tx := SetupTx(s)
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 200; op++ {
+			key := uint64(rng.Intn(40) + 1)
+			if rng.Intn(2) == 0 {
+				l.Insert(tx, key, key)
+			} else {
+				l.Remove(tx, key)
+			}
+		}
+		keys := l.Keys()
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			return false
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] == keys[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hash-table membership matches a set oracle for any op sequence.
+func TestQuickHashTableOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		s := newSys(1 << 16)
+		ht := NewHashTable(s, 16)
+		tx := SetupTx(s)
+		oracle := map[uint64]bool{}
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 200; op++ {
+			key := uint64(rng.Intn(48) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				if ht.Insert(tx, key, key) == oracle[key] {
+					return false
+				}
+				oracle[key] = true
+			case 1:
+				if ht.Remove(tx, key) != oracle[key] {
+					return false
+				}
+				delete(oracle, key)
+			default:
+				if _, ok := ht.Get(tx, key); ok != oracle[key] {
+					return false
+				}
+			}
+		}
+		return ht.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,509 @@
+package containers
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rhtm"
+)
+
+// Red-black tree node layout, in words. The ten dummy words reproduce the
+// paper's Constant Red-Black Tree (§3.1): rb-lookup makes ten dummy shared
+// reads per visited node and rb-update writes dummy values, so transactions
+// pay realistic cache-coherence costs without mutating the structure.
+const (
+	rbKey    = 0
+	rbLeft   = 1
+	rbRight  = 2
+	rbParent = 3
+	rbColor  = 4 // 0 = red, 1 = black
+	rbValue  = 5
+	rbDummy0 = 6
+	// RBNodeWords is the allocation size of one tree node.
+	RBNodeWords = 16
+)
+
+const rbDummyWords = RBNodeWords - rbDummy0
+
+const (
+	red   = 0
+	black = 1
+)
+
+// RBTree is a transactional red-black tree keyed by uint64. The zero key is
+// reserved (it marks "no key" in internal scans); Insert rejects it.
+type RBTree struct {
+	sys  *rhtm.System
+	root rhtm.Addr // one-word cell holding the root node address
+}
+
+// NewRBTree allocates an empty tree on s.
+func NewRBTree(s *rhtm.System) *RBTree {
+	return &RBTree{sys: s, root: s.MustAlloc(1)}
+}
+
+// Populate inserts the given keys (value = key) non-transactionally. Call
+// only during single-threaded setup.
+func (t *RBTree) Populate(keys []uint64) {
+	tx := SetupTx(t.sys)
+	for _, k := range keys {
+		t.Insert(tx, k, k)
+	}
+}
+
+// --- the paper's Constant operations ---
+
+// ConstLookup is the paper's rb-lookup(key): a standard traversal that makes
+// ten dummy shared reads per node visited. Returns whether the key exists.
+func (t *RBTree) ConstLookup(tx rhtm.Tx, key uint64) bool {
+	n := tx.Load(t.root)
+	for n != uint64(rhtm.NilAddr) {
+		a := rhtm.Addr(n)
+		for i := 0; i < rbDummyWords; i++ {
+			_ = tx.Load(a + rbDummy0 + rhtm.Addr(i))
+		}
+		k := tx.Load(a + rbKey)
+		switch {
+		case key == k:
+			return true
+		case key < k:
+			n = tx.Load(a + rbLeft)
+		default:
+			n = tx.Load(a + rbRight)
+		}
+	}
+	return false
+}
+
+// ConstUpdate is the paper's rb-update(key, value): traverse to the node
+// with the given key (or the leaf where the search ends), write the dummy
+// value into the node and its two children, then climb toward the root a
+// random number of levels — with diminishing probability, as rotations
+// would — making the same fake triplet modifications. The structure
+// (pointers, keys) is never touched. Returns whether the key was found.
+func (t *RBTree) ConstUpdate(tx rhtm.Tx, key, value uint64, rng *rand.Rand) bool {
+	n := tx.Load(t.root)
+	var found bool
+	var last uint64
+	for n != uint64(rhtm.NilAddr) {
+		last = n
+		k := tx.Load(rhtm.Addr(n) + rbKey)
+		if key == k {
+			found = true
+			break
+		}
+		if key < k {
+			n = tx.Load(rhtm.Addr(n) + rbLeft)
+		} else {
+			n = tx.Load(rhtm.Addr(n) + rbRight)
+		}
+	}
+	if last == uint64(rhtm.NilAddr) {
+		return false
+	}
+	// Fake modification of the found node and its children, then climb.
+	cur := last
+	for {
+		t.touchTriplet(tx, rhtm.Addr(cur), value)
+		parent := tx.Load(rhtm.Addr(cur) + rbParent)
+		if parent == uint64(rhtm.NilAddr) || rng.Intn(2) == 0 {
+			break
+		}
+		cur = parent
+	}
+	return found
+}
+
+// touchTriplet writes the dummy value into a node and its present children,
+// mimicking the write footprint of a rotation around the node.
+func (t *RBTree) touchTriplet(tx rhtm.Tx, n rhtm.Addr, value uint64) {
+	tx.Store(n+rbDummy0, value)
+	if l := tx.Load(n + rbLeft); l != uint64(rhtm.NilAddr) {
+		tx.Store(rhtm.Addr(l)+rbDummy0, value)
+	}
+	if r := tx.Load(n + rbRight); r != uint64(rhtm.NilAddr) {
+		tx.Store(rhtm.Addr(r)+rbDummy0, value)
+	}
+}
+
+// --- real operations ---
+
+// Lookup returns the value stored under key.
+func (t *RBTree) Lookup(tx rhtm.Tx, key uint64) (uint64, bool) {
+	n := tx.Load(t.root)
+	for n != uint64(rhtm.NilAddr) {
+		a := rhtm.Addr(n)
+		k := tx.Load(a + rbKey)
+		switch {
+		case key == k:
+			return tx.Load(a + rbValue), true
+		case key < k:
+			n = tx.Load(a + rbLeft)
+		default:
+			n = tx.Load(a + rbRight)
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key→value, returning false if the key already exists (the
+// value is then updated in place). The new node is allocated from the
+// system heap before any transactional store; if the enclosing transaction
+// retries, the allocation is reused only by chance, so a long abort storm
+// can leak heap words — an accepted simulator trade-off, documented here.
+func (t *RBTree) Insert(tx rhtm.Tx, key, value uint64) bool {
+	if key == 0 {
+		panic("containers: RBTree key 0 is reserved")
+	}
+	var parent uint64
+	n := tx.Load(t.root)
+	for n != uint64(rhtm.NilAddr) {
+		parent = n
+		k := tx.Load(rhtm.Addr(n) + rbKey)
+		switch {
+		case key == k:
+			tx.Store(rhtm.Addr(n)+rbValue, value)
+			return false
+		case key < k:
+			n = tx.Load(rhtm.Addr(n) + rbLeft)
+		default:
+			n = tx.Load(rhtm.Addr(n) + rbRight)
+		}
+	}
+	node := t.sys.MustAlloc(RBNodeWords)
+	tx.Store(node+rbKey, key)
+	tx.Store(node+rbValue, value)
+	tx.Store(node+rbParent, parent)
+	tx.Store(node+rbColor, red)
+	if parent == uint64(rhtm.NilAddr) {
+		tx.Store(t.root, uint64(node))
+	} else if key < tx.Load(rhtm.Addr(parent)+rbKey) {
+		tx.Store(rhtm.Addr(parent)+rbLeft, uint64(node))
+	} else {
+		tx.Store(rhtm.Addr(parent)+rbRight, uint64(node))
+	}
+	t.insertFixup(tx, uint64(node))
+	return true
+}
+
+// rotateLeft performs a left rotation around x.
+func (t *RBTree) rotateLeft(tx rhtm.Tx, x uint64) {
+	xa := rhtm.Addr(x)
+	y := tx.Load(xa + rbRight)
+	ya := rhtm.Addr(y)
+	yl := tx.Load(ya + rbLeft)
+	tx.Store(xa+rbRight, yl)
+	if yl != uint64(rhtm.NilAddr) {
+		tx.Store(rhtm.Addr(yl)+rbParent, x)
+	}
+	p := tx.Load(xa + rbParent)
+	tx.Store(ya+rbParent, p)
+	if p == uint64(rhtm.NilAddr) {
+		tx.Store(t.root, y)
+	} else if tx.Load(rhtm.Addr(p)+rbLeft) == x {
+		tx.Store(rhtm.Addr(p)+rbLeft, y)
+	} else {
+		tx.Store(rhtm.Addr(p)+rbRight, y)
+	}
+	tx.Store(ya+rbLeft, x)
+	tx.Store(xa+rbParent, y)
+}
+
+// rotateRight performs a right rotation around x.
+func (t *RBTree) rotateRight(tx rhtm.Tx, x uint64) {
+	xa := rhtm.Addr(x)
+	y := tx.Load(xa + rbLeft)
+	ya := rhtm.Addr(y)
+	yr := tx.Load(ya + rbRight)
+	tx.Store(xa+rbLeft, yr)
+	if yr != uint64(rhtm.NilAddr) {
+		tx.Store(rhtm.Addr(yr)+rbParent, x)
+	}
+	p := tx.Load(xa + rbParent)
+	tx.Store(ya+rbParent, p)
+	if p == uint64(rhtm.NilAddr) {
+		tx.Store(t.root, y)
+	} else if tx.Load(rhtm.Addr(p)+rbLeft) == x {
+		tx.Store(rhtm.Addr(p)+rbLeft, y)
+	} else {
+		tx.Store(rhtm.Addr(p)+rbRight, y)
+	}
+	tx.Store(ya+rbRight, x)
+	tx.Store(xa+rbParent, y)
+}
+
+// insertFixup restores the red-black invariants after inserting z (CLRS).
+func (t *RBTree) insertFixup(tx rhtm.Tx, z uint64) {
+	for {
+		p := tx.Load(rhtm.Addr(z) + rbParent)
+		if p == uint64(rhtm.NilAddr) || tx.Load(rhtm.Addr(p)+rbColor) == black {
+			break
+		}
+		g := tx.Load(rhtm.Addr(p) + rbParent) // grandparent exists: p is red, root is black
+		ga := rhtm.Addr(g)
+		if p == tx.Load(ga+rbLeft) {
+			u := tx.Load(ga + rbRight)
+			if u != uint64(rhtm.NilAddr) && tx.Load(rhtm.Addr(u)+rbColor) == red {
+				tx.Store(rhtm.Addr(p)+rbColor, black)
+				tx.Store(rhtm.Addr(u)+rbColor, black)
+				tx.Store(ga+rbColor, red)
+				z = g
+				continue
+			}
+			if z == tx.Load(rhtm.Addr(p)+rbRight) {
+				z = p
+				t.rotateLeft(tx, z)
+				p = tx.Load(rhtm.Addr(z) + rbParent)
+			}
+			tx.Store(rhtm.Addr(p)+rbColor, black)
+			tx.Store(ga+rbColor, red)
+			t.rotateRight(tx, g)
+		} else {
+			u := tx.Load(ga + rbLeft)
+			if u != uint64(rhtm.NilAddr) && tx.Load(rhtm.Addr(u)+rbColor) == red {
+				tx.Store(rhtm.Addr(p)+rbColor, black)
+				tx.Store(rhtm.Addr(u)+rbColor, black)
+				tx.Store(ga+rbColor, red)
+				z = g
+				continue
+			}
+			if z == tx.Load(rhtm.Addr(p)+rbLeft) {
+				z = p
+				t.rotateRight(tx, z)
+				p = tx.Load(rhtm.Addr(z) + rbParent)
+			}
+			tx.Store(rhtm.Addr(p)+rbColor, black)
+			tx.Store(ga+rbColor, red)
+			t.rotateLeft(tx, g)
+		}
+	}
+	r := tx.Load(t.root)
+	tx.Store(rhtm.Addr(r)+rbColor, black)
+}
+
+// Delete removes key, returning false if it was absent. The unlinked node's
+// words are intentionally not returned to the heap: a free inside a
+// transaction that later aborts would hand the block to another thread while
+// it is still reachable. A transactional reclamation scheme (e.g. epoch
+// deferral keyed on commit) is out of scope for the reproduction.
+func (t *RBTree) Delete(tx rhtm.Tx, key uint64) bool {
+	z := tx.Load(t.root)
+	for z != uint64(rhtm.NilAddr) {
+		k := tx.Load(rhtm.Addr(z) + rbKey)
+		if key == k {
+			break
+		}
+		if key < k {
+			z = tx.Load(rhtm.Addr(z) + rbLeft)
+		} else {
+			z = tx.Load(rhtm.Addr(z) + rbRight)
+		}
+	}
+	if z == uint64(rhtm.NilAddr) {
+		return false
+	}
+	za := rhtm.Addr(z)
+
+	// y is the node actually unlinked; x is the child that replaces it,
+	// xp its (new) parent. x may be nil, so xp is tracked explicitly.
+	y := z
+	if tx.Load(za+rbLeft) != uint64(rhtm.NilAddr) &&
+		tx.Load(za+rbRight) != uint64(rhtm.NilAddr) {
+		// Successor: minimum of the right subtree.
+		y = tx.Load(za + rbRight)
+		for l := tx.Load(rhtm.Addr(y) + rbLeft); l != uint64(rhtm.NilAddr); l = tx.Load(rhtm.Addr(y) + rbLeft) {
+			y = l
+		}
+	}
+	ya := rhtm.Addr(y)
+	x := tx.Load(ya + rbLeft)
+	if x == uint64(rhtm.NilAddr) {
+		x = tx.Load(ya + rbRight)
+	}
+	xp := tx.Load(ya + rbParent)
+	if x != uint64(rhtm.NilAddr) {
+		tx.Store(rhtm.Addr(x)+rbParent, xp)
+	}
+	if xp == uint64(rhtm.NilAddr) {
+		tx.Store(t.root, x)
+	} else if tx.Load(rhtm.Addr(xp)+rbLeft) == y {
+		tx.Store(rhtm.Addr(xp)+rbLeft, x)
+	} else {
+		tx.Store(rhtm.Addr(xp)+rbRight, x)
+	}
+	if y != z {
+		// Move the successor's payload into z; the structure keeps z. When
+		// y was z's direct child, xp is already z, which is exactly x's new
+		// parent — no adjustment needed.
+		tx.Store(za+rbKey, tx.Load(ya+rbKey))
+		tx.Store(za+rbValue, tx.Load(ya+rbValue))
+	}
+	if tx.Load(ya+rbColor) == black {
+		t.deleteFixup(tx, x, xp)
+	}
+	return true
+}
+
+// deleteFixup restores the invariants after unlinking a black node; x (which
+// may be nil) carries an extra black, xp is its parent.
+func (t *RBTree) deleteFixup(tx rhtm.Tx, x, xp uint64) {
+	for x != tx.Load(t.root) && t.colorOf(tx, x) == black {
+		if xp == uint64(rhtm.NilAddr) {
+			break
+		}
+		xpa := rhtm.Addr(xp)
+		if x == tx.Load(xpa+rbLeft) {
+			w := tx.Load(xpa + rbRight)
+			if t.colorOf(tx, w) == red {
+				tx.Store(rhtm.Addr(w)+rbColor, black)
+				tx.Store(xpa+rbColor, red)
+				t.rotateLeft(tx, xp)
+				w = tx.Load(xpa + rbRight)
+			}
+			wl := tx.Load(rhtm.Addr(w) + rbLeft)
+			wr := tx.Load(rhtm.Addr(w) + rbRight)
+			if t.colorOf(tx, wl) == black && t.colorOf(tx, wr) == black {
+				tx.Store(rhtm.Addr(w)+rbColor, red)
+				x = xp
+				xp = tx.Load(rhtm.Addr(x) + rbParent)
+				continue
+			}
+			if t.colorOf(tx, wr) == black {
+				if wl != uint64(rhtm.NilAddr) {
+					tx.Store(rhtm.Addr(wl)+rbColor, black)
+				}
+				tx.Store(rhtm.Addr(w)+rbColor, red)
+				t.rotateRight(tx, w)
+				w = tx.Load(xpa + rbRight)
+				wr = tx.Load(rhtm.Addr(w) + rbRight)
+			}
+			tx.Store(rhtm.Addr(w)+rbColor, tx.Load(xpa+rbColor))
+			tx.Store(xpa+rbColor, black)
+			if wr != uint64(rhtm.NilAddr) {
+				tx.Store(rhtm.Addr(wr)+rbColor, black)
+			}
+			t.rotateLeft(tx, xp)
+			x = tx.Load(t.root)
+			break
+		}
+		// Mirror image.
+		w := tx.Load(xpa + rbLeft)
+		if t.colorOf(tx, w) == red {
+			tx.Store(rhtm.Addr(w)+rbColor, black)
+			tx.Store(xpa+rbColor, red)
+			t.rotateRight(tx, xp)
+			w = tx.Load(xpa + rbLeft)
+		}
+		wl := tx.Load(rhtm.Addr(w) + rbLeft)
+		wr := tx.Load(rhtm.Addr(w) + rbRight)
+		if t.colorOf(tx, wl) == black && t.colorOf(tx, wr) == black {
+			tx.Store(rhtm.Addr(w)+rbColor, red)
+			x = xp
+			xp = tx.Load(rhtm.Addr(x) + rbParent)
+			continue
+		}
+		if t.colorOf(tx, wl) == black {
+			if wr != uint64(rhtm.NilAddr) {
+				tx.Store(rhtm.Addr(wr)+rbColor, black)
+			}
+			tx.Store(rhtm.Addr(w)+rbColor, red)
+			t.rotateLeft(tx, w)
+			w = tx.Load(xpa + rbLeft)
+			wl = tx.Load(rhtm.Addr(w) + rbLeft)
+		}
+		tx.Store(rhtm.Addr(w)+rbColor, tx.Load(xpa+rbColor))
+		tx.Store(xpa+rbColor, black)
+		if wl != uint64(rhtm.NilAddr) {
+			tx.Store(rhtm.Addr(wl)+rbColor, black)
+		}
+		t.rotateRight(tx, xp)
+		x = tx.Load(t.root)
+		break
+	}
+	if x != uint64(rhtm.NilAddr) {
+		tx.Store(rhtm.Addr(x)+rbColor, black)
+	}
+}
+
+// colorOf treats nil as black, per the red-black convention.
+func (t *RBTree) colorOf(tx rhtm.Tx, n uint64) uint64 {
+	if n == uint64(rhtm.NilAddr) {
+		return black
+	}
+	return tx.Load(rhtm.Addr(n) + rbColor)
+}
+
+// --- validation (setup/verification contexts only) ---
+
+// Validate checks the red-black invariants and BST ordering over the whole
+// tree using raw memory access. Only call while no transactions are in
+// flight. It returns a descriptive error on the first violation.
+func (t *RBTree) Validate() error {
+	tx := SetupTx(t.sys)
+	root := tx.Load(t.root)
+	if root == uint64(rhtm.NilAddr) {
+		return nil
+	}
+	if tx.Load(rhtm.Addr(root)+rbColor) != black {
+		return fmt.Errorf("rbtree: root is red")
+	}
+	_, err := t.validateNode(tx, root, 0, ^uint64(0))
+	return err
+}
+
+// validateNode checks the subtree at n against (lo, hi) key bounds and
+// returns its black height.
+func (t *RBTree) validateNode(tx rhtm.Tx, n uint64, lo, hi uint64) (int, error) {
+	if n == uint64(rhtm.NilAddr) {
+		return 1, nil
+	}
+	a := rhtm.Addr(n)
+	k := tx.Load(a + rbKey)
+	if k <= lo || k >= hi {
+		return 0, fmt.Errorf("rbtree: key %d violates BST bounds (%d,%d)", k, lo, hi)
+	}
+	c := tx.Load(a + rbColor)
+	l, r := tx.Load(a+rbLeft), tx.Load(a+rbRight)
+	if c == red {
+		if t.colorOf(tx, l) == red || t.colorOf(tx, r) == red {
+			return 0, fmt.Errorf("rbtree: red node %d has a red child", k)
+		}
+	}
+	for _, child := range []uint64{l, r} {
+		if child != uint64(rhtm.NilAddr) && tx.Load(rhtm.Addr(child)+rbParent) != n {
+			return 0, fmt.Errorf("rbtree: node %d child has wrong parent pointer", k)
+		}
+	}
+	lh, err := t.validateNode(tx, l, lo, k)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.validateNode(tx, r, k, hi)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("rbtree: black-height mismatch at key %d: %d vs %d", k, lh, rh)
+	}
+	if c == black {
+		lh++
+	}
+	return lh, nil
+}
+
+// Keys returns all keys in order using raw access (setup/verification only).
+func (t *RBTree) Keys() []uint64 {
+	tx := SetupTx(t.sys)
+	var out []uint64
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		if n == uint64(rhtm.NilAddr) {
+			return
+		}
+		walk(tx.Load(rhtm.Addr(n) + rbLeft))
+		out = append(out, tx.Load(rhtm.Addr(n)+rbKey))
+		walk(tx.Load(rhtm.Addr(n) + rbRight))
+	}
+	walk(tx.Load(t.root))
+	return out
+}

@@ -1,0 +1,117 @@
+// kvstore builds a small concurrent key-value store with composed
+// transactions on top of the rhtm hash table: writers move key-value pairs
+// between two tables atomically (the classic "cannot be done with two
+// independent concurrent maps" operation), and an auditing reader keeps
+// verifying that every key lives in exactly one table. Some transactions
+// simulate a system call with Tx.Unsupported, forcing them through the
+// mostly-software slow path — the scenario the paper's slow path exists for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"rhtm"
+	"rhtm/containers"
+)
+
+const keySpace = 400
+
+func main() {
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 18))
+	eng := rhtm.NewRH1(s, rhtm.DefaultRH1Options())
+
+	hot := containers.NewHashTable(s, 128)
+	cold := containers.NewHashTable(s, 128)
+	keys := make([]uint64, keySpace)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	hot.Populate(keys) // everything starts hot
+
+	const movers, moves = 4, 400
+	var wg sync.WaitGroup
+	for w := 0; w < movers; w++ {
+		th := eng.NewThread()
+		rng := rand.New(rand.NewSource(int64(w + 1)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < moves; i++ {
+				key := uint64(rng.Intn(keySpace) + 1)
+				toCold := rng.Intn(2) == 0
+				audit := rng.Intn(16) == 0
+				err := th.Atomic(func(tx rhtm.Tx) error {
+					if audit {
+						// Simulate a protected instruction (e.g. logging the
+						// move via a syscall): hardware paths abort and the
+						// transaction completes in software.
+						tx.Unsupported()
+					}
+					src, dst := hot, cold
+					if !toCold {
+						src, dst = cold, hot
+					}
+					if v, ok := src.Get(tx, key); ok {
+						src.Remove(tx, key)
+						dst.Insert(tx, key, v)
+					}
+					return nil
+				})
+				if err != nil {
+					log.Fatalf("move: %v", err)
+				}
+			}
+		}()
+	}
+
+	// Auditor: each key must be in exactly one table at every instant.
+	stopAudit := make(chan struct{})
+	var audits int
+	var auditWg sync.WaitGroup
+	auditWg.Add(1)
+	go func() {
+		defer auditWg.Done()
+		th := eng.NewThread()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stopAudit:
+				return
+			default:
+			}
+			key := uint64(rng.Intn(keySpace) + 1)
+			err := th.Atomic(func(tx rhtm.Tx) error {
+				_, inHot := hot.Get(tx, key)
+				_, inCold := cold.Get(tx, key)
+				if inHot == inCold {
+					return fmt.Errorf("key %d: inHot=%v inCold=%v", key, inHot, inCold)
+				}
+				return nil
+			})
+			if err != nil {
+				log.Fatalf("audit violation: %v", err)
+			}
+			audits++
+		}
+	}()
+
+	wg.Wait()
+	close(stopAudit)
+	auditWg.Wait()
+
+	// Final verification with raw access.
+	total := hot.Len() + cold.Len()
+	if total != keySpace {
+		log.Fatalf("keys lost or duplicated: hot=%d cold=%d total=%d want=%d",
+			hot.Len(), cold.Len(), total, keySpace)
+	}
+	st := eng.Snapshot()
+	fmt.Printf("kvstore ok: hot=%d cold=%d (total %d), %d audits passed\n",
+		hot.Len(), cold.Len(), total, audits)
+	fmt.Printf("engine %s: %s\n", eng.Name(), st)
+	fmt.Printf("software slow-path commits (syscall transactions): %d\n",
+		st.SlowCommits+st.ReadOnlyCommits)
+}

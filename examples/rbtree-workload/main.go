@@ -1,0 +1,114 @@
+// rbtree-workload reproduces a miniature of the paper's headline experiment
+// (Figure 1) as a self-contained program: the Constant Red-Black Tree with
+// 20% mutation operations, run under the four headline engines. It prints
+// both the architectural metric (committed operations per thousand simulated
+// shared accesses — the number the paper's "who is faster" claims map to)
+// and host wall-clock throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rhtm"
+	"rhtm/containers"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 20_000, "tree size")
+	threads := flag.Int("threads", 4, "worker goroutines")
+	dur := flag.Duration("dur", 500*time.Millisecond, "measurement time per engine")
+	writePct := flag.Int("writes", 20, "mutation percentage")
+	flag.Parse()
+
+	fmt.Printf("%d-node Constant RB-Tree, %d%% mutations, %d threads, %v per engine\n\n",
+		*nodes, *writePct, *threads, *dur)
+	fmt.Printf("%-16s %14s %14s %12s\n", "engine", "ops/kaccess", "ops/sec", "abort-ratio")
+
+	type build struct {
+		name string
+		mk   func(*rhtm.System) rhtm.Engine
+	}
+	builds := []build{
+		{"HTM", func(s *rhtm.System) rhtm.Engine { return rhtm.NewHTM(s, rhtm.HWOptions{}) }},
+		{"Standard HyTM", func(s *rhtm.System) rhtm.Engine { return rhtm.NewStandardHyTM(s, rhtm.HWOptions{}) }},
+		{"TL2", func(s *rhtm.System) rhtm.Engine { return rhtm.NewTL2(s) }},
+		{"RH1 Fast", func(s *rhtm.System) rhtm.Engine { return rhtm.NewRH1(s, rhtm.RH1Options{FastOnly: true}) }},
+		{"RH1 Mixed 100", func(s *rhtm.System) rhtm.Engine { return rhtm.NewRH1(s, rhtm.DefaultRH1Options()) }},
+	}
+	for _, b := range builds {
+		run(b.name, b.mk, *nodes, *threads, *dur, *writePct)
+	}
+}
+
+// run measures one engine on a freshly populated tree.
+func run(name string, mk func(*rhtm.System) rhtm.Engine, nodes, threads int,
+	dur time.Duration, writePct int) {
+
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(nodes*containers.RBNodeWords*2 + 4096))
+	tree := containers.NewRBTree(s)
+	keys := make([]uint64, nodes)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(keys), func(i, j int) {
+		keys[i], keys[j] = keys[j], keys[i]
+	})
+	tree.Populate(keys)
+	eng := mk(s)
+
+	var stop sync.WaitGroup
+	done := make(chan struct{})
+	var ops uint64
+	var mu sync.Mutex
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		th := eng.NewThread()
+		rng := rand.New(rand.NewSource(int64(w + 1)))
+		stop.Add(1)
+		go func() {
+			defer stop.Done()
+			local := uint64(0)
+			for {
+				select {
+				case <-done:
+					mu.Lock()
+					ops += local
+					mu.Unlock()
+					return
+				default:
+				}
+				key := uint64(rng.Intn(nodes) + 1)
+				err := th.Atomic(func(tx rhtm.Tx) error {
+					if rng.Intn(100) < writePct {
+						tree.ConstUpdate(tx, key, rng.Uint64(), rng)
+					} else {
+						tree.ConstLookup(tx, key)
+					}
+					return nil
+				})
+				if err != nil {
+					log.Fatalf("%s: %v", name, err)
+				}
+				local++
+			}
+		}()
+	}
+	time.Sleep(dur)
+	close(done)
+	stop.Wait()
+	elapsed := time.Since(start)
+
+	st := eng.Snapshot()
+	accesses := st.Reads + st.Writes + st.MetadataReads + st.MetadataWrites
+	perK := 0.0
+	if accesses > 0 {
+		perK = 1000 * float64(ops) / float64(accesses)
+	}
+	fmt.Printf("%-16s %14.2f %14.0f %12.3f\n",
+		name, perK, float64(ops)/elapsed.Seconds(), st.AbortRatio())
+}

@@ -1,0 +1,107 @@
+// Package clock implements the global version clock used by every
+// timestamp-based protocol in this repository (TL2, RH1, RH2, Standard
+// HyTM).
+//
+// The clock is a single word of simulated memory, so hardware transactions
+// that read it speculatively are subject to conflict detection on its line —
+// the property the paper exploits. Two advancement disciplines are provided:
+//
+//   - GV6 (the paper's choice, from Avni & Shavit and TL2): GVNext does NOT
+//     modify the clock; committers install clock+1 and only *aborting*
+//     software transactions advance the clock. The clock line therefore stays
+//     quiescent while transactions succeed, so hardware transactions that
+//     speculatively read it almost never conflict on it.
+//
+//   - GV5 (ablation): every GVNext atomically increments the clock. Correct,
+//     but every increment is a plain store to the clock line, aborting every
+//     in-flight hardware transaction that read it. The ext-clock experiment
+//     quantifies the damage.
+package clock
+
+import (
+	"fmt"
+
+	"rhtm/internal/memsim"
+)
+
+// Mode selects the clock advancement discipline.
+type Mode int
+
+const (
+	// GV6 advances only on aborts; GVNext is clock+1 without a store.
+	GV6 Mode = iota
+	// GV5 advances on every GVNext with an atomic increment.
+	GV5
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case GV6:
+		return "GV6"
+	case GV5:
+		return "GV5"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Clock is a global version clock stored in one simulated word.
+type Clock struct {
+	mem  *memsim.Memory
+	addr memsim.Addr
+	mode Mode
+}
+
+// New allocates a clock word in its own line of m (so clock traffic never
+// false-shares with data) and returns the clock.
+func New(m *memsim.Memory, mode Mode) (*Clock, error) {
+	reg, err := m.AllocRegion(m.Config().WordsPerLine)
+	if err != nil {
+		return nil, err
+	}
+	return &Clock{mem: m, addr: reg.Base, mode: mode}, nil
+}
+
+// Addr returns the clock word's address. Hardware transactions read the
+// clock through their own speculative loads of this address.
+func (c *Clock) Addr() memsim.Addr { return c.addr }
+
+// Mode returns the advancement discipline.
+func (c *Clock) Mode() Mode { return c.mode }
+
+// Read returns the current global version (the paper's GVRead). It is a
+// plain load; under GV6 the word changes only when software transactions
+// abort.
+func (c *Clock) Read() uint64 { return c.mem.Load(c.addr) }
+
+// Next returns the version a committing transaction should install (the
+// paper's GVNext). Under GV6 this is Read()+1 with no store. Under GV5 it
+// atomically increments the clock and returns the new value.
+func (c *Clock) Next() uint64 {
+	if c.mode == GV5 {
+		return c.mem.FetchAdd(c.addr, 1)
+	}
+	return c.mem.Load(c.addr) + 1
+}
+
+// NextFromSample returns the install version corresponding to a previously
+// sampled clock value. Hardware fast paths use this: they speculatively load
+// the clock word inside the transaction (so the load participates in
+// conflict detection) and derive the install version without any store.
+func (c *Clock) NextFromSample(sample uint64) uint64 { return sample + 1 }
+
+// AdvanceOnAbort publishes the version an aborting transaction observed, so
+// that the observed-but-never-stored version sampled by Next becomes properly
+// ordered for the retry. Under GV6 an aborting software transaction calls
+// this with its start version; the CAS advances the clock at most once per
+// observed value, keeping clock stores rare. Under GV5 it is a no-op (the
+// clock already advanced at Next).
+func (c *Clock) AdvanceOnAbort(observed uint64) {
+	if c.mode == GV5 {
+		return
+	}
+	// CAS from the observed value to observed+1. If it fails, someone else
+	// already advanced the clock past the observed value — good enough.
+	c.mem.CAS(c.addr, observed, observed+1)
+}

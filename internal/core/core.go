@@ -1,0 +1,339 @@
+// Package core implements the paper's contribution: reduced hardware (RH)
+// transactions. One Engine provides the full multi-level protocol stack:
+//
+//	RH1 fast path    — pure hardware transaction; reads uninstrumented,
+//	                   writes add a single stripe-version store (Alg. 1+3).
+//	RH1 slow path    — "mixed" transaction: body fully in software, commit in
+//	                   one short hardware transaction that revalidates the
+//	                   read set and performs the write-back (Alg. 2).
+//	RH2 fallback     — taken when the RH1 commit hardware transaction fails
+//	                   persistently: write-set locking + commit-time visible
+//	                   read masks; only the write-back runs in hardware
+//	                   (Alg. 4, 5, 7).
+//	slow-slow path   — all-software write-back plus the fast-path-slow-read
+//	                   hardware mode with TL2-style instrumented reads
+//	                   (Alg. 6), entered when even the RH2 write-back
+//	                   hardware transaction cannot commit.
+//
+// The Engine can also be configured as a standalone RH2 protocol
+// (ProtocolRH2), which the paper describes as usable in its own right.
+//
+// One documented deviation from the paper's pseudo-code: the unified
+// slow-path commit validates that *write-set* stripes are unlocked in
+// addition to revalidating the read set. In the paper's presentation of RH1
+// in isolation no locks exist, so the check is vacuous; once the RH2
+// fallback is integrated, a concurrent RH2 committer may hold locks, and an
+// RH1 commit that blindly overwrote a locked stripe version would corrupt
+// the lock protocol. The check costs one speculative load per write stripe,
+// already resident in the commit transaction's footprint.
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"rhtm/internal/engine"
+	"rhtm/internal/htm"
+	"rhtm/internal/memsim"
+	"rhtm/internal/sys"
+)
+
+// Protocol selects which level of the stack is the entry point.
+type Protocol int
+
+const (
+	// ProtocolRH1 is the full stack: RH1 fast/slow with RH2 fallback.
+	ProtocolRH1 Protocol = iota
+	// ProtocolRH2 runs RH2 as the primary protocol (no RH1 level).
+	ProtocolRH2
+)
+
+// Mode selects the retry policy of the fast path.
+type Mode int
+
+const (
+	// ModeMixed falls back to the slow path for a configurable percentage of
+	// fast-path aborts (the paper's "RH1 Mix N" configurations), and always
+	// after a persistent hardware failure.
+	ModeMixed Mode = iota
+	// ModeFastOnly retries the fast path indefinitely on transient aborts
+	// (the paper's "RH1 Fast" configuration). Persistent failures (capacity,
+	// unsupported instruction) still take the slow path: unlike the paper's
+	// emulated benchmarks, a library cannot spin forever on an abort that
+	// can never succeed.
+	ModeFastOnly
+	// ModeSlowOnly sends every transaction straight to the mixed slow path
+	// (the paper's "RH1 Slow" row in the Figure 2 breakdown tables).
+	ModeSlowOnly
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Protocol selects RH1 (full stack) or standalone RH2.
+	Protocol Protocol
+	// Mode selects the fast-path retry policy.
+	Mode Mode
+	// MixPercent is the percentage (0..100) of transient fast-path aborts
+	// that are retried on the slow path when Mode == ModeMixed. The paper's
+	// RH1 Mixed 10 and RH1 Mixed 100 correspond to 10 and 100.
+	MixPercent int
+	// MaxFastAttempts, when positive, bounds consecutive fast-path attempts
+	// in ModeMixed regardless of MixPercent (a deterministic attempt-count
+	// contention policy; 0 disables).
+	MaxFastAttempts int
+	// InjectAbortPercent forces this percentage of fast-path hardware
+	// transactions to abort at commit, reproducing the paper's §3.1
+	// emulation methodology of imposing a measured abort ratio. 0 disables.
+	InjectAbortPercent int
+	// CommitHTMRetries bounds retries of the RH2 write-back hardware
+	// transaction before switching to the all-software write-back. The
+	// paper retries on contention and falls back on hardware limitation;
+	// a bound additionally protects against pathological livelock.
+	CommitHTMRetries int
+}
+
+// DefaultOptions returns the full RH1 stack with the paper's Mixed-100
+// policy.
+func DefaultOptions() Options {
+	return Options{
+		Protocol:         ProtocolRH1,
+		Mode:             ModeMixed,
+		MixPercent:       100,
+		MaxFastAttempts:  16,
+		CommitHTMRetries: 8,
+	}
+}
+
+// Engine is a reduced-hardware-transactions engine over a System.
+type Engine struct {
+	sys  *sys.System
+	opts Options
+
+	mu      sync.Mutex
+	threads []*Thread
+}
+
+// New creates an Engine on s with the given options.
+func New(s *sys.System, opts Options) *Engine {
+	if opts.CommitHTMRetries <= 0 {
+		opts.CommitHTMRetries = 8
+	}
+	if opts.MixPercent < 0 {
+		opts.MixPercent = 0
+	}
+	if opts.MixPercent > 100 {
+		opts.MixPercent = 100
+	}
+	return &Engine{sys: s, opts: opts}
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string {
+	base := "RH1"
+	if e.opts.Protocol == ProtocolRH2 {
+		base = "RH2"
+	}
+	switch e.opts.Mode {
+	case ModeFastOnly:
+		return base + " Fast"
+	case ModeSlowOnly:
+		return base + " Slow"
+	default:
+		if e.opts.MixPercent == 100 {
+			return base + " Mixed 100"
+		}
+		if e.opts.MixPercent == 0 {
+			return base + " Mixed 0"
+		}
+		return base + " Mixed " + itoa(e.opts.MixPercent)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// NewThread implements engine.Engine.
+func (e *Engine) NewThread() engine.Thread {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := len(e.threads)
+	if id >= e.sys.MaxThreads() {
+		panic(engine.ErrTooManyThreads)
+	}
+	t := &Thread{
+		eng:      e,
+		sys:      e.sys,
+		id:       id,
+		htx:      htm.NewTxn(e.sys.Mem, e.sys.Config().HTM),
+		writeIdx: make(map[memsim.Addr]int, 32),
+		stripes:  make(map[int]struct{}, 32),
+		rng:      rand.New(rand.NewSource(int64(id)*1103515245 + 12345)),
+	}
+	e.threads = append(e.threads, t)
+	return t
+}
+
+// Snapshot implements engine.Engine.
+func (e *Engine) Snapshot() engine.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var s engine.Stats
+	for _, t := range e.threads {
+		s.Add(t.stats)
+	}
+	return s
+}
+
+// path identifies which protocol level the currently executing body runs on;
+// the Tx dispatch methods switch on it.
+type path int
+
+const (
+	pathRH1Fast path = iota
+	pathRH2Fast
+	pathRH2FastSR
+	pathSlow
+)
+
+// writeEntry is one buffered software-path store.
+type writeEntry struct {
+	addr memsim.Addr
+	val  uint64
+}
+
+// Thread is a per-worker context for the full protocol stack. Not safe for
+// concurrent use.
+type Thread struct {
+	eng *Engine
+	sys *sys.System
+	id  int
+
+	htx  *htm.Txn
+	path path
+
+	// Fast-path state.
+	nextVer   uint64 // version hardware writes install (Alg. 1 line 3)
+	fastWrSet []memsim.Addr
+
+	// Slow-path state.
+	txVersion uint64
+	readSet   []memsim.Addr
+	writeSet  []writeEntry
+	writeIdx  map[memsim.Addr]int
+	stripes   map[int]struct{} // scratch: distinct stripe set
+
+	rng   *rand.Rand
+	stats engine.Stats
+}
+
+// Atomic implements engine.Thread. It drives the multi-level retry policy:
+// hardware attempts first, then — per mode, or forced by a persistent
+// hardware failure — the mixed slow path, which internally escalates
+// through RH2 and the all-software write-back.
+func (t *Thread) Atomic(fn func(tx engine.Tx) error) error {
+	if t.eng.opts.Mode == ModeSlowOnly {
+		return t.runSlow(fn)
+	}
+	for attempt := 0; ; attempt++ {
+		done, err, reason := t.tryHardware(fn)
+		if done {
+			return err
+		}
+		t.stats.FastAborts++
+		if int(reason) < len(t.stats.FastAbortsByReason) {
+			t.stats.FastAbortsByReason[reason]++
+		}
+		if reason.Persistent() || t.shouldGoSlow(attempt) {
+			return t.runSlow(fn)
+		}
+		engine.Backoff(t.rng, attempt)
+	}
+}
+
+// shouldGoSlow applies the mode's policy to a transient fast-path abort.
+func (t *Thread) shouldGoSlow(attempt int) bool {
+	opts := &t.eng.opts
+	if opts.Mode == ModeFastOnly {
+		return false
+	}
+	if opts.MaxFastAttempts > 0 && attempt+1 >= opts.MaxFastAttempts {
+		return true
+	}
+	if opts.MixPercent == 0 {
+		return false
+	}
+	return t.rng.Intn(100) < opts.MixPercent
+}
+
+// runSlow executes the transaction on the slow path until it commits or the
+// body returns an error.
+func (t *Thread) runSlow(fn func(tx engine.Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		done, err := t.trySlow(fn)
+		if done {
+			return err
+		}
+		t.stats.SlowAborts++
+		t.sys.Clock.AdvanceOnAbort(t.txVersion)
+		engine.Backoff(t.rng, attempt)
+	}
+}
+
+// coreTx adapts Thread to engine.Tx, dispatching on the active path.
+type coreTx Thread
+
+// Load implements engine.Tx.
+func (tx *coreTx) Load(a memsim.Addr) uint64 {
+	t := (*Thread)(tx)
+	t.stats.Reads++
+	switch t.path {
+	case pathRH1Fast, pathRH2Fast:
+		// Uninstrumented hardware read (Alg. 1 line 13, Alg. 4 line 18).
+		v, ok := t.htx.Read(a)
+		if !ok {
+			engine.Retry(t.htx.AbortReason())
+		}
+		return v
+	case pathRH2FastSR:
+		return t.srRead(a)
+	default:
+		return t.slowRead(a)
+	}
+}
+
+// Store implements engine.Tx.
+func (tx *coreTx) Store(a memsim.Addr, v uint64) {
+	t := (*Thread)(tx)
+	t.stats.Writes++
+	switch t.path {
+	case pathRH1Fast:
+		t.rh1FastWrite(a, v)
+	case pathRH2Fast, pathRH2FastSR:
+		t.rh2FastWrite(a, v)
+	default:
+		t.slowWrite(a, v)
+	}
+}
+
+// Unsupported implements engine.Tx. On any hardware path it aborts the
+// hardware transaction with the persistent "unsupported" reason, sending the
+// transaction to the software slow path; on the slow path the body runs in
+// plain software where such operations are legal, so it is a no-op.
+func (tx *coreTx) Unsupported() {
+	t := (*Thread)(tx)
+	if t.path != pathSlow {
+		t.htx.Unsupported()
+		engine.Retry(memsim.AbortUnsupported)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rhtm/internal/clock"
+	"rhtm/internal/engine"
+	"rhtm/internal/sys"
+)
+
+// TestGV5FastPathAdvancesClock pins the GV6-vs-GV5 ablation semantics: under
+// GV5 every hardware write commit performs a real GVNext, publishing the
+// incremented clock; under GV6 the clock word never moves while transactions
+// succeed (the property that keeps hardware transactions off each other's
+// toes, §2.2).
+func TestGV5FastPathAdvancesClock(t *testing.T) {
+	for _, mode := range []clock.Mode{clock.GV6, clock.GV5} {
+		cfg := sys.DefaultConfig(1 << 10)
+		cfg.ClockMode = mode
+		s := sys.MustNew(cfg)
+		e := New(s, DefaultOptions())
+		a := s.Heap.MustAlloc(1)
+		th := e.NewThread()
+		const commits = 5
+		for i := 0; i < commits; i++ {
+			if err := th.Atomic(func(tx engine.Tx) error {
+				tx.Store(a, uint64(i))
+				return nil
+			}); err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+		}
+		got := s.Clock.Read()
+		switch mode {
+		case clock.GV6:
+			if got != 0 {
+				t.Fatalf("GV6: clock = %d after %d commits, want 0 (no stores)", got, commits)
+			}
+		case clock.GV5:
+			if got != commits {
+				t.Fatalf("GV5: clock = %d after %d commits, want %d", got, commits, commits)
+			}
+		}
+		// Versions must stay consistent in both modes.
+		if v := sys.UnpackVersion(s.Mem.Load(s.VersionAddr(a))); v == 0 {
+			t.Fatalf("%v: stripe version not installed", mode)
+		}
+	}
+}
+
+// TestGV5SlowPathProgressAfterFastCommit is a regression test for a
+// livelock: under GV5, AdvanceOnAbort is a no-op, so if fast-path commits
+// installed version clock+1 *without publishing the increment*, a subsequent
+// slow-path transaction would abort on every read (version > tx_version)
+// with no way for the clock to catch up. The fix: under GV5 the fast path's
+// GVNext performs a real speculative increment, published at commit.
+func TestGV5SlowPathProgressAfterFastCommit(t *testing.T) {
+	cfg := sys.DefaultConfig(1 << 10)
+	cfg.ClockMode = clock.GV5
+	s := sys.MustNew(cfg)
+	e := New(s, DefaultOptions())
+	a := s.Heap.MustAlloc(1)
+	th := e.NewThread()
+	// Fast-path commit installs a new stripe version.
+	if err := th.Atomic(func(tx engine.Tx) error {
+		tx.Store(a, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Force the next transaction through the slow path; it must terminate.
+	done := make(chan error, 1)
+	go func() {
+		done <- th.Atomic(func(tx engine.Tx) error {
+			tx.Unsupported()
+			tx.Store(a, tx.Load(a)+1)
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("GV5 slow path livelocked after a fast commit")
+	}
+	if got := s.Mem.Load(a); got != 2 {
+		t.Fatalf("value = %d, want 2", got)
+	}
+}
+
+// TestGV5SlowCommitAlsoIncrements covers the slow-path commit transaction's
+// GVNext under GV5.
+func TestGV5SlowCommitAlsoIncrements(t *testing.T) {
+	cfg := sys.DefaultConfig(1 << 10)
+	cfg.ClockMode = clock.GV5
+	s := sys.MustNew(cfg)
+	opts := DefaultOptions()
+	opts.Mode = ModeSlowOnly
+	e := New(s, opts)
+	a := s.Heap.MustAlloc(1)
+	th := e.NewThread()
+	before := s.Clock.Read()
+	if err := th.Atomic(func(tx engine.Tx) error {
+		tx.Store(a, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Clock.Read(); got != before+1 {
+		t.Fatalf("GV5 slow commit: clock %d -> %d, want +1", before, got)
+	}
+}

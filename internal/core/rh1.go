@@ -1,0 +1,298 @@
+package core
+
+import (
+	"rhtm/internal/clock"
+	"rhtm/internal/engine"
+	"rhtm/internal/memsim"
+	"rhtm/internal/sys"
+)
+
+// tryHardware runs one hardware attempt, selecting the mode the current
+// global state demands (Alg. 3 lines 2-5, Alg. 4 lines 2-5):
+//
+//	is_RH2_fallback == 0                          → RH1 fast path
+//	is_RH2_fallback  > 0, is_all_software == 0    → RH2 fast path
+//	is_all_software  > 0                          → RH2 fast-path-slow-read
+//
+// For ProtocolRH2 the RH1 level does not exist and the choice is between the
+// last two. done is true when the transaction committed or the body returned
+// an error; otherwise reason explains the hardware abort.
+func (t *Thread) tryHardware(fn func(tx engine.Tx) error) (done bool, err error, reason memsim.AbortReason) {
+	mem := t.sys.Mem
+	if mem.Load(t.sys.AllSoftwareAddr) > 0 {
+		return t.trySR(fn)
+	}
+	if t.eng.opts.Protocol == ProtocolRH2 || mem.Load(t.sys.RH2FallbackAddr) > 0 {
+		return t.tryRH2Fast(fn)
+	}
+	return t.tryRH1Fast(fn)
+}
+
+// tryRH1Fast is one attempt of the RH1 fast path (Alg. 1 with the Alg. 3
+// switching prologue).
+func (t *Thread) tryRH1Fast(fn func(tx engine.Tx) error) (done bool, err error, reason memsim.AbortReason) {
+	htx := t.htx
+	htx.Begin()
+
+	// Monitor is_RH2_fallback for the duration of the transaction by
+	// loading it speculatively: any RH2 fallback activation (a plain
+	// fetch-and-add on the counter word) aborts us through coherence
+	// (Alg. 3 lines 6-9).
+	fb, ok := htx.Read(t.sys.RH2FallbackAddr)
+	if !ok {
+		return t.fastAbort()
+	}
+	if fb > 0 {
+		htx.Abort(memsim.AbortExplicit)
+		return false, nil, memsim.AbortExplicit
+	}
+
+	// ctx.next_ver ← GVNext(): a speculative read of the clock word plus
+	// one — no store, per the GV6 discipline (Alg. 1 line 3). The clock
+	// line joins the footprint, so a (rare) clock advance aborts us.
+	next, ok := t.speculativeGVNext()
+	if !ok {
+		return t.fastAbort()
+	}
+	t.nextVer = next
+
+	t.path = pathRH1Fast
+	err, aborted, reason := engine.RunBody(fn, (*coreTx)(t))
+	if aborted {
+		htx.Fini()
+		return false, nil, reason
+	}
+	if err != nil {
+		htx.Abort(memsim.AbortExplicit)
+		htx.Fini()
+		t.stats.UserErrors++
+		return true, err, memsim.AbortNone
+	}
+	if t.injectAbort() {
+		htx.Abort(memsim.AbortInjected)
+		return t.fastAbort()
+	}
+	if !htx.Commit() {
+		return false, nil, htx.AbortReason()
+	}
+	t.stats.FastCommits++
+	return true, nil, memsim.AbortNone
+}
+
+// rh1FastWrite is the RH1 fast path's minimally instrumented store: update
+// the stripe version to next_ver, then write the value (Alg. 1 lines 6-9).
+// Both stores are speculative and publish atomically at commit.
+func (t *Thread) rh1FastWrite(a memsim.Addr, v uint64) {
+	htx := t.htx
+	if !htx.Write(t.sys.VersionAddr(a), sys.PackVersion(t.nextVer)) {
+		engine.Retry(htx.AbortReason())
+	}
+	t.stats.MetadataWrites++
+	if !htx.Write(a, v) {
+		engine.Retry(htx.AbortReason())
+	}
+}
+
+// speculativeGVNext performs GVNext inside the current hardware transaction
+// and returns the version to install. Under GV6 (the paper's choice) it is a
+// speculative *read* of the clock plus one — no store, so concurrent
+// hardware transactions sharing the clock line do not conflict. Under GV5
+// (ablation) GVNext must actually increment the clock, which puts the clock
+// line in every writer's speculative write set and serializes them — the
+// cost the paper's GV6 choice avoids (§2.2).
+func (t *Thread) speculativeGVNext() (next uint64, ok bool) {
+	htx := t.htx
+	clk := t.sys.Clock
+	sample, ok := htx.Read(clk.Addr())
+	if !ok {
+		return 0, false
+	}
+	t.stats.MetadataReads++
+	next = clk.NextFromSample(sample)
+	if clk.Mode() == clock.GV5 {
+		if !htx.Write(clk.Addr(), next) {
+			return 0, false
+		}
+		t.stats.MetadataWrites++
+	}
+	return next, true
+}
+
+// fastAbort finalizes an aborted hardware attempt and reports its reason.
+func (t *Thread) fastAbort() (bool, error, memsim.AbortReason) {
+	t.htx.Fini()
+	return false, nil, t.htx.AbortReason()
+}
+
+// injectAbort applies the configured forced-abort ratio (§3.1 emulation).
+func (t *Thread) injectAbort() bool {
+	p := t.eng.opts.InjectAbortPercent
+	return p > 0 && t.rng.Intn(100) < p
+}
+
+// --- the mixed (mostly software) slow path ---
+
+// trySlow runs one complete slow-path attempt: software body, then the
+// protocol-appropriate commit. done is true on commit or user error; false
+// means the attempt aborted and the caller should retry.
+func (t *Thread) trySlow(fn func(tx engine.Tx) error) (done bool, err error) {
+	t.beginSlow()
+	err, aborted, _ := engine.RunBody(fn, (*coreTx)(t))
+	if aborted {
+		return false, nil
+	}
+	if err != nil {
+		t.stats.UserErrors++
+		return true, err
+	}
+	if len(t.writeSet) == 0 {
+		// Read-only transactions commit immediately (Alg. 2 lines 26-28):
+		// every read was validated against tx_version when performed.
+		t.stats.ReadOnlyCommits++
+		return true, nil
+	}
+	if t.eng.opts.Protocol == ProtocolRH2 {
+		if !t.rh2SlowCommit() {
+			return false, nil
+		}
+		t.stats.SlowCommits++
+		return true, nil
+	}
+	if !t.rh1SlowCommit() {
+		return false, nil
+	}
+	t.stats.SlowCommits++
+	return true, nil
+}
+
+// beginSlow resets the software transaction state (Alg. 2 lines 1-3).
+func (t *Thread) beginSlow() {
+	t.path = pathSlow
+	t.txVersion = t.sys.Clock.Read()
+	t.readSet = t.readSet[:0]
+	t.writeSet = t.writeSet[:0]
+	clear(t.writeIdx)
+}
+
+// slowRead implements the software read with write-set lookup and the
+// version-sandwich consistency check (Alg. 2 lines 9-23). The lock check
+// comes from RH2's variant (Alg. 5 line 18); it is vacuous while no RH2
+// committer is active and necessary while one is.
+func (t *Thread) slowRead(a memsim.Addr) uint64 {
+	if i, hit := t.writeIdx[a]; hit {
+		return t.writeSet[i].val
+	}
+	mem := t.sys.Mem
+	va := t.sys.VersionAddr(a)
+	before := mem.Load(va)
+	v := mem.Load(a)
+	after := mem.Load(va)
+	t.stats.MetadataReads += 2
+	if sys.IsLocked(before) || before != after || sys.UnpackVersion(before) > t.txVersion {
+		engine.Retry(memsim.AbortConflict)
+	}
+	t.readSet = append(t.readSet, a)
+	return v
+}
+
+// slowWrite buffers the store in the write set (Alg. 2 lines 5-7).
+func (t *Thread) slowWrite(a memsim.Addr, v uint64) {
+	if i, hit := t.writeIdx[a]; hit {
+		t.writeSet[i].val = v
+		return
+	}
+	t.writeSet = append(t.writeSet, writeEntry{addr: a, val: v})
+	t.writeIdx[a] = len(t.writeSet) - 1
+}
+
+// rh1SlowCommit is the heart of RH1 (Alg. 2 lines 25-50): a single hardware
+// transaction that revalidates the read set and performs the write-back.
+// There are no locks; obstruction freedom follows. Returns false if the
+// transaction must be retried from scratch.
+func (t *Thread) rh1SlowCommit() bool {
+	htx := t.htx
+	for {
+		htx.Begin()
+		committed, validationFailed := t.rh1CommitAttempt()
+		if committed {
+			return true
+		}
+		if validationFailed {
+			// The snapshot is stale; the whole transaction restarts.
+			return false
+		}
+		htx.Fini() // park the aborted hardware transaction
+		reason := htx.AbortReason()
+		if reason.Persistent() {
+			// The commit transaction's footprint (read-set metadata +
+			// write-back) exceeds hardware capacity: fall back to RH2 for
+			// this commit (Alg. 3 lines 35-39).
+			t.stats.RH2Fallbacks++
+			mem := t.sys.Mem
+			mem.FetchAdd(t.sys.RH2FallbackAddr, 1)
+			ok := t.rh2SlowCommit()
+			mem.AddInt(t.sys.RH2FallbackAddr, -1)
+			return ok
+		}
+		// Contention: restart the commit hardware transaction. The
+		// validation inside the new attempt re-checks everything.
+		t.stats.CommitHTMRetries++
+	}
+}
+
+// rh1CommitAttempt executes the body of the commit hardware transaction:
+// read-set revalidation, then write-back with version install (Alg. 2
+// lines 29-43). It reports (committed, validationFailed); when both are
+// false the hardware transaction aborted for an environmental reason and
+// htx.AbortReason explains it.
+func (t *Thread) rh1CommitAttempt() (committed, validationFailed bool) {
+	htx := t.htx
+	// Read-set revalidation: every read stripe must still be unlocked and
+	// no newer than tx_version.
+	for _, a := range t.readSet {
+		w, ok := htx.Read(t.sys.VersionAddr(a))
+		if !ok {
+			return false, false
+		}
+		t.stats.MetadataReads++
+		if sys.IsLocked(w) || sys.UnpackVersion(w) > t.txVersion {
+			htx.Abort(memsim.AbortExplicit)
+			htx.Fini()
+			return false, true
+		}
+	}
+	// Write-set stripes must be unlocked (deviation documented in the
+	// package comment: protects a concurrent RH2 committer's locks).
+	for _, w := range t.writeSet {
+		ver, ok := htx.Read(t.sys.VersionAddr(w.addr))
+		if !ok {
+			return false, false
+		}
+		t.stats.MetadataReads++
+		if sys.IsLocked(ver) {
+			htx.Abort(memsim.AbortExplicit)
+			htx.Fini()
+			return false, true
+		}
+	}
+	// next_ver ← GVNext() inside the hardware transaction (Alg. 2 line 37).
+	nextVer, ok := t.speculativeGVNext()
+	if !ok {
+		return false, false
+	}
+	next := sys.PackVersion(nextVer)
+	// Write-back: install the new version and the value for every write.
+	for _, w := range t.writeSet {
+		if !htx.Write(t.sys.VersionAddr(w.addr), next) {
+			return false, false
+		}
+		if !htx.Write(w.addr, w.val) {
+			return false, false
+		}
+		t.stats.MetadataWrites++
+	}
+	if !htx.Commit() {
+		return false, false
+	}
+	return true, false
+}

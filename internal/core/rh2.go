@@ -1,0 +1,350 @@
+package core
+
+import (
+	"rhtm/internal/engine"
+	"rhtm/internal/memsim"
+	"rhtm/internal/sys"
+)
+
+// tryRH2Fast is one attempt of the RH2 fast path (Alg. 4): reads are
+// uninstrumented, writes are logged, and the commit speculatively checks the
+// write set's read masks, acquires the write-set locks inside the hardware
+// transaction, and releases them non-speculatively afterwards.
+func (t *Thread) tryRH2Fast(fn func(tx engine.Tx) error) (done bool, err error, reason memsim.AbortReason) {
+	htx := t.htx
+	htx.Begin()
+
+	// Monitor is_all_software_slow_path == 0 for the duration of the
+	// transaction (Alg. 4 lines 6-9).
+	sw, ok := htx.Read(t.sys.AllSoftwareAddr)
+	if !ok {
+		return t.fastAbort()
+	}
+	if sw > 0 {
+		htx.Abort(memsim.AbortExplicit)
+		return false, nil, memsim.AbortExplicit
+	}
+
+	t.path = pathRH2Fast
+	t.fastWrSet = t.fastWrSet[:0]
+	err, aborted, reason := engine.RunBody(fn, (*coreTx)(t))
+	if aborted {
+		htx.Fini()
+		return false, nil, reason
+	}
+	if err != nil {
+		htx.Abort(memsim.AbortExplicit)
+		htx.Fini()
+		t.stats.UserErrors++
+		return true, err, memsim.AbortNone
+	}
+	return t.rh2FastCommit()
+}
+
+// trySR is one attempt of the RH2 fast-path-slow-read mode (Alg. 6), the
+// hardware half of the all-software slow-slow path: reads carry a TL2-style
+// consistency check against a pre-transaction clock sample, so they stay
+// correct even while a software transaction writes back with plain stores.
+func (t *Thread) trySR(fn func(tx engine.Tx) error) (done bool, err error, reason memsim.AbortReason) {
+	// ctx.tx_version ← GVRead() before the hardware transaction starts
+	// (Alg. 6 lines 1-3).
+	t.txVersion = t.sys.Clock.Read()
+	htx := t.htx
+	htx.Begin()
+
+	t.path = pathRH2FastSR
+	t.fastWrSet = t.fastWrSet[:0]
+	err, aborted, reason := engine.RunBody(fn, (*coreTx)(t))
+	if aborted {
+		htx.Fini()
+		return false, nil, reason
+	}
+	if err != nil {
+		htx.Abort(memsim.AbortExplicit)
+		htx.Fini()
+		t.stats.UserErrors++
+		return true, err, memsim.AbortNone
+	}
+	done, err, reason = t.rh2FastCommit()
+	if done && err == nil {
+		// Re-attribute: an SR commit belongs to the slow-slow path.
+		t.stats.FastCommits--
+		t.stats.SlowSlowCommits++
+	}
+	return done, err, reason
+}
+
+// rh2FastWrite logs the written address and stores speculatively
+// (Alg. 4 lines 12-15).
+func (t *Thread) rh2FastWrite(a memsim.Addr, v uint64) {
+	if !t.htx.Write(a, v) {
+		engine.Retry(t.htx.AbortReason())
+	}
+	t.fastWrSet = append(t.fastWrSet, a)
+}
+
+// srRead is the instrumented read of the fast-path-slow-read mode
+// (Alg. 6 lines 11-20).
+func (t *Thread) srRead(a memsim.Addr) uint64 {
+	htx := t.htx
+	ver, ok := htx.Read(t.sys.VersionAddr(a))
+	if !ok {
+		engine.Retry(htx.AbortReason())
+	}
+	t.stats.MetadataReads++
+	v, ok := htx.Read(a)
+	if !ok {
+		engine.Retry(htx.AbortReason())
+	}
+	if sys.IsLocked(ver) || sys.UnpackVersion(ver) > t.txVersion {
+		htx.Abort(memsim.AbortExplicit)
+		engine.Retry(memsim.AbortExplicit)
+	}
+	return v
+}
+
+// rh2FastCommit finishes an RH2 fast-path or slow-read hardware transaction
+// (Alg. 4 lines 21-57): verify that no committing software transaction is
+// reading the write set (read masks all zero), speculatively lock the write
+// set, commit the hardware transaction — which publishes data and locks
+// atomically — and then install the next global version to release.
+func (t *Thread) rh2FastCommit() (done bool, err error, reason memsim.AbortReason) {
+	htx := t.htx
+	if len(t.fastWrSet) == 0 {
+		if t.injectAbort() {
+			htx.Abort(memsim.AbortInjected)
+			return t.fastAbort()
+		}
+		if !htx.Commit() {
+			return false, nil, htx.AbortReason()
+		}
+		t.stats.FastCommits++
+		return true, nil, memsim.AbortNone
+	}
+
+	wStripes := t.distinctFastWriteStripes()
+
+	// Read-mask check: any bit set means a software transaction is holding
+	// its read set visible over one of our write stripes (Alg. 4 lines
+	// 25-33). The mask words join our speculative footprint, so a software
+	// transaction that sets a bit *after* this check aborts us through
+	// coherence — that is the race the visibility mechanism exists for.
+	var total uint64
+	for _, s := range wStripes {
+		base := t.sys.MaskBase(s)
+		for w := 0; w < t.sys.MaskWords; w++ {
+			m, ok := htx.Read(base + memsim.Addr(w))
+			if !ok {
+				return t.fastAbort()
+			}
+			t.stats.MetadataReads++
+			total |= m
+		}
+	}
+	if total != 0 {
+		htx.Abort(memsim.AbortExplicit)
+		return false, nil, memsim.AbortExplicit
+	}
+
+	// Speculatively lock the write set (Alg. 4 lines 34-46).
+	lockWord := sys.LockWord(t.id)
+	for _, s := range wStripes {
+		va := t.sys.Versions.Addr(s)
+		cur, ok := htx.Read(va)
+		if !ok {
+			return t.fastAbort()
+		}
+		t.stats.MetadataReads++
+		if cur == lockWord {
+			continue // already locked by this transaction's own buffered write
+		}
+		if sys.IsLocked(cur) {
+			htx.Abort(memsim.AbortExplicit)
+			return false, nil, memsim.AbortExplicit
+		}
+		if !htx.Write(va, lockWord) {
+			return t.fastAbort()
+		}
+		t.stats.MetadataWrites++
+	}
+
+	if t.injectAbort() {
+		htx.Abort(memsim.AbortInjected)
+		return t.fastAbort()
+	}
+	if !htx.Commit() {
+		return false, nil, htx.AbortReason()
+	}
+
+	// The write set is now published and locked. Install the next global
+	// version to release the locks (Alg. 4 lines 48-55).
+	next := sys.PackVersion(t.sys.Clock.Next())
+	for _, s := range wStripes {
+		t.sys.Mem.Store(t.sys.Versions.Addr(s), next)
+		t.stats.MetadataWrites++
+	}
+	t.stats.FastCommits++
+	return true, nil, memsim.AbortNone
+}
+
+// distinctFastWriteStripes returns the deduplicated stripe indices of the
+// fast-path write log, reusing the thread's scratch map.
+func (t *Thread) distinctFastWriteStripes() []int {
+	clear(t.stripes)
+	out := make([]int, 0, len(t.fastWrSet))
+	for _, a := range t.fastWrSet {
+		s := t.sys.StripeOf(a)
+		if _, dup := t.stripes[s]; dup {
+			continue
+		}
+		t.stripes[s] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}
+
+// --- RH2 slow-path commit (Alg. 5 lines 25-47, Alg. 7) ---
+
+// lockedStripe remembers a locked stripe version word and its previous
+// contents for exact restoration on failure.
+type lockedStripe struct {
+	va  memsim.Addr
+	old uint64
+}
+
+// rh2SlowCommit commits the current software read/write sets under the RH2
+// protocol: lock the write set, make the read set visible, revalidate, and
+// write back — in a short hardware transaction if possible, in software
+// (raising is_all_software_slow_path) if not. Returns false if the
+// transaction must restart; the write sets are then untouched in memory and
+// all locks and visibility bits have been rolled back.
+func (t *Thread) rh2SlowCommit() bool {
+	mem := t.sys.Mem
+	lockWord := sys.LockWord(t.id)
+
+	// Phase 1: lock the write set (Alg. 7 LOCK_WRITE_SET).
+	locked := make([]lockedStripe, 0, len(t.writeSet))
+	clear(t.stripes)
+	for _, w := range t.writeSet {
+		s := t.sys.StripeOf(w.addr)
+		if _, dup := t.stripes[s]; dup {
+			continue
+		}
+		t.stripes[s] = struct{}{}
+		va := t.sys.Versions.Addr(s)
+		cur := mem.Load(va)
+		t.stats.MetadataReads++
+		if cur == lockWord {
+			continue
+		}
+		if sys.IsLocked(cur) || !mem.CAS(va, cur, lockWord) {
+			t.restoreLocks(locked)
+			return false
+		}
+		t.stats.MetadataWrites++
+		locked = append(locked, lockedStripe{va: va, old: cur})
+	}
+
+	// Phase 2: make the read set visible (Alg. 7 MAKE_VISIBLE_READ_SET).
+	// The fetch-and-add on each mask word also aborts, through coherence,
+	// every hardware transaction whose commit already read that mask. With
+	// more than 64 configured threads, the thread's bit lives in mask word
+	// id/64 of the stripe ("more threads require more read masks per
+	// stripe", §4.1).
+	bit := uint64(1) << uint(t.id%64)
+	visible := make([]memsim.Addr, 0, len(t.readSet))
+	clear(t.stripes)
+	for _, a := range t.readSet {
+		s := t.sys.StripeOf(a)
+		if _, dup := t.stripes[s]; dup {
+			continue
+		}
+		t.stripes[s] = struct{}{}
+		ma, _ := t.sys.MaskWordFor(s, t.id)
+		mem.FetchAdd(ma, bit)
+		t.stats.MetadataWrites++
+		visible = append(visible, ma)
+	}
+
+	// Phase 3: revalidate the read set (Alg. 7 REVALIDATE_READ_SET).
+	for _, a := range t.readSet {
+		w := mem.Load(t.sys.VersionAddr(a))
+		t.stats.MetadataReads++
+		if w == lockWord {
+			continue // locked by this transaction: also in our write set
+		}
+		if sys.IsLocked(w) || sys.UnpackVersion(w) > t.txVersion {
+			t.resetVisibility(visible, bit)
+			t.restoreLocks(locked)
+			return false
+		}
+	}
+
+	// Phase 4: write back atomically (Alg. 5 lines 32-43). Prefer a short
+	// write-only hardware transaction; if it cannot commit, raise
+	// is_all_software_slow_path (which aborts and re-routes every hardware
+	// fast path) and write back with plain stores.
+	t.rh2WriteBack()
+
+	// Phase 5: release locks to the next version, drop visibility
+	// (Alg. 5 lines 44-46).
+	next := sys.PackVersion(t.sys.Clock.Next())
+	for _, l := range locked {
+		mem.Store(l.va, next)
+		t.stats.MetadataWrites++
+	}
+	t.resetVisibility(visible, bit)
+	return true
+}
+
+// rh2WriteBack publishes the write set: hardware if possible, software
+// otherwise. It cannot fail — the transaction is already committed
+// logically (validation passed under locks and visibility).
+func (t *Thread) rh2WriteBack() {
+	htx := t.htx
+	mem := t.sys.Mem
+	for retries := 0; ; retries++ {
+		htx.Begin()
+		ok := true
+		for _, w := range t.writeSet {
+			if !htx.Write(w.addr, w.val) {
+				ok = false
+				break
+			}
+		}
+		if ok && htx.Commit() {
+			return
+		}
+		htx.Fini()
+		reason := htx.AbortReason()
+		if !reason.Persistent() && retries < t.eng.opts.CommitHTMRetries {
+			t.stats.CommitHTMRetries++
+			continue
+		}
+		// All-software write-back: the fetch-and-add both announces the
+		// switch and aborts every hardware transaction speculating on the
+		// counter word (Alg. 5 lines 39-41).
+		t.stats.AllSoftwareWritebacks++
+		mem.FetchAdd(t.sys.AllSoftwareAddr, 1)
+		for _, w := range t.writeSet {
+			mem.Store(w.addr, w.val)
+		}
+		mem.AddInt(t.sys.AllSoftwareAddr, -1)
+		return
+	}
+}
+
+// restoreLocks rolls back write-set locks to their exact previous contents.
+func (t *Thread) restoreLocks(locked []lockedStripe) {
+	for _, l := range locked {
+		t.sys.Mem.Store(l.va, l.old)
+	}
+}
+
+// resetVisibility clears this thread's bit on the given mask words
+// (Alg. 7 RESET_VISIBLE_READ_SET).
+func (t *Thread) resetVisibility(visible []memsim.Addr, bit uint64) {
+	for _, ma := range visible {
+		t.sys.Mem.FetchAdd(ma, ^(bit - 1)) // two's-complement subtraction of bit
+	}
+}

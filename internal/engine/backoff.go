@@ -1,0 +1,27 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// Backoff applies bounded randomized exponential backoff after the attempt-th
+// consecutive abort of a transaction. The first few retries only yield the
+// processor (cheap, keeps the pipeline hot); later retries sleep for a
+// randomized, exponentially growing interval to break conflict convoys. This
+// is the simple contention management the paper assumes ("some kind of
+// contention management mechanism can be applied", §2.3).
+func Backoff(rng *rand.Rand, attempt int) {
+	if attempt < 3 {
+		runtime.Gosched()
+		return
+	}
+	shift := attempt - 2
+	if shift > 10 {
+		shift = 10
+	}
+	max := 1 << shift // microseconds
+	d := time.Duration(1+rng.Intn(max)) * time.Microsecond
+	time.Sleep(d)
+}

@@ -1,0 +1,351 @@
+// Package enginetest is a conformance suite run against every
+// transactional-memory engine in the repository. The properties checked here
+// are the ones the paper's correctness arguments rest on: atomicity,
+// isolation, snapshot consistency (opacity), serializability of write skew,
+// and clean error semantics. Engine-specific behaviour (fallback paths,
+// instrumentation counts) is tested in each engine's own package.
+package enginetest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"rhtm/internal/engine"
+	"rhtm/internal/memsim"
+	"rhtm/internal/sys"
+)
+
+// Factory builds a fresh engine and the system it runs on for one test.
+type Factory func(t *testing.T, cfg sys.Config) (engine.Engine, *sys.System)
+
+// Capabilities declares optional engine behaviours the suite conditions on.
+type Capabilities struct {
+	// Unsupported is true if the engine can commit transactions whose body
+	// calls Tx.Unsupported (i.e. it has a software path). Pure-hardware
+	// engines cannot.
+	Unsupported bool
+}
+
+// Run executes the full conformance battery.
+func Run(t *testing.T, name string, factory Factory, caps Capabilities) {
+	t.Run(name+"/Counter", func(t *testing.T) { testCounter(t, factory) })
+	t.Run(name+"/ReadYourWrites", func(t *testing.T) { testReadYourWrites(t, factory) })
+	t.Run(name+"/UserErrorAborts", func(t *testing.T) { testUserErrorAborts(t, factory) })
+	t.Run(name+"/SnapshotConsistency", func(t *testing.T) { testSnapshotConsistency(t, factory) })
+	t.Run(name+"/BankTransfer", func(t *testing.T) { testBankTransfer(t, factory) })
+	t.Run(name+"/WriteSkew", func(t *testing.T) { testWriteSkew(t, factory) })
+	t.Run(name+"/MultiWordAtomicity", func(t *testing.T) { testMultiWordAtomicity(t, factory) })
+	t.Run(name+"/Linearizability", func(t *testing.T) { testLinearizability(t, factory) })
+	t.Run(name+"/SequentialOracle", func(t *testing.T) { testSequentialOracle(t, factory) })
+	if caps.Unsupported {
+		t.Run(name+"/Unsupported", func(t *testing.T) { testUnsupported(t, factory) })
+	}
+}
+
+func smallSys(t *testing.T, factory Factory) (engine.Engine, *sys.System) {
+	t.Helper()
+	return factory(t, sys.DefaultConfig(1<<12))
+}
+
+// testCounter: concurrent read-modify-write increments must all be applied
+// exactly once.
+func testCounter(t *testing.T, factory Factory) {
+	eng, s := smallSys(t, factory)
+	ctr := s.Heap.MustAlloc(1)
+	const workers, incs = 6, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := eng.NewThread()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				err := th.Atomic(func(tx engine.Tx) error {
+					tx.Store(ctr, tx.Load(ctr)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Mem.Load(ctr); got != workers*incs {
+		t.Fatalf("counter = %d, want %d", got, workers*incs)
+	}
+}
+
+// testReadYourWrites: a transaction observes its own buffered writes.
+func testReadYourWrites(t *testing.T, factory Factory) {
+	eng, s := smallSys(t, factory)
+	a := s.Heap.MustAlloc(1)
+	s.Mem.Poke(a, 5)
+	th := eng.NewThread()
+	err := th.Atomic(func(tx engine.Tx) error {
+		if v := tx.Load(a); v != 5 {
+			return fmt.Errorf("initial load = %d, want 5", v)
+		}
+		tx.Store(a, 6)
+		if v := tx.Load(a); v != 6 {
+			return fmt.Errorf("load after store = %d, want 6", v)
+		}
+		tx.Store(a, 7)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mem.Load(a); got != 7 {
+		t.Fatalf("final value = %d, want 7", got)
+	}
+}
+
+// testUserErrorAborts: a body error must surface unchanged and leave memory
+// untouched.
+func testUserErrorAborts(t *testing.T, factory Factory) {
+	eng, s := smallSys(t, factory)
+	a := s.Heap.MustAlloc(1)
+	th := eng.NewThread()
+	sentinel := errors.New("user abort")
+	err := th.Atomic(func(tx engine.Tx) error {
+		tx.Store(a, 99)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if got := s.Mem.Load(a); got != 0 {
+		t.Fatalf("aborted store reached memory: %d", got)
+	}
+}
+
+// testSnapshotConsistency: writers keep two distant words equal; reader
+// transactions must never commit having seen unequal values. This is the
+// paper's "consistent snapshot" invariant (§2).
+func testSnapshotConsistency(t *testing.T, factory Factory) {
+	eng, s := smallSys(t, factory)
+	a := s.Heap.MustAlloc(1)
+	// Force b far away so a and b live in different stripes and lines.
+	s.Heap.MustAlloc(256)
+	b := s.Heap.MustAlloc(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var violations sync.Map
+	for r := 0; r < 3; r++ {
+		th := eng.NewThread()
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var va, vb uint64
+				if err := th.Atomic(func(tx engine.Tx) error {
+					va = tx.Load(a)
+					vb = tx.Load(b)
+					return nil
+				}); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if va != vb {
+					violations.Store(fmt.Sprintf("%d!=%d", va, vb), true)
+				}
+				runtime.Gosched()
+			}
+		}(r)
+	}
+	wth := eng.NewThread()
+	for i := uint64(1); i <= 80; i++ {
+		if err := wth.Atomic(func(tx engine.Tx) error {
+			tx.Store(a, i)
+			tx.Store(b, i)
+			return nil
+		}); err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	violations.Range(func(k, _ any) bool {
+		t.Errorf("torn snapshot observed: %v", k)
+		return true
+	})
+}
+
+// testBankTransfer: random transfers among accounts must conserve the total.
+func testBankTransfer(t *testing.T, factory Factory) {
+	eng, s := smallSys(t, factory)
+	const accounts = 32
+	const initial = 1000
+	base := s.Heap.MustAlloc(accounts)
+	for i := 0; i < accounts; i++ {
+		s.Mem.Poke(base+memsim.Addr(i), initial)
+	}
+	const workers, transfers = 4, 120
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := eng.NewThread()
+		seed := uint64(w + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rnd := seed
+			next := func(n uint64) uint64 {
+				rnd = rnd*6364136223846793005 + 1442695040888963407
+				return (rnd >> 33) % n
+			}
+			for i := 0; i < transfers; i++ {
+				from := base + memsim.Addr(next(accounts))
+				to := base + memsim.Addr(next(accounts))
+				amt := next(10)
+				if err := th.Atomic(func(tx engine.Tx) error {
+					f := tx.Load(from)
+					if f < amt {
+						return nil // insufficient funds: plain commit, no-op
+					}
+					tx.Store(from, f-amt)
+					tx.Store(to, tx.Load(to)+amt)
+					return nil
+				}); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		total += s.Mem.Load(base + memsim.Addr(i))
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d (money not conserved)", total, accounts*initial)
+	}
+}
+
+// testWriteSkew: two transactions each read {x,y} and write one of them;
+// under serializability the constraint x+y <= 1 (starting from 0,0, each
+// writer sets its cell to 1 only if x+y == 0) can be violated at most by one
+// cell — i.e. x+y must end ≤ 1. Snapshot-isolation-only systems fail this.
+func testWriteSkew(t *testing.T, factory Factory) {
+	for round := 0; round < 20; round++ {
+		eng, s := smallSys(t, factory)
+		x := s.Heap.MustAlloc(1)
+		s.Heap.MustAlloc(64)
+		y := s.Heap.MustAlloc(1)
+		var wg sync.WaitGroup
+		run := func(write memsim.Addr) {
+			defer wg.Done()
+			th := eng.NewThread()
+			if err := th.Atomic(func(tx engine.Tx) error {
+				if tx.Load(x)+tx.Load(y) == 0 {
+					tx.Store(write, 1)
+				}
+				return nil
+			}); err != nil {
+				t.Errorf("writer: %v", err)
+			}
+		}
+		wg.Add(2)
+		go run(x)
+		go run(y)
+		wg.Wait()
+		if got := s.Mem.Load(x) + s.Mem.Load(y); got > 1 {
+			t.Fatalf("round %d: write skew admitted: x+y = %d", round, got)
+		}
+	}
+}
+
+// testMultiWordAtomicity: transactions write k words spread across stripes;
+// readers must observe every group entirely old or entirely new.
+func testMultiWordAtomicity(t *testing.T, factory Factory) {
+	eng, s := smallSys(t, factory)
+	const k = 8
+	addrs := make([]memsim.Addr, k)
+	for i := range addrs {
+		addrs[i] = s.Heap.MustAlloc(1)
+		s.Heap.MustAlloc(32) // spacing across stripes
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	bad := make(chan string, 1)
+	for r := 0; r < 2; r++ {
+		th := eng.NewThread()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals := make([]uint64, k)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := th.Atomic(func(tx engine.Tx) error {
+					for i, a := range addrs {
+						vals[i] = tx.Load(a)
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				for i := 1; i < k; i++ {
+					if vals[i] != vals[0] {
+						select {
+						case bad <- fmt.Sprintf("mixed generation: %v", vals):
+						default:
+						}
+					}
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	wth := eng.NewThread()
+	for gen := uint64(1); gen <= 60; gen++ {
+		if err := wth.Atomic(func(tx engine.Tx) error {
+			for _, a := range addrs {
+				tx.Store(a, gen)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-bad:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// testUnsupported: a body using Tx.Unsupported must still commit (through a
+// software path) with its effects intact.
+func testUnsupported(t *testing.T, factory Factory) {
+	eng, s := smallSys(t, factory)
+	a := s.Heap.MustAlloc(1)
+	th := eng.NewThread()
+	err := th.Atomic(func(tx engine.Tx) error {
+		tx.Unsupported()
+		tx.Store(a, tx.Load(a)+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mem.Load(a); got != 1 {
+		t.Fatalf("value = %d, want 1", got)
+	}
+}

@@ -1,0 +1,68 @@
+package enginetest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rhtm/internal/engine"
+	"rhtm/internal/linearize"
+)
+
+// testLinearizability drives concurrent single-register transactions and
+// verifies the resulting history with the Wing & Gong checker: every
+// committed transaction must appear to take effect atomically between its
+// invocation and response.
+func testLinearizability(t *testing.T, factory Factory) {
+	eng, s := smallSys(t, factory)
+	reg := s.Heap.MustAlloc(1)
+
+	const workers = 4
+	const opsPerWorker = 12 // 48 total ops ≤ the checker's 64-op limit
+	var clk atomic.Int64
+	var mu sync.Mutex
+	var history []linearize.Op
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := eng.NewThread()
+		id := uint64(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				isWrite := (uint64(i)+id)%2 == 0
+				writeVal := (id+1)*1000 + uint64(i) // globally unique
+				var readVal uint64
+				start := clk.Add(1)
+				err := th.Atomic(func(tx engine.Tx) error {
+					if isWrite {
+						tx.Store(reg, writeVal)
+					} else {
+						readVal = tx.Load(reg)
+					}
+					return nil
+				})
+				end := clk.Add(1)
+				if err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+				op := linearize.Op{Start: start, End: end, IsWrite: isWrite, Val: writeVal}
+				if !isWrite {
+					op.Val = readVal
+				}
+				mu.Lock()
+				history = append(history, op)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	ok, err := linearize.CheckRegister(history, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("history not linearizable:\n%v", history)
+	}
+}

@@ -1,0 +1,121 @@
+package enginetest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rhtm/internal/engine"
+	"rhtm/internal/memsim"
+)
+
+// testSequentialOracle is a property test: random single-threaded
+// transaction scripts executed through the engine must behave exactly like
+// the same script interpreted over a plain array. Each script is a sequence
+// of transactions; each transaction is a sequence of read/write steps; a
+// transaction may end in a user error, in which case none of its writes may
+// survive. Script generation is driven by testing/quick.
+func testSequentialOracle(t *testing.T, factory Factory) {
+	f := func(seed int64) bool {
+		return runOracleScript(t, factory, seed)
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runOracleScript executes one random script and compares against the
+// oracle. Returns false (failing the property) on divergence.
+func runOracleScript(t *testing.T, factory Factory, seed int64) bool {
+	t.Helper()
+	eng, s := smallSys(t, factory)
+	const cells = 24
+	base := s.Heap.MustAlloc(cells)
+	oracle := make([]uint64, cells)
+	rng := rand.New(rand.NewSource(seed))
+	th := eng.NewThread()
+
+	for txn := 0; txn < 25; txn++ {
+		steps := rng.Intn(8) + 1
+		fail := rng.Intn(4) == 0 // a quarter of transactions user-abort
+		type step struct {
+			write bool
+			cell  int
+			val   uint64
+		}
+		script := make([]step, steps)
+		for i := range script {
+			script[i] = step{
+				write: rng.Intn(2) == 0,
+				cell:  rng.Intn(cells),
+				val:   rng.Uint64() % 1000,
+			}
+		}
+		// Execute through the engine, recording reads.
+		var got []uint64
+		err := th.Atomic(func(tx engine.Tx) error {
+			got = got[:0]
+			for _, st := range script {
+				a := base + memsim.Addr(st.cell)
+				if st.write {
+					tx.Store(a, st.val)
+				} else {
+					got = append(got, tx.Load(a))
+				}
+			}
+			if fail {
+				return errOracleAbort
+			}
+			return nil
+		})
+		// Interpret over the oracle.
+		shadow := append([]uint64(nil), oracle...)
+		var want []uint64
+		for _, st := range script {
+			if st.write {
+				shadow[st.cell] = st.val
+			} else {
+				want = append(want, shadow[st.cell])
+			}
+		}
+		if fail {
+			if err != errOracleAbort {
+				t.Errorf("seed %d txn %d: err = %v, want oracle abort", seed, txn, err)
+				return false
+			}
+			// Writes discarded; oracle unchanged.
+		} else {
+			if err != nil {
+				t.Errorf("seed %d txn %d: err = %v", seed, txn, err)
+				return false
+			}
+			copy(oracle, shadow)
+		}
+		if len(got) != len(want) {
+			t.Errorf("seed %d txn %d: %d reads, want %d", seed, txn, len(got), len(want))
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("seed %d txn %d read %d: got %d, want %d", seed, txn, i, got[i], want[i])
+				return false
+			}
+		}
+	}
+	// Final memory must match the oracle exactly.
+	for i := 0; i < cells; i++ {
+		if got := s.Mem.Load(base + memsim.Addr(i)); got != oracle[i] {
+			t.Errorf("seed %d: cell %d = %d, want %d", seed, i, got, oracle[i])
+			return false
+		}
+	}
+	return true
+}
+
+// errOracleAbort is the sentinel user error used by the oracle scripts.
+var errOracleAbort = errSentinel("oracle abort")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }

@@ -1,0 +1,71 @@
+// Package harness drives the experiments of the paper's evaluation section:
+// it builds simulated systems, populates workloads, runs engine/thread
+// sweeps, and reports throughput, abort ratios, instrumentation counts, and
+// the single-thread time breakdown of Figure 2's tables.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"rhtm"
+)
+
+// Engine names accepted by Build. They match the series labels in the
+// paper's figures.
+const (
+	EngHTM     = "HTM"
+	EngStdHy   = "Standard HyTM"
+	EngTL2     = "TL2"
+	EngRH1Fast = "RH1 Fast"
+	EngRH1Mix0 = "RH1 Mixed 0"
+	EngRH1Mix1 = "RH1 Mixed 10"
+	EngRH1Mix2 = "RH1 Mixed 100"
+	EngRH1Slow = "RH1 Slow"
+	EngRH2     = "RH2"
+	EngNoRec   = "Hybrid NoRec"
+	EngPhased  = "Phased TM"
+)
+
+// AllEngines lists every registered engine name.
+func AllEngines() []string {
+	out := []string{
+		EngHTM, EngStdHy, EngTL2, EngRH1Fast,
+		EngRH1Mix0, EngRH1Mix1, EngRH1Mix2, EngRH1Slow,
+		EngRH2, EngNoRec, EngPhased,
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the named engine on s. injectPct forces that percentage
+// of hardware commits to abort (the paper's emulated abort ratio); it is
+// ignored by the software-only TL2.
+func Build(s *rhtm.System, name string, injectPct int) (rhtm.Engine, error) {
+	switch name {
+	case EngHTM:
+		return rhtm.NewHTM(s, rhtm.HWOptions{InjectAbortPercent: injectPct}), nil
+	case EngStdHy:
+		return rhtm.NewStandardHyTM(s, rhtm.HWOptions{InjectAbortPercent: injectPct}), nil
+	case EngTL2:
+		return rhtm.NewTL2(s), nil
+	case EngRH1Fast:
+		return rhtm.NewRH1(s, rhtm.RH1Options{FastOnly: true, InjectAbortPercent: injectPct}), nil
+	case EngRH1Mix0:
+		return rhtm.NewRH1(s, rhtm.RH1Options{MixPercent: 0, InjectAbortPercent: injectPct}), nil
+	case EngRH1Mix1:
+		return rhtm.NewRH1(s, rhtm.RH1Options{MixPercent: 10, InjectAbortPercent: injectPct}), nil
+	case EngRH1Mix2:
+		return rhtm.NewRH1(s, rhtm.RH1Options{MixPercent: 100, InjectAbortPercent: injectPct}), nil
+	case EngRH1Slow:
+		return rhtm.NewRH1(s, rhtm.RH1Options{SlowOnly: true, MixPercent: 100}), nil
+	case EngRH2:
+		return rhtm.NewRH2(s, rhtm.RH1Options{MixPercent: 100, InjectAbortPercent: injectPct}), nil
+	case EngNoRec:
+		return rhtm.NewHybridNoRec(s, rhtm.HWOptions{InjectAbortPercent: injectPct}), nil
+	case EngPhased:
+		return rhtm.NewPhasedTM(s, rhtm.HWOptions{InjectAbortPercent: injectPct}), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown engine %q", name)
+	}
+}

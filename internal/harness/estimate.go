@@ -1,0 +1,27 @@
+package harness
+
+import "math"
+
+// EstimateAbortPct reproduces the paper's §3.1 emulation methodology: "We
+// estimate the expected abort ratio for a given execution by first executing
+// with the usual TL2 STM implementation. Then, we force the same abort ratio
+// for the hybrid execution by aborting HTM transactions when they arrive at
+// the commit."
+//
+// It runs the workload under TL2 with the given configuration and returns
+// the observed abort percentage (aborted attempts per total attempts,
+// rounded), suitable for RunConfig.InjectPct on the hardware engines.
+func EstimateAbortPct(w Workload, cfg RunConfig) (int, error) {
+	cfg.InjectPct = 0
+	cfg.Breakdown = false
+	r, err := Run(w, EngTL2, cfg)
+	if err != nil {
+		return 0, err
+	}
+	commits := float64(r.Stats.Commits())
+	aborts := float64(r.Stats.Aborts())
+	if commits+aborts == 0 {
+		return 0, nil
+	}
+	return int(math.Round(100 * aborts / (commits + aborts))), nil
+}

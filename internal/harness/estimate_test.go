@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"testing"
+
+	"rhtm/internal/memsim"
+)
+
+func TestEstimateAbortPctBounds(t *testing.T) {
+	w := SortedListWorkload(64, 50) // contended: every scan shares the prefix
+	pct, err := EstimateAbortPct(w, RunConfig{Threads: 4, OpsPerThread: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct < 0 || pct > 100 {
+		t.Fatalf("estimate = %d, want a percentage", pct)
+	}
+}
+
+func TestEstimateFeedsInjection(t *testing.T) {
+	// The round trip of the paper's methodology: estimate under TL2, inject
+	// into a hardware engine, observe injected aborts.
+	w := RBTreeWorkload(256, 20)
+	pct, err := EstimateAbortPct(w, RunConfig{Threads: 2, OpsPerThread: 50, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct == 0 {
+		pct = 10 // uncontended estimate; still exercise the injection path
+	}
+	r, err := Run(w, EngHTM, RunConfig{Threads: 2, OpsPerThread: 50, Seed: 6, InjectPct: pct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.FastAbortsByReason[memsim.AbortInjected] == 0 {
+		t.Fatalf("no injected aborts at %d%%: %v", pct, r.Stats)
+	}
+}

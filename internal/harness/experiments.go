@@ -1,0 +1,253 @@
+package harness
+
+import (
+	"time"
+
+	"rhtm"
+)
+
+// Scale holds the workload sizes of the paper's evaluation. DefaultScale is
+// the paper's configuration; Scaled shrinks everything for quick runs and
+// unit tests.
+type Scale struct {
+	// RBNodes is the red-black tree size (paper: 100K, §3.1).
+	RBNodes int
+	// HashElems is the hash-table population (the Figure 3 graph says 10K
+	// elements; the §3.3 text says 1000K — the graph is authoritative here
+	// and the -elems flag overrides).
+	HashElems int
+	// ListElems is the sorted-list size (paper: 1K, §3.4).
+	ListElems int
+	// ArrayWords is the random-array size (paper: 128K, §3.5).
+	ArrayWords int
+	// Threads is the thread sweep (paper: 1..20 on a 20-way Xeon).
+	Threads []int
+	// Duration is the per-point measuring time for time-based runs.
+	Duration time.Duration
+	// OpsPerThread, when Duration is zero, makes runs deterministic.
+	OpsPerThread int
+	// Seed derives every RNG.
+	Seed int64
+}
+
+// DefaultScale reproduces the paper's sizes.
+func DefaultScale() Scale {
+	return Scale{
+		RBNodes:    100_000,
+		HashElems:  10_000,
+		ListElems:  1_000,
+		ArrayWords: 128 * 1024,
+		Threads:    []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20},
+		Duration:   time.Second,
+		Seed:       1,
+	}
+}
+
+// SmallScale is a fast configuration for tests and smoke runs.
+func SmallScale() Scale {
+	return Scale{
+		RBNodes:      512,
+		HashElems:    256,
+		ListElems:    64,
+		ArrayWords:   4096,
+		Threads:      []int{1, 2},
+		OpsPerThread: 60,
+		Seed:         1,
+	}
+}
+
+// cfg builds the RunConfig for one point.
+func (sc Scale) cfg(threads int) RunConfig {
+	return RunConfig{
+		Threads:      threads,
+		Duration:     sc.Duration,
+		OpsPerThread: sc.OpsPerThread,
+		Seed:         sc.Seed,
+	}
+}
+
+// sweep measures every engine at every thread count for one workload.
+func sweep(w Workload, engines []string, sc Scale) []Result {
+	out := make([]Result, 0, len(engines)*len(sc.Threads))
+	for _, eng := range engines {
+		for _, th := range sc.Threads {
+			out = append(out, MustRun(w, eng, sc.cfg(th)))
+		}
+	}
+	return out
+}
+
+// Fig1 reproduces Figure 1: Constant RB-Tree throughput at 20% writes for
+// HTM, Standard HyTM, TL2 and RH1 Fast (hardware retries only — the figure
+// isolates instrumentation cost, §3.2).
+func Fig1(sc Scale) []Result {
+	w := RBTreeWorkload(sc.RBNodes, 20)
+	return sweep(w, []string{EngHTM, EngStdHy, EngTL2, EngRH1Fast}, sc)
+}
+
+// fig2Engines is the series set of Figure 2's throughput graphs.
+var fig2Engines = []string{EngHTM, EngStdHy, EngTL2, EngRH1Fast, EngRH1Mix1, EngRH1Mix2}
+
+// Fig2a reproduces Figure 2 top-left: RB-Tree, 20% writes, including the
+// RH1 Mixed 10/100 configurations.
+func Fig2a(sc Scale) []Result {
+	return sweep(RBTreeWorkload(sc.RBNodes, 20), fig2Engines, sc)
+}
+
+// Fig2b reproduces Figure 2 top-right: RB-Tree, 80% writes.
+func Fig2b(sc Scale) []Result {
+	return sweep(RBTreeWorkload(sc.RBNodes, 80), fig2Engines, sc)
+}
+
+// fig2SingleEngines is the row set of the single-thread speedup chart and
+// the breakdown tables ("RH1 Slow" is the pure slow-path configuration).
+var fig2SingleEngines = []string{EngRH1Slow, EngTL2, EngStdHy, EngRH1Fast, EngHTM}
+
+// Fig2c reproduces Figure 2 middle: single-thread speedup, normalized to
+// TL2, at the given write percentage (the paper shows 20% and 80%).
+func Fig2c(sc Scale, writePct int) []Result {
+	w := RBTreeWorkload(sc.RBNodes, writePct)
+	c := sc.cfg(1)
+	out := make([]Result, 0, len(fig2SingleEngines))
+	for _, eng := range fig2SingleEngines {
+		out = append(out, MustRun(w, eng, c))
+	}
+	return out
+}
+
+// Tables reproduces the embedded single-thread breakdown tables of Figure 2
+// (the `20_100_R` and `80_100_R` blocks): per-engine read/write/commit/
+// private/inter-transaction time shares plus operation counters, at the
+// given write percentage (20 for tab1, 80 for tab2).
+func Tables(sc Scale, writePct int) []Result {
+	w := RBTreeWorkload(sc.RBNodes, writePct)
+	c := sc.cfg(1)
+	c.Breakdown = true
+	out := make([]Result, 0, len(fig2SingleEngines))
+	for _, eng := range fig2SingleEngines {
+		out = append(out, MustRun(w, eng, c))
+	}
+	return out
+}
+
+// Fig3a reproduces Figure 3 left: Constant Hash Table, 20% writes.
+func Fig3a(sc Scale) []Result {
+	w := HashTableWorkload(sc.HashElems, 20)
+	return sweep(w, []string{EngHTM, EngStdHy, EngTL2, EngRH1Mix2}, sc)
+}
+
+// Fig3b reproduces Figure 3 middle: Constant Sorted List, 5% writes.
+func Fig3b(sc Scale) []Result {
+	w := SortedListWorkload(sc.ListElems, 5)
+	return sweep(w, fig2Engines, sc)
+}
+
+// Fig3cPoint is one cell of Figure 3 right: the speedup of RH1 Fast over
+// Standard HyTM for a given transaction length and write percentage.
+// Speedup is computed on the architectural metric (ops per shared access);
+// WallSpeedup on host wall clock.
+type Fig3cPoint struct {
+	TxLen       int
+	WritePct    int
+	RH1         Result
+	StdHyTM     Result
+	Speedup     float64
+	WallSpeedup float64
+}
+
+// Fig3c reproduces Figure 3 right: the Random Array speedup matrix over
+// transaction lengths {400,200,100,40} and write ratios {0,20,50,90} at the
+// maximum thread count.
+func Fig3c(sc Scale) []Fig3cPoint {
+	lengths := []int{400, 200, 100, 40}
+	writes := []int{0, 20, 50, 90}
+	threads := sc.Threads[len(sc.Threads)-1]
+	out := make([]Fig3cPoint, 0, len(lengths)*len(writes))
+	for _, l := range lengths {
+		for _, wp := range writes {
+			w := RandomArrayWorkload(sc.ArrayWords, l, wp)
+			rh1 := MustRun(w, EngRH1Fast, sc.cfg(threads))
+			std := MustRun(w, EngStdHy, sc.cfg(threads))
+			p := Fig3cPoint{TxLen: l, WritePct: wp, RH1: rh1, StdHyTM: std}
+			if std.OpsPerKAccess > 0 {
+				p.Speedup = rh1.OpsPerKAccess / std.OpsPerKAccess
+			}
+			if std.Throughput > 0 {
+				p.WallSpeedup = rh1.Throughput / std.Throughput
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ExtClock is the GV6-vs-GV5 ablation (DESIGN.md ext1): RH1 Mixed 100 on
+// the RB-Tree at 20% writes under both clock disciplines.
+func ExtClock(sc Scale) []Result {
+	w := RBTreeWorkload(sc.RBNodes, 20)
+	out := make([]Result, 0, 2*len(sc.Threads))
+	for _, gv5 := range []bool{false, true} {
+		for _, th := range sc.Threads {
+			c := sc.cfg(th)
+			c.GV5 = gv5
+			r := MustRun(w, EngRH1Mix2, c)
+			if gv5 {
+				r.Engine += " (GV5)"
+			} else {
+				r.Engine += " (GV6)"
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ExtCapacityPoint is one row of the capacity-extension experiment.
+type ExtCapacityPoint struct {
+	TxLen        int
+	Result       Result
+	FastShare    float64 // fraction of commits on the pure hardware path
+	SlowShare    float64 // fraction on the mixed slow path
+	RH2Fallbacks uint64
+}
+
+// ExtCapacity quantifies the paper's §1.2 claim that the mixed slow path
+// extends the feasible transaction length well beyond the hardware limit
+// (for the red-black tree the paper estimates 4x; with one stripe version
+// covering 8 data words the metadata footprint here is ~8x smaller). The
+// hardware footprint is capped at limitLines; transactions of growing
+// length first saturate the fast path, then run mostly on the slow path,
+// and only fall back to RH2 when even the commit transaction's metadata
+// footprint overflows.
+func ExtCapacity(sc Scale, limitLines int) []ExtCapacityPoint {
+	lengths := []int{16, 32, 64, 128, 256, 512}
+	htm := CapacityHTMConfig(limitLines)
+	var out []ExtCapacityPoint
+	for _, l := range lengths {
+		w := RandomArrayWorkload(sc.ArrayWords, l, 10)
+		c := sc.cfg(1)
+		c.HTMOverride = &htm
+		r := MustRun(w, EngRH1Mix2, c)
+		commits := float64(r.Stats.Commits())
+		p := ExtCapacityPoint{TxLen: l, Result: r, RH2Fallbacks: r.Stats.RH2Fallbacks}
+		if commits > 0 {
+			p.FastShare = float64(r.Stats.FastCommits) / commits
+			p.SlowShare = float64(r.Stats.SlowCommits+r.Stats.ReadOnlyCommits) / commits
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// CapacityHTMConfig returns an HTM configuration capped at limit lines for
+// both the total footprint and the write set (capacity experiments).
+func CapacityHTMConfig(limit int) rhtm.HTMConfig {
+	return rhtm.HTMConfig{MaxFootprintLines: limit, MaxWriteLines: limit}
+}
+
+// ExtHybrids compares the full RH1 stack against the other hybrid designs
+// discussed in the paper's introduction (DESIGN.md ext3).
+func ExtHybrids(sc Scale) []Result {
+	w := RBTreeWorkload(sc.RBNodes, 20)
+	return sweep(w, []string{EngRH1Mix2, EngStdHy, EngNoRec, EngPhased}, sc)
+}

@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhtm"
+)
+
+// RunConfig parameterizes one measurement point.
+type RunConfig struct {
+	// Threads is the number of worker goroutines.
+	Threads int
+	// Duration, when positive, runs time-based; otherwise each thread
+	// executes OpsPerThread operations (deterministic, used by tests and
+	// the testing.B benchmarks).
+	Duration time.Duration
+	// OpsPerThread is the per-thread operation count for count-based runs.
+	OpsPerThread int
+	// Seed derives per-thread RNGs; equal seeds give equal op streams.
+	Seed int64
+	// InjectPct forces a hardware-commit abort percentage.
+	InjectPct int
+	// Breakdown enables the per-phase timing instrumentation of Figure 2's
+	// tables (adds timer overhead to every operation).
+	Breakdown bool
+	// GV5 switches the system's global clock to the GV5 discipline
+	// (increment on every commit) for the clock ablation.
+	GV5 bool
+	// HTMOverride, when non-nil, replaces the simulated HTM capacity limits
+	// (the capacity-extension experiment).
+	HTMOverride *rhtm.HTMConfig
+}
+
+// Breakdown is the paper's single-thread time decomposition: the share of
+// wall-clock time spent in transactional reads, writes, commit, private
+// (in-transaction, non-shared) work, and inter-transaction code.
+type Breakdown struct {
+	ReadPct    float64
+	WritePct   float64
+	CommitPct  float64
+	PrivatePct float64
+	InterTxPct float64
+}
+
+// Result is one measured point.
+type Result struct {
+	Workload   string
+	Engine     string
+	Threads    int
+	Ops        uint64
+	Elapsed    time.Duration
+	Throughput float64 // committed operations per second (host wall clock)
+	Stats      rhtm.Stats
+	Breakdown  *Breakdown
+
+	// Accesses is the total number of simulated shared-memory accesses the
+	// run issued (data + metadata, including work on aborted attempts).
+	Accesses uint64
+	// OpsPerKAccess is the architectural cost metric: committed operations
+	// per thousand simulated shared accesses. Host wall-clock time measures
+	// the *simulator*; this metric measures the *simulated machine* — each
+	// shared access stands for one cache access, so engines that instrument
+	// reads/writes or redo work after aborts score lower. The figure-shape
+	// claims in EXPERIMENTS.md are made against this metric.
+	OpsPerKAccess float64
+}
+
+// String renders a compact summary line.
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s %-14s t=%-2d ops=%-9d %8.0f ops/s %6.2f ops/kacc abort-ratio=%.3f",
+		r.Workload, r.Engine, r.Threads, r.Ops, r.Throughput, r.OpsPerKAccess, r.Stats.AbortRatio())
+}
+
+// Run executes one measurement: build a fresh system, populate the
+// workload, spin up cfg.Threads workers on the named engine, and measure.
+func Run(w Workload, engineName string, cfg RunConfig) (Result, error) {
+	if cfg.Threads <= 0 {
+		return Result{}, fmt.Errorf("harness: Threads must be positive")
+	}
+	if cfg.Duration <= 0 && cfg.OpsPerThread <= 0 {
+		return Result{}, fmt.Errorf("harness: need Duration or OpsPerThread")
+	}
+	scfg := rhtm.DefaultConfig(w.DataWords)
+	if cfg.GV5 {
+		scfg.ClockMode = rhtm.GV5
+	}
+	if cfg.HTMOverride != nil {
+		scfg.HTM = *cfg.HTMOverride
+	}
+	s := rhtm.MustNewSystem(scfg)
+	factory := w.Build(s)
+	eng, err := Build(s, engineName, cfg.InjectPct)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var stop atomic.Bool
+	var totalOps atomic.Uint64
+	accs := make([]*timeAcc, cfg.Threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Threads; i++ {
+		th := eng.NewThread()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		gen := factory(i, rng)
+		acc := &timeAcc{}
+		accs[i] = acc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ops := uint64(0)
+			for n := 0; ; n++ {
+				if cfg.Duration > 0 {
+					if stop.Load() {
+						break
+					}
+				} else if n >= cfg.OpsPerThread {
+					break
+				}
+				op := gen()
+				if cfg.Breakdown {
+					runTimed(th, op, acc)
+				} else if err := th.Atomic(op); err != nil {
+					// Workload bodies never return errors; an error here is
+					// an engine bug surfaced to the caller via panic.
+					panic(fmt.Sprintf("harness: Atomic failed: %v", err))
+				}
+				ops++
+			}
+			totalOps.Add(ops)
+		}()
+	}
+	if cfg.Duration > 0 {
+		time.Sleep(cfg.Duration)
+		stop.Store(true)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Workload: w.Name,
+		Engine:   eng.Name(),
+		Threads:  cfg.Threads,
+		Ops:      totalOps.Load(),
+		Elapsed:  elapsed,
+		Stats:    eng.Snapshot(),
+	}
+	res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	res.Accesses = res.Stats.Reads + res.Stats.Writes +
+		res.Stats.MetadataReads + res.Stats.MetadataWrites
+	if res.Accesses > 0 {
+		res.OpsPerKAccess = 1000 * float64(res.Ops) / float64(res.Accesses)
+	}
+	if cfg.Breakdown {
+		res.Breakdown = mergeBreakdown(accs, elapsed)
+	}
+	return res, nil
+}
+
+// MustRun is Run for the experiment drivers, where a config error is a bug.
+func MustRun(w Workload, engineName string, cfg RunConfig) Result {
+	r, err := Run(w, engineName, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// --- breakdown instrumentation ---
+
+// timeAcc accumulates per-thread phase times (nanoseconds).
+type timeAcc struct {
+	read   int64
+	write  int64
+	body   int64
+	atomic int64
+}
+
+// runTimed executes one operation with phase timing.
+func runTimed(th rhtm.Thread, op Op, acc *timeAcc) {
+	t0 := time.Now()
+	err := th.Atomic(func(tx rhtm.Tx) error {
+		b0 := time.Now()
+		err := op(&timedTx{inner: tx, acc: acc})
+		acc.body += int64(time.Since(b0))
+		return err
+	})
+	acc.atomic += int64(time.Since(t0))
+	if err != nil {
+		panic(fmt.Sprintf("harness: Atomic failed: %v", err))
+	}
+}
+
+// timedTx wraps a Tx with read/write timers.
+type timedTx struct {
+	inner rhtm.Tx
+	acc   *timeAcc
+}
+
+// Load implements rhtm.Tx.
+func (t *timedTx) Load(a rhtm.Addr) uint64 {
+	t0 := time.Now()
+	v := t.inner.Load(a)
+	t.acc.read += int64(time.Since(t0))
+	return v
+}
+
+// Store implements rhtm.Tx.
+func (t *timedTx) Store(a rhtm.Addr, v uint64) {
+	t0 := time.Now()
+	t.inner.Store(a, v)
+	t.acc.write += int64(time.Since(t0))
+}
+
+// Unsupported implements rhtm.Tx.
+func (t *timedTx) Unsupported() { t.inner.Unsupported() }
+
+// mergeBreakdown converts accumulated phase times into the paper's
+// percentage decomposition. Commit time is the part of Atomic not spent in
+// the body; private time is body time not spent in shared reads/writes;
+// inter-transaction time is wall time outside Atomic.
+func mergeBreakdown(accs []*timeAcc, elapsed time.Duration) *Breakdown {
+	var read, write, body, at int64
+	for _, a := range accs {
+		read += a.read
+		write += a.write
+		body += a.body
+		at += a.atomic
+	}
+	wall := int64(elapsed) * int64(len(accs))
+	if wall == 0 {
+		return &Breakdown{}
+	}
+	commit := at - body
+	private := body - read - write
+	inter := wall - at
+	pct := func(v int64) float64 {
+		if v < 0 {
+			v = 0
+		}
+		return 100 * float64(v) / float64(wall)
+	}
+	return &Breakdown{
+		ReadPct:    pct(read),
+		WritePct:   pct(write),
+		CommitPct:  pct(commit),
+		PrivatePct: pct(private),
+		InterTxPct: pct(inter),
+	}
+}

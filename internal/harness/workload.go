@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"math/rand"
+
+	"rhtm"
+	"rhtm/containers"
+)
+
+// Op is one transaction body instance.
+type Op = func(tx rhtm.Tx) error
+
+// OpFactory builds the per-thread operation generator: every call to the
+// returned function yields the next transaction body for that thread.
+type OpFactory func(threadID int, rng *rand.Rand) func() Op
+
+// Workload describes one benchmark scenario: how much simulated memory it
+// needs, how to populate it, and how threads generate operations.
+type Workload struct {
+	// Name identifies the workload in output rows.
+	Name string
+	// DataWords sizes the simulated heap.
+	DataWords int
+	// Build populates the structure on s and returns the operation factory.
+	Build func(s *rhtm.System) OpFactory
+}
+
+// RBTreeWorkload is the paper's Constant Red-Black Tree (§3.1): nodes keys,
+// writePct percent rb-update operations, the rest rb-lookup.
+func RBTreeWorkload(nodes, writePct int) Workload {
+	return Workload{
+		Name:      "rbtree",
+		DataWords: nodes*containers.RBNodeWords*5/4 + 4096,
+		Build: func(s *rhtm.System) OpFactory {
+			tree := containers.NewRBTree(s)
+			keys := make([]uint64, nodes)
+			for i := range keys {
+				keys[i] = uint64(i + 1)
+			}
+			shuffle(keys)
+			tree.Populate(keys)
+			return func(threadID int, rng *rand.Rand) func() Op {
+				return func() Op {
+					key := uint64(rng.Intn(nodes) + 1)
+					if rng.Intn(100) < writePct {
+						val := rng.Uint64()
+						return func(tx rhtm.Tx) error {
+							tree.ConstUpdate(tx, key, val, rng)
+							return nil
+						}
+					}
+					return func(tx rhtm.Tx) error {
+						tree.ConstLookup(tx, key)
+						return nil
+					}
+				}
+			}
+		},
+	}
+}
+
+// RBTreeRealWorkload exercises the real mutating tree (insert/delete/lookup
+// mix) — the extension workload the paper's emulation could not run. The
+// heap is sized for roughly 100x the initial population; for open-ended runs
+// (testing.B with large N) use RBTreeRealWorkloadOps.
+func RBTreeRealWorkload(nodes, writePct int) Workload {
+	return RBTreeRealWorkloadOps(nodes, writePct, nodes*100)
+}
+
+// RBTreeRealWorkloadOps is RBTreeRealWorkload with an explicit expected
+// total-operation budget. Deleted nodes are not recycled (reclamation under
+// aborting transactions is out of scope — see containers.RBTree.Delete), so
+// the heap must hold the initial population plus one node per potential
+// insert: inserts are at most half the write ratio of all operations, plus
+// slack for allocations repeated by aborted attempts.
+func RBTreeRealWorkloadOps(nodes, writePct, expectedOps int) Workload {
+	inserts := expectedOps*writePct/200 + expectedOps/10 + 1024
+	return Workload{
+		Name:      "rbtree-real",
+		DataWords: (nodes + inserts) * containers.RBNodeWords * 2,
+		Build: func(s *rhtm.System) OpFactory {
+			tree := containers.NewRBTree(s)
+			keys := make([]uint64, nodes)
+			for i := range keys {
+				keys[i] = uint64(i + 1)
+			}
+			shuffle(keys)
+			tree.Populate(keys)
+			keyRange := nodes * 2
+			return func(threadID int, rng *rand.Rand) func() Op {
+				return func() Op {
+					key := uint64(rng.Intn(keyRange) + 1)
+					r := rng.Intn(200)
+					switch {
+					case r < writePct: // half of the write budget inserts
+						return func(tx rhtm.Tx) error {
+							tree.Insert(tx, key, key)
+							return nil
+						}
+					case r < 2*writePct: // the other half deletes
+						return func(tx rhtm.Tx) error {
+							tree.Delete(tx, key)
+							return nil
+						}
+					default:
+						return func(tx rhtm.Tx) error {
+							tree.Lookup(tx, key)
+							return nil
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// HashTableWorkload is the paper's Constant Hash Table (§3.3).
+func HashTableWorkload(elems, writePct int) Workload {
+	return Workload{
+		Name:      "hashtable",
+		DataWords: elems*containers.HTNodeWords*2 + elems*2 + 4096,
+		Build: func(s *rhtm.System) OpFactory {
+			ht := containers.NewHashTable(s, elems)
+			keys := make([]uint64, elems)
+			for i := range keys {
+				keys[i] = uint64(i + 1)
+			}
+			ht.Populate(keys)
+			return func(threadID int, rng *rand.Rand) func() Op {
+				return func() Op {
+					key := uint64(rng.Intn(elems) + 1)
+					if rng.Intn(100) < writePct {
+						val := rng.Uint64()
+						return func(tx rhtm.Tx) error {
+							ht.ConstUpdate(tx, key, val)
+							return nil
+						}
+					}
+					return func(tx rhtm.Tx) error {
+						ht.ConstQuery(tx, key)
+						return nil
+					}
+				}
+			}
+		},
+	}
+}
+
+// SortedListWorkload is the paper's Constant Sorted List (§3.4).
+func SortedListWorkload(elems, writePct int) Workload {
+	return Workload{
+		Name:      "sortedlist",
+		DataWords: elems*containers.SLNodeWords*2 + 4096,
+		Build: func(s *rhtm.System) OpFactory {
+			l := containers.NewSortedList(s)
+			keys := make([]uint64, elems)
+			for i := range keys {
+				keys[i] = uint64(i + 1)
+			}
+			l.Populate(keys)
+			return func(threadID int, rng *rand.Rand) func() Op {
+				return func() Op {
+					key := uint64(rng.Intn(elems) + 1)
+					if rng.Intn(100) < writePct {
+						val := rng.Uint64()
+						return func(tx rhtm.Tx) error {
+							l.ConstUpdate(tx, key, val)
+							return nil
+						}
+					}
+					return func(tx rhtm.Tx) error {
+						l.ConstSearch(tx, key)
+						return nil
+					}
+				}
+			}
+		},
+	}
+}
+
+// RandomArrayWorkload is the paper's Random Array (§3.5): transactions of
+// txLen random accesses with writePct percent writes over a size-word array.
+func RandomArrayWorkload(size, txLen, writePct int) Workload {
+	return Workload{
+		Name:      "randarray",
+		DataWords: size + 4096,
+		Build: func(s *rhtm.System) OpFactory {
+			arr := containers.NewRandomArray(s, size)
+			arr.Fill(1)
+			return func(threadID int, rng *rand.Rand) func() Op {
+				return func() Op {
+					return func(tx rhtm.Tx) error {
+						arr.Op(tx, rng, txLen, writePct)
+						return nil
+					}
+				}
+			}
+		},
+	}
+}
+
+// shuffle permutes keys with a fixed seed so runs are reproducible.
+func shuffle(keys []uint64) {
+	rng := rand.New(rand.NewSource(20130317)) // the paper's TRANSACT date
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+}

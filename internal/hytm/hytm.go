@@ -1,0 +1,176 @@
+// Package hytm provides the two hardware baselines of the paper's
+// evaluation:
+//
+//   - PureHTM — uninstrumented hardware transactions, retried on transient
+//     aborts. "This represents the best performance that HTM can achieve"
+//     (§3.2). It has no software fallback: bodies that cannot run in
+//     hardware (capacity, unsupported instructions) fail with
+//     ErrHardwareOnly after a retry budget.
+//
+//   - StandardHyTM — the classic hybrid design the paper argues against:
+//     the hardware fast path instruments *every* read and write with a
+//     stripe-metadata access and a conditional branch, coordinating with a
+//     TL2-style software slow path over the same metadata. Unlike the
+//     paper's emulation (which used a fake "if" on metadata), this is a
+//     fully functional hybrid: the metadata check is the real lock test the
+//     coordination requires, so the instrumentation cost is identical and
+//     the engine is correct under concurrent software transactions.
+package hytm
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"rhtm/internal/engine"
+	"rhtm/internal/htm"
+	"rhtm/internal/memsim"
+	"rhtm/internal/sys"
+)
+
+// ErrHardwareOnly is returned by PureHTM when a transaction persistently
+// cannot execute in hardware.
+var ErrHardwareOnly = errors.New("hytm: transaction cannot run as a pure hardware transaction")
+
+// --- PureHTM ---
+
+// PureHTM is the uninstrumented hardware-only engine.
+type PureHTM struct {
+	sys  *sys.System
+	opts Options
+
+	mu      sync.Mutex
+	threads []*pureThread
+}
+
+// Options configures the hardware engines.
+type Options struct {
+	// InjectAbortPercent forces this percentage of hardware commits to
+	// abort (the paper's §3.1 emulation methodology). 0 disables.
+	InjectAbortPercent int
+	// MaxPersistentRetries bounds consecutive persistent hardware failures
+	// before PureHTM gives up with ErrHardwareOnly (default 3).
+	MaxPersistentRetries int
+	// Mixed switches StandardHyTM to take the software slow path after
+	// MaxFastAttempts transient aborts; when false (the paper's benchmark
+	// configuration) the hardware path retries indefinitely.
+	Mixed bool
+	// MaxFastAttempts bounds hardware attempts in Mixed mode (default 8).
+	MaxFastAttempts int
+}
+
+// DefaultOptions returns the paper's benchmark configuration: hardware-only
+// retries, no injection.
+func DefaultOptions() Options {
+	return Options{MaxPersistentRetries: 3, MaxFastAttempts: 8}
+}
+
+// NewPureHTM creates the uninstrumented hardware engine on s.
+func NewPureHTM(s *sys.System, opts Options) *PureHTM {
+	if opts.MaxPersistentRetries <= 0 {
+		opts.MaxPersistentRetries = 3
+	}
+	return &PureHTM{sys: s, opts: opts}
+}
+
+// Name implements engine.Engine.
+func (e *PureHTM) Name() string { return "HTM" }
+
+// NewThread implements engine.Engine.
+func (e *PureHTM) NewThread() engine.Thread {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := &pureThread{
+		eng: e,
+		htx: htm.NewTxn(e.sys.Mem, e.sys.Config().HTM),
+		rng: rand.New(rand.NewSource(int64(len(e.threads))*48271 + 7)),
+	}
+	e.threads = append(e.threads, t)
+	return t
+}
+
+// Snapshot implements engine.Engine.
+func (e *PureHTM) Snapshot() engine.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var s engine.Stats
+	for _, t := range e.threads {
+		s.Add(t.stats)
+	}
+	return s
+}
+
+type pureThread struct {
+	eng   *PureHTM
+	htx   *htm.Txn
+	rng   *rand.Rand
+	stats engine.Stats
+}
+
+// Atomic implements engine.Thread.
+func (t *pureThread) Atomic(fn func(tx engine.Tx) error) error {
+	persistent := 0
+	for attempt := 0; ; attempt++ {
+		htx := t.htx
+		htx.Begin()
+		err, aborted, _ := engine.RunBody(fn, (*pureTx)(t))
+		if !aborted {
+			if err != nil {
+				htx.Abort(memsim.AbortExplicit)
+				htx.Fini()
+				t.stats.UserErrors++
+				return err
+			}
+			if p := t.eng.opts.InjectAbortPercent; p > 0 && t.rng.Intn(100) < p {
+				htx.Abort(memsim.AbortInjected)
+			}
+			if htx.Commit() {
+				t.stats.FastCommits++
+				return nil
+			}
+		} else {
+			htx.Fini()
+		}
+		reason := htx.AbortReason()
+		t.stats.FastAborts++
+		if int(reason) < len(t.stats.FastAbortsByReason) {
+			t.stats.FastAbortsByReason[reason]++
+		}
+		if reason.Persistent() {
+			persistent++
+			if persistent >= t.eng.opts.MaxPersistentRetries {
+				return ErrHardwareOnly
+			}
+		}
+		engine.Backoff(t.rng, attempt)
+	}
+}
+
+type pureTx pureThread
+
+// Load implements engine.Tx: a raw speculative read, no instrumentation.
+func (tx *pureTx) Load(a memsim.Addr) uint64 {
+	t := (*pureThread)(tx)
+	t.stats.Reads++
+	v, ok := t.htx.Read(a)
+	if !ok {
+		engine.Retry(t.htx.AbortReason())
+	}
+	return v
+}
+
+// Store implements engine.Tx: a raw speculative write.
+func (tx *pureTx) Store(a memsim.Addr, v uint64) {
+	t := (*pureThread)(tx)
+	t.stats.Writes++
+	if !t.htx.Write(a, v) {
+		engine.Retry(t.htx.AbortReason())
+	}
+}
+
+// Unsupported implements engine.Tx: pure hardware cannot execute it.
+func (tx *pureTx) Unsupported() {
+	t := (*pureThread)(tx)
+	t.htx.Unsupported()
+	engine.Retry(memsim.AbortUnsupported)
+}

@@ -1,0 +1,203 @@
+package hytm
+
+import (
+	"errors"
+	"testing"
+
+	"rhtm/internal/engine"
+	"rhtm/internal/enginetest"
+	"rhtm/internal/htm"
+	"rhtm/internal/memsim"
+	"rhtm/internal/sys"
+)
+
+func pureFactory(t *testing.T, cfg sys.Config) (engine.Engine, *sys.System) {
+	t.Helper()
+	s := sys.MustNew(cfg)
+	return NewPureHTM(s, DefaultOptions()), s
+}
+
+func stdFactory(opts Options) enginetest.Factory {
+	return func(t *testing.T, cfg sys.Config) (engine.Engine, *sys.System) {
+		t.Helper()
+		s := sys.MustNew(cfg)
+		return NewStandard(s, opts), s
+	}
+}
+
+func TestConformancePureHTM(t *testing.T) {
+	enginetest.Run(t, "HTM", pureFactory, enginetest.Capabilities{Unsupported: false})
+}
+
+func TestConformanceStandardHyTM(t *testing.T) {
+	enginetest.Run(t, "StdHyTM", stdFactory(DefaultOptions()),
+		enginetest.Capabilities{Unsupported: true})
+}
+
+func TestConformanceStandardHyTMMixed(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Mixed = true
+	opts.MaxFastAttempts = 2
+	enginetest.Run(t, "StdHyTM-Mixed", stdFactory(opts),
+		enginetest.Capabilities{Unsupported: true})
+}
+
+func TestNames(t *testing.T) {
+	s := sys.MustNew(sys.DefaultConfig(256))
+	if NewPureHTM(s, DefaultOptions()).Name() != "HTM" {
+		t.Fatal("PureHTM name wrong")
+	}
+	if NewStandard(s, DefaultOptions()).Name() != "Standard HyTM" {
+		t.Fatal("StandardHyTM name wrong")
+	}
+}
+
+func TestPureHTMFailsOnUnsupported(t *testing.T) {
+	s := sys.MustNew(sys.DefaultConfig(1 << 10))
+	e := NewPureHTM(s, DefaultOptions())
+	th := e.NewThread()
+	err := th.Atomic(func(tx engine.Tx) error {
+		tx.Unsupported()
+		return nil
+	})
+	if !errors.Is(err, ErrHardwareOnly) {
+		t.Fatalf("err = %v, want ErrHardwareOnly", err)
+	}
+}
+
+func TestPureHTMFailsOnCapacity(t *testing.T) {
+	cfg := sys.DefaultConfig(1 << 12)
+	cfg.HTM = htm.Config{MaxFootprintLines: 2, MaxWriteLines: 2}
+	s := sys.MustNew(cfg)
+	e := NewPureHTM(s, DefaultOptions())
+	addrs := make([]memsim.Addr, 6)
+	for i := range addrs {
+		addrs[i] = s.Heap.MustAlloc(1)
+		s.Heap.MustAlloc(15)
+	}
+	th := e.NewThread()
+	err := th.Atomic(func(tx engine.Tx) error {
+		for _, a := range addrs {
+			_ = tx.Load(a)
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrHardwareOnly) {
+		t.Fatalf("err = %v, want ErrHardwareOnly", err)
+	}
+}
+
+func TestStandardHyTMFallsBackOnUnsupported(t *testing.T) {
+	s := sys.MustNew(sys.DefaultConfig(1 << 10))
+	e := NewStandard(s, DefaultOptions())
+	a := s.Heap.MustAlloc(1)
+	th := e.NewThread()
+	if err := th.Atomic(func(tx engine.Tx) error {
+		tx.Unsupported()
+		tx.Store(a, 3)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Snapshot()
+	if st.SlowCommits != 1 {
+		t.Fatalf("stats = %v, want one TL2 slow commit", st)
+	}
+	if got := s.Mem.Load(a); got != 3 {
+		t.Fatalf("value = %d, want 3", got)
+	}
+}
+
+func TestStandardHyTMInstrumentationCounts(t *testing.T) {
+	s := sys.MustNew(sys.DefaultConfig(1 << 10))
+	e := NewStandard(s, DefaultOptions())
+	a := s.Heap.MustAlloc(2)
+	th := e.NewThread()
+	if err := th.Atomic(func(tx engine.Tx) error {
+		_ = tx.Load(a)
+		tx.Store(a+1, 5)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Snapshot()
+	// 1 clock sample + 1 per read + 1 per write = 3 metadata reads;
+	// 1 metadata write for the written stripe.
+	if st.MetadataReads != 3 {
+		t.Fatalf("metadata reads = %d, want 3", st.MetadataReads)
+	}
+	if st.MetadataWrites != 1 {
+		t.Fatalf("metadata writes = %d, want 1", st.MetadataWrites)
+	}
+}
+
+func TestPureHTMNoMetadataTraffic(t *testing.T) {
+	s := sys.MustNew(sys.DefaultConfig(1 << 10))
+	e := NewPureHTM(s, DefaultOptions())
+	a := s.Heap.MustAlloc(2)
+	th := e.NewThread()
+	if err := th.Atomic(func(tx engine.Tx) error {
+		_ = tx.Load(a)
+		tx.Store(a+1, 5)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Snapshot()
+	if st.MetadataReads != 0 || st.MetadataWrites != 0 {
+		t.Fatalf("HTM produced metadata traffic: %d reads, %d writes",
+			st.MetadataReads, st.MetadataWrites)
+	}
+}
+
+func TestStandardFastPathAbortsOnLockedStripe(t *testing.T) {
+	s := sys.MustNew(sys.DefaultConfig(1 << 10))
+	opts := DefaultOptions()
+	opts.Mixed = true
+	opts.MaxFastAttempts = 1 // one hardware try, then TL2
+	e := NewStandard(s, opts)
+	a := s.Heap.MustAlloc(1)
+	th := e.NewThread()
+	locked := true
+	err := th.Atomic(func(tx engine.Tx) error {
+		if locked {
+			// Lock the stripe mid-body so the instrumented read trips.
+			s.Mem.Poke(s.VersionAddr(a), sys.LockWord(9))
+			locked = false
+			defer s.Mem.Poke(s.VersionAddr(a), sys.PackVersion(0))
+		}
+		_ = tx.Load(a)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Snapshot()
+	if st.FastAbortsByReason[memsim.AbortExplicit] == 0 {
+		t.Fatalf("stats = %v, want an explicit fast abort on the lock test", st)
+	}
+}
+
+func TestInjectedAborts(t *testing.T) {
+	opts := DefaultOptions()
+	opts.InjectAbortPercent = 100
+	opts.Mixed = true
+	opts.MaxFastAttempts = 2
+	s := sys.MustNew(sys.DefaultConfig(1 << 10))
+	e := NewStandard(s, opts)
+	a := s.Heap.MustAlloc(1)
+	th := e.NewThread()
+	if err := th.Atomic(func(tx engine.Tx) error {
+		tx.Store(a, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Snapshot()
+	if st.FastAbortsByReason[memsim.AbortInjected] == 0 {
+		t.Fatal("no injected aborts with 100% injection")
+	}
+	if st.SlowCommits != 1 {
+		t.Fatalf("stats = %v, want commit via slow path", st)
+	}
+}

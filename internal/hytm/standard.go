@@ -1,0 +1,197 @@
+package hytm
+
+import (
+	"math/rand"
+	"sync"
+
+	"rhtm/internal/engine"
+	"rhtm/internal/htm"
+	"rhtm/internal/memsim"
+	"rhtm/internal/sys"
+	"rhtm/internal/tl2"
+)
+
+// StandardHyTM is the traditional hybrid TM the paper benchmarks against:
+// every hardware read and write is instrumented with a stripe-metadata load
+// and a conditional branch (the lock test needed to coordinate with software
+// transactions), and hardware writes additionally update the metadata. The
+// software slow path is TL2 over the same stripe array.
+type StandardHyTM struct {
+	sys  *sys.System
+	opts Options
+	tl2  *tl2.Engine
+
+	mu      sync.Mutex
+	threads []*stdThread
+}
+
+// NewStandard creates a Standard HyTM engine on s.
+func NewStandard(s *sys.System, opts Options) *StandardHyTM {
+	if opts.MaxFastAttempts <= 0 {
+		opts.MaxFastAttempts = 8
+	}
+	return &StandardHyTM{sys: s, opts: opts, tl2: tl2.New(s)}
+}
+
+// Name implements engine.Engine.
+func (e *StandardHyTM) Name() string { return "Standard HyTM" }
+
+// NewThread implements engine.Engine.
+func (e *StandardHyTM) NewThread() engine.Thread {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := &stdThread{
+		eng:  e,
+		sys:  e.sys,
+		htx:  htm.NewTxn(e.sys.Mem, e.sys.Config().HTM),
+		slow: e.tl2.NewThread(),
+		rng:  rand.New(rand.NewSource(int64(len(e.threads))*69621 + 11)),
+	}
+	e.threads = append(e.threads, t)
+	return t
+}
+
+// Snapshot implements engine.Engine. It merges the hardware-side counters
+// with the TL2 slow path's.
+func (e *StandardHyTM) Snapshot() engine.Stats {
+	e.mu.Lock()
+	var s engine.Stats
+	for _, t := range e.threads {
+		s.Add(t.stats)
+	}
+	e.mu.Unlock()
+	s.Add(e.tl2.Snapshot())
+	return s
+}
+
+type stdThread struct {
+	eng     *StandardHyTM
+	sys     *sys.System
+	htx     *htm.Txn
+	slow    engine.Thread
+	nextVer uint64
+	rng     *rand.Rand
+	stats   engine.Stats
+}
+
+// Atomic implements engine.Thread: instrumented hardware attempts, with the
+// TL2 slow path taken on persistent failure (always) and after the attempt
+// budget (Mixed mode only; the paper's benchmark configuration retries in
+// hardware indefinitely).
+func (t *stdThread) Atomic(fn func(tx engine.Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		done, err, reason := t.tryFast(fn)
+		if done {
+			return err
+		}
+		t.stats.FastAborts++
+		if int(reason) < len(t.stats.FastAbortsByReason) {
+			t.stats.FastAbortsByReason[reason]++
+		}
+		if reason.Persistent() ||
+			(t.eng.opts.Mixed && attempt+1 >= t.eng.opts.MaxFastAttempts) {
+			return t.slow.Atomic(fn)
+		}
+		engine.Backoff(t.rng, attempt)
+	}
+}
+
+// tryFast is one instrumented hardware attempt.
+func (t *stdThread) tryFast(fn func(tx engine.Tx) error) (done bool, err error, reason memsim.AbortReason) {
+	htx := t.htx
+	htx.Begin()
+	// Like the RH1 fast path, writers need an install version; the clock is
+	// sampled speculatively (GV6: no store).
+	sample, ok := htx.Read(t.sys.Clock.Addr())
+	if !ok {
+		return t.fastAbort()
+	}
+	t.nextVer = t.sys.Clock.NextFromSample(sample)
+	t.stats.MetadataReads++
+
+	err, aborted, reason := engine.RunBody(fn, (*stdTx)(t))
+	if aborted {
+		htx.Fini()
+		return false, nil, reason
+	}
+	if err != nil {
+		htx.Abort(memsim.AbortExplicit)
+		htx.Fini()
+		t.stats.UserErrors++
+		return true, err, memsim.AbortNone
+	}
+	if p := t.eng.opts.InjectAbortPercent; p > 0 && t.rng.Intn(100) < p {
+		htx.Abort(memsim.AbortInjected)
+		return t.fastAbort()
+	}
+	// "The commit is immediate without any work" (§3.2): all coordination
+	// happened inline on each access.
+	if !htx.Commit() {
+		return false, nil, htx.AbortReason()
+	}
+	t.stats.FastCommits++
+	return true, nil, memsim.AbortNone
+}
+
+func (t *stdThread) fastAbort() (bool, error, memsim.AbortReason) {
+	t.htx.Fini()
+	return false, nil, t.htx.AbortReason()
+}
+
+type stdTx stdThread
+
+// Load implements engine.Tx: the instrumented hardware read the paper's
+// Figure 1 measures — a metadata load and a branch before the data load.
+func (tx *stdTx) Load(a memsim.Addr) uint64 {
+	t := (*stdThread)(tx)
+	t.stats.Reads++
+	htx := t.htx
+	w, ok := htx.Read(t.sys.VersionAddr(a))
+	if !ok {
+		engine.Retry(htx.AbortReason())
+	}
+	t.stats.MetadataReads++
+	if sys.IsLocked(w) {
+		// A software transaction holds the stripe: the hardware transaction
+		// cannot read consistently and must abort.
+		htx.Abort(memsim.AbortExplicit)
+		engine.Retry(memsim.AbortExplicit)
+	}
+	v, ok := htx.Read(a)
+	if !ok {
+		engine.Retry(htx.AbortReason())
+	}
+	return v
+}
+
+// Store implements engine.Tx: metadata load, branch, metadata update, then
+// the data store.
+func (tx *stdTx) Store(a memsim.Addr, v uint64) {
+	t := (*stdThread)(tx)
+	t.stats.Writes++
+	htx := t.htx
+	va := t.sys.VersionAddr(a)
+	w, ok := htx.Read(va)
+	if !ok {
+		engine.Retry(htx.AbortReason())
+	}
+	t.stats.MetadataReads++
+	if sys.IsLocked(w) {
+		htx.Abort(memsim.AbortExplicit)
+		engine.Retry(memsim.AbortExplicit)
+	}
+	if !htx.Write(va, sys.PackVersion(t.nextVer)) {
+		engine.Retry(htx.AbortReason())
+	}
+	t.stats.MetadataWrites++
+	if !htx.Write(a, v) {
+		engine.Retry(htx.AbortReason())
+	}
+}
+
+// Unsupported implements engine.Tx: aborts to the software slow path.
+func (tx *stdTx) Unsupported() {
+	t := (*stdThread)(tx)
+	t.htx.Unsupported()
+	engine.Retry(memsim.AbortUnsupported)
+}

@@ -1,0 +1,108 @@
+// Package linearize implements a Wing & Gong style linearizability checker
+// for single-register histories, used by the engine test suites to verify
+// that committed transactions appear to take effect atomically at some
+// point between their invocation and their response.
+//
+// A history is a set of operations, each bracketed by logical invocation and
+// response timestamps taken outside the transaction. The checker searches
+// for a total order that (a) respects real-time precedence (an operation
+// that responded before another was invoked must be ordered first) and
+// (b) makes every read return the value of the latest preceding write.
+// Search state is memoized on the (remaining-operations, register-value)
+// pair, which keeps the worst case well-behaved for the history sizes the
+// tests generate (≤ 64 operations).
+package linearize
+
+import "fmt"
+
+// Op is one completed register operation.
+type Op struct {
+	// Start is the logical time just before the operation was invoked.
+	Start int64
+	// End is the logical time just after the operation responded.
+	End int64
+	// IsWrite distinguishes writes from reads.
+	IsWrite bool
+	// Val is the value written (writes) or returned (reads).
+	Val uint64
+}
+
+// String renders the op for failure messages.
+func (o Op) String() string {
+	k := "R"
+	if o.IsWrite {
+		k = "W"
+	}
+	return fmt.Sprintf("%s(%d)@[%d,%d]", k, o.Val, o.Start, o.End)
+}
+
+// CheckRegister reports whether the history is linearizable for a register
+// with the given initial value. Histories longer than 64 operations are
+// rejected with an error (the memoization key is a 64-bit op set).
+func CheckRegister(history []Op, initial uint64) (bool, error) {
+	n := len(history)
+	if n == 0 {
+		return true, nil
+	}
+	if n > 64 {
+		return false, fmt.Errorf("linearize: history of %d ops exceeds the 64-op limit", n)
+	}
+	for _, o := range history {
+		if o.End < o.Start {
+			return false, fmt.Errorf("linearize: op %v responds before invocation", o)
+		}
+	}
+	full := uint64(1)<<uint(n) - 1
+	if n == 64 {
+		full = ^uint64(0)
+	}
+	c := &checker{ops: history, memo: make(map[memoKey]bool)}
+	return c.search(full, initial), nil
+}
+
+type memoKey struct {
+	remaining uint64
+	state     uint64
+}
+
+type checker struct {
+	ops  []Op
+	memo map[memoKey]bool
+}
+
+// search tries to linearize the remaining set given the register state.
+func (c *checker) search(remaining uint64, state uint64) bool {
+	if remaining == 0 {
+		return true
+	}
+	key := memoKey{remaining: remaining, state: state}
+	if v, ok := c.memo[key]; ok {
+		return v
+	}
+	// The next linearized operation must not be preceded (in real time) by
+	// any other remaining operation: its Start must be ≤ the minimal End.
+	minEnd := int64(1<<63 - 1)
+	for i := 0; i < len(c.ops); i++ {
+		if remaining&(1<<uint(i)) != 0 && c.ops[i].End < minEnd {
+			minEnd = c.ops[i].End
+		}
+	}
+	ok := false
+	for i := 0; i < len(c.ops) && !ok; i++ {
+		bit := uint64(1) << uint(i)
+		if remaining&bit == 0 {
+			continue
+		}
+		op := c.ops[i]
+		if op.Start > minEnd {
+			continue // some remaining op finished before this one began
+		}
+		if op.IsWrite {
+			ok = c.search(remaining&^bit, op.Val)
+		} else if op.Val == state {
+			ok = c.search(remaining&^bit, state)
+		}
+	}
+	c.memo[key] = ok
+	return ok
+}

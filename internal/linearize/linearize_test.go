@@ -1,0 +1,126 @@
+package linearize
+
+import "testing"
+
+func mustCheck(t *testing.T, h []Op, initial uint64) bool {
+	t.Helper()
+	ok, err := CheckRegister(h, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !mustCheck(t, nil, 0) {
+		t.Fatal("empty history not linearizable")
+	}
+}
+
+func TestSequentialReadsWrites(t *testing.T) {
+	h := []Op{
+		{Start: 0, End: 1, IsWrite: true, Val: 5},
+		{Start: 2, End: 3, IsWrite: false, Val: 5},
+		{Start: 4, End: 5, IsWrite: true, Val: 7},
+		{Start: 6, End: 7, IsWrite: false, Val: 7},
+	}
+	if !mustCheck(t, h, 0) {
+		t.Fatal("valid sequential history rejected")
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	h := []Op{
+		{Start: 0, End: 1, IsWrite: true, Val: 5},
+		{Start: 2, End: 3, IsWrite: false, Val: 0}, // reads the initial value after the write completed
+	}
+	if mustCheck(t, h, 0) {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentWriteEitherOrder(t *testing.T) {
+	// Two overlapping writes; a later read may see either.
+	for _, readVal := range []uint64{1, 2} {
+		h := []Op{
+			{Start: 0, End: 10, IsWrite: true, Val: 1},
+			{Start: 0, End: 10, IsWrite: true, Val: 2},
+			{Start: 11, End: 12, IsWrite: false, Val: readVal},
+		}
+		if !mustCheck(t, h, 0) {
+			t.Fatalf("read of %d after concurrent writes rejected", readVal)
+		}
+	}
+	h := []Op{
+		{Start: 0, End: 10, IsWrite: true, Val: 1},
+		{Start: 0, End: 10, IsWrite: true, Val: 2},
+		{Start: 11, End: 12, IsWrite: false, Val: 3},
+	}
+	if mustCheck(t, h, 0) {
+		t.Fatal("read of never-written value accepted")
+	}
+}
+
+func TestConcurrentReadDuringWrite(t *testing.T) {
+	// A read overlapping a write may return old or new, but two
+	// non-overlapping reads must not observe new-then-old.
+	ok := mustCheck(t, []Op{
+		{Start: 0, End: 10, IsWrite: true, Val: 9},
+		{Start: 1, End: 2, IsWrite: false, Val: 0},
+		{Start: 3, End: 4, IsWrite: false, Val: 9},
+	}, 0)
+	if !ok {
+		t.Fatal("old-then-new reads during write rejected")
+	}
+	ok = mustCheck(t, []Op{
+		{Start: 0, End: 10, IsWrite: true, Val: 9},
+		{Start: 1, End: 2, IsWrite: false, Val: 9},
+		{Start: 3, End: 4, IsWrite: false, Val: 0},
+	}, 0)
+	if ok {
+		t.Fatal("new-then-old reads accepted (violates linearizability)")
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// Write 1 completes before write 2 starts; read after both must be 2.
+	h := []Op{
+		{Start: 0, End: 1, IsWrite: true, Val: 1},
+		{Start: 2, End: 3, IsWrite: true, Val: 2},
+		{Start: 4, End: 5, IsWrite: false, Val: 1},
+	}
+	if mustCheck(t, h, 0) {
+		t.Fatal("read reordered a completed write")
+	}
+}
+
+func TestMalformedOpRejected(t *testing.T) {
+	if _, err := CheckRegister([]Op{{Start: 5, End: 1}}, 0); err == nil {
+		t.Fatal("op with End < Start accepted")
+	}
+}
+
+func TestTooLongHistoryRejected(t *testing.T) {
+	h := make([]Op, 65)
+	for i := range h {
+		h[i] = Op{Start: int64(i), End: int64(i), IsWrite: true, Val: 1}
+	}
+	if _, err := CheckRegister(h, 0); err == nil {
+		t.Fatal("65-op history accepted")
+	}
+}
+
+func TestDeepConcurrentHistory(t *testing.T) {
+	// All ops mutually concurrent: any permutation is allowed, so a read of
+	// any written value (or the initial value) must pass.
+	h := []Op{
+		{Start: 0, End: 100, IsWrite: true, Val: 1},
+		{Start: 0, End: 100, IsWrite: true, Val: 2},
+		{Start: 0, End: 100, IsWrite: true, Val: 3},
+		{Start: 0, End: 100, IsWrite: false, Val: 0},
+		{Start: 0, End: 100, IsWrite: false, Val: 3},
+	}
+	if !mustCheck(t, h, 0) {
+		t.Fatal("fully concurrent history rejected")
+	}
+}

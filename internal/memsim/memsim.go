@@ -1,0 +1,325 @@
+package memsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Addr is the index of a 64-bit word in a Memory. Address 0 is reserved as
+// the null address: regions are allocated starting at word 1 so that
+// containers can use 0 as a nil pointer.
+type Addr uint64
+
+// NilAddr is the reserved null word address.
+const NilAddr Addr = 0
+
+// AbortReason classifies why a speculative transaction was aborted. The
+// values mirror the abort status codes reported by best-effort HTM
+// implementations (Intel TSX EAX codes, POWER TEXASR), reduced to the
+// categories the hybrid-TM protocols dispatch on.
+type AbortReason uint32
+
+const (
+	// AbortNone means the transaction has not been aborted.
+	AbortNone AbortReason = iota
+	// AbortConflict: another speculative transaction touched a line in this
+	// transaction's footprint (transactional conflict).
+	AbortConflict
+	// AbortNonTxConflict: a plain, non-transactional access touched a line in
+	// this transaction's footprint (coherence snoop from regular code).
+	AbortNonTxConflict
+	// AbortCapacity: the transaction exceeded the simulated L1 read or write
+	// capacity. This is the persistent failure mode the paper's fallback
+	// logic keys on.
+	AbortCapacity
+	// AbortExplicit: the transaction executed an explicit abort instruction
+	// (protocol-level validation failure, e.g. the RH1 fallback-counter check).
+	AbortExplicit
+	// AbortUnsupported: the transaction attempted an operation that hardware
+	// transactions cannot execute (system call, protected instruction). Like
+	// AbortCapacity this is persistent: retrying in hardware cannot succeed.
+	AbortUnsupported
+	// AbortInjected: the harness injected an abort to force a target abort
+	// ratio, reproducing the emulation methodology of the paper's §3.1.
+	AbortInjected
+)
+
+// String returns a short human-readable name for the reason.
+func (r AbortReason) String() string {
+	switch r {
+	case AbortNone:
+		return "none"
+	case AbortConflict:
+		return "conflict"
+	case AbortNonTxConflict:
+		return "nontx-conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortExplicit:
+		return "explicit"
+	case AbortUnsupported:
+		return "unsupported"
+	case AbortInjected:
+		return "injected"
+	default:
+		return fmt.Sprintf("reason(%d)", uint32(r))
+	}
+}
+
+// Persistent reports whether retrying in hardware is pointless: the abort is
+// structural (capacity overflow or an unsupported instruction) rather than a
+// result of concurrency. The hybrid protocols use this to decide between
+// "retry the hardware path" and "take the next fallback level".
+func (r AbortReason) Persistent() bool {
+	return r == AbortCapacity || r == AbortUnsupported
+}
+
+// Handle is the view the memory has of an in-flight speculative transaction.
+// It is implemented by htm.Txn. All methods must be safe for concurrent use.
+type Handle interface {
+	// TryAbort moves the transaction from running to aborted with the given
+	// reason. It returns true if this call performed the transition, false if
+	// the transaction had already committed or aborted.
+	TryAbort(reason AbortReason) bool
+	// Running reports whether the transaction is still speculating (neither
+	// committed nor aborted).
+	Running() bool
+}
+
+// ConflictPolicy selects which transaction dies when two speculative
+// transactions collide on a line.
+type ConflictPolicy int
+
+const (
+	// RequesterWins: the transaction issuing the new access aborts the
+	// transactions already monitoring the line. This mirrors the coherence
+	// behaviour of eager HTM designs: the incoming request invalidates or
+	// downgrades the line, killing the speculation that held it.
+	RequesterWins ConflictPolicy = iota
+	// CommitterWins: the transaction issuing the new access aborts itself,
+	// leaving established monitors untouched. Available as an ablation knob.
+	CommitterWins
+)
+
+// Config parameterizes a Memory.
+type Config struct {
+	// Words is the total number of 64-bit words.
+	Words int
+	// WordsPerLine is the conflict-detection granularity in words. Must be a
+	// power of two. The default (8 words = 64 bytes) matches common cache
+	// lines; 1 disables false sharing.
+	WordsPerLine int
+	// Policy selects the conflict-resolution policy between speculative
+	// transactions.
+	Policy ConflictPolicy
+	// NonTxLoadAbortsWriters controls whether a plain load aborts speculative
+	// writers of the line. True mirrors Intel TSX, where any snoop of a line
+	// in the write set aborts the transaction.
+	NonTxLoadAbortsWriters bool
+}
+
+// DefaultConfig returns the configuration used throughout the benchmarks: a
+// memory of the given size with 64-byte lines, requester-wins conflicts, and
+// TSX-like snoop behaviour.
+func DefaultConfig(words int) Config {
+	return Config{
+		Words:                  words,
+		WordsPerLine:           8,
+		Policy:                 RequesterWins,
+		NonTxLoadAbortsWriters: true,
+	}
+}
+
+// monEntry records one transaction monitoring a line. writer is true if the
+// transaction declared a speculative write to the line (the line is in its
+// write set); a reader that later writes has its entry upgraded in place.
+type monEntry struct {
+	h      Handle
+	writer bool
+}
+
+// line is the per-line coherence state: a mutex serializing every access to
+// the line's words, and the monitor set of speculative transactions.
+type line struct {
+	mu   sync.Mutex
+	mons []monEntry
+}
+
+// Memory is a flat simulated word memory with line-granularity conflict
+// detection. See the package documentation for the model.
+type Memory struct {
+	cfg       Config
+	lineShift uint
+	words     []uint64
+	lines     []line
+
+	regionMu sync.Mutex
+	nextFree Addr
+}
+
+// New creates a Memory from cfg. It panics if the configuration is invalid;
+// a malformed memory is a programming error, not a runtime condition.
+func New(cfg Config) *Memory {
+	if cfg.Words <= 0 {
+		panic("memsim: Config.Words must be positive")
+	}
+	if cfg.WordsPerLine <= 0 || cfg.WordsPerLine&(cfg.WordsPerLine-1) != 0 {
+		panic("memsim: Config.WordsPerLine must be a positive power of two")
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.WordsPerLine {
+		shift++
+	}
+	nLines := (cfg.Words + cfg.WordsPerLine - 1) / cfg.WordsPerLine
+	return &Memory{
+		cfg:       cfg,
+		lineShift: shift,
+		words:     make([]uint64, cfg.Words),
+		lines:     make([]line, nLines),
+		nextFree:  1, // word 0 is the reserved null address
+	}
+}
+
+// Config returns the memory's configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Words returns the total number of words in the memory.
+func (m *Memory) Words() int { return m.cfg.Words }
+
+// LineOf returns the line index containing address a.
+func (m *Memory) LineOf(a Addr) uint64 { return uint64(a) >> m.lineShift }
+
+// lineFor returns the line state for address a, bounds-checking a.
+func (m *Memory) lineFor(a Addr) *line {
+	return &m.lines[uint64(a)>>m.lineShift]
+}
+
+// lineByID returns the line state for a line index.
+func (m *Memory) lineByID(id uint64) *line { return &m.lines[id] }
+
+// abortMonitors aborts every active monitor of ln except self, with the given
+// reason, and prunes entries that are no longer running. Callers must hold
+// ln.mu.
+func abortMonitors(ln *line, self Handle, reason AbortReason) {
+	kept := ln.mons[:0]
+	for _, e := range ln.mons {
+		if e.h == self {
+			kept = append(kept, e)
+			continue
+		}
+		if e.h.TryAbort(reason) || !e.h.Running() {
+			// Aborted now, or already finished: drop the entry.
+			continue
+		}
+		kept = append(kept, e)
+	}
+	clearTail(ln, len(kept))
+}
+
+// abortWriters aborts active writers of ln except self and prunes dead
+// entries. Callers must hold ln.mu.
+func abortWriters(ln *line, self Handle, reason AbortReason) {
+	kept := ln.mons[:0]
+	for _, e := range ln.mons {
+		if e.h != self && e.writer {
+			if e.h.TryAbort(reason) || !e.h.Running() {
+				continue
+			}
+		} else if !e.h.Running() {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	clearTail(ln, len(kept))
+}
+
+// clearTail zeroes the dropped suffix of the monitor slice so handles do not
+// leak through the backing array, then truncates.
+func clearTail(ln *line, n int) {
+	for i := n; i < len(ln.mons); i++ {
+		ln.mons[i] = monEntry{}
+	}
+	ln.mons = ln.mons[:n]
+}
+
+// hasOtherActiveMonitor reports whether any transaction other than self
+// actively monitors ln. Callers must hold ln.mu.
+func hasOtherActiveMonitor(ln *line, self Handle) bool {
+	for _, e := range ln.mons {
+		if e.h != self && e.h.Running() {
+			return true
+		}
+	}
+	return false
+}
+
+// Load performs a plain (non-transactional) load of a. Depending on the
+// configuration it aborts speculative writers of the line, modelling the
+// read snoop a regular load issues on real hardware.
+func (m *Memory) Load(a Addr) uint64 {
+	ln := m.lineFor(a)
+	ln.mu.Lock()
+	if m.cfg.NonTxLoadAbortsWriters {
+		abortWriters(ln, nil, AbortNonTxConflict)
+	}
+	v := m.words[a]
+	ln.mu.Unlock()
+	return v
+}
+
+// Store performs a plain (non-transactional) store to a. It aborts every
+// speculative transaction monitoring the line: a store issues an invalidating
+// snoop, which kills both speculative readers and writers of the line. This
+// property is load-bearing for the protocols — e.g. RH2's switch to the
+// all-software write-back aborts hardware transactions precisely because they
+// speculatively read the is_all_software counter word.
+func (m *Memory) Store(a Addr, v uint64) {
+	ln := m.lineFor(a)
+	ln.mu.Lock()
+	abortMonitors(ln, nil, AbortNonTxConflict)
+	m.words[a] = v
+	ln.mu.Unlock()
+}
+
+// CAS atomically compares-and-swaps the word at a. Like Store it aborts every
+// monitor of the line regardless of outcome: even a failed CAS issued a
+// request-for-ownership snoop.
+func (m *Memory) CAS(a Addr, old, new uint64) bool {
+	ln := m.lineFor(a)
+	ln.mu.Lock()
+	abortMonitors(ln, nil, AbortNonTxConflict)
+	ok := m.words[a] == old
+	if ok {
+		m.words[a] = new
+	}
+	ln.mu.Unlock()
+	return ok
+}
+
+// FetchAdd atomically adds delta to the word at a and returns the new value,
+// aborting every monitor of the line. delta may be negative via two's
+// complement (pass ^uint64(0) to subtract one, or use AddInt for clarity).
+func (m *Memory) FetchAdd(a Addr, delta uint64) uint64 {
+	ln := m.lineFor(a)
+	ln.mu.Lock()
+	abortMonitors(ln, nil, AbortNonTxConflict)
+	m.words[a] += delta
+	v := m.words[a]
+	ln.mu.Unlock()
+	return v
+}
+
+// AddInt is FetchAdd with a signed delta.
+func (m *Memory) AddInt(a Addr, delta int64) uint64 {
+	return m.FetchAdd(a, uint64(delta))
+}
+
+// Peek reads the word at a without taking the line lock or issuing a snoop.
+// It is intended for single-threaded setup and for test assertions after all
+// workers have stopped; using it concurrently with writers is a data race.
+func (m *Memory) Peek(a Addr) uint64 { return m.words[a] }
+
+// Poke writes the word at a without snooping, under the same single-threaded
+// contract as Peek. Containers use it to populate structures before the
+// concurrent phase starts.
+func (m *Memory) Poke(a Addr, v uint64) { m.words[a] = v }

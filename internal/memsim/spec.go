@@ -1,0 +1,176 @@
+package memsim
+
+import "sort"
+
+// CommitterHandle extends Handle with the commit transition. CommitTxn
+// requires it so that the switch to "committed" happens at the linearization
+// point, while the transaction's whole footprint is locked.
+type CommitterHandle interface {
+	Handle
+	// TryCommit moves the transaction from running to committed, returning
+	// true if this call performed the transition (false if it lost a race
+	// with an abort).
+	TryCommit() bool
+}
+
+// SpecLoad performs a speculative load of a on behalf of transaction h.
+//
+// If register is true, h is added to the line's monitor set as a reader (the
+// caller, htm.Txn, tracks which lines it already monitors and passes false on
+// repeat accesses to keep the set duplicate-free).
+//
+// Conflicting speculative writers of the line are resolved per the configured
+// policy: under RequesterWins they are aborted; under CommitterWins h aborts
+// itself instead. The returned ok is false if h is no longer running on
+// entry or aborted itself during the access; the value is then meaningless.
+func (m *Memory) SpecLoad(a Addr, h Handle, register bool) (v uint64, ok bool) {
+	ln := m.lineFor(a)
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if !h.Running() {
+		return 0, false
+	}
+	for i := range ln.mons {
+		e := &ln.mons[i]
+		if e.h == h || !e.writer || !e.h.Running() {
+			continue
+		}
+		if m.cfg.Policy == RequesterWins {
+			e.h.TryAbort(AbortConflict)
+		} else {
+			h.TryAbort(AbortConflict)
+			return 0, false
+		}
+	}
+	if register {
+		ln.mons = append(ln.mons, monEntry{h: h, writer: false})
+	}
+	return m.words[a], true
+}
+
+// SpecDeclareWrite records h as a speculative writer of a's line. The value
+// itself is buffered by the transaction and only reaches memory at CommitTxn.
+//
+// Any other active monitor of the line (reader or writer) conflicts: a
+// speculative write needs the line exclusively. Resolution follows the
+// configured policy. If h already monitors the line as a reader, its entry is
+// upgraded in place rather than duplicated. Returns false if h is no longer
+// running or aborted itself.
+func (m *Memory) SpecDeclareWrite(a Addr, h Handle) bool {
+	ln := m.lineFor(a)
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if !h.Running() {
+		return false
+	}
+	if m.cfg.Policy == CommitterWins && hasOtherActiveMonitor(ln, h) {
+		h.TryAbort(AbortConflict)
+		return false
+	}
+	abortMonitors(ln, h, AbortConflict)
+	for i := range ln.mons {
+		if ln.mons[i].h == h {
+			ln.mons[i].writer = true
+			return true
+		}
+	}
+	ln.mons = append(ln.mons, monEntry{h: h, writer: true})
+	return true
+}
+
+// WriteEntry is one buffered speculative write, applied at CommitTxn.
+type WriteEntry struct {
+	Addr Addr
+	Val  uint64
+}
+
+// CommitTxn atomically publishes the transaction's buffered writes and marks
+// it committed.
+//
+// footprint must contain every line h is registered on — reads and writes —
+// sorted ascending and deduplicated; writes may be in any order. The method:
+//
+//  1. locks every line of the footprint in order (total order ⇒ no deadlock
+//     against other commits, and single-line operations cannot interleave),
+//  2. re-checks that h is still running (an abort that raced in loses here),
+//  3. aborts every other monitor of each written line — a reader that saw
+//     pre-commit values of this write set is necessarily still registered and
+//     dies here, which is what makes the publication all-or-nothing,
+//  4. applies the writes,
+//  5. transitions h to committed and unregisters it from all lines.
+//
+// It returns true if the commit happened, false if h had been aborted.
+func (m *Memory) CommitTxn(h CommitterHandle, footprint []uint64, writes []WriteEntry) bool {
+	for _, id := range footprint {
+		m.lineByID(id).mu.Lock()
+	}
+	committed := false
+	if h.Running() {
+		for _, w := range writes {
+			abortMonitors(m.lineFor(w.Addr), h, AbortConflict)
+		}
+		for _, w := range writes {
+			m.words[w.Addr] = w.Val
+		}
+		committed = h.TryCommit()
+	}
+	if committed {
+		for _, id := range footprint {
+			removeMonitor(m.lineByID(id), h)
+		}
+	}
+	// Unlock in reverse order (not required for correctness, but keeps the
+	// critical sections properly nested for lock-order tooling).
+	for i := len(footprint) - 1; i >= 0; i-- {
+		m.lineByID(footprint[i]).mu.Unlock()
+	}
+	return committed
+}
+
+// Unregister removes h from the monitor sets of the given lines. Aborted
+// transactions call it during cleanup; it is idempotent.
+func (m *Memory) Unregister(h Handle, lineIDs []uint64) {
+	for _, id := range lineIDs {
+		ln := m.lineByID(id)
+		ln.mu.Lock()
+		removeMonitor(ln, h)
+		ln.mu.Unlock()
+	}
+}
+
+// removeMonitor drops every entry of h from ln. Callers must hold ln.mu.
+func removeMonitor(ln *line, h Handle) {
+	kept := ln.mons[:0]
+	for _, e := range ln.mons {
+		if e.h != h {
+			kept = append(kept, e)
+		}
+	}
+	clearTail(ln, len(kept))
+}
+
+// SortFootprint sorts and deduplicates a slice of line IDs in place,
+// returning the shortened slice. CommitTxn requires this canonical form.
+func SortFootprint(ids []uint64) []uint64 {
+	if len(ids) < 2 {
+		return ids
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MonitorCount returns the number of registered monitor entries on the line
+// containing a. It exists for tests and diagnostics.
+func (m *Memory) MonitorCount(a Addr) int {
+	ln := m.lineFor(a)
+	ln.mu.Lock()
+	n := len(ln.mons)
+	ln.mu.Unlock()
+	return n
+}

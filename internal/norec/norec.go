@@ -1,0 +1,343 @@
+// Package norec implements Hybrid NoRec (Dalessandro et al., PPoPP 2011),
+// the second of the three prior approaches the paper's introduction
+// discusses. NoRec keeps no per-location ownership records: a single global
+// sequence counter orders write commits, and software transactions validate
+// by value.
+//
+//   - The software path is the NoRec STM: reads are logged with their
+//     values; whenever the global counter moves, the read log is revalidated
+//     by re-reading values under a stable counter. Write commits take the
+//     counter to odd (a sequence lock), write back, and release to even.
+//
+//   - The hardware path subscribes to the counter by reading it
+//     speculatively at begin (aborting if a software commit is in flight)
+//     and, if it wrote anything, increments it at commit to trigger software
+//     revalidation. The counter write serializes hardware write commits on
+//     one line — exactly the scalability ceiling the paper ascribes to this
+//     design ("conflicts cannot be detected at a sufficiently low
+//     granularity", §1).
+package norec
+
+import (
+	"math/rand"
+	"sync"
+
+	"rhtm/internal/engine"
+	"rhtm/internal/htm"
+	"rhtm/internal/memsim"
+	"rhtm/internal/sys"
+)
+
+// Options configures the Hybrid NoRec engine.
+type Options struct {
+	// MaxFastAttempts bounds hardware attempts before the software path
+	// (default 8).
+	MaxFastAttempts int
+	// InjectAbortPercent forces hardware commit aborts (§3.1 emulation).
+	InjectAbortPercent int
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options { return Options{MaxFastAttempts: 8} }
+
+// Engine is a Hybrid NoRec TM over a System. It uses only the system's
+// memory and one global counter word — NoRec's defining property is that the
+// stripe metadata arrays stay untouched.
+type Engine struct {
+	sys  *sys.System
+	opts Options
+	seq  memsim.Addr // global sequence counter; odd = software commit active
+
+	mu      sync.Mutex
+	threads []*Thread
+}
+
+// New creates a Hybrid NoRec engine on s.
+func New(s *sys.System, opts Options) (*Engine, error) {
+	if opts.MaxFastAttempts <= 0 {
+		opts.MaxFastAttempts = 8
+	}
+	reg, err := s.Mem.AllocRegion(s.Mem.Config().WordsPerLine)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{sys: s, opts: opts, seq: reg.Base}, nil
+}
+
+// MustNew is New for setup code.
+func MustNew(s *sys.System, opts Options) *Engine {
+	e, err := New(s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "Hybrid NoRec" }
+
+// NewThread implements engine.Engine.
+func (e *Engine) NewThread() engine.Thread {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := &Thread{
+		eng:      e,
+		sys:      e.sys,
+		htx:      htm.NewTxn(e.sys.Mem, e.sys.Config().HTM),
+		writeIdx: make(map[memsim.Addr]int, 32),
+		rng:      rand.New(rand.NewSource(int64(len(e.threads))*16807 + 3)),
+	}
+	e.threads = append(e.threads, t)
+	return t
+}
+
+// Snapshot implements engine.Engine.
+func (e *Engine) Snapshot() engine.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var s engine.Stats
+	for _, t := range e.threads {
+		s.Add(t.stats)
+	}
+	return s
+}
+
+// readLogEntry is a value-logged software read.
+type readLogEntry struct {
+	addr memsim.Addr
+	val  uint64
+}
+
+type writeEntry struct {
+	addr memsim.Addr
+	val  uint64
+}
+
+// Thread is a per-worker Hybrid NoRec context.
+type Thread struct {
+	eng *Engine
+	sys *sys.System
+	htx *htm.Txn
+
+	hw bool // current path
+
+	snapshot uint64
+	readLog  []readLogEntry
+	writeSet []writeEntry
+	writeIdx map[memsim.Addr]int
+
+	rng   *rand.Rand
+	stats engine.Stats
+}
+
+// Atomic implements engine.Thread.
+func (t *Thread) Atomic(fn func(tx engine.Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		done, err, reason := t.tryHW(fn)
+		if done {
+			return err
+		}
+		t.stats.FastAborts++
+		if int(reason) < len(t.stats.FastAbortsByReason) {
+			t.stats.FastAbortsByReason[reason]++
+		}
+		if reason.Persistent() || attempt+1 >= t.eng.opts.MaxFastAttempts {
+			return t.runSW(fn)
+		}
+		engine.Backoff(t.rng, attempt)
+	}
+}
+
+// tryHW is one hardware attempt with counter subscription.
+func (t *Thread) tryHW(fn func(tx engine.Tx) error) (done bool, err error, reason memsim.AbortReason) {
+	htx := t.htx
+	htx.Begin()
+	c, ok := htx.Read(t.eng.seq)
+	if !ok {
+		htx.Fini()
+		return false, nil, htx.AbortReason()
+	}
+	t.stats.MetadataReads++
+	if c&1 == 1 {
+		// A software commit is writing back; hardware cannot proceed.
+		htx.Abort(memsim.AbortExplicit)
+		return false, nil, memsim.AbortExplicit
+	}
+	t.hw = true
+	t.writeSet = t.writeSet[:0]
+	err, aborted, reason := engine.RunBody(fn, (*norecTx)(t))
+	if aborted {
+		htx.Fini()
+		return false, nil, reason
+	}
+	if err != nil {
+		htx.Abort(memsim.AbortExplicit)
+		htx.Fini()
+		t.stats.UserErrors++
+		return true, err, memsim.AbortNone
+	}
+	if len(t.writeSet) > 0 {
+		// Notify software transactions: bump the counter by 2 (stays even)
+		// inside the hardware transaction. This is the write that serializes
+		// hardware write commits globally.
+		if !htx.Write(t.eng.seq, c+2) {
+			htx.Fini()
+			return false, nil, htx.AbortReason()
+		}
+		t.stats.MetadataWrites++
+	}
+	if p := t.eng.opts.InjectAbortPercent; p > 0 && t.rng.Intn(100) < p {
+		htx.Abort(memsim.AbortInjected)
+		htx.Fini()
+		return false, nil, memsim.AbortInjected
+	}
+	if !htx.Commit() {
+		return false, nil, htx.AbortReason()
+	}
+	t.stats.FastCommits++
+	return true, nil, memsim.AbortNone
+}
+
+// runSW executes the transaction on the NoRec software path until commit.
+func (t *Thread) runSW(fn func(tx engine.Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		done, err := t.trySW(fn)
+		if done {
+			return err
+		}
+		t.stats.SlowAborts++
+		engine.Backoff(t.rng, attempt)
+	}
+}
+
+// trySW is one NoRec software attempt.
+func (t *Thread) trySW(fn func(tx engine.Tx) error) (done bool, err error) {
+	t.hw = false
+	t.snapshot = t.waitEven()
+	t.readLog = t.readLog[:0]
+	t.writeSet = t.writeSet[:0]
+	clear(t.writeIdx)
+
+	err, aborted, _ := engine.RunBody(fn, (*norecTx)(t))
+	if aborted {
+		return false, nil
+	}
+	if err != nil {
+		t.stats.UserErrors++
+		return true, err
+	}
+	if len(t.writeSet) == 0 {
+		t.stats.ReadOnlyCommits++
+		return true, nil
+	}
+	// Sequence-lock acquisition: even snapshot -> odd.
+	mem := t.sys.Mem
+	for !mem.CAS(t.eng.seq, t.snapshot, t.snapshot+1) {
+		if !t.revalidate() {
+			return false, nil
+		}
+	}
+	t.stats.MetadataWrites++
+	for _, w := range t.writeSet {
+		mem.Store(w.addr, w.val)
+	}
+	mem.Store(t.eng.seq, t.snapshot+2)
+	t.stats.MetadataWrites++
+	t.stats.SlowCommits++
+	return true, nil
+}
+
+// waitEven spins until the global counter is even and returns it.
+func (t *Thread) waitEven() uint64 {
+	for spin := 0; ; spin++ {
+		c := t.sys.Mem.Load(t.eng.seq)
+		t.stats.MetadataReads++
+		if c&1 == 0 {
+			return c
+		}
+		engine.Backoff(t.rng, spin)
+	}
+}
+
+// revalidate re-reads the whole value log under a stable counter, updating
+// the snapshot on success (NoRec's value-based validation).
+func (t *Thread) revalidate() bool {
+	for {
+		c := t.waitEven()
+		ok := true
+		for _, r := range t.readLog {
+			if t.sys.Mem.Load(r.addr) != r.val {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		t.stats.MetadataReads++
+		if t.sys.Mem.Load(t.eng.seq) == c {
+			t.snapshot = c
+			return true
+		}
+		// The counter moved during revalidation; try again.
+	}
+}
+
+type norecTx Thread
+
+// Load implements engine.Tx.
+func (tx *norecTx) Load(a memsim.Addr) uint64 {
+	t := (*Thread)(tx)
+	t.stats.Reads++
+	if t.hw {
+		v, ok := t.htx.Read(a)
+		if !ok {
+			engine.Retry(t.htx.AbortReason())
+		}
+		return v
+	}
+	if i, hit := t.writeIdx[a]; hit {
+		return t.writeSet[i].val
+	}
+	// Consistent read: value is valid only if the counter did not move; if
+	// it moved, revalidate the log (which re-reads this location too).
+	for {
+		v := t.sys.Mem.Load(a)
+		t.stats.MetadataReads++
+		if t.sys.Mem.Load(t.eng.seq) == t.snapshot {
+			t.readLog = append(t.readLog, readLogEntry{addr: a, val: v})
+			return v
+		}
+		if !t.revalidate() {
+			engine.Retry(memsim.AbortConflict)
+		}
+	}
+}
+
+// Store implements engine.Tx.
+func (tx *norecTx) Store(a memsim.Addr, v uint64) {
+	t := (*Thread)(tx)
+	t.stats.Writes++
+	if t.hw {
+		if !t.htx.Write(a, v) {
+			engine.Retry(t.htx.AbortReason())
+		}
+		t.writeSet = append(t.writeSet, writeEntry{addr: a, val: v})
+		return
+	}
+	if i, hit := t.writeIdx[a]; hit {
+		t.writeSet[i].val = v
+		return
+	}
+	t.writeSet = append(t.writeSet, writeEntry{addr: a, val: v})
+	t.writeIdx[a] = len(t.writeSet) - 1
+}
+
+// Unsupported implements engine.Tx.
+func (tx *norecTx) Unsupported() {
+	t := (*Thread)(tx)
+	if t.hw {
+		t.htx.Unsupported()
+		engine.Retry(memsim.AbortUnsupported)
+	}
+}

@@ -1,0 +1,242 @@
+// Package phased implements Phased TM (Lev, Moir & Nussbaum, TRANSACT 2007),
+// the first of the prior approaches discussed in the paper's introduction:
+// execution proceeds in global phases that are either all-hardware or
+// all-software. In the hardware phase every transaction runs as a pure
+// hardware transaction subscribed to the phase word; a transaction that
+// cannot complete in hardware flips the phase, which aborts every in-flight
+// hardware transaction and sends the whole system through the software (TL2)
+// path until the instigators drain. This engine exists to reproduce the
+// behaviour the paper criticizes: "poor performance if even a single
+// transaction needs to be executed in software" (§1).
+package phased
+
+import (
+	"math/rand"
+	"sync"
+
+	"rhtm/internal/engine"
+	"rhtm/internal/htm"
+	"rhtm/internal/memsim"
+	"rhtm/internal/sys"
+	"rhtm/internal/tl2"
+)
+
+// Phase word values.
+const (
+	phaseHardware = 0
+	phaseSoftware = 1
+)
+
+// Options configures the Phased TM engine.
+type Options struct {
+	// MaxFastAttempts bounds hardware attempts before requesting a phase
+	// switch (default 8).
+	MaxFastAttempts int
+	// InjectAbortPercent forces hardware commit aborts (§3.1 emulation).
+	InjectAbortPercent int
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options { return Options{MaxFastAttempts: 8} }
+
+// Engine is a Phased TM over a System.
+type Engine struct {
+	sys   *sys.System
+	opts  Options
+	tl2   *tl2.Engine
+	phase memsim.Addr // phaseHardware / phaseSoftware
+	swCnt memsim.Addr // software transactions in flight
+
+	mu      sync.Mutex
+	threads []*Thread
+}
+
+// New creates a Phased TM engine on s.
+func New(s *sys.System, opts Options) (*Engine, error) {
+	if opts.MaxFastAttempts <= 0 {
+		opts.MaxFastAttempts = 8
+	}
+	line := s.Mem.Config().WordsPerLine
+	phaseReg, err := s.Mem.AllocRegion(line)
+	if err != nil {
+		return nil, err
+	}
+	cntReg, err := s.Mem.AllocRegion(line)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		sys:   s,
+		opts:  opts,
+		tl2:   tl2.New(s),
+		phase: phaseReg.Base,
+		swCnt: cntReg.Base,
+	}, nil
+}
+
+// MustNew is New for setup code.
+func MustNew(s *sys.System, opts Options) *Engine {
+	e, err := New(s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "Phased TM" }
+
+// NewThread implements engine.Engine.
+func (e *Engine) NewThread() engine.Thread {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := &Thread{
+		eng:  e,
+		sys:  e.sys,
+		htx:  htm.NewTxn(e.sys.Mem, e.sys.Config().HTM),
+		slow: e.tl2.NewThread(),
+		rng:  rand.New(rand.NewSource(int64(len(e.threads))*40692 + 5)),
+	}
+	e.threads = append(e.threads, t)
+	return t
+}
+
+// Snapshot implements engine.Engine.
+func (e *Engine) Snapshot() engine.Stats {
+	e.mu.Lock()
+	var s engine.Stats
+	for _, t := range e.threads {
+		s.Add(t.stats)
+	}
+	e.mu.Unlock()
+	s.Add(e.tl2.Snapshot())
+	return s
+}
+
+// Thread is a per-worker Phased TM context.
+type Thread struct {
+	eng   *Engine
+	sys   *sys.System
+	htx   *htm.Txn
+	slow  engine.Thread
+	rng   *rand.Rand
+	stats engine.Stats
+}
+
+// Atomic implements engine.Thread.
+func (t *Thread) Atomic(fn func(tx engine.Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		// Enter the software path if the phase says so OR software
+		// transactions are still draining after a phase flip raced back:
+		// hardware may never overlap an in-flight software write-back.
+		if t.sys.Mem.Load(t.eng.phase) == phaseSoftware ||
+			t.sys.Mem.Load(t.eng.swCnt) > 0 {
+			return t.runSoftware(fn)
+		}
+		done, err, reason := t.tryHW(fn)
+		if done {
+			return err
+		}
+		t.stats.FastAborts++
+		if int(reason) < len(t.stats.FastAbortsByReason) {
+			t.stats.FastAbortsByReason[reason]++
+		}
+		if reason.Persistent() || attempt+1 >= t.eng.opts.MaxFastAttempts {
+			// Flip the whole system to the software phase. The plain store
+			// aborts every hardware transaction subscribed to the phase
+			// word — the global disruption Phased TM is known for.
+			t.sys.Mem.Store(t.eng.phase, phaseSoftware)
+			return t.runSoftware(fn)
+		}
+		engine.Backoff(t.rng, attempt)
+	}
+}
+
+// runSoftware executes fn under TL2 while registered in the software count;
+// the last software transaction out restores the hardware phase.
+func (t *Thread) runSoftware(fn func(tx engine.Tx) error) error {
+	mem := t.sys.Mem
+	mem.FetchAdd(t.eng.swCnt, 1)
+	err := t.slow.Atomic(fn)
+	if mem.AddInt(t.eng.swCnt, -1) == 0 {
+		// Best-effort phase restoration; racing decrementers may both see
+		// zero, in which case both stores write the same value.
+		mem.Store(t.eng.phase, phaseHardware)
+	}
+	return err
+}
+
+// tryHW is one pure hardware attempt subscribed to the phase word.
+func (t *Thread) tryHW(fn func(tx engine.Tx) error) (done bool, err error, reason memsim.AbortReason) {
+	htx := t.htx
+	htx.Begin()
+	p, ok := htx.Read(t.eng.phase)
+	if !ok {
+		htx.Fini()
+		return false, nil, htx.AbortReason()
+	}
+	// Subscribe to the software count as well: a software transaction that
+	// sneaks in after the phase check increments it with a plain
+	// fetch-and-add, which aborts this hardware transaction through
+	// coherence before any non-atomic software write-back can be observed.
+	cnt, ok := htx.Read(t.eng.swCnt)
+	if !ok {
+		htx.Fini()
+		return false, nil, htx.AbortReason()
+	}
+	t.stats.MetadataReads += 2
+	if p != phaseHardware || cnt > 0 {
+		htx.Abort(memsim.AbortExplicit)
+		return false, nil, memsim.AbortExplicit
+	}
+	err, aborted, reason := engine.RunBody(fn, (*phasedTx)(t))
+	if aborted {
+		htx.Fini()
+		return false, nil, reason
+	}
+	if err != nil {
+		htx.Abort(memsim.AbortExplicit)
+		htx.Fini()
+		t.stats.UserErrors++
+		return true, err, memsim.AbortNone
+	}
+	if pct := t.eng.opts.InjectAbortPercent; pct > 0 && t.rng.Intn(100) < pct {
+		htx.Abort(memsim.AbortInjected)
+		htx.Fini()
+		return false, nil, memsim.AbortInjected
+	}
+	if !htx.Commit() {
+		return false, nil, htx.AbortReason()
+	}
+	t.stats.FastCommits++
+	return true, nil, memsim.AbortNone
+}
+
+type phasedTx Thread
+
+// Load implements engine.Tx: uninstrumented in the hardware phase.
+func (tx *phasedTx) Load(a memsim.Addr) uint64 {
+	t := (*Thread)(tx)
+	t.stats.Reads++
+	v, ok := t.htx.Read(a)
+	if !ok {
+		engine.Retry(t.htx.AbortReason())
+	}
+	return v
+}
+
+// Store implements engine.Tx: uninstrumented in the hardware phase.
+func (tx *phasedTx) Store(a memsim.Addr, v uint64) {
+	t := (*Thread)(tx)
+	t.stats.Writes++
+	if !t.htx.Write(a, v) {
+		engine.Retry(t.htx.AbortReason())
+	}
+}
+
+// Unsupported implements engine.Tx.
+func (tx *phasedTx) Unsupported() {
+	t := (*Thread)(tx)
+	t.htx.Unsupported()
+	engine.Retry(memsim.AbortUnsupported)
+}
