@@ -212,6 +212,23 @@ func BenchmarkExtHybrids(b *testing.B) {
 	}
 }
 
+// --- Extension: YCSB-style workloads on the sharded transactional store ---
+
+func BenchmarkYCSB(b *testing.B) {
+	engines := []string{harness.EngRH1Mix2, harness.EngStdHy, harness.EngTL2}
+	for _, mix := range []string{"a", "b", "c"} {
+		for _, dist := range []string{harness.DistUniform, harness.DistZipfian} {
+			for _, eng := range engines {
+				b.Run(fmt.Sprintf("%s/%s/%s", mix, dist, eng), func(b *testing.B) {
+					spec := harness.YCSBSpec{Mix: mix, Records: 2048, ValueBytes: 64,
+						Dist: dist, Shards: 4}
+					benchPoint(b, harness.YCSBWorkload(spec), eng, 4)
+				})
+			}
+		}
+	}
+}
+
 // --- Extension: real (mutating) red-black tree, enabled by the safe HTM ---
 
 func BenchmarkExtRealRBTree(b *testing.B) {

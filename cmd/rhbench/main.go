@@ -20,7 +20,14 @@
 //	ext-clock     GV6 vs GV5 clock ablation
 //	ext-capacity  slow-path transaction-length extension
 //	ext-hybrids   RH1 vs Standard HyTM / Hybrid NoRec / Phased TM
+//	ycsb-a        sharded KV store, YCSB-A (50%% reads / 50%% updates)
+//	ycsb-b        sharded KV store, YCSB-B (95%% reads)
+//	ycsb-c        sharded KV store, YCSB-C (read-only)
 //	all           everything above
+//
+// The ycsb-* experiments run against the store package's sharded
+// transactional key-value store; -dist selects the request distribution
+// (zipfian by default, as YCSB), -records/-vbytes/-shards size the store.
 //
 // The default scale matches the paper (100K-node tree, threads 1..20,
 // 1s per point), which takes a while on a small machine; use -quick for a
@@ -50,10 +57,15 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		quick   = flag.Bool("quick", false, "small, fast configuration (smoke run)")
 		capLim  = flag.Int("caplines", 64, "HTM footprint cap (lines) for ext-capacity")
+		records = flag.Int("records", 10_000, "YCSB record count")
+		vbytes  = flag.Int("vbytes", 64, "YCSB value size in bytes")
+		shards  = flag.Int("shards", 8, "YCSB store shard count")
+		dist    = flag.String("dist", harness.DistZipfian, "YCSB request distribution (uniform|zipfian)")
+		theta   = flag.Float64("theta", 0.99, "zipfian skew for -dist zipfian")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|all>")
+		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a|ycsb-b|ycsb-c|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -75,27 +87,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *dist != harness.DistUniform && *dist != harness.DistZipfian {
+		fmt.Fprintf(os.Stderr, "rhbench: -dist must be %s or %s, got %q\n",
+			harness.DistUniform, harness.DistZipfian, *dist)
+		os.Exit(2)
+	}
+	if *theta <= 0 || *theta >= 1 {
+		fmt.Fprintf(os.Stderr, "rhbench: -theta must be in (0,1), got %g\n", *theta)
+		os.Exit(2)
+	}
+	if *records <= 0 || *vbytes <= 0 || *shards <= 0 {
+		fmt.Fprintln(os.Stderr, "rhbench: -records, -vbytes and -shards must be positive")
+		os.Exit(2)
+	}
+	spec := harness.YCSBSpec{
+		Records:    *records,
+		ValueBytes: *vbytes,
+		Shards:     *shards,
+		Dist:       *dist,
+		Theta:      *theta,
+	}
 	if *quick {
 		q := harness.SmallScale()
 		q.Threads = []int{1, 2, 4}
 		q.OpsPerThread = 300
 		sc = q
+		spec.Records = 512
+		spec.Shards = 4
 	}
 
 	exp := flag.Arg(0)
 	if exp == "all" {
 		for _, e := range []string{"fig1", "fig2a", "fig2b", "fig2c", "tab1", "tab2",
-			"fig3a", "fig3b", "fig3c", "ext-clock", "ext-capacity", "ext-hybrids"} {
-			runExperiment(e, sc, *capLim)
+			"fig3a", "fig3b", "fig3c", "ext-clock", "ext-capacity", "ext-hybrids",
+			"ycsb-a", "ycsb-b", "ycsb-c"} {
+			runExperiment(e, sc, *capLim, spec)
 			fmt.Println()
 		}
 		return
 	}
-	runExperiment(exp, sc, *capLim)
+	runExperiment(exp, sc, *capLim, spec)
 }
 
 // runExperiment dispatches one experiment id and prints its artifact.
-func runExperiment(exp string, sc harness.Scale, capLim int) {
+func runExperiment(exp string, sc harness.Scale, capLim int, spec harness.YCSBSpec) {
 	out := os.Stdout
 	switch exp {
 	case "fig1":
@@ -144,6 +179,13 @@ func runExperiment(exp string, sc harness.Scale, capLim int) {
 		harness.PrintThroughputSeries(out,
 			"Extension: hybrid designs compared (RB-Tree 20%)",
 			harness.ExtHybrids(sc))
+	case "ycsb-a", "ycsb-b", "ycsb-c":
+		spec.Mix = strings.TrimPrefix(exp, "ycsb-")
+		readPct := map[string]string{"a": "50% reads / 50% updates", "b": "95% reads", "c": "read-only"}[spec.Mix]
+		harness.PrintThroughputSeries(out,
+			fmt.Sprintf("YCSB-%s (%s), %d records, %s distribution, %d-shard store",
+				strings.ToUpper(spec.Mix), readPct, spec.Records, spec.Dist, spec.Shards),
+			harness.YCSB(sc, spec))
 	default:
 		fmt.Fprintf(os.Stderr, "rhbench: unknown experiment %q\n", exp)
 		os.Exit(2)

@@ -1,0 +1,485 @@
+package containers
+
+import (
+	"fmt"
+
+	"rhtm"
+)
+
+// Allocator abstracts block allocation for structures whose nodes are
+// created and destroyed inside transactions. TxAlloc and TxFree run under
+// the caller's transaction: an implementation that keeps its free-list state
+// in simulated words (store.Arena) makes allocation and reclamation roll
+// back with the enclosing transaction, so aborted inserts leak nothing and
+// aborted deletes never hand a still-reachable block to another thread.
+type Allocator interface {
+	// TxAlloc returns a block of at least words simulated words. The block's
+	// contents are unspecified (it may be recycled); callers must initialize
+	// every word they read back. A non-nil error means the arena is
+	// exhausted; returning it from the transaction body aborts cleanly.
+	TxAlloc(tx rhtm.Tx, words int) (rhtm.Addr, error)
+	// TxFree returns a block of the given size to the allocator.
+	TxFree(tx rhtm.Tx, a rhtm.Addr, words int)
+}
+
+// heapAllocator adapts the system heap: allocation bypasses the transaction
+// (an abort storm can leak blocks, as documented on RBTree.Insert) and
+// freed blocks are intentionally leaked (freeing inside a transaction that
+// later aborts would hand the block to another thread while still
+// reachable).
+type heapAllocator struct{ s *rhtm.System }
+
+// TxAlloc implements Allocator over the non-transactional system heap.
+func (h heapAllocator) TxAlloc(tx rhtm.Tx, words int) (rhtm.Addr, error) {
+	return h.s.Alloc(words)
+}
+
+// TxFree implements Allocator; see the type comment for why it is a no-op.
+func (h heapAllocator) TxFree(tx rhtm.Tx, a rhtm.Addr, words int) {}
+
+// HeapAllocator returns the default Allocator over the system heap.
+func HeapAllocator(s *rhtm.System) Allocator { return heapAllocator{s: s} }
+
+// ItemCompare orders an external probe key against a stored item. It
+// returns <0, 0 or >0 as key sorts before, equal to, or after the item's
+// key. All tree operations are probe-driven, so the tree never compares two
+// stored items directly and the item encoding stays opaque to it (the store
+// uses addresses of varlen key blocks).
+type ItemCompare func(tx rhtm.Tx, key []byte, item uint64) int
+
+// OrderedTree node layout, in words.
+const (
+	otItem   = 0
+	otLeft   = 1
+	otRight  = 2
+	otParent = 3
+	otColor  = 4
+	// OTNodeWords is the allocation size of one tree node.
+	OTNodeWords = 5
+)
+
+// OrderedTree is a transactional red-black tree over opaque uint64 items,
+// ordered by a caller-supplied comparator. Unlike RBTree (the paper's
+// fixed-layout uint64-keyed benchmark tree), OrderedTree supports
+// variable-length keys held in simulated memory: the comparator loads and
+// compares them under the caller's transaction. It is the index layer of
+// the store package.
+type OrderedTree struct {
+	sys   *rhtm.System
+	cmp   ItemCompare
+	alloc Allocator
+	root  rhtm.Addr // one-word cell holding the root node address
+}
+
+// NewOrderedTree allocates an empty tree on s. A nil alloc selects the
+// system heap (non-transactional allocation, no reclamation).
+func NewOrderedTree(s *rhtm.System, cmp ItemCompare, alloc Allocator) *OrderedTree {
+	if alloc == nil {
+		alloc = heapAllocator{s: s}
+	}
+	return &OrderedTree{sys: s, cmp: cmp, alloc: alloc, root: s.MustAlloc(1)}
+}
+
+// Lookup returns the item stored under key.
+func (t *OrderedTree) Lookup(tx rhtm.Tx, key []byte) (uint64, bool) {
+	n := tx.Load(t.root)
+	for n != uint64(rhtm.NilAddr) {
+		item := tx.Load(rhtm.Addr(n) + otItem)
+		c := t.cmp(tx, key, item)
+		switch {
+		case c == 0:
+			return item, true
+		case c < 0:
+			n = tx.Load(rhtm.Addr(n) + otLeft)
+		default:
+			n = tx.Load(rhtm.Addr(n) + otRight)
+		}
+	}
+	return 0, false
+}
+
+// Insert adds item under key. If the key is already present no insertion
+// happens and the existing item is returned with inserted=false. A non-nil
+// error means node allocation failed (arena exhausted).
+func (t *OrderedTree) Insert(tx rhtm.Tx, key []byte, item uint64) (existing uint64, inserted bool, err error) {
+	var parent uint64
+	left := false
+	n := tx.Load(t.root)
+	for n != uint64(rhtm.NilAddr) {
+		parent = n
+		cur := tx.Load(rhtm.Addr(n) + otItem)
+		c := t.cmp(tx, key, cur)
+		switch {
+		case c == 0:
+			return cur, false, nil
+		case c < 0:
+			n = tx.Load(rhtm.Addr(n) + otLeft)
+			left = true
+		default:
+			n = tx.Load(rhtm.Addr(n) + otRight)
+			left = false
+		}
+	}
+	node, err := t.alloc.TxAlloc(tx, OTNodeWords)
+	if err != nil {
+		return 0, false, err
+	}
+	tx.Store(node+otItem, item)
+	tx.Store(node+otLeft, uint64(rhtm.NilAddr))
+	tx.Store(node+otRight, uint64(rhtm.NilAddr))
+	tx.Store(node+otParent, parent)
+	tx.Store(node+otColor, red)
+	if parent == uint64(rhtm.NilAddr) {
+		tx.Store(t.root, uint64(node))
+	} else if left {
+		tx.Store(rhtm.Addr(parent)+otLeft, uint64(node))
+	} else {
+		tx.Store(rhtm.Addr(parent)+otRight, uint64(node))
+	}
+	t.insertFixup(tx, uint64(node))
+	return item, true, nil
+}
+
+// Delete removes the entry under key and returns its item. The unlinked
+// node is returned to the allocator under the same transaction, so with a
+// transactional allocator deletion reclaims memory safely even under
+// aborts.
+func (t *OrderedTree) Delete(tx rhtm.Tx, key []byte) (uint64, bool) {
+	z := tx.Load(t.root)
+	for z != uint64(rhtm.NilAddr) {
+		c := t.cmp(tx, key, tx.Load(rhtm.Addr(z)+otItem))
+		if c == 0 {
+			break
+		}
+		if c < 0 {
+			z = tx.Load(rhtm.Addr(z) + otLeft)
+		} else {
+			z = tx.Load(rhtm.Addr(z) + otRight)
+		}
+	}
+	if z == uint64(rhtm.NilAddr) {
+		return 0, false
+	}
+	za := rhtm.Addr(z)
+	removed := tx.Load(za + otItem)
+
+	// y is the node actually unlinked; x is the child that replaces it,
+	// xp its (new) parent. x may be nil, so xp is tracked explicitly.
+	y := z
+	if tx.Load(za+otLeft) != uint64(rhtm.NilAddr) &&
+		tx.Load(za+otRight) != uint64(rhtm.NilAddr) {
+		// Successor: minimum of the right subtree.
+		y = tx.Load(za + otRight)
+		for l := tx.Load(rhtm.Addr(y) + otLeft); l != uint64(rhtm.NilAddr); l = tx.Load(rhtm.Addr(y) + otLeft) {
+			y = l
+		}
+	}
+	ya := rhtm.Addr(y)
+	x := tx.Load(ya + otLeft)
+	if x == uint64(rhtm.NilAddr) {
+		x = tx.Load(ya + otRight)
+	}
+	xp := tx.Load(ya + otParent)
+	if x != uint64(rhtm.NilAddr) {
+		tx.Store(rhtm.Addr(x)+otParent, xp)
+	}
+	if xp == uint64(rhtm.NilAddr) {
+		tx.Store(t.root, x)
+	} else if tx.Load(rhtm.Addr(xp)+otLeft) == y {
+		tx.Store(rhtm.Addr(xp)+otLeft, x)
+	} else {
+		tx.Store(rhtm.Addr(xp)+otRight, x)
+	}
+	if y != z {
+		// Move the successor's item into z; the structure keeps z.
+		tx.Store(za+otItem, tx.Load(ya+otItem))
+	}
+	if tx.Load(ya+otColor) == black {
+		t.deleteFixup(tx, x, xp)
+	}
+	t.alloc.TxFree(tx, ya, OTNodeWords)
+	return removed, true
+}
+
+// Scan visits the items whose keys fall in [start, end) in ascending key
+// order. A nil start means "from the smallest key"; a nil end means "to the
+// largest". Visiting stops early when fn returns false.
+func (t *OrderedTree) Scan(tx rhtm.Tx, start, end []byte, fn func(item uint64) bool) {
+	t.scan(tx, tx.Load(t.root), start, end, fn)
+}
+
+// scan is the recursive range traversal; it returns false to stop.
+func (t *OrderedTree) scan(tx rhtm.Tx, n uint64, start, end []byte, fn func(item uint64) bool) bool {
+	if n == uint64(rhtm.NilAddr) {
+		return true
+	}
+	a := rhtm.Addr(n)
+	item := tx.Load(a + otItem)
+	aboveStart := start == nil || t.cmp(tx, start, item) <= 0
+	belowEnd := end == nil || t.cmp(tx, end, item) > 0
+	// The left subtree holds smaller keys: it can only intersect the range
+	// if this item is not already below start. Symmetrically for the right.
+	if aboveStart {
+		if !t.scan(tx, tx.Load(a+otLeft), start, end, fn) {
+			return false
+		}
+	}
+	if aboveStart && belowEnd {
+		if !fn(item) {
+			return false
+		}
+	}
+	if belowEnd {
+		return t.scan(tx, tx.Load(a+otRight), start, end, fn)
+	}
+	return true
+}
+
+// Len counts the entries by traversal (O(n); tests and setup only — the
+// store maintains its own O(1) count word).
+func (t *OrderedTree) Len(tx rhtm.Tx) int {
+	count := 0
+	t.Scan(tx, nil, nil, func(uint64) bool { count++; return true })
+	return count
+}
+
+// --- rotations and fixups (CLRS, as in RBTree but item-only payload) ---
+
+// rotateLeft performs a left rotation around x.
+func (t *OrderedTree) rotateLeft(tx rhtm.Tx, x uint64) {
+	xa := rhtm.Addr(x)
+	y := tx.Load(xa + otRight)
+	ya := rhtm.Addr(y)
+	yl := tx.Load(ya + otLeft)
+	tx.Store(xa+otRight, yl)
+	if yl != uint64(rhtm.NilAddr) {
+		tx.Store(rhtm.Addr(yl)+otParent, x)
+	}
+	p := tx.Load(xa + otParent)
+	tx.Store(ya+otParent, p)
+	if p == uint64(rhtm.NilAddr) {
+		tx.Store(t.root, y)
+	} else if tx.Load(rhtm.Addr(p)+otLeft) == x {
+		tx.Store(rhtm.Addr(p)+otLeft, y)
+	} else {
+		tx.Store(rhtm.Addr(p)+otRight, y)
+	}
+	tx.Store(ya+otLeft, x)
+	tx.Store(xa+otParent, y)
+}
+
+// rotateRight performs a right rotation around x.
+func (t *OrderedTree) rotateRight(tx rhtm.Tx, x uint64) {
+	xa := rhtm.Addr(x)
+	y := tx.Load(xa + otLeft)
+	ya := rhtm.Addr(y)
+	yr := tx.Load(ya + otRight)
+	tx.Store(xa+otLeft, yr)
+	if yr != uint64(rhtm.NilAddr) {
+		tx.Store(rhtm.Addr(yr)+otParent, x)
+	}
+	p := tx.Load(xa + otParent)
+	tx.Store(ya+otParent, p)
+	if p == uint64(rhtm.NilAddr) {
+		tx.Store(t.root, y)
+	} else if tx.Load(rhtm.Addr(p)+otLeft) == x {
+		tx.Store(rhtm.Addr(p)+otLeft, y)
+	} else {
+		tx.Store(rhtm.Addr(p)+otRight, y)
+	}
+	tx.Store(ya+otRight, x)
+	tx.Store(xa+otParent, y)
+}
+
+// insertFixup restores the red-black invariants after inserting z.
+func (t *OrderedTree) insertFixup(tx rhtm.Tx, z uint64) {
+	for {
+		p := tx.Load(rhtm.Addr(z) + otParent)
+		if p == uint64(rhtm.NilAddr) || tx.Load(rhtm.Addr(p)+otColor) == black {
+			break
+		}
+		g := tx.Load(rhtm.Addr(p) + otParent) // grandparent exists: p is red, root is black
+		ga := rhtm.Addr(g)
+		if p == tx.Load(ga+otLeft) {
+			u := tx.Load(ga + otRight)
+			if u != uint64(rhtm.NilAddr) && tx.Load(rhtm.Addr(u)+otColor) == red {
+				tx.Store(rhtm.Addr(p)+otColor, black)
+				tx.Store(rhtm.Addr(u)+otColor, black)
+				tx.Store(ga+otColor, red)
+				z = g
+				continue
+			}
+			if z == tx.Load(rhtm.Addr(p)+otRight) {
+				z = p
+				t.rotateLeft(tx, z)
+				p = tx.Load(rhtm.Addr(z) + otParent)
+			}
+			tx.Store(rhtm.Addr(p)+otColor, black)
+			tx.Store(ga+otColor, red)
+			t.rotateRight(tx, g)
+		} else {
+			u := tx.Load(ga + otLeft)
+			if u != uint64(rhtm.NilAddr) && tx.Load(rhtm.Addr(u)+otColor) == red {
+				tx.Store(rhtm.Addr(p)+otColor, black)
+				tx.Store(rhtm.Addr(u)+otColor, black)
+				tx.Store(ga+otColor, red)
+				z = g
+				continue
+			}
+			if z == tx.Load(rhtm.Addr(p)+otLeft) {
+				z = p
+				t.rotateRight(tx, z)
+				p = tx.Load(rhtm.Addr(z) + otParent)
+			}
+			tx.Store(rhtm.Addr(p)+otColor, black)
+			tx.Store(ga+otColor, red)
+			t.rotateLeft(tx, g)
+		}
+	}
+	r := tx.Load(t.root)
+	tx.Store(rhtm.Addr(r)+otColor, black)
+}
+
+// deleteFixup restores the invariants after unlinking a black node; x (which
+// may be nil) carries an extra black, xp is its parent.
+func (t *OrderedTree) deleteFixup(tx rhtm.Tx, x, xp uint64) {
+	for x != tx.Load(t.root) && t.colorOf(tx, x) == black {
+		if xp == uint64(rhtm.NilAddr) {
+			break
+		}
+		xpa := rhtm.Addr(xp)
+		if x == tx.Load(xpa+otLeft) {
+			w := tx.Load(xpa + otRight)
+			if t.colorOf(tx, w) == red {
+				tx.Store(rhtm.Addr(w)+otColor, black)
+				tx.Store(xpa+otColor, red)
+				t.rotateLeft(tx, xp)
+				w = tx.Load(xpa + otRight)
+			}
+			wl := tx.Load(rhtm.Addr(w) + otLeft)
+			wr := tx.Load(rhtm.Addr(w) + otRight)
+			if t.colorOf(tx, wl) == black && t.colorOf(tx, wr) == black {
+				tx.Store(rhtm.Addr(w)+otColor, red)
+				x = xp
+				xp = tx.Load(rhtm.Addr(x) + otParent)
+				continue
+			}
+			if t.colorOf(tx, wr) == black {
+				if wl != uint64(rhtm.NilAddr) {
+					tx.Store(rhtm.Addr(wl)+otColor, black)
+				}
+				tx.Store(rhtm.Addr(w)+otColor, red)
+				t.rotateRight(tx, w)
+				w = tx.Load(xpa + otRight)
+				wr = tx.Load(rhtm.Addr(w) + otRight)
+			}
+			tx.Store(rhtm.Addr(w)+otColor, tx.Load(xpa+otColor))
+			tx.Store(xpa+otColor, black)
+			if wr != uint64(rhtm.NilAddr) {
+				tx.Store(rhtm.Addr(wr)+otColor, black)
+			}
+			t.rotateLeft(tx, xp)
+			x = tx.Load(t.root)
+			break
+		}
+		// Mirror image.
+		w := tx.Load(xpa + otLeft)
+		if t.colorOf(tx, w) == red {
+			tx.Store(rhtm.Addr(w)+otColor, black)
+			tx.Store(xpa+otColor, red)
+			t.rotateRight(tx, xp)
+			w = tx.Load(xpa + otLeft)
+		}
+		wl := tx.Load(rhtm.Addr(w) + otLeft)
+		wr := tx.Load(rhtm.Addr(w) + otRight)
+		if t.colorOf(tx, wl) == black && t.colorOf(tx, wr) == black {
+			tx.Store(rhtm.Addr(w)+otColor, red)
+			x = xp
+			xp = tx.Load(rhtm.Addr(x) + otParent)
+			continue
+		}
+		if t.colorOf(tx, wl) == black {
+			if wr != uint64(rhtm.NilAddr) {
+				tx.Store(rhtm.Addr(wr)+otColor, black)
+			}
+			tx.Store(rhtm.Addr(w)+otColor, red)
+			t.rotateLeft(tx, w)
+			w = tx.Load(xpa + otLeft)
+			wl = tx.Load(rhtm.Addr(w) + otLeft)
+		}
+		tx.Store(rhtm.Addr(w)+otColor, tx.Load(xpa+otColor))
+		tx.Store(xpa+otColor, black)
+		if wl != uint64(rhtm.NilAddr) {
+			tx.Store(rhtm.Addr(wl)+otColor, black)
+		}
+		t.rotateRight(tx, xp)
+		x = tx.Load(t.root)
+		break
+	}
+	if x != uint64(rhtm.NilAddr) {
+		tx.Store(rhtm.Addr(x)+otColor, black)
+	}
+}
+
+// colorOf treats nil as black, per the red-black convention.
+func (t *OrderedTree) colorOf(tx rhtm.Tx, n uint64) uint64 {
+	if n == uint64(rhtm.NilAddr) {
+		return black
+	}
+	return tx.Load(rhtm.Addr(n) + otColor)
+}
+
+// --- validation (setup/verification contexts only) ---
+
+// Validate checks the red-black structural invariants (root color, red-red,
+// black height, parent pointers) over the whole tree using raw memory
+// access. Key ordering is the comparator's business and is checked by Scan
+// output in the callers' tests. Only call while no transactions are in
+// flight.
+func (t *OrderedTree) Validate() error {
+	tx := SetupTx(t.sys)
+	root := tx.Load(t.root)
+	if root == uint64(rhtm.NilAddr) {
+		return nil
+	}
+	if tx.Load(rhtm.Addr(root)+otColor) != black {
+		return fmt.Errorf("orderedtree: root is red")
+	}
+	_, err := t.validateNode(tx, root)
+	return err
+}
+
+// validateNode checks the subtree at n and returns its black height.
+func (t *OrderedTree) validateNode(tx rhtm.Tx, n uint64) (int, error) {
+	if n == uint64(rhtm.NilAddr) {
+		return 1, nil
+	}
+	a := rhtm.Addr(n)
+	c := tx.Load(a + otColor)
+	l, r := tx.Load(a+otLeft), tx.Load(a+otRight)
+	if c == red {
+		if t.colorOf(tx, l) == red || t.colorOf(tx, r) == red {
+			return 0, fmt.Errorf("orderedtree: red node %d has a red child", n)
+		}
+	}
+	for _, child := range []uint64{l, r} {
+		if child != uint64(rhtm.NilAddr) && tx.Load(rhtm.Addr(child)+otParent) != n {
+			return 0, fmt.Errorf("orderedtree: node %d child has wrong parent pointer", n)
+		}
+	}
+	lh, err := t.validateNode(tx, l)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.validateNode(tx, r)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("orderedtree: black-height mismatch at node %d: %d vs %d", n, lh, rh)
+	}
+	if c == black {
+		lh++
+	}
+	return lh, nil
+}

@@ -1,0 +1,173 @@
+package containers
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rhtm"
+)
+
+// u64Cmp orders items that encode their key directly: the item word is
+// compared against the probe's 8-byte big-endian encoding, so byte
+// lexicographic order equals numeric order.
+func u64Cmp(tx rhtm.Tx, key []byte, item uint64) int {
+	var probe [8]byte
+	copy(probe[:], key)
+	k := binary.BigEndian.Uint64(probe[:])
+	switch {
+	case k < item:
+		return -1
+	case k > item:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func u64Key(k uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], k)
+	return b[:]
+}
+
+func TestOrderedTreeInsertDeleteOracle(t *testing.T) {
+	s := newSys(1 << 20)
+	tree := NewOrderedTree(s, u64Cmp, nil)
+	tx := SetupTx(s)
+	oracle := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(7))
+	for op := 0; op < 4000; op++ {
+		key := uint64(rng.Intn(300) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			_, inserted, err := tree.Insert(tx, u64Key(key), key)
+			if err != nil {
+				t.Fatalf("op %d: Insert(%d): %v", op, key, err)
+			}
+			if inserted == oracle[key] {
+				t.Fatalf("op %d: Insert(%d) inserted=%v, oracle existed=%v", op, key, inserted, oracle[key])
+			}
+			oracle[key] = true
+		case 1:
+			item, removed := tree.Delete(tx, u64Key(key))
+			if removed != oracle[key] {
+				t.Fatalf("op %d: Delete(%d) = %v, oracle existed=%v", op, key, removed, oracle[key])
+			}
+			if removed && item != key {
+				t.Fatalf("op %d: Delete(%d) returned item %d", op, key, item)
+			}
+			delete(oracle, key)
+		default:
+			item, ok := tree.Lookup(tx, u64Key(key))
+			if ok != oracle[key] || (ok && item != key) {
+				t.Fatalf("op %d: Lookup(%d) = %d,%v, oracle %v", op, key, item, ok, oracle[key])
+			}
+		}
+		if op%500 == 0 {
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	tree.Scan(tx, nil, nil, func(item uint64) bool { got = append(got, item); return true })
+	want := make([]uint64, 0, len(oracle))
+	for k := range oracle {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOrderedTreeScanRange(t *testing.T) {
+	s := newSys(1 << 18)
+	tree := NewOrderedTree(s, u64Cmp, nil)
+	tx := SetupTx(s)
+	for k := uint64(1); k <= 100; k++ {
+		if _, _, err := tree.Insert(tx, u64Key(k*2), k*2); err != nil { // even keys 2..200
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		start, end uint64 // 0 = unbounded
+		want       []uint64
+	}{
+		{10, 20, []uint64{10, 12, 14, 16, 18}}, // end exclusive
+		{9, 15, []uint64{10, 12, 14}},          // bounds between keys
+		{0, 6, []uint64{2, 4}},
+		{196, 0, []uint64{196, 198, 200}},
+		{300, 0, nil},
+	}
+	for _, c := range cases {
+		var start, end []byte
+		if c.start != 0 {
+			start = u64Key(c.start)
+		}
+		if c.end != 0 {
+			end = u64Key(c.end)
+		}
+		var got []uint64
+		tree.Scan(tx, start, end, func(item uint64) bool { got = append(got, item); return true })
+		if len(got) != len(c.want) {
+			t.Fatalf("Scan[%d,%d) = %v, want %v", c.start, c.end, got, c.want)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("Scan[%d,%d) = %v, want %v", c.start, c.end, got, c.want)
+			}
+		}
+	}
+	// Early stop.
+	n := 0
+	tree.Scan(tx, nil, nil, func(uint64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early-stop scan visited %d items, want 3", n)
+	}
+}
+
+func TestOrderedTreeLexicographic(t *testing.T) {
+	// Variable-length byte keys with the item encoding an index into a Go
+	// side table; verifies the comparator contract with real varlen keys.
+	keys := [][]byte{
+		[]byte(""), []byte("a"), []byte("ab"), []byte("abc"), []byte("b"),
+		[]byte("ba"), []byte("z"), []byte("za"), {0x00}, {0x00, 0x01}, {0xff},
+	}
+	s := newSys(1 << 16)
+	cmp := func(tx rhtm.Tx, key []byte, item uint64) int {
+		return bytes.Compare(key, keys[item])
+	}
+	tree := NewOrderedTree(s, cmp, nil)
+	tx := SetupTx(s)
+	perm := rand.New(rand.NewSource(3)).Perm(len(keys))
+	for _, i := range perm {
+		if _, _, err := tree.Insert(tx, keys[i], uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [][]byte
+	tree.Scan(tx, nil, nil, func(item uint64) bool { got = append(got, keys[item]); return true })
+	want := make([][]byte, len(keys))
+	copy(want, keys)
+	sort.Slice(want, func(i, j int) bool { return bytes.Compare(want[i], want[j]) < 0 })
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("scan[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

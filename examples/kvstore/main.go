@@ -1,13 +1,15 @@
-// kvstore builds a small concurrent key-value store with composed
-// transactions on top of the rhtm hash table: writers move key-value pairs
-// between two tables atomically (the classic "cannot be done with two
-// independent concurrent maps" operation), and an auditing reader keeps
-// verifying that every key lives in exactly one table. Some transactions
-// simulate a system call with Tx.Unsupported, forcing them through the
-// mostly-software slow path — the scenario the paper's slow path exists for.
+// kvstore builds a concurrent key-value service on the store package:
+// writers move variable-length records between a "hot" and a "cold" sharded
+// store atomically (the classic "cannot be done with two independent
+// concurrent maps" operation), while an auditing reader keeps verifying
+// that every key lives in exactly one store with its payload intact. Some
+// transactions simulate a system call with Tx.Unsupported, forcing them
+// through the mostly-software slow path — the scenario the paper's slow
+// path exists for.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,24 +17,55 @@ import (
 
 	"rhtm"
 	"rhtm/containers"
+	"rhtm/store"
 )
 
-const keySpace = 400
+const (
+	keySpace = 256
+	movers   = 4
+	moves    = 150
+	shards   = 4
+)
 
 func main() {
+	summary, err := run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(summary)
+}
+
+// key and value derive a record from its index; values vary in length from
+// 1 to 40 bytes so the moves exercise the varlen codec and the arena's
+// size-class recycling.
+func key(i int) []byte { return []byte(fmt.Sprintf("item-%03d", i)) }
+
+func value(i int) []byte {
+	v := bytes.Repeat([]byte{byte('a' + i%26)}, i%40+1)
+	return append(v, []byte(fmt.Sprintf("#%d", i))...)
+}
+
+// run executes the scenario and returns a human-readable summary; the smoke
+// test drives it directly.
+func run() (string, error) {
 	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 18))
 	eng := rhtm.NewRH1(s, rhtm.DefaultRH1Options())
 
-	hot := containers.NewHashTable(s, 128)
-	cold := containers.NewHashTable(s, 128)
-	keys := make([]uint64, keySpace)
-	for i := range keys {
-		keys[i] = uint64(i + 1)
-	}
-	hot.Populate(keys) // everything starts hot
+	opts := store.Options{ArenaWords: 1 << 14}
+	hot := store.NewSharded(s, shards, opts)
+	cold := store.NewSharded(s, shards, opts)
 
-	const movers, moves = 4, 400
+	// Everything starts hot. Population runs single-threaded, so it uses the
+	// raw setup transaction instead of an engine.
+	setup := containers.SetupTx(s)
+	for i := 0; i < keySpace; i++ {
+		if err := hot.Put(setup, key(i), value(i)); err != nil {
+			return "", fmt.Errorf("populate: %w", err)
+		}
+	}
+
 	var wg sync.WaitGroup
+	errs := make(chan error, movers+1)
 	for w := 0; w < movers; w++ {
 		th := eng.NewThread()
 		rng := rand.New(rand.NewSource(int64(w + 1)))
@@ -40,7 +73,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < moves; i++ {
-				key := uint64(rng.Intn(keySpace) + 1)
+				k := key(rng.Intn(keySpace))
 				toCold := rng.Intn(2) == 0
 				audit := rng.Intn(16) == 0
 				err := th.Atomic(func(tx rhtm.Tx) error {
@@ -54,20 +87,23 @@ func main() {
 					if !toCold {
 						src, dst = cold, hot
 					}
-					if v, ok := src.Get(tx, key); ok {
-						src.Remove(tx, key)
-						dst.Insert(tx, key, v)
+					v, ok := src.Get(tx, k)
+					if !ok {
+						return nil // already on the other side
 					}
-					return nil
+					src.Delete(tx, k)
+					return dst.Put(tx, k, v)
 				})
 				if err != nil {
-					log.Fatalf("move: %v", err)
+					errs <- fmt.Errorf("move: %w", err)
+					return
 				}
 			}
 		}()
 	}
 
-	// Auditor: each key must be in exactly one table at every instant.
+	// Auditor: each key must be in exactly one store, with its original
+	// payload, at every instant.
 	stopAudit := make(chan struct{})
 	var audits int
 	var auditWg sync.WaitGroup
@@ -82,17 +118,25 @@ func main() {
 				return
 			default:
 			}
-			key := uint64(rng.Intn(keySpace) + 1)
+			i := rng.Intn(keySpace)
 			err := th.Atomic(func(tx rhtm.Tx) error {
-				_, inHot := hot.Get(tx, key)
-				_, inCold := cold.Get(tx, key)
+				vh, inHot := hot.Get(tx, key(i))
+				vc, inCold := cold.Get(tx, key(i))
 				if inHot == inCold {
-					return fmt.Errorf("key %d: inHot=%v inCold=%v", key, inHot, inCold)
+					return fmt.Errorf("key %d: inHot=%v inCold=%v", i, inHot, inCold)
+				}
+				v := vh
+				if inCold {
+					v = vc
+				}
+				if !bytes.Equal(v, value(i)) {
+					return fmt.Errorf("key %d: payload corrupted: %q", i, v)
 				}
 				return nil
 			})
 			if err != nil {
-				log.Fatalf("audit violation: %v", err)
+				errs <- fmt.Errorf("audit violation: %w", err)
+				return
 			}
 			audits++
 		}
@@ -101,17 +145,41 @@ func main() {
 	wg.Wait()
 	close(stopAudit)
 	auditWg.Wait()
-
-	// Final verification with raw access.
-	total := hot.Len() + cold.Len()
-	if total != keySpace {
-		log.Fatalf("keys lost or duplicated: hot=%d cold=%d total=%d want=%d",
-			hot.Len(), cold.Len(), total, keySpace)
+	select {
+	case err := <-errs:
+		return "", err
+	default:
 	}
+
+	// Final verification with raw access: exactly keySpace records across
+	// the two stores, every payload intact, both stores structurally valid.
+	nh, nc := hot.Len(setup), cold.Len(setup)
+	if nh+nc != keySpace {
+		return "", fmt.Errorf("keys lost or duplicated: hot=%d cold=%d total=%d want=%d",
+			nh, nc, nh+nc, keySpace)
+	}
+	for i := 0; i < keySpace; i++ {
+		v, ok := hot.Get(setup, key(i))
+		if !ok {
+			v, ok = cold.Get(setup, key(i))
+		}
+		if !ok || !bytes.Equal(v, value(i)) {
+			return "", fmt.Errorf("key %d: missing or corrupted after run", i)
+		}
+	}
+	if err := hot.Validate(); err != nil {
+		return "", fmt.Errorf("hot store: %w", err)
+	}
+	if err := cold.Validate(); err != nil {
+		return "", fmt.Errorf("cold store: %w", err)
+	}
+
 	st := eng.Snapshot()
-	fmt.Printf("kvstore ok: hot=%d cold=%d (total %d), %d audits passed\n",
-		hot.Len(), cold.Len(), total, audits)
-	fmt.Printf("engine %s: %s\n", eng.Name(), st)
-	fmt.Printf("software slow-path commits (syscall transactions): %d\n",
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "kvstore ok: hot=%d cold=%d (total %d), %d audits passed\n",
+		nh, nc, nh+nc, audits)
+	fmt.Fprintf(&b, "engine %s: %s\n", eng.Name(), st)
+	fmt.Fprintf(&b, "software slow-path commits (syscall transactions): %d\n",
 		st.SlowCommits+st.ReadOnlyCommits)
+	return b.String(), nil
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKVStoreExample runs the full scenario so the example cannot silently
+// rot: movers, auditor, final verification, and the engine summary.
+func TestKVStoreExample(t *testing.T) {
+	summary, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(summary, "kvstore ok:") {
+		t.Fatalf("unexpected summary:\n%s", summary)
+	}
+	if !strings.Contains(summary, "audits passed") {
+		t.Fatalf("summary missing audit count:\n%s", summary)
+	}
+}

@@ -1,0 +1,3 @@
+module rhtm
+
+go 1.22

@@ -1,0 +1,337 @@
+package enginetest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rhtm/internal/engine"
+	"rhtm/internal/linearize"
+)
+
+// KV is the transactional key-value surface the store conformance suite
+// drives. The store package's Store and Sharded types satisfy it (engine.Tx
+// and rhtm.Tx are the same type).
+type KV interface {
+	Get(tx engine.Tx, key []byte) ([]byte, bool)
+	Put(tx engine.Tx, key, value []byte) error
+	Delete(tx engine.Tx, key []byte) bool
+}
+
+// KVFactory builds a fresh engine and an empty store under test.
+type KVFactory func(t *testing.T) (engine.Engine, KV)
+
+// RunKV executes the key-value conformance battery: a sequential
+// map-oracle property test (transactional semantics, user-abort rollback),
+// per-key linearizability of concurrent single-op transactions, and a
+// multi-key transfer invariant exercising cross-key (and, for a sharded
+// store, cross-shard) atomicity.
+func RunKV(t *testing.T, name string, factory KVFactory) {
+	t.Run(name+"/KVSequentialOracle", func(t *testing.T) { testKVSequentialOracle(t, factory) })
+	t.Run(name+"/KVLinearizability", func(t *testing.T) { testKVLinearizability(t, factory) })
+	t.Run(name+"/KVAtomicTransfer", func(t *testing.T) { testKVAtomicTransfer(t, factory) })
+}
+
+// testKVSequentialOracle runs random transaction scripts of Put/Get/Delete
+// steps against a Go map oracle. A quarter of the transactions end in a
+// user error, whose writes (including allocator state) must be rolled back
+// completely.
+func testKVSequentialOracle(t *testing.T, factory KVFactory) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		eng, kv := factory(t)
+		th := eng.NewThread()
+		oracle := map[string][]byte{}
+		rng := rand.New(rand.NewSource(seed))
+		keyOf := func(i int) []byte { return []byte(fmt.Sprintf("key-%02d", i)) }
+		const keys = 12
+
+		for txn := 0; txn < 120; txn++ {
+			steps := rng.Intn(5) + 1
+			fail := rng.Intn(4) == 0
+			type step struct {
+				op   int // 0 put, 1 get, 2 delete
+				key  int
+				val  []byte
+				got  []byte
+				ok   bool
+				want []byte
+				wok  bool
+			}
+			script := make([]step, steps)
+			for i := range script {
+				script[i] = step{op: rng.Intn(3), key: rng.Intn(keys)}
+				if script[i].op == 0 {
+					// Variable-length values, including empty, exercise the
+					// codec and the in-place/realloc Put paths.
+					v := make([]byte, rng.Intn(40))
+					rng.Read(v)
+					script[i].val = v
+				}
+			}
+			err := th.Atomic(func(tx engine.Tx) error {
+				for i := range script {
+					st := &script[i]
+					switch st.op {
+					case 0:
+						if err := kv.Put(tx, keyOf(st.key), st.val); err != nil {
+							return err
+						}
+					case 1:
+						st.got, st.ok = kv.Get(tx, keyOf(st.key))
+					default:
+						st.ok = kv.Delete(tx, keyOf(st.key))
+					}
+				}
+				if fail {
+					return errOracleAbort
+				}
+				return nil
+			})
+			// Interpret the same script over a shadow of the oracle.
+			shadow := map[string][]byte{}
+			for k, v := range oracle {
+				shadow[k] = v
+			}
+			for i := range script {
+				st := &script[i]
+				k := string(keyOf(st.key))
+				switch st.op {
+				case 0:
+					shadow[k] = st.val
+				case 1:
+					st.want, st.wok = shadow[k]
+				default:
+					_, st.wok = shadow[k]
+					delete(shadow, k)
+				}
+			}
+			if fail {
+				if err != errOracleAbort {
+					t.Fatalf("seed %d txn %d: err = %v, want oracle abort", seed, txn, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("seed %d txn %d: %v", seed, txn, err)
+				}
+				oracle = shadow
+			}
+			// Reads inside the transaction saw the in-flight state, so they
+			// are checked against the shadow regardless of the outcome.
+			for i := range script {
+				st := &script[i]
+				if st.op == 0 {
+					continue
+				}
+				if st.ok != st.wok {
+					t.Fatalf("seed %d txn %d step %d: present=%v, oracle %v", seed, txn, i, st.ok, st.wok)
+				}
+				if st.op == 1 && st.ok && !bytes.Equal(st.got, st.want) {
+					t.Fatalf("seed %d txn %d step %d: got %x, want %x", seed, txn, i, st.got, st.want)
+				}
+			}
+		}
+		// Final state must match the oracle exactly.
+		err := th.Atomic(func(tx engine.Tx) error {
+			for i := 0; i < keys; i++ {
+				got, ok := kv.Get(tx, keyOf(i))
+				want, wok := oracle[string(keyOf(i))]
+				if ok != wok || !bytes.Equal(got, want) {
+					return fmt.Errorf("seed %d final key %d: got %x,%v want %x,%v", seed, i, got, ok, want, wok)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// testKVLinearizability drives concurrent single-op transactions on a small
+// key set and checks each key's history with the Wing & Gong register
+// checker: Puts write globally unique values, Gets must read consistently
+// with some linearization. Absent keys read as value 0.
+func testKVLinearizability(t *testing.T, factory KVFactory) {
+	eng, kv := factory(t)
+	const workers = 4
+	const opsPerWorker = 12
+	keys := [][]byte{[]byte("alpha"), []byte("beta-longer-key"), []byte("g")}
+
+	var clk atomic.Int64
+	var mu sync.Mutex
+	histories := make([][]linearize.Op, len(keys))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := eng.NewThread()
+		id := uint64(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 100))
+			for i := 0; i < opsPerWorker; i++ {
+				ki := rng.Intn(len(keys))
+				isWrite := (uint64(i)+id)%2 == 0
+				writeVal := (id+1)*1000 + uint64(i) // globally unique, nonzero
+				var readVal uint64
+				start := clk.Add(1)
+				err := th.Atomic(func(tx engine.Tx) error {
+					if isWrite {
+						var buf [8]byte
+						binary.LittleEndian.PutUint64(buf[:], writeVal)
+						return kv.Put(tx, keys[ki], buf[:])
+					}
+					v, ok := kv.Get(tx, keys[ki])
+					if !ok {
+						readVal = 0
+					} else {
+						readVal = binary.LittleEndian.Uint64(v)
+					}
+					return nil
+				})
+				end := clk.Add(1)
+				if err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+				op := linearize.Op{Start: start, End: end, IsWrite: isWrite, Val: writeVal}
+				if !isWrite {
+					op.Val = readVal
+				}
+				mu.Lock()
+				histories[ki] = append(histories[ki], op)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for ki, h := range histories {
+		ok, err := linearize.CheckRegister(h, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("key %q: history not linearizable:\n%v", keys[ki], h)
+		}
+	}
+}
+
+// testKVAtomicTransfer moves units between per-key balances with multi-key
+// transactions while auditors assert the conserved total. Against a sharded
+// store the keys scatter over shards, making every transfer a cross-shard
+// transaction.
+func testKVAtomicTransfer(t *testing.T, factory KVFactory) {
+	eng, kv := factory(t)
+	const accounts = 8
+	const initial = 1000
+	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("acct-%d", i)) }
+	enc := func(v uint64) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		return b[:]
+	}
+	dec := func(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+	setup := eng.NewThread()
+	if err := setup.Atomic(func(tx engine.Tx) error {
+		for i := 0; i < accounts; i++ {
+			if err := kv.Put(tx, keyOf(i), enc(initial)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var auditWg sync.WaitGroup
+	for a := 0; a < 2; a++ {
+		th := eng.NewThread()
+		auditWg.Add(1)
+		go func() {
+			defer auditWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var total uint64
+				if err := th.Atomic(func(tx engine.Tx) error {
+					total = 0
+					for i := 0; i < accounts; i++ {
+						v, ok := kv.Get(tx, keyOf(i))
+						if !ok {
+							return fmt.Errorf("account %d missing", i)
+						}
+						total += dec(v)
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("audit: %v", err)
+					return
+				}
+				if total != accounts*initial {
+					t.Errorf("audit saw total %d, want %d", total, accounts*initial)
+					return
+				}
+			}
+		}()
+	}
+
+	const workers, transfers = 4, 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := eng.NewThread()
+		rng := rand.New(rand.NewSource(int64(w) + 7))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				amt := uint64(rng.Intn(10))
+				if err := th.Atomic(func(tx engine.Tx) error {
+					fv, _ := kv.Get(tx, keyOf(from))
+					f := dec(fv)
+					if f < amt {
+						return nil
+					}
+					if err := kv.Put(tx, keyOf(from), enc(f-amt)); err != nil {
+						return err
+					}
+					tv, _ := kv.Get(tx, keyOf(to))
+					return kv.Put(tx, keyOf(to), enc(dec(tv)+amt))
+				}); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	auditWg.Wait()
+
+	th := eng.NewThread()
+	var total uint64
+	if err := th.Atomic(func(tx engine.Tx) error {
+		total = 0
+		for i := 0; i < accounts; i++ {
+			v, ok := kv.Get(tx, keyOf(i))
+			if !ok {
+				return fmt.Errorf("account %d missing", i)
+			}
+			total += dec(v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d (money not conserved)", total, accounts*initial)
+	}
+}

@@ -1,0 +1,236 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rhtm"
+	"rhtm/containers"
+	"rhtm/store"
+)
+
+// YCSB-style workloads over the sharded transactional store: the classic
+// cloud-serving mixes (A 50/50 read/update, B 95/5, C read-only) with
+// uniform and zipfian request distributions. Where the paper's Constant
+// workloads measure the engines on fixed-shape structures, these measure
+// them under a realistic storage stack — varlen codec, free-list arena,
+// ordered index — with the skewed key popularity real KV traffic has.
+
+// Request distributions accepted by YCSBSpec.Dist.
+const (
+	DistUniform = "uniform"
+	DistZipfian = "zipfian"
+)
+
+// YCSBSpec parameterizes one YCSB-style workload.
+type YCSBSpec struct {
+	// Mix is the YCSB workload letter: "a" (50% reads / 50% updates),
+	// "b" (95/5), or "c" (read-only).
+	Mix string
+	// Records is the number of pre-loaded records.
+	Records int
+	// ValueBytes is the value size (keys are the 12-byte "user%08d" form).
+	ValueBytes int
+	// Dist selects the request distribution (DistUniform or DistZipfian).
+	Dist string
+	// Shards is the store's shard count (0 = 8).
+	Shards int
+	// Theta is the zipfian skew; 0 selects YCSB's 0.99.
+	Theta float64
+}
+
+// readPct returns the read percentage of the mix.
+func (sp YCSBSpec) readPct() (int, error) {
+	switch sp.Mix {
+	case "a":
+		return 50, nil
+	case "b":
+		return 95, nil
+	case "c":
+		return 100, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown YCSB mix %q (want a, b or c)", sp.Mix)
+	}
+}
+
+// withDefaults fills unset (zero or negative) fields.
+func (sp YCSBSpec) withDefaults() YCSBSpec {
+	if sp.Records <= 0 {
+		sp.Records = 10_000
+	}
+	if sp.ValueBytes <= 0 {
+		sp.ValueBytes = 64
+	}
+	if sp.Dist == "" {
+		sp.Dist = DistZipfian
+	}
+	if sp.Shards <= 0 {
+		sp.Shards = 8
+	}
+	if sp.Theta <= 0 {
+		sp.Theta = 0.99
+	}
+	return sp
+}
+
+// ycsbKey formats the i-th record's key.
+func ycsbKey(i int) []byte {
+	return []byte(fmt.Sprintf("user%08d", i))
+}
+
+// YCSBWorkload builds the workload for a spec. The sharded store's arenas
+// are sized for steady state: update values keep their size class, so the
+// free lists recycle blocks and the arena frontier stops moving once every
+// record has churned once.
+func YCSBWorkload(spec YCSBSpec) Workload {
+	spec = spec.withDefaults()
+	readPct, err := spec.readPct()
+	if err != nil {
+		panic(err)
+	}
+	if spec.Dist != DistUniform && spec.Dist != DistZipfian {
+		panic(fmt.Sprintf("harness: unknown YCSB distribution %q (want %s or %s)",
+			spec.Dist, DistUniform, DistZipfian))
+	}
+	if spec.Dist == DistZipfian && spec.Theta >= 1 {
+		// Fail at workload construction, not later inside Build, so a bad
+		// spec surfaces like a bad Mix or Dist does.
+		panic(fmt.Sprintf("harness: zipfian theta must be in (0,1), got %g", spec.Theta))
+	}
+	perRecord := store.RecordFootprintWords(len(ycsbKey(0)), spec.ValueBytes)
+	recordsPerShard := (spec.Records + spec.Shards - 1) / spec.Shards
+	arenaWords := recordsPerShard*perRecord*2 + 4096
+	return Workload{
+		Name:      fmt.Sprintf("ycsb-%s/%s", spec.Mix, spec.Dist),
+		DataWords: spec.Shards*(arenaWords+64) + 8192,
+		Build: func(s *rhtm.System) OpFactory {
+			kv := store.NewSharded(s, spec.Shards, store.Options{ArenaWords: arenaWords})
+			setup := containers.SetupTx(s)
+			loadRng := rand.New(rand.NewSource(20130317))
+			val := make([]byte, spec.ValueBytes)
+			for i := 0; i < spec.Records; i++ {
+				loadRng.Read(val)
+				if err := kv.Put(setup, ycsbKey(i), val); err != nil {
+					panic(fmt.Sprintf("harness: YCSB load: %v", err))
+				}
+			}
+			var zipf *zipfian
+			if spec.Dist == DistZipfian {
+				zipf = newZipfian(spec.Records, spec.Theta)
+			}
+			return func(threadID int, rng *rand.Rand) func() Op {
+				buf := make([]byte, spec.ValueBytes)
+				return func() Op {
+					var rec int
+					if zipf != nil {
+						// Scrambled zipfian, as YCSB does: the skew applies to
+						// hashed ranks so the hot keys spread over the key
+						// space (and therefore over the shards).
+						rec = int(scramble(uint64(zipf.next(rng))) % uint64(spec.Records))
+					} else {
+						rec = rng.Intn(spec.Records)
+					}
+					key := ycsbKey(rec)
+					if rng.Intn(100) < readPct {
+						return func(tx rhtm.Tx) error {
+							if _, ok := kv.Get(tx, key); !ok {
+								return fmt.Errorf("harness: YCSB record %s missing", key)
+							}
+							return nil
+						}
+					}
+					rng.Read(buf)
+					return func(tx rhtm.Tx) error {
+						return kv.Put(tx, key, buf)
+					}
+				}
+			}
+		},
+	}
+}
+
+// ycsbEngines is the series set of the YCSB experiments: the full RH1
+// stack against the software baseline and the other hybrids.
+var ycsbEngines = []string{EngRH1Mix2, EngStdHy, EngTL2, EngNoRec}
+
+// YCSB measures every engine at every thread count for one YCSB spec.
+func YCSB(sc Scale, spec YCSBSpec) []Result {
+	return sweep(YCSBWorkload(spec), ycsbEngines, sc)
+}
+
+// --- zipfian request distribution ---
+
+// zipfian draws ranks in [0, n) with P(rank) proportional to
+// 1/(rank+1)^theta — the ZipfianGenerator of Gray et al. ("Quickly
+// Generating Billion-Record Synthetic Databases", SIGMOD '94) that YCSB
+// uses, with YCSB's default theta = 0.99. Note math/rand.Zipf cannot
+// express theta < 1, which is exactly the regime YCSB runs in.
+type zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // pow(0.5, theta), hoisted out of next
+}
+
+// newZipfian precomputes the constants for n items with skew theta in (0,1).
+func newZipfian(n int, theta float64) *zipfian {
+	if n <= 0 || theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("harness: zipfian needs n>0 and 0<theta<1, got n=%d theta=%g", n, theta))
+	}
+	zetan := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	return &zipfian{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		half:  math.Pow(0.5, theta),
+	}
+}
+
+// next draws one rank; rank 0 is the most popular.
+func (z *zipfian) next(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	rank := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// p returns the theoretical probability of a rank (tests).
+func (z *zipfian) p(rank int) float64 {
+	return 1 / (math.Pow(float64(rank+1), z.theta) * z.zetan)
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n int, theta float64) float64 {
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// scramble is the 64-bit FNV-1a hash of a rank, used to spread the zipfian
+// head over the whole key space (YCSB's ScrambledZipfianGenerator).
+func scramble(v uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}

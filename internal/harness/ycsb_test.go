@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfianStatistics checks the generator against the closed-form
+// distribution: every draw in range, the head ranks' empirical frequencies
+// within tolerance of 1/((rank+1)^theta * zeta(n)), and clear skew (the
+// most popular rank far above the uniform rate).
+func TestZipfianStatistics(t *testing.T) {
+	const n = 1000
+	const draws = 200_000
+	z := newZipfian(n, 0.99)
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		r := z.next(rng)
+		if r < 0 || r >= n {
+			t.Fatalf("draw %d out of range [0,%d)", r, n)
+		}
+		counts[r]++
+	}
+	// Ranks 0 and 1 are drawn exactly per the pmf by Gray's algorithm; the
+	// deeper ranks come from a continuous inversion and carry a known
+	// approximation error, so they get a looser band.
+	for rank := 0; rank < 10; rank++ {
+		want := z.p(rank)
+		got := float64(counts[rank]) / draws
+		tol := 0.40
+		if rank < 2 {
+			tol = 0.10
+		}
+		if math.Abs(got-want) > tol*want {
+			t.Errorf("rank %d: frequency %.5f, want %.5f ±%.0f%%", rank, got, want, tol*100)
+		}
+	}
+	// Skew: rank 0 must dwarf the uniform rate 1/n.
+	if f0 := float64(counts[0]) / draws; f0 < 5.0/n {
+		t.Errorf("rank 0 frequency %.5f shows no zipfian skew (uniform would be %.5f)", f0, 1.0/n)
+	}
+	// The tail must still be covered: a majority of ranks drawn at least once.
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < n/2 {
+		t.Errorf("only %d of %d ranks ever drawn", nonzero, n)
+	}
+}
+
+// TestZipfianUniformDiffer ensures the two distributions are wired up
+// distinctly in the workload: zipfian concentrates mass, uniform does not.
+func TestZipfianUniformDiffer(t *testing.T) {
+	const n = 500
+	const draws = 50_000
+	z := newZipfian(n, 0.99)
+	rng := rand.New(rand.NewSource(5))
+	zc := make([]int, n)
+	uc := make([]int, n)
+	for i := 0; i < draws; i++ {
+		zc[z.next(rng)]++
+		uc[rng.Intn(n)]++
+	}
+	zmax, umax := 0, 0
+	for i := 0; i < n; i++ {
+		if zc[i] > zmax {
+			zmax = zc[i]
+		}
+		if uc[i] > umax {
+			umax = uc[i]
+		}
+	}
+	if zmax < 3*umax {
+		t.Errorf("zipfian max count %d not clearly above uniform max %d", zmax, umax)
+	}
+}
+
+// TestScrambleSpreads: hashing consecutive ranks must spread them (no two
+// of the first 100 ranks may collide modulo a small key space).
+func TestScrambleSpreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 100; i++ {
+		seen[scramble(i)%1024] = true
+	}
+	if len(seen) < 90 {
+		t.Errorf("scramble mapped 100 ranks onto only %d of 1024 slots", len(seen))
+	}
+}
+
+// TestYCSBWorkloadRuns drives each mix and both distributions through real
+// engines at small scale and sanity-checks the results.
+func TestYCSBWorkloadRuns(t *testing.T) {
+	for _, mix := range []string{"a", "b", "c"} {
+		for _, dist := range []string{DistUniform, DistZipfian} {
+			spec := YCSBSpec{Mix: mix, Records: 256, ValueBytes: 32, Dist: dist, Shards: 4}
+			for _, eng := range []string{EngRH1Mix2, EngTL2, EngStdHy} {
+				r := MustRun(YCSBWorkload(spec), eng, RunConfig{Threads: 2, OpsPerThread: 40, Seed: 1})
+				if r.Ops != 80 {
+					t.Fatalf("%s/%s/%s: ops = %d, want 80", mix, dist, eng, r.Ops)
+				}
+				if r.Stats.Commits() < r.Ops {
+					t.Fatalf("%s/%s/%s: commits %d < ops %d", mix, dist, eng, r.Stats.Commits(), r.Ops)
+				}
+				if mix == "c" && r.Stats.Writes > 0 && dist == DistUniform {
+					// Read-only mix: no data writes from the workload itself.
+					// (Engines may still write metadata; Stats.Writes counts
+					// transactional data stores.)
+					t.Fatalf("%s/%s/%s: read-only mix performed %d data writes", mix, dist, eng, r.Stats.Writes)
+				}
+			}
+		}
+	}
+}
+
+// TestYCSBRejectsBadSpecs documents that invalid specs fail at workload
+// construction, not later inside Build.
+func TestYCSBRejectsBadSpecs(t *testing.T) {
+	cases := map[string]YCSBSpec{
+		"mix":   {Mix: "z"},
+		"dist":  {Mix: "a", Dist: "banana"},
+		"theta": {Mix: "a", Dist: DistZipfian, Theta: 1.5},
+	}
+	for name, spec := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("YCSBWorkload accepted bad %s: %+v", name, spec)
+				}
+			}()
+			YCSBWorkload(spec)
+		}()
+	}
+}

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"rhtm"
+)
+
+// numClasses bounds block sizes: the largest class is 1<<(numClasses-1)
+// words (256 KiB of payload), far above any sane value size.
+const numClasses = 16
+
+// ErrArenaFull is returned by allocation when the arena's bump region is
+// exhausted and no free block of the right class exists. Returning it from
+// a transaction body aborts the transaction cleanly, leaving the store
+// unchanged.
+var ErrArenaFull = errors.New("store: arena exhausted")
+
+// Arena is a transactional size-class free-list allocator over a region of
+// simulated memory. All allocator state — the bump pointer and one
+// free-list head per power-of-two size class — lives in simulated words and
+// is manipulated exclusively through the enclosing transaction, so an
+// aborted transaction rolls back its allocations and frees along with its
+// data writes. That is what makes reclamation safe here when it is not in
+// the bare containers (see RBTree.Delete): a block freed by a transaction
+// that later aborts was never actually freed.
+//
+// The word at offset 0 of a free block holds the address of the next free
+// block of its class (0 terminates the list). Allocated blocks are handed
+// out with unspecified contents; callers initialize every word they read.
+type Arena struct {
+	sys   *rhtm.System
+	base  rhtm.Addr // block storage region
+	words int
+	bump  rhtm.Addr // one word: address of the next unused block
+	heads rhtm.Addr // numClasses words: free-list heads
+}
+
+// NewArena carves an arena of the given word count out of the system heap.
+// Call during single-threaded setup.
+func NewArena(s *rhtm.System, words int) *Arena {
+	a := &Arena{
+		sys:   s,
+		bump:  s.MustAlloc(1),
+		heads: s.MustAlloc(numClasses),
+		base:  s.MustAlloc(words),
+		words: words,
+	}
+	s.Poke(a.bump, uint64(a.base))
+	return a
+}
+
+// classOf returns the size class of an n-word block: the smallest c with
+// 1<<c >= n.
+func classOf(n int) int {
+	c := 0
+	for 1<<c < n {
+		c++
+	}
+	return c
+}
+
+// TxAlloc implements containers.Allocator: it returns a block of at least
+// words simulated words, reusing a freed block of the same class when one
+// exists and bumping the arena frontier otherwise.
+func (a *Arena) TxAlloc(tx rhtm.Tx, words int) (rhtm.Addr, error) {
+	c := classOf(words)
+	if c >= numClasses {
+		return 0, fmt.Errorf("store: block of %d words exceeds the largest class (%d words)",
+			words, 1<<(numClasses-1))
+	}
+	headAddr := a.heads + rhtm.Addr(c)
+	if head := tx.Load(headAddr); head != uint64(rhtm.NilAddr) {
+		tx.Store(headAddr, tx.Load(rhtm.Addr(head)))
+		return rhtm.Addr(head), nil
+	}
+	p := tx.Load(a.bump)
+	size := uint64(1) << c
+	if p+size > uint64(a.base)+uint64(a.words) {
+		return 0, ErrArenaFull
+	}
+	tx.Store(a.bump, p+size)
+	return rhtm.Addr(p), nil
+}
+
+// TxFree implements containers.Allocator: it pushes the block onto its
+// class's free list under the caller's transaction.
+func (a *Arena) TxFree(tx rhtm.Tx, addr rhtm.Addr, words int) {
+	c := classOf(words)
+	headAddr := a.heads + rhtm.Addr(c)
+	tx.Store(addr, tx.Load(headAddr))
+	tx.Store(headAddr, uint64(addr))
+}
+
+// Words returns the arena capacity in words.
+func (a *Arena) Words() int { return a.words }
+
+// BumpedWords returns how many words the bump frontier has consumed
+// (allocated plus currently free-listed). Setup/diagnostics only.
+func (a *Arena) BumpedWords() int {
+	return int(a.sys.Peek(a.bump) - uint64(a.base))
+}

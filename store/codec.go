@@ -1,0 +1,72 @@
+package store
+
+import (
+	"rhtm"
+)
+
+// Varlen block encoding: word 0 holds the payload length in bytes; the
+// following ceil(len/8) words hold the payload packed little-endian, eight
+// bytes per word, with the last word zero-padded. The whole repository's
+// transactional substrate is 64-bit words, so this codec is the boundary
+// where []byte keys and values become simulated memory.
+
+// blockWords returns the block size in words for n payload bytes.
+func blockWords(n int) int { return 1 + (n+7)/8 }
+
+// writeBytes encodes b into the block at a (which must span blockWords(len(b))
+// words) under tx.
+func writeBytes(tx rhtm.Tx, a rhtm.Addr, b []byte) {
+	tx.Store(a, uint64(len(b)))
+	for i := 0; i < len(b); i += 8 {
+		var w uint64
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			w |= uint64(b[i+j]) << (8 * uint(j))
+		}
+		tx.Store(a+1+rhtm.Addr(i/8), w)
+	}
+}
+
+// readBytes decodes the block at a under tx.
+func readBytes(tx rhtm.Tx, a rhtm.Addr) []byte {
+	n := int(tx.Load(a))
+	b := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		w := tx.Load(a + 1 + rhtm.Addr(i/8))
+		for j := 0; j < 8 && i+j < n; j++ {
+			b[i+j] = byte(w >> (8 * uint(j)))
+		}
+	}
+	return b
+}
+
+// compareBytes orders the probe key against the block at a,
+// lexicographically, loading one word at a time and stopping at the first
+// differing byte.
+func compareBytes(tx rhtm.Tx, key []byte, a rhtm.Addr) int {
+	n := int(tx.Load(a))
+	m := len(key)
+	limit := n
+	if m < limit {
+		limit = m
+	}
+	for i := 0; i < limit; i += 8 {
+		w := tx.Load(a + 1 + rhtm.Addr(i/8))
+		for j := 0; j < 8 && i+j < limit; j++ {
+			kb, sb := key[i+j], byte(w>>(8*uint(j)))
+			if kb != sb {
+				if kb < sb {
+					return -1
+				}
+				return 1
+			}
+		}
+	}
+	switch {
+	case m < n:
+		return -1
+	case m > n:
+		return 1
+	default:
+		return 0
+	}
+}

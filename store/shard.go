@@ -1,0 +1,117 @@
+package store
+
+import (
+	"sort"
+
+	"rhtm"
+)
+
+// Sharded hash-partitions the key space into per-shard sub-stores on one
+// System. Each shard has its own index root and arena, so structurally
+// independent operations touch disjoint tree roots and allocator words —
+// the contention hot spots of a single Store. Transactions spanning shards
+// remain atomic: the shards share the System's conflict detection, so a
+// cross-shard multi-key body commits or aborts as one unit under any
+// engine.
+type Sharded struct {
+	shards []*Store
+}
+
+// NewSharded allocates n shards on s, each with its own Options.ArenaWords
+// arena. Call during single-threaded setup.
+func NewSharded(s *rhtm.System, n int, opts Options) *Sharded {
+	if n <= 0 {
+		n = 1
+	}
+	sh := &Sharded{shards: make([]*Store, n)}
+	for i := range sh.shards {
+		sh.shards[i] = New(s, opts)
+	}
+	return sh
+}
+
+// fnv1a is the 64-bit FNV-1a hash, computed in plain Go: shard routing is a
+// pure function of the key bytes and costs no simulated accesses.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ShardIndex returns the shard a key routes to.
+func (sh *Sharded) ShardIndex(key []byte) int {
+	return int(fnv1a(key) % uint64(len(sh.shards)))
+}
+
+// Shard returns the sub-store a key routes to (for tests and diagnostics).
+func (sh *Sharded) Shard(key []byte) *Store {
+	return sh.shards[sh.ShardIndex(key)]
+}
+
+// NumShards returns the shard count.
+func (sh *Sharded) NumShards() int { return len(sh.shards) }
+
+// Get returns the value stored under key.
+func (sh *Sharded) Get(tx rhtm.Tx, key []byte) ([]byte, bool) {
+	return sh.Shard(key).Get(tx, key)
+}
+
+// Has reports whether key is present.
+func (sh *Sharded) Has(tx rhtm.Tx, key []byte) bool {
+	return sh.Shard(key).Has(tx, key)
+}
+
+// Put stores key→value in the key's shard.
+func (sh *Sharded) Put(tx rhtm.Tx, key, value []byte) error {
+	return sh.Shard(key).Put(tx, key, value)
+}
+
+// Delete removes key from its shard.
+func (sh *Sharded) Delete(tx rhtm.Tx, key []byte) bool {
+	return sh.Shard(key).Delete(tx, key)
+}
+
+// Len returns the number of live entries across all shards.
+func (sh *Sharded) Len(tx rhtm.Tx) int {
+	n := 0
+	for _, st := range sh.shards {
+		n += st.Len(tx)
+	}
+	return n
+}
+
+// Scan visits entries with start <= key < end in ascending key order across
+// all shards. Hash partitioning scatters the range over every shard, so the
+// implementation collects each shard's in-range entries and merges them by
+// key before visiting — the whole range is read (and therefore validated by
+// the transaction) even when fn stops early.
+func (sh *Sharded) Scan(tx rhtm.Tx, start, end []byte, fn func(key, value []byte) bool) {
+	type pair struct{ k, v []byte }
+	var all []pair
+	for _, st := range sh.shards {
+		st.Scan(tx, start, end, func(k, v []byte) bool {
+			all = append(all, pair{k: k, v: v})
+			return true
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return string(all[i].k) < string(all[j].k) })
+	for _, p := range all {
+		if !fn(p.k, p.v) {
+			return
+		}
+	}
+}
+
+// Validate checks every shard's invariants. Only call while no transactions
+// are in flight.
+func (sh *Sharded) Validate() error {
+	for _, st := range sh.shards {
+		if err := st.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package store is a byte-addressed, transactional key-value store built on
+// the rhtm simulated machine — the storage layer that turns the paper's
+// protocol stack into something an application can grow on. Keys and values
+// are arbitrary []byte, packed into 64-bit words of simulated memory by a
+// varlen codec; a transactional free-list arena allocates the blocks; a
+// comparator-ordered red-black tree (containers.OrderedTree) indexes them
+// for Get/Put/Delete and ordered Scan.
+//
+// Every operation runs inside an rhtm.Tx body, so multi-key read-modify-
+// write sequences compose atomically under whichever engine drives the
+// transaction (RH1, RH2, TL2, the hybrids, ...). Sharded hash-partitions
+// the key space into per-shard sub-stores on one System: per-shard index
+// roots and arenas slash structural contention while cross-shard
+// transactions stay atomic, because every engine on one System shares the
+// same conflict detection.
+//
+//	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 20))
+//	eng := rhtm.NewRH1(s, rhtm.DefaultRH1Options())
+//	kv := store.NewSharded(s, 8, store.Options{})
+//	th := eng.NewThread()
+//	err := th.Atomic(func(tx rhtm.Tx) error {
+//	    kv.Put(tx, []byte("user1"), []byte("hello"))
+//	    v, _ := kv.Get(tx, []byte("user1"))
+//	    return kv.Put(tx, []byte("copy"), v)
+//	})
+package store
+
+import (
+	"fmt"
+
+	"rhtm"
+	"rhtm/containers"
+)
+
+// entryWords is the size of an entry record: word 0 holds the key block
+// address, word 1 the value block address. The tree item is the entry
+// address, so replacing a value is one store into the entry — no tree
+// surgery.
+const entryWords = 2
+
+// DefaultArenaWords sizes a store's arena when Options.ArenaWords is zero.
+const DefaultArenaWords = 1 << 16
+
+// Options configures a Store.
+type Options struct {
+	// ArenaWords is the capacity, in simulated words, of the store's block
+	// arena (key blocks, value blocks, entry records, and index nodes all
+	// come from it). Zero selects DefaultArenaWords. For NewSharded this is
+	// the per-shard capacity, so the System's heap must hold at least
+	// shards*ArenaWords words (plus a few lines of allocator metadata) or
+	// construction panics with "heap exhausted".
+	ArenaWords int
+}
+
+// Store is one transactional key-value store: an ordered index over varlen
+// entries in a private arena. Use it inside transaction bodies; for
+// single-threaded population and verification, pass containers.SetupTx(s).
+type Store struct {
+	sys   *rhtm.System
+	arena *Arena
+	idx   *containers.OrderedTree
+	count rhtm.Addr // one word: live entry count
+}
+
+// New allocates a store on s. Call during single-threaded setup.
+func New(s *rhtm.System, opts Options) *Store {
+	words := opts.ArenaWords
+	if words <= 0 {
+		words = DefaultArenaWords
+	}
+	st := &Store{
+		sys:   s,
+		arena: NewArena(s, words),
+		count: s.MustAlloc(1),
+	}
+	st.idx = containers.NewOrderedTree(s, st.compareEntry, st.arena)
+	return st
+}
+
+// RecordFootprintWords returns the arena words one live record consumes,
+// class-rounded: key block, value block, entry record, and index node.
+// Workload builders use it to size arenas; keeping it here means layout
+// changes (entry shape, index node size, codec header) cannot silently
+// drift from the sizing math.
+func RecordFootprintWords(keyBytes, valueBytes int) int {
+	return 1<<classOf(blockWords(keyBytes)) +
+		1<<classOf(blockWords(valueBytes)) +
+		1<<classOf(entryWords) +
+		1<<classOf(containers.OTNodeWords)
+}
+
+// compareEntry orders a probe key against an entry's key block.
+func (st *Store) compareEntry(tx rhtm.Tx, key []byte, item uint64) int {
+	return compareBytes(tx, key, rhtm.Addr(tx.Load(rhtm.Addr(item))))
+}
+
+// Get returns the value stored under key. The returned slice is a private
+// copy decoded from simulated memory.
+func (st *Store) Get(tx rhtm.Tx, key []byte) ([]byte, bool) {
+	item, ok := st.idx.Lookup(tx, key)
+	if !ok {
+		return nil, false
+	}
+	return readBytes(tx, rhtm.Addr(tx.Load(rhtm.Addr(item)+1))), true
+}
+
+// Has reports whether key is present without decoding the value.
+func (st *Store) Has(tx rhtm.Tx, key []byte) bool {
+	_, ok := st.idx.Lookup(tx, key)
+	return ok
+}
+
+// Put stores key→value, overwriting any existing value. When the new value
+// packs into the same size class as the old one it is rewritten in place;
+// otherwise a new block is allocated and the old one freed — both under tx,
+// so an abort rolls the swap back. The only error is arena exhaustion.
+func (st *Store) Put(tx rhtm.Tx, key, value []byte) error {
+	if item, ok := st.idx.Lookup(tx, key); ok {
+		valCell := rhtm.Addr(item) + 1
+		old := rhtm.Addr(tx.Load(valCell))
+		oldWords := blockWords(int(tx.Load(old)))
+		newWords := blockWords(len(value))
+		if classOf(newWords) == classOf(oldWords) {
+			writeBytes(tx, old, value)
+			return nil
+		}
+		nv, err := st.arena.TxAlloc(tx, newWords)
+		if err != nil {
+			return err
+		}
+		writeBytes(tx, nv, value)
+		tx.Store(valCell, uint64(nv))
+		st.arena.TxFree(tx, old, oldWords)
+		return nil
+	}
+	kb, err := st.arena.TxAlloc(tx, blockWords(len(key)))
+	if err != nil {
+		return err
+	}
+	vb, err := st.arena.TxAlloc(tx, blockWords(len(value)))
+	if err != nil {
+		return err
+	}
+	ent, err := st.arena.TxAlloc(tx, entryWords)
+	if err != nil {
+		return err
+	}
+	writeBytes(tx, kb, key)
+	writeBytes(tx, vb, value)
+	tx.Store(ent, uint64(kb))
+	tx.Store(ent+1, uint64(vb))
+	if _, _, err := st.idx.Insert(tx, key, uint64(ent)); err != nil {
+		return err
+	}
+	tx.Store(st.count, tx.Load(st.count)+1)
+	return nil
+}
+
+// Delete removes key, returning whether it was present. The entry's key
+// block, value block, entry record, and index node all return to the arena
+// under tx.
+func (st *Store) Delete(tx rhtm.Tx, key []byte) bool {
+	item, ok := st.idx.Delete(tx, key)
+	if !ok {
+		return false
+	}
+	ent := rhtm.Addr(item)
+	kb := rhtm.Addr(tx.Load(ent))
+	vb := rhtm.Addr(tx.Load(ent + 1))
+	st.arena.TxFree(tx, kb, blockWords(int(tx.Load(kb))))
+	st.arena.TxFree(tx, vb, blockWords(int(tx.Load(vb))))
+	st.arena.TxFree(tx, ent, entryWords)
+	tx.Store(st.count, tx.Load(st.count)-1)
+	return true
+}
+
+// Scan visits entries with start <= key < end in ascending key order,
+// passing decoded copies of key and value; nil bounds are unbounded.
+// Visiting stops early when fn returns false.
+func (st *Store) Scan(tx rhtm.Tx, start, end []byte, fn func(key, value []byte) bool) {
+	st.idx.Scan(tx, start, end, func(item uint64) bool {
+		ent := rhtm.Addr(item)
+		k := readBytes(tx, rhtm.Addr(tx.Load(ent)))
+		v := readBytes(tx, rhtm.Addr(tx.Load(ent+1)))
+		return fn(k, v)
+	})
+}
+
+// Len returns the number of live entries.
+func (st *Store) Len(tx rhtm.Tx) int {
+	return int(tx.Load(st.count))
+}
+
+// Arena exposes the store's allocator for diagnostics and capacity tests.
+func (st *Store) Arena() *Arena { return st.arena }
+
+// Validate checks the index's structural invariants plus the count word
+// against a full traversal, using raw memory access. Only call while no
+// transactions are in flight.
+func (st *Store) Validate() error {
+	if err := st.idx.Validate(); err != nil {
+		return err
+	}
+	tx := containers.SetupTx(st.sys)
+	if n := st.idx.Len(tx); n != st.Len(tx) {
+		return fmt.Errorf("store: count word %d != %d traversed entries", st.Len(tx), n)
+	}
+	return nil
+}
