@@ -216,7 +216,7 @@ func BenchmarkExtHybrids(b *testing.B) {
 
 func BenchmarkYCSB(b *testing.B) {
 	engines := []string{harness.EngRH1Mix2, harness.EngStdHy, harness.EngTL2}
-	for _, mix := range []string{"a", "b", "c"} {
+	for _, mix := range []string{"a", "b", "c", "f"} {
 		for _, dist := range []string{harness.DistUniform, harness.DistZipfian} {
 			for _, eng := range engines {
 				b.Run(fmt.Sprintf("%s/%s/%s", mix, dist, eng), func(b *testing.B) {
@@ -226,6 +226,65 @@ func BenchmarkYCSB(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// --- Extension: share-nothing cluster with cross-System 2PC ---
+
+// BenchmarkClusterYCSB sweeps System count × cross-System transaction
+// fraction × engine on the cluster's YCSB-A mix. The scaling metric is
+// ops/kinterval (committed ops per 1000 critical-path accesses: the
+// busiest System's count, since independent Systems progress in parallel);
+// 2pc-share reports how much of the traffic ran the distributed commit.
+func BenchmarkClusterYCSB(b *testing.B) {
+	engines := []string{harness.EngRH1Mix2, harness.EngTL2}
+	for _, systems := range []int{1, 4} {
+		for _, cross := range []int{0, 20} {
+			if systems == 1 && cross != 0 {
+				continue // CrossPct is moot on one System: identical run
+			}
+			for _, eng := range engines {
+				b.Run(fmt.Sprintf("s=%d/x=%d/%s", systems, cross, eng), func(b *testing.B) {
+					spec := harness.ClusterSpec{Mix: "a", Records: 2048, ValueBytes: 64,
+						Dist: harness.DistUniform, Systems: systems, CrossPct: cross}
+					benchCluster(b, spec, eng)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkClusterBank drives the cross-System bank-transfer invariant
+// workload (every op a two-account transfer, 50% spanning Systems).
+func BenchmarkClusterBank(b *testing.B) {
+	for _, eng := range []string{harness.EngRH1Mix2, harness.EngTL2} {
+		b.Run(eng, func(b *testing.B) {
+			spec := harness.ClusterSpec{Mix: "bank", Records: 256, Systems: 4, CrossPct: 50}
+			benchCluster(b, spec, eng)
+		})
+	}
+}
+
+// benchCluster runs b.N cluster operations and reports the scaling and
+// 2PC-cost metrics.
+func benchCluster(b *testing.B, spec harness.ClusterSpec, engine string) {
+	b.Helper()
+	const threads = 4
+	cfg := harness.RunConfig{
+		Threads:      threads,
+		OpsPerThread: (b.N + threads - 1) / threads,
+		Seed:         1,
+	}
+	b.ResetTimer()
+	r, err := harness.RunCluster(spec, engine, cfg)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r.Ops > 0 {
+		b.ReportMetric(float64(r.Accesses)/float64(r.Ops), "accesses/op")
+		b.ReportMetric(r.OpsPerKInterval, "ops/kinterval")
+		b.ReportMetric(r.Stats.AbortRatio(), "aborts/commit")
 	}
 }
 

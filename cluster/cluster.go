@@ -1,0 +1,335 @@
+// Package cluster scales the transactional store past one simulated
+// machine: a Cluster owns N fully independent rhtm.Systems — each with its
+// own word memory, TM metadata, global clock, engine, and store.Store — and
+// a Router hash-partitions the key space across them. Nothing is shared
+// between Systems: no clock, no stripe array, no conflict detection. That
+// is exactly the share-nothing setting the paper's protocols cannot cover
+// (RH1/RH2 scale hybrid transactions *within* one coherence domain), so
+// atomicity across Systems needs an explicit commit protocol.
+//
+// Transactions touching a single System run as one local engine
+// transaction. Transactions spanning Systems run two-phase commit:
+//
+//   - Phase 1 visits each participant System in ascending id order (keys
+//     in ascending byte order within each) and runs one prepare
+//     transaction there: every read is re-validated against the value the
+//     transaction observed, and every touched key gets an exclusive intent
+//     record installed in that System's simulated memory (store.Store's
+//     intent API). A pending intent by another transaction, or a failed
+//     validation, aborts the prepare — all-or-nothing per participant,
+//     because it is one engine transaction.
+//   - The coordinator then appends its decision (commit iff every
+//     participant prepared) to the cluster's decision log — the commit
+//     point.
+//   - Phase 2 runs one transaction per participant applying (or, on
+//     abort, discarding) the intents.
+//
+// Conforming accessors never read past a pending intent (they wait or
+// conflict), so no observer sees a cross-System transaction half-applied:
+// between the decision and the last phase-2 apply, every undecided key is
+// unreadable rather than stale. Deterministic acquisition order plus
+// abort-on-conflict (prepares never block while holding intents) makes the
+// protocol deadlock-free; retries use randomized backoff.
+//
+// See DESIGN.md §6 for what this simulation does and does not model about
+// a real cluster (no failures, no network, a host-memory decision log).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rhtm"
+	"rhtm/containers"
+	"rhtm/store"
+)
+
+// ErrContention is returned by client operations that exhausted
+// Config.MaxAttempts without committing.
+var ErrContention = errors.New("cluster: transaction exceeded MaxAttempts (contention)")
+
+// Config sizes a Cluster.
+type Config struct {
+	// Systems is the number of independent simulated machines (default 1).
+	Systems int
+	// DataWords is the per-System simulated heap size (default: ArenaWords
+	// plus metadata slack).
+	DataWords int
+	// ArenaWords is each System's store arena capacity (default
+	// store.DefaultArenaWords). Size it for records plus in-flight intents
+	// (store.RecordFootprintWords / store.IntentFootprintWords).
+	ArenaWords int
+	// MaxThreads bounds clients per System engine (default 64; one engine
+	// thread per System is created for every NewClient call).
+	MaxThreads int
+	// NewEngine builds each System's engine (default: RH1 with the paper's
+	// Mixed 100 configuration).
+	NewEngine func(s *rhtm.System) (rhtm.Engine, error)
+	// MaxAttempts bounds commit retries and intent waits per operation
+	// before ErrContention (default 10000).
+	MaxAttempts int
+}
+
+// Node is one member System of a Cluster.
+type Node struct {
+	id  int
+	sys *rhtm.System
+	eng rhtm.Engine
+	st  *store.Store
+}
+
+// ID returns the node's position in the cluster (0-based).
+func (n *Node) ID() int { return n.id }
+
+// System returns the node's simulated machine.
+func (n *Node) System() *rhtm.System { return n.sys }
+
+// Engine returns the node's transactional-memory engine.
+func (n *Node) Engine() rhtm.Engine { return n.eng }
+
+// Store returns the node's key-value store.
+func (n *Node) Store() *store.Store { return n.st }
+
+// Router assigns keys to Systems by the same stable fnv1a hash the store's
+// shard layer uses. Routing is a pure function of the key bytes: no
+// simulated accesses, identical placement across runs and processes.
+type Router struct {
+	systems int
+}
+
+// SystemFor returns the id of the System owning key.
+func (r Router) SystemFor(key []byte) int {
+	return int(store.KeyHash(key) % uint64(r.systems))
+}
+
+// Systems returns the number of Systems routed over.
+func (r Router) Systems() int { return r.systems }
+
+// Decision is one coordinator commit/abort record. The log orders
+// decisions; a conformance checker can replay it against observed state to
+// prove atomicity (every transaction's effects appear on all participants
+// or none). Commit records are always retained — they are the atomicity
+// evidence; an absent txid means abort. Abort records are kept only up to
+// maxAbortDecisions (long contended runs can abort millions of attempts),
+// beyond which they are counted in Stats.CrossAborts but not retained.
+type Decision struct {
+	// TxID is the cluster-unique transaction id.
+	TxID uint64
+	// Commit reports the coordinator's verdict.
+	Commit bool
+	// Participants lists the involved node ids, ascending — the prepare
+	// (and phase 2) visit order.
+	Participants []int
+}
+
+// Cluster is the share-nothing multi-System store.
+type Cluster struct {
+	cfg    Config
+	router Router
+	nodes  []*Node
+
+	nextTxID  atomic.Uint64
+	clientSeq atomic.Int64
+
+	decMu        sync.Mutex
+	decisions    []Decision
+	abortsLogged int
+
+	// Protocol counters (host-side; simulated costs are in engine stats).
+	localTxns        atomic.Uint64 // single-System transactions committed
+	localConflicts   atomic.Uint64 // single-System attempts retried
+	crossTxns        atomic.Uint64 // 2PC attempts started
+	crossCommits     atomic.Uint64 // 2PC decisions: commit
+	crossAborts      atomic.Uint64 // 2PC decisions: abort (prepare conflict)
+	intentWaits      atomic.Uint64 // reads retried against a pending intent
+	prepareConflicts atomic.Uint64 // individual prepare transactions refused
+}
+
+// New builds a cluster of cfg.Systems independent machines. Call during
+// single-threaded setup.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Systems <= 0 {
+		cfg.Systems = 1
+	}
+	if cfg.ArenaWords <= 0 {
+		cfg.ArenaWords = store.DefaultArenaWords
+	}
+	if cfg.DataWords <= 0 {
+		cfg.DataWords = cfg.ArenaWords + 1<<13
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 10_000
+	}
+	if cfg.NewEngine == nil {
+		cfg.NewEngine = func(s *rhtm.System) (rhtm.Engine, error) {
+			return rhtm.NewRH1(s, rhtm.DefaultRH1Options()), nil
+		}
+	}
+	c := &Cluster{cfg: cfg, router: Router{systems: cfg.Systems}}
+	for i := 0; i < cfg.Systems; i++ {
+		scfg := rhtm.DefaultConfig(cfg.DataWords)
+		if cfg.MaxThreads > 0 {
+			scfg.MaxThreads = cfg.MaxThreads
+		}
+		sys, err := rhtm.NewSystem(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: system %d: %w", i, err)
+		}
+		eng, err := cfg.NewEngine(sys)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: engine %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, &Node{
+			id:  i,
+			sys: sys,
+			eng: eng,
+			st:  store.New(sys, store.Options{ArenaWords: cfg.ArenaWords}),
+		})
+	}
+	return c, nil
+}
+
+// MustNew is New for setup code.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumSystems returns the cluster size.
+func (c *Cluster) NumSystems() int { return len(c.nodes) }
+
+// Node returns the i-th member System.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Router returns the key→System placement function.
+func (c *Cluster) Router() Router { return c.router }
+
+// Load stores key→value directly in the owning System, bypassing the
+// transaction machinery. Single-threaded setup only.
+func (c *Cluster) Load(key, value []byte) error {
+	n := c.nodes[c.router.SystemFor(key)]
+	return n.st.Put(containers.SetupTx(n.sys), key, value)
+}
+
+// Peek reads key's committed value with raw memory access. Only call while
+// no transactions are in flight (verification).
+func (c *Cluster) Peek(key []byte) ([]byte, bool) {
+	n := c.nodes[c.router.SystemFor(key)]
+	return n.st.Get(containers.SetupTx(n.sys), key)
+}
+
+// Len returns the number of live keys across all Systems. Quiescent
+// verification only.
+func (c *Cluster) Len() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.st.Len(containers.SetupTx(n.sys))
+	}
+	return total
+}
+
+// Decisions returns a copy of the coordinator decision log, in decision
+// order.
+func (c *Cluster) Decisions() []Decision {
+	c.decMu.Lock()
+	defer c.decMu.Unlock()
+	out := make([]Decision, len(c.decisions))
+	copy(out, c.decisions)
+	return out
+}
+
+// maxAbortDecisions bounds retained abort records; see Decision.
+const maxAbortDecisions = 4096
+
+// decide appends the coordinator's verdict for txid. Appending commit=true
+// is the transaction's commit point: intents become obligations that phase
+// 2 discharges.
+func (c *Cluster) decide(txid uint64, commit bool, participants []int) {
+	p := make([]int, len(participants))
+	copy(p, participants)
+	c.decMu.Lock()
+	if commit || c.abortsLogged < maxAbortDecisions {
+		if !commit {
+			c.abortsLogged++
+		}
+		c.decisions = append(c.decisions, Decision{TxID: txid, Commit: commit, Participants: p})
+	}
+	c.decMu.Unlock()
+}
+
+// Validate checks every System's store invariants and that no intent is
+// left pending — after a quiescent point every decided transaction must
+// have discharged its intents. It also cross-checks the decision log:
+// transaction ids are unique and participants are sorted.
+func (c *Cluster) Validate() error {
+	for _, n := range c.nodes {
+		if err := n.st.Validate(); err != nil {
+			return fmt.Errorf("cluster: system %d: %w", n.id, err)
+		}
+		if p := n.st.PendingIntents(containers.SetupTx(n.sys)); p != 0 {
+			return fmt.Errorf("cluster: system %d has %d orphaned intents", n.id, p)
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, d := range c.Decisions() {
+		if seen[d.TxID] {
+			return fmt.Errorf("cluster: duplicate decision for txn %d", d.TxID)
+		}
+		seen[d.TxID] = true
+		for i := 1; i < len(d.Participants); i++ {
+			if d.Participants[i-1] >= d.Participants[i] {
+				return fmt.Errorf("cluster: txn %d participants not ascending: %v",
+					d.TxID, d.Participants)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats aggregates engine activity and protocol counters across the
+// cluster.
+type Stats struct {
+	// Engines merges every System's engine statistics.
+	Engines rhtm.Stats
+	// PerSystemAccesses is each System's simulated shared-access count
+	// (data + metadata). Systems run in parallel, so the maximum is the
+	// simulated critical path of a run.
+	PerSystemAccesses []uint64
+	// Store sums every System's store counters.
+	Store store.Stats
+
+	// LocalTxns / LocalConflicts count single-System transactions
+	// committed / retried.
+	LocalTxns, LocalConflicts uint64
+	// CrossTxns counts 2PC attempts; CrossCommits/CrossAborts the
+	// decisions; PrepareConflicts individual refused prepares;
+	// IntentWaits reads retried against a pending intent.
+	CrossTxns, CrossCommits, CrossAborts, PrepareConflicts, IntentWaits uint64
+}
+
+// Stats snapshots the cluster. Only call while no clients are inside an
+// operation.
+func (c *Cluster) Stats() Stats {
+	out := Stats{
+		LocalTxns:         c.localTxns.Load(),
+		LocalConflicts:    c.localConflicts.Load(),
+		CrossTxns:         c.crossTxns.Load(),
+		CrossCommits:      c.crossCommits.Load(),
+		CrossAborts:       c.crossAborts.Load(),
+		PrepareConflicts:  c.prepareConflicts.Load(),
+		IntentWaits:       c.intentWaits.Load(),
+		PerSystemAccesses: make([]uint64, len(c.nodes)),
+	}
+	for i, n := range c.nodes {
+		es := n.eng.Snapshot()
+		out.Engines.Add(es)
+		out.PerSystemAccesses[i] = es.Reads + es.Writes + es.MetadataReads + es.MetadataWrites
+		out.Store.Add(n.st.Stats(containers.SetupTx(n.sys)))
+	}
+	return out
+}

@@ -1,0 +1,402 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rhtm"
+	"rhtm/containers"
+	"rhtm/internal/enginetest"
+	"rhtm/store"
+)
+
+// smallConfig builds a test cluster: small Systems, RH1 by default.
+func smallConfig(systems int) Config {
+	return Config{
+		Systems:    systems,
+		DataWords:  1 << 15,
+		ArenaWords: 1 << 13,
+	}
+}
+
+// --- routing (satellite: property test) ---
+
+// TestKeyHashGolden pins the routing hash to the published FNV-1a 64-bit
+// test vectors: the assignment must be stable across runs, processes, and
+// refactors — a silent hash change would re-route every key.
+func TestKeyHashGolden(t *testing.T) {
+	golden := map[string]uint64{
+		"":       0xcbf29ce484222325,
+		"a":      0xaf63dc4c8601ec8c,
+		"foobar": 0x85944171f73967e8,
+	}
+	for k, want := range golden {
+		if got := store.KeyHash([]byte(k)); got != want {
+			t.Errorf("KeyHash(%q) = %#x, want %#x", k, got, want)
+		}
+	}
+	// Router and store shard assignment agree with the raw hash.
+	r := Router{systems: 7}
+	sh := store.NewSharded(rhtm.MustNewSystem(rhtm.DefaultConfig(1<<16)), 7, store.Options{ArenaWords: 1 << 10})
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("user%08d", i))
+		want := int(store.KeyHash(key) % 7)
+		if got := r.SystemFor(key); got != want {
+			t.Fatalf("Router.SystemFor(%s) = %d, want %d", key, got, want)
+		}
+		if got := sh.ShardIndex(key); got != want {
+			t.Fatalf("Sharded.ShardIndex(%s) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+// TestRoutingBalanced: over 10k random keys no System (or shard) may hold
+// more than twice the mean — fnv1a must spread realistic key shapes.
+func TestRoutingBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([][]byte, 10_000)
+	for i := range keys {
+		switch i % 3 {
+		case 0:
+			keys[i] = []byte(fmt.Sprintf("user%08d", rng.Intn(1_000_000)))
+		case 1:
+			keys[i] = []byte(fmt.Sprintf("order:%d:%d", rng.Intn(1000), rng.Intn(1000)))
+		default:
+			b := make([]byte, rng.Intn(20)+1)
+			rng.Read(b)
+			keys[i] = b
+		}
+	}
+	for _, systems := range []int{2, 4, 8} {
+		r := Router{systems: systems}
+		counts := make([]int, systems)
+		for _, k := range keys {
+			counts[r.SystemFor(k)]++
+		}
+		mean := len(keys) / systems
+		for id, c := range counts {
+			if c > 2*mean {
+				t.Errorf("systems=%d: System %d holds %d keys, > 2x mean %d", systems, id, c, mean)
+			}
+			if c == 0 {
+				t.Errorf("systems=%d: System %d holds no keys", systems, id)
+			}
+		}
+	}
+}
+
+// --- 2PC mechanics ---
+
+// crossPair returns two keys the router places on different Systems.
+func crossPair(t *testing.T, c *Cluster) ([]byte, []byte) {
+	t.Helper()
+	a := []byte("home-0")
+	for i := 0; ; i++ {
+		b := []byte(fmt.Sprintf("away-%d", i))
+		if c.Router().SystemFor(b) != c.Router().SystemFor(a) {
+			return a, b
+		}
+	}
+}
+
+func TestLocalOpsLogNoDecisions(t *testing.T) {
+	c := MustNew(smallConfig(2))
+	cl := c.NewClient()
+	if err := cl.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get([]byte("k"))
+	if err != nil || !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+	if _, err := cl.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	// Single-System multi-key transactions stay local too.
+	err = cl.Txn(func(tx *Txn) error {
+		tx.Put([]byte("x"), []byte("1"))
+		v, _, err := tx.Get([]byte("x"))
+		if err != nil {
+			return err
+		}
+		tx.Put([]byte("x"), append(v, '2'))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Decisions(); len(got) != 0 {
+		t.Fatalf("local operations appended %d coordinator decisions", len(got))
+	}
+	st := c.Stats()
+	if st.CrossTxns != 0 || st.LocalTxns == 0 {
+		t.Fatalf("stats = cross %d local %d, want cross 0 local >0", st.CrossTxns, st.LocalTxns)
+	}
+}
+
+func TestCrossSystemCommit(t *testing.T) {
+	c := MustNew(smallConfig(4))
+	keyA, keyB := crossPair(t, c)
+	cl := c.NewClient()
+	err := cl.Txn(func(tx *Txn) error {
+		tx.Put(keyA, []byte("alpha"))
+		tx.Put(keyB, []byte("beta"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Peek(keyA); !bytes.Equal(v, []byte("alpha")) {
+		t.Fatalf("keyA = %q", v)
+	}
+	if v, _ := c.Peek(keyB); !bytes.Equal(v, []byte("beta")) {
+		t.Fatalf("keyB = %q", v)
+	}
+	decs := c.Decisions()
+	if len(decs) != 1 || !decs[0].Commit {
+		t.Fatalf("decisions = %+v, want one commit", decs)
+	}
+	wantA, wantB := c.Router().SystemFor(keyA), c.Router().SystemFor(keyB)
+	if len(decs[0].Participants) != 2 {
+		t.Fatalf("participants = %v", decs[0].Participants)
+	}
+	for _, p := range decs[0].Participants {
+		if p != wantA && p != wantB {
+			t.Fatalf("unexpected participant %d (want %d and %d)", p, wantA, wantB)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossReadValidation: a cross-System RMW whose read is invalidated
+// between the body and commit must retry and apply the fresh value.
+func TestCrossReadValidation(t *testing.T) {
+	c := MustNew(smallConfig(4))
+	keyA, keyB := crossPair(t, c)
+	if err := c.Load(keyA, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(keyB, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient()
+	other := c.NewClient()
+	attempt := 0
+	err := cl.Txn(func(tx *Txn) error {
+		attempt++
+		va, _, err := tx.Get(keyA)
+		if err != nil {
+			return err
+		}
+		if attempt == 1 {
+			// Invalidate the read before commit: the first attempt must
+			// conflict at prepare, not commit a stale sum.
+			if err := other.Put(keyA, []byte{10}); err != nil {
+				return err
+			}
+		}
+		vb, _, err := tx.Get(keyB)
+		if err != nil {
+			return err
+		}
+		tx.Put(keyB, []byte{va[0] + vb[0]})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempt < 2 {
+		t.Fatalf("transaction committed on attempt %d despite invalidated read", attempt)
+	}
+	if v, _ := c.Peek(keyB); v[0] != 11 {
+		t.Fatalf("keyB = %d, want 11 (10 from the interfering write + 1)", v[0])
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrepareConflictAborts: a foreign intent on one participant must abort
+// the whole transaction (bounded by MaxAttempts), leaving the other
+// participant untouched; releasing the intent lets it commit.
+func TestPrepareConflictAborts(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.MaxAttempts = 4
+	c := MustNew(cfg)
+	keyA, keyB := crossPair(t, c)
+	// Park a foreign intent on keyB's System.
+	nb := c.Node(c.Router().SystemFor(keyB))
+	setup := containers.SetupTx(nb.System())
+	if err := nb.Store().PrepareIntent(setup, keyB, 999, store.IntentPut, []byte("parked")); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := c.NewClient()
+	err := cl.Txn(func(tx *Txn) error {
+		tx.Put(keyA, []byte("a"))
+		tx.Put(keyB, []byte("b"))
+		return nil
+	})
+	if !errors.Is(err, ErrContention) {
+		t.Fatalf("err = %v, want ErrContention", err)
+	}
+	if _, ok := c.Peek(keyA); ok {
+		t.Fatal("aborted transaction leaked a write to keyA")
+	}
+	st := c.Stats()
+	if st.CrossAborts == 0 || st.PrepareConflicts == 0 {
+		t.Fatalf("stats = %+v, want recorded aborts and prepare conflicts", st)
+	}
+	for _, d := range c.Decisions() {
+		if d.Commit {
+			t.Fatalf("conflicted transaction logged a commit decision: %+v", d)
+		}
+	}
+
+	// Release the parked intent; the same transaction now goes through.
+	if err := nb.Store().DiscardIntent(setup, keyB, 999); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Txn(func(tx *Txn) error {
+		tx.Put(keyA, []byte("a"))
+		tx.Put(keyB, []byte("b"))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Peek(keyB); !bytes.Equal(v, []byte("b")) {
+		t.Fatalf("keyB = %q after release", v)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntentBlocksReaders: while an intent is pending, single-key reads of
+// that key wait (here: exhaust MaxAttempts) instead of returning a value
+// that may be mid-replacement.
+func TestIntentBlocksReaders(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.MaxAttempts = 3
+	c := MustNew(cfg)
+	if err := c.Load([]byte("k"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node(c.Router().SystemFor([]byte("k")))
+	setup := containers.SetupTx(n.System())
+	if err := n.Store().PrepareIntent(setup, []byte("k"), 7, store.IntentPut, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient()
+	if _, _, err := cl.Get([]byte("k")); !errors.Is(err, ErrContention) {
+		t.Fatalf("Get under intent err = %v, want ErrContention", err)
+	}
+	st := c.Stats()
+	if st.IntentWaits == 0 {
+		t.Fatal("no intent waits recorded")
+	}
+	if err := n.Store().ApplyIntent(setup, []byte("k"), 7); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get([]byte("k"))
+	if err != nil || !ok || !bytes.Equal(v, []byte("new")) {
+		t.Fatalf("Get after apply = %q,%v,%v", v, ok, err)
+	}
+}
+
+func TestTxnUserAbort(t *testing.T) {
+	c := MustNew(smallConfig(4))
+	keyA, keyB := crossPair(t, c)
+	sentinel := errors.New("user abort")
+	cl := c.NewClient()
+	err := cl.Txn(func(tx *Txn) error {
+		tx.Put(keyA, []byte("x"))
+		tx.Put(keyB, []byte("y"))
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if _, ok := c.Peek(keyA); ok {
+		t.Fatal("aborted body leaked a write")
+	}
+	if len(c.Decisions()) != 0 {
+		t.Fatal("aborted body reached the coordinator")
+	}
+}
+
+// TestTxnReadYourWrites: buffered writes are visible to the body's reads.
+func TestTxnReadYourWrites(t *testing.T) {
+	c := MustNew(smallConfig(2))
+	cl := c.NewClient()
+	err := cl.Txn(func(tx *Txn) error {
+		tx.Put([]byte("k"), []byte("one"))
+		if v, ok, _ := tx.Get([]byte("k")); !ok || !bytes.Equal(v, []byte("one")) {
+			return fmt.Errorf("read-your-write saw %q,%v", v, ok)
+		}
+		tx.Delete([]byte("k"))
+		if _, ok, _ := tx.Get([]byte("k")); ok {
+			return fmt.Errorf("read-your-delete still present")
+		}
+		tx.Put([]byte("k"), []byte("two"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Peek([]byte("k")); !bytes.Equal(v, []byte("two")) {
+		t.Fatalf("final = %q, want two", v)
+	}
+}
+
+// --- conformance battery across engines (tentpole acceptance) ---
+
+// clusterFactory builds a 3-System cluster on the named engine with
+// injected hardware aborts, so both RH1's fallback paths and 2PC's abort
+// path get exercised.
+func clusterFactory(engineName string) enginetest.ClusterFactory {
+	return func(t *testing.T) (func() enginetest.ClusterKV, func() error) {
+		cfg := smallConfig(3)
+		cfg.NewEngine = func(s *rhtm.System) (rhtm.Engine, error) {
+			const inject = 20
+			switch engineName {
+			case "RH1":
+				return rhtm.NewRH1(s, rhtm.RH1Options{MixPercent: 100, InjectAbortPercent: inject}), nil
+			case "RH2":
+				return rhtm.NewRH2(s, rhtm.RH1Options{MixPercent: 100, InjectAbortPercent: inject}), nil
+			case "TL2":
+				return rhtm.NewTL2(s), nil
+			case "StdHyTM":
+				return rhtm.NewStandardHyTM(s, rhtm.HWOptions{InjectAbortPercent: inject}), nil
+			case "NoRec":
+				return rhtm.NewHybridNoRec(s, rhtm.HWOptions{InjectAbortPercent: inject}), nil
+			case "Phased":
+				return rhtm.NewPhasedTM(s, rhtm.HWOptions{InjectAbortPercent: inject}), nil
+			default:
+				return nil, fmt.Errorf("unknown engine %q", engineName)
+			}
+		}
+		c := MustNew(cfg)
+		return func() enginetest.ClusterKV { return c.NewClient() }, c.Validate
+	}
+}
+
+func TestClusterConformance(t *testing.T) {
+	for _, eng := range []string{"RH1", "RH2", "TL2", "StdHyTM", "NoRec", "Phased"} {
+		enginetest.RunClusterKV(t, "Cluster3/"+eng, clusterFactory(eng))
+	}
+}
+
+// Single-System degenerate cluster: the whole battery must hold when every
+// transaction takes the local path.
+func TestClusterConformanceSingleSystem(t *testing.T) {
+	enginetest.RunClusterKV(t, "Cluster1/RH1", func(t *testing.T) (func() enginetest.ClusterKV, func() error) {
+		c := MustNew(smallConfig(1))
+		return func() enginetest.ClusterKV { return c.NewClient() }, c.Validate
+	})
+}

@@ -1,0 +1,496 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"rhtm"
+	"rhtm/store"
+)
+
+// errConflict is the internal sentinel a prepare or validation body returns
+// to abort cleanly and signal "retry the whole transaction". It never
+// escapes the package.
+var errConflict = errors.New("cluster: conflict")
+
+// Client is a session against the cluster: it owns one engine thread per
+// System. Like rhtm.Thread, a Client is not safe for concurrent use — each
+// goroutine obtains its own from NewClient.
+type Client struct {
+	c       *Cluster
+	threads []rhtm.Thread
+	rng     *rand.Rand
+}
+
+// NewClient registers a thread on every System's engine and returns the
+// session. Panics (via the engines) when a System's thread-ID space is
+// oversubscribed; see Config.MaxThreads.
+func (c *Cluster) NewClient() *Client {
+	cl := &Client{
+		c:   c,
+		rng: rand.New(rand.NewSource(c.clientSeq.Add(1) * 0x9e3779b9)),
+	}
+	for _, n := range c.nodes {
+		cl.threads = append(cl.threads, n.eng.NewThread())
+	}
+	return cl
+}
+
+// backoff yields, then sleeps with randomized exponential growth, between
+// conflicting attempts.
+func (cl *Client) backoff(attempt int) {
+	if attempt < 4 {
+		runtime.Gosched()
+		return
+	}
+	shift := attempt
+	if shift > 10 {
+		shift = 10
+	}
+	time.Sleep(time.Duration(1+cl.rng.Intn(1<<shift)) * time.Microsecond)
+}
+
+// Get returns key's committed value with a local transaction on the owning
+// System. A pending intent makes the value undecided (its cross-System
+// writer may commit or abort), so the read waits for resolution rather
+// than returning a value that may be mid-replacement.
+func (cl *Client) Get(key []byte) ([]byte, bool, error) {
+	val, ok, err := cl.readCommitted(key)
+	if err == nil {
+		cl.c.localTxns.Add(1)
+	}
+	return val, ok, err
+}
+
+// readCommitted is Get without the local-transaction counter bump: Txn
+// read-throughs use it so the harness's local-vs-cross traffic split counts
+// client-level operations, not the reads a cross-System transaction issues
+// while building its snapshot.
+func (cl *Client) readCommitted(key []byte) ([]byte, bool, error) {
+	n := cl.c.nodes[cl.c.router.SystemFor(key)]
+	var val []byte
+	var ok bool
+	err := cl.localRetry(func() error {
+		return cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
+			if _, held := n.st.IntentOn(tx, key); held {
+				return errConflict
+			}
+			val, ok = n.st.Get(tx, key)
+			return nil
+		})
+	})
+	return val, ok, err
+}
+
+// Put stores key→value with a local transaction on the owning System,
+// waiting out any pending intent.
+func (cl *Client) Put(key, value []byte) error {
+	n := cl.c.nodes[cl.c.router.SystemFor(key)]
+	err := cl.localRetry(func() error {
+		return cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
+			if _, held := n.st.IntentOn(tx, key); held {
+				return errConflict
+			}
+			return n.st.Put(tx, key, value)
+		})
+	})
+	if err == nil {
+		cl.c.localTxns.Add(1)
+	}
+	return err
+}
+
+// Delete removes key with a local transaction on the owning System,
+// waiting out any pending intent.
+func (cl *Client) Delete(key []byte) (bool, error) {
+	n := cl.c.nodes[cl.c.router.SystemFor(key)]
+	var present bool
+	err := cl.localRetry(func() error {
+		return cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
+			if _, held := n.st.IntentOn(tx, key); held {
+				return errConflict
+			}
+			present = n.st.Delete(tx, key)
+			return nil
+		})
+	})
+	if err == nil {
+		cl.c.localTxns.Add(1)
+	}
+	return present, err
+}
+
+// localRetry drives a single-System operation, retrying intent conflicts
+// with backoff up to MaxAttempts. Counters are the caller's business:
+// client-level operations bump localTxns, Txn read-throughs do not.
+func (cl *Client) localRetry(op func() error) error {
+	for attempt := 0; attempt < cl.c.cfg.MaxAttempts; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if err != errConflict {
+			return err
+		}
+		cl.c.intentWaits.Add(1)
+		cl.backoff(attempt)
+	}
+	return ErrContention
+}
+
+// --- multi-key transactions ---
+
+// copyVal clones v, preserving non-nilness: multi-key results use nil to
+// mean "absent", so a present empty value must stay a non-nil empty slice.
+func copyVal(v []byte) []byte {
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+// writeRec is one buffered write.
+type writeRec struct {
+	val []byte
+	del bool
+}
+
+// readRec is one recorded committed read (the snapshot commit validates).
+type readRec struct {
+	val []byte
+	ok  bool
+}
+
+// Txn is an optimistic buffered transaction: Get reads through to
+// committed state and records the observed value, Put/Delete buffer.
+// Commit (driven by Client.Txn) validates every recorded read and applies
+// the buffer atomically — locally when one System owns the whole
+// footprint, via two-phase commit when several do.
+type Txn struct {
+	cl     *Client
+	reads  map[string]readRec
+	writes map[string]writeRec
+}
+
+// Get returns key's value as of this transaction: buffered writes win,
+// then the first committed read is reused (one consistent observation per
+// key per attempt).
+func (t *Txn) Get(key []byte) ([]byte, bool, error) {
+	k := string(key)
+	if w, ok := t.writes[k]; ok {
+		if w.del {
+			return nil, false, nil
+		}
+		return copyVal(w.val), true, nil
+	}
+	if r, ok := t.reads[k]; ok {
+		return copyVal(r.val), r.ok, nil
+	}
+	val, ok, err := t.cl.readCommitted(key)
+	if err != nil {
+		return nil, false, err
+	}
+	t.reads[k] = readRec{val: val, ok: ok}
+	return copyVal(val), ok, nil
+}
+
+// Put buffers key→value (the slice is copied).
+func (t *Txn) Put(key, value []byte) {
+	t.writes[string(key)] = writeRec{val: copyVal(value)}
+}
+
+// Delete buffers key's removal.
+func (t *Txn) Delete(key []byte) {
+	t.writes[string(key)] = writeRec{del: true}
+}
+
+// Txn runs fn optimistically and commits its buffer, retrying the whole
+// body on conflict (so fn must be safe to re-execute) up to
+// Config.MaxAttempts. A non-nil error from fn aborts without committing
+// and is returned as-is. Reads during fn are individually committed values
+// but are only guaranteed mutually consistent once commit validation
+// passes — the standard OCC contract.
+func (cl *Client) Txn(fn func(tx *Txn) error) error {
+	for attempt := 0; attempt < cl.c.cfg.MaxAttempts; attempt++ {
+		t := &Txn{cl: cl, reads: map[string]readRec{}, writes: map[string]writeRec{}}
+		if err := fn(t); err != nil {
+			return err
+		}
+		committed, err := cl.commit(t)
+		if err != nil {
+			return err
+		}
+		if committed {
+			return nil
+		}
+		cl.backoff(attempt)
+	}
+	return ErrContention
+}
+
+// txnKey is one key of a transaction's footprint with its recorded read
+// and/or buffered write.
+type txnKey struct {
+	key   []byte
+	read  *readRec
+	write *writeRec
+}
+
+// footprint groups the transaction's keys by owning System, each group
+// sorted by key — with ascending System ids this is the deterministic
+// global acquisition order.
+func (cl *Client) footprint(t *Txn) (map[int][]txnKey, []int) {
+	merged := map[string]txnKey{}
+	for k, r := range t.reads {
+		rr := r
+		merged[k] = txnKey{key: []byte(k), read: &rr}
+	}
+	for k, w := range t.writes {
+		ww := w
+		tk := merged[k]
+		tk.key = []byte(k)
+		tk.write = &ww
+		merged[k] = tk
+	}
+	byNode := map[int][]txnKey{}
+	for _, tk := range merged {
+		n := cl.c.router.SystemFor(tk.key)
+		byNode[n] = append(byNode[n], tk)
+	}
+	participants := make([]int, 0, len(byNode))
+	for n := range byNode {
+		sort.Slice(byNode[n], func(i, j int) bool {
+			return bytes.Compare(byNode[n][i].key, byNode[n][j].key) < 0
+		})
+		participants = append(participants, n)
+	}
+	sort.Ints(participants)
+	return byNode, participants
+}
+
+// commit validates and applies t's buffer. It returns committed=false (and
+// a nil error) when a conflict requires the caller to retry the body.
+func (cl *Client) commit(t *Txn) (bool, error) {
+	byNode, participants := cl.footprint(t)
+	switch len(participants) {
+	case 0:
+		return true, nil // empty transaction
+	case 1:
+		return cl.commitLocal(participants[0], byNode[participants[0]])
+	default:
+		return cl.commitCross(byNode, participants)
+	}
+}
+
+// commitLocal validates and applies a single-System footprint as one engine
+// transaction. No intents are needed: the engine's own conflict detection
+// makes validate+apply atomic against every other transaction on that
+// System, and the intent check keeps it correct against in-flight 2PC.
+func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
+	n := cl.c.nodes[nodeID]
+	err := cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
+		for i := range keys {
+			k := &keys[i]
+			if _, held := n.st.IntentOn(tx, k.key); held {
+				return errConflict
+			}
+			if k.read != nil {
+				cur, ok := n.st.Get(tx, k.key)
+				if ok != k.read.ok || !bytes.Equal(cur, k.read.val) {
+					return errConflict
+				}
+			}
+		}
+		for i := range keys {
+			k := &keys[i]
+			if k.write == nil {
+				continue
+			}
+			if k.write.del {
+				n.st.Delete(tx, k.key)
+			} else if err := n.st.Put(tx, k.key, k.write.val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	switch err {
+	case nil:
+		cl.c.localTxns.Add(1)
+		return true, nil
+	case errConflict:
+		cl.c.localConflicts.Add(1)
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// commitCross runs two-phase commit over the participant Systems.
+func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool, error) {
+	c := cl.c
+	c.crossTxns.Add(1)
+	txid := c.nextTxID.Add(1)
+
+	// Phase 1: prepare each participant in ascending id order. One engine
+	// transaction per participant validates its reads and installs its
+	// intents, so a refused prepare leaves that System untouched.
+	var prepared []int
+	var conflict bool
+	var hard error
+	for _, nodeID := range participants {
+		err := cl.prepare(nodeID, txid, byNode[nodeID])
+		if err == nil {
+			prepared = append(prepared, nodeID)
+			continue
+		}
+		if err == errConflict {
+			c.prepareConflicts.Add(1)
+			conflict = true
+		} else {
+			hard = err
+		}
+		break
+	}
+
+	// Decision: commit iff every participant prepared. The log append is
+	// the commit point; phase 2 merely discharges it.
+	commit := !conflict && hard == nil
+	c.decide(txid, commit, participants)
+
+	if !commit {
+		for _, nodeID := range prepared {
+			if err := cl.finish(nodeID, txid, byNode[nodeID], false); err != nil && hard == nil {
+				hard = err
+			}
+		}
+		c.crossAborts.Add(1)
+		return false, hard
+	}
+	for _, nodeID := range participants {
+		if err := cl.finish(nodeID, txid, byNode[nodeID], true); err != nil {
+			return false, err
+		}
+	}
+	c.crossCommits.Add(1)
+	return true, nil
+}
+
+// prepare runs the phase-1 transaction on one participant.
+func (cl *Client) prepare(nodeID int, txid uint64, keys []txnKey) error {
+	n := cl.c.nodes[nodeID]
+	return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
+		for i := range keys {
+			k := &keys[i]
+			if k.read != nil {
+				cur, ok := n.st.Get(tx, k.key)
+				if ok != k.read.ok || !bytes.Equal(cur, k.read.val) {
+					return errConflict
+				}
+			}
+			kind, val := store.IntentRead, []byte(nil)
+			if k.write != nil {
+				if k.write.del {
+					kind = store.IntentDelete
+				} else {
+					kind, val = store.IntentPut, k.write.val
+				}
+			}
+			if err := n.st.PrepareIntent(tx, k.key, txid, kind, val); err != nil {
+				if err == store.ErrIntentHeld {
+					return errConflict
+				}
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// finish runs the phase-2 transaction on one participant: apply on commit,
+// discard on abort. Failures here are protocol bugs (the intents must
+// exist and be ours), surfaced as hard errors.
+func (cl *Client) finish(nodeID int, txid uint64, keys []txnKey, commit bool) error {
+	n := cl.c.nodes[nodeID]
+	return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
+		for i := range keys {
+			var err error
+			if commit {
+				err = n.st.ApplyIntent(tx, keys[i].key, txid)
+			} else {
+				err = n.st.DiscardIntent(tx, keys[i].key, txid)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// --- convenience multi-key operations ---
+
+// ReadMulti returns an atomic snapshot of the given keys (nil marks an
+// absent key). Spanning Systems, the snapshot is guaranteed by read
+// validation under 2PC; on one System it is one engine transaction.
+func (cl *Client) ReadMulti(keys [][]byte) ([][]byte, error) {
+	var out [][]byte
+	err := cl.Txn(func(t *Txn) error {
+		out = make([][]byte, len(keys))
+		for i, k := range keys {
+			v, ok, err := t.Get(k)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out[i] = v
+			} else {
+				out[i] = nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Update atomically transforms the given keys: fn receives their current
+// values (nil for absent) and returns the new ones — nil deletes, non-nil
+// stores. Returning a nil slice makes the transaction read-only; a non-nil
+// error from fn aborts it unchanged and is returned as-is.
+func (cl *Client) Update(keys [][]byte, fn func(vals [][]byte) ([][]byte, error)) error {
+	return cl.Txn(func(t *Txn) error {
+		vals := make([][]byte, len(keys))
+		for i, k := range keys {
+			v, ok, err := t.Get(k)
+			if err != nil {
+				return err
+			}
+			if ok {
+				vals[i] = v
+			}
+		}
+		newVals, err := fn(vals)
+		if err != nil {
+			return err
+		}
+		if newVals == nil {
+			return nil
+		}
+		for i, k := range keys {
+			if newVals[i] == nil {
+				if vals[i] != nil {
+					t.Delete(k)
+				}
+			} else {
+				t.Put(k, newVals[i])
+			}
+		}
+		return nil
+	})
+}

@@ -23,11 +23,23 @@
 //	ycsb-a        sharded KV store, YCSB-A (50%% reads / 50%% updates)
 //	ycsb-b        sharded KV store, YCSB-B (95%% reads)
 //	ycsb-c        sharded KV store, YCSB-C (read-only)
-//	all           everything above
+//	ycsb-f        sharded KV store, YCSB-F (50%% reads / 50%% read-modify-writes)
+//	cluster-ycsb-a/b/c/f
+//	              share-nothing multi-System cluster running the YCSB mix,
+//	              swept over -systems × -cross (cross-System txn fraction)
+//	cluster-bank  cluster bank transfers with the conserved-total invariant
+//	all           everything above (cluster: the -a sweep only)
 //
 // The ycsb-* experiments run against the store package's sharded
 // transactional key-value store; -dist selects the request distribution
 // (zipfian by default, as YCSB), -records/-vbytes/-shards size the store.
+//
+// The cluster-* experiments run against the cluster package: N fully
+// independent simulated machines behind a hash router, with cross-System
+// transactions under two-phase commit. Reports include the cluster scaling
+// metric (ops per 1000 critical-path accesses: accesses on the busiest
+// System, since independent Systems progress in parallel) and the 2PC
+// counters. -systems and -cross take comma-separated sweeps.
 //
 // The default scale matches the paper (100K-node tree, threads 1..20,
 // 1s per point), which takes a while on a small machine; use -quick for a
@@ -62,10 +74,13 @@ func main() {
 		shards  = flag.Int("shards", 8, "YCSB store shard count")
 		dist    = flag.String("dist", harness.DistZipfian, "YCSB request distribution (uniform|zipfian)")
 		theta   = flag.Float64("theta", 0.99, "zipfian skew for -dist zipfian")
+		systems = flag.String("systems", "1,2,4", "comma-separated System counts for cluster-* experiments")
+		crossPc = flag.String("cross", "0,10", "comma-separated cross-System txn percentages for cluster-* experiments")
+		ckeys   = flag.Int("crosskeys", 2, "keys per cross-System transaction")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a|ycsb-b|ycsb-c|all>")
+		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a|ycsb-b|ycsb-c|ycsb-f|cluster-ycsb-a|cluster-ycsb-b|cluster-ycsb-c|cluster-ycsb-f|cluster-bank|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -107,6 +122,30 @@ func main() {
 		Dist:       *dist,
 		Theta:      *theta,
 	}
+	systemsList, err := parseInts(*systems, "system count", 1, 1<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	crossList, err := parsePercents(*crossPc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cspec := harness.ClusterSpec{
+		Records:    *records,
+		ValueBytes: *vbytes,
+		Dist:       harness.DistUniform, // scaling claims need balanced load
+		Theta:      *theta,
+		CrossKeys:  *ckeys,
+	}
+	// An explicit -dist overrides the cluster default (the flag's own
+	// default stays zipfian for the ycsb-* experiments, as YCSB specifies).
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dist" {
+			cspec.Dist = *dist
+		}
+	})
 	if *quick {
 		q := harness.SmallScale()
 		q.Threads = []int{1, 2, 4}
@@ -114,23 +153,76 @@ func main() {
 		sc = q
 		spec.Records = 512
 		spec.Shards = 4
+		cspec.Records = 512
+		systemsList = []int{1, 4}
+		crossList = []int{0, 20}
 	}
+	sweep := clusterSweep{systems: systemsList, cross: crossList, spec: cspec}
 
 	exp := flag.Arg(0)
+	if strings.HasPrefix(exp, "cluster-") || exp == "all" {
+		// Reject bad cluster specs here with a clean message; inside the
+		// sweep they would surface as a MustRunCluster panic.
+		probe := cspec
+		probe.Mix = "a"
+		if exp == "cluster-bank" {
+			probe.Mix = "bank"
+		} else if strings.HasPrefix(exp, "cluster-ycsb-") {
+			probe.Mix = strings.TrimPrefix(exp, "cluster-ycsb-")
+		}
+		if *ckeys <= 0 {
+			fmt.Fprintf(os.Stderr, "rhbench: -crosskeys must be positive, got %d\n", *ckeys)
+			os.Exit(2)
+		}
+		if err := probe.Check(); err != nil {
+			fmt.Fprintln(os.Stderr, "rhbench:", err)
+			os.Exit(2)
+		}
+	}
 	if exp == "all" {
 		for _, e := range []string{"fig1", "fig2a", "fig2b", "fig2c", "tab1", "tab2",
 			"fig3a", "fig3b", "fig3c", "ext-clock", "ext-capacity", "ext-hybrids",
-			"ycsb-a", "ycsb-b", "ycsb-c"} {
-			runExperiment(e, sc, *capLim, spec)
+			"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-f", "cluster-ycsb-a"} {
+			runExperiment(e, sc, *capLim, spec, sweep)
 			fmt.Println()
 		}
 		return
 	}
-	runExperiment(exp, sc, *capLim, spec)
+	runExperiment(exp, sc, *capLim, spec, sweep)
+}
+
+// clusterSweep carries the System-count × cross-fraction grid of the
+// cluster experiments.
+type clusterSweep struct {
+	systems []int
+	cross   []int
+	spec    harness.ClusterSpec
+}
+
+// run prints one series block per (systems, cross) grid point for the mix.
+// Cross fractions beyond the first are skipped at one System, where
+// CrossPct is moot and the runs would be identical.
+func (cs clusterSweep) run(out *os.File, sc harness.Scale, mix string) {
+	for _, sys := range cs.systems {
+		for i, x := range cs.cross {
+			if sys == 1 && i > 0 {
+				continue
+			}
+			spec := cs.spec
+			spec.Mix = mix
+			spec.Systems = sys
+			spec.CrossPct = x
+			harness.PrintThroughputSeries(out,
+				fmt.Sprintf("Cluster %s: %d Systems, %d%% cross-System txns, %d records, %s distribution",
+					spec.Name(), sys, x, spec.Records, spec.Dist),
+				harness.ClusterYCSB(sc, spec))
+			fmt.Fprintln(out)
+		}
+	}
 }
 
 // runExperiment dispatches one experiment id and prints its artifact.
-func runExperiment(exp string, sc harness.Scale, capLim int, spec harness.YCSBSpec) {
+func runExperiment(exp string, sc harness.Scale, capLim int, spec harness.YCSBSpec, sweep clusterSweep) {
 	out := os.Stdout
 	switch exp {
 	case "fig1":
@@ -179,29 +271,45 @@ func runExperiment(exp string, sc harness.Scale, capLim int, spec harness.YCSBSp
 		harness.PrintThroughputSeries(out,
 			"Extension: hybrid designs compared (RB-Tree 20%)",
 			harness.ExtHybrids(sc))
-	case "ycsb-a", "ycsb-b", "ycsb-c":
+	case "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-f":
 		spec.Mix = strings.TrimPrefix(exp, "ycsb-")
-		readPct := map[string]string{"a": "50% reads / 50% updates", "b": "95% reads", "c": "read-only"}[spec.Mix]
+		readPct := map[string]string{"a": "50% reads / 50% updates", "b": "95% reads",
+			"c": "read-only", "f": "50% reads / 50% read-modify-writes"}[spec.Mix]
 		harness.PrintThroughputSeries(out,
 			fmt.Sprintf("YCSB-%s (%s), %d records, %s distribution, %d-shard store",
 				strings.ToUpper(spec.Mix), readPct, spec.Records, spec.Dist, spec.Shards),
 			harness.YCSB(sc, spec))
+	case "cluster-ycsb-a", "cluster-ycsb-b", "cluster-ycsb-c", "cluster-ycsb-f":
+		sweep.run(out, sc, strings.TrimPrefix(exp, "cluster-ycsb-"))
+	case "cluster-bank":
+		sweep.run(out, sc, "bank")
 	default:
 		fmt.Fprintf(os.Stderr, "rhbench: unknown experiment %q\n", exp)
 		os.Exit(2)
 	}
 }
 
-// parseThreads parses "1,2,4" into a sweep.
-func parseThreads(s string) ([]int, error) {
+// parseInts parses a comma-separated sweep of integers in [min, max],
+// naming the quantity in errors.
+func parseInts(s, what string, min, max int) ([]int, error) {
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
 	for _, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("rhbench: bad thread count %q", p)
+		if err != nil || n < min || n > max {
+			return nil, fmt.Errorf("rhbench: bad %s %q", what, p)
 		}
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// parseThreads parses "1,2,4" into a sweep of positive counts.
+func parseThreads(s string) ([]int, error) {
+	return parseInts(s, "thread count", 1, 1<<20)
+}
+
+// parsePercents parses "0,10,50" into a sweep of values in [0,100].
+func parsePercents(s string) ([]int, error) {
+	return parseInts(s, "percentage", 0, 100)
 }

@@ -25,3 +25,24 @@ func TestParseThreadsRejectsBadInput(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePercents(t *testing.T) {
+	got, err := parsePercents("0, 10,100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 10, 100}
+	if len(got) != len(want) {
+		t.Fatalf("parsePercents = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsePercents = %v, want %v", got, want)
+		}
+	}
+	for _, in := range []string{"", "x", "-1", "101", "5,,9"} {
+		if _, err := parsePercents(in); err == nil {
+			t.Errorf("parsePercents(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package enginetest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// ClusterKV is the client surface the cross-System conformance battery
+// drives. cluster.Client satisfies it. The battery is defined against this
+// interface (rather than the cluster package) so that in-package store
+// tests can keep importing enginetest without an import cycle through
+// cluster → store.
+type ClusterKV interface {
+	Get(key []byte) ([]byte, bool, error)
+	Put(key, value []byte) error
+	Delete(key []byte) (bool, error)
+	// ReadMulti returns an atomic snapshot of keys (nil = absent).
+	ReadMulti(keys [][]byte) ([][]byte, error)
+	// Update atomically transforms keys: fn maps current values (nil =
+	// absent) to new ones (nil = delete); a fn error aborts unchanged.
+	Update(keys [][]byte, fn func(vals [][]byte) ([][]byte, error)) error
+}
+
+// ClusterFactory builds a fresh cluster for one test and returns a session
+// spawner (sessions are per-goroutine, like engine threads) plus a validate
+// hook run after the workload quiesces (store invariants, no orphaned
+// intents, decision-log consistency).
+type ClusterFactory func(t *testing.T) (newSession func() ClusterKV, validate func() error)
+
+// RunClusterKV executes the cross-System conformance battery: a sequential
+// map-oracle property test over single- and multi-key operations
+// (including user-abort rollback of multi-key updates), and the
+// cross-System transfer invariant — total balance conserved under
+// concurrent multi-key transfers and snapshot audits. Factories should
+// induce aborts (engine abort injection and enough contention that 2PC
+// prepares conflict) so both decision paths are exercised.
+func RunClusterKV(t *testing.T, name string, factory ClusterFactory) {
+	t.Run(name+"/ClusterSequentialOracle", func(t *testing.T) { testClusterSequentialOracle(t, factory) })
+	t.Run(name+"/ClusterTransferInvariant", func(t *testing.T) { testClusterTransferInvariant(t, factory) })
+}
+
+// testClusterSequentialOracle runs random single- and multi-key operations
+// against a Go map oracle. Multi-key updates span Systems (keys are spread
+// by the cluster's own router); a quarter of them abort with a user error,
+// whose buffered writes must vanish completely.
+func testClusterSequentialOracle(t *testing.T, factory ClusterFactory) {
+	for _, seed := range []int64{1, 2, 3} {
+		newSession, validate := factory(t)
+		kv := newSession()
+		oracle := map[string][]byte{}
+		rng := rand.New(rand.NewSource(seed))
+		keyOf := func(i int) []byte { return []byte(fmt.Sprintf("key-%02d", i)) }
+		const keys = 16
+
+		for op := 0; op < 150; op++ {
+			switch rng.Intn(5) {
+			case 0: // single put
+				k := keyOf(rng.Intn(keys))
+				v := make([]byte, rng.Intn(32))
+				rng.Read(v)
+				if err := kv.Put(k, v); err != nil {
+					t.Fatalf("seed %d op %d: Put: %v", seed, op, err)
+				}
+				oracle[string(k)] = v
+			case 1: // single get
+				k := keyOf(rng.Intn(keys))
+				got, ok, err := kv.Get(k)
+				if err != nil {
+					t.Fatalf("seed %d op %d: Get: %v", seed, op, err)
+				}
+				want, wok := oracle[string(k)]
+				if ok != wok || !bytes.Equal(got, want) {
+					t.Fatalf("seed %d op %d: Get(%s) = %x,%v want %x,%v", seed, op, k, got, ok, want, wok)
+				}
+			case 2: // single delete
+				k := keyOf(rng.Intn(keys))
+				present, err := kv.Delete(k)
+				if err != nil {
+					t.Fatalf("seed %d op %d: Delete: %v", seed, op, err)
+				}
+				if _, wok := oracle[string(k)]; present != wok {
+					t.Fatalf("seed %d op %d: Delete(%s) = %v, want %v", seed, op, k, present, wok)
+				}
+				delete(oracle, string(k))
+			case 3: // multi-key snapshot read
+				n := rng.Intn(4) + 2
+				var ks [][]byte
+				for i := 0; i < n; i++ {
+					ks = append(ks, keyOf(rng.Intn(keys)))
+				}
+				vals, err := kv.ReadMulti(ks)
+				if err != nil {
+					t.Fatalf("seed %d op %d: ReadMulti: %v", seed, op, err)
+				}
+				for i, k := range ks {
+					want, wok := oracle[string(k)]
+					if wok != (vals[i] != nil) || (wok && !bytes.Equal(vals[i], want)) {
+						t.Fatalf("seed %d op %d: snapshot[%s] = %x, want %x,%v",
+							seed, op, k, vals[i], want, wok)
+					}
+				}
+			default: // multi-key update, sometimes aborting
+				n := rng.Intn(3) + 2
+				seen := map[int]bool{}
+				var ks [][]byte
+				for len(ks) < n {
+					i := rng.Intn(keys)
+					if !seen[i] {
+						seen[i] = true
+						ks = append(ks, keyOf(i))
+					}
+				}
+				fail := rng.Intn(4) == 0
+				newVals := make([][]byte, len(ks))
+				for i := range newVals {
+					if rng.Intn(5) == 0 {
+						newVals[i] = nil // delete
+					} else {
+						v := make([]byte, rng.Intn(24)+1)
+						rng.Read(v)
+						newVals[i] = v
+					}
+				}
+				err := kv.Update(ks, func(vals [][]byte) ([][]byte, error) {
+					// Current values must match the oracle (sequential run).
+					for i, k := range ks {
+						want, wok := oracle[string(k)]
+						if wok != (vals[i] != nil) || (wok && !bytes.Equal(vals[i], want)) {
+							return nil, fmt.Errorf("update saw %x for %s, oracle %x,%v",
+								vals[i], k, want, wok)
+						}
+					}
+					if fail {
+						return nil, errOracleAbort
+					}
+					return newVals, nil
+				})
+				if fail {
+					if err != errOracleAbort {
+						t.Fatalf("seed %d op %d: err = %v, want oracle abort", seed, op, err)
+					}
+					continue // oracle unchanged: rollback must be complete
+				}
+				if err != nil {
+					t.Fatalf("seed %d op %d: Update: %v", seed, op, err)
+				}
+				for i, k := range ks {
+					if newVals[i] == nil {
+						delete(oracle, string(k))
+					} else {
+						oracle[string(k)] = newVals[i]
+					}
+				}
+			}
+		}
+		// Final state must match the oracle exactly.
+		for i := 0; i < keys; i++ {
+			got, ok, err := kv.Get(keyOf(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wok := oracle[string(keyOf(i))]
+			if ok != wok || !bytes.Equal(got, want) {
+				t.Fatalf("seed %d final key %d: got %x,%v want %x,%v", seed, i, got, ok, want, wok)
+			}
+		}
+		if err := validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// testClusterTransferInvariant moves units between per-key balances with
+// multi-key transactions whose keys scatter over Systems, while auditors
+// take snapshot reads of every account: any torn cross-System commit shows
+// up as a non-conserved total. Run it under -race with abort injection.
+func testClusterTransferInvariant(t *testing.T, factory ClusterFactory) {
+	newSession, validate := factory(t)
+	kv := newSession()
+	const accounts = 10
+	const initial = 1000
+	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("acct-%d", i)) }
+	enc := func(v uint64) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		return b[:]
+	}
+	dec := func(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+	allKeys := make([][]byte, accounts)
+	for i := range allKeys {
+		allKeys[i] = keyOf(i)
+		if err := kv.Put(keyOf(i), enc(initial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var auditWg sync.WaitGroup
+	auditWg.Add(1)
+	audit := newSession()
+	go func() {
+		defer auditWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			vals, err := audit.ReadMulti(allKeys)
+			if err != nil {
+				t.Errorf("audit: %v", err)
+				return
+			}
+			var total uint64
+			for i, v := range vals {
+				if v == nil {
+					t.Errorf("audit: account %d missing", i)
+					return
+				}
+				total += dec(v)
+			}
+			if total != accounts*initial {
+				t.Errorf("audit saw total %d, want %d (torn cross-System commit)",
+					total, accounts*initial)
+				return
+			}
+		}
+	}()
+
+	const workers, transfers = 4, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w) + 11))
+		session := newSession()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				amt := uint64(rng.Intn(10))
+				err := session.Update([][]byte{keyOf(from), keyOf(to)},
+					func(vals [][]byte) ([][]byte, error) {
+						f, tv := dec(vals[0]), dec(vals[1])
+						if f < amt {
+							return nil, nil // read-only commit: insufficient funds
+						}
+						return [][]byte{enc(f - amt), enc(tv + amt)}, nil
+					})
+				if err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	auditWg.Wait()
+
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		v, ok, err := kv.Get(keyOf(i))
+		if err != nil || !ok {
+			t.Fatalf("final account %d: ok=%v err=%v", i, ok, err)
+		}
+		total += dec(v)
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d (money not conserved)", total, accounts*initial)
+	}
+	if err := validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,453 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhtm"
+	"rhtm/cluster"
+	"rhtm/store"
+)
+
+// Cluster workloads drive the share-nothing multi-System router: the YCSB
+// mixes (plus a bank-transfer variant) with a configurable fraction of
+// operations turned into cross-System transactions that must run two-phase
+// commit. They answer the question the single-System experiments cannot:
+// how does throughput scale when Systems stop sharing a clock and an
+// interconnect, and what does distributed atomicity cost per engine?
+
+// ClusterSpec parameterizes one cluster workload.
+type ClusterSpec struct {
+	// Mix is "a", "b", "c", "f" (as YCSBSpec.Mix), or "bank": every
+	// operation transfers between two 8-byte balances and the run fails if
+	// the total is not conserved.
+	Mix string
+	// Records is the number of pre-loaded records (or bank accounts).
+	Records int
+	// ValueBytes is the value size (>= 8; bank always uses 8).
+	ValueBytes int
+	// Dist selects the request distribution (default DistUniform — the
+	// scaling claims are about balanced load; DistZipfian concentrates it).
+	Dist string
+	// Theta is the zipfian skew; 0 selects 0.99.
+	Theta float64
+	// Systems is the number of independent simulated machines (default 1).
+	Systems int
+	// CrossPct is the percentage of operations that run as cross-System
+	// transactions (ignored when Systems == 1; bank transfers between
+	// same-System accounts otherwise).
+	CrossPct int
+	// CrossKeys is how many keys a cross-System transaction touches
+	// (default 2).
+	CrossKeys int
+}
+
+// withDefaults fills unset fields.
+func (sp ClusterSpec) withDefaults() ClusterSpec {
+	if sp.Records <= 0 {
+		sp.Records = 10_000
+	}
+	if sp.ValueBytes <= 0 {
+		sp.ValueBytes = 64
+	}
+	if sp.Mix == "bank" {
+		sp.ValueBytes = 8
+	}
+	if sp.Dist == "" {
+		sp.Dist = DistUniform
+	}
+	if sp.Theta <= 0 {
+		sp.Theta = 0.99
+	}
+	if sp.Systems <= 0 {
+		sp.Systems = 1
+	}
+	if sp.CrossKeys <= 0 {
+		sp.CrossKeys = 2
+	}
+	return sp
+}
+
+// Name identifies the workload in output rows.
+func (sp ClusterSpec) Name() string {
+	sp = sp.withDefaults()
+	return fmt.Sprintf("cluster-%s/%s/s=%d/x=%d", sp.Mix, sp.Dist, sp.Systems, sp.CrossPct)
+}
+
+// validate rejects bad specs the way YCSBWorkload does.
+func (sp ClusterSpec) validate() error {
+	if sp.Mix != "bank" {
+		if _, err := sp.readPctOf(); err != nil {
+			return err
+		}
+	}
+	if sp.Dist != DistUniform && sp.Dist != DistZipfian {
+		return fmt.Errorf("harness: unknown cluster distribution %q", sp.Dist)
+	}
+	if sp.Dist == DistZipfian && sp.Theta >= 1 {
+		return fmt.Errorf("harness: zipfian theta must be in (0,1), got %g", sp.Theta)
+	}
+	if sp.CrossPct < 0 || sp.CrossPct > 100 {
+		return fmt.Errorf("harness: CrossPct must be in [0,100], got %d", sp.CrossPct)
+	}
+	if sp.Mix != "bank" && sp.ValueBytes < 8 {
+		return fmt.Errorf("harness: cluster mixes need ValueBytes >= 8, got %d", sp.ValueBytes)
+	}
+	if sp.CrossKeys*2 > sp.Records {
+		return fmt.Errorf("harness: CrossKeys %d too large for %d records", sp.CrossKeys, sp.Records)
+	}
+	return nil
+}
+
+// readPctOf maps the mix letter to its read percentage.
+func (sp ClusterSpec) readPctOf() (int, error) {
+	return YCSBSpec{Mix: sp.Mix}.readPct()
+}
+
+// Check applies defaults and validates the spec — for drivers that want to
+// reject bad flags with a clean message before starting a sweep instead of
+// panicking mid-run.
+func (sp ClusterSpec) Check() error {
+	return sp.withDefaults().validate()
+}
+
+// bankInitial is the starting balance of every bank account.
+const bankInitial = 1000
+
+// RunCluster executes one cluster measurement: build spec.Systems
+// independent Systems each running the named engine, populate the records
+// through the router, and drive cfg.Threads clients. For Mix "bank" the
+// conserved-total invariant is checked after the run; every run validates
+// store invariants and intent quiescence.
+func RunCluster(spec ClusterSpec, engineName string, cfg RunConfig) (Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Threads <= 0 {
+		return Result{}, fmt.Errorf("harness: Threads must be positive")
+	}
+	if cfg.Duration <= 0 && cfg.OpsPerThread <= 0 {
+		return Result{}, fmt.Errorf("harness: need Duration or OpsPerThread")
+	}
+
+	keyBytes := len(ycsbKey(0))
+	recordsPerSys := (spec.Records + spec.Systems - 1) / spec.Systems
+	perRecord := store.RecordFootprintWords(keyBytes, spec.ValueBytes)
+	// In-flight intents: every client can hold CrossKeys of them, plus the
+	// same again mid-apply; round up generously — intent blocks recycle.
+	intentSlack := (cfg.Threads*spec.CrossKeys*2 + 64) *
+		store.IntentFootprintWords(keyBytes, spec.ValueBytes)
+	arenaWords := recordsPerSys*perRecord*2 + intentSlack + 4096
+
+	c, err := cluster.New(cluster.Config{
+		Systems:    spec.Systems,
+		ArenaWords: arenaWords,
+		DataWords:  arenaWords + 1<<13,
+		NewEngine: func(s *rhtm.System) (rhtm.Engine, error) {
+			return Build(s, engineName, cfg.InjectPct)
+		},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Populate through the router.
+	loadRng := rand.New(rand.NewSource(loaderSeed))
+	val := make([]byte, spec.ValueBytes)
+	for i := 0; i < spec.Records; i++ {
+		if spec.Mix == "bank" {
+			binary.LittleEndian.PutUint64(val, bankInitial)
+		} else {
+			loadRng.Read(val)
+		}
+		if err := c.Load(ycsbKey(i), val); err != nil {
+			return Result{}, fmt.Errorf("harness: cluster load: %w", err)
+		}
+	}
+
+	var zipf *zipfian
+	if spec.Dist == DistZipfian {
+		zipf = newZipfian(spec.Records, spec.Theta)
+	}
+
+	var stop atomic.Bool
+	var totalOps atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Threads; i++ {
+		client := c.NewClient()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := clusterWorker{spec: spec, c: c, client: client, rng: rng, zipf: zipf}
+			totalOps.Add(driveWorker(cfg, &stop, func() {
+				if err := w.step(); err != nil {
+					// Client bodies never return user errors here; failures
+					// are protocol or capacity bugs, surfaced via panic as
+					// the single-System runner does.
+					panic(fmt.Sprintf("harness: cluster op: %v", err))
+				}
+			}))
+		}()
+	}
+	if cfg.Duration > 0 {
+		time.Sleep(cfg.Duration)
+		stop.Store(true)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	cs := c.Stats()
+	res := Result{
+		Workload: spec.Name(),
+		Engine:   c.Node(0).Engine().Name(),
+		Threads:  cfg.Threads,
+		Ops:      totalOps.Load(),
+		Elapsed:  elapsed,
+		Stats:    cs.Engines,
+	}
+	res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	for _, a := range cs.PerSystemAccesses {
+		res.Accesses += a
+		if a > res.CriticalAccesses {
+			res.CriticalAccesses = a
+		}
+	}
+	if res.Accesses > 0 {
+		res.OpsPerKAccess = 1000 * float64(res.Ops) / float64(res.Accesses)
+	}
+	if res.CriticalAccesses > 0 {
+		res.OpsPerKInterval = 1000 * float64(res.Ops) / float64(res.CriticalAccesses)
+	}
+	res.Notes = fmt.Sprintf(
+		"2pc: cross=%d commit=%d abort=%d prep-conflicts=%d local=%d local-conflicts=%d intent-waits=%d | store: %s",
+		cs.CrossTxns, cs.CrossCommits, cs.CrossAborts, cs.PrepareConflicts,
+		cs.LocalTxns, cs.LocalConflicts, cs.IntentWaits, cs.Store.String())
+
+	if spec.Mix == "bank" {
+		var total uint64
+		for i := 0; i < spec.Records; i++ {
+			v, ok := c.Peek(ycsbKey(i))
+			if !ok {
+				return res, fmt.Errorf("harness: bank account %d missing after run", i)
+			}
+			total += binary.LittleEndian.Uint64(v)
+		}
+		if want := uint64(spec.Records) * bankInitial; total != want {
+			return res, fmt.Errorf("harness: bank total %d != %d — cross-System atomicity violated", total, want)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// MustRunCluster is RunCluster for experiment drivers.
+func MustRunCluster(spec ClusterSpec, engineName string, cfg RunConfig) Result {
+	r, err := RunCluster(spec, engineName, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// clusterWorker generates and executes one client's operations.
+type clusterWorker struct {
+	spec   ClusterSpec
+	c      *cluster.Cluster
+	client *cluster.Client
+	rng    *rand.Rand
+	zipf   *zipfian
+	buf    []byte
+}
+
+// record draws one record index per the spec's distribution.
+func (w *clusterWorker) record() int {
+	return drawRecord(w.rng, w.zipf, w.spec.Records)
+}
+
+// step runs one operation.
+func (w *clusterWorker) step() error {
+	if w.spec.Mix == "bank" {
+		return w.transfer()
+	}
+	cross := w.spec.Systems > 1 && w.rng.Intn(100) < w.spec.CrossPct
+	readPct, _ := w.spec.readPctOf()
+	isRead := w.rng.Intn(100) < readPct
+	if cross {
+		return w.crossOp(isRead)
+	}
+	return w.singleOp(isRead)
+}
+
+// singleOp is one single-key operation on the record's own System.
+func (w *clusterWorker) singleOp(isRead bool) error {
+	key := ycsbKey(w.record())
+	if isRead {
+		_, ok, err := w.client.Get(key)
+		if err == nil && !ok {
+			return fmt.Errorf("record %s missing", key)
+		}
+		return err
+	}
+	if w.spec.Mix == "f" {
+		// Single-key read-modify-write still needs a transaction.
+		return w.client.Txn(func(tx *cluster.Txn) error {
+			cur, ok, err := tx.Get(key)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("record %s missing", key)
+			}
+			binary.LittleEndian.PutUint64(cur, binary.LittleEndian.Uint64(cur)+1)
+			tx.Put(key, cur)
+			return nil
+		})
+	}
+	if w.buf == nil {
+		w.buf = make([]byte, w.spec.ValueBytes)
+	}
+	w.rng.Read(w.buf)
+	return w.client.Put(key, w.buf)
+}
+
+// crossKeys draws CrossKeys distinct records, redrawing a bounded number
+// of times until they span at least two Systems. If the keyspace is so
+// degenerate that no redraw spans (all sampled records hash to one
+// System), the last draw is used anyway — the transaction then simply
+// takes the local path.
+func (w *clusterWorker) crossKeys() [][]byte {
+	r := w.c.Router()
+	var keys [][]byte
+	for round := 0; round < 16; round++ {
+		seen := map[int]bool{}
+		systems := map[int]bool{}
+		keys = keys[:0]
+		for len(keys) < w.spec.CrossKeys {
+			rec := w.record()
+			if seen[rec] {
+				continue
+			}
+			seen[rec] = true
+			k := ycsbKey(rec)
+			keys = append(keys, k)
+			systems[r.SystemFor(k)] = true
+		}
+		if len(systems) > 1 {
+			break
+		}
+	}
+	return keys
+}
+
+// crossOp runs one cross-System transaction: a snapshot read of the keys,
+// or a write over all of them. The write mirrors the mix's single-key
+// semantics — blind puts for a/b, read-modify-write counter increments for
+// f — so the accesses/op delta between x=0 and x>0 measures the commit
+// protocol, not a change in operation shape.
+func (w *clusterWorker) crossOp(isRead bool) error {
+	keys := w.crossKeys()
+	if isRead {
+		vals, err := w.client.ReadMulti(keys)
+		if err != nil {
+			return err
+		}
+		for i, v := range vals {
+			if v == nil {
+				return fmt.Errorf("record %s missing", keys[i])
+			}
+		}
+		return nil
+	}
+	if w.spec.Mix == "f" {
+		return w.client.Update(keys, func(vals [][]byte) ([][]byte, error) {
+			out := make([][]byte, len(vals))
+			for i, v := range vals {
+				if v == nil {
+					return nil, fmt.Errorf("record %s missing", keys[i])
+				}
+				binary.LittleEndian.PutUint64(v, binary.LittleEndian.Uint64(v)+1)
+				out[i] = v
+			}
+			return out, nil
+		})
+	}
+	// Values are drawn before the transaction so a commit retry does not
+	// consume extra randomness (Txn bodies re-execute on conflict).
+	vals := make([][]byte, len(keys))
+	for i := range vals {
+		vals[i] = make([]byte, w.spec.ValueBytes)
+		w.rng.Read(vals[i])
+	}
+	return w.client.Txn(func(tx *cluster.Txn) error {
+		for i, k := range keys {
+			tx.Put(k, vals[i])
+		}
+		return nil
+	})
+}
+
+// transfer is one bank operation: move a random amount between two
+// accounts, cross-System for CrossPct of operations. Redraws for the
+// wanted placement are bounded: a degenerate account set (say, every
+// account hashed to its own System when a same-System pair is wanted) must
+// not hang the run, so after the bound the last distinct pair is used with
+// whatever placement it has.
+func (w *clusterWorker) transfer() error {
+	r := w.c.Router()
+	wantCross := w.spec.Systems > 1 && w.rng.Intn(100) < w.spec.CrossPct
+	a := w.record()
+	b := (a + 1) % w.spec.Records
+	for round := 0; round < 64; round++ {
+		x, y := w.record(), w.record()
+		if x == y {
+			continue
+		}
+		a, b = x, y
+		if w.spec.Systems == 1 ||
+			(r.SystemFor(ycsbKey(a)) != r.SystemFor(ycsbKey(b))) == wantCross {
+			break
+		}
+	}
+	from, to := ycsbKey(a), ycsbKey(b)
+	amt := uint64(w.rng.Intn(10))
+	return w.client.Update([][]byte{from, to}, func(vals [][]byte) ([][]byte, error) {
+		if vals[0] == nil || vals[1] == nil {
+			return nil, fmt.Errorf("bank account missing")
+		}
+		f := binary.LittleEndian.Uint64(vals[0])
+		t := binary.LittleEndian.Uint64(vals[1])
+		if f < amt {
+			return nil, nil // insufficient funds: read-only commit
+		}
+		var nf, nt [8]byte
+		binary.LittleEndian.PutUint64(nf[:], f-amt)
+		binary.LittleEndian.PutUint64(nt[:], t+amt)
+		return [][]byte{nf[:], nt[:]}, nil
+	})
+}
+
+// clusterEngines is the series set of the cluster experiments — the same
+// engines as the single-System YCSB series, so the 2PC cost is directly
+// comparable.
+var clusterEngines = ycsbEngines
+
+// ClusterYCSB measures every cluster engine at every thread count for one
+// spec.
+func ClusterYCSB(sc Scale, spec ClusterSpec) []Result {
+	out := make([]Result, 0, len(clusterEngines)*len(sc.Threads))
+	for _, eng := range clusterEngines {
+		for _, th := range sc.Threads {
+			out = append(out, MustRunCluster(spec, eng, sc.cfg(th)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterScaling is the subsystem's acceptance criterion: on a
+// uniform, read-heavy mix with no cross-System transactions, 4 Systems
+// must deliver at least twice the 1-System throughput in simulated
+// parallel time (ops per critical-path access interval) — the load really
+// spreads over independent machines instead of queueing on one.
+func TestClusterScaling(t *testing.T) {
+	base := ClusterSpec{Mix: "b", Records: 2048, ValueBytes: 32, Dist: DistUniform, CrossPct: 0}
+	cfg := RunConfig{Threads: 4, OpsPerThread: 300, Seed: 1}
+
+	base.Systems = 1
+	r1 := MustRunCluster(base, EngRH1Mix2, cfg)
+	base.Systems = 4
+	r4 := MustRunCluster(base, EngRH1Mix2, cfg)
+
+	if r1.Ops != r4.Ops {
+		t.Fatalf("op counts differ: %d vs %d", r1.Ops, r4.Ops)
+	}
+	if r1.OpsPerKInterval <= 0 || r4.OpsPerKInterval <= 0 {
+		t.Fatalf("missing interval metric: s1=%f s4=%f", r1.OpsPerKInterval, r4.OpsPerKInterval)
+	}
+	if r4.OpsPerKInterval < 2*r1.OpsPerKInterval {
+		t.Fatalf("4 Systems = %.2f ops/kinterval, 1 System = %.2f: scaling < 2x",
+			r4.OpsPerKInterval, r1.OpsPerKInterval)
+	}
+}
+
+// TestClusterWorkloadRuns drives each mix through real engines at small
+// scale with a high cross-System fraction and sanity-checks the results
+// (op counts, commits, and — for cross mixes — that 2PC actually ran).
+func TestClusterWorkloadRuns(t *testing.T) {
+	for _, mix := range []string{"a", "b", "c", "f", "bank"} {
+		spec := ClusterSpec{Mix: mix, Records: 256, ValueBytes: 16, Systems: 3, CrossPct: 50}
+		if mix != "bank" {
+			spec.ValueBytes = 32
+		}
+		for _, eng := range []string{EngRH1Mix2, EngTL2, EngStdHy} {
+			r, err := RunCluster(spec, eng, RunConfig{Threads: 2, OpsPerThread: 30, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mix, eng, err)
+			}
+			if r.Ops != 60 {
+				t.Fatalf("%s/%s: ops = %d, want 60", mix, eng, r.Ops)
+			}
+			if !strings.Contains(r.Notes, "2pc:") {
+				t.Fatalf("%s/%s: notes missing 2PC counters: %q", mix, eng, r.Notes)
+			}
+		}
+	}
+}
+
+// TestClusterCrossFractionEngages: with CrossPct > 0 on several Systems,
+// cross-System commits must appear in the stats; with CrossPct == 0 the
+// decision log must stay empty of cross traffic from single-key mixes.
+func TestClusterCrossFractionEngages(t *testing.T) {
+	spec := ClusterSpec{Mix: "a", Records: 512, ValueBytes: 16, Systems: 3, CrossPct: 40}
+	r := MustRunCluster(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 100, Seed: 7})
+	if !strings.Contains(r.Notes, "2pc: cross=") || strings.Contains(r.Notes, "2pc: cross=0 ") {
+		t.Fatalf("cross fraction 40%% produced no 2PC traffic: %q", r.Notes)
+	}
+
+	spec.CrossPct = 0
+	r0 := MustRunCluster(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 100, Seed: 7})
+	if !strings.Contains(r0.Notes, "2pc: cross=0 ") {
+		t.Fatalf("cross fraction 0%% still ran 2PC: %q", r0.Notes)
+	}
+}
+
+// TestClusterBankInvariant: the bank mix's conserved-total check runs
+// inside RunCluster; a clean run must pass it under heavy cross traffic.
+func TestClusterBankInvariant(t *testing.T) {
+	spec := ClusterSpec{Mix: "bank", Records: 64, Systems: 4, CrossPct: 80}
+	r := MustRunCluster(spec, EngRH1Mix2, RunConfig{Threads: 4, OpsPerThread: 60, Seed: 3})
+	if r.Ops != 240 {
+		t.Fatalf("ops = %d, want 240", r.Ops)
+	}
+}
+
+// TestClusterRejectsBadSpecs mirrors TestYCSBRejectsBadSpecs.
+func TestClusterRejectsBadSpecs(t *testing.T) {
+	cases := map[string]ClusterSpec{
+		"mix":       {Mix: "z"},
+		"dist":      {Mix: "a", Dist: "banana"},
+		"theta":     {Mix: "a", Dist: DistZipfian, Theta: 1.5},
+		"crosspct":  {Mix: "a", CrossPct: 140},
+		"crosskeys": {Mix: "a", Records: 8, CrossKeys: 6},
+		"vbytes":    {Mix: "f", ValueBytes: 4},
+	}
+	for name, spec := range cases {
+		if _, err := RunCluster(spec, EngTL2, RunConfig{Threads: 1, OpsPerThread: 1}); err == nil {
+			t.Errorf("RunCluster accepted bad %s: %+v", name, spec)
+		}
+	}
+}

@@ -40,6 +40,17 @@ func PrintThroughputSeries(w io.Writer, title string, results []Result) {
 	}
 	fmt.Fprintln(w, "## committed ops per 1000 simulated shared accesses (architectural metric)")
 	printGrid(w, engines, threads, func(r Result) float64 { return r.OpsPerKAccess })
+	cluster := false
+	for _, r := range results {
+		if r.OpsPerKInterval > 0 {
+			cluster = true
+			break
+		}
+	}
+	if cluster {
+		fmt.Fprintln(w, "## committed ops per 1000 critical-path accesses (busiest System; cluster scaling metric)")
+		printGrid(w, engines, threads, func(r Result) float64 { return r.OpsPerKInterval })
+	}
 	fmt.Fprintln(w, "## committed ops per second (host wall clock; measures the simulator)")
 	printGrid(w, engines, threads, func(r Result) float64 { return r.Throughput })
 	fmt.Fprintln(w, "# abort ratios:")
@@ -47,6 +58,21 @@ func PrintThroughputSeries(w io.Writer, title string, results []Result) {
 		last := byKey[key(e, threads[len(threads)-1])]
 		fmt.Fprintf(w, "#   %-16s abort-ratio=%.3f at %d threads (%s)\n",
 			e, last.Stats.AbortRatio(), last.Threads, last.Stats.String())
+	}
+	notes := false
+	for _, e := range engines {
+		if byKey[key(e, threads[len(threads)-1])].Notes != "" {
+			notes = true
+			break
+		}
+	}
+	if notes {
+		fmt.Fprintf(w, "# notes (at %d threads):\n", threads[len(threads)-1])
+		for _, e := range engines {
+			if last := byKey[key(e, threads[len(threads)-1])]; last.Notes != "" {
+				fmt.Fprintf(w, "#   %-16s %s\n", e, last.Notes)
+			}
+		}
 	}
 }
 

@@ -67,6 +67,21 @@ type Result struct {
 	// reads/writes or redo work after aborts score lower. The figure-shape
 	// claims in EXPERIMENTS.md are made against this metric.
 	OpsPerKAccess float64
+
+	// CriticalAccesses is, for cluster runs, the largest per-System access
+	// count: independent Systems progress in parallel, so the busiest one
+	// is the run's simulated critical path. (A 1-System cluster run sets
+	// it to its only System's count.) Zero for non-cluster runs.
+	CriticalAccesses uint64
+	// OpsPerKInterval is committed operations per thousand critical-path
+	// accesses — the cluster scaling metric: adding Systems raises it when
+	// (and only when) the load actually spreads. It equals OpsPerKAccess
+	// on a 1-System cluster run; zero for non-cluster runs.
+	OpsPerKInterval float64
+
+	// Notes carries workload-level observations (store occupancy, 2PC
+	// counters) reported after the run; empty when the workload has none.
+	Notes string
 }
 
 // String renders a compact summary line.
@@ -112,15 +127,7 @@ func Run(w Workload, engineName string, cfg RunConfig) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ops := uint64(0)
-			for n := 0; ; n++ {
-				if cfg.Duration > 0 {
-					if stop.Load() {
-						break
-					}
-				} else if n >= cfg.OpsPerThread {
-					break
-				}
+			totalOps.Add(driveWorker(cfg, &stop, func() {
 				op := gen()
 				if cfg.Breakdown {
 					runTimed(th, op, acc)
@@ -129,9 +136,7 @@ func Run(w Workload, engineName string, cfg RunConfig) (Result, error) {
 					// an engine bug surfaced to the caller via panic.
 					panic(fmt.Sprintf("harness: Atomic failed: %v", err))
 				}
-				ops++
-			}
-			totalOps.Add(ops)
+			}))
 		}()
 	}
 	if cfg.Duration > 0 {
@@ -158,7 +163,30 @@ func Run(w Workload, engineName string, cfg RunConfig) (Result, error) {
 	if cfg.Breakdown {
 		res.Breakdown = mergeBreakdown(accs, elapsed)
 	}
+	if w.Observe != nil {
+		res.Notes = w.Observe(s)
+	}
 	return res, nil
+}
+
+// driveWorker executes step until the run's limit: OpsPerThread iterations
+// for count-based runs, or the stop flag for time-based ones. It returns
+// the operation count. Run and RunCluster share it so the drive semantics
+// cannot drift between the single-System and cluster runners.
+func driveWorker(cfg RunConfig, stop *atomic.Bool, step func()) uint64 {
+	ops := uint64(0)
+	for n := 0; ; n++ {
+		if cfg.Duration > 0 {
+			if stop.Load() {
+				break
+			}
+		} else if n >= cfg.OpsPerThread {
+			break
+		}
+		step()
+		ops++
+	}
+	return ops
 }
 
 // MustRun is Run for the experiment drivers, where a config error is a bug.

@@ -23,6 +23,13 @@ type Workload struct {
 	DataWords int
 	// Build populates the structure on s and returns the operation factory.
 	Build func(s *rhtm.System) OpFactory
+	// Observe, when non-nil, is called by Run after the workers have
+	// drained (the run's System is quiescent); its report lands in
+	// Result.Notes. Builders that need per-run state (the YCSB store)
+	// share it with Observe through a variable captured by both closures:
+	// Run guarantees Build, the workers, and Observe run sequentially, and
+	// a Workload value is never measured concurrently with itself.
+	Observe func(s *rhtm.System) string
 }
 
 // RBTreeWorkload is the paper's Constant Red-Black Tree (§3.1): nodes keys,
@@ -199,8 +206,13 @@ func RandomArrayWorkload(size, txLen, writePct int) Workload {
 	}
 }
 
+// loaderSeed seeds every workload loader/shuffle RNG (the paper's TRANSACT
+// date), making populated state reproducible across runs — tests replay the
+// loaders against it (see TestYCSBFIncrements).
+const loaderSeed = 20130317
+
 // shuffle permutes keys with a fixed seed so runs are reproducible.
 func shuffle(keys []uint64) {
-	rng := rand.New(rand.NewSource(20130317)) // the paper's TRANSACT date
+	rng := rand.New(rand.NewSource(loaderSeed))
 	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
 }

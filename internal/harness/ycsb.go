@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,11 +12,12 @@ import (
 )
 
 // YCSB-style workloads over the sharded transactional store: the classic
-// cloud-serving mixes (A 50/50 read/update, B 95/5, C read-only) with
-// uniform and zipfian request distributions. Where the paper's Constant
-// workloads measure the engines on fixed-shape structures, these measure
-// them under a realistic storage stack — varlen codec, free-list arena,
-// ordered index — with the skewed key popularity real KV traffic has.
+// cloud-serving mixes (A 50/50 read/update, B 95/5, C read-only, F 50/50
+// read/read-modify-write) with uniform and zipfian request distributions.
+// Where the paper's Constant workloads measure the engines on fixed-shape
+// structures, these measure them under a realistic storage stack — varlen
+// codec, free-list arena, ordered index — with the skewed key popularity
+// real KV traffic has.
 
 // Request distributions accepted by YCSBSpec.Dist.
 const (
@@ -26,7 +28,9 @@ const (
 // YCSBSpec parameterizes one YCSB-style workload.
 type YCSBSpec struct {
 	// Mix is the YCSB workload letter: "a" (50% reads / 50% updates),
-	// "b" (95/5), or "c" (read-only).
+	// "b" (95/5), "c" (read-only), or "f" (50% reads / 50% read-modify-
+	// writes: the update reads the record and increments its leading
+	// 8-byte counter in place, stressing the in-place update path).
 	Mix string
 	// Records is the number of pre-loaded records.
 	Records int
@@ -43,14 +47,14 @@ type YCSBSpec struct {
 // readPct returns the read percentage of the mix.
 func (sp YCSBSpec) readPct() (int, error) {
 	switch sp.Mix {
-	case "a":
+	case "a", "f":
 		return 50, nil
 	case "b":
 		return 95, nil
 	case "c":
 		return 100, nil
 	default:
-		return 0, fmt.Errorf("harness: unknown YCSB mix %q (want a, b or c)", sp.Mix)
+		return 0, fmt.Errorf("harness: unknown YCSB mix %q (want a, b, c or f)", sp.Mix)
 	}
 }
 
@@ -79,6 +83,17 @@ func ycsbKey(i int) []byte {
 	return []byte(fmt.Sprintf("user%08d", i))
 }
 
+// drawRecord picks a record index: scrambled zipfian when zipf is non-nil
+// (as YCSB's ScrambledZipfianGenerator — the skew applies to hashed ranks
+// so the hot keys spread over the key space, and therefore over shards and
+// Systems), uniform otherwise.
+func drawRecord(rng *rand.Rand, zipf *zipfian, records int) int {
+	if zipf != nil {
+		return int(scramble(uint64(zipf.next(rng))) % uint64(records))
+	}
+	return rng.Intn(records)
+}
+
 // YCSBWorkload builds the workload for a spec. The sharded store's arenas
 // are sized for steady state: update values keep their size class, so the
 // free lists recycle blocks and the arena frontier stops moving once every
@@ -98,16 +113,38 @@ func YCSBWorkload(spec YCSBSpec) Workload {
 		// spec surfaces like a bad Mix or Dist does.
 		panic(fmt.Sprintf("harness: zipfian theta must be in (0,1), got %g", spec.Theta))
 	}
+	if spec.Mix == "f" && spec.ValueBytes < 8 {
+		panic(fmt.Sprintf("harness: YCSB F needs ValueBytes >= 8 for its counter, got %d", spec.ValueBytes))
+	}
 	perRecord := store.RecordFootprintWords(len(ycsbKey(0)), spec.ValueBytes)
 	recordsPerShard := (spec.Records + spec.Shards - 1) / spec.Shards
 	arenaWords := recordsPerShard*perRecord*2 + 4096
+	// kv is the current run's store, shared between Build and Observe (a
+	// Workload value is measured sequentially; see Workload.Observe).
+	var kv *store.Sharded
 	return Workload{
 		Name:      fmt.Sprintf("ycsb-%s/%s", spec.Mix, spec.Dist),
 		DataWords: spec.Shards*(arenaWords+64) + 8192,
+		Observe: func(s *rhtm.System) string {
+			tx := containers.SetupTx(s)
+			note := "store: " + kv.Stats(tx).String()
+			if spec.Mix == "f" {
+				// Sum of the leading counters: grows by exactly one per
+				// committed update, so lost updates are a visible shortfall.
+				var sum uint64
+				for i := 0; i < spec.Records; i++ {
+					if v, ok := kv.Get(tx, ycsbKey(i)); ok {
+						sum += binary.LittleEndian.Uint64(v)
+					}
+				}
+				note += fmt.Sprintf(" fsum=%d", sum)
+			}
+			return note
+		},
 		Build: func(s *rhtm.System) OpFactory {
-			kv := store.NewSharded(s, spec.Shards, store.Options{ArenaWords: arenaWords})
+			kv = store.NewSharded(s, spec.Shards, store.Options{ArenaWords: arenaWords})
 			setup := containers.SetupTx(s)
-			loadRng := rand.New(rand.NewSource(20130317))
+			loadRng := rand.New(rand.NewSource(loaderSeed))
 			val := make([]byte, spec.ValueBytes)
 			for i := 0; i < spec.Records; i++ {
 				loadRng.Read(val)
@@ -119,25 +156,29 @@ func YCSBWorkload(spec YCSBSpec) Workload {
 			if spec.Dist == DistZipfian {
 				zipf = newZipfian(spec.Records, spec.Theta)
 			}
+			kv := kv // pin this run's store for the op closures
 			return func(threadID int, rng *rand.Rand) func() Op {
 				buf := make([]byte, spec.ValueBytes)
 				return func() Op {
-					var rec int
-					if zipf != nil {
-						// Scrambled zipfian, as YCSB does: the skew applies to
-						// hashed ranks so the hot keys spread over the key
-						// space (and therefore over the shards).
-						rec = int(scramble(uint64(zipf.next(rng))) % uint64(spec.Records))
-					} else {
-						rec = rng.Intn(spec.Records)
-					}
-					key := ycsbKey(rec)
+					key := ycsbKey(drawRecord(rng, zipf, spec.Records))
 					if rng.Intn(100) < readPct {
 						return func(tx rhtm.Tx) error {
 							if _, ok := kv.Get(tx, key); !ok {
 								return fmt.Errorf("harness: YCSB record %s missing", key)
 							}
 							return nil
+						}
+					}
+					if spec.Mix == "f" {
+						// Read-modify-write: bump the record's leading
+						// counter in place, preserving the payload tail.
+						return func(tx rhtm.Tx) error {
+							cur, ok := kv.Get(tx, key)
+							if !ok {
+								return fmt.Errorf("harness: YCSB record %s missing", key)
+							}
+							binary.LittleEndian.PutUint64(cur, binary.LittleEndian.Uint64(cur)+1)
+							return kv.Put(tx, key, cur)
 						}
 					}
 					rng.Read(buf)

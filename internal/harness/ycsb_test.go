@@ -1,9 +1,15 @@
 package harness
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
+	"regexp"
+	"strconv"
 	"testing"
+
+	"rhtm"
+	"rhtm/containers"
 )
 
 // TestZipfianStatistics checks the generator against the closed-form
@@ -92,10 +98,117 @@ func TestScrambleSpreads(t *testing.T) {
 	}
 }
 
+// TestYCSBFGenerator checks the F mix's generated ops executed
+// sequentially (no engine) through a recording Tx: roughly half the ops
+// must be updates, and every update must load record state before storing
+// — the read-modify-write property that distinguishes F from A's blind
+// writes.
+func TestYCSBFGenerator(t *testing.T) {
+	spec := YCSBSpec{Mix: "f", Records: 64, ValueBytes: 16, Dist: DistUniform, Shards: 2}
+	w := YCSBWorkload(spec)
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(w.DataWords))
+	factory := w.Build(s)
+	rec := &recordingTx{Tx: containers.SetupTx(s)}
+	gen := factory(0, rand.New(rand.NewSource(99)))
+
+	const ops = 400
+	updates := 0
+	for i := 0; i < ops; i++ {
+		rec.loads, rec.stores = 0, 0
+		op := gen()
+		if err := op(rec); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if rec.stores > 0 {
+			updates++
+			if rec.loads == 0 {
+				t.Fatalf("op %d: F update stored without reading (not an RMW)", i)
+			}
+		} else if rec.loads == 0 {
+			t.Fatalf("op %d: op neither read nor wrote", i)
+		}
+	}
+	// ~50% updates: allow a generous band around the binomial mean.
+	if updates < ops*30/100 || updates > ops*70/100 {
+		t.Errorf("updates = %d of %d, outside the 50%% band", updates, ops)
+	}
+}
+
+// recordingTx counts data loads and stores flowing through a Tx.
+type recordingTx struct {
+	Tx     rhtm.Tx
+	loads  int
+	stores int
+}
+
+func (r *recordingTx) Load(a rhtm.Addr) uint64 {
+	r.loads++
+	return r.Tx.Load(a)
+}
+
+func (r *recordingTx) Store(a rhtm.Addr, v uint64) {
+	r.stores++
+	r.Tx.Store(a, v)
+}
+
+func (r *recordingTx) Unsupported() { r.Tx.Unsupported() }
+
+// TestYCSBFIncrements runs the F mix through a real engine under
+// concurrency and verifies the RMW semantics end to end: the total of all
+// leading counters (reported by the workload's Observe hook as "fsum=")
+// grows by exactly the number of update operations — each increments one
+// record by one, atomically, so a lost update shows as a shortfall. Both
+// the initial counter total and the update count are reproduced from the
+// workload's fixed seeds.
+func TestYCSBFIncrements(t *testing.T) {
+	const records, valueBytes = 128, 16
+	const threads, opsPerThread = 4, 100
+	const seed = 5
+	spec := YCSBSpec{Mix: "f", Records: records, ValueBytes: valueBytes, Dist: DistUniform, Shards: 2}
+
+	// Initial counter total: replay the loader (seed fixed in YCSBWorkload).
+	loadRng := rand.New(rand.NewSource(loaderSeed))
+	val := make([]byte, valueBytes)
+	var initial uint64
+	for i := 0; i < records; i++ {
+		loadRng.Read(val)
+		initial += binary.LittleEndian.Uint64(val)
+	}
+	// Update count: replay each thread's generator draws (record, then
+	// read-or-update; the F mix consumes no further randomness per op).
+	updates := uint64(0)
+	for th := 0; th < threads; th++ {
+		rng := rand.New(rand.NewSource(seed + int64(th)*7919))
+		for op := 0; op < opsPerThread; op++ {
+			_ = rng.Intn(records)
+			if rng.Intn(100) >= 50 {
+				updates++
+			}
+		}
+	}
+
+	r := MustRun(YCSBWorkload(spec), EngRH1Mix2,
+		RunConfig{Threads: threads, OpsPerThread: opsPerThread, Seed: seed})
+	if r.Ops != threads*opsPerThread {
+		t.Fatalf("ops = %d, want %d", r.Ops, threads*opsPerThread)
+	}
+	m := regexp.MustCompile(`fsum=(\d+)`).FindStringSubmatch(r.Notes)
+	if m == nil {
+		t.Fatalf("notes missing fsum: %q", r.Notes)
+	}
+	final, err := strconv.ParseUint(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := final - initial; got != updates {
+		t.Fatalf("counter total grew by %d, want %d updates (lost or phantom RMWs)", got, updates)
+	}
+}
+
 // TestYCSBWorkloadRuns drives each mix and both distributions through real
 // engines at small scale and sanity-checks the results.
 func TestYCSBWorkloadRuns(t *testing.T) {
-	for _, mix := range []string{"a", "b", "c"} {
+	for _, mix := range []string{"a", "b", "c", "f"} {
 		for _, dist := range []string{DistUniform, DistZipfian} {
 			spec := YCSBSpec{Mix: mix, Records: 256, ValueBytes: 32, Dist: dist, Shards: 4}
 			for _, eng := range []string{EngRH1Mix2, EngTL2, EngStdHy} {

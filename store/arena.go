@@ -96,6 +96,36 @@ func (a *Arena) TxFree(tx rhtm.Tx, addr rhtm.Addr, words int) {
 // Words returns the arena capacity in words.
 func (a *Arena) Words() int { return a.words }
 
+// ArenaStats describes an arena's occupancy at one instant. BumpedWords is
+// what the frontier has handed out since setup; FreeListWords is the portion
+// of that currently idle on the free lists, so LiveWords (the difference) is
+// what reachable blocks actually occupy. The gap between LiveWords and the
+// payload callers asked for is size-class rounding waste — the quantity the
+// ROADMAP's compaction item needs measured.
+type ArenaStats struct {
+	CapacityWords int
+	BumpedWords   int
+	FreeListWords int
+	LiveWords     int
+}
+
+// Stats gathers occupancy counters under tx by walking the free lists (no
+// hot-path bookkeeping is maintained for this; cost is one load per free
+// block, so call it from reporting paths, not per-operation).
+func (a *Arena) Stats(tx rhtm.Tx) ArenaStats {
+	s := ArenaStats{
+		CapacityWords: a.words,
+		BumpedWords:   int(tx.Load(a.bump) - uint64(a.base)),
+	}
+	for c := 0; c < numClasses; c++ {
+		for n := tx.Load(a.heads + rhtm.Addr(c)); n != uint64(rhtm.NilAddr); n = tx.Load(rhtm.Addr(n)) {
+			s.FreeListWords += 1 << c
+		}
+	}
+	s.LiveWords = s.BumpedWords - s.FreeListWords
+	return s
+}
+
 // BumpedWords returns how many words the bump frontier has consumed
 // (allocated plus currently free-listed). Setup/diagnostics only.
 func (a *Arena) BumpedWords() int {

@@ -1,0 +1,206 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rhtm"
+	"rhtm/containers"
+)
+
+// Write intents are the store-level half of the cluster package's two-phase
+// commit: a prepared cross-System transaction installs one intent record per
+// touched key in that key's System, and the coordinator's decision later
+// applies or discards them. An intent is an exclusive per-key reservation —
+// while one is pending, the key's committed value cannot change (every
+// conforming accessor checks IntentOn / PrepareIntent first), which is what
+// keeps a validated read valid between prepare and decision.
+//
+// Intent records live in a second ordered index on the store's own arena,
+// sharing the entry layout of data records: word 0 the key block, word 1 the
+// payload block. The payload encodes the owning transaction id, the buffered
+// operation, and (for a put) the buffered value:
+//
+//	byte 0..7   txid, little-endian (word 1 of the payload block, so
+//	            IntentOn costs a single data load beyond the index walk)
+//	byte 8      kind (IntentRead / IntentPut / IntentDelete)
+//	byte 9..16  reserved value-block address (IntentPut only; 0 otherwise)
+//	byte 17..   value bytes (IntentPut only)
+//
+// A put intent pre-allocates the value block its apply will install (the
+// reserved address above), so that once a transaction is decided, applying
+// it cannot fail on arena exhaustion: every other block the apply needs —
+// key block, entry record, index node — is the same size class as one the
+// intent teardown itself frees moments earlier in the same transaction, so
+// the free lists are guaranteed to serve them. Capacity errors can only
+// happen at prepare, before the commit decision, where aborting is safe.
+//
+// All mutations run under the caller's transaction, so a prepare that aborts
+// installs nothing and an apply that aborts applies nothing.
+
+// IntentKind classifies what ApplyIntent does for a key.
+type IntentKind uint8
+
+const (
+	// IntentRead locks a validated read; Apply and Discard both just
+	// release it.
+	IntentRead IntentKind = iota
+	// IntentPut buffers a value; ApplyIntent stores it.
+	IntentPut
+	// IntentDelete buffers a deletion; ApplyIntent removes the key.
+	IntentDelete
+)
+
+// intentHeaderBytes is the payload prefix before the buffered value: txid,
+// kind, and the reserved value-block address.
+const intentHeaderBytes = 17
+
+// ErrIntentHeld is returned by PrepareIntent when another transaction
+// already holds an intent on the key. Returning it from a transaction body
+// aborts the prepare cleanly, leaving no partial intents on this store.
+var ErrIntentHeld = errors.New("store: key has a pending intent")
+
+// ErrIntentMissing is returned by ApplyIntent/DiscardIntent when the key
+// holds no intent — a protocol bug in the caller, surfaced as an error so
+// the enclosing transaction aborts without mutating anything.
+var ErrIntentMissing = errors.New("store: no pending intent on key")
+
+// IntentFootprintWords returns the arena words one pending intent consumes,
+// class-rounded (key block, payload block, reserved apply-time value block,
+// entry record, index node) — the sizing companion of RecordFootprintWords
+// for workloads that keep intents in flight.
+func IntentFootprintWords(keyBytes, valueBytes int) int {
+	return 1<<classOf(blockWords(keyBytes)) +
+		1<<classOf(blockWords(intentHeaderBytes+valueBytes)) +
+		1<<classOf(blockWords(valueBytes)) +
+		1<<classOf(entryWords) +
+		1<<classOf(containers.OTNodeWords)
+}
+
+// PrepareIntent installs an intent record for key owned by txid. For
+// IntentPut, value is the buffered bytes to store on apply, and the value
+// block the apply will install is allocated here, up front. It fails with
+// ErrIntentHeld when any intent (including one of the same transaction —
+// each participant prepares a key at most once) is already pending, and
+// with an arena error when the store is full.
+func (st *Store) PrepareIntent(tx rhtm.Tx, key []byte, txid uint64, kind IntentKind, value []byte) error {
+	if _, held := st.intents.Lookup(tx, key); held {
+		return ErrIntentHeld
+	}
+	var vb rhtm.Addr
+	if kind != IntentPut {
+		value = nil
+	} else {
+		reserved, err := st.arena.TxAlloc(tx, blockWords(len(value)))
+		if err != nil {
+			return err
+		}
+		vb = reserved
+	}
+	payload := make([]byte, intentHeaderBytes+len(value))
+	binary.LittleEndian.PutUint64(payload, txid)
+	payload[8] = byte(kind)
+	binary.LittleEndian.PutUint64(payload[9:], uint64(vb))
+	copy(payload[intentHeaderBytes:], value)
+
+	kb, err := st.arena.TxAlloc(tx, blockWords(len(key)))
+	if err != nil {
+		return err
+	}
+	pb, err := st.arena.TxAlloc(tx, blockWords(len(payload)))
+	if err != nil {
+		return err
+	}
+	ent, err := st.arena.TxAlloc(tx, entryWords)
+	if err != nil {
+		return err
+	}
+	writeBytes(tx, kb, key)
+	writeBytes(tx, pb, payload)
+	tx.Store(ent, uint64(kb))
+	tx.Store(ent+1, uint64(pb))
+	if _, _, err := st.intents.Insert(tx, key, uint64(ent)); err != nil {
+		return err
+	}
+	tx.Store(st.intentCount, tx.Load(st.intentCount)+1)
+	return nil
+}
+
+// IntentOn reports whether key has a pending intent and, if so, which
+// transaction owns it. Beyond the index walk it costs one data load: the
+// txid occupies exactly the first payload word (see the layout comment).
+func (st *Store) IntentOn(tx rhtm.Tx, key []byte) (txid uint64, held bool) {
+	item, ok := st.intents.Lookup(tx, key)
+	if !ok {
+		return 0, false
+	}
+	pb := rhtm.Addr(tx.Load(rhtm.Addr(item) + 1))
+	return tx.Load(pb + 1), true
+}
+
+// ApplyIntent executes and releases the intent txid holds on key: a put
+// stores the buffered value into the block prepare reserved, a delete
+// removes the key, a read just releases. Given a matching intent, a put or
+// delete cannot fail (see the reservation argument in the package comment);
+// a missing intent or an owner mismatch returns an error, which aborts the
+// enclosing transaction and so leaves the store untouched.
+func (st *Store) ApplyIntent(tx rhtm.Tx, key []byte, txid uint64) error {
+	payload, err := st.takeIntent(tx, key, txid)
+	if err != nil {
+		return err
+	}
+	switch IntentKind(payload[8]) {
+	case IntentPut:
+		// Every block the store below can need beyond the reservation —
+		// key block, entry record, index node — is the same size class as
+		// one takeIntent just freed under this transaction, so it cannot
+		// fail on capacity.
+		vb := rhtm.Addr(binary.LittleEndian.Uint64(payload[9:]))
+		return st.putWith(tx, key, payload[intentHeaderBytes:], vb)
+	case IntentDelete:
+		st.Delete(tx, key)
+	}
+	return nil
+}
+
+// DiscardIntent releases the intent txid holds on key without applying it
+// (the abort half of the coordinator's decision), returning the reserved
+// value block along with the record.
+func (st *Store) DiscardIntent(tx rhtm.Tx, key []byte, txid uint64) error {
+	payload, err := st.takeIntent(tx, key, txid)
+	if err != nil {
+		return err
+	}
+	if IntentKind(payload[8]) == IntentPut {
+		vb := rhtm.Addr(binary.LittleEndian.Uint64(payload[9:]))
+		st.arena.TxFree(tx, vb, blockWords(len(payload)-intentHeaderBytes))
+	}
+	return nil
+}
+
+// takeIntent unlinks key's intent record, frees its blocks, and returns the
+// decoded payload after checking ownership.
+func (st *Store) takeIntent(tx rhtm.Tx, key []byte, txid uint64) ([]byte, error) {
+	item, ok := st.intents.Delete(tx, key)
+	if !ok {
+		return nil, ErrIntentMissing
+	}
+	ent := rhtm.Addr(item)
+	kb := rhtm.Addr(tx.Load(ent))
+	pb := rhtm.Addr(tx.Load(ent + 1))
+	payload := readBytes(tx, pb)
+	if owner := binary.LittleEndian.Uint64(payload); owner != txid {
+		return nil, fmt.Errorf("store: intent on %q owned by txn %d, not %d", key, owner, txid)
+	}
+	st.arena.TxFree(tx, kb, blockWords(int(tx.Load(kb))))
+	st.arena.TxFree(tx, pb, blockWords(len(payload)))
+	st.arena.TxFree(tx, ent, entryWords)
+	tx.Store(st.intentCount, tx.Load(st.intentCount)-1)
+	return payload, nil
+}
+
+// PendingIntents returns the number of keys with an intent installed.
+func (st *Store) PendingIntents(tx rhtm.Tx) int {
+	return int(tx.Load(st.intentCount))
+}

@@ -30,9 +30,12 @@ func NewSharded(s *rhtm.System, n int, opts Options) *Sharded {
 	return sh
 }
 
-// fnv1a is the 64-bit FNV-1a hash, computed in plain Go: shard routing is a
-// pure function of the key bytes and costs no simulated accesses.
-func fnv1a(b []byte) uint64 {
+// KeyHash is the 64-bit FNV-1a hash of a key, computed in plain Go: shard
+// (and cluster System) routing is a pure function of the key bytes and costs
+// no simulated accesses. It is deterministic across runs and processes, so
+// placement decisions are stable — the cluster package's Router uses the
+// same function.
+func KeyHash(b []byte) uint64 {
 	h := uint64(14695981039346656037)
 	for _, c := range b {
 		h ^= uint64(c)
@@ -43,7 +46,7 @@ func fnv1a(b []byte) uint64 {
 
 // ShardIndex returns the shard a key routes to.
 func (sh *Sharded) ShardIndex(key []byte) int {
-	return int(fnv1a(key) % uint64(len(sh.shards)))
+	return int(KeyHash(key) % uint64(len(sh.shards)))
 }
 
 // Shard returns the sub-store a key routes to (for tests and diagnostics).

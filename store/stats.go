@@ -1,0 +1,58 @@
+package store
+
+import (
+	"fmt"
+
+	"rhtm"
+)
+
+// Stats aggregates a store's transactional counters: live entries, pending
+// intents, and arena occupancy. The harness reports it after each KV run so
+// arena size-class waste (LiveWords versus the payload actually stored) is
+// measurable per workload.
+type Stats struct {
+	// LiveKeys is the number of live entries.
+	LiveKeys int
+	// PendingIntents is the number of keys with an installed intent.
+	PendingIntents int
+	// Arena is the occupancy of the store's allocator (summed across
+	// shards for Sharded).
+	Arena ArenaStats
+}
+
+// Add accumulates other into s (per-shard and per-System aggregation).
+func (s *Stats) Add(other Stats) {
+	s.LiveKeys += other.LiveKeys
+	s.PendingIntents += other.PendingIntents
+	s.Arena.CapacityWords += other.Arena.CapacityWords
+	s.Arena.BumpedWords += other.Arena.BumpedWords
+	s.Arena.FreeListWords += other.Arena.FreeListWords
+	s.Arena.LiveWords += other.Arena.LiveWords
+}
+
+// String renders a compact one-line summary for harness notes.
+func (s Stats) String() string {
+	return fmt.Sprintf("keys=%d intents=%d arena[cap=%d bumped=%d free=%d live=%d]",
+		s.LiveKeys, s.PendingIntents, s.Arena.CapacityWords,
+		s.Arena.BumpedWords, s.Arena.FreeListWords, s.Arena.LiveWords)
+}
+
+// Stats gathers the store's counters under tx. The arena part walks the
+// free lists, so use it from reporting paths (or with containers.SetupTx
+// while quiescent), not per-operation.
+func (st *Store) Stats(tx rhtm.Tx) Stats {
+	return Stats{
+		LiveKeys:       st.Len(tx),
+		PendingIntents: st.PendingIntents(tx),
+		Arena:          st.arena.Stats(tx),
+	}
+}
+
+// Stats sums every shard's counters.
+func (sh *Sharded) Stats(tx rhtm.Tx) Stats {
+	var out Stats
+	for _, st := range sh.shards {
+		out.Add(st.Stats(tx))
+	}
+	return out
+}

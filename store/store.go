@@ -56,10 +56,12 @@ type Options struct {
 // entries in a private arena. Use it inside transaction bodies; for
 // single-threaded population and verification, pass containers.SetupTx(s).
 type Store struct {
-	sys   *rhtm.System
-	arena *Arena
-	idx   *containers.OrderedTree
-	count rhtm.Addr // one word: live entry count
+	sys         *rhtm.System
+	arena       *Arena
+	idx         *containers.OrderedTree
+	intents     *containers.OrderedTree
+	count       rhtm.Addr // one word: live entry count
+	intentCount rhtm.Addr // one word: pending intent count
 }
 
 // New allocates a store on s. Call during single-threaded setup.
@@ -69,11 +71,13 @@ func New(s *rhtm.System, opts Options) *Store {
 		words = DefaultArenaWords
 	}
 	st := &Store{
-		sys:   s,
-		arena: NewArena(s, words),
-		count: s.MustAlloc(1),
+		sys:         s,
+		arena:       NewArena(s, words),
+		count:       s.MustAlloc(1),
+		intentCount: s.MustAlloc(1),
 	}
 	st.idx = containers.NewOrderedTree(s, st.compareEntry, st.arena)
+	st.intents = containers.NewOrderedTree(s, st.compareEntry, st.arena)
 	return st
 }
 
@@ -115,16 +119,34 @@ func (st *Store) Has(tx rhtm.Tx, key []byte) bool {
 // otherwise a new block is allocated and the old one freed — both under tx,
 // so an abort rolls the swap back. The only error is arena exhaustion.
 func (st *Store) Put(tx rhtm.Tx, key, value []byte) error {
+	return st.putWith(tx, key, value, rhtm.NilAddr)
+}
+
+// putWith is Put with an optional pre-allocated value block (reserved !=
+// NilAddr, sized blockWords(len(value))): the intent apply path passes the
+// block PrepareIntent reserved so that a decided transaction's store cannot
+// fail on arena exhaustion. When the rewrite lands in place the reservation
+// is returned to the arena.
+func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr) error {
+	newWords := blockWords(len(value))
+	takeValueBlock := func() (rhtm.Addr, error) {
+		if reserved != rhtm.NilAddr {
+			return reserved, nil
+		}
+		return st.arena.TxAlloc(tx, newWords)
+	}
 	if item, ok := st.idx.Lookup(tx, key); ok {
 		valCell := rhtm.Addr(item) + 1
 		old := rhtm.Addr(tx.Load(valCell))
 		oldWords := blockWords(int(tx.Load(old)))
-		newWords := blockWords(len(value))
 		if classOf(newWords) == classOf(oldWords) {
 			writeBytes(tx, old, value)
+			if reserved != rhtm.NilAddr {
+				st.arena.TxFree(tx, reserved, newWords)
+			}
 			return nil
 		}
-		nv, err := st.arena.TxAlloc(tx, newWords)
+		nv, err := takeValueBlock()
 		if err != nil {
 			return err
 		}
@@ -137,7 +159,7 @@ func (st *Store) Put(tx rhtm.Tx, key, value []byte) error {
 	if err != nil {
 		return err
 	}
-	vb, err := st.arena.TxAlloc(tx, blockWords(len(value)))
+	vb, err := takeValueBlock()
 	if err != nil {
 		return err
 	}
@@ -194,16 +216,23 @@ func (st *Store) Len(tx rhtm.Tx) int {
 // Arena exposes the store's allocator for diagnostics and capacity tests.
 func (st *Store) Arena() *Arena { return st.arena }
 
-// Validate checks the index's structural invariants plus the count word
-// against a full traversal, using raw memory access. Only call while no
+// Validate checks both indexes' structural invariants plus the count words
+// against full traversals, using raw memory access. Only call while no
 // transactions are in flight.
 func (st *Store) Validate() error {
 	if err := st.idx.Validate(); err != nil {
 		return err
 	}
+	if err := st.intents.Validate(); err != nil {
+		return err
+	}
 	tx := containers.SetupTx(st.sys)
 	if n := st.idx.Len(tx); n != st.Len(tx) {
 		return fmt.Errorf("store: count word %d != %d traversed entries", st.Len(tx), n)
+	}
+	if n := st.intents.Len(tx); n != st.PendingIntents(tx) {
+		return fmt.Errorf("store: intent count word %d != %d traversed intents",
+			st.PendingIntents(tx), n)
 	}
 	return nil
 }
