@@ -212,19 +212,62 @@ func BenchmarkExtHybrids(b *testing.B) {
 	}
 }
 
-// --- Extension: YCSB-style workloads on the sharded transactional store ---
+// --- Extension: YCSB-style workloads on the unified kv.DB interface ---
+
+// benchKV runs b.N operations of one KVSpec through RunKV and reports the
+// architectural metrics (see benchPoint).
+func benchKV(b *testing.B, spec harness.KVSpec, engine string, threads int) {
+	b.Helper()
+	cfg := harness.RunConfig{
+		Threads:      threads,
+		OpsPerThread: (b.N + threads - 1) / threads,
+		Seed:         1,
+	}
+	b.ResetTimer()
+	r, err := harness.RunKV(spec, engine, cfg)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r.Ops > 0 {
+		b.ReportMetric(float64(r.Accesses)/float64(r.Ops), "accesses/op")
+		b.ReportMetric(r.Stats.AbortRatio(), "aborts/commit")
+		if r.OpsPerKInterval > 0 {
+			b.ReportMetric(r.OpsPerKInterval, "ops/kinterval")
+		}
+	}
+}
 
 func BenchmarkYCSB(b *testing.B) {
 	engines := []string{harness.EngRH1Mix2, harness.EngStdHy, harness.EngTL2}
-	for _, mix := range []string{"a", "b", "c", "f"} {
+	for _, mix := range []string{"a", "b", "c", "d", "e", "f"} {
 		for _, dist := range []string{harness.DistUniform, harness.DistZipfian} {
 			for _, eng := range engines {
 				b.Run(fmt.Sprintf("%s/%s/%s", mix, dist, eng), func(b *testing.B) {
-					spec := harness.YCSBSpec{Mix: mix, Records: 2048, ValueBytes: 64,
-						Dist: dist, Shards: 4}
-					benchPoint(b, harness.YCSBWorkload(spec), eng, 4)
+					spec := harness.KVSpec{Mix: mix, Records: 2048, ValueBytes: 64,
+						Dist: dist, Shards: 4, ScanMax: 50}
+					benchKV(b, spec, eng, 4)
 				})
 			}
+		}
+	}
+}
+
+// --- Extension: batching amortization (the ROADMAP batching item) ---
+
+// BenchmarkBatch sweeps the batch size on YCSB-A: grouping independent
+// single-key ops into one transaction amortizes per-transaction overhead
+// (clock reads, validation, commit metadata), so accesses/op must fall as
+// the batch grows — until aborts of the larger footprint eat the gain.
+func BenchmarkBatch(b *testing.B) {
+	engines := []string{harness.EngRH1Mix2, harness.EngTL2}
+	for _, size := range []int{1, 8, 64} {
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("size=%d/%s", size, eng), func(b *testing.B) {
+				spec := harness.KVSpec{Mix: "a", Records: 2048, ValueBytes: 64,
+					Dist: harness.DistUniform, Shards: 4, BatchSize: size}
+				benchKV(b, spec, eng, 4)
+			})
 		}
 	}
 }
@@ -245,9 +288,10 @@ func BenchmarkClusterYCSB(b *testing.B) {
 			}
 			for _, eng := range engines {
 				b.Run(fmt.Sprintf("s=%d/x=%d/%s", systems, cross, eng), func(b *testing.B) {
-					spec := harness.ClusterSpec{Mix: "a", Records: 2048, ValueBytes: 64,
-						Dist: harness.DistUniform, Systems: systems, CrossPct: cross}
-					benchCluster(b, spec, eng)
+					spec := harness.KVSpec{Mix: "a", Records: 2048, ValueBytes: 64,
+						Backend: harness.BackendCluster, Dist: harness.DistUniform,
+						Systems: systems, CrossPct: cross}
+					benchKV(b, spec, eng, 4)
 				})
 			}
 		}
@@ -259,32 +303,10 @@ func BenchmarkClusterYCSB(b *testing.B) {
 func BenchmarkClusterBank(b *testing.B) {
 	for _, eng := range []string{harness.EngRH1Mix2, harness.EngTL2} {
 		b.Run(eng, func(b *testing.B) {
-			spec := harness.ClusterSpec{Mix: "bank", Records: 256, Systems: 4, CrossPct: 50}
-			benchCluster(b, spec, eng)
+			spec := harness.KVSpec{Mix: "bank", Records: 256,
+				Backend: harness.BackendCluster, Systems: 4, CrossPct: 50}
+			benchKV(b, spec, eng, 4)
 		})
-	}
-}
-
-// benchCluster runs b.N cluster operations and reports the scaling and
-// 2PC-cost metrics.
-func benchCluster(b *testing.B, spec harness.ClusterSpec, engine string) {
-	b.Helper()
-	const threads = 4
-	cfg := harness.RunConfig{
-		Threads:      threads,
-		OpsPerThread: (b.N + threads - 1) / threads,
-		Seed:         1,
-	}
-	b.ResetTimer()
-	r, err := harness.RunCluster(spec, engine, cfg)
-	b.StopTimer()
-	if err != nil {
-		b.Fatal(err)
-	}
-	if r.Ops > 0 {
-		b.ReportMetric(float64(r.Accesses)/float64(r.Ops), "accesses/op")
-		b.ReportMetric(r.OpsPerKInterval, "ops/kinterval")
-		b.ReportMetric(r.Stats.AbortRatio(), "aborts/commit")
 	}
 }
 

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"bytes"
+	"sort"
+
+	"rhtm"
+	"rhtm/store"
+)
+
+// Batched operations: a Batch groups independent single-key operations into
+// one atomic transaction, amortizing per-transaction overhead (the
+// ROADMAP's store-level batching item, lifted to the cluster). The batch
+// splits into per-System local groups: when one System owns every key, the
+// whole batch is a single engine transaction there; when several do, each
+// participant prepares its entire group in one engine transaction —
+// executing the group's reads and installing one intent per key — and a
+// single 2PC decision commits them all. Either way a batch of k operations
+// costs O(participants) transactions instead of k.
+
+// BatchOpKind selects what one batch operation does.
+type BatchOpKind uint8
+
+const (
+	// BatchGet reads Key into the BatchResult.
+	BatchGet BatchOpKind = iota
+	// BatchPut stores Key→Value.
+	BatchPut
+	// BatchDelete removes Key; BatchResult.Found reports prior presence.
+	BatchDelete
+)
+
+// BatchOp is one operation of a batch.
+type BatchOp struct {
+	Kind  BatchOpKind
+	Key   []byte
+	Value []byte // BatchPut only
+}
+
+// BatchResult is the outcome of one batch operation. For BatchGet, Value
+// and Found report the read; for BatchDelete, Found reports whether the key
+// existed. Operations observe each other in batch order: a Get after a Put
+// of the same key sees the Put.
+type BatchResult struct {
+	Value []byte
+	Found bool
+}
+
+// batchKey is one distinct key of a batch on one participant, with the
+// batch-order indices of the operations touching it.
+type batchKey struct {
+	key []byte
+	ops []int
+}
+
+// Batch executes ops as one atomic transaction and returns per-op results,
+// retrying conflicts up to Config.MaxAttempts.
+func (cl *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	results := make([]BatchResult, len(ops))
+
+	// Group op indices by owning System, then by distinct key within each
+	// (ascending — the deterministic intent acquisition order), preserving
+	// batch order within a key.
+	byNode := map[int][]batchKey{}
+	pos := map[string]struct{ node, idx int }{}
+	for i, op := range ops {
+		k := string(op.Key)
+		if p, seen := pos[k]; seen {
+			byNode[p.node][p.idx].ops = append(byNode[p.node][p.idx].ops, i)
+			continue
+		}
+		nodeID := cl.c.router.SystemFor(op.Key)
+		pos[k] = struct{ node, idx int }{nodeID, len(byNode[nodeID])}
+		byNode[nodeID] = append(byNode[nodeID], batchKey{key: op.Key, ops: []int{i}})
+	}
+	participants := make([]int, 0, len(byNode))
+	for nodeID := range byNode {
+		sort.Slice(byNode[nodeID], func(i, j int) bool {
+			return bytes.Compare(byNode[nodeID][i].key, byNode[nodeID][j].key) < 0
+		})
+		participants = append(participants, nodeID)
+	}
+	sort.Ints(participants)
+
+	if len(participants) == 1 {
+		return results, cl.batchLocal(participants[0], byNode[participants[0]], ops, results)
+	}
+	return results, cl.batchCross(byNode, participants, ops, results)
+}
+
+// batchLocal runs a single-System batch as one engine transaction: all the
+// atomicity comes from the engine, exactly like commitLocal.
+func (cl *Client) batchLocal(nodeID int, keys []batchKey, ops []BatchOp, results []BatchResult) error {
+	n := cl.c.nodes[nodeID]
+	err := cl.localRetry(func() error {
+		return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
+			for i := range keys {
+				if _, held := n.st.IntentOn(tx, keys[i].key); held {
+					return errConflict
+				}
+			}
+			for _, op := range opsInOrder(keys) {
+				switch ops[op].Kind {
+				case BatchGet:
+					v, ok := n.st.Get(tx, ops[op].Key)
+					results[op] = BatchResult{Value: v, Found: ok}
+				case BatchPut:
+					if err := n.st.Put(tx, ops[op].Key, ops[op].Value); err != nil {
+						return err
+					}
+					results[op] = BatchResult{}
+				default:
+					results[op] = BatchResult{Found: n.st.Delete(tx, ops[op].Key)}
+				}
+			}
+			return nil
+		})
+	})
+	if err == nil {
+		cl.c.localTxns.Add(1)
+	}
+	return err
+}
+
+// opsInOrder flattens a participant's key groups back into batch order, so
+// the local path executes operations exactly as submitted.
+func opsInOrder(keys []batchKey) []int {
+	var out []int
+	for i := range keys {
+		out = append(out, keys[i].ops...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// batchCross runs a multi-System batch under 2PC. Each participant's
+// prepare transaction executes the group's reads and installs one intent
+// per key carrying the key's net effect; reads need no later validation
+// because the intent pins the key from prepare to decision.
+func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops []BatchOp, results []BatchResult) error {
+	c := cl.c
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		c.crossTxns.Add(1)
+		txid := c.nextTxID.Add(1)
+
+		var prepared []int
+		var conflict bool
+		var hard error
+		for _, nodeID := range participants {
+			err := cl.prepareBatch(nodeID, txid, byNode[nodeID], ops, results)
+			if err == nil {
+				prepared = append(prepared, nodeID)
+				continue
+			}
+			if err == errConflict {
+				c.prepareConflicts.Add(1)
+				conflict = true
+			} else {
+				hard = err
+			}
+			break
+		}
+
+		commit := !conflict && hard == nil
+		c.decide(txid, commit, participants)
+
+		keysOf := func(nodeID int) [][]byte {
+			keys := make([][]byte, len(byNode[nodeID]))
+			for i := range byNode[nodeID] {
+				keys[i] = byNode[nodeID][i].key
+			}
+			return keys
+		}
+		if !commit {
+			for _, nodeID := range prepared {
+				if err := cl.finish(nodeID, txid, keysOf(nodeID), false); err != nil && hard == nil {
+					hard = err
+				}
+			}
+			c.crossAborts.Add(1)
+			if hard != nil {
+				return hard
+			}
+			cl.backoff(attempt)
+			continue
+		}
+		for _, nodeID := range participants {
+			if err := cl.finish(nodeID, txid, keysOf(nodeID), true); err != nil {
+				return err
+			}
+		}
+		c.crossCommits.Add(1)
+		return nil
+	}
+	return ErrContention
+}
+
+// prepareBatch is the phase-1 transaction of a cross-System batch on one
+// participant: for every distinct key it reads the committed value, plays
+// the key's operations in batch order against an overlay (filling Get and
+// Delete results), and installs one intent recording the net effect —
+// IntentPut/IntentDelete when the key was written, IntentRead to pin a key
+// the batch only read.
+func (cl *Client) prepareBatch(nodeID int, txid uint64, keys []batchKey, ops []BatchOp, results []BatchResult) error {
+	n := cl.c.nodes[nodeID]
+	return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
+		for i := range keys {
+			bk := &keys[i]
+			val, ok := n.st.Get(tx, bk.key)
+			written := false
+			for _, op := range bk.ops {
+				switch ops[op].Kind {
+				case BatchGet:
+					if ok {
+						results[op] = BatchResult{Value: copyVal(val), Found: true}
+					} else {
+						results[op] = BatchResult{}
+					}
+				case BatchPut:
+					val, ok = ops[op].Value, true
+					written = true
+					results[op] = BatchResult{}
+				default:
+					results[op] = BatchResult{Found: ok}
+					val, ok = nil, false
+					written = true
+				}
+			}
+			kind, ival := store.IntentRead, []byte(nil)
+			if written {
+				if ok {
+					kind, ival = store.IntentPut, val
+				} else {
+					kind = store.IntentDelete
+				}
+			}
+			if err := n.st.PrepareIntent(tx, bk.key, txid, kind, ival); err != nil {
+				if err == store.ErrIntentHeld {
+					return errConflict
+				}
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -145,6 +145,8 @@ type Cluster struct {
 	crossAborts      atomic.Uint64 // 2PC decisions: abort (prepare conflict)
 	intentWaits      atomic.Uint64 // reads retried against a pending intent
 	prepareConflicts atomic.Uint64 // individual prepare transactions refused
+	snapshotScans    atomic.Uint64 // validated snapshot scans returned
+	scanRetries      atomic.Uint64 // scan passes torn by a concurrent commit
 }
 
 // New builds a cluster of cfg.Systems independent machines. Call during
@@ -310,6 +312,9 @@ type Stats struct {
 	// decisions; PrepareConflicts individual refused prepares;
 	// IntentWaits reads retried against a pending intent.
 	CrossTxns, CrossCommits, CrossAborts, PrepareConflicts, IntentWaits uint64
+	// SnapshotScans counts validated snapshot scans returned; ScanRetries
+	// counts scan attempts torn by a concurrent commit and re-run.
+	SnapshotScans, ScanRetries uint64
 }
 
 // Stats snapshots the cluster. Only call while no clients are inside an
@@ -323,6 +328,8 @@ func (c *Cluster) Stats() Stats {
 		CrossAborts:       c.crossAborts.Load(),
 		PrepareConflicts:  c.prepareConflicts.Load(),
 		IntentWaits:       c.intentWaits.Load(),
+		SnapshotScans:     c.snapshotScans.Load(),
+		ScanRetries:       c.scanRetries.Load(),
 		PerSystemAccesses: make([]uint64, len(c.nodes)),
 	}
 	for i, n := range c.nodes {

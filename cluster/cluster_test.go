@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"rhtm"
 	"rhtm/containers"
-	"rhtm/internal/enginetest"
 	"rhtm/store"
 )
 
@@ -354,49 +354,206 @@ func TestTxnReadYourWrites(t *testing.T) {
 	}
 }
 
-// --- conformance battery across engines (tentpole acceptance) ---
+// The cross-engine conformance battery (enginetest.RunDB) runs from the kv
+// package's tests against both the cluster and the single-System store —
+// importing enginetest here would cycle through kv.
 
-// clusterFactory builds a 3-System cluster on the named engine with
-// injected hardware aborts, so both RH1's fallback paths and 2PC's abort
-// path get exercised.
-func clusterFactory(engineName string) enginetest.ClusterFactory {
-	return func(t *testing.T) (func() enginetest.ClusterKV, func() error) {
-		cfg := smallConfig(3)
-		cfg.NewEngine = func(s *rhtm.System) (rhtm.Engine, error) {
-			const inject = 20
-			switch engineName {
-			case "RH1":
-				return rhtm.NewRH1(s, rhtm.RH1Options{MixPercent: 100, InjectAbortPercent: inject}), nil
-			case "RH2":
-				return rhtm.NewRH2(s, rhtm.RH1Options{MixPercent: 100, InjectAbortPercent: inject}), nil
-			case "TL2":
-				return rhtm.NewTL2(s), nil
-			case "StdHyTM":
-				return rhtm.NewStandardHyTM(s, rhtm.HWOptions{InjectAbortPercent: inject}), nil
-			case "NoRec":
-				return rhtm.NewHybridNoRec(s, rhtm.HWOptions{InjectAbortPercent: inject}), nil
-			case "Phased":
-				return rhtm.NewPhasedTM(s, rhtm.HWOptions{InjectAbortPercent: inject}), nil
-			default:
-				return nil, fmt.Errorf("unknown engine %q", engineName)
-			}
-		}
-		c := MustNew(cfg)
-		return func() enginetest.ClusterKV { return c.NewClient() }, c.Validate
-	}
-}
+// --- batched operations ---
 
-func TestClusterConformance(t *testing.T) {
-	for _, eng := range []string{"RH1", "RH2", "TL2", "StdHyTM", "NoRec", "Phased"} {
-		enginetest.RunClusterKV(t, "Cluster3/"+eng, clusterFactory(eng))
-	}
-}
+// TestBatchLocalAndCross: a batch whose keys live on one System commits as
+// one local transaction (no coordinator decision); a batch spanning Systems
+// runs one 2PC decision covering per-System grouped prepares. Per-op
+// results follow batch order either way.
+func TestBatchLocalAndCross(t *testing.T) {
+	c := MustNew(smallConfig(4))
+	cl := c.NewClient()
+	keyA, keyB := crossPair(t, c)
 
-// Single-System degenerate cluster: the whole battery must hold when every
-// transaction takes the local path.
-func TestClusterConformanceSingleSystem(t *testing.T) {
-	enginetest.RunClusterKV(t, "Cluster1/RH1", func(t *testing.T) (func() enginetest.ClusterKV, func() error) {
-		c := MustNew(smallConfig(1))
-		return func() enginetest.ClusterKV { return c.NewClient() }, c.Validate
+	// Local batch: both ops on keyA's System (same key twice).
+	res, err := cl.Batch([]BatchOp{
+		{Kind: BatchPut, Key: keyA, Value: []byte("one")},
+		{Kind: BatchGet, Key: keyA},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[1].Found || !bytes.Equal(res[1].Value, []byte("one")) {
+		t.Fatalf("local batch get-after-put = %+v", res[1])
+	}
+	if len(c.Decisions()) != 0 {
+		t.Fatalf("single-System batch reached the coordinator: %+v", c.Decisions())
+	}
+
+	// Cross batch: keys on two Systems, gets observing in-batch puts,
+	// deletes reporting prior presence.
+	res, err = cl.Batch([]BatchOp{
+		{Kind: BatchGet, Key: keyB},                         // absent
+		{Kind: BatchPut, Key: keyB, Value: []byte("two")},   //
+		{Kind: BatchGet, Key: keyB},                         // sees "two"
+		{Kind: BatchDelete, Key: keyA},                      // present ("one")
+		{Kind: BatchGet, Key: keyA},                         // absent now
+		{Kind: BatchPut, Key: keyA, Value: []byte("three")}, //
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Found {
+		t.Fatalf("cross batch op0 = %+v, want absent", res[0])
+	}
+	if !res[2].Found || !bytes.Equal(res[2].Value, []byte("two")) {
+		t.Fatalf("cross batch get-after-put = %+v", res[2])
+	}
+	if !res[3].Found {
+		t.Fatalf("cross batch delete = %+v, want Found", res[3])
+	}
+	if res[4].Found {
+		t.Fatalf("cross batch get-after-delete = %+v", res[4])
+	}
+	decs := c.Decisions()
+	if len(decs) != 1 || !decs[0].Commit || len(decs[0].Participants) != 2 {
+		t.Fatalf("cross batch decisions = %+v, want one 2-participant commit", decs)
+	}
+	if v, _ := c.Peek(keyA); !bytes.Equal(v, []byte("three")) {
+		t.Fatalf("keyA = %q", v)
+	}
+	if v, _ := c.Peek(keyB); !bytes.Equal(v, []byte("two")) {
+		t.Fatalf("keyB = %q", v)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchConflictAborts: a foreign intent on one participant aborts the
+// whole cross-System batch all-or-nothing (bounded by MaxAttempts), leaving
+// every other participant untouched.
+func TestBatchConflictAborts(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.MaxAttempts = 4
+	c := MustNew(cfg)
+	keyA, keyB := crossPair(t, c)
+	nb := c.Node(c.Router().SystemFor(keyB))
+	setup := containers.SetupTx(nb.System())
+	if err := nb.Store().PrepareIntent(setup, keyB, 999, store.IntentPut, []byte("parked")); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient()
+	_, err := cl.Batch([]BatchOp{
+		{Kind: BatchPut, Key: keyA, Value: []byte("a")},
+		{Kind: BatchPut, Key: keyB, Value: []byte("b")},
+	})
+	if !errors.Is(err, ErrContention) {
+		t.Fatalf("err = %v, want ErrContention", err)
+	}
+	if _, ok := c.Peek(keyA); ok {
+		t.Fatal("aborted batch leaked a write to keyA")
+	}
+	if err := nb.Store().DiscardIntent(setup, keyB, 999); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Batch([]BatchOp{
+		{Kind: BatchPut, Key: keyA, Value: []byte("a")},
+		{Kind: BatchPut, Key: keyB, Value: []byte("b")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- snapshot scans ---
+
+// TestScanSnapshotOrderedAndBlocked: the snapshot scan merges Systems into
+// one ascending key order, honors range bounds and limits, and refuses to
+// read past a pending in-range intent (the range is undecided).
+func TestScanSnapshotOrderedAndBlocked(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.MaxAttempts = 3
+	c := MustNew(cfg)
+	for i := 0; i < 40; i++ {
+		if err := c.Load([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := c.NewClient()
+	entries, err := cl.ScanSnapshot([]byte("k10"), []byte("k20"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("range scan yielded %d entries, want 10", len(entries))
+	}
+	for i, e := range entries {
+		want := fmt.Sprintf("k%02d", 10+i)
+		if string(e.Key) != want {
+			t.Fatalf("entry %d = %q, want %q", i, e.Key, want)
+		}
+	}
+	limited, err := cl.ScanSnapshot(nil, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 7 || string(limited[0].Key) != "k00" {
+		t.Fatalf("limited scan = %d entries starting %q", len(limited), limited[0].Key)
+	}
+
+	// Park an intent inside the range: the scan must wait it out (here:
+	// exhaust MaxAttempts) instead of returning an undecided range.
+	victim := []byte("k15")
+	n := c.Node(c.Router().SystemFor(victim))
+	setup := containers.SetupTx(n.System())
+	if err := n.Store().PrepareIntent(setup, victim, 7, store.IntentPut, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ScanSnapshot([]byte("k10"), []byte("k20"), 0); !errors.Is(err, ErrContention) {
+		t.Fatalf("scan over pending intent err = %v, want ErrContention", err)
+	}
+	// Out-of-range scans are unaffected.
+	if _, err := cl.ScanSnapshot([]byte("k20"), []byte("k30"), 0); err != nil {
+		t.Fatalf("out-of-range scan: %v", err)
+	}
+	if err := n.Store().ApplyIntent(setup, victim, 7); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cl.ScanSnapshot([]byte("k15"), []byte("k16"), 0)
+	if err != nil || len(after) != 1 || !bytes.Equal(after[0].Value, []byte("new")) {
+		t.Fatalf("scan after apply = %+v, %v", after, err)
+	}
+}
+
+// TestTxnScanOverlay: an in-transaction scan observes the transaction's own
+// buffered writes overlaid on the committed snapshot.
+func TestTxnScanOverlay(t *testing.T) {
+	c := MustNew(smallConfig(2))
+	for _, k := range []string{"b", "d", "f"} {
+		if err := c.Load([]byte(k), []byte("old-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := c.NewClient()
+	err := cl.Txn(func(tx *Txn) error {
+		tx.Put([]byte("a"), []byte("new-a")) // insert before range start
+		tx.Put([]byte("d"), []byte("new-d")) // overwrite
+		tx.Delete([]byte("f"))               // remove
+		entries, err := tx.Scan([]byte("a"), []byte("z"), 0)
+		if err != nil {
+			return err
+		}
+		var got []string
+		for _, e := range entries {
+			got = append(got, string(e.Key)+"="+string(e.Value))
+		}
+		want := "a=new-a b=old-b d=new-d"
+		if joined := strings.Join(got, " "); joined != want {
+			return fmt.Errorf("overlay scan = %q, want %q", joined, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"bytes"
+	"sort"
+
+	"rhtm"
+)
+
+// Snapshot scans: the cluster has no global clock or shared conflict
+// detection, so an ordered range read spanning Systems cannot be one engine
+// transaction. ScanSnapshot builds the snapshot optimistically instead:
+// each System's in-range entries are collected in one local engine
+// transaction (atomic per System, and refused while any in-range key has a
+// pending 2PC intent — the range is undecided then, exactly as IntentOn
+// makes a single key undecided), the per-System results are merged by key,
+// and the whole scan is re-executed once more for validation. Only when
+// both passes observe identical entries is the result returned: any commit
+// that landed between the per-System reads of pass one flips a key and
+// fails the comparison, so a returned snapshot is the committed state at
+// some instant between the two passes. The validation is value-based and
+// shares standard OCC's ABA blindness: a key changed and changed back
+// between the passes is undetectable — acceptable here for the same reason
+// it is in TL2-style read validation.
+
+// Entry is one key-value pair of a snapshot scan, in ascending key order.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// ScanSnapshot returns a consistent ordered snapshot of the keys in
+// [start, end) (nil bounds are unbounded), at most limit entries (0 =
+// unbounded). Torn or intent-blocked passes retry with backoff up to
+// Config.MaxAttempts, then ErrContention.
+func (cl *Client) ScanSnapshot(start, end []byte, limit int) ([]Entry, error) {
+	for attempt := 0; attempt < cl.c.cfg.MaxAttempts; attempt++ {
+		first, err := cl.scanOnce(start, end, limit)
+		if err == errConflict {
+			cl.c.intentWaits.Add(1)
+			cl.backoff(attempt)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		second, err := cl.scanOnce(start, end, limit)
+		if err == errConflict {
+			cl.c.intentWaits.Add(1)
+			cl.backoff(attempt)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if scansEqual(first, second) {
+			cl.c.snapshotScans.Add(1)
+			return first, nil
+		}
+		cl.c.scanRetries.Add(1)
+		cl.backoff(attempt)
+	}
+	return nil, ErrContention
+}
+
+// scanOnce collects one pass: per System, one engine transaction gathering
+// up to limit in-range entries (each System can contribute at most limit of
+// the merged prefix), conflicting when the *observed* range holds a pending
+// intent. The intent check is bounded to what the System actually yielded:
+// when its collection stops at the limit with last key L, only [start,
+// succ(L)) must be intent-free — an intent past L is for a key that cannot
+// enter the merged prefix, because this System alone already has limit keys
+// ≤ L, so the limit-th smallest key overall is ≤ L. A collection that
+// exhausts the range is checked over all of [start, end), which also
+// catches intents for keys *absent* from the index (a pending cross-System
+// insert is a phantom-in-waiting).
+func (cl *Client) scanOnce(start, end []byte, limit int) ([]Entry, error) {
+	var all []Entry
+	for _, n := range cl.c.nodes {
+		var local []Entry
+		err := cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
+			local = local[:0]
+			n.st.ScanLimit(tx, start, end, limit, func(k, v []byte) bool {
+				local = append(local, Entry{Key: k, Value: v})
+				return true
+			})
+			checkEnd := end
+			if limit > 0 && len(local) == limit {
+				last := local[len(local)-1].Key
+				checkEnd = append(append(make([]byte, 0, len(last)+1), last...), 0)
+			}
+			if n.st.HasIntentInRange(tx, start, checkEnd) {
+				return errConflict
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, local...)
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}
+
+// scansEqual reports whether two passes observed identical entries.
+func scansEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
+}

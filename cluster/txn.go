@@ -207,6 +207,68 @@ func (t *Txn) Delete(key []byte) {
 	t.writes[string(key)] = writeRec{del: true}
 }
 
+// inRange reports start <= k < end with nil bounds unbounded.
+func inRange(k string, start, end []byte) bool {
+	return (start == nil || k >= string(start)) && (end == nil || k < string(end))
+}
+
+// Scan returns an ordered snapshot of [start, end) as of this transaction:
+// a validated committed snapshot (Client.ScanSnapshot) overlaid with the
+// transaction's own buffered writes and earlier reads, at most limit
+// entries (0 = unbounded). Every committed entry the scan yields is
+// recorded as a read, so commit re-validates it; keys that *entered* the
+// range after the scan are not re-checked at commit (no phantom
+// protection), though the returned snapshot itself is phantom-free.
+func (t *Txn) Scan(start, end []byte, limit int) ([]Entry, error) {
+	fetch := 0
+	if limit > 0 {
+		// Buffered deletes can evict entries from the prefix; over-fetch by
+		// the write-set size so the overlay can backfill.
+		fetch = limit + len(t.writes)
+	}
+	raw, err := t.cl.ScanSnapshot(start, end, fetch)
+	if err != nil {
+		return nil, err
+	}
+	merged := map[string][]byte{}
+	for _, e := range raw {
+		k := string(e.Key)
+		if r, seen := t.reads[k]; seen {
+			// Reuse the transaction's first observation of the key (commit
+			// validation will catch divergence from the snapshot).
+			if r.ok {
+				merged[k] = r.val
+			}
+			continue
+		}
+		t.reads[k] = readRec{val: e.Value, ok: true}
+		merged[k] = e.Value
+	}
+	for k, w := range t.writes {
+		if !inRange(k, start, end) {
+			continue
+		}
+		if w.del {
+			delete(merged, k)
+		} else {
+			merged[k] = w.val
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	out := make([]Entry, len(keys))
+	for i, k := range keys {
+		out[i] = Entry{Key: []byte(k), Value: copyVal(merged[k])}
+	}
+	return out, nil
+}
+
 // Txn runs fn optimistically and commits its buffer, retrying the whole
 // body on conflict (so fn must be safe to re-execute) up to
 // Config.MaxAttempts. A non-nil error from fn aborts without committing
@@ -361,9 +423,16 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 	commit := !conflict && hard == nil
 	c.decide(txid, commit, participants)
 
+	keysOf := func(nodeID int) [][]byte {
+		keys := make([][]byte, len(byNode[nodeID]))
+		for i := range byNode[nodeID] {
+			keys[i] = byNode[nodeID][i].key
+		}
+		return keys
+	}
 	if !commit {
 		for _, nodeID := range prepared {
-			if err := cl.finish(nodeID, txid, byNode[nodeID], false); err != nil && hard == nil {
+			if err := cl.finish(nodeID, txid, keysOf(nodeID), false); err != nil && hard == nil {
 				hard = err
 			}
 		}
@@ -371,7 +440,7 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 		return false, hard
 	}
 	for _, nodeID := range participants {
-		if err := cl.finish(nodeID, txid, byNode[nodeID], true); err != nil {
+		if err := cl.finish(nodeID, txid, keysOf(nodeID), true); err != nil {
 			return false, err
 		}
 	}
@@ -413,15 +482,15 @@ func (cl *Client) prepare(nodeID int, txid uint64, keys []txnKey) error {
 // finish runs the phase-2 transaction on one participant: apply on commit,
 // discard on abort. Failures here are protocol bugs (the intents must
 // exist and be ours), surfaced as hard errors.
-func (cl *Client) finish(nodeID int, txid uint64, keys []txnKey, commit bool) error {
+func (cl *Client) finish(nodeID int, txid uint64, keys [][]byte, commit bool) error {
 	n := cl.c.nodes[nodeID]
 	return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
-		for i := range keys {
+		for _, key := range keys {
 			var err error
 			if commit {
-				err = n.st.ApplyIntent(tx, keys[i].key, txid)
+				err = n.st.ApplyIntent(tx, key, txid)
 			} else {
-				err = n.st.DiscardIntent(tx, keys[i].key, txid)
+				err = n.st.DiscardIntent(tx, key, txid)
 			}
 			if err != nil {
 				return err

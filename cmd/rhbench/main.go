@@ -23,16 +23,22 @@
 //	ycsb-a        sharded KV store, YCSB-A (50%% reads / 50%% updates)
 //	ycsb-b        sharded KV store, YCSB-B (95%% reads)
 //	ycsb-c        sharded KV store, YCSB-C (read-only)
+//	ycsb-d        sharded KV store, YCSB-D (95%% latest-skewed reads / 5%% inserts)
+//	ycsb-e        sharded KV store, YCSB-E (95%% short ordered scans / 5%% inserts)
 //	ycsb-f        sharded KV store, YCSB-F (50%% reads / 50%% read-modify-writes)
-//	cluster-ycsb-a/b/c/f
+//	batch         YCSB-A with single-key ops grouped into kv.DB.Batch
+//	              transactions, swept over -batchsizes (amortization experiment)
+//	cluster-ycsb-a/b/c/d/e/f
 //	              share-nothing multi-System cluster running the YCSB mix,
 //	              swept over -systems × -cross (cross-System txn fraction)
 //	cluster-bank  cluster bank transfers with the conserved-total invariant
 //	all           everything above (cluster: the -a sweep only)
 //
-// The ycsb-* experiments run against the store package's sharded
-// transactional key-value store; -dist selects the request distribution
-// (zipfian by default, as YCSB), -records/-vbytes/-shards size the store.
+// Every ycsb-*, batch, and cluster-* experiment drives the unified kv.DB
+// interface (one workload suite, either data-layer backend). The ycsb-*
+// experiments run on the sharded single-System store; -dist selects the
+// request distribution (zipfian by default, as YCSB), -records/-vbytes/
+// -shards size the store, -scanmax bounds YCSB-E scan lengths.
 //
 // The cluster-* experiments run against the cluster package: N fully
 // independent simulated machines behind a hash router, with cross-System
@@ -77,10 +83,12 @@ func main() {
 		systems = flag.String("systems", "1,2,4", "comma-separated System counts for cluster-* experiments")
 		crossPc = flag.String("cross", "0,10", "comma-separated cross-System txn percentages for cluster-* experiments")
 		ckeys   = flag.Int("crosskeys", 2, "keys per cross-System transaction")
+		scanMax = flag.Int("scanmax", 100, "maximum YCSB-E scan length")
+		batches = flag.String("batchsizes", "1,8,64", "comma-separated batch sizes for the batch experiment")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a|ycsb-b|ycsb-c|ycsb-f|cluster-ycsb-a|cluster-ycsb-b|cluster-ycsb-c|cluster-ycsb-f|cluster-bank|all>")
+		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|batch|cluster-ycsb-a..f|cluster-bank|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -115,12 +123,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rhbench: -records, -vbytes and -shards must be positive")
 		os.Exit(2)
 	}
-	spec := harness.YCSBSpec{
+	if *scanMax <= 0 {
+		fmt.Fprintln(os.Stderr, "rhbench: -scanmax must be positive")
+		os.Exit(2)
+	}
+	spec := harness.KVSpec{
 		Records:    *records,
 		ValueBytes: *vbytes,
 		Shards:     *shards,
 		Dist:       *dist,
 		Theta:      *theta,
+		ScanMax:    *scanMax,
 	}
 	systemsList, err := parseInts(*systems, "system count", 1, 1<<20)
 	if err != nil {
@@ -132,12 +145,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cspec := harness.ClusterSpec{
+	batchList, err := parseInts(*batches, "batch size", 1, 1<<16)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cspec := harness.KVSpec{
 		Records:    *records,
 		ValueBytes: *vbytes,
+		Backend:    harness.BackendCluster,
 		Dist:       harness.DistUniform, // scaling claims need balanced load
 		Theta:      *theta,
 		CrossKeys:  *ckeys,
+		ScanMax:    *scanMax,
 	}
 	// An explicit -dist overrides the cluster default (the flag's own
 	// default stays zipfian for the ycsb-* experiments, as YCSB specifies).
@@ -156,6 +176,7 @@ func main() {
 		cspec.Records = 512
 		systemsList = []int{1, 4}
 		crossList = []int{0, 20}
+		batchList = []int{1, 16}
 	}
 	sweep := clusterSweep{systems: systemsList, cross: crossList, spec: cspec}
 
@@ -182,13 +203,14 @@ func main() {
 	if exp == "all" {
 		for _, e := range []string{"fig1", "fig2a", "fig2b", "fig2c", "tab1", "tab2",
 			"fig3a", "fig3b", "fig3c", "ext-clock", "ext-capacity", "ext-hybrids",
-			"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-f", "cluster-ycsb-a"} {
-			runExperiment(e, sc, *capLim, spec, sweep)
+			"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "batch",
+			"cluster-ycsb-a"} {
+			runExperiment(e, sc, *capLim, spec, sweep, batchList)
 			fmt.Println()
 		}
 		return
 	}
-	runExperiment(exp, sc, *capLim, spec, sweep)
+	runExperiment(exp, sc, *capLim, spec, sweep, batchList)
 }
 
 // clusterSweep carries the System-count × cross-fraction grid of the
@@ -196,7 +218,7 @@ func main() {
 type clusterSweep struct {
 	systems []int
 	cross   []int
-	spec    harness.ClusterSpec
+	spec    harness.KVSpec
 }
 
 // run prints one series block per (systems, cross) grid point for the mix.
@@ -215,14 +237,14 @@ func (cs clusterSweep) run(out *os.File, sc harness.Scale, mix string) {
 			harness.PrintThroughputSeries(out,
 				fmt.Sprintf("Cluster %s: %d Systems, %d%% cross-System txns, %d records, %s distribution",
 					spec.Name(), sys, x, spec.Records, spec.Dist),
-				harness.ClusterYCSB(sc, spec))
+				harness.SweepKV(sc, spec))
 			fmt.Fprintln(out)
 		}
 	}
 }
 
 // runExperiment dispatches one experiment id and prints its artifact.
-func runExperiment(exp string, sc harness.Scale, capLim int, spec harness.YCSBSpec, sweep clusterSweep) {
+func runExperiment(exp string, sc harness.Scale, capLim int, spec harness.KVSpec, sweep clusterSweep, batchList []int) {
 	out := os.Stdout
 	switch exp {
 	case "fig1":
@@ -271,15 +293,28 @@ func runExperiment(exp string, sc harness.Scale, capLim int, spec harness.YCSBSp
 		harness.PrintThroughputSeries(out,
 			"Extension: hybrid designs compared (RB-Tree 20%)",
 			harness.ExtHybrids(sc))
-	case "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-f":
+	case "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f":
 		spec.Mix = strings.TrimPrefix(exp, "ycsb-")
 		readPct := map[string]string{"a": "50% reads / 50% updates", "b": "95% reads",
-			"c": "read-only", "f": "50% reads / 50% read-modify-writes"}[spec.Mix]
+			"c": "read-only", "d": "95% latest-skewed reads / 5% inserts",
+			"e": "95% short ordered scans / 5% inserts",
+			"f": "50% reads / 50% read-modify-writes"}[spec.Mix]
 		harness.PrintThroughputSeries(out,
 			fmt.Sprintf("YCSB-%s (%s), %d records, %s distribution, %d-shard store",
 				strings.ToUpper(spec.Mix), readPct, spec.Records, spec.Dist, spec.Shards),
-			harness.YCSB(sc, spec))
-	case "cluster-ycsb-a", "cluster-ycsb-b", "cluster-ycsb-c", "cluster-ycsb-f":
+			harness.SweepKV(sc, spec))
+	case "batch":
+		spec.Mix = "a"
+		for _, size := range batchList {
+			bs := spec
+			bs.BatchSize = size
+			harness.PrintThroughputSeries(out,
+				fmt.Sprintf("Batching: YCSB-A with batch size %d (%d records, %s distribution)",
+					size, bs.Records, bs.Dist),
+				harness.SweepKV(sc, bs))
+			fmt.Fprintln(out)
+		}
+	case "cluster-ycsb-a", "cluster-ycsb-b", "cluster-ycsb-c", "cluster-ycsb-d", "cluster-ycsb-e", "cluster-ycsb-f":
 		sweep.run(out, sc, strings.TrimPrefix(exp, "cluster-ycsb-"))
 	case "cluster-bank":
 		sweep.run(out, sc, "bank")

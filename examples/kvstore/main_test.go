@@ -18,4 +18,7 @@ func TestKVStoreExample(t *testing.T) {
 	if !strings.Contains(summary, "audits passed") {
 		t.Fatalf("summary missing audit count:\n%s", summary)
 	}
+	if strings.Contains(summary, " 0 audits passed") {
+		t.Fatalf("auditor never overlapped the movers:\n%s", summary)
+	}
 }

@@ -222,7 +222,13 @@ func (t *Thread) rh2SlowCommit() bool {
 	mem := t.sys.Mem
 	lockWord := sys.LockWord(t.id)
 
-	// Phase 1: lock the write set (Alg. 7 LOCK_WRITE_SET).
+	// Phase 1: lock the write set (Alg. 7 LOCK_WRITE_SET). The version a
+	// lock replaces must itself be no newer than tx_version: phase 3 skips
+	// read-set stripes we hold the lock on, so this check is what rules out
+	// a commit that slipped in between the body's read of a stripe and our
+	// lock of it (locking blindly and skipping validation would write back
+	// over it — a lost update). TL2's lock phase makes the same check for
+	// the same reason.
 	locked := make([]lockedStripe, 0, len(t.writeSet))
 	clear(t.stripes)
 	for _, w := range t.writeSet {
@@ -237,7 +243,8 @@ func (t *Thread) rh2SlowCommit() bool {
 		if cur == lockWord {
 			continue
 		}
-		if sys.IsLocked(cur) || !mem.CAS(va, cur, lockWord) {
+		if sys.IsLocked(cur) || sys.UnpackVersion(cur) > t.txVersion ||
+			!mem.CAS(va, cur, lockWord) {
 			t.restoreLocks(locked)
 			return false
 		}

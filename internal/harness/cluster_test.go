@@ -5,19 +5,21 @@ import (
 	"testing"
 )
 
-// TestClusterScaling is the subsystem's acceptance criterion: on a
+// TestClusterScaling is the cluster subsystem's acceptance criterion: on a
 // uniform, read-heavy mix with no cross-System transactions, 4 Systems
 // must deliver at least twice the 1-System throughput in simulated
 // parallel time (ops per critical-path access interval) — the load really
-// spreads over independent machines instead of queueing on one.
+// spreads over independent machines instead of queueing on one. Both runs
+// use the cluster backend so the comparison isolates the System count.
 func TestClusterScaling(t *testing.T) {
-	base := ClusterSpec{Mix: "b", Records: 2048, ValueBytes: 32, Dist: DistUniform, CrossPct: 0}
+	base := KVSpec{Mix: "b", Records: 2048, ValueBytes: 32,
+		Backend: BackendCluster, Dist: DistUniform, CrossPct: 0}
 	cfg := RunConfig{Threads: 4, OpsPerThread: 300, Seed: 1}
 
 	base.Systems = 1
-	r1 := MustRunCluster(base, EngRH1Mix2, cfg)
+	r1 := MustRunKV(base, EngRH1Mix2, cfg)
 	base.Systems = 4
-	r4 := MustRunCluster(base, EngRH1Mix2, cfg)
+	r4 := MustRunKV(base, EngRH1Mix2, cfg)
 
 	if r1.Ops != r4.Ops {
 		t.Fatalf("op counts differ: %d vs %d", r1.Ops, r4.Ops)
@@ -35,13 +37,11 @@ func TestClusterScaling(t *testing.T) {
 // scale with a high cross-System fraction and sanity-checks the results
 // (op counts, commits, and — for cross mixes — that 2PC actually ran).
 func TestClusterWorkloadRuns(t *testing.T) {
-	for _, mix := range []string{"a", "b", "c", "f", "bank"} {
-		spec := ClusterSpec{Mix: mix, Records: 256, ValueBytes: 16, Systems: 3, CrossPct: 50}
-		if mix != "bank" {
-			spec.ValueBytes = 32
-		}
+	for _, mix := range []string{"a", "b", "c", "d", "e", "f", "bank"} {
+		spec := KVSpec{Mix: mix, Records: 256, ValueBytes: 32,
+			Systems: 3, CrossPct: 50, ScanMax: 10}
 		for _, eng := range []string{EngRH1Mix2, EngTL2, EngStdHy} {
-			r, err := RunCluster(spec, eng, RunConfig{Threads: 2, OpsPerThread: 30, Seed: 1})
+			r, err := RunKV(spec, eng, RunConfig{Threads: 2, OpsPerThread: 30, Seed: 1})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", mix, eng, err)
 			}
@@ -51,6 +51,9 @@ func TestClusterWorkloadRuns(t *testing.T) {
 			if !strings.Contains(r.Notes, "2pc:") {
 				t.Fatalf("%s/%s: notes missing 2PC counters: %q", mix, eng, r.Notes)
 			}
+			if mix == "e" && noteValue(t, r.Notes, "scans") == 0 {
+				t.Fatalf("%s/%s: E mix ran no snapshot scans: %q", mix, eng, r.Notes)
+			}
 		}
 	}
 }
@@ -59,42 +62,41 @@ func TestClusterWorkloadRuns(t *testing.T) {
 // cross-System commits must appear in the stats; with CrossPct == 0 the
 // decision log must stay empty of cross traffic from single-key mixes.
 func TestClusterCrossFractionEngages(t *testing.T) {
-	spec := ClusterSpec{Mix: "a", Records: 512, ValueBytes: 16, Systems: 3, CrossPct: 40}
-	r := MustRunCluster(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 100, Seed: 7})
+	spec := KVSpec{Mix: "a", Records: 512, ValueBytes: 16, Systems: 3, CrossPct: 40}
+	r := MustRunKV(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 100, Seed: 7})
 	if !strings.Contains(r.Notes, "2pc: cross=") || strings.Contains(r.Notes, "2pc: cross=0 ") {
 		t.Fatalf("cross fraction 40%% produced no 2PC traffic: %q", r.Notes)
 	}
 
 	spec.CrossPct = 0
-	r0 := MustRunCluster(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 100, Seed: 7})
+	r0 := MustRunKV(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 100, Seed: 7})
 	if !strings.Contains(r0.Notes, "2pc: cross=0 ") {
 		t.Fatalf("cross fraction 0%% still ran 2PC: %q", r0.Notes)
 	}
 }
 
 // TestClusterBankInvariant: the bank mix's conserved-total check runs
-// inside RunCluster; a clean run must pass it under heavy cross traffic.
+// inside RunKV; a clean run must pass it under heavy cross traffic.
 func TestClusterBankInvariant(t *testing.T) {
-	spec := ClusterSpec{Mix: "bank", Records: 64, Systems: 4, CrossPct: 80}
-	r := MustRunCluster(spec, EngRH1Mix2, RunConfig{Threads: 4, OpsPerThread: 60, Seed: 3})
+	spec := KVSpec{Mix: "bank", Records: 64, Systems: 4, CrossPct: 80}
+	r := MustRunKV(spec, EngRH1Mix2, RunConfig{Threads: 4, OpsPerThread: 60, Seed: 3})
 	if r.Ops != 240 {
 		t.Fatalf("ops = %d, want 240", r.Ops)
 	}
 }
 
-// TestClusterRejectsBadSpecs mirrors TestYCSBRejectsBadSpecs.
-func TestClusterRejectsBadSpecs(t *testing.T) {
-	cases := map[string]ClusterSpec{
-		"mix":       {Mix: "z"},
-		"dist":      {Mix: "a", Dist: "banana"},
-		"theta":     {Mix: "a", Dist: DistZipfian, Theta: 1.5},
-		"crosspct":  {Mix: "a", CrossPct: 140},
-		"crosskeys": {Mix: "a", Records: 8, CrossKeys: 6},
-		"vbytes":    {Mix: "f", ValueBytes: 4},
+// TestStoreCrossOps: CrossPct also engages on the single-System store
+// backend, where multi-key transactions are cross-shard engine
+// transactions — the same workload shape at the smaller scale.
+func TestStoreCrossOps(t *testing.T) {
+	spec := KVSpec{Mix: "a", Records: 256, ValueBytes: 16, Shards: 4, CrossPct: 50, CrossKeys: 3}
+	r := MustRunKV(spec, EngRH1Mix2, RunConfig{Threads: 2, OpsPerThread: 50, Seed: 2})
+	if r.Ops != 100 {
+		t.Fatalf("ops = %d, want 100", r.Ops)
 	}
-	for name, spec := range cases {
-		if _, err := RunCluster(spec, EngTL2, RunConfig{Threads: 1, OpsPerThread: 1}); err == nil {
-			t.Errorf("RunCluster accepted bad %s: %+v", name, spec)
-		}
+
+	bank := KVSpec{Mix: "bank", Records: 64, Shards: 4, CrossPct: 50}
+	if _, err := RunKV(bank, EngTL2, RunConfig{Threads: 2, OpsPerThread: 40, Seed: 4}); err != nil {
+		t.Fatalf("store-backend bank: %v", err)
 	}
 }

@@ -1,0 +1,664 @@
+package harness
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhtm"
+	"rhtm/cluster"
+	"rhtm/containers"
+	"rhtm/kv"
+	"rhtm/store"
+)
+
+// The unified KV runner: every YCSB-style mix is generated once, against
+// the kv.DB interface, and executed by RunKV on either backend — a
+// single-System engine over a sharded store, or the share-nothing
+// multi-System cluster. The old harness carried two parallel stacks of
+// workload plumbing (tx-level op factories for the store, client-level
+// workers for the cluster); this file replaces both.
+
+// bankInitial is the starting balance of every bank account.
+const bankInitial = 1000
+
+// kvBackend abstracts what differs between the data layers: construction,
+// setup-path population, quiescent reads, and result accounting.
+type kvBackend interface {
+	// DB returns the kv.DB the workers drive.
+	DB() kv.DB
+	// Load populates one record on the setup path (no engine traffic).
+	Load(key, value []byte) error
+	// Peek reads a committed value while quiescent (verification).
+	Peek(key []byte) ([]byte, bool)
+	// SystemFor reports key placement for cross-System draws; -1 when the
+	// backend has a single System.
+	SystemFor(key []byte) int
+	// Finish fills the engine/accesses/notes fields of the result.
+	Finish(res *Result)
+	// Validate checks structural invariants after the run.
+	Validate() error
+}
+
+// --- store backend ---
+
+type storeBackend struct {
+	sys *rhtm.System
+	eng rhtm.Engine
+	sh  *store.Sharded
+	db  *kv.Local
+}
+
+func openStoreBackend(spec KVSpec, engineName string, cfg RunConfig) (*storeBackend, error) {
+	perRecord := store.RecordFootprintWords(len(ycsbKey(0)), spec.ValueBytes)
+	recordsPerShard := (spec.Records + spec.Shards - 1) / spec.Shards
+	insertSlack := (insertBudget(spec, cfg)/spec.Shards + 1) * perRecord * 2
+	arenaWords := recordsPerShard*perRecord*2 + insertSlack + 4096
+	s, err := rhtm.NewSystem(rhtm.DefaultConfig(spec.Shards*(arenaWords+64) + 8192))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := Build(s, engineName, cfg.InjectPct)
+	if err != nil {
+		return nil, err
+	}
+	sh := store.NewSharded(s, spec.Shards, store.Options{ArenaWords: arenaWords})
+	return &storeBackend{sys: s, eng: eng, sh: sh, db: kv.NewLocal(eng, sh)}, nil
+}
+
+func (b *storeBackend) DB() kv.DB { return b.db }
+
+func (b *storeBackend) Load(key, value []byte) error {
+	return b.sh.Put(containers.SetupTx(b.sys), key, value)
+}
+
+func (b *storeBackend) Peek(key []byte) ([]byte, bool) {
+	return b.sh.Get(containers.SetupTx(b.sys), key)
+}
+
+func (b *storeBackend) SystemFor([]byte) int { return -1 }
+
+func (b *storeBackend) Finish(res *Result) {
+	res.Engine = b.eng.Name()
+	res.Stats = b.eng.Snapshot()
+	res.Accesses = res.Stats.Reads + res.Stats.Writes +
+		res.Stats.MetadataReads + res.Stats.MetadataWrites
+	res.Notes = "store: " + b.sh.Stats(containers.SetupTx(b.sys)).String()
+}
+
+func (b *storeBackend) Validate() error { return b.sh.Validate() }
+
+// --- cluster backend ---
+
+type clusterBackend struct {
+	c  *cluster.Cluster
+	db *kv.ClusterDB
+}
+
+func openClusterBackend(spec KVSpec, engineName string, cfg RunConfig) (*clusterBackend, error) {
+	keyBytes := len(ycsbKey(0))
+	recordsPerSys := (spec.Records + spec.Systems - 1) / spec.Systems
+	perRecord := store.RecordFootprintWords(keyBytes, spec.ValueBytes)
+	// In-flight intents: every client can hold CrossKeys (or a batch) of
+	// them, plus the same again mid-apply; round up generously — intent
+	// blocks recycle.
+	perIntentKeys := spec.CrossKeys
+	if spec.BatchSize > perIntentKeys {
+		perIntentKeys = spec.BatchSize
+	}
+	intentSlack := (cfg.Threads*perIntentKeys*2 + 64) *
+		store.IntentFootprintWords(keyBytes, spec.ValueBytes)
+	insertSlack := (insertBudget(spec, cfg)/spec.Systems + 1) * perRecord * 2
+	arenaWords := recordsPerSys*perRecord*2 + intentSlack + insertSlack + 4096
+	c, err := cluster.New(cluster.Config{
+		Systems:    spec.Systems,
+		ArenaWords: arenaWords,
+		DataWords:  arenaWords + 1<<13,
+		NewEngine: func(s *rhtm.System) (rhtm.Engine, error) {
+			return Build(s, engineName, cfg.InjectPct)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &clusterBackend{c: c, db: kv.NewCluster(c)}, nil
+}
+
+func (b *clusterBackend) DB() kv.DB { return b.db }
+
+func (b *clusterBackend) Load(key, value []byte) error { return b.c.Load(key, value) }
+
+func (b *clusterBackend) Peek(key []byte) ([]byte, bool) { return b.c.Peek(key) }
+
+func (b *clusterBackend) SystemFor(key []byte) int {
+	if b.c.NumSystems() == 1 {
+		return -1
+	}
+	return b.c.Router().SystemFor(key)
+}
+
+func (b *clusterBackend) Finish(res *Result) {
+	cs := b.c.Stats()
+	res.Engine = b.c.Node(0).Engine().Name()
+	res.Stats = cs.Engines
+	for _, a := range cs.PerSystemAccesses {
+		res.Accesses += a
+		if a > res.CriticalAccesses {
+			res.CriticalAccesses = a
+		}
+	}
+	res.Notes = fmt.Sprintf(
+		"2pc: cross=%d commit=%d abort=%d prep-conflicts=%d local=%d local-conflicts=%d intent-waits=%d scans=%d scan-retries=%d | store: %s",
+		cs.CrossTxns, cs.CrossCommits, cs.CrossAborts, cs.PrepareConflicts,
+		cs.LocalTxns, cs.LocalConflicts, cs.IntentWaits,
+		cs.SnapshotScans, cs.ScanRetries, cs.Store.String())
+}
+
+func (b *clusterBackend) Validate() error { return b.c.Validate() }
+
+// insertBudget estimates how many inserts a d/e run can issue, for arena
+// sizing. Count-based runs are exact to the op budget; time-based runs get
+// headroom for one extra record population — past it, inserts fall back to
+// overwrites (counted in the run notes) rather than failing the run.
+func insertBudget(spec KVSpec, cfg RunConfig) int {
+	if spec.Mix != "d" && spec.Mix != "e" {
+		return 0
+	}
+	if cfg.OpsPerThread > 0 {
+		return cfg.Threads*cfg.OpsPerThread/10 + 64
+	}
+	return spec.Records
+}
+
+// RunKV executes one measurement of spec on the named engine: build the
+// backend, populate the records through the setup path, and drive
+// cfg.Threads workers against the kv.DB. For Mix "bank" the
+// conserved-total invariant is checked after the run; every run validates
+// the backend's structural invariants.
+func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Threads <= 0 {
+		return Result{}, fmt.Errorf("harness: Threads must be positive")
+	}
+	if cfg.Duration <= 0 && cfg.OpsPerThread <= 0 {
+		return Result{}, fmt.Errorf("harness: need Duration or OpsPerThread")
+	}
+
+	var be kvBackend
+	var err error
+	if spec.Backend == BackendCluster {
+		be, err = openClusterBackend(spec, engineName, cfg)
+	} else {
+		be, err = openStoreBackend(spec, engineName, cfg)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Populate through the setup path (reproducible from loaderSeed).
+	loadRng := rand.New(rand.NewSource(loaderSeed))
+	val := make([]byte, spec.ValueBytes)
+	for i := 0; i < spec.Records; i++ {
+		if spec.Mix == "bank" {
+			binary.LittleEndian.PutUint64(val, bankInitial)
+		} else {
+			loadRng.Read(val)
+		}
+		if err := be.Load(ycsbKey(i), val); err != nil {
+			return Result{}, fmt.Errorf("harness: KV load: %w", err)
+		}
+	}
+
+	var zipf *zipfian
+	if spec.Dist == DistZipfian || spec.Mix == "d" {
+		// Mix "d" always draws latest-skewed ranks from this generator,
+		// whatever Dist says about the other mixes.
+		zipf = newZipfian(spec.Records, spec.Theta)
+	}
+
+	shared := &kvShared{}
+	var stop atomic.Bool
+	var totalOps atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Threads; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &kvWorker{spec: spec, be: be, db: be.DB(), rng: rng, zipf: zipf, shared: shared}
+			ops := driveWorker(cfg, &stop, func() {
+				if err := w.step(); err != nil {
+					// Worker bodies never return user errors; failures are
+					// protocol or capacity bugs, surfaced via panic as the
+					// structure-workload runner does.
+					panic(fmt.Sprintf("harness: KV op: %v", err))
+				}
+			})
+			if err := w.drain(); err != nil {
+				panic(fmt.Sprintf("harness: KV batch drain: %v", err))
+			}
+			totalOps.Add(ops)
+		}()
+	}
+	if cfg.Duration > 0 {
+		time.Sleep(cfg.Duration)
+		stop.Store(true)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Workload: spec.Name(),
+		Threads:  cfg.Threads,
+		Ops:      totalOps.Load(),
+		Elapsed:  elapsed,
+	}
+	res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	be.Finish(&res)
+	if res.Accesses > 0 {
+		res.OpsPerKAccess = 1000 * float64(res.Ops) / float64(res.Accesses)
+	}
+	if res.CriticalAccesses > 0 {
+		res.OpsPerKInterval = 1000 * float64(res.Ops) / float64(res.CriticalAccesses)
+	}
+	res.Notes += shared.notes(spec, be)
+
+	if spec.Mix == "bank" {
+		var total uint64
+		for i := 0; i < spec.Records; i++ {
+			v, ok := be.Peek(ycsbKey(i))
+			if !ok {
+				return res, fmt.Errorf("harness: bank account %d missing after run", i)
+			}
+			total += binary.LittleEndian.Uint64(v)
+		}
+		if want := uint64(spec.Records) * bankInitial; total != want {
+			return res, fmt.Errorf("harness: bank total %d != %d — atomicity violated", total, want)
+		}
+	}
+	if err := be.Validate(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// MustRunKV is RunKV for experiment drivers, where a config error is a bug.
+func MustRunKV(spec KVSpec, engineName string, cfg RunConfig) Result {
+	r, err := RunKV(spec, engineName, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// kvShared aggregates worker observations across threads.
+type kvShared struct {
+	inserts         atomic.Int64  // records inserted (d/e)
+	insertFallbacks atomic.Uint64 // inserts converted to overwrites (arena full)
+	updates         atomic.Uint64 // committed RMW updates (f)
+	scans           atomic.Uint64 // scans executed (e)
+	scanned         atomic.Uint64 // entries yielded by scans (e)
+	batches         atomic.Uint64 // batch flushes
+}
+
+// notes renders the mix-specific counters for Result.Notes. For mix "f" it
+// includes the sum of all leading counters, which grows by exactly one per
+// committed update — lost updates show as a shortfall against updates=.
+func (sh *kvShared) notes(spec KVSpec, be kvBackend) string {
+	out := ""
+	switch spec.Mix {
+	case "d", "e":
+		out += fmt.Sprintf(" inserts=%d insert-fallbacks=%d", sh.inserts.Load(), sh.insertFallbacks.Load())
+		if spec.Mix == "e" {
+			out += fmt.Sprintf(" scans=%d scanned=%d", sh.scans.Load(), sh.scanned.Load())
+		}
+	case "f":
+		var sum uint64
+		for i := 0; i < spec.Records; i++ {
+			if v, ok := be.Peek(ycsbKey(i)); ok {
+				sum += binary.LittleEndian.Uint64(v)
+			}
+		}
+		out += fmt.Sprintf(" fsum=%d updates=%d", sum, sh.updates.Load())
+	}
+	if spec.BatchSize > 1 {
+		out += fmt.Sprintf(" batches=%d", sh.batches.Load())
+	}
+	return out
+}
+
+// kvWorker generates and executes one thread's operations against a kv.DB.
+type kvWorker struct {
+	spec    KVSpec
+	be      kvBackend
+	db      kv.DB
+	rng     *rand.Rand
+	zipf    *zipfian
+	shared  *kvShared
+	buf     []byte
+	pending []kv.Op
+}
+
+// records returns the current record-space size (grows under d/e inserts).
+func (w *kvWorker) records() int {
+	return w.spec.Records + int(w.shared.inserts.Load())
+}
+
+// record draws one existing record index per the spec's distribution.
+func (w *kvWorker) record() int {
+	return drawRecord(w.rng, w.zipf, w.spec.Records)
+}
+
+// step runs one logical operation.
+func (w *kvWorker) step() error {
+	switch w.spec.Mix {
+	case "bank":
+		return w.transfer()
+	case "d":
+		if w.rng.Intn(100) < 95 {
+			return w.readLatest()
+		}
+		return w.insert()
+	case "e":
+		if w.rng.Intn(100) < 95 {
+			return w.scan()
+		}
+		return w.insert()
+	}
+	readPct, _ := w.spec.readPct()
+	isRead := w.rng.Intn(100) < readPct
+	if w.spec.CrossPct > 0 && w.spec.CrossKeys > 1 && w.rng.Intn(100) < w.spec.CrossPct {
+		return w.crossOp(isRead)
+	}
+	return w.singleOp(isRead)
+}
+
+// singleOp is one single-key operation, batched when the spec asks for it.
+func (w *kvWorker) singleOp(isRead bool) error {
+	key := ycsbKey(w.record())
+	if isRead {
+		if w.spec.BatchSize > 1 {
+			return w.enqueue(kv.Op{Kind: kv.OpGet, Key: key})
+		}
+		_, err := w.db.Get(key)
+		if errors.Is(err, kv.ErrNotFound) {
+			return fmt.Errorf("record %s missing", key)
+		}
+		return err
+	}
+	if w.spec.Mix == "f" {
+		// Read-modify-write: bump the record's leading counter in place,
+		// preserving the payload tail, as one closure transaction.
+		err := w.db.Update(func(tx kv.Txn) error {
+			cur, err := tx.Get(key)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(cur, binary.LittleEndian.Uint64(cur)+1)
+			return tx.Put(key, cur)
+		})
+		if err == nil {
+			w.shared.updates.Add(1)
+		}
+		return err
+	}
+	if w.buf == nil {
+		w.buf = make([]byte, w.spec.ValueBytes)
+	}
+	w.rng.Read(w.buf)
+	if w.spec.BatchSize > 1 {
+		val := make([]byte, len(w.buf))
+		copy(val, w.buf)
+		return w.enqueue(kv.Op{Kind: kv.OpPut, Key: key, Value: val})
+	}
+	return w.db.Put(key, w.buf)
+}
+
+// enqueue buffers a batch op, flushing at BatchSize.
+func (w *kvWorker) enqueue(op kv.Op) error {
+	w.pending = append(w.pending, op)
+	if len(w.pending) >= w.spec.BatchSize {
+		return w.drain()
+	}
+	return nil
+}
+
+// drain flushes any pending batch.
+func (w *kvWorker) drain() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	ops := w.pending
+	w.pending = w.pending[:0]
+	results, err := w.db.Batch(ops)
+	if err != nil {
+		return err
+	}
+	w.shared.batches.Add(1)
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("batch op %d (%s): %w", i, ops[i].Key, r.Err)
+		}
+	}
+	return nil
+}
+
+// readLatest is mix d's read: ranks are latest-skewed — rank 0 is the most
+// recently inserted record — per YCSB's SkewedLatestGenerator. A miss on a
+// freshly inserted id is tolerated (its Put may still be in flight).
+func (w *kvWorker) readLatest() error {
+	cur := w.records()
+	rank := w.zipf.next(w.rng)
+	if rank >= cur {
+		rank %= cur
+	}
+	key := ycsbKey(cur - 1 - rank)
+	_, err := w.db.Get(key)
+	if errors.Is(err, kv.ErrNotFound) {
+		if cur-1-rank >= w.spec.Records {
+			return nil // racing a concurrent insert: benign
+		}
+		return fmt.Errorf("record %s missing", key)
+	}
+	return err
+}
+
+// insert adds a new record past the loaded key space (mixes d and e). When
+// the arena cannot hold more records (time-based runs can outgrow any
+// sizing), the insert degrades to an overwrite of an existing record so the
+// run keeps its operation mix instead of failing.
+func (w *kvWorker) insert() error {
+	if w.buf == nil {
+		w.buf = make([]byte, w.spec.ValueBytes)
+	}
+	w.rng.Read(w.buf)
+	id := w.spec.Records + int(w.shared.inserts.Add(1)) - 1
+	err := w.db.Put(ycsbKey(id), w.buf)
+	if errors.Is(err, kv.ErrArenaFull) {
+		w.shared.inserts.Add(-1)
+		w.shared.insertFallbacks.Add(1)
+		return w.db.Put(ycsbKey(w.rng.Intn(w.spec.Records)), w.buf)
+	}
+	return err
+}
+
+// scan is mix e's short ordered scan: a uniform length in [1, ScanMax]
+// starting at a drawn record key, through the kv.Scan cursor.
+func (w *kvWorker) scan() error {
+	cur := w.records()
+	var start int
+	if w.zipf != nil {
+		start = int(scramble(uint64(w.zipf.next(w.rng))) % uint64(cur))
+	} else {
+		start = w.rng.Intn(cur)
+	}
+	length := 1 + w.rng.Intn(w.spec.ScanMax)
+	it := w.db.Scan(ycsbKey(start), nil, length)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if n == 0 && start < w.spec.Records {
+		// A start key at or past the loaded range can race an in-flight
+		// insert to an empty tail; a loaded record always has successors.
+		return fmt.Errorf("scan from %s yielded nothing", ycsbKey(start))
+	}
+	w.shared.scans.Add(1)
+	w.shared.scanned.Add(uint64(n))
+	return nil
+}
+
+// crossKeys draws CrossKeys distinct records. On a multi-System backend it
+// redraws a bounded number of times until the keys span at least two
+// Systems; a degenerate keyspace falls back to whatever the last draw
+// placed (the transaction then simply takes the local path).
+func (w *kvWorker) crossKeys() [][]byte {
+	var keys [][]byte
+	multi := w.be.SystemFor(ycsbKey(0)) >= 0 || w.be.SystemFor(ycsbKey(1)) >= 0
+	for round := 0; round < 16; round++ {
+		seen := map[int]bool{}
+		systems := map[int]bool{}
+		keys = keys[:0]
+		for len(keys) < w.spec.CrossKeys {
+			rec := w.record()
+			if seen[rec] {
+				continue
+			}
+			seen[rec] = true
+			k := ycsbKey(rec)
+			keys = append(keys, k)
+			systems[w.be.SystemFor(k)] = true
+		}
+		if !multi || len(systems) > 1 {
+			break
+		}
+	}
+	return keys
+}
+
+// crossOp runs one multi-key transaction: a snapshot read of the keys, or a
+// write over all of them. The write mirrors the mix's single-key semantics
+// — blind puts for a/b, read-modify-write counter increments for f — so the
+// accesses/op delta between x=0 and x>0 measures the commit protocol, not a
+// change in operation shape.
+func (w *kvWorker) crossOp(isRead bool) error {
+	keys := w.crossKeys()
+	if isRead {
+		return w.db.Update(func(tx kv.Txn) error {
+			for _, k := range keys {
+				if _, err := tx.Get(k); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if w.spec.Mix == "f" {
+		err := w.db.Update(func(tx kv.Txn) error {
+			for _, k := range keys {
+				v, err := tx.Get(k)
+				if err != nil {
+					return err
+				}
+				binary.LittleEndian.PutUint64(v, binary.LittleEndian.Uint64(v)+1)
+				if err := tx.Put(k, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			w.shared.updates.Add(uint64(len(keys)))
+		}
+		return err
+	}
+	// Values are drawn before the transaction so a commit retry does not
+	// consume extra randomness (Update bodies re-execute on conflict).
+	vals := make([][]byte, len(keys))
+	for i := range vals {
+		vals[i] = make([]byte, w.spec.ValueBytes)
+		w.rng.Read(vals[i])
+	}
+	return w.db.Update(func(tx kv.Txn) error {
+		for i, k := range keys {
+			if err := tx.Put(k, vals[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// transfer is one bank operation: move a random amount between two
+// accounts, multi-System for CrossPct of operations on the cluster.
+// Redraws for the wanted placement are bounded: a degenerate account set
+// must not hang the run, so after the bound the last distinct pair is used
+// with whatever placement it has.
+func (w *kvWorker) transfer() error {
+	multi := w.be.SystemFor(ycsbKey(0)) >= 0 || w.be.SystemFor(ycsbKey(1)) >= 0
+	wantCross := multi && w.rng.Intn(100) < w.spec.CrossPct
+	a := w.record()
+	b := (a + 1) % w.spec.Records
+	for round := 0; round < 64; round++ {
+		x, y := w.record(), w.record()
+		if x == y {
+			continue
+		}
+		a, b = x, y
+		if !multi ||
+			(w.be.SystemFor(ycsbKey(a)) != w.be.SystemFor(ycsbKey(b))) == wantCross {
+			break
+		}
+	}
+	from, to := ycsbKey(a), ycsbKey(b)
+	amt := uint64(w.rng.Intn(10))
+	return w.db.Update(func(tx kv.Txn) error {
+		fv, err := tx.Get(from)
+		if err != nil {
+			return err
+		}
+		f := binary.LittleEndian.Uint64(fv)
+		if f < amt {
+			return nil // insufficient funds: read-only commit
+		}
+		tv, err := tx.Get(to)
+		if err != nil {
+			return err
+		}
+		t := binary.LittleEndian.Uint64(tv)
+		var nf, nt [8]byte
+		binary.LittleEndian.PutUint64(nf[:], f-amt)
+		binary.LittleEndian.PutUint64(nt[:], t+amt)
+		if err := tx.Put(from, nf[:]); err != nil {
+			return err
+		}
+		return tx.Put(to, nt[:])
+	})
+}
+
+// kvEngines is the series set of the KV experiments: the full RH1 stack
+// against the software baseline and the other hybrids.
+var kvEngines = []string{EngRH1Mix2, EngStdHy, EngTL2, EngNoRec}
+
+// SweepKV measures every KV engine at every thread count for one spec, on
+// whichever backend the spec selects.
+func SweepKV(sc Scale, spec KVSpec) []Result {
+	out := make([]Result, 0, len(kvEngines)*len(sc.Threads))
+	for _, eng := range kvEngines {
+		for _, th := range sc.Threads {
+			out = append(out, MustRunKV(spec, eng, sc.cfg(th)))
+		}
+	}
+	return out
+}

@@ -1,81 +1,192 @@
 package harness
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
-
-	"rhtm"
-	"rhtm/containers"
-	"rhtm/store"
 )
 
-// YCSB-style workloads over the sharded transactional store: the classic
-// cloud-serving mixes (A 50/50 read/update, B 95/5, C read-only, F 50/50
-// read/read-modify-write) with uniform and zipfian request distributions.
-// Where the paper's Constant workloads measure the engines on fixed-shape
-// structures, these measure them under a realistic storage stack — varlen
-// codec, free-list arena, ordered index — with the skewed key popularity
-// real KV traffic has.
+// YCSB-style workloads over the unified kv.DB interface: the classic
+// cloud-serving mixes (A 50/50 read/update, B 95/5, C read-only, D
+// latest-distribution read/insert, E short ordered scans, F 50/50
+// read/read-modify-write) plus a bank-transfer invariant mix, with uniform
+// and zipfian request distributions. One spec, one worker, and one runner
+// drive both data-layer backends — the single-System sharded store and the
+// share-nothing multi-System cluster — so a workload written once measures
+// any engine at any scale (see kvrun.go).
 
-// Request distributions accepted by YCSBSpec.Dist.
+// Request distributions accepted by KVSpec.Dist.
 const (
 	DistUniform = "uniform"
 	DistZipfian = "zipfian"
 )
 
-// YCSBSpec parameterizes one YCSB-style workload.
-type YCSBSpec struct {
-	// Mix is the YCSB workload letter: "a" (50% reads / 50% updates),
-	// "b" (95/5), "c" (read-only), or "f" (50% reads / 50% read-modify-
-	// writes: the update reads the record and increments its leading
-	// 8-byte counter in place, stressing the in-place update path).
+// Backends accepted by KVSpec.Backend.
+const (
+	// BackendStore runs on one System: an rhtm engine over a sharded store.
+	BackendStore = "store"
+	// BackendCluster runs on N independent Systems behind the 2PC router.
+	BackendCluster = "cluster"
+)
+
+// KVSpec parameterizes one KV workload, on either backend.
+type KVSpec struct {
+	// Mix is the YCSB workload letter — "a" (50% reads / 50% updates),
+	// "b" (95/5), "c" (read-only), "d" (95% latest-skewed reads / 5%
+	// inserts), "e" (95% short ordered scans / 5% inserts), "f" (50% reads
+	// / 50% read-modify-writes) — or "bank": every operation transfers
+	// between two 8-byte balances and the run fails if the total is not
+	// conserved.
 	Mix string
-	// Records is the number of pre-loaded records.
+	// Records is the number of pre-loaded records (or bank accounts).
 	Records int
 	// ValueBytes is the value size (keys are the 12-byte "user%08d" form).
 	ValueBytes int
-	// Dist selects the request distribution (DistUniform or DistZipfian).
+	// Dist selects the request distribution. Default: DistZipfian on the
+	// store backend (as YCSB specifies), DistUniform on the cluster (the
+	// scaling claims are about balanced load).
 	Dist string
-	// Shards is the store's shard count (0 = 8).
-	Shards int
 	// Theta is the zipfian skew; 0 selects YCSB's 0.99.
 	Theta float64
+	// Backend selects the data layer: BackendStore (default while
+	// Systems <= 1) or BackendCluster (forced when Systems > 1).
+	Backend string
+	// Shards is the store backend's shard count (0 = 8).
+	Shards int
+	// Systems is the cluster backend's System count (default 1).
+	Systems int
+	// CrossPct is the percentage of operations run as multi-key
+	// transactions of CrossKeys keys — cross-System 2PC on the cluster,
+	// cross-shard local transactions on the store.
+	CrossPct int
+	// CrossKeys is how many keys a multi-key transaction touches
+	// (default 2).
+	CrossKeys int
+	// ScanMax bounds mix "e" scan lengths: each scan draws a uniform
+	// length in [1, ScanMax] (default 100).
+	ScanMax int
+	// BatchSize, when > 1, groups the single-key operations of mixes
+	// a/b/c into kv.DB.Batch calls of this size — the batching
+	// amortization experiment.
+	BatchSize int
 }
 
-// readPct returns the read percentage of the mix.
-func (sp YCSBSpec) readPct() (int, error) {
+// readPct returns the percentage of plain reads (or, for "e", scans) in
+// the mix.
+func (sp KVSpec) readPct() (int, error) {
 	switch sp.Mix {
 	case "a", "f":
 		return 50, nil
-	case "b":
+	case "b", "d", "e":
 		return 95, nil
 	case "c":
 		return 100, nil
+	case "bank":
+		return 0, nil
 	default:
-		return 0, fmt.Errorf("harness: unknown YCSB mix %q (want a, b, c or f)", sp.Mix)
+		return 0, fmt.Errorf("harness: unknown KV mix %q (want a, b, c, d, e, f or bank)", sp.Mix)
 	}
 }
 
 // withDefaults fills unset (zero or negative) fields.
-func (sp YCSBSpec) withDefaults() YCSBSpec {
+func (sp KVSpec) withDefaults() KVSpec {
 	if sp.Records <= 0 {
 		sp.Records = 10_000
 	}
 	if sp.ValueBytes <= 0 {
 		sp.ValueBytes = 64
 	}
-	if sp.Dist == "" {
-		sp.Dist = DistZipfian
+	if sp.Mix == "bank" {
+		sp.ValueBytes = 8
 	}
-	if sp.Shards <= 0 {
-		sp.Shards = 8
+	if sp.Systems <= 0 {
+		sp.Systems = 1
+	}
+	if sp.Backend == "" {
+		if sp.Systems > 1 {
+			sp.Backend = BackendCluster
+		} else {
+			sp.Backend = BackendStore
+		}
+	}
+	if sp.Dist == "" {
+		if sp.Backend == BackendCluster {
+			sp.Dist = DistUniform
+		} else {
+			sp.Dist = DistZipfian
+		}
 	}
 	if sp.Theta <= 0 {
 		sp.Theta = 0.99
 	}
+	if sp.Shards <= 0 {
+		sp.Shards = 8
+	}
+	if sp.CrossKeys <= 0 {
+		sp.CrossKeys = 2
+	}
+	if sp.ScanMax <= 0 {
+		sp.ScanMax = 100
+	}
 	return sp
+}
+
+// Name identifies the workload in output rows.
+func (sp KVSpec) Name() string {
+	sp = sp.withDefaults()
+	name := fmt.Sprintf("ycsb-%s/%s", sp.Mix, sp.Dist)
+	if sp.Mix == "bank" {
+		name = "bank/" + sp.Dist
+	}
+	if sp.Backend == BackendCluster {
+		name = fmt.Sprintf("cluster-%s/%s/s=%d/x=%d", sp.Mix, sp.Dist, sp.Systems, sp.CrossPct)
+	}
+	if sp.BatchSize > 1 {
+		name += fmt.Sprintf("/batch=%d", sp.BatchSize)
+	}
+	return name
+}
+
+// validate rejects bad specs with a clean error before any System is built.
+func (sp KVSpec) validate() error {
+	if _, err := sp.readPct(); err != nil {
+		return err
+	}
+	if sp.Backend != BackendStore && sp.Backend != BackendCluster {
+		return fmt.Errorf("harness: unknown backend %q (want %s or %s)", sp.Backend, BackendStore, BackendCluster)
+	}
+	if sp.Backend == BackendStore && sp.Systems > 1 {
+		return fmt.Errorf("harness: Systems = %d needs the cluster backend", sp.Systems)
+	}
+	if sp.Dist != DistUniform && sp.Dist != DistZipfian {
+		return fmt.Errorf("harness: unknown distribution %q (want %s or %s)", sp.Dist, DistUniform, DistZipfian)
+	}
+	if sp.Dist == DistZipfian && sp.Theta >= 1 {
+		return fmt.Errorf("harness: zipfian theta must be in (0,1), got %g", sp.Theta)
+	}
+	if sp.CrossPct < 0 || sp.CrossPct > 100 {
+		return fmt.Errorf("harness: CrossPct must be in [0,100], got %d", sp.CrossPct)
+	}
+	if sp.CrossKeys*2 > sp.Records {
+		return fmt.Errorf("harness: CrossKeys %d too large for %d records", sp.CrossKeys, sp.Records)
+	}
+	if sp.Mix == "f" && sp.ValueBytes < 8 {
+		return fmt.Errorf("harness: YCSB F needs ValueBytes >= 8 for its counter, got %d", sp.ValueBytes)
+	}
+	if sp.BatchSize > 1 {
+		switch sp.Mix {
+		case "a", "b", "c":
+		default:
+			return fmt.Errorf("harness: BatchSize applies to mixes a/b/c, not %q", sp.Mix)
+		}
+	}
+	return nil
+}
+
+// Check applies defaults and validates the spec — for drivers that want to
+// reject bad flags with a clean message before starting a sweep.
+func (sp KVSpec) Check() error {
+	return sp.withDefaults().validate()
 }
 
 // ycsbKey formats the i-th record's key.
@@ -92,112 +203,6 @@ func drawRecord(rng *rand.Rand, zipf *zipfian, records int) int {
 		return int(scramble(uint64(zipf.next(rng))) % uint64(records))
 	}
 	return rng.Intn(records)
-}
-
-// YCSBWorkload builds the workload for a spec. The sharded store's arenas
-// are sized for steady state: update values keep their size class, so the
-// free lists recycle blocks and the arena frontier stops moving once every
-// record has churned once.
-func YCSBWorkload(spec YCSBSpec) Workload {
-	spec = spec.withDefaults()
-	readPct, err := spec.readPct()
-	if err != nil {
-		panic(err)
-	}
-	if spec.Dist != DistUniform && spec.Dist != DistZipfian {
-		panic(fmt.Sprintf("harness: unknown YCSB distribution %q (want %s or %s)",
-			spec.Dist, DistUniform, DistZipfian))
-	}
-	if spec.Dist == DistZipfian && spec.Theta >= 1 {
-		// Fail at workload construction, not later inside Build, so a bad
-		// spec surfaces like a bad Mix or Dist does.
-		panic(fmt.Sprintf("harness: zipfian theta must be in (0,1), got %g", spec.Theta))
-	}
-	if spec.Mix == "f" && spec.ValueBytes < 8 {
-		panic(fmt.Sprintf("harness: YCSB F needs ValueBytes >= 8 for its counter, got %d", spec.ValueBytes))
-	}
-	perRecord := store.RecordFootprintWords(len(ycsbKey(0)), spec.ValueBytes)
-	recordsPerShard := (spec.Records + spec.Shards - 1) / spec.Shards
-	arenaWords := recordsPerShard*perRecord*2 + 4096
-	// kv is the current run's store, shared between Build and Observe (a
-	// Workload value is measured sequentially; see Workload.Observe).
-	var kv *store.Sharded
-	return Workload{
-		Name:      fmt.Sprintf("ycsb-%s/%s", spec.Mix, spec.Dist),
-		DataWords: spec.Shards*(arenaWords+64) + 8192,
-		Observe: func(s *rhtm.System) string {
-			tx := containers.SetupTx(s)
-			note := "store: " + kv.Stats(tx).String()
-			if spec.Mix == "f" {
-				// Sum of the leading counters: grows by exactly one per
-				// committed update, so lost updates are a visible shortfall.
-				var sum uint64
-				for i := 0; i < spec.Records; i++ {
-					if v, ok := kv.Get(tx, ycsbKey(i)); ok {
-						sum += binary.LittleEndian.Uint64(v)
-					}
-				}
-				note += fmt.Sprintf(" fsum=%d", sum)
-			}
-			return note
-		},
-		Build: func(s *rhtm.System) OpFactory {
-			kv = store.NewSharded(s, spec.Shards, store.Options{ArenaWords: arenaWords})
-			setup := containers.SetupTx(s)
-			loadRng := rand.New(rand.NewSource(loaderSeed))
-			val := make([]byte, spec.ValueBytes)
-			for i := 0; i < spec.Records; i++ {
-				loadRng.Read(val)
-				if err := kv.Put(setup, ycsbKey(i), val); err != nil {
-					panic(fmt.Sprintf("harness: YCSB load: %v", err))
-				}
-			}
-			var zipf *zipfian
-			if spec.Dist == DistZipfian {
-				zipf = newZipfian(spec.Records, spec.Theta)
-			}
-			kv := kv // pin this run's store for the op closures
-			return func(threadID int, rng *rand.Rand) func() Op {
-				buf := make([]byte, spec.ValueBytes)
-				return func() Op {
-					key := ycsbKey(drawRecord(rng, zipf, spec.Records))
-					if rng.Intn(100) < readPct {
-						return func(tx rhtm.Tx) error {
-							if _, ok := kv.Get(tx, key); !ok {
-								return fmt.Errorf("harness: YCSB record %s missing", key)
-							}
-							return nil
-						}
-					}
-					if spec.Mix == "f" {
-						// Read-modify-write: bump the record's leading
-						// counter in place, preserving the payload tail.
-						return func(tx rhtm.Tx) error {
-							cur, ok := kv.Get(tx, key)
-							if !ok {
-								return fmt.Errorf("harness: YCSB record %s missing", key)
-							}
-							binary.LittleEndian.PutUint64(cur, binary.LittleEndian.Uint64(cur)+1)
-							return kv.Put(tx, key, cur)
-						}
-					}
-					rng.Read(buf)
-					return func(tx rhtm.Tx) error {
-						return kv.Put(tx, key, buf)
-					}
-				}
-			}
-		},
-	}
-}
-
-// ycsbEngines is the series set of the YCSB experiments: the full RH1
-// stack against the software baseline and the other hybrids.
-var ycsbEngines = []string{EngRH1Mix2, EngStdHy, EngTL2, EngNoRec}
-
-// YCSB measures every engine at every thread count for one YCSB spec.
-func YCSB(sc Scale, spec YCSBSpec) []Result {
-	return sweep(YCSBWorkload(spec), ycsbEngines, sc)
 }
 
 // --- zipfian request distribution ---

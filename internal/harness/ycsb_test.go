@@ -6,10 +6,8 @@ import (
 	"math/rand"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
-
-	"rhtm"
-	"rhtm/containers"
 )
 
 // TestZipfianStatistics checks the generator against the closed-form
@@ -98,75 +96,31 @@ func TestScrambleSpreads(t *testing.T) {
 	}
 }
 
-// TestYCSBFGenerator checks the F mix's generated ops executed
-// sequentially (no engine) through a recording Tx: roughly half the ops
-// must be updates, and every update must load record state before storing
-// — the read-modify-write property that distinguishes F from A's blind
-// writes.
-func TestYCSBFGenerator(t *testing.T) {
-	spec := YCSBSpec{Mix: "f", Records: 64, ValueBytes: 16, Dist: DistUniform, Shards: 2}
-	w := YCSBWorkload(spec)
-	s := rhtm.MustNewSystem(rhtm.DefaultConfig(w.DataWords))
-	factory := w.Build(s)
-	rec := &recordingTx{Tx: containers.SetupTx(s)}
-	gen := factory(0, rand.New(rand.NewSource(99)))
-
-	const ops = 400
-	updates := 0
-	for i := 0; i < ops; i++ {
-		rec.loads, rec.stores = 0, 0
-		op := gen()
-		if err := op(rec); err != nil {
-			t.Fatalf("op %d: %v", i, err)
-		}
-		if rec.stores > 0 {
-			updates++
-			if rec.loads == 0 {
-				t.Fatalf("op %d: F update stored without reading (not an RMW)", i)
-			}
-		} else if rec.loads == 0 {
-			t.Fatalf("op %d: op neither read nor wrote", i)
-		}
+// noteValue extracts an integer "name=N" observation from Result.Notes.
+func noteValue(t *testing.T, notes, name string) uint64 {
+	t.Helper()
+	m := regexp.MustCompile(name + `=(\d+)`).FindStringSubmatch(notes)
+	if m == nil {
+		t.Fatalf("notes missing %s=: %q", name, notes)
 	}
-	// ~50% updates: allow a generous band around the binomial mean.
-	if updates < ops*30/100 || updates > ops*70/100 {
-		t.Errorf("updates = %d of %d, outside the 50%% band", updates, ops)
+	v, err := strconv.ParseUint(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
 	}
+	return v
 }
-
-// recordingTx counts data loads and stores flowing through a Tx.
-type recordingTx struct {
-	Tx     rhtm.Tx
-	loads  int
-	stores int
-}
-
-func (r *recordingTx) Load(a rhtm.Addr) uint64 {
-	r.loads++
-	return r.Tx.Load(a)
-}
-
-func (r *recordingTx) Store(a rhtm.Addr, v uint64) {
-	r.stores++
-	r.Tx.Store(a, v)
-}
-
-func (r *recordingTx) Unsupported() { r.Tx.Unsupported() }
 
 // TestYCSBFIncrements runs the F mix through a real engine under
 // concurrency and verifies the RMW semantics end to end: the total of all
-// leading counters (reported by the workload's Observe hook as "fsum=")
-// grows by exactly the number of update operations — each increments one
-// record by one, atomically, so a lost update shows as a shortfall. Both
-// the initial counter total and the update count are reproduced from the
-// workload's fixed seeds.
+// leading counters (reported as "fsum=") grows by exactly the number of
+// committed updates (reported as "updates="): each increments one record
+// by one, atomically, so a lost update shows as a shortfall. The initial
+// counter total is reproduced from the loader's fixed seed.
 func TestYCSBFIncrements(t *testing.T) {
 	const records, valueBytes = 128, 16
-	const threads, opsPerThread = 4, 100
-	const seed = 5
-	spec := YCSBSpec{Mix: "f", Records: records, ValueBytes: valueBytes, Dist: DistUniform, Shards: 2}
+	spec := KVSpec{Mix: "f", Records: records, ValueBytes: valueBytes, Dist: DistUniform, Shards: 2}
 
-	// Initial counter total: replay the loader (seed fixed in YCSBWorkload).
+	// Initial counter total: replay the loader (seed fixed in RunKV).
 	loadRng := rand.New(rand.NewSource(loaderSeed))
 	val := make([]byte, valueBytes)
 	var initial uint64
@@ -174,78 +128,124 @@ func TestYCSBFIncrements(t *testing.T) {
 		loadRng.Read(val)
 		initial += binary.LittleEndian.Uint64(val)
 	}
-	// Update count: replay each thread's generator draws (record, then
-	// read-or-update; the F mix consumes no further randomness per op).
-	updates := uint64(0)
-	for th := 0; th < threads; th++ {
-		rng := rand.New(rand.NewSource(seed + int64(th)*7919))
-		for op := 0; op < opsPerThread; op++ {
-			_ = rng.Intn(records)
-			if rng.Intn(100) >= 50 {
-				updates++
-			}
-		}
-	}
 
-	r := MustRun(YCSBWorkload(spec), EngRH1Mix2,
-		RunConfig{Threads: threads, OpsPerThread: opsPerThread, Seed: seed})
-	if r.Ops != threads*opsPerThread {
-		t.Fatalf("ops = %d, want %d", r.Ops, threads*opsPerThread)
+	r := MustRunKV(spec, EngRH1Mix2, RunConfig{Threads: 4, OpsPerThread: 100, Seed: 5})
+	if r.Ops != 400 {
+		t.Fatalf("ops = %d, want 400", r.Ops)
 	}
-	m := regexp.MustCompile(`fsum=(\d+)`).FindStringSubmatch(r.Notes)
-	if m == nil {
-		t.Fatalf("notes missing fsum: %q", r.Notes)
-	}
-	final, err := strconv.ParseUint(m[1], 10, 64)
-	if err != nil {
-		t.Fatal(err)
+	final := noteValue(t, r.Notes, "fsum")
+	updates := noteValue(t, r.Notes, "updates")
+	if updates == 0 {
+		t.Fatal("F run committed no updates")
 	}
 	if got := final - initial; got != updates {
 		t.Fatalf("counter total grew by %d, want %d updates (lost or phantom RMWs)", got, updates)
 	}
 }
 
-// TestYCSBWorkloadRuns drives each mix and both distributions through real
+// TestKVWorkloadRuns drives each mix and both distributions through real
 // engines at small scale and sanity-checks the results.
-func TestYCSBWorkloadRuns(t *testing.T) {
-	for _, mix := range []string{"a", "b", "c", "f"} {
+func TestKVWorkloadRuns(t *testing.T) {
+	for _, mix := range []string{"a", "b", "c", "d", "e", "f"} {
 		for _, dist := range []string{DistUniform, DistZipfian} {
-			spec := YCSBSpec{Mix: mix, Records: 256, ValueBytes: 32, Dist: dist, Shards: 4}
+			spec := KVSpec{Mix: mix, Records: 256, ValueBytes: 32, Dist: dist, Shards: 4, ScanMax: 20}
 			for _, eng := range []string{EngRH1Mix2, EngTL2, EngStdHy} {
-				r := MustRun(YCSBWorkload(spec), eng, RunConfig{Threads: 2, OpsPerThread: 40, Seed: 1})
+				r := MustRunKV(spec, eng, RunConfig{Threads: 2, OpsPerThread: 40, Seed: 1})
 				if r.Ops != 80 {
 					t.Fatalf("%s/%s/%s: ops = %d, want 80", mix, dist, eng, r.Ops)
 				}
 				if r.Stats.Commits() < r.Ops {
 					t.Fatalf("%s/%s/%s: commits %d < ops %d", mix, dist, eng, r.Stats.Commits(), r.Ops)
 				}
-				if mix == "c" && r.Stats.Writes > 0 && dist == DistUniform {
+				if mix == "c" && dist == DistUniform && r.Stats.Writes > 0 {
 					// Read-only mix: no data writes from the workload itself.
-					// (Engines may still write metadata; Stats.Writes counts
-					// transactional data stores.)
 					t.Fatalf("%s/%s/%s: read-only mix performed %d data writes", mix, dist, eng, r.Stats.Writes)
+				}
+				if mix == "e" {
+					if scans := noteValue(t, r.Notes, "scans"); scans == 0 {
+						t.Fatalf("%s/%s/%s: E mix ran no scans: %q", mix, dist, eng, r.Notes)
+					}
+					if scanned := noteValue(t, r.Notes, "scanned"); scanned == 0 {
+						t.Fatalf("%s/%s/%s: E mix scanned no entries", mix, dist, eng)
+					}
+				}
+				if mix == "d" || mix == "e" {
+					if inserts := noteValue(t, r.Notes, "inserts"); inserts == 0 {
+						t.Fatalf("%s/%s/%s: %s mix inserted nothing: %q", mix, dist, eng, mix, r.Notes)
+					}
 				}
 			}
 		}
 	}
 }
 
-// TestYCSBRejectsBadSpecs documents that invalid specs fail at workload
-// construction, not later inside Build.
-func TestYCSBRejectsBadSpecs(t *testing.T) {
-	cases := map[string]YCSBSpec{
-		"mix":   {Mix: "z"},
-		"dist":  {Mix: "a", Dist: "banana"},
-		"theta": {Mix: "a", Dist: DistZipfian, Theta: 1.5},
+// TestYCSBDReadsSkewLatest: the D mix's reads must concentrate on recently
+// inserted records. With inserts disabled by a tiny op budget this cannot
+// be observed directly, so run a larger count-based budget and require
+// that inserts happened and reads succeeded (the latest-draw path).
+func TestYCSBDReadsSkewLatest(t *testing.T) {
+	spec := KVSpec{Mix: "d", Records: 128, ValueBytes: 16, Shards: 2}
+	r := MustRunKV(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 200, Seed: 3})
+	inserts := noteValue(t, r.Notes, "inserts")
+	if inserts == 0 {
+		t.Fatalf("D run inserted nothing: %q", r.Notes)
+	}
+	if r.Ops != 400 {
+		t.Fatalf("ops = %d, want 400", r.Ops)
+	}
+}
+
+// TestKVBatchedRuns: BatchSize groups single-key ops into Batch
+// transactions; the run must report flushes and commit fewer transactions
+// per operation than the unbatched run (the amortization the batching
+// item exists for).
+func TestKVBatchedRuns(t *testing.T) {
+	// One thread isolates the per-transaction overhead the batch
+	// amortizes; under contention the larger footprint trades some of the
+	// gain back in aborts (the bench sweep quantifies that). The hardware
+	// fast path is where the claim is crisp: its only per-transaction
+	// metadata is the speculative clock read, so accesses fall strictly
+	// with batch size. (On TL2 the picture inverts for read-heavy mixes:
+	// single gets commit read-only without validation, but batched with a
+	// put the whole read set re-validates — see EXPERIMENTS.md.)
+	base := KVSpec{Mix: "a", Records: 256, ValueBytes: 32, Dist: DistUniform, Shards: 4}
+	cfg := RunConfig{Threads: 1, OpsPerThread: 240, Seed: 1}
+	single := MustRunKV(base, EngRH1Mix2, cfg)
+
+	batched := base
+	batched.BatchSize = 16
+	b := MustRunKV(batched, EngRH1Mix2, cfg)
+	if b.Ops != single.Ops {
+		t.Fatalf("ops differ: %d vs %d", b.Ops, single.Ops)
+	}
+	if noteValue(t, b.Notes, "batches") == 0 {
+		t.Fatalf("batched run flushed no batches: %q", b.Notes)
+	}
+	if b.Accesses >= single.Accesses {
+		t.Fatalf("batch=16 cost %d accesses, unbatched %d: no amortization", b.Accesses, single.Accesses)
+	}
+	if !strings.Contains(b.Workload, "batch=16") {
+		t.Fatalf("batched workload name %q missing batch size", b.Workload)
+	}
+}
+
+// TestKVRejectsBadSpecs documents that invalid specs fail with a clean
+// error from RunKV (the old workload constructors panicked instead).
+func TestKVRejectsBadSpecs(t *testing.T) {
+	cases := map[string]KVSpec{
+		"mix":       {Mix: "z"},
+		"dist":      {Mix: "a", Dist: "banana"},
+		"theta":     {Mix: "a", Dist: DistZipfian, Theta: 1.5},
+		"crosspct":  {Mix: "a", CrossPct: 140},
+		"crosskeys": {Mix: "a", Records: 8, CrossKeys: 6},
+		"vbytes":    {Mix: "f", ValueBytes: 4},
+		"batchmix":  {Mix: "f", BatchSize: 8},
+		"backend":   {Mix: "a", Backend: "paper"},
+		"systems":   {Mix: "a", Backend: BackendStore, Systems: 3},
 	}
 	for name, spec := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("YCSBWorkload accepted bad %s: %+v", name, spec)
-				}
-			}()
-			YCSBWorkload(spec)
-		}()
+		if _, err := RunKV(spec, EngTL2, RunConfig{Threads: 1, OpsPerThread: 1}); err == nil {
+			t.Errorf("RunKV accepted bad %s: %+v", name, spec)
+		}
 	}
 }

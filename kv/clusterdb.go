@@ -1,0 +1,230 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+
+	"rhtm/cluster"
+)
+
+// Cluster implements DB over a cluster.Cluster: the share-nothing
+// multi-System router. Single-key operations run as local transactions on
+// the owning System; Update closures run the cluster's optimistic buffered
+// transaction (local commit when one System owns the footprint, two-phase
+// commit when several do); Batch splits into per-System groups with one
+// 2PC decision (cluster.Client.Batch); Scan is the validated snapshot scan
+// (cluster.Client.ScanSnapshot).
+//
+// ClusterDB is safe for concurrent use by any number of goroutines:
+// cluster clients are not, so it multiplexes callers over a session pool of
+// at most maxSessions clients, exactly as Local does with engine threads —
+// excess callers queue for a free session. Each client registers one
+// engine thread per System (permanently), so the bound is what keeps a
+// concurrency burst within every System's thread limit.
+type ClusterDB struct {
+	c *cluster.Cluster
+
+	// sessions holds maxSessions slots, pre-filled with nil placeholders;
+	// a nil slot lazily becomes a registered client on first use.
+	sessions chan *cluster.Client
+}
+
+// NewCluster builds a DB over c. Call during single-threaded setup.
+func NewCluster(c *cluster.Cluster) *ClusterDB {
+	db := &ClusterDB{c: c, sessions: make(chan *cluster.Client, maxSessions)}
+	for i := 0; i < maxSessions; i++ {
+		db.sessions <- nil
+	}
+	return db
+}
+
+// Cluster returns the underlying cluster (diagnostics, stats).
+func (db *ClusterDB) Cluster() *cluster.Cluster { return db.c }
+
+// getClient claims a session, registering its client on first use; it
+// blocks while all maxSessions sessions are in flight.
+func (db *ClusterDB) getClient() *cluster.Client {
+	cl := <-db.sessions
+	if cl == nil {
+		cl = db.c.NewClient()
+	}
+	return cl
+}
+
+func (db *ClusterDB) putClient(cl *cluster.Client) {
+	db.sessions <- cl
+}
+
+// mapErr translates cluster/store sentinels to the kv surface.
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, cluster.ErrContention) {
+		return fmt.Errorf("kv: %v: %w", err, ErrConflict)
+	}
+	return err
+}
+
+// Get implements DB.
+func (db *ClusterDB) Get(key []byte) ([]byte, error) {
+	cl := db.getClient()
+	defer db.putClient(cl)
+	v, ok, err := cl.Get(key)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// Put implements DB.
+func (db *ClusterDB) Put(key, value []byte) error {
+	cl := db.getClient()
+	defer db.putClient(cl)
+	return mapErr(cl.Put(key, value))
+}
+
+// Delete implements DB.
+func (db *ClusterDB) Delete(key []byte) error {
+	cl := db.getClient()
+	defer db.putClient(cl)
+	ok, err := cl.Delete(key)
+	if err != nil {
+		return mapErr(err)
+	}
+	if !ok {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Update implements DB via the cluster's optimistic buffered transaction.
+// The cluster retries its own commit conflicts inside Client.Txn, so the
+// loop here serves closures that request a retry with ErrConflict.
+func (db *ClusterDB) Update(fn func(tx Txn) error) error {
+	cl := db.getClient()
+	defer db.putClient(cl)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		err := cl.Txn(func(t *cluster.Txn) error {
+			return fn(&clusterTxn{t: t})
+		})
+		if !errors.Is(err, ErrConflict) {
+			return mapErr(err)
+		}
+		backoff(attempt)
+	}
+	return errRetriesExhausted()
+}
+
+// Batch implements DB natively: per-System grouped prepares and a single
+// 2PC decision, instead of one buffered-transaction read per key.
+func (db *ClusterDB) Batch(ops []Op) ([]OpResult, error) {
+	cl := db.getClient()
+	defer db.putClient(cl)
+	cops := make([]cluster.BatchOp, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case OpGet:
+			cops[i] = cluster.BatchOp{Kind: cluster.BatchGet, Key: op.Key}
+		case OpPut:
+			cops[i] = cluster.BatchOp{Kind: cluster.BatchPut, Key: op.Key, Value: op.Value}
+		default:
+			cops[i] = cluster.BatchOp{Kind: cluster.BatchDelete, Key: op.Key}
+		}
+	}
+	cres, err := cl.Batch(cops)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	results := make([]OpResult, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case OpGet:
+			if cres[i].Found {
+				results[i] = OpResult{Value: cres[i].Value}
+			} else {
+				results[i] = OpResult{Err: ErrNotFound}
+			}
+		case OpPut:
+			results[i] = OpResult{}
+		default:
+			if !cres[i].Found {
+				results[i] = OpResult{Err: ErrNotFound}
+			}
+		}
+	}
+	return results, nil
+}
+
+// Scan implements DB with the cluster's validated snapshot scan.
+func (db *ClusterDB) Scan(start, end []byte, limit int) Iterator {
+	cl := db.getClient()
+	defer db.putClient(cl)
+	entries, err := cl.ScanSnapshot(start, end, limit)
+	if err != nil {
+		return errIter(mapErr(err))
+	}
+	return &entriesIter{entries: clusterEntries(entries)}
+}
+
+// clusterEntries converts the cluster's entry type.
+func clusterEntries(in []cluster.Entry) []Entry {
+	out := make([]Entry, len(in))
+	for i, e := range in {
+		out[i] = Entry{Key: e.Key, Value: e.Value}
+	}
+	return out
+}
+
+// clusterTxn adapts one cluster buffered transaction to the Txn interface.
+type clusterTxn struct {
+	t *cluster.Txn
+}
+
+// Get implements Txn.
+func (t *clusterTxn) Get(key []byte) ([]byte, error) {
+	v, ok, err := t.t.Get(key)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// Put implements Txn. Writes are buffered; capacity errors (ErrArenaFull,
+// ErrTooLarge) surface at commit.
+func (t *clusterTxn) Put(key, value []byte) error {
+	t.t.Put(key, value)
+	return nil
+}
+
+// Delete implements Txn. The cluster transaction buffers deletions blindly,
+// but the Txn contract reports absence, so this reads the key first (one
+// more recorded read that commit validates).
+func (t *clusterTxn) Delete(key []byte) error {
+	_, ok, err := t.t.Get(key)
+	if err != nil {
+		return mapErr(err)
+	}
+	if !ok {
+		return ErrNotFound
+	}
+	t.t.Delete(key)
+	return nil
+}
+
+// Scan implements Txn: the validated snapshot overlaid with this
+// transaction's buffered writes, every yielded committed entry recorded as
+// a read for commit validation.
+func (t *clusterTxn) Scan(start, end []byte, limit int) Iterator {
+	entries, err := t.t.Scan(start, end, limit)
+	if err != nil {
+		return errIter(mapErr(err))
+	}
+	return &entriesIter{entries: clusterEntries(entries)}
+}

@@ -1,0 +1,250 @@
+// Package kv defines the canonical transactional key-value API of this
+// repository: one DB contract that every data-layer engine implements, from
+// a single simulated System (store.Store / store.Sharded behind an rhtm
+// engine — see NewLocal) to the share-nothing multi-System cluster with
+// two-phase commit (cluster.Cluster — see NewCluster). The paper's thesis is
+// that hardware and software transaction paths are substitutable behind one
+// contract; this package extends the same symmetry up the stack, so one
+// workload suite, one conformance battery, and one example can drive any
+// engine at any scale.
+//
+// The surface is deliberately small:
+//
+//   - Get/Put/Delete are one-shot, single-key transactions.
+//   - Update runs a closure transaction: every Txn operation inside fn is
+//     atomic with the rest, and the implementation retries the whole closure
+//     on conflict (see the retry policy below).
+//   - Batch groups independent single-key operations into one transaction,
+//     amortizing per-transaction overhead, with per-op results.
+//   - Scan returns a cursor over the ordered index: ascending by key, with
+//     the snapshot guarantee that every entry the iterator yields was
+//     committed state at a single instant.
+//
+// Failures are errors.Is-able sentinels — ErrNotFound, ErrConflict,
+// ErrArenaFull, ErrTooLarge — replacing the mixed bool/error returns of the
+// layers below.
+//
+// # Retry policy
+//
+// Update re-executes fn when the transaction cannot commit due to
+// contention: an engine-level abort storm, a pending cross-System write
+// intent, or failed optimistic read validation. fn must therefore be safe
+// to re-execute (side effects outside the Txn should be idempotent or
+// deferred). A closure can also request a retry itself by returning
+// ErrConflict. Any other non-nil error from fn aborts the transaction —
+// no write survives — and is returned to the caller as-is. Retries use
+// randomized exponential backoff and give up after the implementation's
+// attempt bound with an error wrapping ErrConflict.
+//
+// Isolation inside fn is the standard optimistic contract: each read
+// observes committed state, but reads of different keys are only
+// guaranteed mutually consistent once the commit validates (the
+// single-System implementation is stricter and never shows a torn pair;
+// the cluster implementation is not). A closure that checks a cross-key
+// invariant mid-flight should treat a violation as contention and return
+// ErrConflict — if the snapshot really was torn, the commit would have
+// failed validation anyway.
+package kv
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"rhtm/store"
+)
+
+// ErrNotFound reports a Get or Delete of an absent key.
+var ErrNotFound = errors.New("kv: key not found")
+
+// ErrConflict reports a transaction that could not commit within the
+// implementation's retry bound. Returning it from an Update closure
+// requests a retry of the whole closure.
+var ErrConflict = errors.New("kv: transaction conflict")
+
+// ErrArenaFull reports storage exhaustion: the owning store's arena has no
+// block left for the write. It aliases the store package's sentinel, so
+// errors.Is matches errors from either layer.
+var ErrArenaFull = store.ErrArenaFull
+
+// ErrTooLarge reports a key or value whose encoded block exceeds the
+// largest arena size class. Alias of the store package's sentinel.
+var ErrTooLarge = store.ErrTooLarge
+
+// OpKind selects what a batch Op does.
+type OpKind uint8
+
+const (
+	// OpGet reads Key; the value (or ErrNotFound) lands in the OpResult.
+	OpGet OpKind = iota
+	// OpPut stores Key→Value.
+	OpPut
+	// OpDelete removes Key; an absent key yields ErrNotFound in the
+	// OpResult without failing the batch.
+	OpDelete
+)
+
+// Op is one operation of a Batch.
+type Op struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte // OpPut only
+}
+
+// OpResult is the outcome of one batch Op. Err is nil on success,
+// ErrNotFound for a Get or Delete of an absent key; per-op errors do not
+// fail the batch (a batch fails as a whole only on hard errors such as
+// ErrArenaFull or retry exhaustion).
+type OpResult struct {
+	Value []byte // OpGet only: a private copy of the value
+	Err   error
+}
+
+// Entry is one key-value pair yielded by a Scan.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Iterator is a cursor over an ordered key range. Next advances and reports
+// whether an entry is available; Key/Value return the current entry (private
+// copies, valid until the next call to Next). After Next returns false, Err
+// distinguishes normal exhaustion (nil) from a failed scan.
+//
+//	it := db.Scan(start, end, 0)
+//	for it.Next() {
+//	    use(it.Key(), it.Value())
+//	}
+//	if err := it.Err(); err != nil { ... }
+type Iterator interface {
+	Next() bool
+	Key() []byte
+	Value() []byte
+	Err() error
+}
+
+// Txn is the view inside an Update closure. All operations are part of one
+// atomic transaction: they commit together when fn returns nil, or vanish
+// together when fn errors or the commit conflicts.
+type Txn interface {
+	// Get returns a private copy of key's value, or ErrNotFound.
+	Get(key []byte) ([]byte, error)
+	// Put stores key→value (both copied).
+	Put(key, value []byte) error
+	// Delete removes key, returning ErrNotFound when it was absent.
+	Delete(key []byte) error
+	// Scan returns a cursor over start <= key < end (nil bounds are
+	// unbounded) yielding at most limit entries (0 = unbounded). The cursor
+	// observes this transaction's own writes.
+	Scan(start, end []byte, limit int) Iterator
+}
+
+// DB is the canonical transactional key-value interface. Implementations
+// are safe for concurrent use by any number of goroutines: callers
+// multiplex over an internal bounded session pool (engine threads /
+// cluster clients), with excess callers queueing for a free session.
+type DB interface {
+	// Get returns a private copy of key's committed value, or ErrNotFound.
+	Get(key []byte) ([]byte, error)
+	// Put atomically stores key→value.
+	Put(key, value []byte) error
+	// Delete atomically removes key, returning ErrNotFound when absent.
+	Delete(key []byte) error
+	// Update runs fn as one closure transaction under the package retry
+	// policy (see the package comment).
+	Update(fn func(tx Txn) error) error
+	// Batch executes independent single-key ops as one transaction and
+	// returns per-op results in order. Ops see each other in batch order
+	// (a Get after a Put of the same key observes the Put). The whole
+	// batch commits atomically.
+	Batch(ops []Op) ([]OpResult, error)
+	// Scan returns a cursor over start <= key < end (nil bounds are
+	// unbounded) in ascending key order, yielding at most limit entries
+	// (0 = unbounded). The yielded prefix is a consistent snapshot: no
+	// torn multi-key transaction, no phantom, is ever observable in it.
+	Scan(start, end []byte, limit int) Iterator
+}
+
+// maxAttempts bounds Update/Batch/Scan retries before ErrConflict.
+const maxAttempts = 10_000
+
+// backoff yields, then sleeps with randomized exponential growth, between
+// conflicting attempts. The global rand functions are locked, so this is
+// safe from any goroutine.
+func backoff(attempt int) {
+	if attempt < 4 {
+		runtime.Gosched()
+		return
+	}
+	shift := attempt
+	if shift > 10 {
+		shift = 10
+	}
+	time.Sleep(time.Duration(1+rand.Intn(1<<shift)) * time.Microsecond)
+}
+
+// execOp applies one batch op through a Txn, mapping ErrNotFound into the
+// per-op result and returning only hard errors. Both implementations run
+// their Batch through this, so batch semantics cannot drift between them.
+func execOp(tx Txn, op Op) (OpResult, error) {
+	switch op.Kind {
+	case OpGet:
+		v, err := tx.Get(op.Key)
+		if errors.Is(err, ErrNotFound) {
+			return OpResult{Err: ErrNotFound}, nil
+		}
+		return OpResult{Value: v}, err
+	case OpPut:
+		return OpResult{}, tx.Put(op.Key, op.Value)
+	default:
+		err := tx.Delete(op.Key)
+		if errors.Is(err, ErrNotFound) {
+			return OpResult{Err: ErrNotFound}, nil
+		}
+		return OpResult{}, err
+	}
+}
+
+// batchViaUpdate is the shared Batch implementation: one Update transaction
+// executing every op in order.
+func batchViaUpdate(db DB, ops []Op) ([]OpResult, error) {
+	results := make([]OpResult, len(ops))
+	err := db.Update(func(tx Txn) error {
+		for i, op := range ops {
+			r, err := execOp(tx, op)
+			if err != nil {
+				return err
+			}
+			results[i] = r
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// entriesIter is a buffered Iterator over pre-collected entries, used for
+// snapshot scans that materialize their prefix before yielding.
+type entriesIter struct {
+	entries []Entry
+	pos     int
+	err     error
+}
+
+func (it *entriesIter) Next() bool {
+	if it.err != nil || it.pos >= len(it.entries) {
+		return false
+	}
+	it.pos++
+	return true
+}
+
+func (it *entriesIter) Key() []byte   { return it.entries[it.pos-1].Key }
+func (it *entriesIter) Value() []byte { return it.entries[it.pos-1].Value }
+func (it *entriesIter) Err() error    { return it.err }
+
+// errIter is an Iterator that failed before yielding anything.
+func errIter(err error) Iterator { return &entriesIter{err: err} }

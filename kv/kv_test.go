@@ -1,0 +1,289 @@
+package kv_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rhtm"
+	"rhtm/cluster"
+	"rhtm/internal/enginetest/dbtest"
+	"rhtm/kv"
+	"rhtm/store"
+)
+
+// newEngine builds the named engine on s with the given injected hardware
+// abort percentage (ignored by the software-only TL2).
+func newEngine(t *testing.T, s *rhtm.System, name string, inject int) rhtm.Engine {
+	t.Helper()
+	switch name {
+	case "RH1":
+		return rhtm.NewRH1(s, rhtm.RH1Options{MixPercent: 100, InjectAbortPercent: inject})
+	case "RH2":
+		return rhtm.NewRH2(s, rhtm.RH1Options{MixPercent: 100, InjectAbortPercent: inject})
+	case "TL2":
+		return rhtm.NewTL2(s)
+	case "StdHyTM":
+		return rhtm.NewStandardHyTM(s, rhtm.HWOptions{InjectAbortPercent: inject})
+	case "NoRec":
+		return rhtm.NewHybridNoRec(s, rhtm.HWOptions{InjectAbortPercent: inject})
+	case "Phased":
+		return rhtm.NewPhasedTM(s, rhtm.HWOptions{InjectAbortPercent: inject})
+	default:
+		t.Fatalf("unknown engine %q", name)
+		return nil
+	}
+}
+
+// allEngines is the full engine set the shared battery runs against.
+var allEngines = []string{"RH1", "RH2", "TL2", "StdHyTM", "NoRec", "Phased"}
+
+// localFactory builds a Local DB over a fresh System; shards=0 selects the
+// unsharded Store.
+func localFactory(engineName string, shards, inject int) dbtest.DBFactory {
+	return func(t *testing.T) (kv.DB, func() error) {
+		s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+		eng := newEngine(t, s, engineName, inject)
+		if shards == 0 {
+			st := store.New(s, store.Options{ArenaWords: 1 << 14})
+			return kv.NewLocal(eng, st), st.Validate
+		}
+		sh := store.NewSharded(s, shards, store.Options{ArenaWords: 1 << 13})
+		return kv.NewLocal(eng, sh), sh.Validate
+	}
+}
+
+// clusterFactory builds a ClusterDB over a fresh cluster with injected
+// hardware aborts, so both the engines' fallback paths and 2PC's abort path
+// get exercised.
+func clusterFactory(engineName string, systems, inject int) dbtest.DBFactory {
+	return func(t *testing.T) (kv.DB, func() error) {
+		c := cluster.MustNew(cluster.Config{
+			Systems:    systems,
+			DataWords:  1 << 15,
+			ArenaWords: 1 << 13,
+			NewEngine: func(s *rhtm.System) (rhtm.Engine, error) {
+				return newEngine(t, s, engineName, inject), nil
+			},
+		})
+		return kv.NewCluster(c), c.Validate
+	}
+}
+
+// TestDBConformance is the tentpole acceptance: ONE battery, every engine,
+// both implementations — the store-backed Local (sharded and unsharded) and
+// the 2PC cluster (multi- and single-System).
+func TestDBConformance(t *testing.T) {
+	for _, eng := range allEngines {
+		dbtest.RunDB(t, "Local/Sharded4/"+eng, localFactory(eng, 4, 10))
+		dbtest.RunDB(t, "Cluster3/"+eng, clusterFactory(eng, 3, 20))
+	}
+	// The unsharded store and the degenerate one-System cluster share the
+	// same contract; a spot check per family keeps the matrix tractable.
+	dbtest.RunDB(t, "Local/Store/RH1", localFactory("RH1", 0, 10))
+	dbtest.RunDB(t, "Local/Store/TL2", localFactory("TL2", 0, 0))
+	dbtest.RunDB(t, "Cluster1/RH1", clusterFactory("RH1", 1, 20))
+}
+
+// --- sentinel errors ---
+
+func TestSentinelNotFound(t *testing.T) {
+	for _, f := range map[string]dbtest.DBFactory{
+		"local":   localFactory("TL2", 2, 0),
+		"cluster": clusterFactory("TL2", 2, 0),
+	} {
+		db, _ := f(t)
+		if _, err := db.Get([]byte("nope")); !errors.Is(err, kv.ErrNotFound) {
+			t.Errorf("Get missing: %v, want ErrNotFound", err)
+		}
+		if err := db.Delete([]byte("nope")); !errors.Is(err, kv.ErrNotFound) {
+			t.Errorf("Delete missing: %v, want ErrNotFound", err)
+		}
+		err := db.Update(func(tx kv.Txn) error {
+			_, err := tx.Get([]byte("nope"))
+			if !errors.Is(err, kv.ErrNotFound) {
+				return fmt.Errorf("tx.Get missing: %v", err)
+			}
+			if err := tx.Delete([]byte("nope")); !errors.Is(err, kv.ErrNotFound) {
+				return fmt.Errorf("tx.Delete missing: %v", err)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestSentinelCapacity(t *testing.T) {
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 14))
+	st := store.New(s, store.Options{ArenaWords: 256})
+	db := kv.NewLocal(rhtm.NewTL2(s), st)
+	// Oversized value: the largest class is 1<<15 words of payload.
+	huge := make([]byte, 1<<19)
+	if err := db.Put([]byte("k"), huge); !errors.Is(err, kv.ErrTooLarge) {
+		t.Fatalf("oversized Put: %v, want ErrTooLarge", err)
+	}
+	// Fill the tiny arena until it reports exhaustion.
+	var err error
+	for i := 0; i < 64 && err == nil; i++ {
+		err = db.Put([]byte(fmt.Sprintf("key-%02d", i)), make([]byte, 64))
+	}
+	if !errors.Is(err, kv.ErrArenaFull) {
+		t.Fatalf("arena fill: %v, want ErrArenaFull", err)
+	}
+}
+
+// TestUpdateRetriesOnErrConflict: a closure returning ErrConflict is
+// re-executed (the explicit retry request of the policy), and nothing it
+// wrote in failed attempts survives.
+func TestUpdateRetriesOnErrConflict(t *testing.T) {
+	for name, f := range map[string]dbtest.DBFactory{
+		"local":   localFactory("TL2", 2, 0),
+		"cluster": clusterFactory("TL2", 2, 0),
+	} {
+		db, _ := f(t)
+		attempts := 0
+		err := db.Update(func(tx kv.Txn) error {
+			attempts++
+			if err := tx.Put([]byte("k"), []byte(fmt.Sprintf("attempt-%d", attempts))); err != nil {
+				return err
+			}
+			if attempts < 3 {
+				return kv.ErrConflict
+			}
+			return nil
+		})
+		if err != nil || attempts != 3 {
+			t.Fatalf("%s: err=%v attempts=%d, want nil/3", name, err, attempts)
+		}
+		v, err := db.Get([]byte("k"))
+		if err != nil || string(v) != "attempt-3" {
+			t.Fatalf("%s: k = %q, %v", name, v, err)
+		}
+	}
+}
+
+// --- cursor behavior ---
+
+// TestLocalCursorChunks: the in-transaction cursor fetches the index in
+// chunks; entries, order and bounds must be exact across chunk boundaries
+// (the chunk size is 32, so 100 keys cross several).
+func TestLocalCursorChunks(t *testing.T) {
+	db, _ := localFactory("TL2", 4, 0)(t)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := db.Update(func(tx kv.Txn) error {
+		it := tx.Scan([]byte("key-010"), []byte("key-090"), 0)
+		i := 10
+		for it.Next() {
+			if want := fmt.Sprintf("key-%03d", i); string(it.Key()) != want {
+				return fmt.Errorf("cursor at %q, want %q", it.Key(), want)
+			}
+			if want := fmt.Sprintf("v%d", i); string(it.Value()) != want {
+				return fmt.Errorf("cursor value %q, want %q", it.Value(), want)
+			}
+			i++
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+		if i != 90 {
+			return fmt.Errorf("cursor stopped at %d, want 90", i)
+		}
+		// Bounded cursor: exactly limit entries.
+		it = tx.Scan(nil, nil, 37)
+		count := 0
+		for it.Next() {
+			count++
+		}
+		if count != 37 {
+			return fmt.Errorf("limit 37 cursor yielded %d", count)
+		}
+		return it.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- batch amortization (acceptance criterion) ---
+
+// TestBatchAmortization: grouping independent puts into one transaction
+// must cost measurably fewer simulated shared accesses per operation than
+// one transaction per put — the per-transaction overhead (clock reads,
+// commit validation, metadata) amortizes over the batch.
+func TestBatchAmortization(t *testing.T) {
+	const ops = 64
+	run := func(batch int) float64 {
+		s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+		eng := rhtm.NewTL2(s)
+		sh := store.NewSharded(s, 4, store.Options{ArenaWords: 1 << 13})
+		db := kv.NewLocal(eng, sh)
+		val := bytes.Repeat([]byte{7}, 32)
+		if batch <= 1 {
+			for i := 0; i < ops; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("key-%03d", i)), val); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			for i := 0; i < ops; i += batch {
+				var group []kv.Op
+				for j := i; j < i+batch && j < ops; j++ {
+					group = append(group, kv.Op{Kind: kv.OpPut,
+						Key: []byte(fmt.Sprintf("key-%03d", j)), Value: val})
+				}
+				if _, err := db.Batch(group); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		st := eng.Snapshot()
+		total := st.Reads + st.Writes + st.MetadataReads + st.MetadataWrites
+		return float64(total) / float64(ops)
+	}
+	single := run(1)
+	batched := run(16)
+	t.Logf("accesses/op: single=%.1f batch16=%.1f", single, batched)
+	if batched >= single*0.95 {
+		t.Fatalf("batching shows no amortization: single=%.1f accesses/op, batch16=%.1f", single, batched)
+	}
+}
+
+// TestClusterDBHighConcurrency pins the client-pool policy: concurrency far
+// above any internal pool size must reuse pooled clients rather than
+// registering fresh engine threads per call (a dropped client leaks its
+// per-System thread registrations until NewThread panics).
+func TestClusterDBHighConcurrency(t *testing.T) {
+	db, validate := clusterFactory("TL2", 2, 0)(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 100; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := []byte(fmt.Sprintf("key-%03d", (g*7+i)%50))
+				if err := db.Put(key, []byte{byte(i)}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, err := db.Get(key); err != nil && !errors.Is(err, kv.ErrNotFound) {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := validate(); err != nil {
+		t.Fatal(err)
+	}
+}

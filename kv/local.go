@@ -1,0 +1,266 @@
+package kv
+
+import (
+	"errors"
+
+	"rhtm"
+	"rhtm/store"
+)
+
+// Storer is the transaction-level store surface a Local DB drives; both
+// store.Store and store.Sharded satisfy it.
+type Storer interface {
+	Get(tx rhtm.Tx, key []byte) ([]byte, bool)
+	Put(tx rhtm.Tx, key, value []byte) error
+	Delete(tx rhtm.Tx, key []byte) bool
+	ScanLimit(tx rhtm.Tx, start, end []byte, limit int, fn func(key, value []byte) bool)
+	Len(tx rhtm.Tx) int
+}
+
+var (
+	_ Storer = (*store.Store)(nil)
+	_ Storer = (*store.Sharded)(nil)
+)
+
+// Local implements DB over one simulated System: an rhtm engine supplies
+// the transactions, a store.Store or store.Sharded supplies the data. Every
+// DB operation is one engine transaction (Atomic), so atomicity, isolation
+// and rollback come from whichever engine — RH1, RH2, TL2, the hybrids —
+// the System runs.
+//
+// Local is safe for concurrent use by any number of goroutines: engine
+// threads are not, so Local multiplexes callers over an internal session
+// pool of at most maxSessions threads — excess callers queue for a free
+// session. The bound is what keeps a concurrency burst from registering
+// more engine threads than the System's MaxThreads allows (thread
+// registrations are permanent).
+type Local struct {
+	eng rhtm.Engine
+	st  Storer
+
+	// sessions holds maxSessions slots, pre-filled with nil placeholders;
+	// a nil slot lazily becomes a registered engine thread on first use.
+	sessions chan rhtm.Thread
+}
+
+// maxSessions bounds the engine threads (cluster: clients) a DB registers;
+// it is well under the engines' default 64-thread limit so direct engine
+// users can coexist with a DB on the same System.
+const maxSessions = 32
+
+// NewLocal builds a DB over an engine and a store on the same System. Call
+// during single-threaded setup.
+func NewLocal(eng rhtm.Engine, st Storer) *Local {
+	db := &Local{eng: eng, st: st, sessions: make(chan rhtm.Thread, maxSessions)}
+	for i := 0; i < maxSessions; i++ {
+		db.sessions <- nil
+	}
+	return db
+}
+
+// getThread claims a session, registering its engine thread on first use;
+// it blocks while all maxSessions sessions are in flight.
+func (db *Local) getThread() rhtm.Thread {
+	th := <-db.sessions
+	if th == nil {
+		th = db.eng.NewThread()
+	}
+	return th
+}
+
+func (db *Local) putThread(th rhtm.Thread) {
+	db.sessions <- th
+}
+
+// Update implements DB. The engine retries its own conflicts inside
+// Atomic, so the explicit loop here only serves closures that request a
+// retry by returning ErrConflict.
+func (db *Local) Update(fn func(tx Txn) error) error {
+	th := db.getThread()
+	defer db.putThread(th)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		err := th.Atomic(func(tx rhtm.Tx) error {
+			return fn(&localTxn{tx: tx, st: db.st})
+		})
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+		backoff(attempt)
+	}
+	return errRetriesExhausted()
+}
+
+// Get implements DB.
+func (db *Local) Get(key []byte) ([]byte, error) {
+	th := db.getThread()
+	defer db.putThread(th)
+	var val []byte
+	var ok bool
+	if err := th.Atomic(func(tx rhtm.Tx) error {
+		val, ok = db.st.Get(tx, key)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return val, nil
+}
+
+// Put implements DB.
+func (db *Local) Put(key, value []byte) error {
+	th := db.getThread()
+	defer db.putThread(th)
+	return th.Atomic(func(tx rhtm.Tx) error {
+		return db.st.Put(tx, key, value)
+	})
+}
+
+// Delete implements DB.
+func (db *Local) Delete(key []byte) error {
+	th := db.getThread()
+	defer db.putThread(th)
+	var ok bool
+	if err := th.Atomic(func(tx rhtm.Tx) error {
+		ok = db.st.Delete(tx, key)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !ok {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Batch implements DB: one engine transaction executes every op in order.
+func (db *Local) Batch(ops []Op) ([]OpResult, error) {
+	return batchViaUpdate(db, ops)
+}
+
+// Scan implements DB: the prefix is collected inside one engine
+// transaction, so it is a committed snapshot by construction.
+func (db *Local) Scan(start, end []byte, limit int) Iterator {
+	var entries []Entry
+	err := db.Update(func(tx Txn) error {
+		entries = entries[:0]
+		it := tx.Scan(start, end, limit)
+		for it.Next() {
+			entries = append(entries, Entry{Key: it.Key(), Value: it.Value()})
+		}
+		return it.Err()
+	})
+	if err != nil {
+		return errIter(err)
+	}
+	return &entriesIter{entries: entries}
+}
+
+// errRetriesExhausted builds the ErrConflict-wrapping failure Update
+// returns after maxAttempts.
+func errRetriesExhausted() error {
+	return &retriesError{}
+}
+
+type retriesError struct{}
+
+func (*retriesError) Error() string { return "kv: update exhausted retries: " + ErrConflict.Error() }
+func (*retriesError) Unwrap() error { return ErrConflict }
+
+// localTxn adapts one live engine transaction to the Txn interface.
+type localTxn struct {
+	tx rhtm.Tx
+	st Storer
+}
+
+// Get implements Txn.
+func (t *localTxn) Get(key []byte) ([]byte, error) {
+	v, ok := t.st.Get(t.tx, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// Put implements Txn.
+func (t *localTxn) Put(key, value []byte) error {
+	return t.st.Put(t.tx, key, value)
+}
+
+// Delete implements Txn.
+func (t *localTxn) Delete(key []byte) error {
+	if !t.st.Delete(t.tx, key) {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Scan implements Txn with a lazy cursor: chunks of the ordered index are
+// fetched on demand inside the live transaction, each chunk resuming at the
+// successor of the last key seen, so short scans touch only the entries
+// they yield. All chunks run in the same transaction, so the cursor is a
+// consistent snapshot regardless.
+func (t *localTxn) Scan(start, end []byte, limit int) Iterator {
+	return &localIter{t: t, next: start, end: end, remaining: limit, unbounded: limit <= 0}
+}
+
+// scanChunk is how many entries a cursor fetches per index descent.
+const scanChunk = 32
+
+type localIter struct {
+	t         *localTxn
+	next      []byte // resume bound for the next chunk (nil only before any chunk when start was nil)
+	end       []byte
+	remaining int
+	unbounded bool
+	buf       []Entry
+	pos       int
+	done      bool
+	cur       Entry
+}
+
+func (it *localIter) Next() bool {
+	if it.pos >= len(it.buf) && !it.done {
+		it.fill()
+	}
+	if it.pos >= len(it.buf) {
+		return false
+	}
+	it.cur = it.buf[it.pos]
+	it.pos++
+	if !it.unbounded {
+		it.remaining--
+	}
+	return true
+}
+
+func (it *localIter) fill() {
+	want := scanChunk
+	if !it.unbounded && it.remaining < want {
+		want = it.remaining
+	}
+	it.buf = it.buf[:0]
+	it.pos = 0
+	if want == 0 {
+		it.done = true
+		return
+	}
+	it.t.st.ScanLimit(it.t.tx, it.next, it.end, want, func(k, v []byte) bool {
+		it.buf = append(it.buf, Entry{Key: k, Value: v})
+		return true
+	})
+	if len(it.buf) < want {
+		it.done = true
+	}
+	if n := len(it.buf); n > 0 {
+		// Resume strictly after the last yielded key: its immediate
+		// successor in bytewise order is the key with a 0x00 appended.
+		last := it.buf[n-1].Key
+		it.next = append(append(make([]byte, 0, len(last)+1), last...), 0)
+	}
+}
+
+func (it *localIter) Key() []byte   { return it.cur.Key }
+func (it *localIter) Value() []byte { return it.cur.Value }
+func (it *localIter) Err() error    { return nil }

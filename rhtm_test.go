@@ -130,3 +130,59 @@ func TestGV5ClockMode(t *testing.T) {
 		t.Fatal("GV5 engine lost a write")
 	}
 }
+
+// TestRH2SlowPathLockTimeValidation is the regression test for a lost-update
+// hole in RH2's software commit: phase 3 skips read-set stripes the
+// transaction itself write-locked, so phase 1 must validate the version each
+// lock replaces against tx_version (as TL2's lock phase does). Without that
+// check, a transaction that read a word, then lost the race to a full commit
+// on the same stripe, locks it blindly and writes back its stale
+// read-modify-write — silently erasing the other commit.
+//
+// The interleaving is forced deterministically: T1 reads the word and parks
+// mid-body while T2 runs a complete increment transaction on it; T1 then
+// proceeds to commit. A correct engine must abort T1's first attempt and
+// re-run its body.
+func TestRH2SlowPathLockTimeValidation(t *testing.T) {
+	s := MustNewSystem(DefaultConfig(1 << 12))
+	eng := NewRH2(s, RH1Options{SlowOnly: true, MixPercent: 100})
+	word := s.MustAlloc(1)
+	s.Poke(word, 1000)
+
+	t1Read := make(chan struct{})
+	t2Done := make(chan struct{})
+	go func() {
+		<-t1Read
+		th2 := eng.NewThread()
+		if err := th2.Atomic(func(tx Tx) error {
+			tx.Store(word, tx.Load(word)+100)
+			return nil
+		}); err != nil {
+			t.Errorf("T2: %v", err)
+		}
+		close(t2Done)
+	}()
+
+	th1 := eng.NewThread()
+	attempts := 0
+	if err := th1.Atomic(func(tx Tx) error {
+		v := tx.Load(word)
+		attempts++
+		if attempts == 1 {
+			// Park between the read and the commit-time lock while T2
+			// commits an increment to the same stripe.
+			close(t1Read)
+			<-t2Done
+		}
+		tx.Store(word, v+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts < 2 {
+		t.Errorf("T1 committed on attempt 1 despite an intervening commit on its write stripe")
+	}
+	if got := s.Load(word); got != 1101 {
+		t.Fatalf("word = %d, want 1101 (1000 + T2's 100 + T1's 1); T2's commit was overwritten", got)
+	}
+}

@@ -17,6 +17,11 @@ const numClasses = 16
 // unchanged.
 var ErrArenaFull = errors.New("store: arena exhausted")
 
+// ErrTooLarge is returned (wrapped, with the sizes) by allocation when the
+// requested block exceeds the largest size class — a key or value too big
+// for the store, as opposed to a store that is merely full.
+var ErrTooLarge = errors.New("store: block exceeds the largest size class")
+
 // Arena is a transactional size-class free-list allocator over a region of
 // simulated memory. All allocator state — the bump pointer and one
 // free-list head per power-of-two size class — lives in simulated words and
@@ -35,6 +40,7 @@ type Arena struct {
 	words int
 	bump  rhtm.Addr // one word: address of the next unused block
 	heads rhtm.Addr // numClasses words: free-list heads
+	ctrs  rhtm.Addr // numClasses words: free words per class (O(1) Stats)
 }
 
 // NewArena carves an arena of the given word count out of the system heap.
@@ -44,6 +50,7 @@ func NewArena(s *rhtm.System, words int) *Arena {
 		sys:   s,
 		bump:  s.MustAlloc(1),
 		heads: s.MustAlloc(numClasses),
+		ctrs:  s.MustAlloc(numClasses),
 		base:  s.MustAlloc(words),
 		words: words,
 	}
@@ -67,12 +74,14 @@ func classOf(n int) int {
 func (a *Arena) TxAlloc(tx rhtm.Tx, words int) (rhtm.Addr, error) {
 	c := classOf(words)
 	if c >= numClasses {
-		return 0, fmt.Errorf("store: block of %d words exceeds the largest class (%d words)",
-			words, 1<<(numClasses-1))
+		return 0, fmt.Errorf("store: block of %d words exceeds the largest class (%d words): %w",
+			words, 1<<(numClasses-1), ErrTooLarge)
 	}
 	headAddr := a.heads + rhtm.Addr(c)
 	if head := tx.Load(headAddr); head != uint64(rhtm.NilAddr) {
 		tx.Store(headAddr, tx.Load(rhtm.Addr(head)))
+		ctr := a.ctrs + rhtm.Addr(c)
+		tx.Store(ctr, tx.Load(ctr)-uint64(1)<<c)
 		return rhtm.Addr(head), nil
 	}
 	p := tx.Load(a.bump)
@@ -91,6 +100,8 @@ func (a *Arena) TxFree(tx rhtm.Tx, addr rhtm.Addr, words int) {
 	headAddr := a.heads + rhtm.Addr(c)
 	tx.Store(addr, tx.Load(headAddr))
 	tx.Store(headAddr, uint64(addr))
+	ctr := a.ctrs + rhtm.Addr(c)
+	tx.Store(ctr, tx.Load(ctr)+uint64(1)<<c)
 }
 
 // Words returns the arena capacity in words.
@@ -109,21 +120,33 @@ type ArenaStats struct {
 	LiveWords     int
 }
 
-// Stats gathers occupancy counters under tx by walking the free lists (no
-// hot-path bookkeeping is maintained for this; cost is one load per free
-// block, so call it from reporting paths, not per-operation).
+// Stats gathers occupancy counters under tx in O(numClasses): the per-class
+// free-word counters are maintained incrementally by TxAlloc/TxFree (the
+// counter cells share a conflict footprint with the free-list heads they
+// mirror), so Stats costs one load per class instead of one per free block
+// and is safe to poll from running workloads.
 func (a *Arena) Stats(tx rhtm.Tx) ArenaStats {
 	s := ArenaStats{
 		CapacityWords: a.words,
 		BumpedWords:   int(tx.Load(a.bump) - uint64(a.base)),
 	}
 	for c := 0; c < numClasses; c++ {
-		for n := tx.Load(a.heads + rhtm.Addr(c)); n != uint64(rhtm.NilAddr); n = tx.Load(rhtm.Addr(n)) {
-			s.FreeListWords += 1 << c
-		}
+		s.FreeListWords += int(tx.Load(a.ctrs + rhtm.Addr(c)))
 	}
 	s.LiveWords = s.BumpedWords - s.FreeListWords
 	return s
+}
+
+// walkFreeWords recounts the free-list words by full traversal — the O(n)
+// ground truth the incremental counters must match. Validation only.
+func (a *Arena) walkFreeWords(tx rhtm.Tx) int {
+	total := 0
+	for c := 0; c < numClasses; c++ {
+		for n := tx.Load(a.heads + rhtm.Addr(c)); n != uint64(rhtm.NilAddr); n = tx.Load(rhtm.Addr(n)) {
+			total += 1 << c
+		}
+	}
+	return total
 }
 
 // BumpedWords returns how many words the bump frontier has consumed

@@ -200,6 +200,20 @@ func (st *Store) takeIntent(tx rhtm.Tx, key []byte, txid uint64) ([]byte, error)
 	return payload, nil
 }
 
+// HasIntentInRange reports whether any key in [start, end) (nil bounds are
+// unbounded) has a pending intent. Range readers — the cluster's snapshot
+// scans — use it the way single-key readers use IntentOn: a pending intent
+// makes part of the range undecided, so the scan waits for resolution
+// instead of returning values that may be mid-replacement.
+func (st *Store) HasIntentInRange(tx rhtm.Tx, start, end []byte) bool {
+	found := false
+	st.intents.Scan(tx, start, end, func(uint64) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
 // PendingIntents returns the number of keys with an intent installed.
 func (st *Store) PendingIntents(tx rhtm.Tx) int {
 	return int(tx.Load(st.intentCount))

@@ -108,6 +108,39 @@ func (sh *Sharded) Scan(tx rhtm.Tx, start, end []byte, fn func(key, value []byte
 	}
 }
 
+// ScanLimit visits at most the first limit in-range entries (limit <= 0 is
+// unbounded). Unlike Scan — which must read every shard's whole range
+// before merging — each shard contributes at most limit entries, so short
+// ordered reads (cursor chunks, YCSB-E scans) cost O(limit × shards)
+// instead of O(range).
+func (sh *Sharded) ScanLimit(tx rhtm.Tx, start, end []byte, limit int, fn func(key, value []byte) bool) {
+	if limit <= 0 {
+		sh.Scan(tx, start, end, fn)
+		return
+	}
+	type pair struct{ k, v []byte }
+	var all []pair
+	for _, st := range sh.shards {
+		n := 0
+		st.Scan(tx, start, end, func(k, v []byte) bool {
+			all = append(all, pair{k: k, v: v})
+			n++
+			return n < limit
+		})
+	}
+	// The global first limit entries are within the union of each shard's
+	// first limit entries, so the merged prefix is exact.
+	sort.Slice(all, func(i, j int) bool { return string(all[i].k) < string(all[j].k) })
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	for _, p := range all {
+		if !fn(p.k, p.v) {
+			return
+		}
+	}
+}
+
 // Validate checks every shard's invariants. Only call while no transactions
 // are in flight.
 func (sh *Sharded) Validate() error {

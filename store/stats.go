@@ -37,9 +37,10 @@ func (s Stats) String() string {
 		s.Arena.BumpedWords, s.Arena.FreeListWords, s.Arena.LiveWords)
 }
 
-// Stats gathers the store's counters under tx. The arena part walks the
-// free lists, so use it from reporting paths (or with containers.SetupTx
-// while quiescent), not per-operation.
+// Stats gathers the store's counters under tx. Every field is an O(1)
+// snapshot of an incrementally maintained counter (the arena's free-word
+// totals included — see Arena.Stats), so it is safe to poll from running
+// workloads, not just from quiescent reporting paths.
 func (st *Store) Stats(tx rhtm.Tx) Stats {
 	return Stats{
 		LiveKeys:       st.Len(tx),

@@ -208,6 +208,20 @@ func (st *Store) Scan(tx rhtm.Tx, start, end []byte, fn func(key, value []byte) 
 	})
 }
 
+// ScanLimit is Scan bounded to the first limit entries (limit <= 0 is
+// unbounded). On a single Store it is sugar; on Sharded it is the cheap
+// form — see Sharded.ScanLimit.
+func (st *Store) ScanLimit(tx rhtm.Tx, start, end []byte, limit int, fn func(key, value []byte) bool) {
+	n := 0
+	st.Scan(tx, start, end, func(k, v []byte) bool {
+		n++
+		if !fn(k, v) {
+			return false
+		}
+		return limit <= 0 || n < limit
+	})
+}
+
 // Len returns the number of live entries.
 func (st *Store) Len(tx rhtm.Tx) int {
 	return int(tx.Load(st.count))
@@ -233,6 +247,10 @@ func (st *Store) Validate() error {
 	if n := st.intents.Len(tx); n != st.PendingIntents(tx) {
 		return fmt.Errorf("store: intent count word %d != %d traversed intents",
 			st.PendingIntents(tx), n)
+	}
+	if walked, counted := st.arena.walkFreeWords(tx), st.arena.Stats(tx).FreeListWords; walked != counted {
+		return fmt.Errorf("store: free-list counters say %d free words, walk finds %d",
+			counted, walked)
 	}
 	return nil
 }

@@ -9,7 +9,6 @@ import (
 
 	"rhtm"
 	"rhtm/containers"
-	"rhtm/internal/enginetest"
 )
 
 func newSys(words int) *rhtm.System {
@@ -123,6 +122,62 @@ func TestArenaAbortRollback(t *testing.T) {
 	}
 	if got := a.BumpedWords(); got != before {
 		t.Fatalf("aborted alloc moved the bump pointer: %d -> %d", before, got)
+	}
+}
+
+// TestArenaStatsCountersMatchWalk: Stats reads incrementally maintained
+// per-class free-word counters (O(1)); they must agree with a full
+// free-list traversal after arbitrary alloc/free churn, including aborted
+// transactions (whose counter updates must roll back with the lists).
+func TestArenaStatsCountersMatchWalk(t *testing.T) {
+	s := newSys(1 << 15)
+	a := NewArena(s, 4096)
+	eng := rhtm.NewTL2(s)
+	th := eng.NewThread()
+	rng := rand.New(rand.NewSource(9))
+	var live []struct {
+		addr  rhtm.Addr
+		words int
+	}
+	sentinel := fmt.Errorf("abort")
+	for i := 0; i < 200; i++ {
+		abort := rng.Intn(5) == 0
+		err := th.Atomic(func(tx rhtm.Tx) error {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				b := live[len(live)-1]
+				a.TxFree(tx, b.addr, b.words)
+				if !abort {
+					live = live[:len(live)-1]
+				}
+			} else {
+				w := rng.Intn(40) + 1
+				addr, err := a.TxAlloc(tx, w)
+				if err != nil {
+					return err
+				}
+				if !abort {
+					live = append(live, struct {
+						addr  rhtm.Addr
+						words int
+					}{addr, w})
+				}
+			}
+			if abort {
+				return sentinel
+			}
+			return nil
+		})
+		if err != nil && err != sentinel {
+			t.Fatal(err)
+		}
+	}
+	tx := containers.SetupTx(s)
+	st := a.Stats(tx)
+	if walked := a.walkFreeWords(tx); walked != st.FreeListWords {
+		t.Fatalf("counters say %d free words, walk finds %d", st.FreeListWords, walked)
+	}
+	if st.LiveWords != st.BumpedWords-st.FreeListWords {
+		t.Fatalf("live %d != bumped %d - free %d", st.LiveWords, st.BumpedWords, st.FreeListWords)
 	}
 }
 
@@ -289,40 +344,9 @@ func TestShardedBasicsAndMergedScan(t *testing.T) {
 	}
 }
 
-// --- conformance battery across engines ---
-
-// storeFactory builds a fresh system+engine+store; shards=0 selects the
-// unsharded Store.
-func storeFactory(engineName string, shards int) enginetest.KVFactory {
-	return func(t *testing.T) (rhtm.Engine, enginetest.KV) {
-		s := newSys(1 << 17)
-		var kv enginetest.KV
-		if shards == 0 {
-			kv = New(s, Options{ArenaWords: 1 << 14})
-		} else {
-			kv = NewSharded(s, shards, Options{ArenaWords: 1 << 13})
-		}
-		var eng rhtm.Engine
-		switch engineName {
-		case "RH1":
-			eng = rhtm.NewRH1(s, rhtm.DefaultRH1Options())
-		case "TL2":
-			eng = rhtm.NewTL2(s)
-		case "StdHyTM":
-			eng = rhtm.NewStandardHyTM(s, rhtm.HWOptions{})
-		default:
-			t.Fatalf("unknown engine %q", engineName)
-		}
-		return eng, kv
-	}
-}
-
-func TestStoreConformance(t *testing.T) {
-	for _, eng := range []string{"RH1", "TL2", "StdHyTM"} {
-		enginetest.RunKV(t, "Store/"+eng, storeFactory(eng, 0))
-		enginetest.RunKV(t, "Sharded4/"+eng, storeFactory(eng, 4))
-	}
-}
+// The cross-engine conformance battery (enginetest.RunDB) runs from the kv
+// package's tests against both this store and the cluster — importing it
+// here would cycle through kv.
 
 // TestCrossShardAtomicity moves a key-value pair between two keys pinned to
 // different shards while auditors verify it lives in exactly one place.
