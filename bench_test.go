@@ -310,6 +310,50 @@ func BenchmarkClusterBank(b *testing.B) {
 	}
 }
 
+// --- Extension: coordination scenarios (revisions, leases, watches) ---
+
+// BenchmarkSessionCache measures the lease-TTL'd session cache: zipfian
+// gets with miss-driven logins (lease grant + leased put) under continuous
+// virtual-time expiry churn, on both backends.
+func BenchmarkSessionCache(b *testing.B) {
+	engines := []string{harness.EngRH1Mix2, harness.EngTL2}
+	for _, backend := range []string{harness.BackendStore, harness.BackendCluster} {
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("%s/%s", backend, eng), func(b *testing.B) {
+				spec := harness.KVSpec{Mix: "session", Records: 512, ValueBytes: 32,
+					Backend: backend, TTL: 8, PumpEvery: 32}
+				if backend == harness.BackendCluster {
+					spec.Systems = 4
+				} else {
+					spec.Shards = 4
+				}
+				benchKV(b, spec, eng, 4)
+			})
+		}
+	}
+}
+
+// BenchmarkLockService measures the lease-based lock service: create-only
+// CAS acquires, guarded releases, crash-expiry reclaims, and the in-run
+// mutual-exclusion audit, on both backends.
+func BenchmarkLockService(b *testing.B) {
+	engines := []string{harness.EngRH1Mix2, harness.EngTL2}
+	for _, backend := range []string{harness.BackendStore, harness.BackendCluster} {
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("%s/%s", backend, eng), func(b *testing.B) {
+				spec := harness.KVSpec{Mix: "lock", Records: 64,
+					Backend: backend, TTL: 8, PumpEvery: 32}
+				if backend == harness.BackendCluster {
+					spec.Systems = 4
+				} else {
+					spec.Shards = 4
+				}
+				benchKV(b, spec, eng, 4)
+			})
+		}
+	}
+}
+
 // --- Extension: real (mutating) red-black tree, enabled by the safe HTM ---
 
 func BenchmarkExtRealRBTree(b *testing.B) {

@@ -98,7 +98,18 @@ func (cl *Client) batchLocal(nodeID int, keys []batchKey, ops []BatchOp, results
 	err := cl.localRetry(func() error {
 		return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
 			for i := range keys {
-				if _, held := n.st.IntentOn(tx, keys[i].key); held {
+				written := false
+				for _, op := range keys[i].ops {
+					if ops[op].Kind != BatchGet {
+						written = true
+						break
+					}
+				}
+				if written {
+					if n.st.AnyIntentOn(tx, keys[i].key) {
+						return errConflict
+					}
+				} else if _, held := n.st.WriteIntentOn(tx, keys[i].key); held {
 					return errConflict
 				}
 			}
@@ -237,7 +248,7 @@ func (cl *Client) prepareBatch(nodeID int, txid uint64, keys []batchKey, ops []B
 					kind = store.IntentDelete
 				}
 			}
-			if err := n.st.PrepareIntent(tx, bk.key, txid, kind, ival); err != nil {
+			if err := n.st.PrepareIntent(tx, bk.key, txid, kind, ival, 0); err != nil {
 				if err == store.ErrIntentHeld {
 					return errConflict
 				}

@@ -61,6 +61,9 @@ type Config struct {
 	// store.DefaultArenaWords). Size it for records plus in-flight intents
 	// (store.RecordFootprintWords / store.IntentFootprintWords).
 	ArenaWords int
+	// LogWords sizes each System's commit-event ring (default
+	// store.DefaultLogWords) — the bounded log kv.Watch streams from.
+	LogWords int
 	// MaxThreads bounds clients per System engine (default 64; one engine
 	// thread per System is created for every NewClient call).
 	MaxThreads int
@@ -158,8 +161,11 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ArenaWords <= 0 {
 		cfg.ArenaWords = store.DefaultArenaWords
 	}
+	if cfg.LogWords <= 0 {
+		cfg.LogWords = store.DefaultLogWords
+	}
 	if cfg.DataWords <= 0 {
-		cfg.DataWords = cfg.ArenaWords + 1<<13
+		cfg.DataWords = cfg.ArenaWords + cfg.LogWords + 1<<13
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 10_000
@@ -187,7 +193,7 @@ func New(cfg Config) (*Cluster, error) {
 			id:  i,
 			sys: sys,
 			eng: eng,
-			st:  store.New(sys, store.Options{ArenaWords: cfg.ArenaWords}),
+			st:  store.New(sys, store.Options{ArenaWords: cfg.ArenaWords, LogWords: cfg.LogWords}),
 		})
 	}
 	return c, nil

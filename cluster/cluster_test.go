@@ -232,7 +232,7 @@ func TestPrepareConflictAborts(t *testing.T) {
 	// Park a foreign intent on keyB's System.
 	nb := c.Node(c.Router().SystemFor(keyB))
 	setup := containers.SetupTx(nb.System())
-	if err := nb.Store().PrepareIntent(setup, keyB, 999, store.IntentPut, []byte("parked")); err != nil {
+	if err := nb.Store().PrepareIntent(setup, keyB, 999, store.IntentPut, []byte("parked"), 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -289,7 +289,7 @@ func TestIntentBlocksReaders(t *testing.T) {
 	}
 	n := c.Node(c.Router().SystemFor([]byte("k")))
 	setup := containers.SetupTx(n.System())
-	if err := n.Store().PrepareIntent(setup, []byte("k"), 7, store.IntentPut, []byte("new")); err != nil {
+	if err := n.Store().PrepareIntent(setup, []byte("k"), 7, store.IntentPut, []byte("new"), 0); err != nil {
 		t.Fatal(err)
 	}
 	cl := c.NewClient()
@@ -434,7 +434,7 @@ func TestBatchConflictAborts(t *testing.T) {
 	keyA, keyB := crossPair(t, c)
 	nb := c.Node(c.Router().SystemFor(keyB))
 	setup := containers.SetupTx(nb.System())
-	if err := nb.Store().PrepareIntent(setup, keyB, 999, store.IntentPut, []byte("parked")); err != nil {
+	if err := nb.Store().PrepareIntent(setup, keyB, 999, store.IntentPut, []byte("parked"), 0); err != nil {
 		t.Fatal(err)
 	}
 	cl := c.NewClient()
@@ -503,7 +503,7 @@ func TestScanSnapshotOrderedAndBlocked(t *testing.T) {
 	victim := []byte("k15")
 	n := c.Node(c.Router().SystemFor(victim))
 	setup := containers.SetupTx(n.System())
-	if err := n.Store().PrepareIntent(setup, victim, 7, store.IntentPut, []byte("new")); err != nil {
+	if err := n.Store().PrepareIntent(setup, victim, 7, store.IntentPut, []byte("new"), 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := cl.ScanSnapshot([]byte("k10"), []byte("k20"), 0); !errors.Is(err, ErrContention) {
@@ -551,6 +551,54 @@ func TestTxnScanOverlay(t *testing.T) {
 		return nil
 	})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedReadIntentsCluster: a pending *read* intent no longer blocks
+// readers or snapshot scans — only writers — and read intents from
+// different transactions coexist on one key (the intent-aware read-sharing
+// follow-up from the ROADMAP).
+func TestSharedReadIntentsCluster(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.MaxAttempts = 4
+	c := MustNew(cfg)
+	if err := c.Load([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node(c.Router().SystemFor([]byte("k")))
+	setup := containers.SetupTx(n.System())
+	// Two foreign transactions pin the key with shared read intents.
+	if err := n.Store().PrepareIntent(setup, []byte("k"), 101, store.IntentRead, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Store().PrepareIntent(setup, []byte("k"), 102, store.IntentRead, nil, 0); err != nil {
+		t.Fatalf("second reader refused to share: %v", err)
+	}
+
+	cl := c.NewClient()
+	// Reads and snapshot scans pass straight through the pinned key.
+	if v, ok, err := cl.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get under read intents = %q,%v,%v", v, ok, err)
+	}
+	if entries, err := cl.ScanSnapshot(nil, nil, 0); err != nil || len(entries) != 1 {
+		t.Fatalf("ScanSnapshot under read intents = %v, %v", entries, err)
+	}
+	// Writers must wait for the pinned readers (bounded: ErrContention).
+	if err := cl.Put([]byte("k"), []byte("w")); !errors.Is(err, ErrContention) {
+		t.Fatalf("Put under read intents err = %v, want ErrContention", err)
+	}
+	// Releasing both readers unblocks the writer.
+	if err := n.Store().ApplyIntent(setup, []byte("k"), 101); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Store().DiscardIntent(setup, []byte("k"), 102); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put([]byte("k"), []byte("w")); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Validate(); err != nil {

@@ -18,15 +18,17 @@ import (
 // both passes observe identical entries is the result returned: any commit
 // that landed between the per-System reads of pass one flips a key and
 // fails the comparison, so a returned snapshot is the committed state at
-// some instant between the two passes. The validation is value-based and
-// shares standard OCC's ABA blindness: a key changed and changed back
-// between the passes is undetectable — acceptable here for the same reason
-// it is in TL2-style read validation.
+// some instant between the two passes. The comparison is by per-entry
+// *revision* (the store's monotonic commit version), which closes the ABA
+// hole value-based validation has: a key changed and changed back between
+// the passes still advanced its revision and fails the comparison.
 
-// Entry is one key-value pair of a snapshot scan, in ascending key order.
+// Entry is one key-value pair of a snapshot scan, in ascending key order,
+// with the revision its value was committed at.
 type Entry struct {
 	Key   []byte
 	Value []byte
+	Rev   uint64
 }
 
 // ScanSnapshot returns a consistent ordered snapshot of the keys in
@@ -66,12 +68,13 @@ func (cl *Client) ScanSnapshot(start, end []byte, limit int) ([]Entry, error) {
 // scanOnce collects one pass: per System, one engine transaction gathering
 // up to limit in-range entries (each System can contribute at most limit of
 // the merged prefix), conflicting when the *observed* range holds a pending
-// intent. The intent check is bounded to what the System actually yielded:
-// when its collection stops at the limit with last key L, only [start,
-// succ(L)) must be intent-free — an intent past L is for a key that cannot
-// enter the merged prefix, because this System alone already has limit keys
-// ≤ L, so the limit-th smallest key overall is ≤ L. A collection that
-// exhausts the range is checked over all of [start, end), which also
+// write intent (shared read intents pin values without changing them and do
+// not block scans). The intent check is bounded to what the System actually
+// yielded: when its collection stops at the limit with last key L, only
+// [start, succ(L)) must be intent-free — an intent past L is for a key that
+// cannot enter the merged prefix, because this System alone already has
+// limit keys ≤ L, so the limit-th smallest key overall is ≤ L. A collection
+// that exhausts the range is checked over all of [start, end), which also
 // catches intents for keys *absent* from the index (a pending cross-System
 // insert is a phantom-in-waiting).
 func (cl *Client) scanOnce(start, end []byte, limit int) ([]Entry, error) {
@@ -80,8 +83,8 @@ func (cl *Client) scanOnce(start, end []byte, limit int) ([]Entry, error) {
 		var local []Entry
 		err := cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
 			local = local[:0]
-			n.st.ScanLimit(tx, start, end, limit, func(k, v []byte) bool {
-				local = append(local, Entry{Key: k, Value: v})
+			n.st.ScanLimitRev(tx, start, end, limit, func(k, v []byte, rev uint64) bool {
+				local = append(local, Entry{Key: k, Value: v, Rev: rev})
 				return true
 			})
 			checkEnd := end
@@ -89,7 +92,7 @@ func (cl *Client) scanOnce(start, end []byte, limit int) ([]Entry, error) {
 				last := local[len(local)-1].Key
 				checkEnd = append(append(make([]byte, 0, len(last)+1), last...), 0)
 			}
-			if n.st.HasIntentInRange(tx, start, checkEnd) {
+			if n.st.HasWriteIntentInRange(tx, start, checkEnd) {
 				return errConflict
 			}
 			return nil
@@ -106,13 +109,15 @@ func (cl *Client) scanOnce(start, end []byte, limit int) ([]Entry, error) {
 	return all, nil
 }
 
-// scansEqual reports whether two passes observed identical entries.
+// scansEqual reports whether two passes observed identical entries, by key
+// and revision: equal revisions imply equal values (every write advances
+// the revision), with no ABA blind spot.
 func scansEqual(a, b []Entry) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+		if !bytes.Equal(a[i].Key, b[i].Key) || a[i].Rev != b[i].Rev {
 			return false
 		}
 	}

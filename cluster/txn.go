@@ -55,47 +55,65 @@ func (cl *Client) backoff(attempt int) {
 }
 
 // Get returns key's committed value with a local transaction on the owning
-// System. A pending intent makes the value undecided (its cross-System
-// writer may commit or abort), so the read waits for resolution rather
-// than returning a value that may be mid-replacement.
+// System. A pending *write* intent makes the value undecided (its
+// cross-System writer may commit or abort), so the read waits for
+// resolution rather than returning a value that may be mid-replacement;
+// shared read intents pin values without changing them and never block a
+// read.
 func (cl *Client) Get(key []byte) ([]byte, bool, error) {
-	val, ok, err := cl.readCommitted(key)
+	rec, err := cl.readCommitted(key)
 	if err == nil {
 		cl.c.localTxns.Add(1)
 	}
-	return val, ok, err
+	return rec.val, rec.ok, err
+}
+
+// GetRev is Get with the key's revision — the owning System's monotonic
+// commit version, the token conditional writes are guarded by.
+func (cl *Client) GetRev(key []byte) ([]byte, uint64, bool, error) {
+	rec, err := cl.readCommitted(key)
+	if err == nil {
+		cl.c.localTxns.Add(1)
+	}
+	return rec.val, rec.rev, rec.ok, err
 }
 
 // readCommitted is Get without the local-transaction counter bump: Txn
 // read-throughs use it so the harness's local-vs-cross traffic split counts
 // client-level operations, not the reads a cross-System transaction issues
-// while building its snapshot.
-func (cl *Client) readCommitted(key []byte) ([]byte, bool, error) {
+// while building its snapshot. The returned record carries the value, its
+// revision, and its lease attachment.
+func (cl *Client) readCommitted(key []byte) (readRec, error) {
 	n := cl.c.nodes[cl.c.router.SystemFor(key)]
-	var val []byte
-	var ok bool
+	var rec readRec
 	err := cl.localRetry(func() error {
 		return cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
-			if _, held := n.st.IntentOn(tx, key); held {
+			if _, held := n.st.WriteIntentOn(tx, key); held {
 				return errConflict
 			}
-			val, ok = n.st.Get(tx, key)
+			rec.val, rec.rev, rec.lease, rec.ok = n.st.Read(tx, key)
+			rec.leaseKnown = true
 			return nil
 		})
 	})
-	return val, ok, err
+	return rec, err
 }
 
 // Put stores key→value with a local transaction on the owning System,
-// waiting out any pending intent.
+// waiting out any pending intent (writers wait for pinned readers too).
 func (cl *Client) Put(key, value []byte) error {
+	return cl.PutLease(key, value, 0)
+}
+
+// PutLease is Put with a lease attachment (0 detaches).
+func (cl *Client) PutLease(key, value []byte, lease uint64) error {
 	n := cl.c.nodes[cl.c.router.SystemFor(key)]
 	err := cl.localRetry(func() error {
 		return cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
-			if _, held := n.st.IntentOn(tx, key); held {
+			if n.st.AnyIntentOn(tx, key) {
 				return errConflict
 			}
-			return n.st.Put(tx, key, value)
+			return n.st.PutLease(tx, key, value, lease)
 		})
 	})
 	if err == nil {
@@ -111,7 +129,7 @@ func (cl *Client) Delete(key []byte) (bool, error) {
 	var present bool
 	err := cl.localRetry(func() error {
 		return cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
-			if _, held := n.st.IntentOn(tx, key); held {
+			if n.st.AnyIntentOn(tx, key) {
 				return errConflict
 			}
 			present = n.st.Delete(tx, key)
@@ -154,14 +172,24 @@ func copyVal(v []byte) []byte {
 
 // writeRec is one buffered write.
 type writeRec struct {
-	val []byte
-	del bool
+	val   []byte
+	lease uint64
+	del   bool
 }
 
-// readRec is one recorded committed read (the snapshot commit validates).
+// readRec is one recorded committed read. Commit validates the observation
+// by revision: a key's revision changes on every write, so equal revisions
+// imply the value (and lease) are untouched — strictly stronger than the
+// value comparison it replaces, since it also catches ABA (a key changed
+// and changed back still advanced its revision).
 type readRec struct {
-	val []byte
-	ok  bool
+	val   []byte
+	rev   uint64
+	lease uint64
+	ok    bool
+	// leaseKnown marks records seeded by snapshot scans, which carry
+	// revisions but not lease attachments.
+	leaseKnown bool
 }
 
 // Txn is an optimistic buffered transaction: Get reads through to
@@ -186,20 +214,74 @@ func (t *Txn) Get(key []byte) ([]byte, bool, error) {
 		}
 		return copyVal(w.val), true, nil
 	}
-	if r, ok := t.reads[k]; ok {
-		return copyVal(r.val), r.ok, nil
-	}
-	val, ok, err := t.cl.readCommitted(key)
+	rec, err := t.read(key)
 	if err != nil {
 		return nil, false, err
 	}
-	t.reads[k] = readRec{val: val, ok: ok}
-	return copyVal(val), ok, nil
+	return copyVal(rec.val), rec.ok, nil
 }
 
-// Put buffers key→value (the slice is copied).
+// read returns the transaction's recorded observation of key, reading
+// through to committed state (and recording the observation for commit
+// validation) on first touch.
+func (t *Txn) read(key []byte) (readRec, error) {
+	k := string(key)
+	if r, ok := t.reads[k]; ok {
+		return r, nil
+	}
+	rec, err := t.cl.readCommitted(key)
+	if err != nil {
+		return readRec{}, err
+	}
+	t.reads[k] = rec
+	return rec, nil
+}
+
+// Revision returns key's revision as of this transaction (0 for an absent
+// key). Buffered writes have no revision yet — they are assigned one at
+// commit — so Revision reports the committed observation the commit will
+// validate.
+func (t *Txn) Revision(key []byte) (uint64, bool, error) {
+	rec, err := t.read(key)
+	if err != nil {
+		return 0, false, err
+	}
+	return rec.rev, rec.ok, nil
+}
+
+// Lease returns key's attached lease id as of this transaction (0 = none).
+// Observations seeded by a snapshot scan lack lease metadata; Lease
+// re-reads the committed entry then — divergence from the scan's revision
+// is caught by commit validation like any other conflict.
+func (t *Txn) Lease(key []byte) (uint64, bool, error) {
+	if w, ok := t.writes[string(key)]; ok {
+		if w.del {
+			return 0, false, nil
+		}
+		return w.lease, true, nil
+	}
+	rec, err := t.read(key)
+	if err != nil {
+		return 0, false, err
+	}
+	if rec.ok && !rec.leaseKnown {
+		fresh, err := t.cl.readCommitted(key)
+		if err != nil {
+			return 0, false, err
+		}
+		return fresh.lease, fresh.ok, nil
+	}
+	return rec.lease, rec.ok, nil
+}
+
+// Put buffers key→value (the slice is copied), detaching any lease.
 func (t *Txn) Put(key, value []byte) {
 	t.writes[string(key)] = writeRec{val: copyVal(value)}
+}
+
+// PutLease buffers key→value with a lease attachment.
+func (t *Txn) PutLease(key, value []byte, lease uint64) {
+	t.writes[string(key)] = writeRec{val: copyVal(value), lease: lease}
 }
 
 // Delete buffers key's removal.
@@ -241,7 +323,7 @@ func (t *Txn) Scan(start, end []byte, limit int) ([]Entry, error) {
 			}
 			continue
 		}
-		t.reads[k] = readRec{val: e.Value, ok: true}
+		t.reads[k] = readRec{val: e.Value, rev: e.Rev, ok: true}
 		merged[k] = e.Value
 	}
 	for k, w := range t.writes {
@@ -350,20 +432,23 @@ func (cl *Client) commit(t *Txn) (bool, error) {
 // commitLocal validates and applies a single-System footprint as one engine
 // transaction. No intents are needed: the engine's own conflict detection
 // makes validate+apply atomic against every other transaction on that
-// System, and the intent check keeps it correct against in-flight 2PC.
+// System, and the intent check keeps it correct against in-flight 2PC —
+// written keys must wait for any pending intent (pinned readers included),
+// read-only keys only for write intents.
 func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
 	n := cl.c.nodes[nodeID]
 	err := cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
 		for i := range keys {
 			k := &keys[i]
-			if _, held := n.st.IntentOn(tx, k.key); held {
-				return errConflict
-			}
-			if k.read != nil {
-				cur, ok := n.st.Get(tx, k.key)
-				if ok != k.read.ok || !bytes.Equal(cur, k.read.val) {
+			if k.write != nil {
+				if n.st.AnyIntentOn(tx, k.key) {
 					return errConflict
 				}
+			} else if _, held := n.st.WriteIntentOn(tx, k.key); held {
+				return errConflict
+			}
+			if k.read != nil && !validRead(tx, n, k) {
+				return errConflict
 			}
 		}
 		for i := range keys {
@@ -373,7 +458,7 @@ func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
 			}
 			if k.write.del {
 				n.st.Delete(tx, k.key)
-			} else if err := n.st.Put(tx, k.key, k.write.val); err != nil {
+			} else if err := n.st.PutLease(tx, k.key, k.write.val, k.write.lease); err != nil {
 				return err
 			}
 		}
@@ -448,27 +533,32 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 	return true, nil
 }
 
+// validRead re-checks one recorded read against committed state, by
+// revision: present keys must still carry the observed revision, absent
+// keys must still be absent.
+func validRead(tx rhtm.Tx, n *Node, k *txnKey) bool {
+	rev, ok := n.st.RevOf(tx, k.key)
+	return ok == k.read.ok && (!ok || rev == k.read.rev)
+}
+
 // prepare runs the phase-1 transaction on one participant.
 func (cl *Client) prepare(nodeID int, txid uint64, keys []txnKey) error {
 	n := cl.c.nodes[nodeID]
 	return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
 		for i := range keys {
 			k := &keys[i]
-			if k.read != nil {
-				cur, ok := n.st.Get(tx, k.key)
-				if ok != k.read.ok || !bytes.Equal(cur, k.read.val) {
-					return errConflict
-				}
+			if k.read != nil && !validRead(tx, n, k) {
+				return errConflict
 			}
-			kind, val := store.IntentRead, []byte(nil)
+			kind, val, lease := store.IntentRead, []byte(nil), uint64(0)
 			if k.write != nil {
 				if k.write.del {
 					kind = store.IntentDelete
 				} else {
-					kind, val = store.IntentPut, k.write.val
+					kind, val, lease = store.IntentPut, k.write.val, k.write.lease
 				}
 			}
-			if err := n.st.PrepareIntent(tx, k.key, txid, kind, val); err != nil {
+			if err := n.st.PrepareIntent(tx, k.key, txid, kind, val, lease); err != nil {
 				if err == store.ErrIntentHeld {
 					return errConflict
 				}

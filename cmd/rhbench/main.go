@@ -32,6 +32,15 @@
 //	              share-nothing multi-System cluster running the YCSB mix,
 //	              swept over -systems × -cross (cross-System txn fraction)
 //	cluster-bank  cluster bank transfers with the conserved-total invariant
+//	session-cache lease-TTL'd session cache: zipfian gets, miss = login
+//	              (lease grant + leased put), virtual-time expiry churn
+//	lock-service  lease-based mutual exclusion: create-only CAS acquires,
+//	              guarded releases, crash-expiry reclaims, an exact
+//	              virtual-time mutual-exclusion audit, and a watch stream
+//	              counting the release/expiry deletes
+//	cluster-session-cache, cluster-lock-service
+//	              the same scenarios on the share-nothing cluster (lease
+//	              records route like data keys, so revokes ride 2PC)
 //	all           everything above (cluster: the -a sweep only)
 //
 // Every ycsb-*, batch, and cluster-* experiment drives the unified kv.DB
@@ -47,6 +56,15 @@
 // System, since independent Systems progress in parallel) and the 2PC
 // counters. -systems and -cross take comma-separated sweeps.
 //
+// The session-cache and lock-service experiments drive the kv layer's
+// coordination surface (revisions, leases, watches); -ttl and -pumpevery
+// set the lease TTL (virtual ticks) and the expiry-pump cadence.
+//
+// -json FILE appends one machine-readable JSON line per measured point
+// (engine, workload, threads, ops, ops/kacc, ops/kinterval, abort ratio,
+// notes) to FILE — the format of the BENCH_*.json trajectory files; "-"
+// writes to stdout. CI's bench-smoke step archives one as an artifact.
+//
 // The default scale matches the paper (100K-node tree, threads 1..20,
 // 1s per point), which takes a while on a small machine; use -quick for a
 // reduced sweep or the individual -nodes/-threads/-dur flags.
@@ -55,6 +73,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -85,10 +104,13 @@ func main() {
 		ckeys   = flag.Int("crosskeys", 2, "keys per cross-System transaction")
 		scanMax = flag.Int("scanmax", 100, "maximum YCSB-E scan length")
 		batches = flag.String("batchsizes", "1,8,64", "comma-separated batch sizes for the batch experiment")
+		ttl     = flag.Int("ttl", 16, "lease TTL in virtual clock ticks (session-cache / lock-service)")
+		pump    = flag.Int("pumpevery", 32, "ops between virtual-clock ticks / expiry pumps (session-cache / lock-service)")
+		jsonOut = flag.String("json", "", "append machine-readable JSON result lines to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|batch|cluster-ycsb-a..f|cluster-bank|all>")
+		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|batch|session-cache|lock-service|cluster-ycsb-a..f|cluster-bank|cluster-session-cache|cluster-lock-service|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -127,6 +149,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rhbench: -scanmax must be positive")
 		os.Exit(2)
 	}
+	if *ttl <= 0 || *pump <= 0 {
+		fmt.Fprintln(os.Stderr, "rhbench: -ttl and -pumpevery must be positive")
+		os.Exit(2)
+	}
 	spec := harness.KVSpec{
 		Records:    *records,
 		ValueBytes: *vbytes,
@@ -134,6 +160,8 @@ func main() {
 		Dist:       *dist,
 		Theta:      *theta,
 		ScanMax:    *scanMax,
+		TTL:        *ttl,
+		PumpEvery:  *pump,
 	}
 	systemsList, err := parseInts(*systems, "system count", 1, 1<<20)
 	if err != nil {
@@ -158,6 +186,8 @@ func main() {
 		Theta:      *theta,
 		CrossKeys:  *ckeys,
 		ScanMax:    *scanMax,
+		TTL:        *ttl,
+		PumpEvery:  *pump,
 	}
 	// An explicit -dist overrides the cluster default (the flag's own
 	// default stays zipfian for the ycsb-* experiments, as YCSB specifies).
@@ -181,14 +211,31 @@ func main() {
 	sweep := clusterSweep{systems: systemsList, cross: crossList, spec: cspec}
 
 	exp := flag.Arg(0)
+	em := &emitter{out: os.Stdout, exp: exp}
+	if *jsonOut == "-" {
+		em.json = os.Stdout
+	} else if *jsonOut != "" {
+		f, err := os.OpenFile(*jsonOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rhbench:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		em.json = f
+	}
 	if strings.HasPrefix(exp, "cluster-") || exp == "all" {
 		// Reject bad cluster specs here with a clean message; inside the
 		// sweep they would surface as a MustRunCluster panic.
 		probe := cspec
 		probe.Mix = "a"
-		if exp == "cluster-bank" {
+		switch {
+		case exp == "cluster-bank":
 			probe.Mix = "bank"
-		} else if strings.HasPrefix(exp, "cluster-ycsb-") {
+		case exp == "cluster-session-cache":
+			probe.Mix = "session"
+		case exp == "cluster-lock-service":
+			probe.Mix = "lock"
+		case strings.HasPrefix(exp, "cluster-ycsb-"):
 			probe.Mix = strings.TrimPrefix(exp, "cluster-ycsb-")
 		}
 		if *ckeys <= 0 {
@@ -204,13 +251,39 @@ func main() {
 		for _, e := range []string{"fig1", "fig2a", "fig2b", "fig2c", "tab1", "tab2",
 			"fig3a", "fig3b", "fig3c", "ext-clock", "ext-capacity", "ext-hybrids",
 			"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "batch",
-			"cluster-ycsb-a"} {
-			runExperiment(e, sc, *capLim, spec, sweep, batchList)
+			"session-cache", "lock-service", "cluster-ycsb-a"} {
+			em.exp = e
+			runExperiment(e, em, sc, *capLim, spec, sweep, batchList)
 			fmt.Println()
 		}
 		return
 	}
-	runExperiment(exp, sc, *capLim, spec, sweep, batchList)
+	runExperiment(exp, em, sc, *capLim, spec, sweep, batchList)
+}
+
+// emitter routes one experiment's artifacts: human-readable series to out,
+// and (when -json is set) one machine-readable line per measured point.
+type emitter struct {
+	out  *os.File
+	json io.Writer
+	exp  string
+}
+
+// series prints a throughput series and mirrors it to the JSON sink.
+func (e *emitter) series(title string, results []harness.Result) {
+	harness.PrintThroughputSeries(e.out, title, results)
+	e.record(results)
+}
+
+// record mirrors results to the JSON sink without printing.
+func (e *emitter) record(results []harness.Result) {
+	if e.json == nil {
+		return
+	}
+	if err := harness.WriteResultsJSON(e.json, e.exp, results); err != nil {
+		fmt.Fprintln(os.Stderr, "rhbench: json:", err)
+		os.Exit(1)
+	}
 }
 
 // clusterSweep carries the System-count × cross-fraction grid of the
@@ -224,7 +297,7 @@ type clusterSweep struct {
 // run prints one series block per (systems, cross) grid point for the mix.
 // Cross fractions beyond the first are skipped at one System, where
 // CrossPct is moot and the runs would be identical.
-func (cs clusterSweep) run(out *os.File, sc harness.Scale, mix string) {
+func (cs clusterSweep) run(em *emitter, sc harness.Scale, mix string) {
 	for _, sys := range cs.systems {
 		for i, x := range cs.cross {
 			if sys == 1 && i > 0 {
@@ -234,63 +307,67 @@ func (cs clusterSweep) run(out *os.File, sc harness.Scale, mix string) {
 			spec.Mix = mix
 			spec.Systems = sys
 			spec.CrossPct = x
-			harness.PrintThroughputSeries(out,
+			em.series(
 				fmt.Sprintf("Cluster %s: %d Systems, %d%% cross-System txns, %d records, %s distribution",
 					spec.Name(), sys, x, spec.Records, spec.Dist),
 				harness.SweepKV(sc, spec))
-			fmt.Fprintln(out)
+			fmt.Fprintln(em.out)
 		}
 	}
 }
 
 // runExperiment dispatches one experiment id and prints its artifact.
-func runExperiment(exp string, sc harness.Scale, capLim int, spec harness.KVSpec, sweep clusterSweep, batchList []int) {
-	out := os.Stdout
+func runExperiment(exp string, em *emitter, sc harness.Scale, capLim int, spec harness.KVSpec, sweep clusterSweep, batchList []int) {
+	out := em.out
 	switch exp {
 	case "fig1":
-		harness.PrintThroughputSeries(out,
+		em.series(
 			fmt.Sprintf("Figure 1: %d-node Constant RB-Tree, 20%% mutations", sc.RBNodes),
 			harness.Fig1(sc))
 	case "fig2a":
-		harness.PrintThroughputSeries(out,
+		em.series(
 			fmt.Sprintf("Figure 2 (top left): %d-node Constant RB-Tree, 20%% mutations", sc.RBNodes),
 			harness.Fig2a(sc))
 	case "fig2b":
-		harness.PrintThroughputSeries(out,
+		em.series(
 			fmt.Sprintf("Figure 2 (top right): %d-node Constant RB-Tree, 80%% mutations", sc.RBNodes),
 			harness.Fig2b(sc))
 	case "fig2c":
 		for _, wp := range []int{20, 80} {
+			results := harness.Fig2c(sc, wp)
 			harness.PrintSpeedupBars(out,
 				fmt.Sprintf("Figure 2 (middle): single-thread speedup, %d%% writes", wp),
-				harness.EngTL2, harness.Fig2c(sc, wp))
+				harness.EngTL2, results)
+			em.record(results)
 		}
 	case "tab1":
+		results := harness.Tables(sc, 20)
 		harness.PrintBreakdownTable(out,
-			"Figure 2 table `20_100_R`: single-thread breakdown, 20% writes",
-			harness.Tables(sc, 20))
+			"Figure 2 table `20_100_R`: single-thread breakdown, 20% writes", results)
+		em.record(results)
 	case "tab2":
+		results := harness.Tables(sc, 80)
 		harness.PrintBreakdownTable(out,
-			"Figure 2 table `80_100_R`: single-thread breakdown, 80% writes",
-			harness.Tables(sc, 80))
+			"Figure 2 table `80_100_R`: single-thread breakdown, 80% writes", results)
+		em.record(results)
 	case "fig3a":
-		harness.PrintThroughputSeries(out,
+		em.series(
 			fmt.Sprintf("Figure 3 (left): %d-element Constant Hash Table, 20%% mutations", sc.HashElems),
 			harness.Fig3a(sc))
 	case "fig3b":
-		harness.PrintThroughputSeries(out,
+		em.series(
 			fmt.Sprintf("Figure 3 (middle): %d-node Constant Sorted List, 5%% mutations", sc.ListElems),
 			harness.Fig3b(sc))
 	case "fig3c":
 		harness.PrintFig3c(out, harness.Fig3c(sc))
 	case "ext-clock":
-		harness.PrintThroughputSeries(out,
+		em.series(
 			"Extension: GV6 vs GV5 global clock (RH1 Mixed 100, RB-Tree 20%)",
 			harness.ExtClock(sc))
 	case "ext-capacity":
 		harness.PrintCapacity(out, harness.ExtCapacity(sc, capLim), capLim)
 	case "ext-hybrids":
-		harness.PrintThroughputSeries(out,
+		em.series(
 			"Extension: hybrid designs compared (RB-Tree 20%)",
 			harness.ExtHybrids(sc))
 	case "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f":
@@ -299,25 +376,41 @@ func runExperiment(exp string, sc harness.Scale, capLim int, spec harness.KVSpec
 			"c": "read-only", "d": "95% latest-skewed reads / 5% inserts",
 			"e": "95% short ordered scans / 5% inserts",
 			"f": "50% reads / 50% read-modify-writes"}[spec.Mix]
-		harness.PrintThroughputSeries(out,
+		em.series(
 			fmt.Sprintf("YCSB-%s (%s), %d records, %s distribution, %d-shard store",
 				strings.ToUpper(spec.Mix), readPct, spec.Records, spec.Dist, spec.Shards),
+			harness.SweepKV(sc, spec))
+	case "session-cache":
+		spec.Mix = "session"
+		em.series(
+			fmt.Sprintf("Session cache: %d sessions, lease TTL %d ticks, expiry pump every %d ops, %s gets",
+				spec.Records, spec.TTL, spec.PumpEvery, spec.Dist),
+			harness.SweepKV(sc, spec))
+	case "lock-service":
+		spec.Mix = "lock"
+		em.series(
+			fmt.Sprintf("Lock service: %d locks, lease TTL %d ticks, 20%% crash-expiry reclaims, mutual-exclusion audited",
+				spec.Records, spec.TTL),
 			harness.SweepKV(sc, spec))
 	case "batch":
 		spec.Mix = "a"
 		for _, size := range batchList {
 			bs := spec
 			bs.BatchSize = size
-			harness.PrintThroughputSeries(out,
+			em.series(
 				fmt.Sprintf("Batching: YCSB-A with batch size %d (%d records, %s distribution)",
 					size, bs.Records, bs.Dist),
 				harness.SweepKV(sc, bs))
 			fmt.Fprintln(out)
 		}
 	case "cluster-ycsb-a", "cluster-ycsb-b", "cluster-ycsb-c", "cluster-ycsb-d", "cluster-ycsb-e", "cluster-ycsb-f":
-		sweep.run(out, sc, strings.TrimPrefix(exp, "cluster-ycsb-"))
+		sweep.run(em, sc, strings.TrimPrefix(exp, "cluster-ycsb-"))
 	case "cluster-bank":
-		sweep.run(out, sc, "bank")
+		sweep.run(em, sc, "bank")
+	case "cluster-session-cache":
+		sweep.run(em, sc, "session")
+	case "cluster-lock-service":
+		sweep.run(em, sc, "lock")
 	default:
 		fmt.Fprintf(os.Stderr, "rhbench: unknown experiment %q\n", exp)
 		os.Exit(2)

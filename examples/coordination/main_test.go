@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCoordinationExample runs the full scenario as a smoke test: elections
+// stay single-winner, fencing tokens grow, leases reclaim leadership and
+// config atomically, and the watcher sees every published version.
+func TestCoordinationExample(t *testing.T) {
+	summary, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "coordination ok") {
+		t.Fatalf("unexpected summary: %q", summary)
+	}
+}

@@ -24,10 +24,12 @@ import (
 // returning it must roll back completely and surface it unchanged.
 var errUserAbort = errors.New("dbtest: user abort")
 
-// DBFactory builds a fresh kv.DB under test plus a validate hook run after
-// a workload quiesces (store invariants, intent quiescence, decision-log
-// consistency — whatever the implementation can check).
-type DBFactory func(t *testing.T) (db kv.DB, validate func() error)
+// DBFactory builds a fresh kv.DB under test plus the ManualClock it was
+// constructed over (the battery's lease sections drive expiry through it)
+// and a validate hook run after a workload quiesces (store invariants,
+// intent quiescence, decision-log consistency — whatever the
+// implementation can check).
+type DBFactory func(t *testing.T) (db kv.DB, clock *kv.ManualClock, validate func() error)
 
 // RunDB executes the key-value conformance battery against any kv.DB — the
 // single battery both the store-backed Local and the 2PC cluster
@@ -41,13 +43,22 @@ type DBFactory func(t *testing.T) (db kv.DB, validate func() error)
 //   - batch semantics (per-op results, in-order visibility, atomicity);
 //   - the scan-snapshot property test: concurrent pair-writers and
 //     insert/delete togglers must never make a cursor observe a torn pair
-//     or a half-inserted (phantom) pair.
+//     or a half-inserted (phantom) pair;
+//   - the coordination sections (coord.go): conditional-write semantics
+//     plus a concurrent CAS lost-update race, lease grant / attach /
+//     keep-alive / revoke / virtual-time expiry atomicity under a map
+//     oracle and a concurrent pair audit, and the watch section — per-key
+//     ordering, completeness against committed write counts, and fromRev
+//     replay.
 func RunDB(t *testing.T, name string, factory DBFactory) {
 	t.Run(name+"/DBSequentialOracle", func(t *testing.T) { testDBSequentialOracle(t, factory) })
 	t.Run(name+"/DBLinearizability", func(t *testing.T) { testDBLinearizability(t, factory) })
 	t.Run(name+"/DBAtomicTransfer", func(t *testing.T) { testDBAtomicTransfer(t, factory) })
 	t.Run(name+"/DBBatch", func(t *testing.T) { testDBBatch(t, factory) })
 	t.Run(name+"/DBScanSnapshot", func(t *testing.T) { testDBScanSnapshot(t, factory) })
+	t.Run(name+"/DBRevisionCAS", func(t *testing.T) { testDBRevisionCAS(t, factory) })
+	t.Run(name+"/DBLeaseExpiry", func(t *testing.T) { testDBLeaseExpiry(t, factory) })
+	t.Run(name+"/DBWatch", func(t *testing.T) { testDBWatch(t, factory) })
 }
 
 // testDBSequentialOracle runs a random single-client operation stream — a
@@ -55,7 +66,7 @@ func RunDB(t *testing.T, name string, factory DBFactory) {
 // writes must vanish), batches, and full scans — against a Go map oracle.
 func testDBSequentialOracle(t *testing.T, factory DBFactory) {
 	for _, seed := range []int64{1, 2, 3} {
-		db, validate := factory(t)
+		db, _, validate := factory(t)
 		oracle := map[string][]byte{}
 		rng := rand.New(rand.NewSource(seed))
 		keyOf := func(i int) []byte { return []byte(fmt.Sprintf("key-%02d", i)) }
@@ -248,7 +259,7 @@ func testDBSequentialOracle(t *testing.T, factory DBFactory) {
 // key set and checks each key's history with the Wing & Gong register
 // checker. Absent keys read as value 0.
 func testDBLinearizability(t *testing.T, factory DBFactory) {
-	db, validate := factory(t)
+	db, _, validate := factory(t)
 	const workers = 4
 	const opsPerWorker = 12
 	keys := [][]byte{[]byte("alpha"), []byte("beta-longer-key"), []byte("g")}
@@ -318,7 +329,7 @@ func testDBLinearizability(t *testing.T, factory DBFactory) {
 // torn commit (cross-shard or cross-System, depending on the backend)
 // shows up as a non-conserved total.
 func testDBAtomicTransfer(t *testing.T, factory DBFactory) {
-	db, validate := factory(t)
+	db, _, validate := factory(t)
 	const accounts = 8
 	const initial = 1000
 	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("acct-%d", i)) }
@@ -434,7 +445,7 @@ func testDBAtomicTransfer(t *testing.T, factory DBFactory) {
 // visibility (a Get after a Put of the same key sees the Put), ErrNotFound
 // as a per-op result rather than a batch failure, and result ordering.
 func testDBBatch(t *testing.T, factory DBFactory) {
-	db, validate := factory(t)
+	db, _, validate := factory(t)
 
 	if res, err := db.Batch(nil); err != nil || len(res) != 0 {
 		t.Fatalf("empty batch = %v, %v", res, err)
@@ -503,7 +514,7 @@ func testDBBatch(t *testing.T, factory DBFactory) {
 // must observe strictly ascending keys, never a torn pair (unequal
 // counters), and never a phantom (exactly one half of a marker pair).
 func testDBScanSnapshot(t *testing.T, factory DBFactory) {
-	db, validate := factory(t)
+	db, _, validate := factory(t)
 	const pairs = 8
 	enc := func(v uint64) []byte {
 		var b [8]byte

@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhtm/kv"
+	"rhtm/store"
+)
+
+// The coordination scenarios: workloads that exercise the kv layer's
+// revision/lease/watch surface rather than raw data throughput.
+//
+//   - "session": a session cache serving zipfian lookups. A miss is a
+//     login — grant a lease, store the session under it — and a shared
+//     virtual-time pump expires idle sessions, so the cache churns the way
+//     a production session store does. Measures gets + lease machinery.
+//   - "lock": a lease-based lock service. Workers race PutIf(create-only,
+//     WithLease) to acquire locks, do a small transactional critical
+//     section, then either release with a guarded delete or "crash" and
+//     let lease expiry reclaim the lock. The run records every hold as a
+//     virtual-time interval and fails if two lease-valid holds of one lock
+//     ever overlap — the mutual-exclusion invariant, audited exactly, with
+//     a watch stream counting the release/expiry deletes as they happen.
+//
+// Both run unchanged on either backend: on the cluster, lock acquisition
+// is a cross-System transaction whenever the lock key and its lease record
+// hash to different Systems, and expiry revokes ride 2PC.
+
+// leaseSlackWords sizes the arena headroom the coordination mixes need
+// beyond their record space: one lease record (and its bookkeeping) per
+// live session/lock, plus the critical-section counters of the lock mix.
+func leaseSlackWords(spec KVSpec) int {
+	if spec.Mix != "session" && spec.Mix != "lock" {
+		return 0
+	}
+	vb := spec.ValueBytes
+	if vb < 8 {
+		vb = 8
+	}
+	per := store.RecordFootprintWords(16, 64) + // lease record
+		store.RecordFootprintWords(16, vb) + // data / counter key
+		64
+	return spec.Records*per*2 + 4096
+}
+
+// holdInterval is one recorded lock hold in virtual time.
+type holdInterval struct {
+	token    uint64
+	start    uint64 // clock at acquire (recorded after the CAS commits)
+	deadline uint64 // lease deadline: validity never extends past it
+	end      uint64 // clock at release (recorded before the delete); 0 = crashed
+}
+
+// effectiveEnd is the instant the hold's mutual-exclusion guarantee ends:
+// the release when it happened within the lease, the lease deadline
+// otherwise — the classic fencing caveat, made checkable by virtual time.
+func (h holdInterval) effectiveEnd() uint64 {
+	if h.end != 0 && h.end < h.deadline {
+		return h.end
+	}
+	return h.deadline
+}
+
+// coordState is the shared coordination-scenario state of one run.
+type coordState struct {
+	clock *kv.ManualClock
+
+	mu        sync.Mutex
+	intervals map[int][]holdInterval
+}
+
+func newCoordState(clock *kv.ManualClock) *coordState {
+	return &coordState{clock: clock, intervals: map[int][]holdInterval{}}
+}
+
+func (c *coordState) record(lock int, iv holdInterval) {
+	c.mu.Lock()
+	c.intervals[lock] = append(c.intervals[lock], iv)
+	c.mu.Unlock()
+}
+
+// auditMutualExclusion checks that no two lease-valid holds of one lock
+// overlap in virtual time. Starts are recorded after the acquiring CAS
+// commits and ends before the releasing delete, so recorded intervals are
+// sub-intervals of the true holds: the check can miss an overlap by a
+// tick, but it can never report a false one.
+func (c *coordState) auditMutualExclusion() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for lock, ivs := range c.intervals {
+		sorted := append([]holdInterval(nil), ivs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].start < sorted[j].start })
+		for i := 1; i < len(sorted); i++ {
+			prev, cur := sorted[i-1], sorted[i]
+			if cur.start < prev.effectiveEnd() {
+				return fmt.Errorf(
+					"harness: mutual exclusion violated on lock %d: token %d held [%d,%d) overlaps token %d acquired at %d",
+					lock, prev.token, prev.start, prev.effectiveEnd(), cur.token, cur.start)
+			}
+		}
+	}
+	return nil
+}
+
+// pump advances the shared virtual clock one tick and expires due leases
+// every PumpEvery operations, whichever worker's op crosses the boundary.
+func (w *kvWorker) pump() error {
+	if w.shared.opSeq.Add(1)%uint64(w.spec.PumpEvery) != 0 {
+		return nil
+	}
+	w.coord.clock.Advance(1)
+	n, err := w.db.ExpireLeases()
+	if err != nil {
+		return fmt.Errorf("expire leases: %w", err)
+	}
+	w.shared.expired.Add(uint64(n))
+	return nil
+}
+
+// sessionOp is one session-cache operation: a zipfian lookup, with a miss
+// handled as a login (lease grant + leased put). The pump's expiry churn
+// keeps generating misses, so the login path stays hot for the whole run.
+func (w *kvWorker) sessionOp() error {
+	if err := w.pump(); err != nil {
+		return err
+	}
+	key := ycsbKey(w.record())
+	_, err := w.db.Get(key)
+	switch {
+	case err == nil:
+		w.shared.hits.Add(1)
+		return nil
+	case errors.Is(err, kv.ErrNotFound):
+		w.shared.misses.Add(1)
+		lease, err := w.db.Grant(uint64(w.spec.TTL))
+		if err != nil {
+			return err
+		}
+		if w.buf == nil {
+			w.buf = make([]byte, w.spec.ValueBytes)
+		}
+		w.rng.Read(w.buf)
+		err = w.db.Put(key, w.buf, kv.WithLease(lease))
+		if errors.Is(err, kv.ErrLeaseNotFound) {
+			// Another worker's pump expired the fresh lease before the
+			// attach committed — the login simply failed; the next miss
+			// retries it.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		w.shared.logins.Add(1)
+		return nil
+	default:
+		return err
+	}
+}
+
+// lockOp is one lock-service operation: try to acquire a drawn lock with a
+// create-only leased CAS; on success run a small transactional critical
+// section, then release with a token-guarded delete — or crash for a fifth
+// of the holds, leaving reclamation to lease expiry.
+func (w *kvWorker) lockOp() error {
+	if err := w.pump(); err != nil {
+		return err
+	}
+	lockID := w.rng.Intn(w.spec.Records)
+	lockKey := ycsbKey(lockID)
+	w.tokenSeq++
+	token := uint64(w.id+1)<<32 | w.tokenSeq
+	var tok [8]byte
+	binary.LittleEndian.PutUint64(tok[:], token)
+
+	// The recorded deadline is anchored before Grant reads the clock, so it
+	// can only under-state the lease's true deadline — the audit direction
+	// that avoids false violations.
+	deadline := w.coord.clock.Now() + uint64(w.spec.TTL)
+	lease, err := w.db.Grant(uint64(w.spec.TTL))
+	if err != nil {
+		return err
+	}
+	err = w.db.PutIf(lockKey, tok[:], 0, kv.WithLease(lease))
+	switch {
+	case errors.Is(err, kv.ErrRevisionMismatch):
+		w.shared.contended.Add(1)
+		// The lease was never used: drop it so records don't accumulate.
+		if err := w.db.Revoke(lease); err != nil && !errors.Is(err, kv.ErrLeaseNotFound) {
+			return err
+		}
+		return nil
+	case errors.Is(err, kv.ErrLeaseNotFound):
+		// The pump expired the fresh lease before the acquire committed:
+		// the attempt simply failed.
+		w.shared.contended.Add(1)
+		return nil
+	case err != nil:
+		return err
+	}
+	start := w.coord.clock.Now()
+	w.shared.acquires.Add(1)
+
+	// Critical section: bump this lock's work counter transactionally.
+	csKey := []byte(fmt.Sprintf("cs-%08d", lockID))
+	err = w.db.Update(func(tx kv.Txn) error {
+		var v uint64
+		cur, err := tx.Get(csKey)
+		if err == nil {
+			v = binary.LittleEndian.Uint64(cur)
+		} else if !errors.Is(err, kv.ErrNotFound) {
+			return err
+		}
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v+1)
+		return tx.Put(csKey, b[:])
+	})
+	if err != nil {
+		return err
+	}
+
+	if w.rng.Intn(100) < 20 {
+		// Crash while holding: the lock stays until the lease expires.
+		w.shared.crashes.Add(1)
+		w.coord.record(lockID, holdInterval{token: token, start: start, deadline: deadline})
+		return nil
+	}
+
+	end := w.coord.clock.Now()
+	// Guarded release: delete only our own token at its observed revision —
+	// if the lease expired mid-hold and someone else re-acquired, both
+	// guards miss and the release becomes a no-op.
+	cur, rev, err := w.db.GetRev(lockKey)
+	if err == nil && binary.LittleEndian.Uint64(cur) == token {
+		err = w.db.DeleteIf(lockKey, rev)
+		if err != nil && !errors.Is(err, kv.ErrRevisionMismatch) && !errors.Is(err, kv.ErrNotFound) {
+			return err
+		}
+	} else if err != nil && !errors.Is(err, kv.ErrNotFound) {
+		return err
+	}
+	if err := w.db.Revoke(lease); err != nil && !errors.Is(err, kv.ErrLeaseNotFound) {
+		return err
+	}
+	w.shared.releases.Add(1)
+	w.coord.record(lockID, holdInterval{token: token, start: start, deadline: deadline, end: end})
+	return nil
+}
+
+// watchDeletes subscribes to the run's key prefix and counts delete events
+// (releases and expiry reclaims) until ctx ends — the notification half of
+// the coordination scenarios, driven by the same commit log both backends
+// feed. It returns a drain function that blocks until the stream closes,
+// so counts are final before the run reads them.
+func watchDeletes(ctx context.Context, db kv.DB, deletes *atomic.Uint64) (func(), error) {
+	ch, err := db.Watch(ctx, []byte("user"), 0)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			if ev.Kind == kv.EventDelete {
+				deletes.Add(1)
+			}
+		}
+	}()
+	return func() { <-done }, nil
+}
+
+// hubDrainGrace is how long RunKV waits after the workers quiesce for the
+// watch hub's fallback poll to flush the commit logs' tail.
+const hubDrainGrace = 30 * time.Millisecond

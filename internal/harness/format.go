@@ -1,11 +1,55 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"text/tabwriter"
 )
+
+// JSONResult is one Result rendered machine-readable — the schema of the
+// BENCH_*.json trajectory files rhbench's -json flag emits (one JSON object
+// per line).
+type JSONResult struct {
+	Experiment      string  `json:"experiment"`
+	Workload        string  `json:"workload"`
+	Engine          string  `json:"engine"`
+	Threads         int     `json:"threads"`
+	Ops             uint64  `json:"ops"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	OpsPerKAccess   float64 `json:"ops_per_kacc"`
+	OpsPerKInterval float64 `json:"ops_per_kinterval,omitempty"`
+	AbortsPerCommit float64 `json:"aborts_per_commit"`
+	Notes           string  `json:"notes,omitempty"`
+}
+
+// WriteResultsJSON emits one JSON line per result (JSONL: trivially
+// appendable and `jq`-able), tagged with the experiment id so a whole
+// rhbench invocation lands in one trajectory file.
+func WriteResultsJSON(w io.Writer, experiment string, results []Result) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		jr := JSONResult{
+			Experiment:      experiment,
+			Workload:        r.Workload,
+			Engine:          r.Engine,
+			Threads:         r.Threads,
+			Ops:             r.Ops,
+			ElapsedSec:      r.Elapsed.Seconds(),
+			OpsPerSec:       r.Throughput,
+			OpsPerKAccess:   r.OpsPerKAccess,
+			OpsPerKInterval: r.OpsPerKInterval,
+			AbortsPerCommit: r.Stats.AbortRatio(),
+			Notes:           r.Notes,
+		}
+		if err := enc.Encode(jr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // PrintThroughputSeries renders thread-sweep results as one column per
 // engine and one row per thread count — the shape of the paper's throughput

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -31,6 +32,8 @@ const bankInitial = 1000
 type kvBackend interface {
 	// DB returns the kv.DB the workers drive.
 	DB() kv.DB
+	// Clock returns the backend's virtual clock (lease expiry).
+	Clock() *kv.ManualClock
 	// Load populates one record on the setup path (no engine traffic).
 	Load(key, value []byte) error
 	// Peek reads a committed value while quiescent (verification).
@@ -47,18 +50,19 @@ type kvBackend interface {
 // --- store backend ---
 
 type storeBackend struct {
-	sys *rhtm.System
-	eng rhtm.Engine
-	sh  *store.Sharded
-	db  *kv.Local
+	sys   *rhtm.System
+	eng   rhtm.Engine
+	sh    *store.Sharded
+	db    *kv.Local
+	clock *kv.ManualClock
 }
 
 func openStoreBackend(spec KVSpec, engineName string, cfg RunConfig) (*storeBackend, error) {
 	perRecord := store.RecordFootprintWords(len(ycsbKey(0)), spec.ValueBytes)
 	recordsPerShard := (spec.Records + spec.Shards - 1) / spec.Shards
 	insertSlack := (insertBudget(spec, cfg)/spec.Shards + 1) * perRecord * 2
-	arenaWords := recordsPerShard*perRecord*2 + insertSlack + 4096
-	s, err := rhtm.NewSystem(rhtm.DefaultConfig(spec.Shards*(arenaWords+64) + 8192))
+	arenaWords := recordsPerShard*perRecord*2 + insertSlack + leaseSlackWords(spec)/spec.Shards + 4096
+	s, err := rhtm.NewSystem(rhtm.DefaultConfig(spec.Shards*(arenaWords+store.DefaultLogWords+64) + 8192))
 	if err != nil {
 		return nil, err
 	}
@@ -67,10 +71,14 @@ func openStoreBackend(spec KVSpec, engineName string, cfg RunConfig) (*storeBack
 		return nil, err
 	}
 	sh := store.NewSharded(s, spec.Shards, store.Options{ArenaWords: arenaWords})
-	return &storeBackend{sys: s, eng: eng, sh: sh, db: kv.NewLocal(eng, sh)}, nil
+	clock := kv.NewManualClock()
+	return &storeBackend{sys: s, eng: eng, sh: sh,
+		db: kv.NewLocal(eng, sh, kv.WithClock(clock)), clock: clock}, nil
 }
 
 func (b *storeBackend) DB() kv.DB { return b.db }
+
+func (b *storeBackend) Clock() *kv.ManualClock { return b.clock }
 
 func (b *storeBackend) Load(key, value []byte) error {
 	return b.sh.Put(containers.SetupTx(b.sys), key, value)
@@ -95,8 +103,9 @@ func (b *storeBackend) Validate() error { return b.sh.Validate() }
 // --- cluster backend ---
 
 type clusterBackend struct {
-	c  *cluster.Cluster
-	db *kv.ClusterDB
+	c     *cluster.Cluster
+	db    *kv.ClusterDB
+	clock *kv.ManualClock
 }
 
 func openClusterBackend(spec KVSpec, engineName string, cfg RunConfig) (*clusterBackend, error) {
@@ -113,11 +122,12 @@ func openClusterBackend(spec KVSpec, engineName string, cfg RunConfig) (*cluster
 	intentSlack := (cfg.Threads*perIntentKeys*2 + 64) *
 		store.IntentFootprintWords(keyBytes, spec.ValueBytes)
 	insertSlack := (insertBudget(spec, cfg)/spec.Systems + 1) * perRecord * 2
-	arenaWords := recordsPerSys*perRecord*2 + intentSlack + insertSlack + 4096
+	arenaWords := recordsPerSys*perRecord*2 + intentSlack + insertSlack +
+		leaseSlackWords(spec)/spec.Systems + 4096
 	c, err := cluster.New(cluster.Config{
 		Systems:    spec.Systems,
 		ArenaWords: arenaWords,
-		DataWords:  arenaWords + 1<<13,
+		DataWords:  arenaWords + store.DefaultLogWords + 1<<13,
 		NewEngine: func(s *rhtm.System) (rhtm.Engine, error) {
 			return Build(s, engineName, cfg.InjectPct)
 		},
@@ -125,10 +135,13 @@ func openClusterBackend(spec KVSpec, engineName string, cfg RunConfig) (*cluster
 	if err != nil {
 		return nil, err
 	}
-	return &clusterBackend{c: c, db: kv.NewCluster(c)}, nil
+	clock := kv.NewManualClock()
+	return &clusterBackend{c: c, db: kv.NewCluster(c, kv.WithClock(clock)), clock: clock}, nil
 }
 
 func (b *clusterBackend) DB() kv.DB { return b.db }
+
+func (b *clusterBackend) Clock() *kv.ManualClock { return b.clock }
 
 func (b *clusterBackend) Load(key, value []byte) error { return b.c.Load(key, value) }
 
@@ -202,17 +215,22 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 		return Result{}, err
 	}
 
-	// Populate through the setup path (reproducible from loaderSeed).
-	loadRng := rand.New(rand.NewSource(loaderSeed))
-	val := make([]byte, spec.ValueBytes)
-	for i := 0; i < spec.Records; i++ {
-		if spec.Mix == "bank" {
-			binary.LittleEndian.PutUint64(val, bankInitial)
-		} else {
-			loadRng.Read(val)
-		}
-		if err := be.Load(ycsbKey(i), val); err != nil {
-			return Result{}, fmt.Errorf("harness: KV load: %w", err)
+	// Populate through the setup path (reproducible from loaderSeed). The
+	// coordination mixes start empty: sessions are created by logins, locks
+	// by acquisitions.
+	coordMix := spec.Mix == "session" || spec.Mix == "lock"
+	if !coordMix {
+		loadRng := rand.New(rand.NewSource(loaderSeed))
+		val := make([]byte, spec.ValueBytes)
+		for i := 0; i < spec.Records; i++ {
+			if spec.Mix == "bank" {
+				binary.LittleEndian.PutUint64(val, bankInitial)
+			} else {
+				loadRng.Read(val)
+			}
+			if err := be.Load(ycsbKey(i), val); err != nil {
+				return Result{}, fmt.Errorf("harness: KV load: %w", err)
+			}
 		}
 	}
 
@@ -224,16 +242,30 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 	}
 
 	shared := &kvShared{}
+	coord := newCoordState(be.Clock())
+	var drainWatch func()
+	watchCtx, watchCancel := context.WithCancel(context.Background())
+	defer watchCancel()
+	if coordMix {
+		// The run's own watcher: counts release/expiry deletes live, off
+		// the same commit log the workers write through.
+		drainWatch, err = watchDeletes(watchCtx, be.DB(), &shared.watchedDeletes)
+		if err != nil {
+			return Result{}, fmt.Errorf("harness: watch: %w", err)
+		}
+	}
 	var stop atomic.Bool
 	var totalOps atomic.Uint64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < cfg.Threads; i++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		id := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := &kvWorker{spec: spec, be: be, db: be.DB(), rng: rng, zipf: zipf, shared: shared}
+			w := &kvWorker{id: id, spec: spec, be: be, db: be.DB(), rng: rng,
+				zipf: zipf, shared: shared, coord: coord}
 			ops := driveWorker(cfg, &stop, func() {
 				if err := w.step(); err != nil {
 					// Worker bodies never return user errors; failures are
@@ -254,6 +286,17 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if drainWatch != nil {
+		// Give the hub a moment to flush the tail of the commit logs, then
+		// close the stream, wait for the counter to be final, and quiesce
+		// the hub's poller threads before anything snapshots the engines.
+		time.Sleep(2 * hubDrainGrace)
+		watchCancel()
+		drainWatch()
+		if w, ok := be.DB().(interface{ WaitWatchIdle() }); ok {
+			w.WaitWatchIdle()
+		}
+	}
 
 	res := Result{
 		Workload: spec.Name(),
@@ -271,6 +314,11 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 	}
 	res.Notes += shared.notes(spec, be)
 
+	if spec.Mix == "lock" {
+		if err := coord.auditMutualExclusion(); err != nil {
+			return res, err
+		}
+	}
 	if spec.Mix == "bank" {
 		var total uint64
 		for i := 0; i < spec.Records; i++ {
@@ -307,6 +355,17 @@ type kvShared struct {
 	scans           atomic.Uint64 // scans executed (e)
 	scanned         atomic.Uint64 // entries yielded by scans (e)
 	batches         atomic.Uint64 // batch flushes
+
+	// Coordination mixes (session / lock).
+	opSeq          atomic.Uint64 // global op counter driving the expiry pump
+	expired        atomic.Uint64 // leases reclaimed by ExpireLeases
+	hits, misses   atomic.Uint64 // session cache outcomes
+	logins         atomic.Uint64 // session (re)creations
+	acquires       atomic.Uint64 // lock acquisitions won
+	contended      atomic.Uint64 // lock acquisitions lost to the CAS guard
+	crashes        atomic.Uint64 // holds abandoned to lease expiry
+	releases       atomic.Uint64 // holds released with the guarded delete
+	watchedDeletes atomic.Uint64 // delete events seen by the run's watcher
 }
 
 // notes renders the mix-specific counters for Result.Notes. For mix "f" it
@@ -328,6 +387,14 @@ func (sh *kvShared) notes(spec KVSpec, be kvBackend) string {
 			}
 		}
 		out += fmt.Sprintf(" fsum=%d updates=%d", sum, sh.updates.Load())
+	case "session":
+		out += fmt.Sprintf(" hits=%d misses=%d logins=%d expired=%d watched-deletes=%d",
+			sh.hits.Load(), sh.misses.Load(), sh.logins.Load(),
+			sh.expired.Load(), sh.watchedDeletes.Load())
+	case "lock":
+		out += fmt.Sprintf(" acquires=%d contended=%d releases=%d crashes=%d expired=%d watched-deletes=%d",
+			sh.acquires.Load(), sh.contended.Load(), sh.releases.Load(),
+			sh.crashes.Load(), sh.expired.Load(), sh.watchedDeletes.Load())
 	}
 	if spec.BatchSize > 1 {
 		out += fmt.Sprintf(" batches=%d", sh.batches.Load())
@@ -337,14 +404,17 @@ func (sh *kvShared) notes(spec KVSpec, be kvBackend) string {
 
 // kvWorker generates and executes one thread's operations against a kv.DB.
 type kvWorker struct {
-	spec    KVSpec
-	be      kvBackend
-	db      kv.DB
-	rng     *rand.Rand
-	zipf    *zipfian
-	shared  *kvShared
-	buf     []byte
-	pending []kv.Op
+	id       int
+	spec     KVSpec
+	be       kvBackend
+	db       kv.DB
+	rng      *rand.Rand
+	zipf     *zipfian
+	shared   *kvShared
+	coord    *coordState
+	buf      []byte
+	pending  []kv.Op
+	tokenSeq uint64
 }
 
 // records returns the current record-space size (grows under d/e inserts).
@@ -362,6 +432,10 @@ func (w *kvWorker) step() error {
 	switch w.spec.Mix {
 	case "bank":
 		return w.transfer()
+	case "session":
+		return w.sessionOp()
+	case "lock":
+		return w.lockOp()
 	case "d":
 		if w.rng.Intn(100) < 95 {
 			return w.readLatest()

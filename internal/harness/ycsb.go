@@ -65,6 +65,13 @@ type KVSpec struct {
 	// ScanMax bounds mix "e" scan lengths: each scan draws a uniform
 	// length in [1, ScanMax] (default 100).
 	ScanMax int
+	// TTL is the lease time-to-live in virtual clock ticks for the
+	// coordination mixes "session" and "lock" (default 16).
+	TTL int
+	// PumpEvery is the coordination mixes' expiry cadence: every PumpEvery
+	// operations (across all workers) the virtual clock advances one tick
+	// and ExpireLeases runs (default 32).
+	PumpEvery int
 	// BatchSize, when > 1, groups the single-key operations of mixes
 	// a/b/c into kv.DB.Batch calls of this size — the batching
 	// amortization experiment.
@@ -81,10 +88,12 @@ func (sp KVSpec) readPct() (int, error) {
 		return 95, nil
 	case "c":
 		return 100, nil
-	case "bank":
+	case "bank", "lock":
 		return 0, nil
+	case "session":
+		return 95, nil
 	default:
-		return 0, fmt.Errorf("harness: unknown KV mix %q (want a, b, c, d, e, f or bank)", sp.Mix)
+		return 0, fmt.Errorf("harness: unknown KV mix %q (want a, b, c, d, e, f, bank, session or lock)", sp.Mix)
 	}
 }
 
@@ -96,8 +105,14 @@ func (sp KVSpec) withDefaults() KVSpec {
 	if sp.ValueBytes <= 0 {
 		sp.ValueBytes = 64
 	}
-	if sp.Mix == "bank" {
+	if sp.Mix == "bank" || sp.Mix == "lock" {
 		sp.ValueBytes = 8
+	}
+	if sp.TTL <= 0 {
+		sp.TTL = 16
+	}
+	if sp.PumpEvery <= 0 {
+		sp.PumpEvery = 32
 	}
 	if sp.Systems <= 0 {
 		sp.Systems = 1
@@ -135,8 +150,13 @@ func (sp KVSpec) withDefaults() KVSpec {
 func (sp KVSpec) Name() string {
 	sp = sp.withDefaults()
 	name := fmt.Sprintf("ycsb-%s/%s", sp.Mix, sp.Dist)
-	if sp.Mix == "bank" {
+	switch sp.Mix {
+	case "bank":
 		name = "bank/" + sp.Dist
+	case "session":
+		name = "session-cache/" + sp.Dist
+	case "lock":
+		name = "lock-service/" + sp.Dist
 	}
 	if sp.Backend == BackendCluster {
 		name = fmt.Sprintf("cluster-%s/%s/s=%d/x=%d", sp.Mix, sp.Dist, sp.Systems, sp.CrossPct)

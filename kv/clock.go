@@ -1,0 +1,31 @@
+package kv
+
+import "sync/atomic"
+
+// Clock is the virtual-time source lease deadlines are measured against.
+// Time is an opaque monotonic tick count: nothing in the kv layer assumes a
+// tick is a wall-clock duration, which is what makes lease expiry
+// deterministic — tests advance a ManualClock by hand, the harness advances
+// it on its own simulated-interval cadence, and a production embedding
+// could supply wall time. Injected at construction (WithClock); the default
+// is a fresh ManualClock, so leases never expire behind the caller's back.
+type Clock interface {
+	// Now returns the current tick. It must be monotonic non-decreasing
+	// and safe for concurrent use.
+	Now() uint64
+}
+
+// ManualClock is a Clock advanced explicitly by the caller. The zero value
+// is ready to use and starts at tick 1 (tick 0 is reserved as "never").
+type ManualClock struct {
+	t atomic.Uint64
+}
+
+// NewManualClock returns a clock at tick 1.
+func NewManualClock() *ManualClock { return &ManualClock{} }
+
+// Now implements Clock.
+func (c *ManualClock) Now() uint64 { return c.t.Load() + 1 }
+
+// Advance moves the clock forward by d ticks and returns the new time.
+func (c *ManualClock) Advance(d uint64) uint64 { return c.t.Add(d) + 1 }

@@ -1,19 +1,25 @@
 package kv
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"rhtm/cluster"
 )
 
-// Cluster implements DB over a cluster.Cluster: the share-nothing
+// ClusterDB implements DB over a cluster.Cluster: the share-nothing
 // multi-System router. Single-key operations run as local transactions on
 // the owning System; Update closures run the cluster's optimistic buffered
 // transaction (local commit when one System owns the footprint, two-phase
 // commit when several do); Batch splits into per-System groups with one
 // 2PC decision (cluster.Client.Batch); Scan is the validated snapshot scan
-// (cluster.Client.ScanSnapshot).
+// (cluster.Client.ScanSnapshot). The coordination surface rides the same
+// machinery: revisions are each System's store clock (validated by 2PC
+// prepares), lease records route like any other key — a revoke spanning
+// Systems is one 2PC commit — and Watch fans in every System's commit log,
+// merged by revision.
 //
 // ClusterDB is safe for concurrent use by any number of goroutines:
 // cluster clients are not, so it multiplexes callers over a session pool of
@@ -22,7 +28,11 @@ import (
 // engine thread per System (permanently), so the bound is what keeps a
 // concurrency burst within every System's thread limit.
 type ClusterDB struct {
-	c *cluster.Cluster
+	c     *cluster.Cluster
+	clock Clock
+
+	leaseSeq atomic.Uint64
+	hub      *watchHub
 
 	// sessions holds maxSessions slots, pre-filled with nil placeholders;
 	// a nil slot lazily becomes a registered client on first use.
@@ -30,11 +40,24 @@ type ClusterDB struct {
 }
 
 // NewCluster builds a DB over c. Call during single-threaded setup.
-func NewCluster(c *cluster.Cluster) *ClusterDB {
-	db := &ClusterDB{c: c, sessions: make(chan *cluster.Client, maxSessions)}
+func NewCluster(c *cluster.Cluster, opts ...Option) *ClusterDB {
+	o := applyOptions(opts)
+	db := &ClusterDB{c: c, clock: o.clock, sessions: make(chan *cluster.Client, maxSessions)}
 	for i := 0; i < maxSessions; i++ {
 		db.sessions <- nil
 	}
+	db.hub = newWatchHub(func() []logSource {
+		// One dedicated thread per System drains that System's ring.
+		var sources []logSource
+		for i := 0; i < c.NumSystems(); i++ {
+			n := c.Node(i)
+			sources = append(sources, logSource{
+				log: n.Store().Events(),
+				run: n.Engine().NewThread().Atomic,
+			})
+		}
+		return sources
+	})
 	return db
 }
 
@@ -68,6 +91,9 @@ func mapErr(err error) error {
 
 // Get implements DB.
 func (db *ClusterDB) Get(key []byte) ([]byte, error) {
+	if reservedKey(key) {
+		return nil, ErrReservedKey
+	}
 	cl := db.getClient()
 	defer db.putClient(cl)
 	v, ok, err := cl.Get(key)
@@ -80,15 +106,40 @@ func (db *ClusterDB) Get(key []byte) ([]byte, error) {
 	return v, nil
 }
 
+// GetRev implements DB.
+func (db *ClusterDB) GetRev(key []byte) ([]byte, Revision, error) {
+	return getRev(db, key)
+}
+
 // Put implements DB.
-func (db *ClusterDB) Put(key, value []byte) error {
+func (db *ClusterDB) Put(key, value []byte, opts ...PutOption) error {
+	if reservedKey(key) {
+		return ErrReservedKey
+	}
+	if o := applyPutOptions(opts); o.lease != 0 {
+		return db.Update(func(tx Txn) error {
+			return tx.Put(key, value, opts...)
+		})
+	}
 	cl := db.getClient()
 	defer db.putClient(cl)
-	return mapErr(cl.Put(key, value))
+	err := mapErr(cl.Put(key, value))
+	if err == nil {
+		db.hub.wake()
+	}
+	return err
+}
+
+// PutIf implements DB.
+func (db *ClusterDB) PutIf(key, value []byte, rev Revision, opts ...PutOption) error {
+	return putIf(db, key, value, rev, opts)
 }
 
 // Delete implements DB.
 func (db *ClusterDB) Delete(key []byte) error {
+	if reservedKey(key) {
+		return ErrReservedKey
+	}
 	cl := db.getClient()
 	defer db.putClient(cl)
 	ok, err := cl.Delete(key)
@@ -98,7 +149,13 @@ func (db *ClusterDB) Delete(key []byte) error {
 	if !ok {
 		return ErrNotFound
 	}
+	db.hub.wake()
 	return nil
+}
+
+// DeleteIf implements DB.
+func (db *ClusterDB) DeleteIf(key []byte, rev Revision) error {
+	return deleteIf(db, key, rev)
 }
 
 // Update implements DB via the cluster's optimistic buffered transaction.
@@ -112,6 +169,9 @@ func (db *ClusterDB) Update(fn func(tx Txn) error) error {
 			return fn(&clusterTxn{t: t})
 		})
 		if !errors.Is(err, ErrConflict) {
+			if err == nil {
+				db.hub.wake()
+			}
 			return mapErr(err)
 		}
 		backoff(attempt)
@@ -120,8 +180,18 @@ func (db *ClusterDB) Update(fn func(tx Txn) error) error {
 }
 
 // Batch implements DB natively: per-System grouped prepares and a single
-// 2PC decision, instead of one buffered-transaction read per key.
+// 2PC decision, instead of one buffered-transaction read per key. Batches
+// carrying lease attachments fall back to the closure path, where the
+// lease records ride the same transaction.
 func (db *ClusterDB) Batch(ops []Op) ([]OpResult, error) {
+	for _, op := range ops {
+		if reservedKey(op.Key) {
+			return nil, ErrReservedKey
+		}
+		if op.Lease != 0 {
+			return batchViaUpdate(db, ops)
+		}
+	}
 	cl := db.getClient()
 	defer db.putClient(cl)
 	cops := make([]cluster.BatchOp, len(ops))
@@ -140,6 +210,7 @@ func (db *ClusterDB) Batch(ops []Op) ([]OpResult, error) {
 		return nil, mapErr(err)
 	}
 	results := make([]OpResult, len(ops))
+	wrote := false
 	for i, op := range ops {
 		switch op.Kind {
 		case OpGet:
@@ -150,24 +221,65 @@ func (db *ClusterDB) Batch(ops []Op) ([]OpResult, error) {
 			}
 		case OpPut:
 			results[i] = OpResult{}
+			wrote = true
 		default:
 			if !cres[i].Found {
 				results[i] = OpResult{Err: ErrNotFound}
 			}
+			wrote = true
 		}
+	}
+	if wrote {
+		db.hub.wake()
 	}
 	return results, nil
 }
 
-// Scan implements DB with the cluster's validated snapshot scan.
+// Scan implements DB with the cluster's validated snapshot scan, clamped to
+// the user keyspace.
 func (db *ClusterDB) Scan(start, end []byte, limit int) Iterator {
+	start, end, empty := clampUserRange(start, end)
+	if empty {
+		return emptyIter()
+	}
+	entries, err := db.rawScan(start, end, limit)
+	if err != nil {
+		return errIter(err)
+	}
+	return &entriesIter{entries: entries}
+}
+
+// rawScan implements backend: an unclamped validated snapshot scan.
+func (db *ClusterDB) rawScan(start, end []byte, limit int) ([]Entry, error) {
 	cl := db.getClient()
 	defer db.putClient(cl)
 	entries, err := cl.ScanSnapshot(start, end, limit)
 	if err != nil {
-		return errIter(mapErr(err))
+		return nil, mapErr(err)
 	}
-	return &entriesIter{entries: clusterEntries(entries)}
+	return clusterEntries(entries), nil
+}
+
+// Grant implements DB.
+func (db *ClusterDB) Grant(ttl uint64) (LeaseID, error) {
+	return grant(db, &db.leaseSeq, ttl)
+}
+
+// KeepAlive implements DB.
+func (db *ClusterDB) KeepAlive(id LeaseID) error { return keepAlive(db, id) }
+
+// Revoke implements DB.
+func (db *ClusterDB) Revoke(id LeaseID) error { return revoke(db, id) }
+
+// ExpireLeases implements DB.
+func (db *ClusterDB) ExpireLeases() (int, error) { return expireLeases(db) }
+
+// Clock implements DB.
+func (db *ClusterDB) Clock() Clock { return db.clock }
+
+// Watch implements DB.
+func (db *ClusterDB) Watch(ctx context.Context, prefix []byte, fromRev Revision) (<-chan Event, error) {
+	return db.hub.watch(ctx, prefix, fromRev)
 }
 
 // clusterEntries converts the cluster's entry type.
@@ -186,6 +298,57 @@ type clusterTxn struct {
 
 // Get implements Txn.
 func (t *clusterTxn) Get(key []byte) ([]byte, error) {
+	if reservedKey(key) {
+		return nil, ErrReservedKey
+	}
+	return t.getRaw(key)
+}
+
+// Revision implements Txn.
+func (t *clusterTxn) Revision(key []byte) (Revision, error) {
+	if reservedKey(key) {
+		return 0, ErrReservedKey
+	}
+	rev, ok, err := t.t.Revision(key)
+	if err != nil {
+		return 0, mapErr(err)
+	}
+	if !ok {
+		return 0, nil
+	}
+	return rev, nil
+}
+
+// Put implements Txn. Writes are buffered; capacity errors (ErrArenaFull,
+// ErrTooLarge) surface at commit.
+func (t *clusterTxn) Put(key, value []byte, opts ...PutOption) error {
+	return txnPut(t, key, value, opts)
+}
+
+// Delete implements Txn. The cluster transaction buffers deletions blindly,
+// but the Txn contract reports absence, so this reads the key first (one
+// more recorded read that commit validates).
+func (t *clusterTxn) Delete(key []byte) error {
+	if reservedKey(key) {
+		return ErrReservedKey
+	}
+	return t.deleteRaw(key)
+}
+
+// Scan implements Txn: the validated snapshot overlaid with this
+// transaction's buffered writes, every yielded committed entry recorded as
+// a read for commit validation; clamped to the user keyspace.
+func (t *clusterTxn) Scan(start, end []byte, limit int) Iterator {
+	start, end, empty := clampUserRange(start, end)
+	if empty {
+		return emptyIter()
+	}
+	return t.scanRaw(start, end, limit)
+}
+
+// --- coordTxn ---
+
+func (t *clusterTxn) getRaw(key []byte) ([]byte, error) {
 	v, ok, err := t.t.Get(key)
 	if err != nil {
 		return nil, mapErr(err)
@@ -196,17 +359,12 @@ func (t *clusterTxn) Get(key []byte) ([]byte, error) {
 	return v, nil
 }
 
-// Put implements Txn. Writes are buffered; capacity errors (ErrArenaFull,
-// ErrTooLarge) surface at commit.
-func (t *clusterTxn) Put(key, value []byte) error {
-	t.t.Put(key, value)
+func (t *clusterTxn) putRaw(key, value []byte, lease LeaseID) error {
+	t.t.PutLease(key, value, lease)
 	return nil
 }
 
-// Delete implements Txn. The cluster transaction buffers deletions blindly,
-// but the Txn contract reports absence, so this reads the key first (one
-// more recorded read that commit validates).
-func (t *clusterTxn) Delete(key []byte) error {
+func (t *clusterTxn) deleteRaw(key []byte) error {
 	_, ok, err := t.t.Get(key)
 	if err != nil {
 		return mapErr(err)
@@ -218,13 +376,27 @@ func (t *clusterTxn) Delete(key []byte) error {
 	return nil
 }
 
-// Scan implements Txn: the validated snapshot overlaid with this
-// transaction's buffered writes, every yielded committed entry recorded as
-// a read for commit validation.
-func (t *clusterTxn) Scan(start, end []byte, limit int) Iterator {
+func (t *clusterTxn) leaseOf(key []byte) (LeaseID, error) {
+	lease, ok, err := t.t.Lease(key)
+	if err != nil {
+		return 0, mapErr(err)
+	}
+	if !ok {
+		return 0, nil
+	}
+	return lease, nil
+}
+
+func (t *clusterTxn) scanRaw(start, end []byte, limit int) Iterator {
 	entries, err := t.t.Scan(start, end, limit)
 	if err != nil {
 		return errIter(mapErr(err))
 	}
 	return &entriesIter{entries: clusterEntries(entries)}
 }
+
+// WaitWatchIdle blocks until the watch hub's poller has stopped; call it
+// after cancelling every Watch before taking engine snapshots or running
+// raw-memory validation (the hub's per-System threads are then guaranteed
+// outside Atomic).
+func (db *ClusterDB) WaitWatchIdle() { db.hub.waitIdle() }

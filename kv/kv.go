@@ -8,21 +8,45 @@
 // workload suite, one conformance battery, and one example can drive any
 // engine at any scale.
 //
-// The surface is deliberately small:
+// Beyond the transactional map (Get/Put/Delete, Update closures, Batch,
+// Scan cursors), the contract is coordination-grade, etcd-style:
 //
-//   - Get/Put/Delete are one-shot, single-key transactions.
-//   - Update runs a closure transaction: every Txn operation inside fn is
-//     atomic with the rest, and the implementation retries the whole closure
-//     on conflict (see the retry policy below).
-//   - Batch groups independent single-key operations into one transaction,
-//     amortizing per-transaction overhead, with per-op results.
-//   - Scan returns a cursor over the ordered index: ascending by key, with
-//     the snapshot guarantee that every entry the iterator yields was
-//     committed state at a single instant.
+//   - Revisions: every key carries a monotonic commit version stamped by
+//     the owning store's revision clock. PutIf/DeleteIf are conditional
+//     writes guarded by it (rev 0 = "key must be absent"), Txn.Revision
+//     reads it inside closures, GetRev pairs a read with its version —
+//     every engine becomes a CAS machine with no new locking.
+//   - Leases: Grant(ttl) mints a lease on the injected virtual-time Clock;
+//     Put(..., WithLease(id)) attaches keys; KeepAlive extends; Revoke —
+//     and the ExpireLeases pump — atomically delete a lease's keys in one
+//     transaction (one 2PC commit on the cluster, however many Systems the
+//     keys span).
+//   - Watch streams: Watch(ctx, prefix, fromRev) delivers commit events
+//     (per-key ordered, at-least-once, with explicit loss markers when a
+//     slow consumer outruns the bounded commit log) fed by event rings the
+//     data transactions themselves append to at commit time.
 //
 // Failures are errors.Is-able sentinels — ErrNotFound, ErrConflict,
-// ErrArenaFull, ErrTooLarge — replacing the mixed bool/error returns of the
-// layers below.
+// ErrRevisionMismatch, ErrLeaseNotFound, ErrReservedKey, ErrArenaFull,
+// ErrTooLarge — replacing the mixed bool/error returns of the layers below.
+//
+// # Revisions
+//
+// A revision is the value of the owning store's revision clock at the write
+// that produced the key's current state; every write (including deletes)
+// advances the clock, so a key's revision strictly increases over its
+// lifetime and can never repeat across delete/re-insert (no ABA). Clocks
+// are per data partition — per shard on a sharded Local, per System on the
+// cluster — so revisions order writes per key, not across partitions; on a
+// single-store DB they are a total commit order.
+//
+// # Reserved keys
+//
+// The empty key and every key whose first byte is 0x00 are reserved for
+// system metadata (lease records). User-facing operations reject them with
+// ErrReservedKey, and scans skip them; this is what lets lease state ride
+// the ordinary transactional keyspace — and therefore the ordinary commit
+// paths, including cross-System 2PC — without leaking into user reads.
 //
 // # Retry policy
 //
@@ -47,7 +71,10 @@
 package kv
 
 import (
+	"bytes"
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"time"
@@ -63,6 +90,19 @@ var ErrNotFound = errors.New("kv: key not found")
 // requests a retry of the whole closure.
 var ErrConflict = errors.New("kv: transaction conflict")
 
+// ErrRevisionMismatch reports a PutIf/DeleteIf whose revision guard did not
+// match the key's current revision (including rev 0 against a present key,
+// or a nonzero rev against an absent one).
+var ErrRevisionMismatch = errors.New("kv: revision mismatch")
+
+// ErrLeaseNotFound reports an operation against a lease id that was never
+// granted, already expired, or was revoked.
+var ErrLeaseNotFound = errors.New("kv: lease not found")
+
+// ErrReservedKey reports a user operation on a reserved key (empty, or
+// first byte 0x00) — the namespace lease records live in.
+var ErrReservedKey = errors.New("kv: key is in the reserved system namespace")
+
 // ErrArenaFull reports storage exhaustion: the owning store's arena has no
 // block left for the write. It aliases the store package's sentinel, so
 // errors.Is matches errors from either layer.
@@ -72,13 +112,43 @@ var ErrArenaFull = store.ErrArenaFull
 // largest arena size class. Alias of the store package's sentinel.
 var ErrTooLarge = store.ErrTooLarge
 
+// Revision is a key's monotonic commit version (see the package comment).
+// 0 is never a live revision: it means "absent" in guards and "no replay"
+// in Watch.
+type Revision = uint64
+
+// LeaseID names a granted lease; 0 means "no lease".
+type LeaseID = uint64
+
+// PutOption modifies a Put (DB- or Txn-level).
+type PutOption func(*putOpts)
+
+type putOpts struct {
+	lease LeaseID
+}
+
+// WithLease attaches the written key to a granted lease: when the lease
+// expires or is revoked, the key is deleted atomically with the lease's
+// other keys. A later Put without the option detaches the key.
+func WithLease(id LeaseID) PutOption {
+	return func(o *putOpts) { o.lease = id }
+}
+
+func applyPutOptions(opts []PutOption) putOpts {
+	var o putOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
 // OpKind selects what a batch Op does.
 type OpKind uint8
 
 const (
 	// OpGet reads Key; the value (or ErrNotFound) lands in the OpResult.
 	OpGet OpKind = iota
-	// OpPut stores Key→Value.
+	// OpPut stores Key→Value (attached to Lease when nonzero).
 	OpPut
 	// OpDelete removes Key; an absent key yields ErrNotFound in the
 	// OpResult without failing the batch.
@@ -89,7 +159,8 @@ const (
 type Op struct {
 	Kind  OpKind
 	Key   []byte
-	Value []byte // OpPut only
+	Value []byte  // OpPut only
+	Lease LeaseID // OpPut only: attach to this lease (0 = none)
 }
 
 // OpResult is the outcome of one batch Op. Err is nil on success,
@@ -105,6 +176,33 @@ type OpResult struct {
 type Entry struct {
 	Key   []byte
 	Value []byte
+}
+
+// EventKind classifies a Watch event.
+type EventKind uint8
+
+const (
+	// EventPut reports a key's insert or overwrite.
+	EventPut EventKind = iota
+	// EventDelete reports a key's removal.
+	EventDelete
+	// EventLost marks a gap: the bounded commit log (or the watcher's
+	// delivery queue) overflowed and an unknown number of events between
+	// the previous event and the next one were dropped. Consumers needing
+	// exact state re-read with Scan/GetRev and continue.
+	EventLost
+)
+
+// Event is one commit notification delivered by Watch.
+type Event struct {
+	Kind EventKind
+	Key  []byte
+	// Value is the written value for EventPut — nil when the value was too
+	// large for the bounded commit log (consumers Get the key on demand).
+	Value []byte
+	// Rev is the revision the write was stamped with. Per key, delivered
+	// revisions strictly increase. Zero for EventLost.
+	Rev Revision
 }
 
 // Iterator is a cursor over an ordered key range. Next advances and reports
@@ -130,8 +228,21 @@ type Iterator interface {
 type Txn interface {
 	// Get returns a private copy of key's value, or ErrNotFound.
 	Get(key []byte) ([]byte, error)
-	// Put stores key→value (both copied).
-	Put(key, value []byte) error
+	// Revision returns key's current revision — 0 (with a nil error) when
+	// the key is absent. Pair it with Put/Delete in the same closure for
+	// serializable read-modify-writes; use PutIf/DeleteIf for the one-shot
+	// optimistic form. Read the revision BEFORE writing the key in the
+	// same closure: a write's own revision is assigned at commit, so what
+	// Revision reports after a same-transaction write is backend-specific
+	// (the eager single-System implementation shows a provisional fresh
+	// revision, the cluster's buffered transaction still shows the
+	// committed observation). The shared PutIf/DeleteIf helpers follow
+	// this rule, which is what keeps conditional-write semantics identical
+	// across backends.
+	Revision(key []byte) (Revision, error)
+	// Put stores key→value (both copied), attaching a lease when the
+	// WithLease option is given (which requires the lease to exist).
+	Put(key, value []byte, opts ...PutOption) error
 	// Delete removes key, returning ErrNotFound when it was absent.
 	Delete(key []byte) error
 	// Scan returns a cursor over start <= key < end (nil bounds are
@@ -147,10 +258,21 @@ type Txn interface {
 type DB interface {
 	// Get returns a private copy of key's committed value, or ErrNotFound.
 	Get(key []byte) ([]byte, error)
-	// Put atomically stores key→value.
-	Put(key, value []byte) error
+	// GetRev is Get paired with the key's revision — the token a later
+	// PutIf/DeleteIf is guarded by.
+	GetRev(key []byte) ([]byte, Revision, error)
+	// Put atomically stores key→value; WithLease attaches it to a lease.
+	Put(key, value []byte, opts ...PutOption) error
+	// PutIf stores key→value only if the key's current revision equals rev
+	// (0 = only if absent), failing with ErrRevisionMismatch otherwise —
+	// optimistic compare-and-swap on any engine.
+	PutIf(key, value []byte, rev Revision, opts ...PutOption) error
 	// Delete atomically removes key, returning ErrNotFound when absent.
 	Delete(key []byte) error
+	// DeleteIf removes key only if its current revision equals rev, failing
+	// with ErrRevisionMismatch otherwise (rev 0 never matches a present
+	// key; deleting an absent key reports ErrNotFound).
+	DeleteIf(key []byte, rev Revision) error
 	// Update runs fn as one closure transaction under the package retry
 	// policy (see the package comment).
 	Update(fn func(tx Txn) error) error
@@ -164,6 +286,32 @@ type DB interface {
 	// (0 = unbounded). The yielded prefix is a consistent snapshot: no
 	// torn multi-key transaction, no phantom, is ever observable in it.
 	Scan(start, end []byte, limit int) Iterator
+
+	// Grant mints a lease expiring ttl clock ticks from now (see Clock).
+	Grant(ttl uint64) (LeaseID, error)
+	// KeepAlive pushes the lease's deadline to now+ttl (the granted ttl),
+	// failing with ErrLeaseNotFound for a dead lease.
+	KeepAlive(id LeaseID) error
+	// Revoke deletes the lease and every key still attached to it, as one
+	// atomic transaction (one 2PC commit on the cluster).
+	Revoke(id LeaseID) error
+	// ExpireLeases revokes every lease whose deadline has passed on the
+	// DB's clock, one atomic transaction per lease, returning how many it
+	// expired. Drivers pump it on their virtual-time cadence; it is safe to
+	// run from several goroutines (a lease expires exactly once).
+	ExpireLeases() (int, error)
+	// Clock returns the DB's virtual-time source (injected at
+	// construction; see WithClock and ManualClock).
+	Clock() Clock
+
+	// Watch streams commit events for keys under prefix (nil = all user
+	// keys) until ctx is cancelled, at which point the channel closes.
+	// Delivery is per-key ordered and at-least-once while the consumer
+	// keeps up with the bounded commit log; falling behind surfaces as an
+	// EventLost marker, never as silent drops. fromRev > 0 first replays
+	// the retained history with revisions >= fromRev (per revision clock);
+	// 0 streams new events only.
+	Watch(ctx context.Context, prefix []byte, fromRev Revision) (<-chan Event, error)
 }
 
 // maxAttempts bounds Update/Batch/Scan retries before ErrConflict.
@@ -184,6 +332,115 @@ func backoff(attempt int) {
 	time.Sleep(time.Duration(1+rand.Intn(1<<shift)) * time.Microsecond)
 }
 
+// reservedKey reports whether k is in the system namespace (see the
+// package comment).
+func reservedKey(k []byte) bool {
+	return len(k) == 0 || k[0] == 0x00
+}
+
+// userSpaceStart is the smallest non-reserved key.
+var userSpaceStart = []byte{0x01}
+
+// clampUserRange narrows [start, end) to the user keyspace, returning
+// empty=true when nothing user-visible remains.
+func clampUserRange(start, end []byte) (s, e []byte, empty bool) {
+	if start == nil || bytes.Compare(start, userSpaceStart) < 0 {
+		start = userSpaceStart
+	}
+	if end != nil && bytes.Compare(end, start) <= 0 {
+		return nil, nil, true
+	}
+	return start, end, false
+}
+
+// coordTxn is the internal transaction surface both backends expose beyond
+// Txn: raw (reservation-exempt) access for the lease machinery, which
+// stores its records as ordinary transactional keys in the reserved
+// namespace.
+type coordTxn interface {
+	Txn
+	getRaw(key []byte) ([]byte, error)
+	putRaw(key, value []byte, lease LeaseID) error
+	deleteRaw(key []byte) error
+	leaseOf(key []byte) (LeaseID, error)
+	scanRaw(start, end []byte, limit int) Iterator
+}
+
+// backend is the internal DB surface the shared coordination helpers
+// (conditional writes, leases) run against.
+type backend interface {
+	DB
+	// rawScan snapshots [start, end) without the user-keyspace clamp.
+	rawScan(start, end []byte, limit int) ([]Entry, error)
+}
+
+// txnPut is the one Put implementation both backends' Txn.Put delegate to:
+// it enforces the reserved namespace and maintains the lease record's key
+// list atomically with the write.
+func txnPut(ct coordTxn, key, value []byte, opts []PutOption) error {
+	if reservedKey(key) {
+		return ErrReservedKey
+	}
+	o := applyPutOptions(opts)
+	if o.lease == 0 {
+		return ct.putRaw(key, value, 0)
+	}
+	return leaseAttach(ct, key, value, o.lease)
+}
+
+// getRev is the shared GetRev implementation: one closure transaction
+// pairing the value with the revision it was committed at.
+func getRev(db DB, key []byte) ([]byte, Revision, error) {
+	var val []byte
+	var rev Revision
+	err := db.Update(func(tx Txn) error {
+		var err error
+		if val, err = tx.Get(key); err != nil {
+			return err
+		}
+		rev, err = tx.Revision(key)
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return val, rev, nil
+}
+
+// putIf is the shared PutIf implementation: both backends run it through
+// their Update path, so conditional-write semantics cannot drift.
+func putIf(db DB, key, value []byte, rev Revision, opts []PutOption) error {
+	return db.Update(func(tx Txn) error {
+		cur, err := tx.Revision(key)
+		if err != nil {
+			return err
+		}
+		if cur != rev {
+			return fmt.Errorf("kv: key %q at revision %d, guard %d: %w",
+				key, cur, rev, ErrRevisionMismatch)
+		}
+		return tx.Put(key, value, opts...)
+	})
+}
+
+// deleteIf is the shared DeleteIf implementation.
+func deleteIf(db DB, key []byte, rev Revision) error {
+	return db.Update(func(tx Txn) error {
+		cur, err := tx.Revision(key)
+		if err != nil {
+			return err
+		}
+		if cur == 0 {
+			return ErrNotFound
+		}
+		if cur != rev {
+			return fmt.Errorf("kv: key %q at revision %d, guard %d: %w",
+				key, cur, rev, ErrRevisionMismatch)
+		}
+		return tx.Delete(key)
+	})
+}
+
 // execOp applies one batch op through a Txn, mapping ErrNotFound into the
 // per-op result and returning only hard errors. Both implementations run
 // their Batch through this, so batch semantics cannot drift between them.
@@ -196,6 +453,9 @@ func execOp(tx Txn, op Op) (OpResult, error) {
 		}
 		return OpResult{Value: v}, err
 	case OpPut:
+		if op.Lease != 0 {
+			return OpResult{}, tx.Put(op.Key, op.Value, WithLease(op.Lease))
+		}
 		return OpResult{}, tx.Put(op.Key, op.Value)
 	default:
 		err := tx.Delete(op.Key)
@@ -245,6 +505,9 @@ func (it *entriesIter) Next() bool {
 func (it *entriesIter) Key() []byte   { return it.entries[it.pos-1].Key }
 func (it *entriesIter) Value() []byte { return it.entries[it.pos-1].Value }
 func (it *entriesIter) Err() error    { return it.err }
+
+// emptyIter is an exhausted Iterator (clamped-away ranges).
+func emptyIter() Iterator { return &entriesIter{} }
 
 // errIter is an Iterator that failed before yielding anything.
 func errIter(err error) Iterator { return &entriesIter{err: err} }

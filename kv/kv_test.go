@@ -2,10 +2,12 @@ package kv_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"rhtm"
 	"rhtm/cluster"
@@ -43,15 +45,16 @@ var allEngines = []string{"RH1", "RH2", "TL2", "StdHyTM", "NoRec", "Phased"}
 // localFactory builds a Local DB over a fresh System; shards=0 selects the
 // unsharded Store.
 func localFactory(engineName string, shards, inject int) dbtest.DBFactory {
-	return func(t *testing.T) (kv.DB, func() error) {
+	return func(t *testing.T) (kv.DB, *kv.ManualClock, func() error) {
 		s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
 		eng := newEngine(t, s, engineName, inject)
+		clock := kv.NewManualClock()
 		if shards == 0 {
 			st := store.New(s, store.Options{ArenaWords: 1 << 14})
-			return kv.NewLocal(eng, st), st.Validate
+			return kv.NewLocal(eng, st, kv.WithClock(clock)), clock, st.Validate
 		}
 		sh := store.NewSharded(s, shards, store.Options{ArenaWords: 1 << 13})
-		return kv.NewLocal(eng, sh), sh.Validate
+		return kv.NewLocal(eng, sh, kv.WithClock(clock)), clock, sh.Validate
 	}
 }
 
@@ -59,7 +62,7 @@ func localFactory(engineName string, shards, inject int) dbtest.DBFactory {
 // hardware aborts, so both the engines' fallback paths and 2PC's abort path
 // get exercised.
 func clusterFactory(engineName string, systems, inject int) dbtest.DBFactory {
-	return func(t *testing.T) (kv.DB, func() error) {
+	return func(t *testing.T) (kv.DB, *kv.ManualClock, func() error) {
 		c := cluster.MustNew(cluster.Config{
 			Systems:    systems,
 			DataWords:  1 << 15,
@@ -68,7 +71,8 @@ func clusterFactory(engineName string, systems, inject int) dbtest.DBFactory {
 				return newEngine(t, s, engineName, inject), nil
 			},
 		})
-		return kv.NewCluster(c), c.Validate
+		clock := kv.NewManualClock()
+		return kv.NewCluster(c, kv.WithClock(clock)), clock, c.Validate
 	}
 }
 
@@ -94,7 +98,7 @@ func TestSentinelNotFound(t *testing.T) {
 		"local":   localFactory("TL2", 2, 0),
 		"cluster": clusterFactory("TL2", 2, 0),
 	} {
-		db, _ := f(t)
+		db, _, _ := f(t)
 		if _, err := db.Get([]byte("nope")); !errors.Is(err, kv.ErrNotFound) {
 			t.Errorf("Get missing: %v, want ErrNotFound", err)
 		}
@@ -144,7 +148,7 @@ func TestUpdateRetriesOnErrConflict(t *testing.T) {
 		"local":   localFactory("TL2", 2, 0),
 		"cluster": clusterFactory("TL2", 2, 0),
 	} {
-		db, _ := f(t)
+		db, _, _ := f(t)
 		attempts := 0
 		err := db.Update(func(tx kv.Txn) error {
 			attempts++
@@ -172,7 +176,7 @@ func TestUpdateRetriesOnErrConflict(t *testing.T) {
 // chunks; entries, order and bounds must be exact across chunk boundaries
 // (the chunk size is 32, so 100 keys cross several).
 func TestLocalCursorChunks(t *testing.T) {
-	db, _ := localFactory("TL2", 4, 0)(t)
+	db, _, _ := localFactory("TL2", 4, 0)(t)
 	const n = 100
 	for i := 0; i < n; i++ {
 		if err := db.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
@@ -262,7 +266,7 @@ func TestBatchAmortization(t *testing.T) {
 // registering fresh engine threads per call (a dropped client leaks its
 // per-System thread registrations until NewThread panics).
 func TestClusterDBHighConcurrency(t *testing.T) {
-	db, validate := clusterFactory("TL2", 2, 0)(t)
+	db, _, validate := clusterFactory("TL2", 2, 0)(t)
 	var wg sync.WaitGroup
 	for g := 0; g < 100; g++ {
 		g := g
@@ -285,5 +289,128 @@ func TestClusterDBHighConcurrency(t *testing.T) {
 	wg.Wait()
 	if err := validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- coordination surface ---
+
+// TestReservedKeys: the system namespace (empty key, leading 0x00) is
+// rejected by every user-facing op and invisible to scans, on both
+// backends — lease records must be unreachable from user code.
+func TestReservedKeys(t *testing.T) {
+	for name, f := range map[string]dbtest.DBFactory{
+		"local":   localFactory("TL2", 2, 0),
+		"cluster": clusterFactory("TL2", 2, 0),
+	} {
+		db, _, _ := f(t)
+		for _, key := range [][]byte{nil, {}, {0x00}, []byte("\x00lease")} {
+			if err := db.Put(key, []byte("v")); !errors.Is(err, kv.ErrReservedKey) {
+				t.Errorf("%s: Put(%q) err = %v, want ErrReservedKey", name, key, err)
+			}
+			if _, err := db.Get(key); !errors.Is(err, kv.ErrReservedKey) {
+				t.Errorf("%s: Get(%q) err = %v, want ErrReservedKey", name, key, err)
+			}
+			if err := db.Delete(key); !errors.Is(err, kv.ErrReservedKey) {
+				t.Errorf("%s: Delete(%q) err = %v, want ErrReservedKey", name, key, err)
+			}
+		}
+		err := db.Update(func(tx kv.Txn) error {
+			if err := tx.Put([]byte{0}, []byte("v")); !errors.Is(err, kv.ErrReservedKey) {
+				return fmt.Errorf("tx.Put reserved: %v", err)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Lease records exist in the keyspace but never leak into scans.
+		if _, err := db.Grant(100); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Put([]byte("visible"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		it := db.Scan(nil, nil, 0)
+		for it.Next() {
+			if len(it.Key()) == 0 || it.Key()[0] == 0x00 {
+				t.Errorf("%s: scan leaked reserved key %q", name, it.Key())
+			}
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWatchReportsLoss: a watcher asking for history the bounded commit
+// log no longer retains must receive an explicit EventLost marker, then
+// the retained tail in order — never a silent gap.
+func TestWatchReportsLoss(t *testing.T) {
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+	// A tiny ring (the store enforces its 64-word floor) overflows fast.
+	st := store.New(s, store.Options{ArenaWords: 1 << 14, LogWords: 1})
+	db := kv.NewLocal(rhtm.NewTL2(s), st)
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k-%02d", i%5)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := db.Watch(ctx, nil, 1) // replay from the beginning of history
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := <-ch
+	if first.Kind != kv.EventLost {
+		t.Fatalf("first replayed event = %+v, want EventLost", first)
+	}
+	// The retained tail follows, per-key ordered; the newest write appears.
+	sawNewest := false
+	lastRev := map[string]kv.Revision{}
+	deadline := time.After(10 * time.Second)
+	for !sawNewest {
+		select {
+		case ev := <-ch:
+			if ev.Kind != kv.EventPut {
+				t.Fatalf("unexpected event %+v", ev)
+			}
+			if ev.Rev <= lastRev[string(ev.Key)] {
+				t.Fatalf("per-key order violated after loss: %+v", ev)
+			}
+			lastRev[string(ev.Key)] = ev.Rev
+			if string(ev.Key) == "k-04" && ev.Value[0] == 49 {
+				sawNewest = true
+			}
+		case <-deadline:
+			t.Fatal("newest event never replayed")
+		}
+	}
+}
+
+// TestWatchReportsDroppedKey: an event whose key exceeds what the bounded
+// commit log can record is refused by the ring; the watcher must still see
+// an explicit EventLost marker rather than a silent gap.
+func TestWatchReportsDroppedKey(t *testing.T) {
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+	st := store.New(s, store.Options{ArenaWords: 1 << 14, LogWords: 1}) // 64-word floor
+	db := kv.NewLocal(rhtm.NewTL2(s), st)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := db.Watch(ctx, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := append([]byte("big-"), bytes.Repeat([]byte{'k'}, 400)...)
+	if err := db.Put(huge, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-ch:
+		if ev.Kind != kv.EventLost {
+			t.Fatalf("dropped-key write delivered %+v, want EventLost", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dropped-key write produced no EventLost")
 	}
 }

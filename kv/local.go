@@ -1,7 +1,9 @@
 package kv
 
 import (
+	"context"
 	"errors"
+	"sync/atomic"
 
 	"rhtm"
 	"rhtm/store"
@@ -11,10 +13,12 @@ import (
 // store.Store and store.Sharded satisfy it.
 type Storer interface {
 	Get(tx rhtm.Tx, key []byte) ([]byte, bool)
-	Put(tx rhtm.Tx, key, value []byte) error
+	Read(tx rhtm.Tx, key []byte) (value []byte, rev, lease uint64, ok bool)
+	PutLease(tx rhtm.Tx, key, value []byte, lease uint64) error
 	Delete(tx rhtm.Tx, key []byte) bool
 	ScanLimit(tx rhtm.Tx, start, end []byte, limit int, fn func(key, value []byte) bool)
 	Len(tx rhtm.Tx) int
+	EventLogs() []*store.EventLog
 }
 
 var (
@@ -22,11 +26,38 @@ var (
 	_ Storer = (*store.Sharded)(nil)
 )
 
+// Option configures a DB at construction.
+type Option func(*dbOptions)
+
+type dbOptions struct {
+	clock Clock
+}
+
+// WithClock injects the virtual-time source lease deadlines are measured
+// against. The default is a fresh ManualClock (time stands still until the
+// caller advances it).
+func WithClock(c Clock) Option {
+	return func(o *dbOptions) { o.clock = c }
+}
+
+func applyOptions(opts []Option) dbOptions {
+	o := dbOptions{}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.clock == nil {
+		o.clock = NewManualClock()
+	}
+	return o
+}
+
 // Local implements DB over one simulated System: an rhtm engine supplies
 // the transactions, a store.Store or store.Sharded supplies the data. Every
 // DB operation is one engine transaction (Atomic), so atomicity, isolation
 // and rollback come from whichever engine — RH1, RH2, TL2, the hybrids —
-// the System runs.
+// the System runs. Revisions and watch events come from the stores' own
+// commit logs; leases live in the reserved keyspace (see the package
+// comment).
 //
 // Local is safe for concurrent use by any number of goroutines: engine
 // threads are not, so Local multiplexes callers over an internal session
@@ -35,8 +66,12 @@ var (
 // more engine threads than the System's MaxThreads allows (thread
 // registrations are permanent).
 type Local struct {
-	eng rhtm.Engine
-	st  Storer
+	eng   rhtm.Engine
+	st    Storer
+	clock Clock
+
+	leaseSeq atomic.Uint64
+	hub      *watchHub
 
 	// sessions holds maxSessions slots, pre-filled with nil placeholders;
 	// a nil slot lazily becomes a registered engine thread on first use.
@@ -50,11 +85,21 @@ const maxSessions = 32
 
 // NewLocal builds a DB over an engine and a store on the same System. Call
 // during single-threaded setup.
-func NewLocal(eng rhtm.Engine, st Storer) *Local {
-	db := &Local{eng: eng, st: st, sessions: make(chan rhtm.Thread, maxSessions)}
+func NewLocal(eng rhtm.Engine, st Storer, opts ...Option) *Local {
+	o := applyOptions(opts)
+	db := &Local{eng: eng, st: st, clock: o.clock, sessions: make(chan rhtm.Thread, maxSessions)}
 	for i := 0; i < maxSessions; i++ {
 		db.sessions <- nil
 	}
+	db.hub = newWatchHub(func() []logSource {
+		// One dedicated thread serves every ring: they share the System.
+		th := eng.NewThread()
+		var sources []logSource
+		for _, l := range st.EventLogs() {
+			sources = append(sources, logSource{log: l, run: th.Atomic})
+		}
+		return sources
+	})
 	return db
 }
 
@@ -83,6 +128,9 @@ func (db *Local) Update(fn func(tx Txn) error) error {
 			return fn(&localTxn{tx: tx, st: db.st})
 		})
 		if !errors.Is(err, ErrConflict) {
+			if err == nil {
+				db.hub.wake()
+			}
 			return err
 		}
 		backoff(attempt)
@@ -92,6 +140,9 @@ func (db *Local) Update(fn func(tx Txn) error) error {
 
 // Get implements DB.
 func (db *Local) Get(key []byte) ([]byte, error) {
+	if reservedKey(key) {
+		return nil, ErrReservedKey
+	}
 	th := db.getThread()
 	defer db.putThread(th)
 	var val []byte
@@ -108,17 +159,43 @@ func (db *Local) Get(key []byte) ([]byte, error) {
 	return val, nil
 }
 
-// Put implements DB.
-func (db *Local) Put(key, value []byte) error {
+// GetRev implements DB.
+func (db *Local) GetRev(key []byte) ([]byte, Revision, error) {
+	return getRev(db, key)
+}
+
+// Put implements DB. Lease-attached puts run as closure transactions (the
+// lease record rides along); plain puts take the direct path.
+func (db *Local) Put(key, value []byte, opts ...PutOption) error {
+	if reservedKey(key) {
+		return ErrReservedKey
+	}
+	if o := applyPutOptions(opts); o.lease != 0 {
+		return db.Update(func(tx Txn) error {
+			return tx.Put(key, value, opts...)
+		})
+	}
 	th := db.getThread()
 	defer db.putThread(th)
-	return th.Atomic(func(tx rhtm.Tx) error {
-		return db.st.Put(tx, key, value)
+	err := th.Atomic(func(tx rhtm.Tx) error {
+		return db.st.PutLease(tx, key, value, 0)
 	})
+	if err == nil {
+		db.hub.wake()
+	}
+	return err
+}
+
+// PutIf implements DB.
+func (db *Local) PutIf(key, value []byte, rev Revision, opts ...PutOption) error {
+	return putIf(db, key, value, rev, opts)
 }
 
 // Delete implements DB.
 func (db *Local) Delete(key []byte) error {
+	if reservedKey(key) {
+		return ErrReservedKey
+	}
 	th := db.getThread()
 	defer db.putThread(th)
 	var ok bool
@@ -131,7 +208,13 @@ func (db *Local) Delete(key []byte) error {
 	if !ok {
 		return ErrNotFound
 	}
+	db.hub.wake()
 	return nil
+}
+
+// DeleteIf implements DB.
+func (db *Local) DeleteIf(key []byte, rev Revision) error {
+	return deleteIf(db, key, rev)
 }
 
 // Batch implements DB: one engine transaction executes every op in order.
@@ -140,21 +223,57 @@ func (db *Local) Batch(ops []Op) ([]OpResult, error) {
 }
 
 // Scan implements DB: the prefix is collected inside one engine
-// transaction, so it is a committed snapshot by construction.
+// transaction, so it is a committed snapshot by construction. Reserved
+// system keys are outside the user keyspace and never yielded.
 func (db *Local) Scan(start, end []byte, limit int) Iterator {
+	start, end, empty := clampUserRange(start, end)
+	if empty {
+		return emptyIter()
+	}
+	entries, err := db.rawScan(start, end, limit)
+	if err != nil {
+		return errIter(err)
+	}
+	return &entriesIter{entries: entries}
+}
+
+// rawScan implements backend: an unclamped snapshot scan.
+func (db *Local) rawScan(start, end []byte, limit int) ([]Entry, error) {
 	var entries []Entry
 	err := db.Update(func(tx Txn) error {
 		entries = entries[:0]
-		it := tx.Scan(start, end, limit)
+		it := tx.(*localTxn).scanRaw(start, end, limit)
 		for it.Next() {
 			entries = append(entries, Entry{Key: it.Key(), Value: it.Value()})
 		}
 		return it.Err()
 	})
 	if err != nil {
-		return errIter(err)
+		return nil, err
 	}
-	return &entriesIter{entries: entries}
+	return entries, nil
+}
+
+// Grant implements DB.
+func (db *Local) Grant(ttl uint64) (LeaseID, error) {
+	return grant(db, &db.leaseSeq, ttl)
+}
+
+// KeepAlive implements DB.
+func (db *Local) KeepAlive(id LeaseID) error { return keepAlive(db, id) }
+
+// Revoke implements DB.
+func (db *Local) Revoke(id LeaseID) error { return revoke(db, id) }
+
+// ExpireLeases implements DB.
+func (db *Local) ExpireLeases() (int, error) { return expireLeases(db) }
+
+// Clock implements DB.
+func (db *Local) Clock() Clock { return db.clock }
+
+// Watch implements DB.
+func (db *Local) Watch(ctx context.Context, prefix []byte, fromRev Revision) (<-chan Event, error) {
+	return db.hub.watch(ctx, prefix, fromRev)
 }
 
 // errRetriesExhausted builds the ErrConflict-wrapping failure Update
@@ -176,6 +295,49 @@ type localTxn struct {
 
 // Get implements Txn.
 func (t *localTxn) Get(key []byte) ([]byte, error) {
+	if reservedKey(key) {
+		return nil, ErrReservedKey
+	}
+	return t.getRaw(key)
+}
+
+// Revision implements Txn.
+func (t *localTxn) Revision(key []byte) (Revision, error) {
+	if reservedKey(key) {
+		return 0, ErrReservedKey
+	}
+	_, rev, _, ok := t.st.Read(t.tx, key)
+	if !ok {
+		return 0, nil
+	}
+	return rev, nil
+}
+
+// Put implements Txn.
+func (t *localTxn) Put(key, value []byte, opts ...PutOption) error {
+	return txnPut(t, key, value, opts)
+}
+
+// Delete implements Txn.
+func (t *localTxn) Delete(key []byte) error {
+	if reservedKey(key) {
+		return ErrReservedKey
+	}
+	return t.deleteRaw(key)
+}
+
+// Scan implements Txn, clamped to the user keyspace.
+func (t *localTxn) Scan(start, end []byte, limit int) Iterator {
+	start, end, empty := clampUserRange(start, end)
+	if empty {
+		return emptyIter()
+	}
+	return t.scanRaw(start, end, limit)
+}
+
+// --- coordTxn ---
+
+func (t *localTxn) getRaw(key []byte) ([]byte, error) {
 	v, ok := t.st.Get(t.tx, key)
 	if !ok {
 		return nil, ErrNotFound
@@ -183,25 +345,31 @@ func (t *localTxn) Get(key []byte) ([]byte, error) {
 	return v, nil
 }
 
-// Put implements Txn.
-func (t *localTxn) Put(key, value []byte) error {
-	return t.st.Put(t.tx, key, value)
+func (t *localTxn) putRaw(key, value []byte, lease LeaseID) error {
+	return t.st.PutLease(t.tx, key, value, lease)
 }
 
-// Delete implements Txn.
-func (t *localTxn) Delete(key []byte) error {
+func (t *localTxn) deleteRaw(key []byte) error {
 	if !t.st.Delete(t.tx, key) {
 		return ErrNotFound
 	}
 	return nil
 }
 
-// Scan implements Txn with a lazy cursor: chunks of the ordered index are
+func (t *localTxn) leaseOf(key []byte) (LeaseID, error) {
+	_, _, lease, ok := t.st.Read(t.tx, key)
+	if !ok {
+		return 0, nil
+	}
+	return lease, nil
+}
+
+// scanRaw is the unclamped lazy cursor: chunks of the ordered index are
 // fetched on demand inside the live transaction, each chunk resuming at the
 // successor of the last key seen, so short scans touch only the entries
 // they yield. All chunks run in the same transaction, so the cursor is a
 // consistent snapshot regardless.
-func (t *localTxn) Scan(start, end []byte, limit int) Iterator {
+func (t *localTxn) scanRaw(start, end []byte, limit int) Iterator {
 	return &localIter{t: t, next: start, end: end, remaining: limit, unbounded: limit <= 0}
 }
 
@@ -264,3 +432,9 @@ func (it *localIter) fill() {
 func (it *localIter) Key() []byte   { return it.cur.Key }
 func (it *localIter) Value() []byte { return it.cur.Value }
 func (it *localIter) Err() error    { return nil }
+
+// WaitWatchIdle blocks until the watch hub's poller has stopped; call it
+// after cancelling every Watch before taking engine snapshots or running
+// raw-memory validation (the hub's dedicated engine thread is then
+// guaranteed outside Atomic).
+func (db *Local) WaitWatchIdle() { db.hub.waitIdle() }

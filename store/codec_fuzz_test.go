@@ -1,0 +1,153 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rhtm"
+	"rhtm/containers"
+)
+
+// The varlen codec (codec.go) is the boundary where []byte keys and values
+// become simulated words; FuzzCodecRoundTrip hammers it with arbitrary
+// payloads and the golden tests pin the exact encodings at the size-class
+// boundaries, where an off-by-one in blockWords/classOf silently corrupts
+// or over-allocates.
+
+// codecSys builds a System just big enough to encode n payload bytes.
+func codecSys(n int) (*rhtm.System, rhtm.Addr) {
+	words := blockWords(n)
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(words + 64))
+	return s, s.MustAlloc(words)
+}
+
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(""))
+	f.Add([]byte("a"))
+	f.Add([]byte("exactly8"))
+	f.Add([]byte("nine byte"))
+	f.Add(bytes.Repeat([]byte{0xff}, 55))
+	f.Add(bytes.Repeat([]byte{0x00}, 56))
+	f.Add(bytes.Repeat([]byte{0x7f}, 57))
+	f.Add([]byte("\x00leading nul"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<12 {
+			b = b[:1<<12]
+		}
+		s, a := codecSys(len(b))
+		tx := containers.SetupTx(s)
+		writeBytes(tx, a, b)
+		got := readBytes(tx, a)
+		if !bytes.Equal(got, b) {
+			t.Fatalf("round trip: wrote %x, read %x", b, got)
+		}
+		// compareBytes must agree with bytes.Compare for the identical key,
+		// a mutated first byte, a truncation, and an extension.
+		probes := [][]byte{append([]byte(nil), b...)}
+		if len(b) > 0 {
+			mut := append([]byte(nil), b...)
+			mut[0] ^= 0x01
+			probes = append(probes, mut, b[:len(b)/2])
+		}
+		probes = append(probes, append(append([]byte(nil), b...), 0x00))
+		for _, p := range probes {
+			want := sign(bytes.Compare(p, b))
+			if got := sign(compareBytes(tx, p, a)); got != want {
+				t.Fatalf("compareBytes(%x, %x) = %d, want %d", p, b, got, want)
+			}
+		}
+	})
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TestCodecGoldenVectors pins the exact word-level encoding at the
+// word-packing boundaries: length word first, payload packed little-endian
+// eight bytes per word, last word zero-padded.
+func TestCodecGoldenVectors(t *testing.T) {
+	cases := []struct {
+		payload []byte
+		words   []uint64 // expected block contents, length word included
+	}{
+		{nil, []uint64{0}},
+		{[]byte{0xab}, []uint64{1, 0xab}},
+		{[]byte("8bytes!!"), []uint64{8, 0x2121736574796238}},
+		{[]byte("9 bytes!!"), []uint64{9, 0x2173657479622039, 0x21}},
+		{bytes.Repeat([]byte{0xff}, 16), []uint64{16, ^uint64(0), ^uint64(0)}},
+	}
+	for _, c := range cases {
+		s, a := codecSys(len(c.payload))
+		tx := containers.SetupTx(s)
+		writeBytes(tx, a, c.payload)
+		if got := blockWords(len(c.payload)); got != len(c.words) {
+			t.Fatalf("%q: blockWords = %d, want %d", c.payload, got, len(c.words))
+		}
+		for i, want := range c.words {
+			if got := s.Peek(a + rhtm.Addr(i)); got != want {
+				t.Fatalf("%q word %d = %#x, want %#x", c.payload, i, got, want)
+			}
+		}
+	}
+	// Size-class boundaries: a block of exactly 1<<c words stays in class c;
+	// one more word moves up a class (doubling the allocation).
+	for _, c := range []int{1, 2, 3, 4, 8} {
+		if got := classOf(1 << c); got != c {
+			t.Fatalf("classOf(%d) = %d, want %d", 1<<c, got, c)
+		}
+		if got := classOf(1<<c + 1); got != c+1 {
+			t.Fatalf("classOf(%d) = %d, want %d", 1<<c+1, got, c+1)
+		}
+	}
+}
+
+// TestCodecTooLargeEdge pins the ErrTooLarge boundary exactly: the largest
+// class is 1<<(numClasses-1) words, so the largest encodable payload is
+// (1<<(numClasses-1) - 1) * 8 bytes; one byte more must fail with
+// ErrTooLarge (and not ErrArenaFull, which would suggest retrying could
+// help).
+func TestCodecTooLargeEdge(t *testing.T) {
+	maxWords := 1 << (numClasses - 1)
+	maxPayload := (maxWords - 1) * 8
+	if got := blockWords(maxPayload); got != maxWords {
+		t.Fatalf("blockWords(max) = %d, want %d", got, maxWords)
+	}
+	if got := blockWords(maxPayload + 1); got != maxWords+1 {
+		t.Fatalf("blockWords(max+1) = %d, want %d", got, maxWords+1)
+	}
+
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+	arena := NewArena(s, 1<<16+64)
+	tx := containers.SetupTx(s)
+	if _, err := arena.TxAlloc(tx, blockWords(maxPayload)); err != nil {
+		t.Fatalf("largest-class alloc refused: %v", err)
+	}
+	_, err := arena.TxAlloc(tx, blockWords(maxPayload+1))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over-max alloc err = %v, want ErrTooLarge", err)
+	}
+	if errors.Is(err, ErrArenaFull) {
+		t.Fatal("over-max alloc also matches ErrArenaFull")
+	}
+
+	// The same boundary surfaces through the store's Put, wrapped so
+	// errors.Is works end to end.
+	st := New(s, Options{ArenaWords: 1 << 10})
+	if err := st.Put(tx, []byte("k"), make([]byte, maxPayload+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("store Put over-max err = %v, want ErrTooLarge", err)
+	}
+	if msg := fmt.Sprint(err); msg == "" {
+		t.Fatal("empty error message")
+	}
+}

@@ -12,21 +12,33 @@ import (
 // Write intents are the store-level half of the cluster package's two-phase
 // commit: a prepared cross-System transaction installs one intent record per
 // touched key in that key's System, and the coordinator's decision later
-// applies or discards them. An intent is an exclusive per-key reservation —
-// while one is pending, the key's committed value cannot change (every
-// conforming accessor checks IntentOn / PrepareIntent first), which is what
-// keeps a validated read valid between prepare and decision.
+// applies or discards them. A *write* intent (IntentPut / IntentDelete) is
+// an exclusive per-key reservation — while one is pending, the key's
+// committed value cannot change (every conforming accessor checks
+// WriteIntentOn / PrepareIntent first), which is what keeps a validated
+// read valid between prepare and decision. A *read* intent (IntentRead) is
+// shared: any number of transactions may hold read intents on the same key
+// simultaneously — readers do not invalidate each other — but a read intent
+// blocks writers (a write under a pinned read would invalidate the
+// prepared transaction's validation), and a write intent blocks everyone.
 //
 // Intent records live in a second ordered index on the store's own arena,
-// sharing the entry layout of data records: word 0 the key block, word 1 the
-// payload block. The payload encodes the owning transaction id, the buffered
-// operation, and (for a put) the buffered value:
+// sharing the entry layout of data records' first two words: word 0 the key
+// block, word 1 the payload block. The payload is kind-tagged and
+// word-aligned so the hot checks cost single data loads beyond the index
+// walk:
 //
-//	byte 0..7   txid, little-endian (word 1 of the payload block, so
-//	            IntentOn costs a single data load beyond the index walk)
-//	byte 8      kind (IntentRead / IntentPut / IntentDelete)
-//	byte 9..16  reserved value-block address (IntentPut only; 0 otherwise)
-//	byte 17..   value bytes (IntentPut only)
+//	write intents (IntentPut / IntentDelete):
+//	  byte 0       kind
+//	  bytes 8..15  owning txid
+//	  bytes 16..23 attached lease id (IntentPut only; 0 otherwise)
+//	  bytes 24..31 reserved value-block address (IntentPut only)
+//	  bytes 32..   value bytes (IntentPut only)
+//
+//	read intents (IntentRead):
+//	  byte 0       kind
+//	  bytes 8..15  sharer count n
+//	  bytes 16..   n little-endian 8-byte txids
 //
 // A put intent pre-allocates the value block its apply will install (the
 // reserved address above), so that once a transaction is decided, applying
@@ -43,66 +55,101 @@ import (
 type IntentKind uint8
 
 const (
-	// IntentRead locks a validated read; Apply and Discard both just
-	// release it.
+	// IntentRead pins a validated read; shared — many transactions may hold
+	// one on the same key. Apply and Discard both just release the holder.
 	IntentRead IntentKind = iota
-	// IntentPut buffers a value; ApplyIntent stores it.
+	// IntentPut buffers a value; ApplyIntent stores it (with its lease).
 	IntentPut
 	// IntentDelete buffers a deletion; ApplyIntent removes the key.
 	IntentDelete
 )
 
-// intentHeaderBytes is the payload prefix before the buffered value: txid,
-// kind, and the reserved value-block address.
-const intentHeaderBytes = 17
+// Payload header sizes (see the layout comment above).
+const (
+	writeIntentHeaderBytes = 32
+	readIntentHeaderBytes  = 16
+)
 
-// ErrIntentHeld is returned by PrepareIntent when another transaction
-// already holds an intent on the key. Returning it from a transaction body
-// aborts the prepare cleanly, leaving no partial intents on this store.
-var ErrIntentHeld = errors.New("store: key has a pending intent")
+// ErrIntentHeld is returned by PrepareIntent when the requested intent
+// conflicts with a pending one: any intent blocks a writer, a write intent
+// blocks a reader. Returning it from a transaction body aborts the prepare
+// cleanly, leaving no partial intents on this store.
+var ErrIntentHeld = errors.New("store: key has a conflicting pending intent")
 
 // ErrIntentMissing is returned by ApplyIntent/DiscardIntent when the key
-// holds no intent — a protocol bug in the caller, surfaced as an error so
-// the enclosing transaction aborts without mutating anything.
+// holds no intent of the given transaction — a protocol bug in the caller,
+// surfaced as an error so the enclosing transaction aborts without mutating
+// anything.
 var ErrIntentMissing = errors.New("store: no pending intent on key")
 
-// IntentFootprintWords returns the arena words one pending intent consumes,
-// class-rounded (key block, payload block, reserved apply-time value block,
-// entry record, index node) — the sizing companion of RecordFootprintWords
-// for workloads that keep intents in flight.
+// IntentFootprintWords returns the arena words one pending write intent
+// consumes, class-rounded (key block, payload block, reserved apply-time
+// value block, entry record, index node) — the sizing companion of
+// RecordFootprintWords for workloads that keep intents in flight. Shared
+// read-intent records are strictly smaller until their sharer list outgrows
+// the value: sizing by this function covers one sharer per in-flight
+// transaction key either way.
 func IntentFootprintWords(keyBytes, valueBytes int) int {
 	return 1<<classOf(blockWords(keyBytes)) +
-		1<<classOf(blockWords(intentHeaderBytes+valueBytes)) +
+		1<<classOf(blockWords(writeIntentHeaderBytes+valueBytes)) +
 		1<<classOf(blockWords(valueBytes)) +
-		1<<classOf(entryWords) +
+		1<<classOf(intentEntryWords) +
 		1<<classOf(containers.OTNodeWords)
 }
 
-// PrepareIntent installs an intent record for key owned by txid. For
-// IntentPut, value is the buffered bytes to store on apply, and the value
-// block the apply will install is allocated here, up front. It fails with
-// ErrIntentHeld when any intent (including one of the same transaction —
-// each participant prepares a key at most once) is already pending, and
-// with an arena error when the store is full.
-func (st *Store) PrepareIntent(tx rhtm.Tx, key []byte, txid uint64, kind IntentKind, value []byte) error {
-	if _, held := st.intents.Lookup(tx, key); held {
-		return ErrIntentHeld
-	}
-	var vb rhtm.Addr
-	if kind != IntentPut {
-		value = nil
-	} else {
-		reserved, err := st.arena.TxAlloc(tx, blockWords(len(value)))
-		if err != nil {
-			return err
+// PrepareIntent installs an intent for key owned by txid. For IntentPut,
+// value is the buffered bytes to store on apply (with lease attached), and
+// the value block the apply will install is allocated here, up front. An
+// IntentRead joins any read intents already pending on the key (shared);
+// every other combination — writer meets any intent, reader meets a write
+// intent, or txid already holds the key (each participant prepares a key at
+// most once) — fails with ErrIntentHeld. Arena exhaustion surfaces as its
+// own error.
+func (st *Store) PrepareIntent(tx rhtm.Tx, key []byte, txid uint64, kind IntentKind, value []byte, lease uint64) error {
+	if item, held := st.intents.Lookup(tx, key); held {
+		if kind != IntentRead {
+			return ErrIntentHeld
 		}
-		vb = reserved
+		ent := rhtm.Addr(item)
+		payload := readBytes(tx, rhtm.Addr(tx.Load(ent+1)))
+		if IntentKind(payload[0]) != IntentRead {
+			return ErrIntentHeld
+		}
+		if readerIndex(payload, txid) >= 0 {
+			return ErrIntentHeld
+		}
+		n := binary.LittleEndian.Uint64(payload[8:])
+		grown := make([]byte, len(payload)+8)
+		copy(grown, payload)
+		binary.LittleEndian.PutUint64(grown[8:], n+1)
+		binary.LittleEndian.PutUint64(grown[len(payload):], txid)
+		return st.rewriteIntentPayload(tx, ent, payload, grown)
 	}
-	payload := make([]byte, intentHeaderBytes+len(value))
-	binary.LittleEndian.PutUint64(payload, txid)
-	payload[8] = byte(kind)
-	binary.LittleEndian.PutUint64(payload[9:], uint64(vb))
-	copy(payload[intentHeaderBytes:], value)
+
+	var payload []byte
+	if kind == IntentRead {
+		payload = make([]byte, readIntentHeaderBytes+8)
+		payload[0] = byte(kind)
+		binary.LittleEndian.PutUint64(payload[8:], 1)
+		binary.LittleEndian.PutUint64(payload[16:], txid)
+	} else {
+		var vb rhtm.Addr
+		if kind == IntentPut {
+			reserved, err := st.arena.TxAlloc(tx, blockWords(len(value)))
+			if err != nil {
+				return err
+			}
+			vb = reserved
+		} else {
+			value = nil
+		}
+		payload = make([]byte, writeIntentHeaderBytes+len(value))
+		payload[0] = byte(kind)
+		binary.LittleEndian.PutUint64(payload[8:], txid)
+		binary.LittleEndian.PutUint64(payload[16:], lease)
+		binary.LittleEndian.PutUint64(payload[24:], uint64(vb))
+		copy(payload[writeIntentHeaderBytes:], value)
+	}
 
 	kb, err := st.arena.TxAlloc(tx, blockWords(len(key)))
 	if err != nil {
@@ -112,7 +159,7 @@ func (st *Store) PrepareIntent(tx rhtm.Tx, key []byte, txid uint64, kind IntentK
 	if err != nil {
 		return err
 	}
-	ent, err := st.arena.TxAlloc(tx, entryWords)
+	ent, err := st.arena.TxAlloc(tx, intentEntryWords)
 	if err != nil {
 		return err
 	}
@@ -127,37 +174,96 @@ func (st *Store) PrepareIntent(tx rhtm.Tx, key []byte, txid uint64, kind IntentK
 	return nil
 }
 
-// IntentOn reports whether key has a pending intent and, if so, which
-// transaction owns it. Beyond the index walk it costs one data load: the
-// txid occupies exactly the first payload word (see the layout comment).
-func (st *Store) IntentOn(tx rhtm.Tx, key []byte) (txid uint64, held bool) {
+// rewriteIntentPayload replaces an intent record's payload block, reusing
+// it in place when the new bytes pack into the same size class.
+func (st *Store) rewriteIntentPayload(tx rhtm.Tx, ent rhtm.Addr, old, new []byte) error {
+	pb := rhtm.Addr(tx.Load(ent + 1))
+	if classOf(blockWords(len(new))) == classOf(blockWords(len(old))) {
+		writeBytes(tx, pb, new)
+		return nil
+	}
+	npb, err := st.arena.TxAlloc(tx, blockWords(len(new)))
+	if err != nil {
+		return err
+	}
+	writeBytes(tx, npb, new)
+	tx.Store(ent+1, uint64(npb))
+	st.arena.TxFree(tx, pb, blockWords(len(old)))
+	return nil
+}
+
+// readerIndex returns the byte offset of txid in a read-intent payload's
+// sharer list, or -1.
+func readerIndex(payload []byte, txid uint64) int {
+	n := int(binary.LittleEndian.Uint64(payload[8:]))
+	for i := 0; i < n; i++ {
+		off := readIntentHeaderBytes + 8*i
+		if binary.LittleEndian.Uint64(payload[off:]) == txid {
+			return off
+		}
+	}
+	return -1
+}
+
+// WriteIntentOn reports whether key has a pending *write* intent and, if
+// so, which transaction owns it. Readers (single-key gets, snapshot scans)
+// use it: shared read intents do not change the committed value, so they
+// never block another read.
+func (st *Store) WriteIntentOn(tx rhtm.Tx, key []byte) (txid uint64, held bool) {
 	item, ok := st.intents.Lookup(tx, key)
 	if !ok {
 		return 0, false
 	}
 	pb := rhtm.Addr(tx.Load(rhtm.Addr(item) + 1))
-	return tx.Load(pb + 1), true
+	// Payload word 1 holds bytes 0..7: the kind tag; word 2 bytes 8..15.
+	if IntentKind(tx.Load(pb+1)&0xff) == IntentRead {
+		return 0, false
+	}
+	return tx.Load(pb + 2), true
+}
+
+// AnyIntentOn reports whether key has any pending intent — the writer-side
+// check: a write must wait for pending readers and writers alike.
+func (st *Store) AnyIntentOn(tx rhtm.Tx, key []byte) bool {
+	_, held := st.intents.Lookup(tx, key)
+	return held
+}
+
+// ReadSharers returns how many transactions hold a read intent on key
+// (0 when none, or when the pending intent is a write).
+func (st *Store) ReadSharers(tx rhtm.Tx, key []byte) int {
+	item, ok := st.intents.Lookup(tx, key)
+	if !ok {
+		return 0
+	}
+	pb := rhtm.Addr(tx.Load(rhtm.Addr(item) + 1))
+	if IntentKind(tx.Load(pb+1)&0xff) != IntentRead {
+		return 0
+	}
+	return int(tx.Load(pb + 2))
 }
 
 // ApplyIntent executes and releases the intent txid holds on key: a put
-// stores the buffered value into the block prepare reserved, a delete
-// removes the key, a read just releases. Given a matching intent, a put or
-// delete cannot fail (see the reservation argument in the package comment);
-// a missing intent or an owner mismatch returns an error, which aborts the
-// enclosing transaction and so leaves the store untouched.
+// stores the buffered value (with its lease) into the block prepare
+// reserved, a delete removes the key, a read releases txid's share. Given a
+// matching intent, a put or delete cannot fail (see the reservation
+// argument in the package comment); a missing intent or an owner mismatch
+// returns an error, which aborts the enclosing transaction and so leaves
+// the store untouched.
 func (st *Store) ApplyIntent(tx rhtm.Tx, key []byte, txid uint64) error {
-	payload, err := st.takeIntent(tx, key, txid)
-	if err != nil {
+	payload, err := st.resolveIntent(tx, key, txid)
+	if err != nil || payload == nil {
 		return err
 	}
-	switch IntentKind(payload[8]) {
+	switch IntentKind(payload[0]) {
 	case IntentPut:
 		// Every block the store below can need beyond the reservation —
 		// key block, entry record, index node — is the same size class as
-		// one takeIntent just freed under this transaction, so it cannot
+		// one resolveIntent just freed under this transaction, so it cannot
 		// fail on capacity.
-		vb := rhtm.Addr(binary.LittleEndian.Uint64(payload[9:]))
-		return st.putWith(tx, key, payload[intentHeaderBytes:], vb)
+		vb := rhtm.Addr(binary.LittleEndian.Uint64(payload[24:]))
+		lease := binary.LittleEndian.Uint64(payload[16:])
+		return st.putWith(tx, key, payload[writeIntentHeaderBytes:], vb, lease)
 	case IntentDelete:
 		st.Delete(tx, key)
 	}
@@ -168,53 +274,90 @@ func (st *Store) ApplyIntent(tx rhtm.Tx, key []byte, txid uint64) error {
 // (the abort half of the coordinator's decision), returning the reserved
 // value block along with the record.
 func (st *Store) DiscardIntent(tx rhtm.Tx, key []byte, txid uint64) error {
-	payload, err := st.takeIntent(tx, key, txid)
-	if err != nil {
+	payload, err := st.resolveIntent(tx, key, txid)
+	if err != nil || payload == nil {
 		return err
 	}
-	if IntentKind(payload[8]) == IntentPut {
-		vb := rhtm.Addr(binary.LittleEndian.Uint64(payload[9:]))
-		st.arena.TxFree(tx, vb, blockWords(len(payload)-intentHeaderBytes))
+	if IntentKind(payload[0]) == IntentPut {
+		vb := rhtm.Addr(binary.LittleEndian.Uint64(payload[24:]))
+		st.arena.TxFree(tx, vb, blockWords(len(payload)-writeIntentHeaderBytes))
 	}
 	return nil
 }
 
-// takeIntent unlinks key's intent record, frees its blocks, and returns the
-// decoded payload after checking ownership.
-func (st *Store) takeIntent(tx rhtm.Tx, key []byte, txid uint64) ([]byte, error) {
-	item, ok := st.intents.Delete(tx, key)
+// resolveIntent releases txid's hold on key's intent record. For a write
+// intent it unlinks the record (after checking ownership) and returns the
+// decoded payload for the caller to act on. For a shared read intent it
+// removes txid from the sharer list — unlinking the record only when txid
+// was the last sharer — and returns (nil, nil): reads have no effect to
+// apply.
+func (st *Store) resolveIntent(tx rhtm.Tx, key []byte, txid uint64) ([]byte, error) {
+	item, ok := st.intents.Lookup(tx, key)
 	if !ok {
 		return nil, ErrIntentMissing
 	}
 	ent := rhtm.Addr(item)
-	kb := rhtm.Addr(tx.Load(ent))
 	pb := rhtm.Addr(tx.Load(ent + 1))
 	payload := readBytes(tx, pb)
-	if owner := binary.LittleEndian.Uint64(payload); owner != txid {
+
+	if IntentKind(payload[0]) == IntentRead {
+		off := readerIndex(payload, txid)
+		if off < 0 {
+			return nil, ErrIntentMissing
+		}
+		n := binary.LittleEndian.Uint64(payload[8:])
+		if n > 1 {
+			shrunk := make([]byte, len(payload)-8)
+			copy(shrunk, payload)
+			copy(shrunk[off:], payload[off+8:])
+			binary.LittleEndian.PutUint64(shrunk[8:], n-1)
+			return nil, st.rewriteIntentPayload(tx, ent, payload, shrunk)
+		}
+		st.unlinkIntent(tx, key)
+		return nil, nil
+	}
+
+	if owner := binary.LittleEndian.Uint64(payload[8:]); owner != txid {
 		return nil, fmt.Errorf("store: intent on %q owned by txn %d, not %d", key, owner, txid)
 	}
-	st.arena.TxFree(tx, kb, blockWords(int(tx.Load(kb))))
-	st.arena.TxFree(tx, pb, blockWords(len(payload)))
-	st.arena.TxFree(tx, ent, entryWords)
-	tx.Store(st.intentCount, tx.Load(st.intentCount)-1)
+	st.unlinkIntent(tx, key)
 	return payload, nil
 }
 
-// HasIntentInRange reports whether any key in [start, end) (nil bounds are
-// unbounded) has a pending intent. Range readers — the cluster's snapshot
-// scans — use it the way single-key readers use IntentOn: a pending intent
-// makes part of the range undecided, so the scan waits for resolution
-// instead of returning values that may be mid-replacement.
-func (st *Store) HasIntentInRange(tx rhtm.Tx, start, end []byte) bool {
+// unlinkIntent removes key's intent record and frees its blocks.
+func (st *Store) unlinkIntent(tx rhtm.Tx, key []byte) {
+	item, _ := st.intents.Delete(tx, key)
+	ent := rhtm.Addr(item)
+	kb := rhtm.Addr(tx.Load(ent))
+	pb := rhtm.Addr(tx.Load(ent + 1))
+	st.arena.TxFree(tx, kb, blockWords(int(tx.Load(kb))))
+	st.arena.TxFree(tx, pb, blockWords(int(tx.Load(pb))))
+	st.arena.TxFree(tx, ent, intentEntryWords)
+	tx.Store(st.intentCount, tx.Load(st.intentCount)-1)
+}
+
+// HasWriteIntentInRange reports whether any key in [start, end) (nil bounds
+// are unbounded) has a pending write intent. Range readers — the cluster's
+// snapshot scans — use it the way single-key readers use WriteIntentOn: a
+// pending write makes part of the range undecided, so the scan waits for
+// resolution instead of returning values that may be mid-replacement.
+// Shared read intents are invisible here: they pin values without changing
+// them.
+func (st *Store) HasWriteIntentInRange(tx rhtm.Tx, start, end []byte) bool {
 	found := false
-	st.intents.Scan(tx, start, end, func(uint64) bool {
-		found = true
-		return false
+	st.intents.Scan(tx, start, end, func(item uint64) bool {
+		pb := rhtm.Addr(tx.Load(rhtm.Addr(item) + 1))
+		if IntentKind(tx.Load(pb+1)&0xff) != IntentRead {
+			found = true
+			return false
+		}
+		return true
 	})
 	return found
 }
 
-// PendingIntents returns the number of keys with an intent installed.
+// PendingIntents returns the number of keys with an intent record installed
+// (a shared read record with any number of sharers counts once).
 func (st *Store) PendingIntents(tx rhtm.Tx) int {
 	return int(tx.Load(st.intentCount))
 }

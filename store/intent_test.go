@@ -19,15 +19,15 @@ func TestIntentLifecycle(t *testing.T) {
 	}
 
 	// No intent yet.
-	if _, held := st.IntentOn(tx, key); held {
+	if st.AnyIntentOn(tx, key) {
 		t.Fatal("fresh key reports a pending intent")
 	}
 	// Prepare a put intent: the committed value must not change yet.
-	if err := st.PrepareIntent(tx, key, 42, IntentPut, []byte("new-value")); err != nil {
+	if err := st.PrepareIntent(tx, key, 42, IntentPut, []byte("new-value"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if owner, held := st.IntentOn(tx, key); !held || owner != 42 {
-		t.Fatalf("IntentOn = (%d,%v), want (42,true)", owner, held)
+	if owner, held := st.WriteIntentOn(tx, key); !held || owner != 42 {
+		t.Fatalf("WriteIntentOn = (%d,%v), want (42,true)", owner, held)
 	}
 	if v, _ := st.Get(tx, key); !bytes.Equal(v, []byte("old")) {
 		t.Fatalf("prepare changed the committed value to %q", v)
@@ -36,21 +36,22 @@ func TestIntentLifecycle(t *testing.T) {
 		t.Fatalf("PendingIntents = %d, want 1", got)
 	}
 	// A second transaction must be refused.
-	if err := st.PrepareIntent(tx, key, 43, IntentPut, []byte("x")); err != ErrIntentHeld {
+	if err := st.PrepareIntent(tx, key, 43, IntentPut, []byte("x"), 0); err != ErrIntentHeld {
 		t.Fatalf("second prepare err = %v, want ErrIntentHeld", err)
 	}
-	// Apply with the wrong owner fails; with the right owner it installs.
+	// Apply with the wrong owner fails and leaves the intent in place; with
+	// the right owner it installs.
 	if err := st.ApplyIntent(tx, key, 7); err == nil {
 		t.Fatal("apply with wrong txid succeeded")
 	}
-	// The failed apply ran outside an engine (SetupTx), so re-install state
-	// it consumed before erroring is not rolled back here; rebuild for the
-	// happy path on a fresh store to keep the check honest.
+	if _, held := st.WriteIntentOn(tx, key); !held {
+		t.Fatal("failed apply consumed the intent")
+	}
 	st2 := New(s, Options{ArenaWords: 1 << 13})
 	if err := st2.Put(tx, key, []byte("old")); err != nil {
 		t.Fatal(err)
 	}
-	if err := st2.PrepareIntent(tx, key, 42, IntentPut, []byte("new-value")); err != nil {
+	if err := st2.PrepareIntent(tx, key, 42, IntentPut, []byte("new-value"), 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := st2.ApplyIntent(tx, key, 42); err != nil {
@@ -76,7 +77,7 @@ func TestIntentKinds(t *testing.T) {
 	if err := st.Put(tx, []byte("gone"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.PrepareIntent(tx, []byte("gone"), 1, IntentDelete, nil); err != nil {
+	if err := st.PrepareIntent(tx, []byte("gone"), 1, IntentDelete, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.ApplyIntent(tx, []byte("gone"), 1); err != nil {
@@ -90,7 +91,7 @@ func TestIntentKinds(t *testing.T) {
 	if err := st.Put(tx, []byte("ro"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.PrepareIntent(tx, []byte("ro"), 2, IntentRead, nil); err != nil {
+	if err := st.PrepareIntent(tx, []byte("ro"), 2, IntentRead, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.ApplyIntent(tx, []byte("ro"), 2); err != nil {
@@ -101,7 +102,7 @@ func TestIntentKinds(t *testing.T) {
 	}
 
 	// Discard releases a put intent without applying it.
-	if err := st.PrepareIntent(tx, []byte("never"), 3, IntentPut, []byte("phantom")); err != nil {
+	if err := st.PrepareIntent(tx, []byte("never"), 3, IntentPut, []byte("phantom"), 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.DiscardIntent(tx, []byte("never"), 3); err != nil {
@@ -128,7 +129,7 @@ func TestIntentAbortRollback(t *testing.T) {
 	th := eng.NewThread()
 	sentinel := fmt.Errorf("user abort")
 	err := th.Atomic(func(tx rhtm.Tx) error {
-		if err := st.PrepareIntent(tx, []byte("k"), 9, IntentPut, []byte("v")); err != nil {
+		if err := st.PrepareIntent(tx, []byte("k"), 9, IntentPut, []byte("v"), 0); err != nil {
 			return err
 		}
 		return sentinel
@@ -137,7 +138,7 @@ func TestIntentAbortRollback(t *testing.T) {
 		t.Fatalf("err = %v, want sentinel", err)
 	}
 	tx := containers.SetupTx(s)
-	if _, held := st.IntentOn(tx, []byte("k")); held {
+	if st.AnyIntentOn(tx, []byte("k")) {
 		t.Fatal("aborted prepare left an intent")
 	}
 	if got := st.PendingIntents(tx); got != 0 {
@@ -155,7 +156,7 @@ func TestIntentFreeListReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	prime := func(txid uint64) {
-		if err := st.PrepareIntent(tx, []byte("k"), txid, IntentPut, make([]byte, 24)); err != nil {
+		if err := st.PrepareIntent(tx, []byte("k"), txid, IntentPut, make([]byte, 24), 0); err != nil {
 			t.Fatal(err)
 		}
 		if err := st.ApplyIntent(tx, []byte("k"), txid); err != nil {
@@ -185,7 +186,7 @@ func TestIntentApplyReservedSurvivesFullArena(t *testing.T) {
 		t.Fatal(err)
 	}
 	newVal := bytes.Repeat([]byte{7}, 40) // class-8: apply cannot rewrite in place
-	if err := st.PrepareIntent(tx, key, 5, IntentPut, newVal); err != nil {
+	if err := st.PrepareIntent(tx, key, 5, IntentPut, newVal, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Exhaust the bump frontier completely.
@@ -216,7 +217,7 @@ func TestStoreStats(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := st.PrepareIntent(tx, []byte("key01"), 5, IntentRead, nil); err != nil {
+	if err := st.PrepareIntent(tx, []byte("key01"), 5, IntentRead, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Delete last so its freed blocks are still on the free lists below

@@ -62,6 +62,23 @@ func (sh *Sharded) Get(tx rhtm.Tx, key []byte) ([]byte, bool) {
 	return sh.Shard(key).Get(tx, key)
 }
 
+// Read returns key's value, revision and lease (see Store.Read). Revisions
+// are per-shard monotonic commit versions: comparable per key, not across
+// shards.
+func (sh *Sharded) Read(tx rhtm.Tx, key []byte) (value []byte, rev, lease uint64, ok bool) {
+	return sh.Shard(key).Read(tx, key)
+}
+
+// RevOf returns key's revision (see Store.RevOf).
+func (sh *Sharded) RevOf(tx rhtm.Tx, key []byte) (uint64, bool) {
+	return sh.Shard(key).RevOf(tx, key)
+}
+
+// LeaseOf returns key's attached lease id (see Store.LeaseOf).
+func (sh *Sharded) LeaseOf(tx rhtm.Tx, key []byte) (uint64, bool) {
+	return sh.Shard(key).LeaseOf(tx, key)
+}
+
 // Has reports whether key is present.
 func (sh *Sharded) Has(tx rhtm.Tx, key []byte) bool {
 	return sh.Shard(key).Has(tx, key)
@@ -72,9 +89,24 @@ func (sh *Sharded) Put(tx rhtm.Tx, key, value []byte) error {
 	return sh.Shard(key).Put(tx, key, value)
 }
 
+// PutLease stores key→value with a lease attachment in the key's shard.
+func (sh *Sharded) PutLease(tx rhtm.Tx, key, value []byte, lease uint64) error {
+	return sh.Shard(key).PutLease(tx, key, value, lease)
+}
+
 // Delete removes key from its shard.
 func (sh *Sharded) Delete(tx rhtm.Tx, key []byte) bool {
 	return sh.Shard(key).Delete(tx, key)
+}
+
+// EventLogs returns every shard's commit-event log (one independent
+// revision clock per shard), in shard order.
+func (sh *Sharded) EventLogs() []*EventLog {
+	logs := make([]*EventLog, len(sh.shards))
+	for i, st := range sh.shards {
+		logs[i] = st.Events()
+	}
+	return logs
 }
 
 // Len returns the number of live entries across all shards.

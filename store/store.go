@@ -32,11 +32,16 @@ import (
 	"rhtm/containers"
 )
 
-// entryWords is the size of an entry record: word 0 holds the key block
-// address, word 1 the value block address. The tree item is the entry
-// address, so replacing a value is one store into the entry — no tree
-// surgery.
-const entryWords = 2
+// entryWords is the size of a data entry record: word 0 holds the key block
+// address, word 1 the value block address, word 2 the revision the last
+// write stamped (the store's monotonic commit version for the key), word 3
+// the attached lease id (0 = none). The tree item is the entry address, so
+// replacing a value is a few stores into the entry — no tree surgery.
+const entryWords = 4
+
+// intentEntryWords is the size of an intent entry record: word 0 the key
+// block address, word 1 the payload block address (see intent.go).
+const intentEntryWords = 2
 
 // DefaultArenaWords sizes a store's arena when Options.ArenaWords is zero.
 const DefaultArenaWords = 1 << 16
@@ -47,9 +52,14 @@ type Options struct {
 	// arena (key blocks, value blocks, entry records, and index nodes all
 	// come from it). Zero selects DefaultArenaWords. For NewSharded this is
 	// the per-shard capacity, so the System's heap must hold at least
-	// shards*ArenaWords words (plus a few lines of allocator metadata) or
-	// construction panics with "heap exhausted".
+	// shards*(ArenaWords+LogWords) words (plus a few lines of allocator
+	// metadata) or construction panics with "heap exhausted".
 	ArenaWords int
+	// LogWords sizes the store's commit-event ring (see EventLog), allocated
+	// from the System heap beside the arena. Zero selects DefaultLogWords.
+	// For NewSharded this is per shard — every shard owns an independent
+	// revision clock and event log.
+	LogWords int
 }
 
 // Store is one transactional key-value store: an ordered index over varlen
@@ -60,6 +70,7 @@ type Store struct {
 	arena       *Arena
 	idx         *containers.OrderedTree
 	intents     *containers.OrderedTree
+	log         *EventLog
 	count       rhtm.Addr // one word: live entry count
 	intentCount rhtm.Addr // one word: pending intent count
 }
@@ -73,6 +84,7 @@ func New(s *rhtm.System, opts Options) *Store {
 	st := &Store{
 		sys:         s,
 		arena:       NewArena(s, words),
+		log:         NewEventLog(s, opts.LogWords),
 		count:       s.MustAlloc(1),
 		intentCount: s.MustAlloc(1),
 	}
@@ -80,6 +92,13 @@ func New(s *rhtm.System, opts Options) *Store {
 	st.intents = containers.NewOrderedTree(s, st.compareEntry, st.arena)
 	return st
 }
+
+// Events returns the store's revision clock and commit-event log.
+func (st *Store) Events() *EventLog { return st.log }
+
+// EventLogs returns the store's logs as a one-element slice — the shape the
+// kv layer consumes uniformly for Store, Sharded and cluster backends.
+func (st *Store) EventLogs() []*EventLog { return []*EventLog{st.log} }
 
 // RecordFootprintWords returns the arena words one live record consumes,
 // class-rounded: key block, value block, entry record, and index node.
@@ -108,18 +127,59 @@ func (st *Store) Get(tx rhtm.Tx, key []byte) ([]byte, bool) {
 	return readBytes(tx, rhtm.Addr(tx.Load(rhtm.Addr(item)+1))), true
 }
 
+// Read returns key's value together with its revision (the store's
+// monotonic commit version stamped by the last write) and attached lease id
+// (0 = none).
+func (st *Store) Read(tx rhtm.Tx, key []byte) (value []byte, rev, lease uint64, ok bool) {
+	item, found := st.idx.Lookup(tx, key)
+	if !found {
+		return nil, 0, 0, false
+	}
+	ent := rhtm.Addr(item)
+	return readBytes(tx, rhtm.Addr(tx.Load(ent+1))), tx.Load(ent + 2), tx.Load(ent + 3), true
+}
+
+// RevOf returns key's revision without decoding the value; absent keys
+// report (0, false).
+func (st *Store) RevOf(tx rhtm.Tx, key []byte) (uint64, bool) {
+	item, ok := st.idx.Lookup(tx, key)
+	if !ok {
+		return 0, false
+	}
+	return tx.Load(rhtm.Addr(item) + 2), true
+}
+
+// LeaseOf returns key's attached lease id (0 = none; absent keys report
+// (0, false)).
+func (st *Store) LeaseOf(tx rhtm.Tx, key []byte) (uint64, bool) {
+	item, ok := st.idx.Lookup(tx, key)
+	if !ok {
+		return 0, false
+	}
+	return tx.Load(rhtm.Addr(item) + 3), true
+}
+
 // Has reports whether key is present without decoding the value.
 func (st *Store) Has(tx rhtm.Tx, key []byte) bool {
 	_, ok := st.idx.Lookup(tx, key)
 	return ok
 }
 
-// Put stores key→value, overwriting any existing value. When the new value
-// packs into the same size class as the old one it is rewritten in place;
-// otherwise a new block is allocated and the old one freed — both under tx,
-// so an abort rolls the swap back. The only error is arena exhaustion.
+// Put stores key→value, overwriting any existing value and detaching any
+// lease (lease id 0). When the new value packs into the same size class as
+// the old one it is rewritten in place; otherwise a new block is allocated
+// and the old one freed — both under tx, so an abort rolls the swap back.
+// Every successful put stamps a fresh revision and appends an EvPut to the
+// store's event log. The only error is arena exhaustion.
 func (st *Store) Put(tx rhtm.Tx, key, value []byte) error {
-	return st.putWith(tx, key, value, rhtm.NilAddr)
+	return st.putWith(tx, key, value, rhtm.NilAddr, 0)
+}
+
+// PutLease is Put with a lease attachment: the entry's lease word is set to
+// lease (0 detaches), so a later lease revoke can tell whether the key
+// still belongs to it.
+func (st *Store) PutLease(tx rhtm.Tx, key, value []byte, lease uint64) error {
+	return st.putWith(tx, key, value, rhtm.NilAddr, lease)
 }
 
 // putWith is Put with an optional pre-allocated value block (reserved !=
@@ -127,7 +187,7 @@ func (st *Store) Put(tx rhtm.Tx, key, value []byte) error {
 // block PrepareIntent reserved so that a decided transaction's store cannot
 // fail on arena exhaustion. When the rewrite lands in place the reservation
 // is returned to the arena.
-func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr) error {
+func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr, lease uint64) error {
 	newWords := blockWords(len(value))
 	takeValueBlock := func() (rhtm.Addr, error) {
 		if reserved != rhtm.NilAddr {
@@ -135,8 +195,15 @@ func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr) erro
 		}
 		return st.arena.TxAlloc(tx, newWords)
 	}
+	stamp := func(ent rhtm.Addr) {
+		rev := st.log.NextRev(tx)
+		tx.Store(ent+2, rev)
+		tx.Store(ent+3, lease)
+		st.log.Append(tx, EvPut, key, value, rev)
+	}
 	if item, ok := st.idx.Lookup(tx, key); ok {
-		valCell := rhtm.Addr(item) + 1
+		ent := rhtm.Addr(item)
+		valCell := ent + 1
 		old := rhtm.Addr(tx.Load(valCell))
 		oldWords := blockWords(int(tx.Load(old)))
 		if classOf(newWords) == classOf(oldWords) {
@@ -144,6 +211,7 @@ func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr) erro
 			if reserved != rhtm.NilAddr {
 				st.arena.TxFree(tx, reserved, newWords)
 			}
+			stamp(ent)
 			return nil
 		}
 		nv, err := takeValueBlock()
@@ -153,6 +221,7 @@ func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr) erro
 		writeBytes(tx, nv, value)
 		tx.Store(valCell, uint64(nv))
 		st.arena.TxFree(tx, old, oldWords)
+		stamp(ent)
 		return nil
 	}
 	kb, err := st.arena.TxAlloc(tx, blockWords(len(key)))
@@ -175,12 +244,14 @@ func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr) erro
 		return err
 	}
 	tx.Store(st.count, tx.Load(st.count)+1)
+	stamp(ent)
 	return nil
 }
 
 // Delete removes key, returning whether it was present. The entry's key
 // block, value block, entry record, and index node all return to the arena
-// under tx.
+// under tx; a successful delete consumes a revision and appends an EvDelete
+// to the event log.
 func (st *Store) Delete(tx rhtm.Tx, key []byte) bool {
 	item, ok := st.idx.Delete(tx, key)
 	if !ok {
@@ -193,6 +264,7 @@ func (st *Store) Delete(tx rhtm.Tx, key []byte) bool {
 	st.arena.TxFree(tx, vb, blockWords(int(tx.Load(vb))))
 	st.arena.TxFree(tx, ent, entryWords)
 	tx.Store(st.count, tx.Load(st.count)-1)
+	st.log.Append(tx, EvDelete, key, nil, st.log.NextRev(tx))
 	return true
 }
 
@@ -200,11 +272,18 @@ func (st *Store) Delete(tx rhtm.Tx, key []byte) bool {
 // passing decoded copies of key and value; nil bounds are unbounded.
 // Visiting stops early when fn returns false.
 func (st *Store) Scan(tx rhtm.Tx, start, end []byte, fn func(key, value []byte) bool) {
+	st.ScanRev(tx, start, end, func(k, v []byte, _ uint64) bool { return fn(k, v) })
+}
+
+// ScanRev is Scan with each entry's revision included — range readers that
+// validate by revision (the cluster's snapshot scans) use it to avoid
+// re-decoding values.
+func (st *Store) ScanRev(tx rhtm.Tx, start, end []byte, fn func(key, value []byte, rev uint64) bool) {
 	st.idx.Scan(tx, start, end, func(item uint64) bool {
 		ent := rhtm.Addr(item)
 		k := readBytes(tx, rhtm.Addr(tx.Load(ent)))
 		v := readBytes(tx, rhtm.Addr(tx.Load(ent+1)))
-		return fn(k, v)
+		return fn(k, v, tx.Load(ent+2))
 	})
 }
 
@@ -212,10 +291,15 @@ func (st *Store) Scan(tx rhtm.Tx, start, end []byte, fn func(key, value []byte) 
 // unbounded). On a single Store it is sugar; on Sharded it is the cheap
 // form — see Sharded.ScanLimit.
 func (st *Store) ScanLimit(tx rhtm.Tx, start, end []byte, limit int, fn func(key, value []byte) bool) {
+	st.ScanLimitRev(tx, start, end, limit, func(k, v []byte, _ uint64) bool { return fn(k, v) })
+}
+
+// ScanLimitRev is ScanRev bounded to the first limit entries.
+func (st *Store) ScanLimitRev(tx rhtm.Tx, start, end []byte, limit int, fn func(key, value []byte, rev uint64) bool) {
 	n := 0
-	st.Scan(tx, start, end, func(k, v []byte) bool {
+	st.ScanRev(tx, start, end, func(k, v []byte, rev uint64) bool {
 		n++
-		if !fn(k, v) {
+		if !fn(k, v, rev) {
 			return false
 		}
 		return limit <= 0 || n < limit
