@@ -11,10 +11,18 @@
 package rhtm_test
 
 import (
+	"bytes"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
+	"rhtm"
+	"rhtm/containers"
 	"rhtm/internal/harness"
+	"rhtm/kv"
+	"rhtm/store"
+	"rhtm/wal"
 )
 
 // benchPoint runs b.N operations of workload w on one engine and reports
@@ -349,6 +357,61 @@ func BenchmarkLockService(b *testing.B) {
 					spec.Shards = 4
 				}
 				benchKV(b, spec, eng, 4)
+			})
+		}
+	}
+}
+
+// --- Extension: WAL group commit (the durability layer) ---
+
+// BenchmarkWALGroupCommit sweeps concurrent committers × engine against a
+// durable store whose simulated sync barrier costs real time: with one
+// committer every transaction pays the barrier; with many, the
+// leader-based group commit amortizes one barrier over the whole group, so
+// txns/sync climbs with the group size while syncs/op falls — the same
+// batch-amortization shape kv.Batch shows for 2PC, now for durability.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	engines := []string{harness.EngRH1Mix2, harness.EngTL2}
+	for _, group := range []int{1, 4, 16} {
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("group=%d/%s", group, eng), func(b *testing.B) {
+				s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 19))
+				engine, err := harness.Build(s, eng, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sh := store.NewSharded(s, 4, store.Options{ArenaWords: 1 << 14})
+				dev := &wal.MemDevice{SyncDelay: func() { time.Sleep(20 * time.Microsecond) }}
+				db, err := kv.OpenLocal(engine, sh, dev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				val := bytes.Repeat([]byte{7}, 64)
+				per := (b.N + group - 1) / group
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < group; g++ {
+					g := g
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							key := []byte(fmt.Sprintf("key-%02d-%02d", g, i%64))
+							if err := db.Put(key, val); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				ws := sh.Stats(containers.SetupTx(s)).WAL
+				ops := float64(per * group)
+				if ws.Syncs > 0 {
+					b.ReportMetric(float64(ws.Syncs)/ops, "syncs/op")
+					b.ReportMetric(float64(ws.TxnsLogged)/float64(ws.Syncs), "txns/sync")
+				}
 			})
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"rhtm"
 	"rhtm/store"
+	"rhtm/wal"
 )
 
 // Batched operations: a Batch groups independent single-key operations into
@@ -95,8 +96,10 @@ func (cl *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 // atomicity comes from the engine, exactly like commitLocal.
 func (cl *Client) batchLocal(nodeID int, keys []batchKey, ops []BatchOp, results []BatchResult) error {
 	n := cl.c.nodes[nodeID]
+	var recs []wal.Op
 	err := cl.localRetry(func() error {
 		return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
+			recs = recs[:0] // the body re-executes on engine aborts
 			for i := range keys {
 				written := false
 				for _, op := range keys[i].ops {
@@ -119,12 +122,21 @@ func (cl *Client) batchLocal(nodeID int, keys []batchKey, ops []BatchOp, results
 					v, ok := n.st.Get(tx, ops[op].Key)
 					results[op] = BatchResult{Value: v, Found: ok}
 				case BatchPut:
-					if err := n.st.Put(tx, ops[op].Key, ops[op].Value); err != nil {
+					rev, err := n.st.PutStamped(tx, ops[op].Key, ops[op].Value, 0)
+					if err != nil {
 						return err
+					}
+					if cl.c.wal != nil {
+						recs = append(recs, wal.Op{Kind: wal.OpPut,
+							Key: ops[op].Key, Value: ops[op].Value, Rev: rev})
 					}
 					results[op] = BatchResult{}
 				default:
-					results[op] = BatchResult{Found: n.st.Delete(tx, ops[op].Key)}
+					rev, found := n.st.DeleteStamped(tx, ops[op].Key)
+					if found && cl.c.wal != nil {
+						recs = append(recs, wal.Op{Kind: wal.OpDelete, Key: ops[op].Key, Rev: rev})
+					}
+					results[op] = BatchResult{Found: found}
 				}
 			}
 			return nil
@@ -132,6 +144,7 @@ func (cl *Client) batchLocal(nodeID int, keys []batchKey, ops []BatchOp, results
 	})
 	if err == nil {
 		cl.c.localTxns.Add(1)
+		return cl.logLocal(nodeID, recs)
 	}
 	return err
 }
@@ -176,6 +189,21 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 		}
 
 		commit := !conflict && hard == nil
+		var decisionOps []wal.Op
+		if c.wal != nil && commit {
+			decisionOps = batchDecisionOps(byNode, participants, ops)
+		}
+		unlockDrain := func() {}
+		if c.wal != nil && commit && len(decisionOps) > 0 {
+			// Durable commit point, under the checkpoint drain lock until
+			// the resolution mark (see commitCross).
+			c.walMu.RLock()
+			unlockDrain = c.walMu.RUnlock
+			if err := c.wal.Coord.Commit(txid, wal.FlagCross, decisionOps); err != nil {
+				unlockDrain()
+				return err
+			}
+		}
 		c.decide(txid, commit, participants)
 
 		keysOf := func(nodeID int) [][]byte {
@@ -186,6 +214,7 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 			return keys
 		}
 		if !commit {
+			unlockDrain()
 			for _, nodeID := range prepared {
 				if err := cl.finish(nodeID, txid, keysOf(nodeID), false); err != nil && hard == nil {
 					hard = err
@@ -200,13 +229,51 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 		}
 		for _, nodeID := range participants {
 			if err := cl.finish(nodeID, txid, keysOf(nodeID), true); err != nil {
+				unlockDrain()
 				return err
 			}
 		}
+		if c.wal != nil && len(decisionOps) > 0 {
+			if err := c.wal.Coord.Mark(txid, 0); err != nil {
+				unlockDrain()
+				return err
+			}
+		}
+		unlockDrain()
 		c.crossCommits.Add(1)
 		return nil
 	}
 	return ErrContention
+}
+
+// batchDecisionOps serializes a cross batch's write set for the decision
+// log: each written key's net effect is its last non-Get operation in
+// batch order (independent of the committed state the prepare observed).
+func batchDecisionOps(byNode map[int][]batchKey, participants []int, ops []BatchOp) []wal.Op {
+	var out []wal.Op
+	for _, nodeID := range participants {
+		for i := range byNode[nodeID] {
+			bk := &byNode[nodeID][i]
+			last := -1
+			for _, op := range bk.ops {
+				if ops[op].Kind != BatchGet {
+					last = op
+				}
+			}
+			if last < 0 {
+				continue // read-only key: nothing to recover forward
+			}
+			op := wal.Op{Part: nodeID, Key: bk.key}
+			if ops[last].Kind == BatchPut {
+				op.Kind = wal.OpPut
+				op.Value = ops[last].Value
+			} else {
+				op.Kind = wal.OpDelete
+			}
+			out = append(out, op)
+		}
+	}
+	return out
 }
 
 // prepareBatch is the phase-1 transaction of a cross-System batch on one

@@ -140,6 +140,13 @@ type Cluster struct {
 	decisions    []Decision
 	abortsLogged int
 
+	// wal, when attached, holds the durability streams; walMu is the
+	// checkpoint drain: cross-System commits hold it in read mode from
+	// decision to resolution mark, CheckpointWAL in write mode (see
+	// wal.go).
+	wal   *WALSet
+	walMu sync.RWMutex
+
 	// Protocol counters (host-side; simulated costs are in engine stats).
 	localTxns        atomic.Uint64 // single-System transactions committed
 	localConflicts   atomic.Uint64 // single-System attempts retried

@@ -300,7 +300,7 @@ func TestIntentBlocksReaders(t *testing.T) {
 	if st.IntentWaits == 0 {
 		t.Fatal("no intent waits recorded")
 	}
-	if err := n.Store().ApplyIntent(setup, []byte("k"), 7); err != nil {
+	if _, err := n.Store().ApplyIntent(setup, []byte("k"), 7); err != nil {
 		t.Fatal(err)
 	}
 	v, ok, err := cl.Get([]byte("k"))
@@ -513,7 +513,7 @@ func TestScanSnapshotOrderedAndBlocked(t *testing.T) {
 	if _, err := cl.ScanSnapshot([]byte("k20"), []byte("k30"), 0); err != nil {
 		t.Fatalf("out-of-range scan: %v", err)
 	}
-	if err := n.Store().ApplyIntent(setup, victim, 7); err != nil {
+	if _, err := n.Store().ApplyIntent(setup, victim, 7); err != nil {
 		t.Fatal(err)
 	}
 	after, err := cl.ScanSnapshot([]byte("k15"), []byte("k16"), 0)
@@ -592,7 +592,7 @@ func TestSharedReadIntentsCluster(t *testing.T) {
 		t.Fatalf("Put under read intents err = %v, want ErrContention", err)
 	}
 	// Releasing both readers unblocks the writer.
-	if err := n.Store().ApplyIntent(setup, []byte("k"), 101); err != nil {
+	if _, err := n.Store().ApplyIntent(setup, []byte("k"), 101); err != nil {
 		t.Fatal(err)
 	}
 	if err := n.Store().DiscardIntent(setup, []byte("k"), 102); err != nil {

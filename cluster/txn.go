@@ -10,6 +10,7 @@ import (
 
 	"rhtm"
 	"rhtm/store"
+	"rhtm/wal"
 )
 
 // errConflict is the internal sentinel a prepare or validation body returns
@@ -108,16 +109,25 @@ func (cl *Client) Put(key, value []byte) error {
 // PutLease is Put with a lease attachment (0 detaches).
 func (cl *Client) PutLease(key, value []byte, lease uint64) error {
 	n := cl.c.nodes[cl.c.router.SystemFor(key)]
+	var rev uint64
 	err := cl.localRetry(func() error {
 		return cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
 			if n.st.AnyIntentOn(tx, key) {
 				return errConflict
 			}
-			return n.st.PutLease(tx, key, value, lease)
+			var err error
+			rev, err = n.st.PutStamped(tx, key, value, lease)
+			return err
 		})
 	})
 	if err == nil {
 		cl.c.localTxns.Add(1)
+		if cl.c.wal != nil {
+			return cl.logLocal(n.id, []wal.Op{{
+				Kind: wal.OpPut, Key: copyVal(key), Value: copyVal(value),
+				Rev: rev, Lease: lease,
+			}})
+		}
 	}
 	return err
 }
@@ -127,17 +137,23 @@ func (cl *Client) PutLease(key, value []byte, lease uint64) error {
 func (cl *Client) Delete(key []byte) (bool, error) {
 	n := cl.c.nodes[cl.c.router.SystemFor(key)]
 	var present bool
+	var rev uint64
 	err := cl.localRetry(func() error {
 		return cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
 			if n.st.AnyIntentOn(tx, key) {
 				return errConflict
 			}
-			present = n.st.Delete(tx, key)
+			rev, present = n.st.DeleteStamped(tx, key)
 			return nil
 		})
 	})
 	if err == nil {
 		cl.c.localTxns.Add(1)
+		if present && cl.c.wal != nil {
+			if werr := cl.logLocal(n.id, []wal.Op{{Kind: wal.OpDelete, Key: copyVal(key), Rev: rev}}); werr != nil {
+				return present, werr
+			}
+		}
 	}
 	return present, err
 }
@@ -437,7 +453,9 @@ func (cl *Client) commit(t *Txn) (bool, error) {
 // read-only keys only for write intents.
 func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
 	n := cl.c.nodes[nodeID]
+	var recs []wal.Op
 	err := cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
+		recs = recs[:0] // the body re-executes on engine aborts
 		for i := range keys {
 			k := &keys[i]
 			if k.write != nil {
@@ -457,9 +475,18 @@ func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
 				continue
 			}
 			if k.write.del {
-				n.st.Delete(tx, k.key)
-			} else if err := n.st.PutLease(tx, k.key, k.write.val, k.write.lease); err != nil {
-				return err
+				if rev, ok := n.st.DeleteStamped(tx, k.key); ok && cl.c.wal != nil {
+					recs = append(recs, wal.Op{Kind: wal.OpDelete, Key: k.key, Rev: rev})
+				}
+			} else {
+				rev, err := n.st.PutStamped(tx, k.key, k.write.val, k.write.lease)
+				if err != nil {
+					return err
+				}
+				if cl.c.wal != nil {
+					recs = append(recs, wal.Op{Kind: wal.OpPut, Key: k.key,
+						Value: k.write.val, Rev: rev, Lease: k.write.lease})
+				}
 			}
 		}
 		return nil
@@ -467,6 +494,9 @@ func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
 	switch err {
 	case nil:
 		cl.c.localTxns.Add(1)
+		if err := cl.logLocal(nodeID, recs); err != nil {
+			return false, err
+		}
 		return true, nil
 	case errConflict:
 		cl.c.localConflicts.Add(1)
@@ -504,8 +534,22 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 	}
 
 	// Decision: commit iff every participant prepared. The log append is
-	// the commit point; phase 2 merely discharges it.
+	// the commit point; phase 2 merely discharges it. With a WAL attached,
+	// the decision (with its write set) is synced to the coordinator log
+	// before any apply runs — the *durable* commit point — and the region
+	// from decision to resolution mark holds the checkpoint drain lock.
 	commit := !conflict && hard == nil
+	var decisionOps []wal.Op
+	if c.wal != nil && commit {
+		decisionOps = crossDecisionOps(byNode, participants)
+	}
+	if c.wal != nil && commit && len(decisionOps) > 0 {
+		c.walMu.RLock()
+		defer c.walMu.RUnlock()
+		if err := c.wal.Coord.Commit(txid, wal.FlagCross, decisionOps); err != nil {
+			return false, err
+		}
+	}
 	c.decide(txid, commit, participants)
 
 	keysOf := func(nodeID int) [][]byte {
@@ -529,8 +573,39 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 			return false, err
 		}
 	}
+	if c.wal != nil && len(decisionOps) > 0 {
+		if err := c.wal.Coord.Mark(txid, 0); err != nil {
+			return false, err
+		}
+	}
 	c.crossCommits.Add(1)
 	return true, nil
+}
+
+// crossDecisionOps serializes a cross transaction's write set for the
+// coordinator decision log: one op per written key, Part naming the owning
+// System, revision 0 (revisions are assigned at apply time). Read-only
+// footprints yield nothing — there is nothing to recover forward.
+func crossDecisionOps(byNode map[int][]txnKey, participants []int) []wal.Op {
+	var ops []wal.Op
+	for _, nodeID := range participants {
+		for i := range byNode[nodeID] {
+			k := &byNode[nodeID][i]
+			if k.write == nil {
+				continue
+			}
+			op := wal.Op{Part: nodeID, Key: k.key}
+			if k.write.del {
+				op.Kind = wal.OpDelete
+			} else {
+				op.Kind = wal.OpPut
+				op.Value = k.write.val
+				op.Lease = k.write.lease
+			}
+			ops = append(ops, op)
+		}
+	}
+	return ops
 }
 
 // validRead re-checks one recorded read against committed state, by
@@ -571,23 +646,45 @@ func (cl *Client) prepare(nodeID int, txid uint64, keys []txnKey) error {
 
 // finish runs the phase-2 transaction on one participant: apply on commit,
 // discard on abort. Failures here are protocol bugs (the intents must
-// exist and be ours), surfaced as hard errors.
+// exist and be ours), surfaced as hard errors. With a WAL attached, the
+// applies are logged to the participant's stream under the cluster
+// transaction id (recovery's applied-detection keys on it) and forced
+// durable before the coordinator marks the transaction resolved.
 func (cl *Client) finish(nodeID int, txid uint64, keys [][]byte, commit bool) error {
 	n := cl.c.nodes[nodeID]
-	return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
+	var recs []wal.Op
+	err := cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
+		recs = recs[:0] // the body re-executes on engine aborts
 		for _, key := range keys {
-			var err error
-			if commit {
-				err = n.st.ApplyIntent(tx, key, txid)
-			} else {
-				err = n.st.DiscardIntent(tx, key, txid)
+			if !commit {
+				if err := n.st.DiscardIntent(tx, key, txid); err != nil {
+					return err
+				}
+				continue
 			}
+			ap, err := n.st.ApplyIntent(tx, key, txid)
 			if err != nil {
 				return err
 			}
+			if cl.c.wal == nil || ap.Rev == 0 {
+				continue // read intent, or a delete of an absent key
+			}
+			op := wal.Op{Key: copyVal(key), Rev: ap.Rev}
+			if ap.Kind == store.IntentPut {
+				op.Kind = wal.OpPut
+				op.Value = copyVal(ap.Value)
+				op.Lease = ap.Lease
+			} else {
+				op.Kind = wal.OpDelete
+			}
+			recs = append(recs, op)
 		}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	return cl.logApply(nodeID, txid, recs)
 }
 
 // --- convenience multi-key operations ---

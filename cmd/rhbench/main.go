@@ -41,6 +41,8 @@
 //	cluster-session-cache, cluster-lock-service
 //	              the same scenarios on the share-nothing cluster (lease
 //	              records route like data keys, so revokes ride 2PC)
+//	recovery      write-ahead-log recovery: log size vs cold-open replay
+//	              time, with and without a midpoint checkpoint
 //	all           everything above (cluster: the -a sweep only)
 //
 // Every ycsb-*, batch, and cluster-* experiment drives the unified kv.DB
@@ -59,6 +61,13 @@
 // The session-cache and lock-service experiments drive the kv layer's
 // coordination surface (revisions, leases, watches); -ttl and -pumpevery
 // set the lease TTL (virtual ticks) and the expiry-pump cadence.
+//
+// -wal attaches a write-ahead log (in-memory simulated device) to any KV
+// experiment: every committed transaction is group-committed to the log
+// before the operation returns, and the run notes report the log counters
+// (transactions per sync is the group-commit amortization). -syncevery N
+// relaxes the barrier to every N transactions. The recovery experiment
+// measures the other half: cold-open replay time against log size.
 //
 // -json FILE appends one machine-readable JSON line per measured point
 // (engine, workload, threads, ops, ops/kacc, ops/kinterval, abort ratio,
@@ -106,11 +115,13 @@ func main() {
 		batches = flag.String("batchsizes", "1,8,64", "comma-separated batch sizes for the batch experiment")
 		ttl     = flag.Int("ttl", 16, "lease TTL in virtual clock ticks (session-cache / lock-service)")
 		pump    = flag.Int("pumpevery", 32, "ops between virtual-clock ticks / expiry pumps (session-cache / lock-service)")
+		useWAL  = flag.Bool("wal", false, "attach a write-ahead log (in-memory device) to the KV experiments")
+		syncEv  = flag.Int("syncevery", 0, "relax WAL syncs to every N logged transactions (0/1 = every group commit; needs -wal)")
 		jsonOut = flag.String("json", "", "append machine-readable JSON result lines to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|batch|session-cache|lock-service|cluster-ycsb-a..f|cluster-bank|cluster-session-cache|cluster-lock-service|all>")
+		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|batch|session-cache|lock-service|recovery|cluster-ycsb-a..f|cluster-bank|cluster-session-cache|cluster-lock-service|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -153,6 +164,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rhbench: -ttl and -pumpevery must be positive")
 		os.Exit(2)
 	}
+	if *syncEv > 1 && !*useWAL {
+		fmt.Fprintln(os.Stderr, "rhbench: -syncevery needs -wal")
+		os.Exit(2)
+	}
 	spec := harness.KVSpec{
 		Records:    *records,
 		ValueBytes: *vbytes,
@@ -162,6 +177,8 @@ func main() {
 		ScanMax:    *scanMax,
 		TTL:        *ttl,
 		PumpEvery:  *pump,
+		WAL:        *useWAL,
+		SyncEvery:  *syncEv,
 	}
 	systemsList, err := parseInts(*systems, "system count", 1, 1<<20)
 	if err != nil {
@@ -188,6 +205,8 @@ func main() {
 		ScanMax:    *scanMax,
 		TTL:        *ttl,
 		PumpEvery:  *pump,
+		WAL:        *useWAL,
+		SyncEvery:  *syncEv,
 	}
 	// An explicit -dist overrides the cluster default (the flag's own
 	// default stays zipfian for the ycsb-* experiments, as YCSB specifies).
@@ -196,6 +215,7 @@ func main() {
 			cspec.Dist = *dist
 		}
 	})
+	recoveryOps := []int{2_000, 10_000, 40_000}
 	if *quick {
 		q := harness.SmallScale()
 		q.Threads = []int{1, 2, 4}
@@ -207,6 +227,7 @@ func main() {
 		systemsList = []int{1, 4}
 		crossList = []int{0, 20}
 		batchList = []int{1, 16}
+		recoveryOps = []int{500, 2_000}
 	}
 	sweep := clusterSweep{systems: systemsList, cross: crossList, spec: cspec}
 
@@ -251,14 +272,14 @@ func main() {
 		for _, e := range []string{"fig1", "fig2a", "fig2b", "fig2c", "tab1", "tab2",
 			"fig3a", "fig3b", "fig3c", "ext-clock", "ext-capacity", "ext-hybrids",
 			"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "batch",
-			"session-cache", "lock-service", "cluster-ycsb-a"} {
+			"session-cache", "lock-service", "recovery", "cluster-ycsb-a"} {
 			em.exp = e
-			runExperiment(e, em, sc, *capLim, spec, sweep, batchList)
+			runExperiment(e, em, sc, *capLim, spec, sweep, batchList, recoveryOps)
 			fmt.Println()
 		}
 		return
 	}
-	runExperiment(exp, em, sc, *capLim, spec, sweep, batchList)
+	runExperiment(exp, em, sc, *capLim, spec, sweep, batchList, recoveryOps)
 }
 
 // emitter routes one experiment's artifacts: human-readable series to out,
@@ -317,9 +338,14 @@ func (cs clusterSweep) run(em *emitter, sc harness.Scale, mix string) {
 }
 
 // runExperiment dispatches one experiment id and prints its artifact.
-func runExperiment(exp string, em *emitter, sc harness.Scale, capLim int, spec harness.KVSpec, sweep clusterSweep, batchList []int) {
+func runExperiment(exp string, em *emitter, sc harness.Scale, capLim int, spec harness.KVSpec, sweep clusterSweep, batchList, recoveryOps []int) {
 	out := em.out
 	switch exp {
+	case "recovery":
+		points := harness.RecoveryExperiment(recoveryOps, spec.ValueBytes)
+		harness.PrintRecovery(out, points)
+		em.record(harness.RecoveryResults(points))
+		return
 	case "fig1":
 		em.series(
 			fmt.Sprintf("Figure 1: %d-node Constant RB-Tree, 20%% mutations", sc.RBNodes),

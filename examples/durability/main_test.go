@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDurabilityExample runs the full kill-and-recover loop so the example
+// cannot silently rot: every generation must crash at a random log offset,
+// recover, and conserve the bank total.
+func TestDurabilityExample(t *testing.T) {
+	summary, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "durability ok:") {
+		t.Fatalf("unexpected summary:\n%s", summary)
+	}
+	if !strings.Contains(summary, "generation 5:") {
+		t.Fatalf("loop did not reach the last generation:\n%s", summary)
+	}
+}

@@ -49,8 +49,17 @@ type DBFactory func(t *testing.T) (db kv.DB, clock *kv.ManualClock, validate fun
 //     keep-alive / revoke / virtual-time expiry atomicity under a map
 //     oracle and a concurrent pair audit, and the watch section — per-key
 //     ordering, completeness against committed write counts, and fromRev
-//     replay.
-func RunDB(t *testing.T, name string, factory DBFactory) {
+//     replay;
+//   - with WithRecovery, the crash-injection section (recovery.go): a
+//     clean-stop recovery diffed against a map oracle, then fuzzed crash
+//     offsets under a concurrent transfer workload — post-recovery state
+//     must equal the committed-prefix oracle with the transfer invariant
+//     intact, revisions monotone, and leases preserved.
+func RunDB(t *testing.T, name string, factory DBFactory, opts ...BatteryOption) {
+	var bo batteryOptions
+	for _, fn := range opts {
+		fn(&bo)
+	}
 	t.Run(name+"/DBSequentialOracle", func(t *testing.T) { testDBSequentialOracle(t, factory) })
 	t.Run(name+"/DBLinearizability", func(t *testing.T) { testDBLinearizability(t, factory) })
 	t.Run(name+"/DBAtomicTransfer", func(t *testing.T) { testDBAtomicTransfer(t, factory) })
@@ -59,6 +68,22 @@ func RunDB(t *testing.T, name string, factory DBFactory) {
 	t.Run(name+"/DBRevisionCAS", func(t *testing.T) { testDBRevisionCAS(t, factory) })
 	t.Run(name+"/DBLeaseExpiry", func(t *testing.T) { testDBLeaseExpiry(t, factory) })
 	t.Run(name+"/DBWatch", func(t *testing.T) { testDBWatch(t, factory) })
+	if bo.recovery != nil {
+		t.Run(name+"/DBRecovery", func(t *testing.T) { testDBRecovery(t, bo.recovery) })
+	}
+}
+
+// BatteryOption extends RunDB with optional sections.
+type BatteryOption func(*batteryOptions)
+
+type batteryOptions struct {
+	recovery RecoveryFactory
+}
+
+// WithRecovery enables the DBRecovery crash-injection section against rigs
+// built by rf (durable DBs over crash-injectable storage).
+func WithRecovery(rf RecoveryFactory) BatteryOption {
+	return func(o *batteryOptions) { o.recovery = rf }
 }
 
 // testDBSequentialOracle runs a random single-client operation stream — a

@@ -91,12 +91,27 @@ func (c *coordState) record(lock int, iv holdInterval) {
 // commits and ends before the releasing delete, so recorded intervals are
 // sub-intervals of the true holds: the check can miss an overlap by a
 // tick, but it can never report a false one.
+//
+// Ties need care: the clock only ticks every PumpEvery operations, so two
+// *sequential* holds can record the same start. The only legal
+// serialization of a tie is release-first — the later acquire needed the
+// key absent, so every tied hold but the last must have ended at the tie
+// tick, and the clock's monotonicity makes a tied hold with a later
+// effective end provably the later acquire. Sorting ties by effective end
+// therefore keeps the no-false-positive direction; without it the sort
+// order is arbitrary and a crashed hold sorted before a same-tick released
+// one reports a phantom overlap.
 func (c *coordState) auditMutualExclusion() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for lock, ivs := range c.intervals {
 		sorted := append([]holdInterval(nil), ivs...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i].start < sorted[j].start })
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].start != sorted[j].start {
+				return sorted[i].start < sorted[j].start
+			}
+			return sorted[i].effectiveEnd() < sorted[j].effectiveEnd()
+		})
 		for i := 1; i < len(sorted); i++ {
 			prev, cur := sorted[i-1], sorted[i]
 			if cur.start < prev.effectiveEnd() {

@@ -91,4 +91,26 @@ func TestLockAuditCatchesOverlap(t *testing.T) {
 	if err := c2.auditMutualExclusion(); err == nil {
 		t.Fatal("acquire inside a crashed hold's lease window not detected")
 	}
+	// Same-tick sequential holds — released within the tie tick, then
+	// re-acquired and crashed — are legal whatever order they were
+	// recorded in: the tie-break must not fabricate an overlap.
+	for _, order := range [][2]holdInterval{
+		{{token: 1, start: 11, deadline: 17, end: 11}, {token: 2, start: 11, deadline: 15}},
+		{{token: 2, start: 11, deadline: 15}, {token: 1, start: 11, deadline: 17, end: 11}},
+	} {
+		c3 := newCoordState(nil)
+		c3.record(3, order[0])
+		c3.record(3, order[1])
+		if err := c3.auditMutualExclusion(); err != nil {
+			t.Fatalf("legal same-tick hold sequence rejected: %v", err)
+		}
+	}
+	// But two tied holds that both extend past the tie tick cannot both be
+	// lease-valid: one acquired while the other still held the key.
+	c4 := newCoordState(nil)
+	c4.record(9, holdInterval{token: 1, start: 11, deadline: 15})
+	c4.record(9, holdInterval{token: 2, start: 11, deadline: 17, end: 14})
+	if err := c4.auditMutualExclusion(); err == nil {
+		t.Fatal("two extending same-tick holds not detected")
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"rhtm/containers"
 	"rhtm/kv"
 	"rhtm/store"
+	"rhtm/wal"
 )
 
 // The unified KV runner: every YCSB-style mix is generated once, against
@@ -55,6 +56,7 @@ type storeBackend struct {
 	sh    *store.Sharded
 	db    *kv.Local
 	clock *kv.ManualClock
+	wal   bool
 }
 
 func openStoreBackend(spec KVSpec, engineName string, cfg RunConfig) (*storeBackend, error) {
@@ -72,8 +74,20 @@ func openStoreBackend(spec KVSpec, engineName string, cfg RunConfig) (*storeBack
 	}
 	sh := store.NewSharded(s, spec.Shards, store.Options{ArenaWords: arenaWords})
 	clock := kv.NewManualClock()
-	return &storeBackend{sys: s, eng: eng, sh: sh,
-		db: kv.NewLocal(eng, sh, kv.WithClock(clock)), clock: clock}, nil
+	b := &storeBackend{sys: s, eng: eng, sh: sh, clock: clock, wal: spec.WAL}
+	if spec.WAL {
+		dev, err := wal.NewMemStorage().Device("wal")
+		if err != nil {
+			return nil, err
+		}
+		b.db, err = kv.OpenLocal(eng, sh, dev, kv.WithClock(clock), kv.WithSyncEvery(spec.SyncEvery))
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	b.db = kv.NewLocal(eng, sh, kv.WithClock(clock))
+	return b, nil
 }
 
 func (b *storeBackend) DB() kv.DB { return b.db }
@@ -81,6 +95,12 @@ func (b *storeBackend) DB() kv.DB { return b.db }
 func (b *storeBackend) Clock() *kv.ManualClock { return b.clock }
 
 func (b *storeBackend) Load(key, value []byte) error {
+	if b.wal {
+		// Every write must ride the logging paths once a WAL is attached —
+		// a setup-path write would leave a revision hole the log's
+		// sequence gate waits on forever.
+		return b.db.Put(key, value)
+	}
 	return b.sh.Put(containers.SetupTx(b.sys), key, value)
 }
 
@@ -106,6 +126,7 @@ type clusterBackend struct {
 	c     *cluster.Cluster
 	db    *kv.ClusterDB
 	clock *kv.ManualClock
+	wal   bool
 }
 
 func openClusterBackend(spec KVSpec, engineName string, cfg RunConfig) (*clusterBackend, error) {
@@ -136,14 +157,29 @@ func openClusterBackend(spec KVSpec, engineName string, cfg RunConfig) (*cluster
 		return nil, err
 	}
 	clock := kv.NewManualClock()
-	return &clusterBackend{c: c, db: kv.NewCluster(c, kv.WithClock(clock)), clock: clock}, nil
+	b := &clusterBackend{c: c, clock: clock, wal: spec.WAL}
+	if spec.WAL {
+		b.db, err = kv.OpenCluster(c, wal.NewMemStorage(),
+			kv.WithClock(clock), kv.WithSyncEvery(spec.SyncEvery))
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	b.db = kv.NewCluster(c, kv.WithClock(clock))
+	return b, nil
 }
 
 func (b *clusterBackend) DB() kv.DB { return b.db }
 
 func (b *clusterBackend) Clock() *kv.ManualClock { return b.clock }
 
-func (b *clusterBackend) Load(key, value []byte) error { return b.c.Load(key, value) }
+func (b *clusterBackend) Load(key, value []byte) error {
+	if b.wal {
+		return b.db.Put(key, value) // see storeBackend.Load
+	}
+	return b.c.Load(key, value)
+}
 
 func (b *clusterBackend) Peek(key []byte) ([]byte, bool) { return b.c.Peek(key) }
 

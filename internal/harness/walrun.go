@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rhtm"
+	"rhtm/kv"
+	"rhtm/store"
+	"rhtm/wal"
+)
+
+// The recovery experiment: how replay time scales with log size, and what
+// a mid-run checkpoint buys. Each point writes a transaction stream
+// through a durable Local DB (cycling over a bounded key set, so state
+// stays fixed while the log grows), crashes at the end of the log, and
+// times a cold open — scan, replay, writer bring-up — of a fresh System
+// over the crashed image.
+
+// RecoveryPoint is one measured recovery.
+type RecoveryPoint struct {
+	// Ops is the number of logged transactions; Checkpoint whether one was
+	// written at the midpoint.
+	Ops        int
+	Checkpoint bool
+	// LogBytes is the crashed log's size; ReplayedTxns the committed
+	// groups the recovery scan yielded (post-checkpoint suffix).
+	LogBytes     uint64
+	ReplayedTxns int
+	// OpenTime is the cold-open wall time; Keys the recovered live keys.
+	OpenTime time.Duration
+	Keys     int
+}
+
+// recoveryKeys bounds the key set a recovery point cycles over.
+const recoveryKeys = 512
+
+// MustRecoveryPoint measures one (ops, checkpoint) recovery point.
+func MustRecoveryPoint(ops int, valueBytes int, checkpoint bool) RecoveryPoint {
+	build := func(stg *wal.MemStorage) (*kv.Local, *store.Sharded) {
+		perRecord := store.RecordFootprintWords(len(ycsbKey(0)), valueBytes)
+		arenaWords := recoveryKeys*perRecord*2/4 + 4096
+		s := rhtm.MustNewSystem(rhtm.DefaultConfig(4*(arenaWords+store.DefaultLogWords+64) + 8192))
+		eng, err := Build(s, EngTL2, 0)
+		if err != nil {
+			panic(err)
+		}
+		sh := store.NewSharded(s, 4, store.Options{ArenaWords: arenaWords})
+		dev, err := stg.Device("wal")
+		if err != nil {
+			panic(err)
+		}
+		db, err := kv.OpenLocal(eng, sh, dev, kv.WithSyncEvery(64))
+		if err != nil {
+			panic(err)
+		}
+		return db, sh
+	}
+	stg := wal.NewMemStorage()
+	db, _ := build(stg)
+	val := make([]byte, valueBytes)
+	for i := 0; i < ops; i++ {
+		val[0] = byte(i)
+		if err := db.Put(ycsbKey(i%recoveryKeys), val); err != nil {
+			panic(fmt.Sprintf("harness: recovery populate: %v", err))
+		}
+		if checkpoint && i == ops/2 {
+			if err := db.Checkpoint(); err != nil {
+				panic(fmt.Sprintf("harness: recovery checkpoint: %v", err))
+			}
+		}
+	}
+	img := stg.CrashImage(stg.Appended())
+	dev, err := img.Device("wal")
+	if err != nil {
+		panic(err)
+	}
+	data, err := dev.Contents()
+	if err != nil {
+		panic(err)
+	}
+	sr := wal.Scan(data)
+
+	start := time.Now()
+	db2, sh2 := build(img)
+	open := time.Since(start)
+
+	keys := 0
+	it := db2.Scan(nil, nil, 0)
+	for it.Next() {
+		keys++
+	}
+	if err := it.Err(); err != nil {
+		panic(err)
+	}
+	if err := sh2.Validate(); err != nil {
+		panic(fmt.Sprintf("harness: recovered store invalid: %v", err))
+	}
+	return RecoveryPoint{
+		Ops:          ops,
+		Checkpoint:   checkpoint,
+		LogBytes:     uint64(len(data)),
+		ReplayedTxns: len(sr.Txns),
+		OpenTime:     open,
+		Keys:         keys,
+	}
+}
+
+// RecoveryExperiment sweeps log sizes with and without a midpoint
+// checkpoint.
+func RecoveryExperiment(opsList []int, valueBytes int) []RecoveryPoint {
+	var out []RecoveryPoint
+	for _, ops := range opsList {
+		for _, ckpt := range []bool{false, true} {
+			out = append(out, MustRecoveryPoint(ops, valueBytes, ckpt))
+		}
+	}
+	return out
+}
+
+// PrintRecovery renders the recovery sweep.
+func PrintRecovery(w io.Writer, points []RecoveryPoint) {
+	fmt.Fprintf(w, "# Recovery: log size vs cold-open replay time (TL2, %d-key working set, sync every 64)\n", recoveryKeys)
+	fmt.Fprintf(w, "%10s  %10s  %12s  %14s  %12s  %6s\n",
+		"ops", "checkpoint", "log bytes", "replayed txns", "open time", "keys")
+	for _, p := range points {
+		fmt.Fprintf(w, "%10d  %10v  %12d  %14d  %12s  %6d\n",
+			p.Ops, p.Checkpoint, p.LogBytes, p.ReplayedTxns,
+			p.OpenTime.Round(10*time.Microsecond), p.Keys)
+	}
+}
+
+// RecoveryResults adapts the sweep to Result rows for the JSON trajectory:
+// Ops counts logged transactions, Elapsed is the cold-open time, Notes
+// carries the log size and replayed-suffix length.
+func RecoveryResults(points []RecoveryPoint) []Result {
+	out := make([]Result, len(points))
+	for i, p := range points {
+		name := fmt.Sprintf("recovery/ops=%d", p.Ops)
+		if p.Checkpoint {
+			name += "/ckpt"
+		}
+		out[i] = Result{
+			Workload: name,
+			Engine:   EngTL2,
+			Threads:  1,
+			Ops:      uint64(p.Ops),
+			Elapsed:  p.OpenTime,
+			Notes: fmt.Sprintf("log-bytes=%d replayed-txns=%d keys=%d",
+				p.LogBytes, p.ReplayedTxns, p.Keys),
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKVWALRuns pins the -wal path of RunKV on both backends: populate
+// goes through the DB (the log's sequence gate forbids setup-path writes),
+// the run completes with the usual invariants (bank total conserved,
+// structural validation including the checkpoint/durable watermark check),
+// and the notes report the log counters.
+func TestKVWALRuns(t *testing.T) {
+	for _, spec := range []KVSpec{
+		{Mix: "a", Records: 128, ValueBytes: 16, Shards: 2, WAL: true},
+		{Mix: "bank", Records: 32, Systems: 2, CrossPct: 50, WAL: true, SyncEvery: 4},
+	} {
+		res, err := RunKV(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 60, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		if !strings.Contains(res.Notes, "wal[") {
+			t.Errorf("%s: notes missing wal counters: %s", spec.Name(), res.Notes)
+		}
+	}
+}
+
+// TestRecoveryPointCheckpointBounds: the recovery experiment's midpoint
+// checkpoint must shrink the replayed suffix versus the checkpoint-free
+// run of the same length.
+func TestRecoveryPointCheckpointBounds(t *testing.T) {
+	plain := MustRecoveryPoint(600, 32, false)
+	ckpt := MustRecoveryPoint(600, 32, true)
+	if plain.ReplayedTxns != 600 {
+		t.Fatalf("plain run replayed %d txns, want 600", plain.ReplayedTxns)
+	}
+	if ckpt.ReplayedTxns >= plain.ReplayedTxns*2/3 {
+		t.Fatalf("checkpoint did not bound replay: %d vs %d txns", ckpt.ReplayedTxns, plain.ReplayedTxns)
+	}
+	if plain.Keys != ckpt.Keys {
+		t.Fatalf("recovered key counts diverge: %d vs %d", plain.Keys, ckpt.Keys)
+	}
+}

@@ -76,6 +76,14 @@ type KVSpec struct {
 	// a/b/c into kv.DB.Batch calls of this size — the batching
 	// amortization experiment.
 	BatchSize int
+	// WAL attaches a write-ahead log to the backend (in-memory device):
+	// the run populates through the DB so every record is logged, and the
+	// notes report the log counters (txns, syncs, bytes — group-commit
+	// amortization shows as txns/sync > 1).
+	WAL bool
+	// SyncEvery relaxes the WAL's durability barrier to every N logged
+	// transactions (0/1 = every group commit). Requires WAL.
+	SyncEvery int
 }
 
 // readPct returns the percentage of plain reads (or, for "e", scans) in
@@ -164,6 +172,12 @@ func (sp KVSpec) Name() string {
 	if sp.BatchSize > 1 {
 		name += fmt.Sprintf("/batch=%d", sp.BatchSize)
 	}
+	if sp.WAL {
+		name += "/wal"
+		if sp.SyncEvery > 1 {
+			name += fmt.Sprintf("/sync=%d", sp.SyncEvery)
+		}
+	}
 	return name
 }
 
@@ -199,6 +213,9 @@ func (sp KVSpec) validate() error {
 		default:
 			return fmt.Errorf("harness: BatchSize applies to mixes a/b/c, not %q", sp.Mix)
 		}
+	}
+	if sp.SyncEvery > 1 && !sp.WAL {
+		return fmt.Errorf("harness: SyncEvery needs WAL")
 	}
 	return nil
 }

@@ -312,6 +312,12 @@ type DB interface {
 	// the retained history with revisions >= fromRev (per revision clock);
 	// 0 streams new events only.
 	Watch(ctx context.Context, prefix []byte, fromRev Revision) (<-chan Event, error)
+
+	// Checkpoint writes a full-state snapshot into the DB's write-ahead
+	// log, bounding the next recovery's replay to the post-checkpoint
+	// suffix. DBs constructed without a log (NewLocal, NewCluster) return
+	// ErrNoWAL; recovered DBs come from OpenLocal / OpenCluster.
+	Checkpoint() error
 }
 
 // maxAttempts bounds Update/Batch/Scan retries before ErrConflict.

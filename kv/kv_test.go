@@ -78,17 +78,23 @@ func clusterFactory(engineName string, systems, inject int) dbtest.DBFactory {
 
 // TestDBConformance is the tentpole acceptance: ONE battery, every engine,
 // both implementations — the store-backed Local (sharded and unsharded) and
-// the 2PC cluster (multi- and single-System).
+// the 2PC cluster (multi- and single-System) — with the crash-injection
+// recovery section running against the durable Open paths of each.
 func TestDBConformance(t *testing.T) {
 	for _, eng := range allEngines {
-		dbtest.RunDB(t, "Local/Sharded4/"+eng, localFactory(eng, 4, 10))
-		dbtest.RunDB(t, "Cluster3/"+eng, clusterFactory(eng, 3, 20))
+		dbtest.RunDB(t, "Local/Sharded4/"+eng, localFactory(eng, 4, 10),
+			dbtest.WithRecovery(localRecoveryFactory(eng, 4, 10)))
+		dbtest.RunDB(t, "Cluster3/"+eng, clusterFactory(eng, 3, 20),
+			dbtest.WithRecovery(clusterRecoveryFactory(eng, 3, 20)))
 	}
 	// The unsharded store and the degenerate one-System cluster share the
 	// same contract; a spot check per family keeps the matrix tractable.
-	dbtest.RunDB(t, "Local/Store/RH1", localFactory("RH1", 0, 10))
-	dbtest.RunDB(t, "Local/Store/TL2", localFactory("TL2", 0, 0))
-	dbtest.RunDB(t, "Cluster1/RH1", clusterFactory("RH1", 1, 20))
+	dbtest.RunDB(t, "Local/Store/RH1", localFactory("RH1", 0, 10),
+		dbtest.WithRecovery(localRecoveryFactory("RH1", 0, 10)))
+	dbtest.RunDB(t, "Local/Store/TL2", localFactory("TL2", 0, 0),
+		dbtest.WithRecovery(localRecoveryFactory("TL2", 0, 0)))
+	dbtest.RunDB(t, "Cluster1/RH1", clusterFactory("RH1", 1, 20),
+		dbtest.WithRecovery(clusterRecoveryFactory("RH1", 1, 20)))
 }
 
 // --- sentinel errors ---

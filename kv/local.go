@@ -7,18 +7,30 @@ import (
 
 	"rhtm"
 	"rhtm/store"
+	"rhtm/wal"
 )
 
 // Storer is the transaction-level store surface a Local DB drives; both
-// store.Store and store.Sharded satisfy it.
+// store.Store and store.Sharded satisfy it. The stamped and replay entry
+// points, the partition map, and the metadata scan are the durability
+// layer's hooks: partitions index EventLogs() — one revision clock each —
+// and PartitionOf names the clock a key's revisions come from.
 type Storer interface {
 	Get(tx rhtm.Tx, key []byte) ([]byte, bool)
 	Read(tx rhtm.Tx, key []byte) (value []byte, rev, lease uint64, ok bool)
 	PutLease(tx rhtm.Tx, key, value []byte, lease uint64) error
+	PutStamped(tx rhtm.Tx, key, value []byte, lease uint64) (uint64, error)
 	Delete(tx rhtm.Tx, key []byte) bool
+	DeleteStamped(tx rhtm.Tx, key []byte) (uint64, bool)
+	ReplayPut(tx rhtm.Tx, key, value []byte, rev, lease uint64) error
+	ReplayDelete(tx rhtm.Tx, key []byte, rev uint64) bool
 	ScanLimit(tx rhtm.Tx, start, end []byte, limit int, fn func(key, value []byte) bool)
+	ScanMeta(tx rhtm.Tx, fn func(key, value []byte, rev, lease uint64) bool)
 	Len(tx rhtm.Tx) int
 	EventLogs() []*store.EventLog
+	PartitionOf(key []byte) int
+	System() *rhtm.System
+	SetWALStats(fn func() store.WALStats)
 }
 
 var (
@@ -30,7 +42,8 @@ var (
 type Option func(*dbOptions)
 
 type dbOptions struct {
-	clock Clock
+	clock     Clock
+	syncEvery int
 }
 
 // WithClock injects the virtual-time source lease deadlines are measured
@@ -72,6 +85,11 @@ type Local struct {
 
 	leaseSeq atomic.Uint64
 	hub      *watchHub
+
+	// wal, when non-nil, is the durability hook: committed transactions'
+	// captured redo operations are published to the group-commit writer
+	// before the operation returns (see OpenLocal and wal.go).
+	wal *localWAL
 
 	// sessions holds maxSessions slots, pre-filled with nil placeholders;
 	// a nil slot lazily becomes a registered engine thread on first use.
@@ -119,16 +137,27 @@ func (db *Local) putThread(th rhtm.Thread) {
 
 // Update implements DB. The engine retries its own conflicts inside
 // Atomic, so the explicit loop here only serves closures that request a
-// retry by returning ErrConflict.
+// retry by returning ErrConflict. With a WAL attached, the closure's
+// writes are captured per attempt (a fresh capture every re-execution, so
+// aborted attempts log nothing) and published after the engine commit.
 func (db *Local) Update(fn func(tx Txn) error) error {
 	th := db.getThread()
 	defer db.putThread(th)
+	var ops []wal.Op
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		err := th.Atomic(func(tx rhtm.Tx) error {
-			return fn(&localTxn{tx: tx, st: db.st})
+			lt := &localTxn{tx: tx, st: db.st}
+			if db.wal != nil {
+				ops = ops[:0]
+				lt.recs = &ops
+			}
+			return fn(lt)
 		})
 		if !errors.Is(err, ErrConflict) {
 			if err == nil {
+				if werr := db.walCommit(ops); werr != nil {
+					return werr
+				}
 				db.hub.wake()
 			}
 			return err
@@ -177,10 +206,21 @@ func (db *Local) Put(key, value []byte, opts ...PutOption) error {
 	}
 	th := db.getThread()
 	defer db.putThread(th)
+	var rev uint64
 	err := th.Atomic(func(tx rhtm.Tx) error {
-		return db.st.PutLease(tx, key, value, 0)
+		var err error
+		rev, err = db.st.PutStamped(tx, key, value, 0)
+		return err
 	})
 	if err == nil {
+		if db.wal != nil {
+			if werr := db.walCommit([]wal.Op{{
+				Part: db.st.PartitionOf(key), Kind: wal.OpPut,
+				Key: copyBytes(key), Value: copyBytes(value), Rev: rev,
+			}}); werr != nil {
+				return werr
+			}
+		}
 		db.hub.wake()
 	}
 	return err
@@ -199,14 +239,23 @@ func (db *Local) Delete(key []byte) error {
 	th := db.getThread()
 	defer db.putThread(th)
 	var ok bool
+	var rev uint64
 	if err := th.Atomic(func(tx rhtm.Tx) error {
-		ok = db.st.Delete(tx, key)
+		rev, ok = db.st.DeleteStamped(tx, key)
 		return nil
 	}); err != nil {
 		return err
 	}
 	if !ok {
 		return ErrNotFound
+	}
+	if db.wal != nil {
+		if err := db.walCommit([]wal.Op{{
+			Part: db.st.PartitionOf(key), Kind: wal.OpDelete,
+			Key: copyBytes(key), Rev: rev,
+		}}); err != nil {
+			return err
+		}
 	}
 	db.hub.wake()
 	return nil
@@ -287,10 +336,15 @@ type retriesError struct{}
 func (*retriesError) Error() string { return "kv: update exhausted retries: " + ErrConflict.Error() }
 func (*retriesError) Unwrap() error { return ErrConflict }
 
-// localTxn adapts one live engine transaction to the Txn interface.
+// localTxn adapts one live engine transaction to the Txn interface. recs,
+// when non-nil, captures the attempt's writes (with the revisions the
+// store stamped) for WAL publication after the engine commit; the capture
+// is reset by the Update loop on every re-execution, so only the committed
+// attempt's operations are ever logged.
 type localTxn struct {
-	tx rhtm.Tx
-	st Storer
+	tx   rhtm.Tx
+	st   Storer
+	recs *[]wal.Op
 }
 
 // Get implements Txn.
@@ -346,12 +400,29 @@ func (t *localTxn) getRaw(key []byte) ([]byte, error) {
 }
 
 func (t *localTxn) putRaw(key, value []byte, lease LeaseID) error {
-	return t.st.PutLease(t.tx, key, value, lease)
+	rev, err := t.st.PutStamped(t.tx, key, value, lease)
+	if err != nil {
+		return err
+	}
+	if t.recs != nil {
+		*t.recs = append(*t.recs, wal.Op{
+			Part: t.st.PartitionOf(key), Kind: wal.OpPut,
+			Key: copyBytes(key), Value: copyBytes(value), Rev: rev, Lease: lease,
+		})
+	}
+	return nil
 }
 
 func (t *localTxn) deleteRaw(key []byte) error {
-	if !t.st.Delete(t.tx, key) {
+	rev, ok := t.st.DeleteStamped(t.tx, key)
+	if !ok {
 		return ErrNotFound
+	}
+	if t.recs != nil {
+		*t.recs = append(*t.recs, wal.Op{
+			Part: t.st.PartitionOf(key), Kind: wal.OpDelete,
+			Key: copyBytes(key), Rev: rev,
+		})
 	}
 	return nil
 }

@@ -163,6 +163,13 @@ func (h *watchHub) replayLocked(sub *watchSub, fromRev Revision) error {
 		// up front so only the committed attempt's collection survives.
 		err := src.run(func(tx rhtm.Tx) error {
 			srcReplay, srcLost = srcReplay[:0], false
+			if fromRev <= src.log.HistoryFloor(tx) {
+				// The ring was rebuilt by crash recovery: history in the
+				// recovered range is incomplete by construction (a
+				// checkpoint folds overwritten revisions and deletes away),
+				// so the replay must lead with an explicit loss marker.
+				srcLost = true
+			}
 			pos, first := uint64(0), true
 			for pos < h.offsets[i] {
 				// Bounded at the hub's offset: everything past it arrives

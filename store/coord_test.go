@@ -48,7 +48,7 @@ func TestSharedReadIntents(t *testing.T) {
 	}
 
 	// Release one reader: the record shrinks but stays shared.
-	if err := st.ApplyIntent(tx, key, 2); err != nil {
+	if _, err := st.ApplyIntent(tx, key, 2); err != nil {
 		t.Fatal(err)
 	}
 	if got := st.ReadSharers(tx, key); got != 2 {
@@ -62,7 +62,7 @@ func TestSharedReadIntents(t *testing.T) {
 	if err := st.DiscardIntent(tx, key, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.ApplyIntent(tx, key, 3); err != nil {
+	if _, err := st.ApplyIntent(tx, key, 3); err != nil {
 		t.Fatal(err)
 	}
 	if st.AnyIntentOn(tx, key) {
@@ -75,7 +75,7 @@ func TestSharedReadIntents(t *testing.T) {
 	if err := st.PrepareIntent(tx, key, 10, IntentRead, nil, 0); err != ErrIntentHeld {
 		t.Fatalf("reader vs writer err = %v, want ErrIntentHeld", err)
 	}
-	if err := st.ApplyIntent(tx, key, 9); err != nil {
+	if _, err := st.ApplyIntent(tx, key, 9); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := st.Get(tx, key); !bytes.Equal(v, []byte("w")) {
@@ -149,7 +149,7 @@ func TestLeaseStamping(t *testing.T) {
 	if err := st.PrepareIntent(tx, key, 5, IntentPut, []byte("v3"), 88); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.ApplyIntent(tx, key, 5); err != nil {
+	if _, err := st.ApplyIntent(tx, key, 5); err != nil {
 		t.Fatal(err)
 	}
 	val, _, lease, ok := st.Read(tx, key)

@@ -243,6 +243,18 @@ func (st *Store) ReadSharers(tx rhtm.Tx, key []byte) int {
 	return int(tx.Load(pb + 2))
 }
 
+// AppliedIntent reports what ApplyIntent did: the intent's kind, the value
+// and lease it installed (IntentPut), and the revision the apply stamped —
+// 0 for a released read intent or a delete of an already-absent key. The
+// cluster's durability hook logs it so a recovered System replays the
+// apply at its original commit version.
+type AppliedIntent struct {
+	Kind  IntentKind
+	Value []byte
+	Lease uint64
+	Rev   uint64
+}
+
 // ApplyIntent executes and releases the intent txid holds on key: a put
 // stores the buffered value (with its lease) into the block prepare
 // reserved, a delete removes the key, a read releases txid's share. Given a
@@ -250,10 +262,10 @@ func (st *Store) ReadSharers(tx rhtm.Tx, key []byte) int {
 // argument in the package comment); a missing intent or an owner mismatch
 // returns an error, which aborts the enclosing transaction and so leaves
 // the store untouched.
-func (st *Store) ApplyIntent(tx rhtm.Tx, key []byte, txid uint64) error {
+func (st *Store) ApplyIntent(tx rhtm.Tx, key []byte, txid uint64) (AppliedIntent, error) {
 	payload, err := st.resolveIntent(tx, key, txid)
 	if err != nil || payload == nil {
-		return err
+		return AppliedIntent{}, err
 	}
 	switch IntentKind(payload[0]) {
 	case IntentPut:
@@ -263,11 +275,17 @@ func (st *Store) ApplyIntent(tx rhtm.Tx, key []byte, txid uint64) error {
 		// fail on capacity.
 		vb := rhtm.Addr(binary.LittleEndian.Uint64(payload[24:]))
 		lease := binary.LittleEndian.Uint64(payload[16:])
-		return st.putWith(tx, key, payload[writeIntentHeaderBytes:], vb, lease)
+		value := payload[writeIntentHeaderBytes:]
+		rev, err := st.putWith(tx, key, value, vb, lease, 0)
+		if err != nil {
+			return AppliedIntent{}, err
+		}
+		return AppliedIntent{Kind: IntentPut, Value: value, Lease: lease, Rev: rev}, nil
 	case IntentDelete:
-		st.Delete(tx, key)
+		rev, _ := st.deleteWith(tx, key, 0)
+		return AppliedIntent{Kind: IntentDelete, Rev: rev}, nil
 	}
-	return nil
+	return AppliedIntent{Kind: IntentRead}, nil
 }
 
 // DiscardIntent releases the intent txid holds on key without applying it

@@ -41,7 +41,7 @@ func TestIntentLifecycle(t *testing.T) {
 	}
 	// Apply with the wrong owner fails and leaves the intent in place; with
 	// the right owner it installs.
-	if err := st.ApplyIntent(tx, key, 7); err == nil {
+	if _, err := st.ApplyIntent(tx, key, 7); err == nil {
 		t.Fatal("apply with wrong txid succeeded")
 	}
 	if _, held := st.WriteIntentOn(tx, key); !held {
@@ -54,7 +54,7 @@ func TestIntentLifecycle(t *testing.T) {
 	if err := st2.PrepareIntent(tx, key, 42, IntentPut, []byte("new-value"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := st2.ApplyIntent(tx, key, 42); err != nil {
+	if _, err := st2.ApplyIntent(tx, key, 42); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := st2.Get(tx, key); !bytes.Equal(v, []byte("new-value")) {
@@ -80,7 +80,7 @@ func TestIntentKinds(t *testing.T) {
 	if err := st.PrepareIntent(tx, []byte("gone"), 1, IntentDelete, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.ApplyIntent(tx, []byte("gone"), 1); err != nil {
+	if _, err := st.ApplyIntent(tx, []byte("gone"), 1); err != nil {
 		t.Fatal(err)
 	}
 	if st.Has(tx, []byte("gone")) {
@@ -94,7 +94,7 @@ func TestIntentKinds(t *testing.T) {
 	if err := st.PrepareIntent(tx, []byte("ro"), 2, IntentRead, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.ApplyIntent(tx, []byte("ro"), 2); err != nil {
+	if _, err := st.ApplyIntent(tx, []byte("ro"), 2); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := st.Get(tx, []byte("ro")); !bytes.Equal(v, []byte("v")) {
@@ -111,7 +111,7 @@ func TestIntentKinds(t *testing.T) {
 	if st.Has(tx, []byte("never")) {
 		t.Fatal("discarded put intent reached the store")
 	}
-	if err := st.ApplyIntent(tx, []byte("never"), 3); err != ErrIntentMissing {
+	if _, err := st.ApplyIntent(tx, []byte("never"), 3); err != ErrIntentMissing {
 		t.Fatalf("apply after discard err = %v, want ErrIntentMissing", err)
 	}
 	if got := st.PendingIntents(tx); got != 0 {
@@ -159,7 +159,7 @@ func TestIntentFreeListReuse(t *testing.T) {
 		if err := st.PrepareIntent(tx, []byte("k"), txid, IntentPut, make([]byte, 24), 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := st.ApplyIntent(tx, []byte("k"), txid); err != nil {
+		if _, err := st.ApplyIntent(tx, []byte("k"), txid); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -200,7 +200,7 @@ func TestIntentApplyReservedSurvivesFullArena(t *testing.T) {
 		t.Fatalf("plain Put on full arena err = %v, want ErrArenaFull", err)
 	}
 	// ...but the decided apply still goes through on its reservation.
-	if err := st.ApplyIntent(tx, key, 5); err != nil {
+	if _, err := st.ApplyIntent(tx, key, 5); err != nil {
 		t.Fatalf("ApplyIntent on full arena: %v", err)
 	}
 	if v, _ := st.Get(tx, key); !bytes.Equal(v, newVal) {

@@ -80,6 +80,7 @@ type EventLog struct {
 	head    rhtm.Addr // one word: total words ever appended
 	tail    rhtm.Addr // one word: offset of the oldest retained record
 	dropped rhtm.Addr // one word: events skipped (key larger than the ring)
+	floor   rhtm.Addr // one word: revision at or below which history is incomplete
 	buf     rhtm.Addr
 	cap     int
 }
@@ -99,6 +100,7 @@ func NewEventLog(s *rhtm.System, words int) *EventLog {
 		head:    s.MustAlloc(1),
 		tail:    s.MustAlloc(1),
 		dropped: s.MustAlloc(1),
+		floor:   s.MustAlloc(1),
 		buf:     s.MustAlloc(words),
 		cap:     words,
 	}
@@ -113,6 +115,31 @@ func (l *EventLog) NextRev(tx rhtm.Tx) uint64 {
 	tx.Store(l.seq, r)
 	return r
 }
+
+// AdvanceTo raises the revision clock to at least rev without assigning a
+// revision — the recovery path's clock restore, so post-recovery writes
+// continue the logged sequence instead of reusing revisions.
+func (l *EventLog) AdvanceTo(tx rhtm.Tx, rev uint64) {
+	if tx.Load(l.seq) < rev {
+		tx.Store(l.seq, rev)
+	}
+}
+
+// MarkHistoryFloor records that event history at or below rev cannot be
+// trusted complete. Recovery calls it after replay: the rebuilt ring holds
+// the replayed writes' events, but a checkpoint folds overwritten
+// revisions and deletes away, so a watcher asking for replay from the
+// recovered range must get an explicit loss marker rather than a silently
+// thinned history.
+func (l *EventLog) MarkHistoryFloor(tx rhtm.Tx, rev uint64) {
+	if tx.Load(l.floor) < rev {
+		tx.Store(l.floor, rev)
+	}
+}
+
+// HistoryFloor returns the incomplete-history watermark (0 = the ring's
+// whole retained history is genuine).
+func (l *EventLog) HistoryFloor(tx rhtm.Tx) uint64 { return tx.Load(l.floor) }
 
 // word returns the ring word backing monotone offset pos.
 func (l *EventLog) word(pos uint64) rhtm.Addr {

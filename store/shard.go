@@ -15,6 +15,10 @@ import (
 // engine.
 type Sharded struct {
 	shards []*Store
+
+	// walStats, when set, snapshots the DB-level write-ahead log's
+	// counters (see SetWALStats in stats.go).
+	walStats func() WALStats
 }
 
 // NewSharded allocates n shards on s, each with its own Options.ArenaWords
@@ -48,6 +52,14 @@ func KeyHash(b []byte) uint64 {
 func (sh *Sharded) ShardIndex(key []byte) int {
 	return int(KeyHash(key) % uint64(len(sh.shards)))
 }
+
+// PartitionOf is ShardIndex under the durability layer's name: each shard
+// owns an independent revision clock, so the WAL's sequence gate tracks
+// one cursor per shard.
+func (sh *Sharded) PartitionOf(key []byte) int { return sh.ShardIndex(key) }
+
+// System returns the simulated machine the shards share.
+func (sh *Sharded) System() *rhtm.System { return sh.shards[0].sys }
 
 // Shard returns the sub-store a key routes to (for tests and diagnostics).
 func (sh *Sharded) Shard(key []byte) *Store {
@@ -94,9 +106,33 @@ func (sh *Sharded) PutLease(tx rhtm.Tx, key, value []byte, lease uint64) error {
 	return sh.Shard(key).PutLease(tx, key, value, lease)
 }
 
+// PutStamped is PutLease returning the stamped revision (see
+// Store.PutStamped); revisions come from the owning shard's clock.
+func (sh *Sharded) PutStamped(tx rhtm.Tx, key, value []byte, lease uint64) (uint64, error) {
+	return sh.Shard(key).PutStamped(tx, key, value, lease)
+}
+
+// ReplayPut applies a logged write to the owning shard (see
+// Store.ReplayPut). Single-threaded recovery only.
+func (sh *Sharded) ReplayPut(tx rhtm.Tx, key, value []byte, rev, lease uint64) error {
+	return sh.Shard(key).ReplayPut(tx, key, value, rev, lease)
+}
+
 // Delete removes key from its shard.
 func (sh *Sharded) Delete(tx rhtm.Tx, key []byte) bool {
 	return sh.Shard(key).Delete(tx, key)
+}
+
+// DeleteStamped is Delete returning the consumed revision (see
+// Store.DeleteStamped).
+func (sh *Sharded) DeleteStamped(tx rhtm.Tx, key []byte) (uint64, bool) {
+	return sh.Shard(key).DeleteStamped(tx, key)
+}
+
+// ReplayDelete applies a logged deletion to the owning shard (see
+// Store.ReplayDelete). Single-threaded recovery only.
+func (sh *Sharded) ReplayDelete(tx rhtm.Tx, key []byte, rev uint64) bool {
+	return sh.Shard(key).ReplayDelete(tx, key, rev)
 }
 
 // EventLogs returns every shard's commit-event log (one independent
@@ -173,11 +209,35 @@ func (sh *Sharded) ScanLimit(tx rhtm.Tx, start, end []byte, limit int, fn func(k
 	}
 }
 
-// Validate checks every shard's invariants. Only call while no transactions
-// are in flight.
+// ScanMeta visits every shard's entries — metadata included (see
+// Store.ScanMeta). Shards are visited in shard order, not key order:
+// checkpoint serialization does not need a global sort.
+func (sh *Sharded) ScanMeta(tx rhtm.Tx, fn func(key, value []byte, rev, lease uint64) bool) {
+	for _, st := range sh.shards {
+		stop := false
+		st.ScanMeta(tx, func(k, v []byte, rev, lease uint64) bool {
+			if !fn(k, v, rev, lease) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Validate checks every shard's invariants plus the DB-level WAL
+// watermarks. Only call while no transactions are in flight.
 func (sh *Sharded) Validate() error {
 	for _, st := range sh.shards {
 		if err := st.Validate(); err != nil {
+			return err
+		}
+	}
+	if sh.walStats != nil {
+		if err := validateWAL(sh.walStats()); err != nil {
 			return err
 		}
 	}

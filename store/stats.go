@@ -7,9 +7,10 @@ import (
 )
 
 // Stats aggregates a store's transactional counters: live entries, pending
-// intents, and arena occupancy. The harness reports it after each KV run so
-// arena size-class waste (LiveWords versus the payload actually stored) is
-// measurable per workload.
+// intents, arena occupancy, and — when a write-ahead log is attached — the
+// durability counters. The harness reports it after each KV run so arena
+// size-class waste (LiveWords versus the payload actually stored) and WAL
+// amortization (transactions per sync) are measurable per workload.
 type Stats struct {
 	// LiveKeys is the number of live entries.
 	LiveKeys int
@@ -18,6 +19,34 @@ type Stats struct {
 	// Arena is the occupancy of the store's allocator (summed across
 	// shards for Sharded).
 	Arena ArenaStats
+	// WAL holds the attached write-ahead log's counters (zero when the
+	// store runs volatile). Filled by the provider set with SetWALStats.
+	WAL WALStats
+}
+
+// WALStats mirrors the durability layer's counters into the store's stats
+// surface: frames and bytes appended, transactions logged, sync barriers,
+// and the durable / checkpoint LSN watermarks. CheckpointLSN can never
+// exceed DurableLSN (a checkpoint syncs before it returns) — Validate
+// cross-checks exactly that.
+type WALStats struct {
+	FramesAppended, BytesAppended, TxnsLogged, Syncs uint64
+	DurableLSN, CheckpointLSN                        uint64
+}
+
+// Add accumulates other into w (per-System aggregation on the cluster).
+// Watermarks take the maximum — they are per-stream positions, not counts.
+func (w *WALStats) Add(other WALStats) {
+	w.FramesAppended += other.FramesAppended
+	w.BytesAppended += other.BytesAppended
+	w.TxnsLogged += other.TxnsLogged
+	w.Syncs += other.Syncs
+	if other.DurableLSN > w.DurableLSN {
+		w.DurableLSN = other.DurableLSN
+	}
+	if other.CheckpointLSN > w.CheckpointLSN {
+		w.CheckpointLSN = other.CheckpointLSN
+	}
 }
 
 // Add accumulates other into s (per-shard and per-System aggregation).
@@ -28,32 +57,65 @@ func (s *Stats) Add(other Stats) {
 	s.Arena.BumpedWords += other.Arena.BumpedWords
 	s.Arena.FreeListWords += other.Arena.FreeListWords
 	s.Arena.LiveWords += other.Arena.LiveWords
+	s.WAL.Add(other.WAL)
 }
 
 // String renders a compact one-line summary for harness notes.
 func (s Stats) String() string {
-	return fmt.Sprintf("keys=%d intents=%d arena[cap=%d bumped=%d free=%d live=%d]",
+	out := fmt.Sprintf("keys=%d intents=%d arena[cap=%d bumped=%d free=%d live=%d]",
 		s.LiveKeys, s.PendingIntents, s.Arena.CapacityWords,
 		s.Arena.BumpedWords, s.Arena.FreeListWords, s.Arena.LiveWords)
+	if s.WAL.TxnsLogged > 0 || s.WAL.Syncs > 0 {
+		out += fmt.Sprintf(" wal[txns=%d frames=%d bytes=%d syncs=%d durable-lsn=%d ckpt-lsn=%d]",
+			s.WAL.TxnsLogged, s.WAL.FramesAppended, s.WAL.BytesAppended,
+			s.WAL.Syncs, s.WAL.DurableLSN, s.WAL.CheckpointLSN)
+	}
+	return out
 }
+
+// SetWALStats attaches the durability counters' provider — the kv layer's
+// Open paths call it with an adapter over the log writer. Stats includes
+// the provider's snapshot; Validate cross-checks its watermarks.
+func (st *Store) SetWALStats(fn func() WALStats) { st.walStats = fn }
+
+// SetWALStats attaches the provider on a sharded store (the log is per DB,
+// not per shard, so it hangs off the top-level Sharded).
+func (sh *Sharded) SetWALStats(fn func() WALStats) { sh.walStats = fn }
 
 // Stats gathers the store's counters under tx. Every field is an O(1)
 // snapshot of an incrementally maintained counter (the arena's free-word
 // totals included — see Arena.Stats), so it is safe to poll from running
 // workloads, not just from quiescent reporting paths.
 func (st *Store) Stats(tx rhtm.Tx) Stats {
-	return Stats{
+	out := Stats{
 		LiveKeys:       st.Len(tx),
 		PendingIntents: st.PendingIntents(tx),
 		Arena:          st.arena.Stats(tx),
 	}
+	if st.walStats != nil {
+		out.WAL = st.walStats()
+	}
+	return out
 }
 
-// Stats sums every shard's counters.
+// Stats sums every shard's counters plus the DB-level WAL counters.
 func (sh *Sharded) Stats(tx rhtm.Tx) Stats {
 	var out Stats
 	for _, st := range sh.shards {
 		out.Add(st.Stats(tx))
 	}
+	if sh.walStats != nil {
+		out.WAL.Add(sh.walStats())
+	}
 	return out
+}
+
+// validateWAL cross-checks a WAL stats snapshot: the checkpoint watermark
+// can never pass the durable one.
+func validateWAL(s WALStats) error {
+	if s.CheckpointLSN > s.DurableLSN {
+		return fmt.Errorf("store: checkpoint LSN %d beyond durable LSN %d",
+			s.CheckpointLSN, s.DurableLSN)
+	}
+	return nil
 }

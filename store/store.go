@@ -73,6 +73,10 @@ type Store struct {
 	log         *EventLog
 	count       rhtm.Addr // one word: live entry count
 	intentCount rhtm.Addr // one word: pending intent count
+
+	// walStats, when set, snapshots the attached write-ahead log's
+	// counters for Stats and Validate (host-side; see SetWALStats).
+	walStats func() WALStats
 }
 
 // New allocates a store on s. Call during single-threaded setup.
@@ -95,6 +99,14 @@ func New(s *rhtm.System, opts Options) *Store {
 
 // Events returns the store's revision clock and commit-event log.
 func (st *Store) Events() *EventLog { return st.log }
+
+// System returns the simulated machine the store lives on — the durability
+// layer's recovery pass runs its single-threaded replay transactions there.
+func (st *Store) System() *rhtm.System { return st.sys }
+
+// PartitionOf returns the index of the revision-clock partition owning key:
+// always 0 for an unsharded store. The WAL's sequence gate keys on it.
+func (st *Store) PartitionOf(key []byte) int { return 0 }
 
 // EventLogs returns the store's logs as a one-element slice — the shape the
 // kv layer consumes uniformly for Store, Sharded and cluster backends.
@@ -172,22 +184,43 @@ func (st *Store) Has(tx rhtm.Tx, key []byte) bool {
 // Every successful put stamps a fresh revision and appends an EvPut to the
 // store's event log. The only error is arena exhaustion.
 func (st *Store) Put(tx rhtm.Tx, key, value []byte) error {
-	return st.putWith(tx, key, value, rhtm.NilAddr, 0)
+	_, err := st.putWith(tx, key, value, rhtm.NilAddr, 0, 0)
+	return err
 }
 
 // PutLease is Put with a lease attachment: the entry's lease word is set to
 // lease (0 detaches), so a later lease revoke can tell whether the key
 // still belongs to it.
 func (st *Store) PutLease(tx rhtm.Tx, key, value []byte, lease uint64) error {
-	return st.putWith(tx, key, value, rhtm.NilAddr, lease)
+	_, err := st.putWith(tx, key, value, rhtm.NilAddr, lease, 0)
+	return err
+}
+
+// PutStamped is PutLease returning the revision the write stamped — the
+// durability layer logs (key, value, lease, rev) so replay can restore the
+// exact commit version.
+func (st *Store) PutStamped(tx rhtm.Tx, key, value []byte, lease uint64) (uint64, error) {
+	return st.putWith(tx, key, value, rhtm.NilAddr, lease, 0)
+}
+
+// ReplayPut is the recovery-path put: it applies a logged write with its
+// original revision instead of minting a fresh one, and advances the
+// store's revision clock to at least rev, so post-recovery writes continue
+// the same monotone sequence and watch streams resume at the recovered
+// revision. Single-threaded recovery only.
+func (st *Store) ReplayPut(tx rhtm.Tx, key, value []byte, rev, lease uint64) error {
+	_, err := st.putWith(tx, key, value, rhtm.NilAddr, lease, rev)
+	return err
 }
 
 // putWith is Put with an optional pre-allocated value block (reserved !=
 // NilAddr, sized blockWords(len(value))): the intent apply path passes the
 // block PrepareIntent reserved so that a decided transaction's store cannot
 // fail on arena exhaustion. When the rewrite lands in place the reservation
-// is returned to the arena.
-func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr, lease uint64) error {
+// is returned to the arena. rev 0 mints a fresh revision from the store's
+// clock; nonzero replays a logged one (recovery). Returns the revision
+// stamped.
+func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr, lease uint64, rev uint64) (uint64, error) {
 	newWords := blockWords(len(value))
 	takeValueBlock := func() (rhtm.Addr, error) {
 		if reserved != rhtm.NilAddr {
@@ -195,11 +228,17 @@ func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr, leas
 		}
 		return st.arena.TxAlloc(tx, newWords)
 	}
-	stamp := func(ent rhtm.Addr) {
-		rev := st.log.NextRev(tx)
-		tx.Store(ent+2, rev)
+	stamp := func(ent rhtm.Addr) uint64 {
+		r := rev
+		if r == 0 {
+			r = st.log.NextRev(tx)
+		} else {
+			st.log.AdvanceTo(tx, r)
+		}
+		tx.Store(ent+2, r)
 		tx.Store(ent+3, lease)
-		st.log.Append(tx, EvPut, key, value, rev)
+		st.log.Append(tx, EvPut, key, value, r)
+		return r
 	}
 	if item, ok := st.idx.Lookup(tx, key); ok {
 		ent := rhtm.Addr(item)
@@ -211,41 +250,38 @@ func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr, leas
 			if reserved != rhtm.NilAddr {
 				st.arena.TxFree(tx, reserved, newWords)
 			}
-			stamp(ent)
-			return nil
+			return stamp(ent), nil
 		}
 		nv, err := takeValueBlock()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		writeBytes(tx, nv, value)
 		tx.Store(valCell, uint64(nv))
 		st.arena.TxFree(tx, old, oldWords)
-		stamp(ent)
-		return nil
+		return stamp(ent), nil
 	}
 	kb, err := st.arena.TxAlloc(tx, blockWords(len(key)))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	vb, err := takeValueBlock()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	ent, err := st.arena.TxAlloc(tx, entryWords)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	writeBytes(tx, kb, key)
 	writeBytes(tx, vb, value)
 	tx.Store(ent, uint64(kb))
 	tx.Store(ent+1, uint64(vb))
 	if _, _, err := st.idx.Insert(tx, key, uint64(ent)); err != nil {
-		return err
+		return 0, err
 	}
 	tx.Store(st.count, tx.Load(st.count)+1)
-	stamp(ent)
-	return nil
+	return stamp(ent), nil
 }
 
 // Delete removes key, returning whether it was present. The entry's key
@@ -253,9 +289,34 @@ func (st *Store) putWith(tx rhtm.Tx, key, value []byte, reserved rhtm.Addr, leas
 // under tx; a successful delete consumes a revision and appends an EvDelete
 // to the event log.
 func (st *Store) Delete(tx rhtm.Tx, key []byte) bool {
+	_, ok := st.deleteWith(tx, key, 0)
+	return ok
+}
+
+// DeleteStamped is Delete returning the revision the removal consumed
+// (0 when the key was absent) — what the durability layer logs.
+func (st *Store) DeleteStamped(tx rhtm.Tx, key []byte) (uint64, bool) {
+	return st.deleteWith(tx, key, 0)
+}
+
+// ReplayDelete is the recovery-path delete: it stamps the logged revision
+// instead of minting one and advances the revision clock to at least rev
+// even when the key is already absent (the deletion consumed that revision
+// before the crash). Single-threaded recovery only.
+func (st *Store) ReplayDelete(tx rhtm.Tx, key []byte, rev uint64) bool {
+	_, ok := st.deleteWith(tx, key, rev)
+	if !ok {
+		st.log.AdvanceTo(tx, rev)
+	}
+	return ok
+}
+
+// deleteWith implements Delete; rev 0 mints a fresh revision, nonzero
+// replays a logged one.
+func (st *Store) deleteWith(tx rhtm.Tx, key []byte, rev uint64) (uint64, bool) {
 	item, ok := st.idx.Delete(tx, key)
 	if !ok {
-		return false
+		return 0, false
 	}
 	ent := rhtm.Addr(item)
 	kb := rhtm.Addr(tx.Load(ent))
@@ -264,8 +325,14 @@ func (st *Store) Delete(tx rhtm.Tx, key []byte) bool {
 	st.arena.TxFree(tx, vb, blockWords(int(tx.Load(vb))))
 	st.arena.TxFree(tx, ent, entryWords)
 	tx.Store(st.count, tx.Load(st.count)-1)
-	st.log.Append(tx, EvDelete, key, nil, st.log.NextRev(tx))
-	return true
+	r := rev
+	if r == 0 {
+		r = st.log.NextRev(tx)
+	} else {
+		st.log.AdvanceTo(tx, r)
+	}
+	st.log.Append(tx, EvDelete, key, nil, r)
+	return r, true
 }
 
 // Scan visits entries with start <= key < end in ascending key order,
@@ -292,6 +359,18 @@ func (st *Store) ScanRev(tx rhtm.Tx, start, end []byte, fn func(key, value []byt
 // form — see Sharded.ScanLimit.
 func (st *Store) ScanLimit(tx rhtm.Tx, start, end []byte, limit int, fn func(key, value []byte) bool) {
 	st.ScanLimitRev(tx, start, end, limit, func(k, v []byte, _ uint64) bool { return fn(k, v) })
+}
+
+// ScanMeta visits every entry — metadata included: revision and lease —
+// in ascending key order. Checkpoints use it to serialize the full durable
+// state (lease records live in the same index, so they ride along).
+func (st *Store) ScanMeta(tx rhtm.Tx, fn func(key, value []byte, rev, lease uint64) bool) {
+	st.idx.Scan(tx, nil, nil, func(item uint64) bool {
+		ent := rhtm.Addr(item)
+		k := readBytes(tx, rhtm.Addr(tx.Load(ent)))
+		v := readBytes(tx, rhtm.Addr(tx.Load(ent+1)))
+		return fn(k, v, tx.Load(ent+2), tx.Load(ent+3))
+	})
 }
 
 // ScanLimitRev is ScanRev bounded to the first limit entries.
@@ -335,6 +414,11 @@ func (st *Store) Validate() error {
 	if walked, counted := st.arena.walkFreeWords(tx), st.arena.Stats(tx).FreeListWords; walked != counted {
 		return fmt.Errorf("store: free-list counters say %d free words, walk finds %d",
 			counted, walked)
+	}
+	if st.walStats != nil {
+		if err := validateWAL(st.walStats()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
