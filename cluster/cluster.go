@@ -43,6 +43,7 @@ import (
 
 	"rhtm"
 	"rhtm/containers"
+	"rhtm/obs"
 	"rhtm/store"
 )
 
@@ -157,6 +158,12 @@ type Cluster struct {
 	prepareConflicts atomic.Uint64 // individual prepare transactions refused
 	snapshotScans    atomic.Uint64 // validated snapshot scans returned
 	scanRetries      atomic.Uint64 // scan passes torn by a concurrent commit
+
+	// Optional 2PC phase histograms (SetMetrics): wall nanoseconds of the
+	// prepare sweep and the phase-2 apply sweep of each cross-System
+	// commit. nil instruments are no-ops.
+	prepareHist *obs.Histogram
+	finishHist  *obs.Histogram
 }
 
 // New builds a cluster of cfg.Systems independent machines. Call during
@@ -304,6 +311,39 @@ func (c *Cluster) Validate() error {
 		}
 	}
 	return nil
+}
+
+// SetMetrics attaches the 2PC phase-timing histograms: prepare receives
+// each cross commit's phase-1 sweep duration in nanoseconds, finish the
+// phase-2 apply sweep. Either may be nil. Call before clients run.
+func (c *Cluster) SetMetrics(prepare, finish *obs.Histogram) {
+	c.prepareHist = prepare
+	c.finishHist = finish
+}
+
+// Counters is the live (atomically readable) subset of Stats: the
+// host-side protocol counters. Unlike Stats — which merges quiescent-only
+// engine snapshots and store counters — Counters is safe to call while
+// clients are running.
+type Counters struct {
+	LocalTxns, LocalConflicts                                           uint64
+	CrossTxns, CrossCommits, CrossAborts, PrepareConflicts, IntentWaits uint64
+	SnapshotScans, ScanRetries                                          uint64
+}
+
+// Counters snapshots the protocol counters without quiescence.
+func (c *Cluster) Counters() Counters {
+	return Counters{
+		LocalTxns:        c.localTxns.Load(),
+		LocalConflicts:   c.localConflicts.Load(),
+		CrossTxns:        c.crossTxns.Load(),
+		CrossCommits:     c.crossCommits.Load(),
+		CrossAborts:      c.crossAborts.Load(),
+		PrepareConflicts: c.prepareConflicts.Load(),
+		IntentWaits:      c.intentWaits.Load(),
+		SnapshotScans:    c.snapshotScans.Load(),
+		ScanRetries:      c.scanRetries.Load(),
+	}
 }
 
 // Stats aggregates engine activity and protocol counters across the

@@ -25,6 +25,7 @@ type Client struct {
 	c       *Cluster
 	threads []rhtm.Thread
 	rng     *rand.Rand
+	lastRev uint64 // max revision stamped by the most recent committed Txn
 }
 
 // NewClient registers a thread on every System's engine and returns the
@@ -53,6 +54,34 @@ func (cl *Client) backoff(attempt int) {
 		shift = 10
 	}
 	time.Sleep(time.Duration(1+cl.rng.Intn(1<<shift)) * time.Microsecond)
+}
+
+// LastCommitRev returns the highest revision stamped by this client's most
+// recent committed Txn — 0 for read-only footprints. Like everything else
+// on Client it is single-session state: read it right after Txn returns.
+func (cl *Client) LastCommitRev() uint64 { return cl.lastRev }
+
+// StoreStats sums the committed-state store counters of every System, each
+// sampled in its own read-only transaction on this client's registered
+// threads. Safe to call from running workloads: every field is an O(1)
+// counter read, and intent-conflict waits are retried like any local read.
+func (cl *Client) StoreStats() (store.Stats, error) {
+	var total store.Stats
+	for id, n := range cl.c.nodes {
+		node := n
+		var s store.Stats
+		err := cl.localRetry(func() error {
+			return cl.threads[id].Atomic(func(tx rhtm.Tx) error {
+				s = node.st.Stats(tx)
+				return nil
+			})
+		})
+		if err != nil {
+			return store.Stats{}, err
+		}
+		total.Add(s)
+	}
+	return total, nil
 }
 
 // Get returns key's committed value with a local transaction on the owning
@@ -434,6 +463,7 @@ func (cl *Client) footprint(t *Txn) (map[int][]txnKey, []int) {
 // commit validates and applies t's buffer. It returns committed=false (and
 // a nil error) when a conflict requires the caller to retry the body.
 func (cl *Client) commit(t *Txn) (bool, error) {
+	cl.lastRev = 0
 	byNode, participants := cl.footprint(t)
 	switch len(participants) {
 	case 0:
@@ -454,8 +484,10 @@ func (cl *Client) commit(t *Txn) (bool, error) {
 func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
 	n := cl.c.nodes[nodeID]
 	var recs []wal.Op
+	var maxRev uint64
 	err := cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
 		recs = recs[:0] // the body re-executes on engine aborts
+		maxRev = 0
 		for i := range keys {
 			k := &keys[i]
 			if k.write != nil {
@@ -475,13 +507,21 @@ func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
 				continue
 			}
 			if k.write.del {
-				if rev, ok := n.st.DeleteStamped(tx, k.key); ok && cl.c.wal != nil {
-					recs = append(recs, wal.Op{Kind: wal.OpDelete, Key: k.key, Rev: rev})
+				if rev, ok := n.st.DeleteStamped(tx, k.key); ok {
+					if rev > maxRev {
+						maxRev = rev
+					}
+					if cl.c.wal != nil {
+						recs = append(recs, wal.Op{Kind: wal.OpDelete, Key: k.key, Rev: rev})
+					}
 				}
 			} else {
 				rev, err := n.st.PutStamped(tx, k.key, k.write.val, k.write.lease)
 				if err != nil {
 					return err
+				}
+				if rev > maxRev {
+					maxRev = rev
 				}
 				if cl.c.wal != nil {
 					recs = append(recs, wal.Op{Kind: wal.OpPut, Key: k.key,
@@ -494,6 +534,9 @@ func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
 	switch err {
 	case nil:
 		cl.c.localTxns.Add(1)
+		if maxRev > cl.lastRev {
+			cl.lastRev = maxRev
+		}
 		if err := cl.logLocal(nodeID, recs); err != nil {
 			return false, err
 		}
@@ -518,6 +561,10 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 	var prepared []int
 	var conflict bool
 	var hard error
+	var prepStart time.Time
+	if c.prepareHist != nil {
+		prepStart = time.Now()
+	}
 	for _, nodeID := range participants {
 		err := cl.prepare(nodeID, txid, byNode[nodeID])
 		if err == nil {
@@ -531,6 +578,9 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 			hard = err
 		}
 		break
+	}
+	if c.prepareHist != nil {
+		c.prepareHist.Observe(uint64(time.Since(prepStart)))
 	}
 
 	// Decision: commit iff every participant prepared. The log append is
@@ -568,10 +618,17 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 		c.crossAborts.Add(1)
 		return false, hard
 	}
+	var finStart time.Time
+	if c.finishHist != nil {
+		finStart = time.Now()
+	}
 	for _, nodeID := range participants {
 		if err := cl.finish(nodeID, txid, keysOf(nodeID), true); err != nil {
 			return false, err
 		}
+	}
+	if c.finishHist != nil {
+		c.finishHist.Observe(uint64(time.Since(finStart)))
 	}
 	if c.wal != nil && len(decisionOps) > 0 {
 		if err := c.wal.Coord.Mark(txid, 0); err != nil {
@@ -653,8 +710,10 @@ func (cl *Client) prepare(nodeID int, txid uint64, keys []txnKey) error {
 func (cl *Client) finish(nodeID int, txid uint64, keys [][]byte, commit bool) error {
 	n := cl.c.nodes[nodeID]
 	var recs []wal.Op
+	var maxRev uint64
 	err := cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
 		recs = recs[:0] // the body re-executes on engine aborts
+		maxRev = 0
 		for _, key := range keys {
 			if !commit {
 				if err := n.st.DiscardIntent(tx, key, txid); err != nil {
@@ -665,6 +724,9 @@ func (cl *Client) finish(nodeID int, txid uint64, keys [][]byte, commit bool) er
 			ap, err := n.st.ApplyIntent(tx, key, txid)
 			if err != nil {
 				return err
+			}
+			if ap.Rev > maxRev {
+				maxRev = ap.Rev
 			}
 			if cl.c.wal == nil || ap.Rev == 0 {
 				continue // read intent, or a delete of an absent key
@@ -683,6 +745,9 @@ func (cl *Client) finish(nodeID int, txid uint64, keys [][]byte, commit bool) er
 	})
 	if err != nil {
 		return err
+	}
+	if maxRev > cl.lastRev {
+		cl.lastRev = maxRev
 	}
 	return cl.logApply(nodeID, txid, recs)
 }

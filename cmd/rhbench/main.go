@@ -73,6 +73,9 @@
 // (engine, workload, threads, ops, ops/kacc, ops/kinterval, abort ratio,
 // notes) to FILE — the format of the BENCH_*.json trajectory files; "-"
 // writes to stdout. CI's bench-smoke step archives one as an artifact.
+// -metrics additionally embeds each run's structured counter map (the
+// flattened obs snapshot: engine.*, store.*, wal.*, cluster.*, plus the
+// workload's harness.* counters) in every JSON row.
 //
 // The default scale matches the paper (100K-node tree, threads 1..20,
 // 1s per point), which takes a while on a small machine; use -quick for a
@@ -118,6 +121,7 @@ func main() {
 		useWAL  = flag.Bool("wal", false, "attach a write-ahead log (in-memory device) to the KV experiments")
 		syncEv  = flag.Int("syncevery", 0, "relax WAL syncs to every N logged transactions (0/1 = every group commit; needs -wal)")
 		jsonOut = flag.String("json", "", "append machine-readable JSON result lines to this file (\"-\" = stdout)")
+		metrics = flag.Bool("metrics", false, "embed each run's structured counters (flattened obs snapshot) in the -json rows")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -232,7 +236,7 @@ func main() {
 	sweep := clusterSweep{systems: systemsList, cross: crossList, spec: cspec}
 
 	exp := flag.Arg(0)
-	em := &emitter{out: os.Stdout, exp: exp}
+	em := &emitter{out: os.Stdout, exp: exp, metrics: *metrics}
 	if *jsonOut == "-" {
 		em.json = os.Stdout
 	} else if *jsonOut != "" {
@@ -285,9 +289,10 @@ func main() {
 // emitter routes one experiment's artifacts: human-readable series to out,
 // and (when -json is set) one machine-readable line per measured point.
 type emitter struct {
-	out  *os.File
-	json io.Writer
-	exp  string
+	out     *os.File
+	json    io.Writer
+	exp     string
+	metrics bool
 }
 
 // series prints a throughput series and mirrors it to the JSON sink.
@@ -301,7 +306,7 @@ func (e *emitter) record(results []harness.Result) {
 	if e.json == nil {
 		return
 	}
-	if err := harness.WriteResultsJSON(e.json, e.exp, results); err != nil {
+	if err := harness.WriteResultsJSONCounters(e.json, e.exp, results, e.metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "rhbench: json:", err)
 		os.Exit(1)
 	}

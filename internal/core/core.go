@@ -111,6 +111,7 @@ type Engine struct {
 
 	mu      sync.Mutex
 	threads []*Thread
+	live    engine.Live
 }
 
 // New creates an Engine on s with the given options.
@@ -195,6 +196,9 @@ func (e *Engine) Snapshot() engine.Stats {
 	return s
 }
 
+// Live implements engine.Engine.
+func (e *Engine) Live() engine.Stats { return e.live.Stats() }
+
 // path identifies which protocol level the currently executing body runs on;
 // the Tx dispatch methods switch on it.
 type path int
@@ -233,8 +237,9 @@ type Thread struct {
 	writeIdx  map[memsim.Addr]int
 	stripes   map[int]struct{} // scratch: distinct stripe set
 
-	rng   *rand.Rand
-	stats engine.Stats
+	rng       *rand.Rand
+	stats     engine.Stats
+	published engine.Stats // high-water mark of stats flushed into eng.live
 }
 
 // Atomic implements engine.Thread. It drives the multi-level retry policy:
@@ -242,6 +247,7 @@ type Thread struct {
 // hardware failure — the mixed slow path, which internally escalates
 // through RH2 and the all-software write-back.
 func (t *Thread) Atomic(fn func(tx engine.Tx) error) error {
+	defer t.eng.live.Flush(&t.published, &t.stats)
 	if t.eng.opts.Mode == ModeSlowOnly {
 		return t.runSlow(fn)
 	}

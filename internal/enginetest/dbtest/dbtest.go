@@ -50,6 +50,10 @@ type DBFactory func(t *testing.T) (db kv.DB, clock *kv.ManualClock, validate fun
 //     oracle and a concurrent pair audit, and the watch section — per-key
 //     ordering, completeness against committed write counts, and fromRev
 //     replay;
+//   - the observability sections (obs.go): DB.Metrics sampled concurrently
+//     with a write workload must stay race-free and monotone and agree
+//     with ground truth at quiescence, and the tracer must emit exactly
+//     one span per closure attempt with the contracted outcome sequence;
 //   - with WithRecovery, the crash-injection section (recovery.go): a
 //     clean-stop recovery diffed against a map oracle, then fuzzed crash
 //     offsets under a concurrent transfer workload — post-recovery state
@@ -68,6 +72,8 @@ func RunDB(t *testing.T, name string, factory DBFactory, opts ...BatteryOption) 
 	t.Run(name+"/DBRevisionCAS", func(t *testing.T) { testDBRevisionCAS(t, factory) })
 	t.Run(name+"/DBLeaseExpiry", func(t *testing.T) { testDBLeaseExpiry(t, factory) })
 	t.Run(name+"/DBWatch", func(t *testing.T) { testDBWatch(t, factory) })
+	t.Run(name+"/DBMetrics", func(t *testing.T) { testDBMetrics(t, factory) })
+	t.Run(name+"/DBTrace", func(t *testing.T) { testDBTrace(t, factory) })
 	if bo.recovery != nil {
 		t.Run(name+"/DBRecovery", func(t *testing.T) { testDBRecovery(t, bo.recovery) })
 	}

@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"strings"
 	"testing"
 )
 
@@ -48,11 +47,11 @@ func TestClusterWorkloadRuns(t *testing.T) {
 			if r.Ops != 60 {
 				t.Fatalf("%s/%s: ops = %d, want 60", mix, eng, r.Ops)
 			}
-			if !strings.Contains(r.Notes, "2pc:") {
-				t.Fatalf("%s/%s: notes missing 2PC counters: %q", mix, eng, r.Notes)
+			if _, ok := r.Counters["cluster.local_txns"]; !ok {
+				t.Fatalf("%s/%s: counters missing the cluster.* 2PC set: %v", mix, eng, r.Counters)
 			}
-			if mix == "e" && noteValue(t, r.Notes, "scans") == 0 {
-				t.Fatalf("%s/%s: E mix ran no snapshot scans: %q", mix, eng, r.Notes)
+			if mix == "e" && r.Counters["harness.scans"] == 0 {
+				t.Fatalf("%s/%s: E mix ran no snapshot scans: %v", mix, eng, r.Counters)
 			}
 		}
 	}
@@ -64,14 +63,14 @@ func TestClusterWorkloadRuns(t *testing.T) {
 func TestClusterCrossFractionEngages(t *testing.T) {
 	spec := KVSpec{Mix: "a", Records: 512, ValueBytes: 16, Systems: 3, CrossPct: 40}
 	r := MustRunKV(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 100, Seed: 7})
-	if !strings.Contains(r.Notes, "2pc: cross=") || strings.Contains(r.Notes, "2pc: cross=0 ") {
-		t.Fatalf("cross fraction 40%% produced no 2PC traffic: %q", r.Notes)
+	if r.Counters["cluster.cross_txns"] == 0 {
+		t.Fatalf("cross fraction 40%% produced no 2PC traffic: %v", r.Counters)
 	}
 
 	spec.CrossPct = 0
 	r0 := MustRunKV(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 100, Seed: 7})
-	if !strings.Contains(r0.Notes, "2pc: cross=0 ") {
-		t.Fatalf("cross fraction 0%% still ran 2PC: %q", r0.Notes)
+	if got, ok := r0.Counters["cluster.cross_txns"]; !ok || got != 0 {
+		t.Fatalf("cross fraction 0%% still ran 2PC (cross_txns=%d, present=%v)", got, ok)
 	}
 }
 

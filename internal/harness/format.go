@@ -23,12 +23,22 @@ type JSONResult struct {
 	OpsPerKInterval float64 `json:"ops_per_kinterval,omitempty"`
 	AbortsPerCommit float64 `json:"aborts_per_commit"`
 	Notes           string  `json:"notes,omitempty"`
+	// Counters embeds the run's structured observations (the flattened
+	// obs.Snapshot plus harness.* workload counters) when the emitter asks
+	// for them — rhbench's -metrics flag.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // WriteResultsJSON emits one JSON line per result (JSONL: trivially
 // appendable and `jq`-able), tagged with the experiment id so a whole
 // rhbench invocation lands in one trajectory file.
 func WriteResultsJSON(w io.Writer, experiment string, results []Result) error {
+	return WriteResultsJSONCounters(w, experiment, results, false)
+}
+
+// WriteResultsJSONCounters is WriteResultsJSON with the structured counter
+// map optionally embedded per row (rhbench -metrics).
+func WriteResultsJSONCounters(w io.Writer, experiment string, results []Result, counters bool) error {
 	enc := json.NewEncoder(w)
 	for _, r := range results {
 		jr := JSONResult{
@@ -43,6 +53,9 @@ func WriteResultsJSON(w io.Writer, experiment string, results []Result) error {
 			OpsPerKInterval: r.OpsPerKInterval,
 			AbortsPerCommit: r.Stats.AbortRatio(),
 			Notes:           r.Notes,
+		}
+		if counters {
+			jr.Counters = r.Counters
 		}
 		if err := enc.Encode(jr); err != nil {
 			return err

@@ -115,6 +115,7 @@ func (b *storeBackend) Finish(res *Result) {
 	res.Stats = b.eng.Snapshot()
 	res.Accesses = res.Stats.Reads + res.Stats.Writes +
 		res.Stats.MetadataReads + res.Stats.MetadataWrites
+	res.Counters = b.db.Metrics().Flatten()
 	res.Notes = "store: " + b.sh.Stats(containers.SetupTx(b.sys)).String()
 }
 
@@ -200,6 +201,7 @@ func (b *clusterBackend) Finish(res *Result) {
 			res.CriticalAccesses = a
 		}
 	}
+	res.Counters = b.db.Metrics().Flatten()
 	res.Notes = fmt.Sprintf(
 		"2pc: cross=%d commit=%d abort=%d prep-conflicts=%d local=%d local-conflicts=%d intent-waits=%d scans=%d scan-retries=%d | store: %s",
 		cs.CrossTxns, cs.CrossCommits, cs.CrossAborts, cs.PrepareConflicts,
@@ -349,6 +351,10 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 		res.OpsPerKInterval = 1000 * float64(res.Ops) / float64(res.CriticalAccesses)
 	}
 	res.Notes += shared.notes(spec, be)
+	if res.Counters == nil {
+		res.Counters = map[string]int64{}
+	}
+	shared.counters(spec, res.Counters)
 
 	if spec.Mix == "lock" {
 		if err := coord.auditMutualExclusion(); err != nil {
@@ -402,6 +408,40 @@ type kvShared struct {
 	crashes        atomic.Uint64 // holds abandoned to lease expiry
 	releases       atomic.Uint64 // holds released with the guarded delete
 	watchedDeletes atomic.Uint64 // delete events seen by the run's watcher
+}
+
+// counters writes the mix-specific observations into out under harness.*
+// names — the structured form tests and tooling read; notes below renders
+// the same data for humans. Only the counters the mix actually maintains
+// are emitted, mirroring the rendered view.
+func (sh *kvShared) counters(spec KVSpec, out map[string]int64) {
+	switch spec.Mix {
+	case "d", "e":
+		out["harness.inserts"] = sh.inserts.Load()
+		out["harness.insert_fallbacks"] = int64(sh.insertFallbacks.Load())
+		if spec.Mix == "e" {
+			out["harness.scans"] = int64(sh.scans.Load())
+			out["harness.scanned"] = int64(sh.scanned.Load())
+		}
+	case "f":
+		out["harness.updates"] = int64(sh.updates.Load())
+	case "session":
+		out["harness.hits"] = int64(sh.hits.Load())
+		out["harness.misses"] = int64(sh.misses.Load())
+		out["harness.logins"] = int64(sh.logins.Load())
+		out["harness.expired"] = int64(sh.expired.Load())
+		out["harness.watched_deletes"] = int64(sh.watchedDeletes.Load())
+	case "lock":
+		out["harness.acquires"] = int64(sh.acquires.Load())
+		out["harness.contended"] = int64(sh.contended.Load())
+		out["harness.releases"] = int64(sh.releases.Load())
+		out["harness.crashes"] = int64(sh.crashes.Load())
+		out["harness.expired"] = int64(sh.expired.Load())
+		out["harness.watched_deletes"] = int64(sh.watchedDeletes.Load())
+	}
+	if spec.BatchSize > 1 {
+		out["harness.batches"] = int64(sh.batches.Load())
+	}
 }
 
 // notes renders the mix-specific counters for Result.Notes. For mix "f" it

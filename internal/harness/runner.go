@@ -79,8 +79,17 @@ type Result struct {
 	// on a 1-System cluster run; zero for non-cluster runs.
 	OpsPerKInterval float64
 
+	// Counters is the run's structured observation set: the kv.DB's
+	// obs.Snapshot flattened to name→value (engine.*, store.*, wal.*,
+	// cluster.* — see DESIGN.md §10) plus the workload's own harness.*
+	// counters. Tests and tooling read these; Notes below renders a
+	// human-readable digest of the same data. Nil for runs whose workload
+	// has no kv.DB (the raw structure workloads).
+	Counters map[string]int64
+
 	// Notes carries workload-level observations (store occupancy, 2PC
-	// counters) reported after the run; empty when the workload has none.
+	// counters) reported after the run as a rendered view of Counters;
+	// empty when the workload has none.
 	Notes string
 }
 

@@ -41,6 +41,7 @@ type PureHTM struct {
 
 	mu      sync.Mutex
 	threads []*pureThread
+	live    engine.Live
 }
 
 // Options configures the hardware engines.
@@ -100,15 +101,20 @@ func (e *PureHTM) Snapshot() engine.Stats {
 	return s
 }
 
+// Live implements engine.Engine.
+func (e *PureHTM) Live() engine.Stats { return e.live.Stats() }
+
 type pureThread struct {
-	eng   *PureHTM
-	htx   *htm.Txn
-	rng   *rand.Rand
-	stats engine.Stats
+	eng       *PureHTM
+	htx       *htm.Txn
+	rng       *rand.Rand
+	stats     engine.Stats
+	published engine.Stats // high-water mark of stats flushed into eng.live
 }
 
 // Atomic implements engine.Thread.
 func (t *pureThread) Atomic(fn func(tx engine.Tx) error) error {
+	defer t.eng.live.Flush(&t.published, &t.stats)
 	persistent := 0
 	for attempt := 0; ; attempt++ {
 		htx := t.htx

@@ -23,6 +23,7 @@ type StandardHyTM struct {
 
 	mu      sync.Mutex
 	threads []*stdThread
+	live    engine.Live
 }
 
 // NewStandard creates a Standard HyTM engine on s.
@@ -64,14 +65,24 @@ func (e *StandardHyTM) Snapshot() engine.Stats {
 	return s
 }
 
+// Live implements engine.Engine. Slow-path attempts flush into the
+// embedded TL2 engine's accumulator, so — mirroring Snapshot — the two
+// are merged.
+func (e *StandardHyTM) Live() engine.Stats {
+	s := e.live.Stats()
+	s.Add(e.tl2.Live())
+	return s
+}
+
 type stdThread struct {
-	eng     *StandardHyTM
-	sys     *sys.System
-	htx     *htm.Txn
-	slow    engine.Thread
-	nextVer uint64
-	rng     *rand.Rand
-	stats   engine.Stats
+	eng       *StandardHyTM
+	sys       *sys.System
+	htx       *htm.Txn
+	slow      engine.Thread
+	nextVer   uint64
+	rng       *rand.Rand
+	stats     engine.Stats
+	published engine.Stats // high-water mark of stats flushed into eng.live
 }
 
 // Atomic implements engine.Thread: instrumented hardware attempts, with the
@@ -79,6 +90,7 @@ type stdThread struct {
 // budget (Mixed mode only; the paper's benchmark configuration retries in
 // hardware indefinitely).
 func (t *stdThread) Atomic(fn func(tx engine.Tx) error) error {
+	defer t.eng.live.Flush(&t.published, &t.stats)
 	for attempt := 0; ; attempt++ {
 		done, err, reason := t.tryFast(fn)
 		if done {

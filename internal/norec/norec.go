@@ -50,6 +50,7 @@ type Engine struct {
 
 	mu      sync.Mutex
 	threads []*Thread
+	live    engine.Live
 }
 
 // New creates a Hybrid NoRec engine on s.
@@ -102,6 +103,9 @@ func (e *Engine) Snapshot() engine.Stats {
 	return s
 }
 
+// Live implements engine.Engine.
+func (e *Engine) Live() engine.Stats { return e.live.Stats() }
+
 // readLogEntry is a value-logged software read.
 type readLogEntry struct {
 	addr memsim.Addr
@@ -126,12 +130,14 @@ type Thread struct {
 	writeSet []writeEntry
 	writeIdx map[memsim.Addr]int
 
-	rng   *rand.Rand
-	stats engine.Stats
+	rng       *rand.Rand
+	stats     engine.Stats
+	published engine.Stats // high-water mark of stats flushed into eng.live
 }
 
 // Atomic implements engine.Thread.
 func (t *Thread) Atomic(fn func(tx engine.Tx) error) error {
+	defer t.eng.live.Flush(&t.published, &t.stats)
 	for attempt := 0; ; attempt++ {
 		done, err, reason := t.tryHW(fn)
 		if done {

@@ -49,6 +49,7 @@ type Engine struct {
 
 	mu      sync.Mutex
 	threads []*Thread
+	live    engine.Live
 }
 
 // New creates a Phased TM engine on s.
@@ -113,18 +114,29 @@ func (e *Engine) Snapshot() engine.Stats {
 	return s
 }
 
+// Live implements engine.Engine. Software-phase attempts flush into the
+// embedded TL2 engine's accumulator, so — mirroring Snapshot — the two
+// are merged.
+func (e *Engine) Live() engine.Stats {
+	s := e.live.Stats()
+	s.Add(e.tl2.Live())
+	return s
+}
+
 // Thread is a per-worker Phased TM context.
 type Thread struct {
-	eng   *Engine
-	sys   *sys.System
-	htx   *htm.Txn
-	slow  engine.Thread
-	rng   *rand.Rand
-	stats engine.Stats
+	eng       *Engine
+	sys       *sys.System
+	htx       *htm.Txn
+	slow      engine.Thread
+	rng       *rand.Rand
+	stats     engine.Stats
+	published engine.Stats // high-water mark of stats flushed into eng.live
 }
 
 // Atomic implements engine.Thread.
 func (t *Thread) Atomic(fn func(tx engine.Tx) error) error {
+	defer t.eng.live.Flush(&t.published, &t.stats)
 	for attempt := 0; ; attempt++ {
 		// Enter the software path if the phase says so OR software
 		// transactions are still draining after a phase flip raced back:

@@ -27,6 +27,7 @@ type Engine struct {
 
 	mu      sync.Mutex
 	threads []*Thread
+	live    engine.Live
 }
 
 // New creates a TL2 engine on s.
@@ -65,6 +66,9 @@ func (e *Engine) Snapshot() engine.Stats {
 	return s
 }
 
+// Live implements engine.Engine.
+func (e *Engine) Live() engine.Stats { return e.live.Stats() }
+
 // writeEntry is one buffered transactional store.
 type writeEntry struct {
 	addr memsim.Addr
@@ -82,12 +86,14 @@ type Thread struct {
 	writeSet  []writeEntry
 	writeIdx  map[memsim.Addr]int
 
-	rng   *rand.Rand
-	stats engine.Stats
+	rng       *rand.Rand
+	stats     engine.Stats
+	published engine.Stats // high-water mark of stats flushed into eng.live
 }
 
 // Atomic implements engine.Thread.
 func (t *Thread) Atomic(fn func(tx engine.Tx) error) error {
+	defer t.eng.live.Flush(&t.published, &t.stats)
 	for attempt := 0; ; attempt++ {
 		t.begin()
 		err, aborted, _ := engine.RunBody(fn, (*tl2Tx)(t))

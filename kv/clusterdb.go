@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"rhtm"
 	"rhtm/cluster"
+	"rhtm/obs"
 )
 
 // ClusterDB implements DB over a cluster.Cluster: the share-nothing
@@ -30,6 +33,10 @@ import (
 type ClusterDB struct {
 	c     *cluster.Cluster
 	clock Clock
+
+	reg *obs.Registry
+	met kvMetrics
+	trc atomic.Pointer[tracerBox]
 
 	leaseSeq atomic.Uint64
 	hub      *watchHub
@@ -58,11 +65,48 @@ func NewCluster(c *cluster.Cluster, opts ...Option) *ClusterDB {
 		}
 		return sources
 	})
+	db.reg = o.metrics
+	db.met = newKVMetrics(db.reg)
+	db.hub.lost = db.met.watchLost
+	registerWatchDepth(db.reg, db.hub)
+	db.trc.Store(&tracerBox{o.tracer})
+	// 2PC phase timings flow from the cluster's commit path into the DB's
+	// registry; nil instruments (WithMetrics(nil)) disable the timing.
+	c.SetMetrics(db.met.prepare2PC, db.met.finish2PC)
 	return db
 }
 
 // Cluster returns the underlying cluster (diagnostics, stats).
 func (db *ClusterDB) Cluster() *cluster.Cluster { return db.c }
+
+// SetTracer installs (or, with nil, removes) the per-transaction tracer;
+// see Local.SetTracer for the contract.
+func (db *ClusterDB) SetTracer(t obs.Tracer) { db.trc.Store(&tracerBox{t}) }
+
+func (db *ClusterDB) tracer() obs.Tracer { return db.trc.Load().t }
+
+func (db *ClusterDB) metrics() *kvMetrics { return &db.met }
+
+// Metrics implements DB: the registry's host-side instruments plus the
+// live engine taxonomy summed over every System and the 2PC protocol
+// counters; store occupancy is sampled with one read-only transaction per
+// System on a pooled client.
+func (db *ClusterDB) Metrics() obs.Snapshot {
+	snap := db.reg.Snapshot()
+	var es rhtm.Stats
+	for i := 0; i < db.c.NumSystems(); i++ {
+		es.Add(db.c.Node(i).Engine().Live())
+	}
+	mergeEngineStats(&snap, es)
+	cl := db.getClient()
+	ss, err := cl.StoreStats()
+	db.putClient(cl)
+	if err == nil {
+		mergeStoreStats(&snap, ss)
+	}
+	mergeClusterCounters(&snap, db.c.Counters())
+	return snap
+}
 
 // getClient claims a session, registering its client on first use; it
 // blocks while all maxSessions sessions are in flight.
@@ -164,10 +208,19 @@ func (db *ClusterDB) DeleteIf(key []byte, rev Revision) error {
 func (db *ClusterDB) Update(fn func(tx Txn) error) error {
 	cl := db.getClient()
 	defer db.putClient(cl)
+	trc := db.tracer()
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		var start time.Time
+		if trc != nil {
+			start = time.Now()
+		}
 		err := cl.Txn(func(t *cluster.Txn) error {
 			return fn(&clusterTxn{t: t})
 		})
+		if trc != nil {
+			trc.TxnAttempt(attemptSpan(db.c.Node(0).Engine().Name(), attempt,
+				mapErr(err), cl.LastCommitRev(), time.Since(start), db.clock.Now()))
+		}
 		if !errors.Is(err, ErrConflict) {
 			if err == nil {
 				db.hub.wake()

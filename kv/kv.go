@@ -79,6 +79,7 @@ import (
 	"runtime"
 	"time"
 
+	"rhtm/obs"
 	"rhtm/store"
 )
 
@@ -318,6 +319,14 @@ type DB interface {
 	// suffix. DBs constructed without a log (NewLocal, NewCluster) return
 	// ErrNoWAL; recovered DBs come from OpenLocal / OpenCluster.
 	Checkpoint() error
+
+	// Metrics captures the DB's observability surface: the registry's
+	// host-side instruments (leases, watch loss, WAL amortization, 2PC
+	// phase timings) merged with the engines' live commit/abort taxonomy
+	// and the stores' occupancy counters. Safe to call while transactions
+	// run; the snapshot's schema is identical on every backend (see
+	// DESIGN.md §10 for the name taxonomy).
+	Metrics() obs.Snapshot
 }
 
 // maxAttempts bounds Update/Batch/Scan retries before ErrConflict.
@@ -378,6 +387,9 @@ type backend interface {
 	DB
 	// rawScan snapshots [start, end) without the user-keyspace clamp.
 	rawScan(start, end []byte, limit int) ([]Entry, error)
+	// metrics exposes the backend's pre-resolved instruments; with
+	// WithMetrics(nil) every instrument is the nil no-op.
+	metrics() *kvMetrics
 }
 
 // txnPut is the one Put implementation both backends' Txn.Put delegate to:

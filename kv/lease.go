@@ -144,12 +144,13 @@ func grant(db backend, seq *atomic.Uint64, ttl uint64) (LeaseID, error) {
 	if err != nil {
 		return 0, err
 	}
+	db.metrics().leaseGrants.Inc()
 	return id, nil
 }
 
 // keepAlive pushes the lease deadline to now + granted ttl.
 func keepAlive(db backend, id LeaseID) error {
-	return db.Update(func(tx Txn) error {
+	err := db.Update(func(tx Txn) error {
 		ct := tx.(coordTxn)
 		lr, err := getLease(ct, id)
 		if err != nil {
@@ -158,14 +159,22 @@ func keepAlive(db backend, id LeaseID) error {
 		lr.deadline = db.Clock().Now() + lr.ttl
 		return ct.putRaw(leaseKey(id), lr.encode(), 0)
 	})
+	if err == nil {
+		db.metrics().leaseKeepAlives.Inc()
+	}
+	return err
 }
 
 // revoke deletes the lease record and every key still stamped with the
 // lease, as one transaction.
 func revoke(db backend, id LeaseID) error {
-	return db.Update(func(tx Txn) error {
+	err := db.Update(func(tx Txn) error {
 		return revokeInTxn(tx.(coordTxn), id)
 	})
+	if err == nil {
+		db.metrics().leaseRevokes.Inc()
+	}
+	return err
 }
 
 func revokeInTxn(ct coordTxn, id LeaseID) error {
@@ -231,6 +240,7 @@ func expireLeases(db backend) (int, error) {
 		}
 		if did {
 			expired++
+			db.metrics().leaseExpired.Inc()
 		}
 	}
 	return expired, nil

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"rhtm"
+	"rhtm/obs"
 	"rhtm/store"
 	"rhtm/wal"
 )
@@ -31,6 +33,7 @@ type Storer interface {
 	PartitionOf(key []byte) int
 	System() *rhtm.System
 	SetWALStats(fn func() store.WALStats)
+	Stats(tx rhtm.Tx) store.Stats
 }
 
 var (
@@ -42,8 +45,11 @@ var (
 type Option func(*dbOptions)
 
 type dbOptions struct {
-	clock     Clock
-	syncEvery int
+	clock      Clock
+	syncEvery  int
+	metrics    *obs.Registry
+	metricsSet bool // distinguishes WithMetrics(nil) from the default
+	tracer     obs.Tracer
 }
 
 // WithClock injects the virtual-time source lease deadlines are measured
@@ -60,6 +66,9 @@ func applyOptions(opts []Option) dbOptions {
 	}
 	if o.clock == nil {
 		o.clock = NewManualClock()
+	}
+	if !o.metricsSet {
+		o.metrics = obs.NewRegistry()
 	}
 	return o
 }
@@ -82,6 +91,10 @@ type Local struct {
 	eng   rhtm.Engine
 	st    Storer
 	clock Clock
+
+	reg *obs.Registry
+	met kvMetrics
+	trc atomic.Pointer[tracerBox]
 
 	leaseSeq atomic.Uint64
 	hub      *watchHub
@@ -118,7 +131,41 @@ func NewLocal(eng rhtm.Engine, st Storer, opts ...Option) *Local {
 		}
 		return sources
 	})
+	db.reg = o.metrics
+	db.met = newKVMetrics(db.reg)
+	db.hub.lost = db.met.watchLost
+	registerWatchDepth(db.reg, db.hub)
+	db.trc.Store(&tracerBox{o.tracer})
 	return db
+}
+
+// SetTracer installs (or, with nil, removes) the per-transaction tracer:
+// every Update/Batch attempt from then on emits one obs.Span, committed
+// or not. Safe to call while transactions run; attempts in flight may
+// still report to the previous tracer.
+func (db *Local) SetTracer(t obs.Tracer) { db.trc.Store(&tracerBox{t}) }
+
+func (db *Local) tracer() obs.Tracer { return db.trc.Load().t }
+
+func (db *Local) metrics() *kvMetrics { return &db.met }
+
+// Metrics implements DB: the registry's host-side instruments plus the
+// engine's live commit/abort taxonomy and the store's occupancy counters
+// (sampled in one read-only transaction on a pooled session thread).
+func (db *Local) Metrics() obs.Snapshot {
+	snap := db.reg.Snapshot()
+	mergeEngineStats(&snap, db.eng.Live())
+	th := db.getThread()
+	var ss store.Stats
+	err := th.Atomic(func(tx rhtm.Tx) error {
+		ss = db.st.Stats(tx)
+		return nil
+	})
+	db.putThread(th)
+	if err == nil {
+		mergeStoreStats(&snap, ss)
+	}
+	return snap
 }
 
 // getThread claims a session, registering its engine thread on first use;
@@ -143,16 +190,29 @@ func (db *Local) putThread(th rhtm.Thread) {
 func (db *Local) Update(fn func(tx Txn) error) error {
 	th := db.getThread()
 	defer db.putThread(th)
+	trc := db.tracer()
 	var ops []wal.Op
+	lt := &localTxn{st: db.st}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		var start time.Time
+		if trc != nil {
+			start = time.Now()
+		}
 		err := th.Atomic(func(tx rhtm.Tx) error {
-			lt := &localTxn{tx: tx, st: db.st}
+			// The body re-executes on engine aborts: reset the capture
+			// state so only the committed attempt's writes survive.
+			lt.tx = tx
+			lt.maxRev = 0
 			if db.wal != nil {
 				ops = ops[:0]
 				lt.recs = &ops
 			}
 			return fn(lt)
 		})
+		if trc != nil {
+			trc.TxnAttempt(attemptSpan(db.eng.Name(), attempt, err,
+				lt.maxRev, time.Since(start), db.clock.Now()))
+		}
 		if !errors.Is(err, ErrConflict) {
 			if err == nil {
 				if werr := db.walCommit(ops); werr != nil {
@@ -342,9 +402,10 @@ func (*retriesError) Unwrap() error { return ErrConflict }
 // is reset by the Update loop on every re-execution, so only the committed
 // attempt's operations are ever logged.
 type localTxn struct {
-	tx   rhtm.Tx
-	st   Storer
-	recs *[]wal.Op
+	tx     rhtm.Tx
+	st     Storer
+	recs   *[]wal.Op
+	maxRev uint64 // highest revision this attempt's writes were stamped with
 }
 
 // Get implements Txn.
@@ -404,6 +465,9 @@ func (t *localTxn) putRaw(key, value []byte, lease LeaseID) error {
 	if err != nil {
 		return err
 	}
+	if rev > t.maxRev {
+		t.maxRev = rev
+	}
 	if t.recs != nil {
 		*t.recs = append(*t.recs, wal.Op{
 			Part: t.st.PartitionOf(key), Kind: wal.OpPut,
@@ -417,6 +481,9 @@ func (t *localTxn) deleteRaw(key []byte) error {
 	rev, ok := t.st.DeleteStamped(t.tx, key)
 	if !ok {
 		return ErrNotFound
+	}
+	if rev > t.maxRev {
+		t.maxRev = rev
 	}
 	if t.recs != nil {
 		*t.recs = append(*t.recs, wal.Op{

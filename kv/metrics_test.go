@@ -1,0 +1,111 @@
+package kv_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rhtm"
+	"rhtm/kv"
+	"rhtm/obs"
+	"rhtm/store"
+)
+
+// The overhead contract of the observability layer: instruments are
+// pre-resolved at construction and the hot path touches only atomics, so
+// an instrumented Update allocates exactly as much as one with metrics
+// disabled (WithMetrics(nil) — every instrument a nil no-op). The
+// benchmark quantifies the residual time cost on a YCSB-A-style mix.
+
+// newBenchLocal builds an unsharded RH1 Local with the given metrics
+// option, preloaded with n keys.
+func newBenchLocal(tb testing.TB, n int, opts ...kv.Option) kv.DB {
+	tb.Helper()
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+	eng := rhtm.NewRH1(s, rhtm.RH1Options{MixPercent: 100})
+	st := store.New(s, store.Options{ArenaWords: 1 << 15})
+	db := kv.NewLocal(eng, st, opts...)
+	for i := 0; i < n; i++ {
+		if err := db.Put(benchKey(i), []byte("initial-value")); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return db
+}
+
+func benchKey(i int) []byte { return []byte(fmt.Sprintf("bench-%03d", i)) }
+
+// updateOnce runs one read-modify-write Update on a preloaded key.
+func updateOnce(db kv.DB, i int) error {
+	k := benchKey(i % 64)
+	return db.Update(func(tx kv.Txn) error {
+		v, err := tx.Get(k)
+		if err != nil {
+			return err
+		}
+		return tx.Put(k, v)
+	})
+}
+
+// TestMetricsZeroAllocOnHotPath asserts the instrumented Update hot path
+// allocates no more than the fully no-op one. Comparing the two builds —
+// rather than demanding an absolute number — keeps the test pinned to
+// what obs promises (zero *added* allocations) without freezing the
+// unrelated allocation profile of the kv layer itself.
+func TestMetricsZeroAllocOnHotPath(t *testing.T) {
+	instrumented := newBenchLocal(t, 64)              // default: fresh registry
+	noop := newBenchLocal(t, 64, kv.WithMetrics(nil)) // every instrument nil
+	run := func(db kv.DB) float64 {
+		i := 0
+		return testing.AllocsPerRun(200, func() {
+			if err := updateOnce(db, i); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+	}
+	base := run(noop)
+	got := run(instrumented)
+	if got > base {
+		t.Fatalf("instrumented Update allocates %.1f allocs/op, no-op %.1f — instrumentation added allocations", got, base)
+	}
+
+	// The no-op registry's own primitives are additionally pinned to an
+	// absolute zero in obs's tests; here pin the one kv-level no-op site
+	// reachable without a DB: a nil registry resolving instruments.
+	var reg *obs.Registry
+	if n := testing.AllocsPerRun(100, func() {
+		reg.Counter("x").Inc()
+		reg.Gauge("y").Set(1)
+		reg.Histogram("z").Observe(1)
+	}); n != 0 {
+		t.Fatalf("nil registry hot path allocates %.1f allocs/op", n)
+	}
+}
+
+// BenchmarkMetricsOverhead measures the instrumented vs metrics-disabled
+// Update path on a YCSB-A-style 50/50 read/read-modify-write mix.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	mix := func(b *testing.B, db kv.DB) {
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := benchKey(rng.Intn(64))
+			if rng.Intn(2) == 0 {
+				if _, err := db.Get(k); err != nil {
+					b.Fatal(err)
+				}
+			} else if err := updateOnce(db, rng.Intn(64)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("instrumented", func(b *testing.B) {
+		db := newBenchLocal(b, 64)
+		mix(b, db)
+	})
+	b.Run("noop", func(b *testing.B) {
+		db := newBenchLocal(b, 64, kv.WithMetrics(nil))
+		mix(b, db)
+	})
+}

@@ -88,6 +88,7 @@ func OpenLocal(eng rhtm.Engine, st Storer, dev wal.Device, opts ...Option) (*Loc
 		startRevs[i] = l.Rev(tx) + 1
 	}
 	w := wal.NewWriter(dev, sr.NextLSN, startRevs, wal.Options{SyncEvery: o.syncEvery})
+	w.SetMetrics(db.met.walBatch, db.met.walInterval)
 	db.wal = &localWAL{w: w}
 	st.SetWALStats(func() store.WALStats { return cluster.StoreWALStats(w.Stats()) })
 	return db, nil
@@ -262,10 +263,12 @@ func OpenCluster(c *cluster.Cluster, stg wal.Storage, opts ...Option) (*ClusterD
 	coordWriter := wal.NewWriter(coordDev, csr.NextLSN, nil, wal.Options{})
 
 	// Resolve in-doubt decisions forward, in decision order.
+	var inDoubt, resolved uint64
 	for _, g := range csr.Txns {
 		if csr.Marks[g.TxID] {
 			continue
 		}
+		inDoubt++
 		for _, op := range g.Ops {
 			if applied[g.TxID][string(op.Key)] {
 				continue
@@ -300,6 +303,7 @@ func OpenCluster(c *cluster.Cluster, stg wal.Storage, opts ...Option) (*ClusterD
 		if err := coordWriter.Mark(g.TxID, 0); err != nil {
 			return nil, err
 		}
+		resolved++
 	}
 	if err := coordWriter.Sync(); err != nil {
 		return nil, err
@@ -308,6 +312,15 @@ func OpenCluster(c *cluster.Cluster, stg wal.Storage, opts ...Option) (*ClusterD
 	c.RestoreTxID(maxTxID)
 	c.AttachWAL(&cluster.WALSet{Data: dataWriters, Coord: coordWriter})
 	db := NewCluster(c, opts...)
+	// Recovery ran before the registry existed: record its outcome now,
+	// and attach the group-commit histograms for the run ahead. Every
+	// System's stream feeds the same pair — the batch-size and
+	// sync-interval distributions are per DB, like the stats surface.
+	db.met.walInDoubt.Add(inDoubt)
+	db.met.walResolved.Add(resolved)
+	for i := 0; i < n; i++ {
+		dataWriters[i].SetMetrics(db.met.walBatch, db.met.walInterval)
+	}
 	var maxLease uint64
 	for i := 0; i < n; i++ {
 		if id := maxLeaseID(c.Node(i).Store()); id > maxLease {

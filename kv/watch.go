@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rhtm"
+	"rhtm/obs"
 	"rhtm/store"
 )
 
@@ -57,6 +58,10 @@ type watchHub struct {
 	newSources func() []logSource
 	wakeCh     chan struct{}
 
+	// lost counts every EventLost marker enqueued to any subscriber
+	// (watch.events_lost). Set once at DB construction; nil is a no-op.
+	lost *obs.Counter
+
 	mu      sync.Mutex
 	idle    *sync.Cond // signalled when the poller stops
 	sources []logSource
@@ -104,6 +109,7 @@ func (h *watchHub) watch(ctx context.Context, prefix []byte, fromRev Revision) (
 		prefix: append([]byte(nil), prefix...),
 		ch:     make(chan Event, 64),
 		notify: make(chan struct{}, 1),
+		lost:   h.lost,
 	}
 	h.mu.Lock()
 	if h.sources == nil {
@@ -210,6 +216,7 @@ func (h *watchHub) replayLocked(sub *watchSub, fromRev Revision) error {
 	sort.SliceStable(replay, func(a, b int) bool { return replay[a].Rev < replay[b].Rev })
 	if lost {
 		sub.queue = append(sub.queue, Event{Kind: EventLost})
+		h.lost.Inc()
 	}
 	sub.queue = append(sub.queue, replay...)
 	return nil
@@ -299,6 +306,20 @@ func eventOf(ev store.Ev) Event {
 	return Event{Kind: kind, Key: ev.Key, Value: ev.Value, Rev: ev.Rev}
 }
 
+// queueDepth sums the pending events across every subscriber — the
+// watch.queue_depth gauge, sampled at snapshot time.
+func (h *watchHub) queueDepth() int64 {
+	var total int64
+	h.mu.Lock()
+	for sub := range h.subs {
+		sub.mu.Lock()
+		total += int64(len(sub.queue))
+		sub.mu.Unlock()
+	}
+	h.mu.Unlock()
+	return total
+}
+
 // unsubscribe drops sub; the poller exits on its next round when none
 // remain.
 func (h *watchHub) unsubscribe(sub *watchSub) {
@@ -315,6 +336,7 @@ type watchSub struct {
 	prefix []byte
 	ch     chan Event
 	notify chan struct{}
+	lost   *obs.Counter // the hub's loss counter (nil = uninstrumented)
 
 	mu    sync.Mutex
 	queue []Event
@@ -335,6 +357,7 @@ func (s *watchSub) enqueue(ev Event) {
 	if len(s.queue) >= maxSubQueue {
 		if n := len(s.queue); n == 0 || s.queue[n-1].Kind != EventLost {
 			s.queue = append(s.queue, Event{Kind: EventLost})
+			s.lost.Inc()
 		}
 	} else {
 		s.queue = append(s.queue, ev)
@@ -347,6 +370,7 @@ func (s *watchSub) enqueueLost() {
 	s.mu.Lock()
 	if n := len(s.queue); n == 0 || s.queue[n-1].Kind != EventLost {
 		s.queue = append(s.queue, Event{Kind: EventLost})
+		s.lost.Inc()
 	}
 	s.mu.Unlock()
 	s.nudge()

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one attempt of one closure transaction at the kv layer: the kv
+// Update/Batch retry loop emits a span per Atomic attempt, committed or
+// not. Aborted attempts produce spans too — that is the point: a
+// transaction that retried 40 times yields 40 conflict spans with the
+// engine that ran them, instead of a printf hunt.
+//
+// Granularity contract: one span is one *closure* attempt. The engines'
+// internal hardware retries (fast-path aborts the engine itself absorbs
+// before committing) do not produce spans; they aggregate into the
+// engine.* live counters. A span therefore answers "how often did the
+// whole body re-execute", the counters answer "what did the hardware do
+// underneath".
+type Span struct {
+	// Engine is the engine that executed the attempt ("RH1 Mixed 100",
+	// "TL2", ...).
+	Engine string `json:"engine"`
+	// Attempt is the zero-based retry count of this attempt within its
+	// Update/Batch call.
+	Attempt int `json:"attempt"`
+	// Outcome is "commit", "conflict" (the attempt will be retried), or
+	// "error" (the body returned a non-conflict error, ending the loop).
+	Outcome string `json:"outcome"`
+	// Err carries the error text for "error" outcomes.
+	Err string `json:"err,omitempty"`
+	// CommitRev is the highest revision the attempt's writes were stamped
+	// with, 0 for read-only commits, aborted attempts, and backends that
+	// do not surface revisions on this path.
+	CommitRev uint64 `json:"commit_rev,omitempty"`
+	// Wall is the attempt's wall-clock duration — host time, real
+	// nanoseconds.
+	Wall time.Duration `json:"wall_ns"`
+	// VirtualTime is the DB's injected Clock reading when the span was
+	// recorded — the time base leases expire on. Wall and VirtualTime are
+	// deliberately distinct fields: the machine is simulated and tests
+	// drive the virtual clock manually, so neither is derivable from the
+	// other.
+	VirtualTime uint64 `json:"virtual_time"`
+}
+
+// Outcome values of a Span.
+const (
+	OutcomeCommit   = "commit"
+	OutcomeConflict = "conflict"
+	OutcomeError    = "error"
+)
+
+// Tracer receives per-attempt spans. Implementations must be safe for
+// concurrent use; TxnAttempt runs on the caller's hot path, so it should
+// be cheap.
+type Tracer interface {
+	TxnAttempt(Span)
+}
+
+// RecordingTracer is a bounded in-memory Tracer for tests and debugging.
+type RecordingTracer struct {
+	mu      sync.Mutex
+	spans   []Span
+	limit   int
+	dropped uint64
+}
+
+// NewRecordingTracer creates a tracer retaining at most limit spans
+// (limit <= 0 means 4096). Spans past the bound are counted, not kept.
+func NewRecordingTracer(limit int) *RecordingTracer {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &RecordingTracer{limit: limit}
+}
+
+// TxnAttempt implements Tracer.
+func (t *RecordingTracer) TxnAttempt(s Span) {
+	t.mu.Lock()
+	if len(t.spans) < t.limit {
+		t.spans = append(t.spans, s)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in arrival order.
+func (t *RecordingTracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Dropped returns how many spans the bound discarded.
+func (t *RecordingTracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards everything recorded so far.
+func (t *RecordingTracer) Reset() {
+	t.mu.Lock()
+	t.spans, t.dropped = t.spans[:0], 0
+	t.mu.Unlock()
+}

@@ -2,6 +2,9 @@ package wal
 
 import (
 	"sync"
+	"time"
+
+	"rhtm/obs"
 )
 
 // Writer is the group-commit appender of one WAL stream. Committers call
@@ -47,6 +50,15 @@ type Writer struct {
 	failed    error
 
 	stats statsWords
+
+	// Optional observability (SetMetrics). batchHist records transactions
+	// covered per sync barrier — the group-commit amortization
+	// distribution; intervalHist records nanoseconds between consecutive
+	// barriers. nil instruments are no-ops, so the sync paths observe
+	// unconditionally.
+	batchHist    *obs.Histogram
+	intervalHist *obs.Histogram
+	lastSync     time.Time
 }
 
 // Options configures a Writer.
@@ -115,6 +127,29 @@ func NewWriter(dev Device, nextLSN uint64, startRevs map[int]uint64, opts Option
 	}
 	w.cond = sync.NewCond(&w.mu)
 	return w
+}
+
+// SetMetrics attaches group-commit histograms: batch receives the number
+// of transactions each sync barrier covered, interval the nanoseconds
+// between consecutive barriers. Either may be nil. Call before the writer
+// is shared.
+func (w *Writer) SetMetrics(batch, interval *obs.Histogram) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.batchHist = batch
+	w.intervalHist = interval
+}
+
+// observeSyncLocked records one completed barrier covering batch txns.
+func (w *Writer) observeSyncLocked(batch uint64) {
+	w.batchHist.Observe(batch)
+	if w.intervalHist != nil {
+		now := time.Now()
+		if !w.lastSync.IsZero() {
+			w.intervalHist.Observe(uint64(now.Sub(w.lastSync)))
+		}
+		w.lastSync = now
+	}
 }
 
 // Commit publishes one committed transaction (id groups its frames; flags
@@ -221,6 +256,7 @@ func (w *Writer) Checkpoint(fn func() ([]Op, error)) error {
 	w.stats.syncs++
 	w.durable = w.appended
 	w.stats.durableLSN = w.lsn
+	w.observeSyncLocked(w.sinceSync)
 	w.sinceSync = 0
 	w.stats.checkptLSN = end
 	w.stats.checkptOps = uint64(len(ops))
@@ -375,6 +411,7 @@ func (w *Writer) syncLocked() error {
 		w.durable = target
 		w.stats.durableLSN = targetLSN
 	}
+	w.observeSyncLocked(w.sinceSync)
 	w.sinceSync = 0
 	w.cond.Broadcast()
 	return nil
