@@ -1,0 +1,318 @@
+// Package client is the Go client for the network front end (package
+// server): a connection-pooled, pipelined implementation of the kv.DB
+// surface over the server/wire protocol. Every call is a request frame
+// matched to its response by id, so any number of goroutines share one
+// connection without head-of-line blocking; the pool spreads independent
+// callers across connections round-robin.
+//
+// Closure transactions (Update) run the closure client-side against an
+// optimistic read cache: each first read of a key is one GetRev round
+// trip whose revision is recorded as a commit condition, writes buffer
+// locally, and commit ships conditions plus writes as one Txn frame the
+// server validates and applies atomically. A failed validation surfaces
+// as kv.ErrConflict and the client re-runs the closure against fresh
+// reads — the same optimistic loop the in-process backends run, moved to
+// the edge. Watches are server-push streams re-exposed as kv.Watch
+// channels with the same bounded-queue, coalesce-then-EventLost overflow
+// contract on the client side.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhtm/kv"
+	"rhtm/obs"
+	"rhtm/server/wire"
+)
+
+// ErrClosed is returned by every call after Close.
+var ErrClosed = errors.New("client: closed")
+
+// Option configures a Client.
+type Option func(*options)
+
+type options struct {
+	conns       int
+	dialTimeout time.Duration
+}
+
+// WithConns sets the connection pool size (default 2).
+func WithConns(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.conns = n
+		}
+	}
+}
+
+// WithDialTimeout bounds each connection attempt (default 5s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *options) { o.dialTimeout = d }
+}
+
+// Client implements kv.DB over a pool of server connections.
+type Client struct {
+	conns  []*netConn
+	next   atomic.Uint64
+	engine string
+	trc    atomic.Pointer[tracerBox]
+
+	watchWG sync.WaitGroup
+	clock   kv.Clock
+	closed  atomic.Bool
+}
+
+type tracerBox struct{ t obs.Tracer }
+
+// Dial connects n pooled connections to addr and performs the Hello
+// handshake (learning the serving engine's name for tracer spans).
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := options{conns: 2, dialTimeout: 5 * time.Second}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Client{}
+	c.trc.Store(&tracerBox{})
+	c.clock = &remoteClock{c: c}
+	for i := 0; i < o.conns; i++ {
+		cn, err := dialConn(addr, o.dialTimeout)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, cn)
+	}
+	hello, err := c.conns[0].roundTrip(wire.Msg{Kind: wire.KindHello})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	c.engine = string(hello.Value)
+	return c, nil
+}
+
+// Close cuts every pooled connection; in-flight calls fail promptly and
+// open watch channels close.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, cn := range c.conns {
+		cn.close(ErrClosed)
+	}
+	return nil
+}
+
+// Engine returns the serving engine's name from the Hello handshake.
+func (c *Client) Engine() string { return c.engine }
+
+// SetTracer installs (or, with nil, removes) the per-transaction tracer.
+// Spans are built client-side: one per closure attempt, stamped with the
+// served engine's name and the commit revision the server reported.
+func (c *Client) SetTracer(t obs.Tracer) { c.trc.Store(&tracerBox{t}) }
+
+func (c *Client) tracer() obs.Tracer { return c.trc.Load().t }
+
+// pick spreads callers across the pool round-robin.
+func (c *Client) pick() *netConn {
+	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
+}
+
+// do runs one unary round trip on a pooled connection.
+func (c *Client) do(m wire.Msg) (wire.Msg, error) {
+	if c.closed.Load() {
+		return wire.Msg{}, ErrClosed
+	}
+	return c.pick().roundTrip(m)
+}
+
+// Get implements kv.DB.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	if kv.IsReservedKey(key) {
+		return nil, kv.ErrReservedKey
+	}
+	r, err := c.do(wire.Msg{Kind: wire.KindGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return r.Value, nil
+}
+
+// GetRev implements kv.DB.
+func (c *Client) GetRev(key []byte) ([]byte, kv.Revision, error) {
+	if kv.IsReservedKey(key) {
+		return nil, 0, kv.ErrReservedKey
+	}
+	r, err := c.do(wire.Msg{Kind: wire.KindGetRev, Key: key})
+	if err != nil {
+		return nil, 0, err
+	}
+	if r.Flags&wire.FlagAbsent != 0 {
+		return nil, 0, kv.ErrNotFound
+	}
+	return r.Value, r.Rev, nil
+}
+
+// Put implements kv.DB.
+func (c *Client) Put(key, value []byte, opts ...kv.PutOption) error {
+	if kv.IsReservedKey(key) {
+		return kv.ErrReservedKey
+	}
+	_, err := c.do(wire.Msg{Kind: wire.KindPut, Key: key, Value: value, Lease: kv.LeaseOf(opts...)})
+	return err
+}
+
+// PutIf implements kv.DB.
+func (c *Client) PutIf(key, value []byte, rev kv.Revision, opts ...kv.PutOption) error {
+	if kv.IsReservedKey(key) {
+		return kv.ErrReservedKey
+	}
+	_, err := c.do(wire.Msg{Kind: wire.KindPutIf, Key: key, Value: value, Rev: rev, Lease: kv.LeaseOf(opts...)})
+	return err
+}
+
+// Delete implements kv.DB.
+func (c *Client) Delete(key []byte) error {
+	if kv.IsReservedKey(key) {
+		return kv.ErrReservedKey
+	}
+	_, err := c.do(wire.Msg{Kind: wire.KindDelete, Key: key})
+	return err
+}
+
+// DeleteIf implements kv.DB.
+func (c *Client) DeleteIf(key []byte, rev kv.Revision) error {
+	if kv.IsReservedKey(key) {
+		return kv.ErrReservedKey
+	}
+	_, err := c.do(wire.Msg{Kind: wire.KindDeleteIf, Key: key, Rev: rev})
+	return err
+}
+
+// Batch implements kv.DB: the ops travel as one frame and execute as one
+// server-side transaction.
+func (c *Client) Batch(ops []kv.Op) ([]kv.OpResult, error) {
+	r, err := c.do(wire.Msg{Kind: wire.KindBatch, Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]kv.OpResult, len(r.Results))
+	for i, res := range r.Results {
+		results[i] = kv.OpResult{Value: res.Value, Err: wire.ErrOf(res.Code, "")}
+	}
+	return results, nil
+}
+
+// Scan implements kv.DB: the server streams the snapshot as chunked
+// frames; the returned iterator walks the collected result.
+func (c *Client) Scan(start, end []byte, limit int) kv.Iterator {
+	if c.closed.Load() {
+		return &sliceIter{err: ErrClosed}
+	}
+	entries, err := c.pick().scan(wire.Msg{Kind: wire.KindScan, Key: start, End: end, Rev: uint64(limit)})
+	if err != nil {
+		return &sliceIter{err: err}
+	}
+	return &sliceIter{entries: entries}
+}
+
+// Grant implements kv.DB.
+func (c *Client) Grant(ttl uint64) (kv.LeaseID, error) {
+	r, err := c.do(wire.Msg{Kind: wire.KindGrant, Rev: ttl})
+	if err != nil {
+		return 0, err
+	}
+	return r.Rev, nil
+}
+
+// KeepAlive implements kv.DB.
+func (c *Client) KeepAlive(id kv.LeaseID) error {
+	_, err := c.do(wire.Msg{Kind: wire.KindKeepAlive, Lease: id})
+	return err
+}
+
+// Revoke implements kv.DB.
+func (c *Client) Revoke(id kv.LeaseID) error {
+	_, err := c.do(wire.Msg{Kind: wire.KindRevoke, Lease: id})
+	return err
+}
+
+// ExpireLeases implements kv.DB.
+func (c *Client) ExpireLeases() (int, error) {
+	r, err := c.do(wire.Msg{Kind: wire.KindExpire})
+	if err != nil {
+		return 0, err
+	}
+	return int(r.Rev), nil
+}
+
+// Clock implements kv.DB: reading it costs one round trip per Now.
+func (c *Client) Clock() kv.Clock { return c.clock }
+
+type remoteClock struct{ c *Client }
+
+func (rc *remoteClock) Now() uint64 {
+	r, err := rc.c.do(wire.Msg{Kind: wire.KindClockNow})
+	if err != nil {
+		return 0
+	}
+	return r.Rev
+}
+
+// Checkpoint implements kv.DB.
+func (c *Client) Checkpoint() error {
+	_, err := c.do(wire.Msg{Kind: wire.KindCheckpoint})
+	return err
+}
+
+// Metrics implements kv.DB: the server's snapshot travels as JSON (the
+// obs.Snapshot wire form), so the client sees the exact flat schema the
+// server-side DB reports — including the server.* instruments when the
+// server shares the DB's registry.
+func (c *Client) Metrics() obs.Snapshot {
+	r, err := c.do(wire.Msg{Kind: wire.KindMetrics})
+	if err != nil {
+		return obs.Snapshot{}
+	}
+	var snap obs.Snapshot
+	if json.Unmarshal(r.Value, &snap) != nil {
+		return obs.Snapshot{}
+	}
+	return snap
+}
+
+// WaitWatchIdle blocks until every watch channel this client handed out
+// has closed and the server's watch machinery has quiesced — the remote
+// form of the backends' WaitWatchIdle test hook.
+func (c *Client) WaitWatchIdle() {
+	c.watchWG.Wait()
+	for _, cn := range c.conns {
+		cn.roundTrip(wire.Msg{Kind: wire.KindWatchIdle})
+	}
+}
+
+// sliceIter walks a materialized scan result.
+type sliceIter struct {
+	entries []wire.Entry
+	i       int
+	err     error
+}
+
+func (it *sliceIter) Next() bool {
+	if it.err != nil || it.i >= len(it.entries) {
+		return false
+	}
+	it.i++
+	return true
+}
+
+func (it *sliceIter) Key() []byte   { return it.entries[it.i-1].Key }
+func (it *sliceIter) Value() []byte { return it.entries[it.i-1].Value }
+func (it *sliceIter) Err() error    { return it.err }
+
+var _ kv.DB = (*Client)(nil)

@@ -1,0 +1,99 @@
+package client_test
+
+import (
+	"errors"
+	"testing"
+
+	"rhtm"
+	"rhtm/client"
+	"rhtm/cluster"
+	"rhtm/internal/enginetest/dbtest"
+	"rhtm/kv"
+	"rhtm/obs"
+	"rhtm/server"
+	"rhtm/store"
+)
+
+// startRig serves db on an ephemeral port and dials a pooled client,
+// wiring both into the test's cleanup in drain order (client first).
+func startRig(t *testing.T, db kv.DB, reg *obs.Registry, engine string, conns int) *client.Client {
+	t.Helper()
+	srv := server.New(db, server.WithMetrics(reg), server.WithEngineName(engine))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("server start: %v", err)
+	}
+	cl, err := client.Dial(addr.String(), client.WithConns(conns))
+	if err != nil {
+		srv.Close()
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		srv.Close()
+	})
+	return cl
+}
+
+// netLocalFactory is the client→server→Local rig: a sharded store-backed
+// DB behind a real TCP server, the client standing in as the kv.DB under
+// test. The server shares the DB's registry so server.* instruments ride
+// in the same Metrics snapshots the battery asserts on.
+func netLocalFactory(engineName string, shards, inject int) dbtest.DBFactory {
+	return func(t *testing.T) (kv.DB, *kv.ManualClock, func() error) {
+		s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+		var eng rhtm.Engine
+		switch engineName {
+		case "RH1":
+			eng = rhtm.NewRH1(s, rhtm.RH1Options{MixPercent: 100, InjectAbortPercent: inject})
+		case "TL2":
+			eng = rhtm.NewTL2(s)
+		default:
+			t.Fatalf("unknown engine %q", engineName)
+		}
+		clock := kv.NewManualClock()
+		reg := obs.NewRegistry()
+		sh := store.NewSharded(s, 4, store.Options{ArenaWords: 1 << 13})
+		db := kv.NewLocal(eng, sh, kv.WithClock(clock), kv.WithMetrics(reg))
+		cl := startRig(t, db, reg, engineName, 3)
+		return cl, clock, sh.Validate
+	}
+}
+
+// netClusterFactory is the client→server→ClusterDB rig: the same wire
+// front end over the 2PC coordinator, with injected hardware aborts
+// exercising the fallback paths under network-shaped load.
+func netClusterFactory(engineName string, systems, inject int) dbtest.DBFactory {
+	return func(t *testing.T) (kv.DB, *kv.ManualClock, func() error) {
+		c := cluster.MustNew(cluster.Config{
+			Systems:    systems,
+			DataWords:  1 << 15,
+			ArenaWords: 1 << 13,
+			NewEngine: func(s *rhtm.System) (rhtm.Engine, error) {
+				switch engineName {
+				case "RH1":
+					return rhtm.NewRH1(s, rhtm.RH1Options{MixPercent: 100, InjectAbortPercent: inject}), nil
+				case "TL2":
+					return rhtm.NewTL2(s), nil
+				}
+				return nil, errors.New("unknown engine " + engineName)
+			},
+		})
+		clock := kv.NewManualClock()
+		reg := obs.NewRegistry()
+		db := kv.NewCluster(c, kv.WithClock(clock), kv.WithMetrics(reg))
+		cl := startRig(t, db, reg, engineName, 3)
+		return cl, clock, c.Validate
+	}
+}
+
+// TestNetDBConformance runs the full shared battery — oracle, race,
+// transfer, batch, scan snapshot, CAS, leases, watches (including the
+// coalescing overflow case), metrics, and tracing — with the network
+// client as the kv.DB under test, against both backends. The wire is real
+// TCP on loopback; nothing is mocked.
+func TestNetDBConformance(t *testing.T) {
+	dbtest.RunDB(t, "Net/Local/TL2", netLocalFactory("TL2", 4, 0))
+	dbtest.RunDB(t, "Net/Local/RH1", netLocalFactory("RH1", 4, 10))
+	dbtest.RunDB(t, "Net/Cluster2/RH1", netClusterFactory("RH1", 2, 20))
+}

@@ -1,0 +1,198 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"sync"
+
+	"rhtm/kv"
+	"rhtm/server/wire"
+)
+
+// Watch implements kv.DB: subscribe on one pooled connection, then pump
+// server-push Event frames into a kv.Watch channel. The pump's queue is
+// bounded by kv.MaxWatchQueue with the same overflow ladder as the
+// in-process hub — coalesce to latest-value-per-key first, declare an
+// EventLost gap only when even that cannot keep up — so a slow consumer
+// degrades identically whether the DB is in-process or remote. Cancelling
+// ctx sends WatchCancel and the channel closes once the server's
+// WatchEnd arrives.
+func (c *Client) Watch(ctx context.Context, prefix []byte, fromRev kv.Revision) (<-chan kv.Event, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	cn := c.pick()
+	wp := &watchPump{
+		c:      c,
+		cn:     cn,
+		ctx:    ctx,
+		out:    make(chan kv.Event, 16),
+		subbed: make(chan error, 1),
+		nudge:  make(chan struct{}, 1),
+	}
+	w := &waiter{wp: wp}
+	id := cn.register(w)
+	wp.id = id
+	if err := cn.write(wire.Msg{ID: id, Kind: wire.KindWatch, Key: prefix, Rev: fromRev}); err != nil {
+		cn.unregister(id)
+		return nil, err
+	}
+	select {
+	case err := <-wp.subbed:
+		if err != nil {
+			cn.unregister(id)
+			return nil, err
+		}
+	case <-cn.dead:
+		cn.unregister(id)
+		return nil, cn.termErr
+	}
+	c.watchWG.Add(1)
+	go wp.run()
+	return wp.out, nil
+}
+
+// watchPump owns one watch stream's client side: the reader goroutine
+// enqueues frames (never blocking), the pump goroutine delivers to the
+// consumer and drives the cancel handshake.
+type watchPump struct {
+	c   *Client
+	cn  *netConn
+	ctx context.Context
+	id  uint64
+	out chan kv.Event
+
+	subbed chan error
+	nudge  chan struct{}
+
+	mu    sync.Mutex
+	queue []kv.Event
+	ended bool
+	subOK bool
+}
+
+// deliver is called by the connection reader with every frame addressed
+// to this watch's id. It must not block: events land in the bounded
+// queue under the kv overflow contract.
+func (wp *watchPump) deliver(m wire.Msg) {
+	switch m.Kind {
+	case wire.KindOK:
+		wp.mu.Lock()
+		wp.subOK = true
+		wp.mu.Unlock()
+		wp.subbed <- nil
+		return
+	case wire.KindErr:
+		wp.mu.Lock()
+		subOK := wp.subOK
+		wp.ended = true
+		wp.mu.Unlock()
+		if !subOK {
+			wp.subbed <- wire.ErrOf(m.Code, m.Text)
+			return
+		}
+	case wire.KindEvent:
+		wp.enqueue(kv.Event{Kind: kv.EventKind(m.Code), Key: m.Key, Value: m.Value, Rev: m.Rev})
+	case wire.KindWatchEnd:
+		wp.mu.Lock()
+		wp.ended = true
+		wp.mu.Unlock()
+	}
+	wp.wake()
+}
+
+func (wp *watchPump) wake() {
+	select {
+	case wp.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue applies the kv overflow ladder at the client edge: under
+// pressure, collapse an older event for the same key to the newest value
+// before appending an EventLost marker (and never two markers in a row).
+func (wp *watchPump) enqueue(ev kv.Event) {
+	wp.mu.Lock()
+	if len(wp.queue) >= kv.MaxWatchQueue {
+		if ev.Kind != kv.EventLost {
+			for i := range wp.queue {
+				if wp.queue[i].Kind != kv.EventLost && bytes.Equal(wp.queue[i].Key, ev.Key) {
+					copy(wp.queue[i:], wp.queue[i+1:])
+					wp.queue[len(wp.queue)-1] = ev
+					wp.mu.Unlock()
+					return
+				}
+			}
+		}
+		if n := len(wp.queue); n == 0 || wp.queue[n-1].Kind != kv.EventLost {
+			wp.queue = append(wp.queue, kv.Event{Kind: kv.EventLost})
+		}
+	} else {
+		wp.queue = append(wp.queue, ev)
+	}
+	wp.mu.Unlock()
+}
+
+// run delivers queued events to the consumer until the stream ends. On
+// ctx cancellation it sends one WatchCancel (carrying the watch id) and
+// keeps draining — discarding undeliverable events — until the server's
+// WatchEnd closes the stream, which is what keeps cancel-then-
+// WaitWatchIdle ordered across the wire.
+func (wp *watchPump) run() {
+	cancelSent := false
+	defer func() {
+		close(wp.out)
+		wp.c.watchWG.Done()
+	}()
+	for {
+		wp.mu.Lock()
+		var ev kv.Event
+		have := false
+		if len(wp.queue) > 0 {
+			ev, wp.queue = wp.queue[0], wp.queue[1:]
+			have = true
+		}
+		ended := wp.ended
+		wp.mu.Unlock()
+
+		if !have {
+			if ended {
+				return
+			}
+			select {
+			case <-wp.nudge:
+			case <-wp.ctx.Done():
+				cancelSent = wp.sendCancel(cancelSent)
+				select {
+				case <-wp.nudge:
+				case <-wp.cn.dead:
+					return
+				}
+			case <-wp.cn.dead:
+				return
+			}
+			continue
+		}
+		if wp.ctx.Err() != nil {
+			cancelSent = wp.sendCancel(cancelSent)
+			continue // cancelled: drain and discard
+		}
+		select {
+		case wp.out <- ev:
+		case <-wp.ctx.Done():
+			cancelSent = wp.sendCancel(cancelSent)
+		case <-wp.cn.dead:
+			return
+		}
+	}
+}
+
+func (wp *watchPump) sendCancel(already bool) bool {
+	if !already {
+		// Ignore the outcome: the only failure modes are a dead
+		// connection (the stream ends through dead) or a watch that
+		// already ended server-side (the WatchEnd is in flight).
+		wp.cn.roundTrip(wire.Msg{Kind: wire.KindWatchCancel, Rev: wp.id})
+	}
+	return true
+}

@@ -43,7 +43,12 @@
 //	              records route like data keys, so revokes ride 2PC)
 //	recovery      write-ahead-log recovery: log size vs cold-open replay
 //	              time, with and without a midpoint checkpoint
-//	all           everything above (cluster: the -a sweep only)
+//	net-ycsb-a/b/c/d/e/f
+//	              the YCSB mix served over loopback TCP through the
+//	              network client, swept over -conns connection-pool sizes
+//	              (-pipeline toggles many-in-flight vs closed loop)
+//	all           everything above (cluster: the -a sweep only; net: the
+//	              -a sweep only)
 //
 // Every ycsb-*, batch, and cluster-* experiment drives the unified kv.DB
 // interface (one workload suite, either data-layer backend). The ycsb-*
@@ -68,6 +73,15 @@
 // (transactions per sync is the group-commit amortization). -syncevery N
 // relaxes the barrier to every N transactions. The recovery experiment
 // measures the other half: cold-open replay time against log size.
+//
+// -net serves any KV experiment over loopback TCP: the backend sits
+// behind the server/ front end and the workload drives the network
+// client, so the measured path includes framing, pipelining, and the
+// server's cross-connection request batcher. -conns sizes the client's
+// connection pool (the net-ycsb-* experiments sweep a comma-separated
+// list; other experiments use the first value) and -pipeline toggles
+// many-in-flight requests per connection versus a strict closed loop.
+// Reports add the server.* counters (DESIGN.md §11).
 //
 // -json FILE appends one machine-readable JSON line per measured point
 // (engine, workload, threads, ops, ops/kacc, ops/kinterval, abort ratio,
@@ -118,6 +132,9 @@ func main() {
 		batches = flag.String("batchsizes", "1,8,64", "comma-separated batch sizes for the batch experiment")
 		ttl     = flag.Int("ttl", 16, "lease TTL in virtual clock ticks (session-cache / lock-service)")
 		pump    = flag.Int("pumpevery", 32, "ops between virtual-clock ticks / expiry pumps (session-cache / lock-service)")
+		useNet  = flag.Bool("net", false, "serve the KV experiments over loopback TCP through the network client")
+		connsF  = flag.String("conns", "1,4,16", "comma-separated client connection-pool sizes for net runs")
+		pipe    = flag.Bool("pipeline", true, "allow many in-flight requests per connection in net runs (off = closed loop)")
 		useWAL  = flag.Bool("wal", false, "attach a write-ahead log (in-memory device) to the KV experiments")
 		syncEv  = flag.Int("syncevery", 0, "relax WAL syncs to every N logged transactions (0/1 = every group commit; needs -wal)")
 		jsonOut = flag.String("json", "", "append machine-readable JSON result lines to this file (\"-\" = stdout)")
@@ -125,7 +142,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|batch|session-cache|lock-service|recovery|cluster-ycsb-a..f|cluster-bank|cluster-session-cache|cluster-lock-service|all>")
+		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|batch|session-cache|lock-service|recovery|cluster-ycsb-a..f|cluster-bank|cluster-session-cache|cluster-lock-service|net-ycsb-a..f|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -199,6 +216,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	connsList, err := parseInts(*connsF, "connection count", 1, 1<<12)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cspec := harness.KVSpec{
 		Records:    *records,
 		ValueBytes: *vbytes,
@@ -219,11 +241,26 @@ func main() {
 			cspec.Dist = *dist
 		}
 	})
+	if *useNet {
+		spec.Net, spec.Conns, spec.Pipeline = true, connsList[0], *pipe
+		cspec.Net, cspec.Conns, cspec.Pipeline = true, connsList[0], *pipe
+	}
 	recoveryOps := []int{2_000, 10_000, 40_000}
 	if *quick {
 		q := harness.SmallScale()
 		q.Threads = []int{1, 2, 4}
 		q.OpsPerThread = 300
+		// Explicit -threads / -ops survive -quick, so a pinned point (the
+		// connection-scaling trajectory rows) can use the quick sizes with
+		// its own sweep.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "threads":
+				q.Threads = sc.Threads
+			case "ops":
+				q.OpsPerThread = *ops
+			}
+		})
 		sc = q
 		spec.Records = 512
 		spec.Shards = 4
@@ -231,9 +268,21 @@ func main() {
 		systemsList = []int{1, 4}
 		crossList = []int{0, 20}
 		batchList = []int{1, 16}
+		// An explicit -conns survives -quick (the bench gate pins the
+		// deterministic 1-connection closed-loop point).
+		connsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "conns" {
+				connsSet = true
+			}
+		})
+		if !connsSet {
+			connsList = []int{1, 4}
+		}
 		recoveryOps = []int{500, 2_000}
 	}
 	sweep := clusterSweep{systems: systemsList, cross: crossList, spec: cspec}
+	nets := netSweep{conns: connsList, pipeline: *pipe}
 
 	exp := flag.Arg(0)
 	em := &emitter{out: os.Stdout, exp: exp, metrics: *metrics}
@@ -276,14 +325,15 @@ func main() {
 		for _, e := range []string{"fig1", "fig2a", "fig2b", "fig2c", "tab1", "tab2",
 			"fig3a", "fig3b", "fig3c", "ext-clock", "ext-capacity", "ext-hybrids",
 			"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "batch",
-			"session-cache", "lock-service", "recovery", "cluster-ycsb-a"} {
+			"session-cache", "lock-service", "recovery", "cluster-ycsb-a",
+			"net-ycsb-a"} {
 			em.exp = e
-			runExperiment(e, em, sc, *capLim, spec, sweep, batchList, recoveryOps)
+			runExperiment(e, em, sc, *capLim, spec, sweep, nets, batchList, recoveryOps)
 			fmt.Println()
 		}
 		return
 	}
-	runExperiment(exp, em, sc, *capLim, spec, sweep, batchList, recoveryOps)
+	runExperiment(exp, em, sc, *capLim, spec, sweep, nets, batchList, recoveryOps)
 }
 
 // emitter routes one experiment's artifacts: human-readable series to out,
@@ -342,8 +392,33 @@ func (cs clusterSweep) run(em *emitter, sc harness.Scale, mix string) {
 	}
 }
 
+// netSweep carries the connection-pool grid of the net-ycsb-* experiments.
+type netSweep struct {
+	conns    []int
+	pipeline bool
+}
+
+// run prints one series block per connection count for the mix, served
+// over loopback TCP.
+func (ns netSweep) run(em *emitter, sc harness.Scale, spec harness.KVSpec, mix string) {
+	mode := "closed loop"
+	if ns.pipeline {
+		mode = "pipelined"
+	}
+	for _, c := range ns.conns {
+		s := spec
+		s.Mix = mix
+		s.Net, s.Conns, s.Pipeline = true, c, ns.pipeline
+		em.series(
+			fmt.Sprintf("Net YCSB-%s over loopback TCP: %d connections (%s), %d records, %s distribution",
+				strings.ToUpper(mix), c, mode, s.Records, s.Dist),
+			harness.SweepKV(sc, s))
+		fmt.Fprintln(em.out)
+	}
+}
+
 // runExperiment dispatches one experiment id and prints its artifact.
-func runExperiment(exp string, em *emitter, sc harness.Scale, capLim int, spec harness.KVSpec, sweep clusterSweep, batchList, recoveryOps []int) {
+func runExperiment(exp string, em *emitter, sc harness.Scale, capLim int, spec harness.KVSpec, sweep clusterSweep, nets netSweep, batchList, recoveryOps []int) {
 	out := em.out
 	switch exp {
 	case "recovery":
@@ -434,6 +509,8 @@ func runExperiment(exp string, em *emitter, sc harness.Scale, capLim int, spec h
 				harness.SweepKV(sc, bs))
 			fmt.Fprintln(out)
 		}
+	case "net-ycsb-a", "net-ycsb-b", "net-ycsb-c", "net-ycsb-d", "net-ycsb-e", "net-ycsb-f":
+		nets.run(em, sc, spec, strings.TrimPrefix(exp, "net-ycsb-"))
 	case "cluster-ycsb-a", "cluster-ycsb-b", "cluster-ycsb-c", "cluster-ycsb-d", "cluster-ycsb-e", "cluster-ycsb-f":
 		sweep.run(em, sc, strings.TrimPrefix(exp, "cluster-ycsb-"))
 	case "cluster-bank":

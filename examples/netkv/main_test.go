@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNetKVExample runs the full scenario so the example cannot silently
+// rot: server, pooled client, pipelined workers, wire transactions, and
+// the watch stream.
+func TestNetKVExample(t *testing.T) {
+	summary, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(summary, "netkv ok:") {
+		t.Fatalf("unexpected summary:\n%s", summary)
+	}
+	if !strings.Contains(summary, "batches") {
+		t.Fatalf("summary missing batch stats:\n%s", summary)
+	}
+}

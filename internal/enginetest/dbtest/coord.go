@@ -512,3 +512,98 @@ func testDBWatch(t *testing.T, factory DBFactory) {
 		t.Fatal(err)
 	}
 }
+
+// testDBWatchCoalesce pins the overflow ladder under sustained pressure: a
+// stalled consumer behind a deliberately tiny delivery queue must degrade
+// to latest-value-per-key — older same-key events coalesce away — and as
+// long as every overflowing event finds a same-key victim, no EventLost
+// marker may fire. The subscriber's terminal view of each key must be the
+// last committed value.
+func testDBWatchCoalesce(t *testing.T, factory DBFactory) {
+	orig := kv.MaxWatchQueue
+	kv.MaxWatchQueue = 16
+	defer func() { kv.MaxWatchQueue = orig }()
+
+	db, _, validate := factory(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ch, err := db.Watch(ctx, []byte("co-"), 0)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+
+	// 4 keys round-robin for 100 rounds while the consumer stalls: far
+	// more events than the 16-slot queue holds, but never more than 4
+	// distinct keys, so coalescing can always absorb the overflow.
+	const keys, rounds = 4, 100
+	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("co-%d", i)) }
+	var final [keys]uint64
+	for r := 1; r <= rounds; r++ {
+		for k := 0; k < keys; k++ {
+			v := uint64(r<<8 | k)
+			if err := db.Put(keyOf(k), enc64(v)); err != nil {
+				t.Fatalf("round %d key %d: %v", r, k, err)
+			}
+			final[k] = v
+		}
+	}
+
+	// Drain until the final value of every key has been seen; every event
+	// must be a Put under the prefix, per-key revisions strictly ascend,
+	// and EventLost is a failure — coalescing had victims available.
+	last := map[string]uint64{}
+	lastRev := map[string]uint64{}
+	seenFinal := 0
+	deadline := time.After(20 * time.Second)
+	for seenFinal < keys {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatal("watch channel closed early")
+			}
+			if ev.Kind == kv.EventLost {
+				t.Fatalf("EventLost despite coalescible overflow (last=%v)", last)
+			}
+			if ev.Kind != kv.EventPut || !bytes.HasPrefix(ev.Key, []byte("co-")) {
+				t.Fatalf("unexpected event %+v", ev)
+			}
+			k := string(ev.Key)
+			if ev.Rev <= lastRev[k] {
+				t.Fatalf("per-key order violated for %s: rev %d after %d", k, ev.Rev, lastRev[k])
+			}
+			lastRev[k] = ev.Rev
+			v := dec64(ev.Value)
+			if prev, ok := last[k]; ok && v <= prev {
+				t.Fatalf("stale value resurfaced for %s: %#x after %#x", k, v, prev)
+			}
+			last[k] = v
+			if v == final[int(v)&0xff] {
+				seenFinal++
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for final values; last=%v final=%v", last, final)
+		}
+	}
+	for k := 0; k < keys; k++ {
+		if last[string(keyOf(k))] != final[k] {
+			t.Fatalf("key %d terminal value %#x, want %#x", k, last[string(keyOf(k))], final[k])
+		}
+	}
+	cancel()
+	deadline = time.After(10 * time.Second)
+	for closed := false; !closed; {
+		select {
+		case _, ok := <-ch:
+			closed = !ok
+		case <-deadline:
+			t.Fatal("watch channel did not close after ctx cancellation")
+		}
+	}
+	if w, ok := db.(interface{ WaitWatchIdle() }); ok {
+		w.WaitWatchIdle()
+	}
+	if err := validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -72,6 +72,7 @@ func RunDB(t *testing.T, name string, factory DBFactory, opts ...BatteryOption) 
 	t.Run(name+"/DBRevisionCAS", func(t *testing.T) { testDBRevisionCAS(t, factory) })
 	t.Run(name+"/DBLeaseExpiry", func(t *testing.T) { testDBLeaseExpiry(t, factory) })
 	t.Run(name+"/DBWatch", func(t *testing.T) { testDBWatch(t, factory) })
+	t.Run(name+"/DBWatchCoalesce", func(t *testing.T) { testDBWatchCoalesce(t, factory) })
 	t.Run(name+"/DBMetrics", func(t *testing.T) { testDBMetrics(t, factory) })
 	t.Run(name+"/DBTrace", func(t *testing.T) { testDBTrace(t, factory) })
 	if bo.recovery != nil {

@@ -244,13 +244,19 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 
 	var be kvBackend
 	var err error
-	if spec.Backend == BackendCluster {
+	switch {
+	case spec.Net:
+		be, err = openNetBackend(spec, engineName, cfg)
+	case spec.Backend == BackendCluster:
 		be, err = openClusterBackend(spec, engineName, cfg)
-	} else {
+	default:
 		be, err = openStoreBackend(spec, engineName, cfg)
 	}
 	if err != nil {
 		return Result{}, err
+	}
+	if c, ok := be.(interface{ Close() }); ok {
+		defer c.Close()
 	}
 
 	// Populate through the setup path (reproducible from loaderSeed). The

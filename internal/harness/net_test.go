@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestNetWorkloadRuns drives a spread of mixes through the network rig —
+// client over loopback TCP, server in front of a real backend — and
+// asserts the run works end to end and its counters carry the server.*
+// instrument set in the flat schema, alongside the backend's own.
+func TestNetWorkloadRuns(t *testing.T) {
+	for _, tc := range []struct {
+		mix      string
+		pipeline bool
+	}{
+		{"a", true},
+		{"a", false},
+		{"e", true},
+		{"f", true},
+		{"session", true},
+		{"lock", false},
+	} {
+		spec := KVSpec{Mix: tc.mix, Records: 256, ValueBytes: 32, Shards: 4,
+			ScanMax: 10, Net: true, Conns: 2, Pipeline: tc.pipeline}
+		r, err := RunKV(spec, EngRH1Mix2, RunConfig{Threads: 2, OpsPerThread: 30, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s/pipeline=%v: %v", tc.mix, tc.pipeline, err)
+		}
+		if r.Ops != 60 {
+			t.Fatalf("%s/pipeline=%v: ops = %d, want 60", tc.mix, tc.pipeline, r.Ops)
+		}
+		// The server's instruments must ride in the same flat counter map
+		// as the engine.*/store.*/harness.* sets (DESIGN.md §10/§11).
+		for _, name := range []string{"server.bytes_in", "server.bytes_out",
+			"server.request_ns.count"} {
+			if r.Counters[name] <= 0 {
+				t.Fatalf("%s/pipeline=%v: counter %s missing or zero: %v",
+					tc.mix, tc.pipeline, name, r.Counters)
+			}
+		}
+		if got := r.Counters["server.connections"]; got != 2 {
+			t.Fatalf("%s/pipeline=%v: server.connections = %d at finish, want 2",
+				tc.mix, tc.pipeline, got)
+		}
+	}
+}
+
+// TestNetBatcherEngages: the a-mix's Gets and Puts are batchable, so the
+// cross-connection batcher must have formed batches, and its per-kind
+// request counters must sit under their labeled names.
+func TestNetBatcherEngages(t *testing.T) {
+	spec := KVSpec{Mix: "a", Records: 512, ValueBytes: 32, Shards: 4,
+		Net: true, Conns: 4, Pipeline: true}
+	r := MustRunKV(spec, EngTL2, RunConfig{Threads: 4, OpsPerThread: 100, Seed: 3})
+	if r.Counters["server.batch_fill.count"] <= 0 {
+		t.Fatalf("batcher formed no batches: %v", r.Counters)
+	}
+	if r.Counters["server.batch_fill.sum"] < r.Counters["server.batch_fill.count"] {
+		t.Fatalf("batch fill sum %d < count %d",
+			r.Counters["server.batch_fill.sum"], r.Counters["server.batch_fill.count"])
+	}
+	gets := r.Counters["server.requests{kind=get}"]
+	puts := r.Counters["server.requests{kind=put}"]
+	if gets <= 0 || puts <= 0 {
+		t.Fatalf("per-kind request counters missing: gets=%d puts=%d (%v)", gets, puts, r.Counters)
+	}
+}
+
+// TestNetClusterBackend: Net composes with the cluster backend — the
+// server fronts the 2PC coordinator and both counter sets appear.
+func TestNetClusterBackend(t *testing.T) {
+	spec := KVSpec{Mix: "bank", Records: 64, Systems: 2, CrossPct: 50,
+		Net: true, Conns: 2, Pipeline: true}
+	r := MustRunKV(spec, EngRH1Mix2, RunConfig{Threads: 2, OpsPerThread: 40, Seed: 5})
+	if r.Ops != 80 {
+		t.Fatalf("ops = %d, want 80", r.Ops)
+	}
+	if _, ok := r.Counters["cluster.local_txns"]; !ok {
+		t.Fatalf("cluster.* counters missing behind the net rig: %v", r.Counters)
+	}
+	if r.Counters["server.requests{kind=txn}"] <= 0 {
+		t.Fatalf("bank transfers sent no Txn frames: %v", r.Counters)
+	}
+}
+
+// TestNetConnectionScaling is the network front end's acceptance
+// criterion: on the read-only mix, 16 pipelined connections must deliver
+// at least 4x the ops/sec of the 1-connection closed loop. The baseline
+// pays a full round trip plus the batch window per op; the pipelined rig
+// overlaps round trips and amortizes execution across merged batches.
+func TestNetConnectionScaling(t *testing.T) {
+	base := KVSpec{Mix: "c", Records: 1024, ValueBytes: 32, Shards: 4, Net: true}
+
+	slow := base
+	slow.Conns = 1
+	r1 := MustRunKV(slow, EngTL2, RunConfig{Threads: 1, OpsPerThread: 400, Seed: 1})
+
+	fast := base
+	fast.Conns = 16
+	fast.Pipeline = true
+	r16 := MustRunKV(fast, EngTL2, RunConfig{Threads: 16, OpsPerThread: 400, Seed: 1})
+
+	if r1.Throughput <= 0 || r16.Throughput <= 0 {
+		t.Fatalf("missing throughput: c1=%f c16=%f", r1.Throughput, r16.Throughput)
+	}
+	if r16.Throughput < 4*r1.Throughput {
+		t.Fatalf("16 conns pipelined = %.0f ops/s, 1 conn closed-loop = %.0f ops/s: scaling < 4x",
+			r16.Throughput, r1.Throughput)
+	}
+}

@@ -76,6 +76,17 @@ type KVSpec struct {
 	// a/b/c into kv.DB.Batch calls of this size — the batching
 	// amortization experiment.
 	BatchSize int
+	// Net serves the backend over loopback TCP and drives the workload
+	// through the network client, so the run measures the full server/
+	// wire path — framing, pipelining, the cross-connection batcher —
+	// instead of in-process calls.
+	Net bool
+	// Conns is the client's connection-pool size for Net runs (default 4).
+	Conns int
+	// Pipeline allows many in-flight requests per pooled connection. Off,
+	// the run is a classic closed loop: at most Conns outstanding
+	// requests, each waiting out its round trip. Requires Net.
+	Pipeline bool
 	// WAL attaches a write-ahead log to the backend (in-memory device):
 	// the run populates through the DB so every record is logged, and the
 	// notes report the log counters (txns, syncs, bytes — group-commit
@@ -151,6 +162,9 @@ func (sp KVSpec) withDefaults() KVSpec {
 	if sp.ScanMax <= 0 {
 		sp.ScanMax = 100
 	}
+	if sp.Net && sp.Conns <= 0 {
+		sp.Conns = 4
+	}
 	return sp
 }
 
@@ -176,6 +190,12 @@ func (sp KVSpec) Name() string {
 		name += "/wal"
 		if sp.SyncEvery > 1 {
 			name += fmt.Sprintf("/sync=%d", sp.SyncEvery)
+		}
+	}
+	if sp.Net {
+		name += fmt.Sprintf("/net/c=%d", sp.Conns)
+		if sp.Pipeline {
+			name += "/pipe"
 		}
 	}
 	return name
@@ -216,6 +236,9 @@ func (sp KVSpec) validate() error {
 	}
 	if sp.SyncEvery > 1 && !sp.WAL {
 		return fmt.Errorf("harness: SyncEvery needs WAL")
+	}
+	if !sp.Net && (sp.Conns != 0 || sp.Pipeline) {
+		return fmt.Errorf("harness: Conns/Pipeline need Net")
 	}
 	return nil
 }

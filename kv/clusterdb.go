@@ -206,6 +206,14 @@ func (db *ClusterDB) DeleteIf(key []byte, rev Revision) error {
 // The cluster retries its own commit conflicts inside Client.Txn, so the
 // loop here serves closures that request a retry with ErrConflict.
 func (db *ClusterDB) Update(fn func(tx Txn) error) error {
+	_, err := db.UpdateRev(fn)
+	return err
+}
+
+// UpdateRev is Update paired with the highest revision the committed
+// closure's writes were stamped with — 0 for a read-only closure; see
+// Local.UpdateRev.
+func (db *ClusterDB) UpdateRev(fn func(tx Txn) error) (Revision, error) {
 	cl := db.getClient()
 	defer db.putClient(cl)
 	trc := db.tracer()
@@ -224,12 +232,13 @@ func (db *ClusterDB) Update(fn func(tx Txn) error) error {
 		if !errors.Is(err, ErrConflict) {
 			if err == nil {
 				db.hub.wake()
+				return cl.LastCommitRev(), nil
 			}
-			return mapErr(err)
+			return 0, mapErr(err)
 		}
 		backoff(attempt)
 	}
-	return errRetriesExhausted()
+	return 0, errRetriesExhausted()
 }
 
 // Batch implements DB natively: per-System grouped prepares and a single

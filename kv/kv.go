@@ -143,6 +143,12 @@ func applyPutOptions(opts []PutOption) putOpts {
 	return o
 }
 
+// LeaseOf resolves opts to the lease they attach (0 = none) — for front
+// ends (the network client) that serialize a Put instead of executing it.
+func LeaseOf(opts ...PutOption) LeaseID {
+	return applyPutOptions(opts).lease
+}
+
 // OpKind selects what a batch Op does.
 type OpKind uint8
 
@@ -352,6 +358,12 @@ func backoff(attempt int) {
 func reservedKey(k []byte) bool {
 	return len(k) == 0 || k[0] == 0x00
 }
+
+// IsReservedKey reports whether k is in the reserved system namespace
+// (empty, or first byte 0x00). Exported for front ends — the network
+// server and client — that must reject reserved keys with ErrReservedKey
+// before an operation ever reaches a transaction.
+func IsReservedKey(k []byte) bool { return reservedKey(k) }
 
 // userSpaceStart is the smallest non-reserved key.
 var userSpaceStart = []byte{0x01}

@@ -188,6 +188,15 @@ func (db *Local) putThread(th rhtm.Thread) {
 // writes are captured per attempt (a fresh capture every re-execution, so
 // aborted attempts log nothing) and published after the engine commit.
 func (db *Local) Update(fn func(tx Txn) error) error {
+	_, err := db.UpdateRev(fn)
+	return err
+}
+
+// UpdateRev is Update paired with the highest revision the committed
+// closure's writes were stamped with — 0 for a read-only closure. Front
+// ends (the network server) use it to report the commit revision over the
+// wire without a second transaction.
+func (db *Local) UpdateRev(fn func(tx Txn) error) (Revision, error) {
 	th := db.getThread()
 	defer db.putThread(th)
 	trc := db.tracer()
@@ -214,17 +223,18 @@ func (db *Local) Update(fn func(tx Txn) error) error {
 				lt.maxRev, time.Since(start), db.clock.Now()))
 		}
 		if !errors.Is(err, ErrConflict) {
-			if err == nil {
-				if werr := db.walCommit(ops); werr != nil {
-					return werr
-				}
-				db.hub.wake()
+			if err != nil {
+				return 0, err
 			}
-			return err
+			if werr := db.walCommit(ops); werr != nil {
+				return 0, werr
+			}
+			db.hub.wake()
+			return lt.maxRev, nil
 		}
 		backoff(attempt)
 	}
-	return errRetriesExhausted()
+	return 0, errRetriesExhausted()
 }
 
 // Get implements DB.

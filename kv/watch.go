@@ -25,7 +25,11 @@ import (
 //
 //   - The ring is bounded: if the hub falls behind it (or a subscriber
 //     falls behind its queue), the gap surfaces as one EventLost marker in
-//     order — never a silent drop, never a reordering. Within a ring,
+//     order — never a silent drop, never a reordering. A subscriber queue
+//     at its bound first coalesces per key (see MaxWatchQueue): the oldest
+//     queued event of the same key is shed for the newest, so sustained
+//     slow consumption degrades to latest-value-per-key before it degrades
+//     to loss. Within a ring,
 //     delivered events preserve log order, so per-key revisions strictly
 //     increase (a key lives on one shard/System and therefore one ring).
 //   - Merging across rings sorts each drained batch by revision. Ring
@@ -48,10 +52,18 @@ const (
 	// hubFallbackPoll is the idle re-poll period covering writes that
 	// bypass the DB's wake calls.
 	hubFallbackPoll = 25 * time.Millisecond
-	// maxSubQueue bounds a subscriber's pending events before overflow
-	// collapses into an EventLost marker.
-	maxSubQueue = 8192
 )
+
+// MaxWatchQueue bounds a subscriber's pending events. At the bound the hub
+// coalesces: the oldest queued event for the incoming key is dropped and
+// the newest appended — or, when the incoming key has nothing queued, the
+// oldest event of any key that still has a newer entry behind it — so a
+// slow consumer still observes the latest value of every key. Only when
+// every queued event is already its key's sole (latest) entry does the
+// overflow collapse into an EventLost marker, i.e. loss requires more
+// distinct keys in flight than the queue holds. A variable (not a const)
+// so tests can shrink it; change it during single-threaded setup only.
+var MaxWatchQueue = 8192
 
 // watchHub multiplexes one DB's event rings to its watchers.
 type watchHub struct {
@@ -354,7 +366,36 @@ func (s *watchSub) matches(key []byte) bool {
 
 func (s *watchSub) enqueue(ev Event) {
 	s.mu.Lock()
-	if len(s.queue) >= maxSubQueue {
+	if len(s.queue) >= MaxWatchQueue {
+		// Overflow: coalesce before declaring loss. Dropping the oldest
+		// queued event for ev's key and appending ev keeps per-key revisions
+		// strictly increasing while shedding exactly the history a
+		// latest-value consumer would discard anyway. When ev's key has
+		// nothing queued (the hub's rev-sorted cross-shard batches arrive in
+		// per-shard stretches, so a key on a quiet shard can meet a queue
+		// flooded by a busy one), evict the oldest superseded event of any
+		// other key instead — its latest entry survives, so no key's
+		// terminal view is harmed. Only when every queued event is its
+		// key's sole entry does the overflow surface as EventLost.
+		if ev.Kind != EventLost {
+			victim := -1
+			for i := range s.queue {
+				if s.queue[i].Kind != EventLost && bytes.Equal(s.queue[i].Key, ev.Key) {
+					victim = i
+					break
+				}
+			}
+			if victim < 0 {
+				victim = s.oldestSuperseded()
+			}
+			if victim >= 0 {
+				copy(s.queue[victim:], s.queue[victim+1:])
+				s.queue[len(s.queue)-1] = ev
+				s.mu.Unlock()
+				s.nudge()
+				return
+			}
+		}
 		if n := len(s.queue); n == 0 || s.queue[n-1].Kind != EventLost {
 			s.queue = append(s.queue, Event{Kind: EventLost})
 			s.lost.Inc()
@@ -364,6 +405,29 @@ func (s *watchSub) enqueue(ev Event) {
 	}
 	s.mu.Unlock()
 	s.nudge()
+}
+
+// oldestSuperseded returns the index of the oldest queued event whose key
+// has a newer event queued behind it — the safest cross-key coalescing
+// victim, since dropping it still delivers that key's latest value — or -1
+// when every event is its key's sole entry (loss is then unavoidable).
+// One backward pass: an event is superseded exactly when its key was
+// already seen closer to the tail. Called with s.mu held, on the overflow
+// path only.
+func (s *watchSub) oldestSuperseded() int {
+	seen := make(map[string]struct{}, len(s.queue))
+	victim := -1
+	for i := len(s.queue) - 1; i >= 0; i-- {
+		if s.queue[i].Kind == EventLost {
+			continue
+		}
+		if _, dup := seen[string(s.queue[i].Key)]; dup {
+			victim = i
+		} else {
+			seen[string(s.queue[i].Key)] = struct{}{}
+		}
+	}
+	return victim
 }
 
 func (s *watchSub) enqueueLost() {

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"time"
+
+	"rhtm/kv"
+	"rhtm/server/wire"
+)
+
+// pendingOp is one single-key request parked in the batcher: enough to
+// execute it and route its response back to the owning connection.
+type pendingOp struct {
+	c     *conn
+	id    uint64
+	op    kv.Op
+	start time.Time
+}
+
+// batcher merges independent single-key requests from every connection
+// into shared kv.DB.Batch transactions — the network-side analogue of WAL
+// group commit. One goroutine owns the merge loop: it takes the first
+// queued op, holds the batch open for stragglers behind a small time/size
+// window, executes, responds, repeats. While a batch executes, arrivals
+// queue up and form the next one, so fill scales with offered load and an
+// idle server adds at most one window of latency. The single loop also
+// gives batched ops a total order matching arrival order — a pipelined
+// Put→Get on one connection observes the Put.
+type batcher struct {
+	db     kv.DB
+	window time.Duration
+	max    int
+	met    *serverMetrics
+	ch     chan pendingOp
+	done   chan struct{}
+}
+
+func newBatcher(db kv.DB, window time.Duration, max int, met *serverMetrics) *batcher {
+	b := &batcher{
+		db:     db,
+		window: window,
+		max:    max,
+		met:    met,
+		ch:     make(chan pendingOp, 4096),
+		done:   make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// enqueue parks one op. The caller already holds a slot in its
+// connection's pending WaitGroup; exec releases it after responding.
+func (b *batcher) enqueue(p pendingOp) {
+	b.ch <- p
+}
+
+// close stops the loop after the queue drains. Callers must guarantee no
+// further enqueues — the server closes connections first.
+func (b *batcher) close() {
+	close(b.ch)
+	<-b.done
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	var timer *time.Timer
+	for {
+		first, ok := <-b.ch
+		if !ok {
+			return
+		}
+		batch := append(make([]pendingOp, 0, b.max), first)
+		if b.window > 0 {
+			if timer == nil {
+				timer = time.NewTimer(b.window)
+			} else {
+				timer.Reset(b.window)
+			}
+		fill:
+			for len(batch) < b.max {
+				select {
+				case p, ok := <-b.ch:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, p)
+				case <-timer.C:
+					break fill
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		} else {
+		drain:
+			for len(batch) < b.max {
+				select {
+				case p, ok := <-b.ch:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, p)
+				default:
+					break drain
+				}
+			}
+		}
+		b.exec(batch)
+	}
+}
+
+// exec runs one merged batch and routes per-op responses. A hard failure
+// of the merged transaction must not fail unrelated ops riding in it —
+// one op's oversized value is not its neighbors' problem — so the whole
+// batch degrades to individual execution.
+func (b *batcher) exec(batch []pendingOp) {
+	b.met.batchFill.Observe(uint64(len(batch)))
+	ops := make([]kv.Op, len(batch))
+	for i, p := range batch {
+		ops[i] = p.op
+	}
+	results, err := b.db.Batch(ops)
+	if err != nil || len(results) != len(batch) {
+		for _, p := range batch {
+			b.execOne(p)
+		}
+		return
+	}
+	for i, p := range batch {
+		b.respond(p, results[i].Value, results[i].Err)
+	}
+}
+
+func (b *batcher) execOne(p pendingOp) {
+	var v []byte
+	var err error
+	switch p.op.Kind {
+	case kv.OpGet:
+		v, err = b.db.Get(p.op.Key)
+	case kv.OpPut:
+		err = b.db.Put(p.op.Key, p.op.Value)
+	case kv.OpDelete:
+		err = b.db.Delete(p.op.Key)
+	}
+	b.respond(p, v, err)
+}
+
+func (b *batcher) respond(p pendingOp, v []byte, err error) {
+	switch {
+	case err != nil:
+		p.c.send(errMsg(p.id, err))
+	case p.op.Kind == kv.OpGet:
+		p.c.send(wire.Msg{ID: p.id, Kind: wire.KindValue, Value: v})
+	default:
+		p.c.send(wire.Msg{ID: p.id, Kind: wire.KindOK})
+	}
+	b.met.requestNs.Observe(uint64(time.Since(p.start)))
+	p.c.pending.Done()
+}

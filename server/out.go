@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bufio"
+	"net"
+
+	"rhtm/obs"
+	"rhtm/server/wire"
+)
+
+// countingConn feeds server.bytes_in / server.bytes_out. It wraps the raw
+// socket below the bufio layers, so it counts wire bytes, not calls.
+type countingConn struct {
+	net.Conn
+	in, out *obs.Counter
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(uint64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(uint64(n))
+	return n, err
+}
+
+// send enqueues one response frame. It blocks when the outbound queue is
+// full — that backpressure is the design: a slow reader stalls its own
+// connection's handlers (and, through the bounded inflight semaphore, its
+// reader), never another connection. Safe from any handler goroutine
+// until teardown closes the queue, which happens only after every
+// in-flight sender is accounted for.
+func (c *conn) send(m wire.Msg) {
+	c.out <- m
+}
+
+// writeLoop is the connection's dedicated response writer: it serializes
+// frames from the outbound queue onto the socket, flushing whenever the
+// queue goes momentarily empty so pipelined completions coalesce into few
+// syscalls. After the first write error it keeps draining the queue and
+// discards — senders must never wedge on a dead client — until teardown
+// closes the queue.
+func (c *conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.cc, 32<<10)
+	var buf []byte
+	var werr error
+	for m := range c.out {
+		if werr != nil {
+			continue
+		}
+		b, err := wire.Encode(buf[:0], m)
+		if err != nil {
+			// The only encode failure is a frame over MaxFrameBody (an
+			// oversized scan entry); degrade to an error response so the
+			// request id still completes client-side.
+			b, _ = wire.Encode(buf[:0], wire.Msg{
+				ID: m.ID, Kind: wire.KindErr,
+				Code: wire.CodeTooLarge, Text: err.Error(),
+			})
+		}
+		buf = b
+		if _, err := bw.Write(b); err != nil {
+			werr = err
+			continue
+		}
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				werr = err
+			}
+		}
+	}
+	if werr == nil {
+		bw.Flush()
+	}
+	close(c.writerDone)
+}

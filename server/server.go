@@ -1,0 +1,257 @@
+// Package server exposes a kv.DB over TCP. The protocol (server/wire) is
+// length-prefixed, checksummed, and pipelined: every request carries a
+// client-chosen id, responses are matched by id and may complete out of
+// order, and watch subscriptions turn into server-push Event streams under
+// the subscribing request's id.
+//
+// The connection machinery follows the classic three-way split: an accept
+// loop (this file), per-connection session state with a reader goroutine
+// that dispatches requests (session.go), and a dedicated response writer
+// per connection draining an outbound queue (out.go) — so a slow client
+// backpressures its own connection without ever blocking another.
+//
+// Two throughput features ride on top. Independent single-key requests
+// (Get, unleased Put, Delete) from ALL connections are funneled into one
+// group-commit batcher (batch.go) that merges whatever accumulated behind
+// a small time/size window into a single kv.DB.Batch — the network-side
+// analogue of the WAL's group commit. And watch events flow through the kv
+// layer's bounded per-subscriber queues, so the coalesce-then-EventLost
+// overflow contract survives the wire unchanged (watch.go).
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"rhtm/kv"
+	"rhtm/obs"
+)
+
+// ErrServerClosed is returned by Serve after Close, and by Start/Serve on
+// a server that was already shut down.
+var ErrServerClosed = errors.New("server: closed")
+
+// Defaults for the tunables; see the corresponding options.
+const (
+	// DefaultBatchWindow is how long the batcher waits for stragglers
+	// after the first op of a batch arrives. Small on purpose: the window
+	// exists to merge genuinely concurrent arrivals, not to tax an
+	// unpipelined client's latency.
+	DefaultBatchWindow = 100 * time.Microsecond
+	// DefaultBatchMax caps ops merged into one kv.DB.Batch.
+	DefaultBatchMax = 32
+	// DefaultDrainTimeout bounds how long Close waits for in-flight
+	// responses to reach clients before cutting connections.
+	DefaultDrainTimeout = 2 * time.Second
+	// defaultMaxInflight bounds concurrently executing non-batched
+	// requests per connection (the pipelining depth one session can force
+	// on the DB's bounded session pools).
+	defaultMaxInflight = 64
+)
+
+// Option configures a Server.
+type Option func(*options)
+
+type options struct {
+	reg         *obs.Registry
+	engine      string
+	batchWindow time.Duration
+	batchMax    int
+	drain       time.Duration
+	maxInflight int
+}
+
+// WithMetrics registers the server's instruments (server.* names; see
+// metrics.go) in reg. Pass the same registry the DB was built with
+// (kv.WithMetrics) and the server's counters appear in DB.Metrics()
+// snapshots alongside the engine and store taxonomy. Nil (the default)
+// disables server-side instrumentation.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(o *options) { o.reg = reg }
+}
+
+// WithEngineName sets the engine label the server answers Hello with —
+// clients stamp it on tracer spans. Defaults to "net".
+func WithEngineName(name string) Option {
+	return func(o *options) { o.engine = name }
+}
+
+// WithBatchWindow sets how long the cross-connection batcher holds an
+// underfull batch open for stragglers. Zero disables the wait (each batch
+// is whatever queued while the previous one executed).
+func WithBatchWindow(d time.Duration) Option {
+	return func(o *options) { o.batchWindow = d }
+}
+
+// WithBatchMax caps the ops merged into one kv.DB.Batch.
+func WithBatchMax(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.batchMax = n
+		}
+	}
+}
+
+// WithDrainTimeout bounds how long Close waits for in-flight responses to
+// drain before cutting connections.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(o *options) { o.drain = d }
+}
+
+// Server serves one kv.DB to many connections.
+type Server struct {
+	db     kv.DB
+	opts   options
+	met    serverMetrics
+	batch  *batcher
+	wg     sync.WaitGroup // serve loops + per-connection lifecycles
+	connWG sync.WaitGroup // per-connection teardown completion
+
+	mu     sync.Mutex
+	lns    []net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+}
+
+// New builds a Server around db. The server does not own the DB: Close
+// drains connections but leaves db running.
+func New(db kv.DB, opts ...Option) *Server {
+	o := options{
+		engine:      "net",
+		batchWindow: DefaultBatchWindow,
+		batchMax:    DefaultBatchMax,
+		drain:       DefaultDrainTimeout,
+		maxInflight: defaultMaxInflight,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Server{
+		db:    db,
+		opts:  o,
+		met:   newServerMetrics(o.reg),
+		conns: make(map[*conn]struct{}),
+	}
+	s.batch = newBatcher(db, o.batchWindow, o.batchMax, &s.met)
+	return s
+}
+
+// Serve accepts connections on ln until Close. It returns ErrServerClosed
+// after a clean shutdown, or the listener's error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral test port) and
+// serves in a background goroutine, returning the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Close shuts the server down in drain order: stop accepting, stop
+// reading new requests, finish every in-flight request and push its
+// response (bounded by the drain timeout), end watch streams with
+// WatchEnd frames, then cut the connections. Safe to call twice.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.connWG.Wait()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	lns := s.lns
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.beginDrain()
+	}
+	// Teardown (session.go) completes each connection's in-flight work;
+	// the batcher must keep executing until the last one is done.
+	s.connWG.Wait()
+	s.batch.close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) startConn(nc net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	c := newConn(s, nc)
+	s.conns[c] = struct{}{}
+	s.connWG.Add(1)
+	s.mu.Unlock()
+	s.met.connections.Add(1)
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		c.writeLoop()
+	}()
+	go func() {
+		defer s.wg.Done()
+		c.readLoop()
+	}()
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.met.connections.Add(-1)
+	s.connWG.Done()
+}
+
+// updateRever is the optional backend surface that reports the commit
+// revision of a closure transaction — both kv backends implement it; the
+// Txn handler uses it so clients can stamp CommitRev on tracer spans.
+type updateRever interface {
+	UpdateRev(fn func(tx kv.Txn) error) (kv.Revision, error)
+}
+
+// watchIdler is the optional quiesce hook both kv backends implement.
+type watchIdler interface {
+	WaitWatchIdle()
+}

@@ -1,0 +1,278 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"rhtm"
+	"rhtm/client"
+	"rhtm/kv"
+	"rhtm/obs"
+	"rhtm/server"
+	"rhtm/store"
+)
+
+func newLocalDB(t *testing.T, reg *obs.Registry) kv.DB {
+	t.Helper()
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+	sh := store.NewSharded(s, 4, store.Options{ArenaWords: 1 << 13})
+	return kv.NewLocal(rhtm.NewTL2(s), sh, kv.WithMetrics(reg))
+}
+
+// waitGoroutines polls until the process goroutine count drops back to at
+// most limit, failing after the deadline. Polling replaces a leak-checker
+// dependency: the count is noisy (runtime helpers come and go) but a real
+// session leak holds goroutines forever and can never converge.
+func waitGoroutines(t *testing.T, limit int, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= limit {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("%d goroutines still alive (limit %d):\n%s",
+				n, limit, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerDisconnectMidPipeline slams connections shut while requests,
+// transactions, and watch streams are in flight, and asserts the server
+// sheds every per-connection goroutine — no leaked sessions, no stuck
+// batch windows — while staying healthy for the next client.
+func TestServerDisconnectMidPipeline(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := server.New(newLocalDB(t, reg), server.WithMetrics(reg))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		cl, err := client.Dial(addr.String(), client.WithConns(2))
+		if err != nil {
+			t.Fatalf("round %d: dial: %v", round, err)
+		}
+		if _, err := cl.Watch(context.Background(), []byte("w-"), 0); err != nil {
+			t.Fatalf("round %d: watch: %v", round, err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					k := []byte(fmt.Sprintf("k-%d-%d", w, i%16))
+					if err := cl.Put(k, k); err != nil {
+						return // connection cut mid-pipeline: expected
+					}
+					if _, err := cl.Get(k); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(20 * time.Millisecond) // let the pipeline fill
+		cl.Close()                        // abrupt: in-flight requests die
+		wg.Wait()
+	}
+	// Every session's reader, writer, handlers, and watch streams must
+	// unwind; the +4 slack absorbs runtime noise, not leaks (a leaked
+	// session costs at least 2 goroutines per round = 10 here).
+	waitGoroutines(t, baseline+4, 5*time.Second)
+
+	cl, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatalf("post-disconnect dial: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.Put([]byte("alive"), []byte("yes")); err != nil {
+		t.Fatalf("server unhealthy after disconnects: %v", err)
+	}
+}
+
+// TestServerShutdownDrains closes the server under load: every client
+// call must resolve — success or a clean error, never a hang — watch
+// channels must close (the drain sends WatchEnd), Close must return, and
+// later calls must fail fast.
+func TestServerShutdownDrains(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := server.New(newLocalDB(t, reg), server.WithMetrics(reg))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.Dial(addr.String(), client.WithConns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	wch, err := cl.Watch(context.Background(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("d-%d-%d", w, i%8))
+				if err := cl.Put(k, k); err != nil {
+					return // the shutdown cut us off: a clean error, done
+				}
+			}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not drain within 10s")
+	}
+	close(stop)
+	wg.Wait() // every worker resolved: no call may hang across shutdown
+
+	// The drain ends watch streams with WatchEnd, so the channel closes
+	// without the watcher cancelling anything.
+	deadline := time.After(5 * time.Second)
+	for open := true; open; {
+		select {
+		case _, ok := <-wch:
+			open = ok
+		case <-deadline:
+			t.Fatal("watch channel still open after server shutdown")
+		}
+	}
+
+	if err := cl.Put([]byte("late"), []byte("x")); err == nil {
+		t.Fatal("Put succeeded against a closed server")
+	}
+}
+
+// TestBatcherMergesAcrossConnections drives concurrent single-key requests
+// from many connections and asserts the cross-connection batcher actually
+// merged them: the server.batch_fill histogram must record more ops than
+// batches. A generous window makes merging deterministic under load.
+func TestBatcherMergesAcrossConnections(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := server.New(newLocalDB(t, reg), server.WithMetrics(reg),
+		server.WithBatchWindow(2*time.Millisecond))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := client.Dial(addr.String(), client.WithConns(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Put([]byte("shared"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := cl.Get([]byte("shared")); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	h, ok := snap.Histograms["server.batch_fill"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("no batches recorded: %+v", snap.Histograms)
+	}
+	if h.Sum <= h.Count {
+		t.Fatalf("batcher never merged: %d ops across %d batches", h.Sum, h.Count)
+	}
+}
+
+// TestBatcherHardErrorFallback pins the degradation contract: when one op
+// poisons the merged transaction (an oversized value fails the whole
+// kv.Batch), the batcher re-executes the batch individually, so innocent
+// neighbors still succeed and only the culprit fails.
+func TestBatcherHardErrorFallback(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := server.New(newLocalDB(t, reg), server.WithMetrics(reg),
+		server.WithBatchWindow(5*time.Millisecond))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := client.Dial(addr.String(), client.WithConns(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	huge := make([]byte, 1<<19) // beyond the largest arena size class
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	var hugeErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hugeErr = cl.Put([]byte("poison"), huge)
+	}()
+	for i := range errs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = cl.Put([]byte(fmt.Sprintf("ok-%d", i)), []byte("v"))
+		}()
+	}
+	wg.Wait()
+
+	if !errors.Is(hugeErr, kv.ErrTooLarge) {
+		t.Fatalf("oversized Put: %v, want ErrTooLarge", hugeErr)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("innocent Put %d failed alongside the poisoned op: %v", i, err)
+		}
+	}
+	for i := range errs {
+		if _, err := cl.Get([]byte(fmt.Sprintf("ok-%d", i))); err != nil {
+			t.Fatalf("ok-%d unreadable: %v", i, err)
+		}
+	}
+}

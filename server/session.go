@@ -1,0 +1,386 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rhtm/kv"
+	"rhtm/server/wire"
+)
+
+// scanChunk bounds entries per Scan response frame; large results stream
+// as a sequence of Entries frames, the last marked FlagFinal.
+const scanChunk = 128
+
+// errTxnCondFailed aborts the server-side closure of a client transaction
+// whose optimistic conditions no longer hold. It is deliberately NOT
+// kv.ErrConflict: the kv retry loop would otherwise re-run the closure up
+// to 10k times server-side, revalidating conditions that can never start
+// holding again. The client owns the retry — it re-runs its closure
+// against fresh reads — so this maps to CodeConflict on the wire and
+// surfaces as exactly one kv.ErrConflict per commit attempt.
+var errTxnCondFailed = errors.New("server: transaction condition failed")
+
+// conn is one client connection: reader-side session state, the outbound
+// response queue its writer drains, and the watch streams it owns.
+type conn struct {
+	srv        *Server
+	cc         countingConn
+	out        chan wire.Msg
+	writerDone chan struct{}
+
+	// pending counts in-flight requests — handler goroutines and batched
+	// ops — each of which enqueues its response before Done. Teardown
+	// waits on it, so the queue never closes under a sender.
+	pending sync.WaitGroup
+	// sem bounds concurrently executing non-batched requests; the reader
+	// blocks acquiring it, converting runaway pipelining into TCP
+	// backpressure instead of unbounded goroutines.
+	sem chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	watchMu sync.Mutex
+	watches map[uint64]context.CancelFunc
+	watchWG sync.WaitGroup
+
+	drainOnce sync.Once
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &conn{
+		srv:        s,
+		cc:         countingConn{nc, s.met.bytesIn, s.met.bytesOut},
+		out:        make(chan wire.Msg, 256),
+		writerDone: make(chan struct{}),
+		sem:        make(chan struct{}, s.opts.maxInflight),
+		ctx:        ctx,
+		cancel:     cancel,
+		watches:    make(map[uint64]context.CancelFunc),
+	}
+}
+
+// beginDrain stops the reader without cutting the socket: in-flight
+// requests keep draining through teardown. Idempotent.
+func (c *conn) beginDrain() {
+	c.drainOnce.Do(func() { c.cc.SetReadDeadline(time.Now()) })
+}
+
+// readLoop decodes frames and dispatches until the client disconnects,
+// sends garbage, or drain stops the reader — then tears the session down.
+func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.cc, 32<<10)
+	for {
+		// A fresh frame buffer every read: decoded messages alias it and
+		// escape this loop (to the batcher, handler goroutines, and watch
+		// subscriptions), so the scratch-reuse optimization ReadMsg offers
+		// would corrupt in-flight requests here.
+		var frame []byte
+		m, err := wire.ReadMsg(br, &frame)
+		if err != nil {
+			break
+		}
+		c.srv.met.request(m.Kind)
+		if !c.dispatch(m) {
+			break
+		}
+	}
+	c.teardown()
+}
+
+// teardown completes the session in drain order: cancel watch contexts
+// (their streams end with WatchEnd), bound how long a dead client can
+// stall outbound writes, wait for every in-flight response to be
+// enqueued, then close the queue so the writer flushes and exits.
+func (c *conn) teardown() {
+	c.cancel()
+	c.cc.SetWriteDeadline(time.Now().Add(c.srv.opts.drain))
+	c.pending.Wait()
+	c.watchWG.Wait()
+	close(c.out)
+	<-c.writerDone
+	c.cc.Close()
+	c.srv.removeConn(c)
+}
+
+// dispatch routes one request. Single-key Get/Put/Delete join the
+// cross-connection batcher; watch control runs inline on the reader (so
+// subscribe, cancel, and idle stay ordered with each other); everything
+// else runs on a semaphore-bounded goroutine. Returns false on a protocol
+// violation — a kind only servers may send — which kills the connection.
+func (c *conn) dispatch(m wire.Msg) bool {
+	switch m.Kind {
+	case wire.KindWatch:
+		c.handleWatch(m)
+	case wire.KindWatchCancel:
+		c.handleWatchCancel(m)
+	case wire.KindWatchIdle:
+		c.handleWatchIdle(m)
+	case wire.KindHello:
+		c.send(wire.Msg{ID: m.ID, Kind: wire.KindValue, Value: []byte(c.srv.opts.engine)})
+	case wire.KindClockNow:
+		c.send(wire.Msg{ID: m.ID, Kind: wire.KindOK, Rev: c.srv.db.Clock().Now()})
+	case wire.KindGet:
+		c.enqueueOp(m, kv.Op{Kind: kv.OpGet, Key: m.Key})
+	case wire.KindDelete:
+		c.enqueueOp(m, kv.Op{Kind: kv.OpDelete, Key: m.Key})
+	case wire.KindPut:
+		if m.Lease != 0 {
+			// Leased puts must observe lease liveness at execution time;
+			// they take the ordinary handler path.
+			c.spawn(m)
+			return true
+		}
+		c.enqueueOp(m, kv.Op{Kind: kv.OpPut, Key: m.Key, Value: m.Value})
+	case wire.KindGetRev, wire.KindPutIf, wire.KindDeleteIf, wire.KindBatch,
+		wire.KindTxn, wire.KindScan, wire.KindGrant, wire.KindKeepAlive,
+		wire.KindRevoke, wire.KindExpire, wire.KindCheckpoint, wire.KindMetrics:
+		c.spawn(m)
+	default:
+		return false
+	}
+	return true
+}
+
+// enqueueOp routes one single-key request into the cross-connection
+// batcher, pre-rejecting reserved keys so a bad op never poisons the
+// merged transaction it would have joined.
+func (c *conn) enqueueOp(m wire.Msg, op kv.Op) {
+	if kv.IsReservedKey(op.Key) {
+		c.send(errMsg(m.ID, kv.ErrReservedKey))
+		return
+	}
+	c.pending.Add(1)
+	c.srv.batch.enqueue(pendingOp{c: c, id: m.ID, op: op, start: time.Now()})
+}
+
+func (c *conn) spawn(m wire.Msg) {
+	c.pending.Add(1)
+	c.sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-c.sem
+			c.pending.Done()
+		}()
+		start := time.Now()
+		c.handle(m)
+		c.srv.met.requestNs.Observe(uint64(time.Since(start)))
+	}()
+}
+
+// handle executes one non-batched request and enqueues its response(s).
+func (c *conn) handle(m wire.Msg) {
+	db := c.srv.db
+	switch m.Kind {
+	case wire.KindGetRev:
+		v, rev, err := db.GetRev(m.Key)
+		switch {
+		case errors.Is(err, kv.ErrNotFound):
+			c.send(wire.Msg{ID: m.ID, Kind: wire.KindValue, Flags: wire.FlagAbsent})
+		case err != nil:
+			c.send(errMsg(m.ID, err))
+		default:
+			c.send(wire.Msg{ID: m.ID, Kind: wire.KindValue, Value: v, Rev: rev})
+		}
+	case wire.KindPut: // lease-attached (lease 0 went through the batcher)
+		c.reply(m.ID, 0, db.Put(m.Key, m.Value, kv.WithLease(m.Lease)))
+	case wire.KindPutIf:
+		var err error
+		if m.Lease != 0 {
+			err = db.PutIf(m.Key, m.Value, m.Rev, kv.WithLease(m.Lease))
+		} else {
+			err = db.PutIf(m.Key, m.Value, m.Rev)
+		}
+		c.reply(m.ID, 0, err)
+	case wire.KindDeleteIf:
+		c.reply(m.ID, 0, db.DeleteIf(m.Key, m.Rev))
+	case wire.KindBatch:
+		results, err := db.Batch(m.Ops)
+		if err != nil {
+			c.send(errMsg(m.ID, err))
+			return
+		}
+		rs := make([]wire.Result, len(results))
+		for i, r := range results {
+			rs[i] = wire.Result{Code: wire.CodeOf(r.Err), Value: r.Value}
+		}
+		c.send(wire.Msg{ID: m.ID, Kind: wire.KindResults, Results: rs})
+	case wire.KindTxn:
+		rev, err := c.srv.execTxn(m.Conds, m.Ops)
+		c.reply(m.ID, rev, err)
+	case wire.KindScan:
+		c.handleScan(m)
+	case wire.KindGrant:
+		id, err := db.Grant(m.Rev)
+		c.reply(m.ID, id, err)
+	case wire.KindKeepAlive:
+		c.reply(m.ID, 0, db.KeepAlive(m.Lease))
+	case wire.KindRevoke:
+		c.reply(m.ID, 0, db.Revoke(m.Lease))
+	case wire.KindExpire:
+		n, err := db.ExpireLeases()
+		c.reply(m.ID, uint64(n), err)
+	case wire.KindCheckpoint:
+		c.reply(m.ID, 0, db.Checkpoint())
+	case wire.KindMetrics:
+		data, err := json.Marshal(db.Metrics())
+		if err != nil {
+			c.send(errMsg(m.ID, err))
+			return
+		}
+		c.send(wire.Msg{ID: m.ID, Kind: wire.KindValue, Value: data})
+	}
+}
+
+// reply sends OK carrying rev, or the mapped error.
+func (c *conn) reply(id, rev uint64, err error) {
+	if err != nil {
+		c.send(errMsg(id, err))
+		return
+	}
+	c.send(wire.Msg{ID: id, Kind: wire.KindOK, Rev: rev})
+}
+
+func errMsg(id uint64, err error) wire.Msg {
+	return wire.Msg{ID: id, Kind: wire.KindErr, Code: wire.CodeOf(err), Text: err.Error()}
+}
+
+// handleScan streams a range read as chunked Entries frames. The plain
+// form snapshots via DB.Scan; FlagWithRev additionally reports each
+// yielded key's revision, collected inside one closure transaction so the
+// entries form the validated read set of a client-side transaction.
+func (c *conn) handleScan(m wire.Msg) {
+	if m.Flags&wire.FlagWithRev != 0 {
+		entries, err := c.srv.scanRev(m.Key, m.End, int(m.Rev))
+		if err != nil {
+			c.send(errMsg(m.ID, err))
+			return
+		}
+		c.sendEntries(m.ID, entries)
+		return
+	}
+	it := c.srv.db.Scan(m.Key, m.End, int(m.Rev))
+	var chunk []wire.Entry
+	for it.Next() {
+		chunk = append(chunk, wire.Entry{
+			Key:   append([]byte(nil), it.Key()...),
+			Value: append([]byte(nil), it.Value()...),
+		})
+		if len(chunk) == scanChunk {
+			c.send(wire.Msg{ID: m.ID, Kind: wire.KindEntries, Entries: chunk})
+			chunk = nil
+		}
+	}
+	if err := it.Err(); err != nil {
+		c.send(errMsg(m.ID, err))
+		return
+	}
+	c.send(wire.Msg{ID: m.ID, Kind: wire.KindEntries, Flags: wire.FlagFinal, Entries: chunk})
+}
+
+func (c *conn) sendEntries(id uint64, entries []wire.Entry) {
+	for len(entries) > scanChunk {
+		c.send(wire.Msg{ID: id, Kind: wire.KindEntries, Entries: entries[:scanChunk]})
+		entries = entries[scanChunk:]
+	}
+	c.send(wire.Msg{ID: id, Kind: wire.KindEntries, Flags: wire.FlagFinal, Entries: entries})
+}
+
+// scanRev runs one closure transaction that scans [start, end) and pairs
+// every yielded entry with its revision — each Revision call records the
+// key in the transaction's read set, mirroring the cluster transaction's
+// scan semantics (committed entries are validated; phantoms are not).
+func (s *Server) scanRev(start, end []byte, limit int) ([]wire.Entry, error) {
+	var out []wire.Entry
+	err := s.db.Update(func(tx kv.Txn) error {
+		out = out[:0]
+		it := tx.Scan(start, end, limit)
+		for it.Next() {
+			e := wire.Entry{
+				Key:   append([]byte(nil), it.Key()...),
+				Value: append([]byte(nil), it.Value()...),
+			}
+			rev, err := tx.Revision(e.Key)
+			if err != nil {
+				return err
+			}
+			e.Rev = rev
+			out = append(out, e)
+		}
+		return it.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// execTxn commits a client-side closure transaction: validate every
+// condition (key at exactly the revision the client's reads observed,
+// 0 = absent), then apply the buffered ops, all inside one server-side
+// closure. A failed condition surfaces as one kv.ErrConflict to the
+// client, which re-runs its closure; see errTxnCondFailed.
+func (s *Server) execTxn(conds []wire.Cond, ops []kv.Op) (kv.Revision, error) {
+	for _, cd := range conds {
+		if kv.IsReservedKey(cd.Key) {
+			return 0, kv.ErrReservedKey
+		}
+	}
+	for _, op := range ops {
+		if kv.IsReservedKey(op.Key) {
+			return 0, kv.ErrReservedKey
+		}
+		if op.Kind != kv.OpPut && op.Kind != kv.OpDelete {
+			return 0, fmt.Errorf("server: txn op kind %d", op.Kind)
+		}
+	}
+	fn := func(tx kv.Txn) error {
+		for _, cd := range conds {
+			rev, err := tx.Revision(cd.Key)
+			if err != nil {
+				return err
+			}
+			if rev != cd.Rev {
+				return errTxnCondFailed
+			}
+		}
+		for _, op := range ops {
+			switch op.Kind {
+			case kv.OpPut:
+				var err error
+				if op.Lease != 0 {
+					err = tx.Put(op.Key, op.Value, kv.WithLease(op.Lease))
+				} else {
+					err = tx.Put(op.Key, op.Value)
+				}
+				if err != nil {
+					return err
+				}
+			case kv.OpDelete:
+				if err := tx.Delete(op.Key); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	var rev kv.Revision
+	var err error
+	if ur, ok := s.db.(updateRever); ok {
+		rev, err = ur.UpdateRev(fn)
+	} else {
+		err = s.db.Update(fn)
+	}
+	if errors.Is(err, errTxnCondFailed) {
+		return 0, fmt.Errorf("server: optimistic validation failed: %w", kv.ErrConflict)
+	}
+	return rev, err
+}

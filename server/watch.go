@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"rhtm/kv"
+	"rhtm/server/wire"
+)
+
+// Watch control runs inline on the reader goroutine — subscribe, cancel,
+// and idle must stay ordered with one another, and the byte stream is the
+// ordering. Event delivery runs on one goroutine per stream, pushing
+// frames under the subscribing request's id; the kv layer's bounded
+// per-subscriber queue (coalesce, then EventLost) sits between commits
+// and this goroutine, so a slow client degrades exactly like a slow
+// in-process consumer.
+
+// handleWatch subscribes and starts the stream: OK, then Event frames,
+// then one WatchEnd after cancel, disconnect, or server drain.
+func (c *conn) handleWatch(m wire.Msg) {
+	c.watchMu.Lock()
+	if _, dup := c.watches[m.ID]; dup {
+		c.watchMu.Unlock()
+		c.send(errMsg(m.ID, fmt.Errorf("server: watch id %d already active", m.ID)))
+		return
+	}
+	ctx, cancel := context.WithCancel(c.ctx)
+	ch, err := c.srv.db.Watch(ctx, m.Key, m.Rev)
+	if err != nil {
+		c.watchMu.Unlock()
+		cancel()
+		c.send(errMsg(m.ID, err))
+		return
+	}
+	c.watches[m.ID] = cancel
+	c.watchWG.Add(1)
+	c.watchMu.Unlock()
+	c.send(wire.Msg{ID: m.ID, Kind: wire.KindOK})
+	go c.streamWatch(m.ID, ch, cancel)
+}
+
+func (c *conn) streamWatch(id uint64, ch <-chan kv.Event, cancel context.CancelFunc) {
+	defer c.watchWG.Done()
+	for ev := range ch {
+		if ev.Kind == kv.EventLost {
+			c.srv.met.watchLost.Inc()
+		}
+		c.send(wire.Msg{
+			ID: id, Kind: wire.KindEvent, Code: uint8(ev.Kind),
+			Key: ev.Key, Value: ev.Value, Rev: ev.Rev,
+		})
+	}
+	c.send(wire.Msg{ID: id, Kind: wire.KindWatchEnd})
+	cancel()
+	c.watchMu.Lock()
+	delete(c.watches, id)
+	c.watchMu.Unlock()
+}
+
+// handleWatchCancel stops the watch whose stream id rides in Rev. The
+// acknowledgment answers the cancel's own id; the stream keeps draining
+// already-queued events and closes with its WatchEnd. Cancelling a watch
+// that already ended is a no-op, not an error — the races are benign.
+func (c *conn) handleWatchCancel(m wire.Msg) {
+	c.watchMu.Lock()
+	cancel := c.watches[m.Rev]
+	c.watchMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	c.send(wire.Msg{ID: m.ID, Kind: wire.KindOK})
+}
+
+// handleWatchIdle answers once this connection's watch streams have ended
+// and the DB's watch machinery has quiesced — the remote form of the
+// WaitWatchIdle test hook. Blocking the reader is the point: the client
+// sends it only after cancelling its watches, and the ordered byte stream
+// guarantees those cancels were dispatched first.
+func (c *conn) handleWatchIdle(m wire.Msg) {
+	c.watchWG.Wait()
+	if idler, ok := c.srv.db.(watchIdler); ok {
+		idler.WaitWatchIdle()
+	}
+	c.send(wire.Msg{ID: m.ID, Kind: wire.KindOK})
+}
