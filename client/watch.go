@@ -1,7 +1,6 @@
 package client
 
 import (
-	"bytes"
 	"context"
 	"sync"
 
@@ -29,6 +28,7 @@ func (c *Client) Watch(ctx context.Context, prefix []byte, fromRev kv.Revision) 
 		out:    make(chan kv.Event, 16),
 		subbed: make(chan error, 1),
 		nudge:  make(chan struct{}, 1),
+		queue:  kv.NewWatchQueue(),
 	}
 	w := &waiter{wp: wp}
 	id := cn.register(w)
@@ -66,7 +66,7 @@ type watchPump struct {
 	nudge  chan struct{}
 
 	mu    sync.Mutex
-	queue []kv.Event
+	queue *kv.WatchQueue
 	ended bool
 	subOK bool
 }
@@ -108,28 +108,13 @@ func (wp *watchPump) wake() {
 	}
 }
 
-// enqueue applies the kv overflow ladder at the client edge: under
-// pressure, collapse an older event for the same key to the newest value
-// before appending an EventLost marker (and never two markers in a row).
+// enqueue applies the kv overflow ladder at the client edge — the same
+// kv.WatchQueue the in-process hub's subscribers run, cross-key eviction
+// included, so a consumer stalled behind a remote stream degrades to
+// latest-value-per-key exactly as it would in-process.
 func (wp *watchPump) enqueue(ev kv.Event) {
 	wp.mu.Lock()
-	if len(wp.queue) >= kv.MaxWatchQueue {
-		if ev.Kind != kv.EventLost {
-			for i := range wp.queue {
-				if wp.queue[i].Kind != kv.EventLost && bytes.Equal(wp.queue[i].Key, ev.Key) {
-					copy(wp.queue[i:], wp.queue[i+1:])
-					wp.queue[len(wp.queue)-1] = ev
-					wp.mu.Unlock()
-					return
-				}
-			}
-		}
-		if n := len(wp.queue); n == 0 || wp.queue[n-1].Kind != kv.EventLost {
-			wp.queue = append(wp.queue, kv.Event{Kind: kv.EventLost})
-		}
-	} else {
-		wp.queue = append(wp.queue, ev)
-	}
+	wp.queue.Push(ev)
 	wp.mu.Unlock()
 }
 
@@ -146,12 +131,7 @@ func (wp *watchPump) run() {
 	}()
 	for {
 		wp.mu.Lock()
-		var ev kv.Event
-		have := false
-		if len(wp.queue) > 0 {
-			ev, wp.queue = wp.queue[0], wp.queue[1:]
-			have = true
-		}
+		ev, have := wp.queue.PopFront()
 		ended := wp.ended
 		wp.mu.Unlock()
 

@@ -54,15 +54,11 @@ const (
 	hubFallbackPoll = 25 * time.Millisecond
 )
 
-// MaxWatchQueue bounds a subscriber's pending events. At the bound the hub
-// coalesces: the oldest queued event for the incoming key is dropped and
-// the newest appended — or, when the incoming key has nothing queued, the
-// oldest event of any key that still has a newer entry behind it — so a
-// slow consumer still observes the latest value of every key. Only when
-// every queued event is already its key's sole (latest) entry does the
-// overflow collapse into an EventLost marker, i.e. loss requires more
-// distinct keys in flight than the queue holds. A variable (not a const)
-// so tests can shrink it; change it during single-threaded setup only.
+// MaxWatchQueue bounds a subscriber's pending events. At the bound the
+// queue coalesces before it loses — see WatchQueue (watchqueue.go) for
+// the full overflow ladder. A variable (not a const) so tests can shrink
+// it; change it during single-threaded setup only (each subscription
+// captures it at Watch time).
 var MaxWatchQueue = 8192
 
 // watchHub multiplexes one DB's event rings to its watchers.
@@ -118,10 +114,11 @@ func (h *watchHub) wake() {
 // closes when ctx is cancelled.
 func (h *watchHub) watch(ctx context.Context, prefix []byte, fromRev Revision) (<-chan Event, error) {
 	sub := &watchSub{
-		prefix: append([]byte(nil), prefix...),
-		ch:     make(chan Event, 64),
-		notify: make(chan struct{}, 1),
-		lost:   h.lost,
+		prefix:  append([]byte(nil), prefix...),
+		ch:      make(chan Event, 64),
+		notify:  make(chan struct{}, 1),
+		lost:    h.lost,
+		pending: NewWatchQueue(),
 	}
 	h.mu.Lock()
 	if h.sources == nil {
@@ -227,10 +224,12 @@ func (h *watchHub) replayLocked(sub *watchSub, fromRev Revision) error {
 	}
 	sort.SliceStable(replay, func(a, b int) bool { return replay[a].Rev < replay[b].Rev })
 	if lost {
-		sub.queue = append(sub.queue, Event{Kind: EventLost})
+		sub.pending.PushLost()
 		h.lost.Inc()
 	}
-	sub.queue = append(sub.queue, replay...)
+	for _, ev := range replay {
+		sub.pending.Append(ev)
+	}
 	return nil
 }
 
@@ -325,7 +324,7 @@ func (h *watchHub) queueDepth() int64 {
 	h.mu.Lock()
 	for sub := range h.subs {
 		sub.mu.Lock()
-		total += int64(len(sub.queue))
+		total += int64(sub.pending.Len())
 		sub.mu.Unlock()
 	}
 	h.mu.Unlock()
@@ -350,8 +349,8 @@ type watchSub struct {
 	notify chan struct{}
 	lost   *obs.Counter // the hub's loss counter (nil = uninstrumented)
 
-	mu    sync.Mutex
-	queue []Event
+	mu      sync.Mutex
+	pending *WatchQueue
 }
 
 // matches reports whether key belongs to this subscription. A nil/empty
@@ -364,79 +363,26 @@ func (s *watchSub) matches(key []byte) bool {
 	return bytes.HasPrefix(key, s.prefix)
 }
 
+// enqueue pushes one live event under the WatchQueue overflow ladder:
+// coalesce to latest-value-per-key at the bound, EventLost only when no
+// coalescing victim exists.
 func (s *watchSub) enqueue(ev Event) {
 	s.mu.Lock()
-	if len(s.queue) >= MaxWatchQueue {
-		// Overflow: coalesce before declaring loss. Dropping the oldest
-		// queued event for ev's key and appending ev keeps per-key revisions
-		// strictly increasing while shedding exactly the history a
-		// latest-value consumer would discard anyway. When ev's key has
-		// nothing queued (the hub's rev-sorted cross-shard batches arrive in
-		// per-shard stretches, so a key on a quiet shard can meet a queue
-		// flooded by a busy one), evict the oldest superseded event of any
-		// other key instead — its latest entry survives, so no key's
-		// terminal view is harmed. Only when every queued event is its
-		// key's sole entry does the overflow surface as EventLost.
-		if ev.Kind != EventLost {
-			victim := -1
-			for i := range s.queue {
-				if s.queue[i].Kind != EventLost && bytes.Equal(s.queue[i].Key, ev.Key) {
-					victim = i
-					break
-				}
-			}
-			if victim < 0 {
-				victim = s.oldestSuperseded()
-			}
-			if victim >= 0 {
-				copy(s.queue[victim:], s.queue[victim+1:])
-				s.queue[len(s.queue)-1] = ev
-				s.mu.Unlock()
-				s.nudge()
-				return
-			}
-		}
-		if n := len(s.queue); n == 0 || s.queue[n-1].Kind != EventLost {
-			s.queue = append(s.queue, Event{Kind: EventLost})
-			s.lost.Inc()
-		}
-	} else {
-		s.queue = append(s.queue, ev)
-	}
+	lost := s.pending.Push(ev)
 	s.mu.Unlock()
-	s.nudge()
-}
-
-// oldestSuperseded returns the index of the oldest queued event whose key
-// has a newer event queued behind it — the safest cross-key coalescing
-// victim, since dropping it still delivers that key's latest value — or -1
-// when every event is its key's sole entry (loss is then unavoidable).
-// One backward pass: an event is superseded exactly when its key was
-// already seen closer to the tail. Called with s.mu held, on the overflow
-// path only.
-func (s *watchSub) oldestSuperseded() int {
-	seen := make(map[string]struct{}, len(s.queue))
-	victim := -1
-	for i := len(s.queue) - 1; i >= 0; i-- {
-		if s.queue[i].Kind == EventLost {
-			continue
-		}
-		if _, dup := seen[string(s.queue[i].Key)]; dup {
-			victim = i
-		} else {
-			seen[string(s.queue[i].Key)] = struct{}{}
-		}
+	if lost {
+		s.lost.Inc()
 	}
-	return victim
+	s.nudge()
 }
 
 func (s *watchSub) enqueueLost() {
 	s.mu.Lock()
-	if n := len(s.queue); n == 0 || s.queue[n-1].Kind != EventLost {
-		s.queue = append(s.queue, Event{Kind: EventLost})
+	lost := s.pending.PushLost()
+	s.mu.Unlock()
+	if lost {
 		s.lost.Inc()
 	}
-	s.mu.Unlock()
 	s.nudge()
 }
 
@@ -456,12 +402,7 @@ func (s *watchSub) deliver(ctx context.Context, h *watchHub) {
 	}()
 	for {
 		s.mu.Lock()
-		var ev Event
-		have := len(s.queue) > 0
-		if have {
-			ev = s.queue[0]
-			s.queue = s.queue[1:]
-		}
+		ev, have := s.pending.PopFront()
 		s.mu.Unlock()
 		if !have {
 			select {

@@ -1,0 +1,162 @@
+package kv
+
+import "bytes"
+
+// WatchQueue is the bounded pending-event queue behind one watch
+// subscriber, implementing the overflow ladder the delivery guarantee in
+// watch.go names: at the bound, coalesce to latest-value-per-key first,
+// declare an EventLost gap only when even that cannot absorb the overflow.
+// It is shared by the in-process hub's subscribers and by remote
+// transports (package client re-exposes server-push streams through it),
+// so a slow consumer degrades identically wherever it sits.
+//
+// Victim selection at the bound: drop the oldest queued event for the
+// incoming key — shedding exactly the history a latest-value consumer
+// would discard anyway, with per-key revisions still strictly increasing.
+// When the incoming key has nothing queued (the hub's rev-sorted
+// cross-shard batches arrive in per-shard stretches, so a key on a quiet
+// shard can meet a queue flooded by a busy one), evict the oldest
+// superseded event of any other key instead — an event with a newer
+// same-key entry behind it, so no key's terminal view is harmed. Only
+// when every queued event is its key's sole (latest) entry does the
+// overflow surface as an EventLost marker, i.e. loss requires more
+// distinct keys in flight than the queue holds.
+//
+// Not safe for concurrent use; callers hold their own lock.
+type WatchQueue struct {
+	max int
+	q   []Event
+
+	// counts tracks the live (non-EventLost) queued events per key, and
+	// dups the number of superseded events — entries with a newer same-key
+	// event queued behind them. Maintained incrementally on every push and
+	// pop so the overflow path decides in O(1) whether a coalescing victim
+	// exists, instead of rescanning the whole queue per overflowing event
+	// (the enqueue path runs under the subscriber's lock on the hub's
+	// delivery path — sustained overflow must not throttle fan-out).
+	counts map[string]int
+	dups   int
+}
+
+// NewWatchQueue returns an empty queue bounded by the current
+// MaxWatchQueue.
+func NewWatchQueue() *WatchQueue {
+	return &WatchQueue{max: MaxWatchQueue, counts: make(map[string]int)}
+}
+
+// Len reports the pending events, including any EventLost markers.
+func (w *WatchQueue) Len() int { return len(w.q) }
+
+// Push enqueues ev under the overflow ladder and reports whether it
+// appended an EventLost marker (callers count losses). An incoming
+// EventLost (a remote stream forwarding its upstream gap) never coalesces
+// real events away; it collapses into the tail marker if one is already
+// there.
+func (w *WatchQueue) Push(ev Event) bool {
+	if ev.Kind == EventLost {
+		return w.PushLost()
+	}
+	if len(w.q) < w.max {
+		w.push(ev)
+		return false
+	}
+	if i := w.victim(ev.Key); i >= 0 {
+		w.remove(i)
+		w.push(ev)
+		return false
+	}
+	return w.PushLost()
+}
+
+// PushLost appends one EventLost marker, unless the tail already is one —
+// two adjacent markers carry no more information than one. It reports
+// whether a marker was appended. The marker may overshoot the bound by
+// one slot: a gap must be recorded even into a full queue.
+func (w *WatchQueue) PushLost() bool {
+	if n := len(w.q); n > 0 && w.q[n-1].Kind == EventLost {
+		return false
+	}
+	w.q = append(w.q, Event{Kind: EventLost})
+	return true
+}
+
+// Append enqueues ev bypassing the bound. Replay seeding uses it to load
+// retained history before live delivery begins; a later Push sees the
+// true occupancy and coalesces against it.
+func (w *WatchQueue) Append(ev Event) {
+	if ev.Kind == EventLost {
+		w.q = append(w.q, ev)
+		return
+	}
+	w.push(ev)
+}
+
+// PopFront dequeues the oldest pending event.
+func (w *WatchQueue) PopFront() (Event, bool) {
+	if len(w.q) == 0 {
+		return Event{}, false
+	}
+	ev := w.q[0]
+	w.forget(ev)
+	w.q = w.q[1:]
+	return ev, true
+}
+
+// victim returns the index to evict for an incoming event of key, or -1
+// when every queued event is its key's sole entry (loss is then
+// unavoidable). The counts make both existence checks O(1); the scan runs
+// only when an eviction — itself an O(n) shift — is already certain, and
+// stops at the first hit.
+func (w *WatchQueue) victim(key []byte) int {
+	if w.counts[string(key)] > 0 {
+		for i := range w.q {
+			if w.q[i].Kind != EventLost && bytes.Equal(w.q[i].Key, key) {
+				return i
+			}
+		}
+	}
+	if w.dups > 0 {
+		// The first event of any duplicated key is the frontmost entry of
+		// its key, so its duplicate sits behind it: the oldest superseded
+		// event in the queue.
+		for i := range w.q {
+			if w.q[i].Kind != EventLost && w.counts[string(w.q[i].Key)] > 1 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// push appends a non-EventLost event and maintains the counts: a key
+// already present gains a superseded entry (its previous newest).
+func (w *WatchQueue) push(ev Event) {
+	c := w.counts[string(ev.Key)]
+	if c > 0 {
+		w.dups++
+	}
+	w.counts[string(ev.Key)] = c + 1
+	w.q = append(w.q, ev)
+}
+
+// forget reverses push's accounting for a departing event. Removing any
+// entry of a key with duplicates retires exactly one superseded slot,
+// wherever in the queue it sat.
+func (w *WatchQueue) forget(ev Event) {
+	if ev.Kind == EventLost {
+		return
+	}
+	if c := w.counts[string(ev.Key)]; c > 1 {
+		w.counts[string(ev.Key)] = c - 1
+		w.dups--
+	} else {
+		delete(w.counts, string(ev.Key))
+	}
+}
+
+// remove evicts the event at index i, preserving order of the rest.
+func (w *WatchQueue) remove(i int) {
+	w.forget(w.q[i])
+	copy(w.q[i:], w.q[i+1:])
+	w.q = w.q[:len(w.q)-1]
+}

@@ -1,0 +1,214 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func wqSetMax(t *testing.T, n int) {
+	t.Helper()
+	orig := MaxWatchQueue
+	MaxWatchQueue = n
+	t.Cleanup(func() { MaxWatchQueue = orig })
+}
+
+func wqEvents(w *WatchQueue) []Event {
+	var out []Event
+	for {
+		ev, ok := w.PopFront()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+func putEv(key string, rev uint64) Event {
+	return Event{Kind: EventPut, Key: []byte(key), Value: []byte(key), Rev: rev}
+}
+
+// TestWatchQueueSameKeyCoalesce pins the first rung of the ladder: at the
+// bound, the oldest queued event of the incoming key is shed for the
+// newest, and no EventLost fires.
+func TestWatchQueueSameKeyCoalesce(t *testing.T) {
+	wqSetMax(t, 4)
+	w := NewWatchQueue()
+	for i := 0; i < 4; i++ {
+		if lost := w.Push(putEv(fmt.Sprintf("k%d", i), uint64(i+1))); lost {
+			t.Fatalf("push %d under the bound reported loss", i)
+		}
+	}
+	if lost := w.Push(putEv("k0", 9)); lost {
+		t.Fatal("same-key overflow reported loss")
+	}
+	got := wqEvents(w)
+	want := []string{"k1", "k2", "k3", "k0"}
+	if len(got) != len(want) {
+		t.Fatalf("queue = %d events, want %d", len(got), len(want))
+	}
+	for i, k := range want {
+		if string(got[i].Key) != k {
+			t.Fatalf("event %d key %q, want %q", i, got[i].Key, k)
+		}
+	}
+	if got[3].Rev != 9 {
+		t.Fatalf("coalesced k0 rev %d, want the newest (9)", got[3].Rev)
+	}
+}
+
+// TestWatchQueueCrossKeyEviction pins the second rung: an incoming key
+// with nothing queued evicts the oldest superseded event of another key —
+// the busy key's stale history absorbs the quiet key's arrival, and every
+// key's latest value survives.
+func TestWatchQueueCrossKeyEviction(t *testing.T) {
+	wqSetMax(t, 4)
+	w := NewWatchQueue()
+	w.Push(putEv("busy", 1))
+	w.Push(putEv("busy", 2))
+	w.Push(putEv("busy", 3))
+	w.Push(putEv("other", 4))
+	if lost := w.Push(putEv("quiet", 5)); lost {
+		t.Fatal("cross-key overflow reported loss despite superseded history")
+	}
+	got := wqEvents(w)
+	wantKeys := []string{"busy", "busy", "other", "quiet"}
+	wantRevs := []uint64{2, 3, 4, 5}
+	for i := range wantKeys {
+		if string(got[i].Key) != wantKeys[i] || got[i].Rev != wantRevs[i] {
+			t.Fatalf("event %d = %q rev %d, want %q rev %d",
+				i, got[i].Key, got[i].Rev, wantKeys[i], wantRevs[i])
+		}
+	}
+}
+
+// TestWatchQueueLossOnlyWhenSole pins the last rung: when every queued
+// event is its key's sole entry, the overflow drops the incoming event and
+// records exactly one EventLost, never two adjacent markers.
+func TestWatchQueueLossOnlyWhenSole(t *testing.T) {
+	wqSetMax(t, 2)
+	w := NewWatchQueue()
+	w.Push(putEv("a", 1))
+	w.Push(putEv("b", 2))
+	if lost := w.Push(putEv("c", 3)); !lost {
+		t.Fatal("sole-entry overflow did not report loss")
+	}
+	if lost := w.Push(putEv("d", 4)); lost {
+		t.Fatal("second overflow appended an adjacent EventLost marker")
+	}
+	got := wqEvents(w)
+	if len(got) != 3 || got[2].Kind != EventLost {
+		t.Fatalf("queue = %+v, want a, b, EventLost", got)
+	}
+}
+
+// TestWatchQueuePopAccounting exercises the incremental per-key counts
+// across pops: once the superseded history has been consumed, an overflow
+// must declare loss rather than evict a key's sole remaining entry.
+func TestWatchQueuePopAccounting(t *testing.T) {
+	wqSetMax(t, 3)
+	w := NewWatchQueue()
+	w.Push(putEv("a", 1))
+	w.Push(putEv("a", 2))
+	w.Push(putEv("b", 3))
+	if ev, _ := w.PopFront(); string(ev.Key) != "a" || ev.Rev != 1 {
+		t.Fatalf("popped %+v, want a rev 1", ev)
+	}
+	w.Push(putEv("c", 4)) // refills to the bound; a's duplicate is gone
+	if lost := w.Push(putEv("d", 5)); !lost {
+		t.Fatal("overflow after the duplicate was popped must lose, not evict")
+	}
+}
+
+// refPush is the pre-WatchQueue reference: the hub's original overflow
+// ladder with its per-event full rescan (oldest same-key entry first, then
+// the oldest event whose key was already seen closer to the tail). One
+// deliberate deviation is mirrored: adjacent EventLost markers collapse
+// even below the bound, where the original appended uninformative
+// duplicates.
+func refPush(q []Event, max int, ev Event) []Event {
+	if ev.Kind == EventLost {
+		if n := len(q); n == 0 || q[n-1].Kind != EventLost {
+			q = append(q, Event{Kind: EventLost})
+		}
+		return q
+	}
+	if len(q) < max {
+		return append(q, ev)
+	}
+	{
+		victim := -1
+		for i := range q {
+			if q[i].Kind != EventLost && bytes.Equal(q[i].Key, ev.Key) {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			seen := map[string]struct{}{}
+			for i := len(q) - 1; i >= 0; i-- {
+				if q[i].Kind == EventLost {
+					continue
+				}
+				if _, dup := seen[string(q[i].Key)]; dup {
+					victim = i
+				} else {
+					seen[string(q[i].Key)] = struct{}{}
+				}
+			}
+		}
+		if victim >= 0 {
+			copy(q[victim:], q[victim+1:])
+			q[len(q)-1] = ev
+			return q
+		}
+	}
+	if n := len(q); n == 0 || q[n-1].Kind != EventLost {
+		q = append(q, Event{Kind: EventLost})
+	}
+	return q
+}
+
+// TestWatchQueueMatchesReference drives a random push/pop interleaving
+// over a small keyspace and asserts the incremental-count implementation
+// reproduces the reference ladder event for event.
+func TestWatchQueueMatchesReference(t *testing.T) {
+	wqSetMax(t, 8)
+	rng := rand.New(rand.NewSource(1))
+	w := NewWatchQueue()
+	var ref []Event
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(4) == 0 {
+			ev, ok := w.PopFront()
+			if ok != (len(ref) > 0) {
+				t.Fatalf("step %d: pop ok=%v with reference len %d", step, ok, len(ref))
+			}
+			if ok {
+				want := ref[0]
+				ref = ref[1:]
+				if ev.Kind != want.Kind || !bytes.Equal(ev.Key, want.Key) || ev.Rev != want.Rev {
+					t.Fatalf("step %d: popped %+v, want %+v", step, ev, want)
+				}
+			}
+			continue
+		}
+		var ev Event
+		if rng.Intn(50) == 0 {
+			ev = Event{Kind: EventLost} // an upstream gap forwarded in
+		} else {
+			ev = putEv(fmt.Sprintf("k%d", rng.Intn(12)), uint64(step+1))
+		}
+		w.Push(ev)
+		ref = refPush(ref, 8, ev)
+		if w.Len() != len(ref) {
+			t.Fatalf("step %d: len %d, want %d", step, w.Len(), len(ref))
+		}
+	}
+	got := wqEvents(w)
+	for i := range got {
+		if got[i].Kind != ref[i].Kind || !bytes.Equal(got[i].Key, ref[i].Key) || got[i].Rev != ref[i].Rev {
+			t.Fatalf("final event %d = %+v, want %+v", i, got[i], ref[i])
+		}
+	}
+}

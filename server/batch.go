@@ -147,14 +147,18 @@ func (b *batcher) execOne(p pendingOp) {
 	b.respond(p, v, err)
 }
 
+// respond routes one op's response through sendNoWait: the single merge
+// loop serves every connection, so it must never block on one
+// connection's stalled reader (out.go holds the invariant; the write
+// timeout bounds the resulting overflow).
 func (b *batcher) respond(p pendingOp, v []byte, err error) {
 	switch {
 	case err != nil:
-		p.c.send(errMsg(p.id, err))
+		p.c.sendNoWait(errMsg(p.id, err))
 	case p.op.Kind == kv.OpGet:
-		p.c.send(wire.Msg{ID: p.id, Kind: wire.KindValue, Value: v})
+		p.c.sendNoWait(wire.Msg{ID: p.id, Kind: wire.KindValue, Value: v})
 	default:
-		p.c.send(wire.Msg{ID: p.id, Kind: wire.KindOK})
+		p.c.sendNoWait(wire.Msg{ID: p.id, Kind: wire.KindOK})
 	}
 	b.met.requestNs.Observe(uint64(time.Since(p.start)))
 	p.c.pending.Done()

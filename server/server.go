@@ -45,6 +45,12 @@ const (
 	// DefaultDrainTimeout bounds how long Close waits for in-flight
 	// responses to reach clients before cutting connections.
 	DefaultDrainTimeout = 2 * time.Second
+	// DefaultWriteTimeout is the rolling per-write deadline on every
+	// connection's outbound socket: a client that stops reading stalls its
+	// writer at most this long before the write fails and the connection
+	// degrades to discarding — which is what keeps one stalled reader from
+	// wedging senders (the shared batcher above all) forever.
+	DefaultWriteTimeout = 2 * time.Second
 	// defaultMaxInflight bounds concurrently executing non-batched
 	// requests per connection (the pipelining depth one session can force
 	// on the DB's bounded session pools).
@@ -55,12 +61,13 @@ const (
 type Option func(*options)
 
 type options struct {
-	reg         *obs.Registry
-	engine      string
-	batchWindow time.Duration
-	batchMax    int
-	drain       time.Duration
-	maxInflight int
+	reg          *obs.Registry
+	engine       string
+	batchWindow  time.Duration
+	batchMax     int
+	drain        time.Duration
+	writeTimeout time.Duration
+	maxInflight  int
 }
 
 // WithMetrics registers the server's instruments (server.* names; see
@@ -100,6 +107,17 @@ func WithDrainTimeout(d time.Duration) Option {
 	return func(o *options) { o.drain = d }
 }
 
+// WithWriteTimeout sets the rolling deadline each outbound frame write
+// gets before the connection is declared stalled and degrades to
+// discarding responses.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.writeTimeout = d
+		}
+	}
+}
+
 // Server serves one kv.DB to many connections.
 type Server struct {
 	db     kv.DB
@@ -119,11 +137,12 @@ type Server struct {
 // drains connections but leaves db running.
 func New(db kv.DB, opts ...Option) *Server {
 	o := options{
-		engine:      "net",
-		batchWindow: DefaultBatchWindow,
-		batchMax:    DefaultBatchMax,
-		drain:       DefaultDrainTimeout,
-		maxInflight: defaultMaxInflight,
+		engine:       "net",
+		batchWindow:  DefaultBatchWindow,
+		batchMax:     DefaultBatchMax,
+		drain:        DefaultDrainTimeout,
+		writeTimeout: DefaultWriteTimeout,
+		maxInflight:  defaultMaxInflight,
 	}
 	for _, opt := range opts {
 		opt(&o)

@@ -1,9 +1,11 @@
 package server_test
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -14,6 +16,7 @@ import (
 	"rhtm/kv"
 	"rhtm/obs"
 	"rhtm/server"
+	"rhtm/server/wire"
 	"rhtm/store"
 )
 
@@ -174,6 +177,159 @@ func TestServerShutdownDrains(t *testing.T) {
 
 	if err := cl.Put([]byte("late"), []byte("x")); err == nil {
 		t.Fatal("Put succeeded against a closed server")
+	}
+}
+
+// mustWrite sends pre-encoded frames on a raw test connection.
+func mustWrite(t *testing.T, nc net.Conn, frames []byte) {
+	t.Helper()
+	if _, err := nc.Write(frames); err != nil {
+		t.Fatalf("raw write: %v", err)
+	}
+}
+
+// readFor reads frames off a raw connection until one carries id,
+// skipping unrelated frames (watch events, other responses).
+func readFor(t *testing.T, nc net.Conn, br *bufio.Reader, id uint64) wire.Msg {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for {
+		var scratch []byte
+		m, err := wire.ReadMsg(br, &scratch)
+		if err != nil {
+			t.Fatalf("raw read waiting for id %d: %v", id, err)
+		}
+		if m.ID == id {
+			return m
+		}
+	}
+}
+
+// TestStalledReaderDoesNotBlockBatcher pins the batcher's non-blocking
+// response invariant: a client that pipelines single-key requests and
+// never reads a byte back fills its connection's outbound queue and TCP
+// window, and the shared merge loop must keep serving every other
+// connection regardless — its responses to the stalled connection go
+// through the overflow path, and the write timeout eventually declares
+// that connection dead instead of wedging Get/Put/Delete fleet-wide.
+func TestStalledReaderDoesNotBlockBatcher(t *testing.T) {
+	// The write timeout is deliberately far beyond the test window: the
+	// healthy connection must stay served by the overflow path alone, not
+	// by the deadline killing the stalled peer.
+	reg := obs.NewRegistry()
+	srv := server.New(newLocalDB(t, reg), server.WithMetrics(reg),
+		server.WithWriteTimeout(time.Minute))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A fat value makes each pipelined Get response ~16KiB, so a few
+	// thousand responses overrun any kernel socket buffering and force the
+	// stalled connection's outbound queue to its bound.
+	seed, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 16<<10)
+	if err := seed.Put([]byte("stall"), big); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	raw, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var frames []byte
+	for i := 0; i < 2048; i++ {
+		frames, err = wire.Encode(frames, wire.Msg{
+			ID: uint64(i + 1), Kind: wire.KindGet, Key: []byte("stall")})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite(t, raw, frames) // pipelined flood; this side never reads
+
+	// A healthy connection's batched ops must keep completing while the
+	// stalled peer's queue is full.
+	cl, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 100; i++ {
+			if err := cl.Put([]byte("live"), []byte("v")); err != nil {
+				done <- err
+				return
+			}
+			if _, err := cl.Get([]byte("live")); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("healthy connection failed behind a stalled peer: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batcher wedged behind a connection that stopped reading")
+	}
+}
+
+// TestWatchIdleRejectsActiveWatch pins the deadlock fix on the inline
+// WatchIdle handler: issued while a watch is still active (no cancel
+// requested), it must answer an error — blocking the reader there could
+// never resolve, since the stream only ends through teardown, which needs
+// that same reader to exit. After the cancel, idle succeeds.
+func TestWatchIdleRejectsActiveWatch(t *testing.T) {
+	srv := server.New(newLocalDB(t, obs.NewRegistry()))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	raw, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	br := bufio.NewReader(raw)
+	enc := func(m wire.Msg) []byte {
+		b, err := wire.Encode(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	mustWrite(t, raw, enc(wire.Msg{ID: 1, Kind: wire.KindWatch, Key: []byte("wi-")}))
+	if m := readFor(t, raw, br, 1); m.Kind != wire.KindOK {
+		t.Fatalf("watch subscribe answered %v, want OK", m.Kind)
+	}
+
+	mustWrite(t, raw, enc(wire.Msg{ID: 2, Kind: wire.KindWatchIdle}))
+	if m := readFor(t, raw, br, 2); m.Kind != wire.KindErr {
+		t.Fatalf("watch idle over an active watch answered %v, want Err", m.Kind)
+	}
+
+	// Cancel (the target watch id rides in Rev), then idle must succeed:
+	// every registered stream is now guaranteed to end on its own.
+	mustWrite(t, raw, enc(wire.Msg{ID: 3, Kind: wire.KindWatchCancel, Rev: 1}))
+	if m := readFor(t, raw, br, 3); m.Kind != wire.KindOK {
+		t.Fatalf("watch cancel answered %v, want OK", m.Kind)
+	}
+	mustWrite(t, raw, enc(wire.Msg{ID: 4, Kind: wire.KindWatchIdle}))
+	if m := readFor(t, raw, br, 4); m.Kind != wire.KindOK {
+		t.Fatalf("watch idle after cancel answered %v (%s), want OK", m.Kind, m.Text)
 	}
 }
 

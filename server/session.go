@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rhtm/kv"
@@ -35,6 +36,20 @@ type conn struct {
 	out        chan wire.Msg
 	writerDone chan struct{}
 
+	// overflow holds responses that found the bounded queue full and must
+	// not wait for it — the shared batcher's, whose single loop serves
+	// every connection. The writer drains it after each frame and on a
+	// flush nudge; growth is bounded by the write timeout killing the
+	// stalled connection that let the queue fill.
+	ovMu     sync.Mutex
+	overflow []wire.Msg
+	flush    chan struct{}
+
+	// hardWriteDeadline, when non-zero (unix nanos), caps the writer's
+	// rolling per-frame deadline — teardown sets it so a slow-but-alive
+	// reader cannot stretch the drain beyond its bound.
+	hardWriteDeadline atomic.Int64
+
 	// pending counts in-flight requests — handler goroutines and batched
 	// ops — each of which enqueues its response before Done. Teardown
 	// waits on it, so the queue never closes under a sender.
@@ -48,7 +63,7 @@ type conn struct {
 	cancel context.CancelFunc
 
 	watchMu sync.Mutex
-	watches map[uint64]context.CancelFunc
+	watches map[uint64]*watchReg
 	watchWG sync.WaitGroup
 
 	drainOnce sync.Once
@@ -61,10 +76,11 @@ func newConn(s *Server, nc net.Conn) *conn {
 		cc:         countingConn{nc, s.met.bytesIn, s.met.bytesOut},
 		out:        make(chan wire.Msg, 256),
 		writerDone: make(chan struct{}),
+		flush:      make(chan struct{}, 1),
 		sem:        make(chan struct{}, s.opts.maxInflight),
 		ctx:        ctx,
 		cancel:     cancel,
-		watches:    make(map[uint64]context.CancelFunc),
+		watches:    make(map[uint64]*watchReg),
 	}
 }
 
@@ -97,12 +113,16 @@ func (c *conn) readLoop() {
 }
 
 // teardown completes the session in drain order: cancel watch contexts
-// (their streams end with WatchEnd), bound how long a dead client can
-// stall outbound writes, wait for every in-flight response to be
-// enqueued, then close the queue so the writer flushes and exits.
+// (their streams end with WatchEnd), bound the whole drain — the hard
+// deadline caps the writer's rolling per-frame deadlines, and the
+// immediate SetWriteDeadline cuts short any write already blocked under a
+// longer one — wait for every in-flight response to be enqueued, then
+// close the queue so the writer flushes and exits.
 func (c *conn) teardown() {
 	c.cancel()
-	c.cc.SetWriteDeadline(time.Now().Add(c.srv.opts.drain))
+	hard := time.Now().Add(c.srv.opts.drain)
+	c.hardWriteDeadline.Store(hard.UnixNano())
+	c.cc.SetWriteDeadline(hard)
 	c.pending.Wait()
 	c.watchWG.Wait()
 	close(c.out)

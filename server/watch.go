@@ -16,6 +16,14 @@ import (
 // and this goroutine, so a slow client degrades exactly like a slow
 // in-process consumer.
 
+// watchReg is one registered watch stream: its context's cancel, and
+// whether a cancel has been requested — the bit WatchIdle needs to know
+// the stream is guaranteed to end on its own.
+type watchReg struct {
+	cancel    context.CancelFunc
+	cancelled bool
+}
+
 // handleWatch subscribes and starts the stream: OK, then Event frames,
 // then one WatchEnd after cancel, disconnect, or server drain.
 func (c *conn) handleWatch(m wire.Msg) {
@@ -33,7 +41,7 @@ func (c *conn) handleWatch(m wire.Msg) {
 		c.send(errMsg(m.ID, err))
 		return
 	}
-	c.watches[m.ID] = cancel
+	c.watches[m.ID] = &watchReg{cancel: cancel}
 	c.watchWG.Add(1)
 	c.watchMu.Unlock()
 	c.send(wire.Msg{ID: m.ID, Kind: wire.KindOK})
@@ -64,10 +72,13 @@ func (c *conn) streamWatch(id uint64, ch <-chan kv.Event, cancel context.CancelF
 // that already ended is a no-op, not an error — the races are benign.
 func (c *conn) handleWatchCancel(m wire.Msg) {
 	c.watchMu.Lock()
-	cancel := c.watches[m.Rev]
+	reg := c.watches[m.Rev]
+	if reg != nil {
+		reg.cancelled = true
+	}
 	c.watchMu.Unlock()
-	if cancel != nil {
-		cancel()
+	if reg != nil {
+		reg.cancel()
 	}
 	c.send(wire.Msg{ID: m.ID, Kind: wire.KindOK})
 }
@@ -76,8 +87,24 @@ func (c *conn) handleWatchCancel(m wire.Msg) {
 // and the DB's watch machinery has quiesced — the remote form of the
 // WaitWatchIdle test hook. Blocking the reader is the point: the client
 // sends it only after cancelling its watches, and the ordered byte stream
-// guarantees those cancels were dispatched first.
+// guarantees those cancels were dispatched first. Blocking is only safe,
+// though, when every remaining stream is certain to end on its own — a
+// stream whose cancel was never requested ends only through teardown,
+// which needs this very reader to exit — so an idle issued over active
+// watches is answered with an error instead of a deadlock.
 func (c *conn) handleWatchIdle(m wire.Msg) {
+	c.watchMu.Lock()
+	active := 0
+	for _, reg := range c.watches {
+		if !reg.cancelled {
+			active++
+		}
+	}
+	c.watchMu.Unlock()
+	if active > 0 {
+		c.send(errMsg(m.ID, fmt.Errorf("server: watch idle with %d uncancelled watch(es)", active)))
+		return
+	}
 	c.watchWG.Wait()
 	if idler, ok := c.srv.db.(watchIdler); ok {
 		idler.WaitWatchIdle()

@@ -566,7 +566,9 @@ func (d *decoder) bytes() []byte {
 	if n == nilLen {
 		return nil
 	}
-	if int(n) > len(d.p) {
+	// Compare in uint64: int(n) would go negative on 32-bit platforms for
+	// lengths past MaxInt32 and slip the bound check into a slice panic.
+	if uint64(n) > uint64(len(d.p)) {
 		d.fail("byte field length %d of %d", n, len(d.p))
 		return nil
 	}
@@ -581,7 +583,7 @@ func (d *decoder) str() []byte {
 	if d.err != nil {
 		return nil
 	}
-	if int(n) > len(d.p) {
+	if uint64(n) > uint64(len(d.p)) { // uint64: see bytes
 		d.fail("text length %d of %d", n, len(d.p))
 		return nil
 	}
@@ -597,7 +599,7 @@ func (d *decoder) count(minElem int) int {
 	if d.err != nil {
 		return 0
 	}
-	if int(n) > len(d.p)/minElem {
+	if uint64(n) > uint64(len(d.p)/minElem) { // uint64: see bytes
 		d.fail("count %d exceeds %d payload bytes", n, len(d.p))
 		return 0
 	}

@@ -227,6 +227,26 @@ func TestWireRejections(t *testing.T) {
 			out[4], out[5], out[6], out[7] = byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24)
 			return out
 		}()},
+		{"wraparound-length", func() []byte {
+			f, err := Encode(nil, Msg{ID: 3, Kind: KindGet, Key: []byte("key")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A length word just under the nil sentinel: int(n) would turn
+			// negative on 32-bit platforms and slip a signed bound check,
+			// so this must reject by unsigned comparison, not panic.
+			body := append([]byte(nil), f[frameHeader:]...)
+			body[bodyHeader] = 0xfe
+			body[bodyHeader+1] = 0xff
+			body[bodyHeader+2] = 0xff
+			body[bodyHeader+3] = 0xff
+			out := make([]byte, frameHeader, frameHeader+len(body))
+			out = append(out, body...)
+			out[0] = byte(len(body))
+			crc := crcOf(body)
+			out[4], out[5], out[6], out[7] = byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24)
+			return out
+		}()},
 		{"oversized-header", []byte{
 			0xff, 0xff, 0xff, 0x07, // body length 1<<27-1 > MaxFrameBody
 			0x00, 0x00, 0x00, 0x00,
