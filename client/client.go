@@ -39,6 +39,7 @@ type Option func(*options)
 type options struct {
 	conns       int
 	dialTimeout time.Duration
+	followers   []string
 }
 
 // WithConns sets the connection pool size (default 2).
@@ -55,12 +56,23 @@ func WithDialTimeout(d time.Duration) Option {
 	return func(o *options) { o.dialTimeout = d }
 }
 
+// WithFollowerReads adds replica servers to the pool. FollowerGet and
+// ReadAt route to them round-robin; every other call still goes to the
+// primary. With no replica addresses configured, follower reads fall back
+// to the primary pool (the primary is trivially a follower of itself at
+// watermark = now).
+func WithFollowerReads(addrs ...string) Option {
+	return func(o *options) { o.followers = append(o.followers, addrs...) }
+}
+
 // Client implements kv.DB over a pool of server connections.
 type Client struct {
-	conns  []*netConn
-	next   atomic.Uint64
-	engine string
-	trc    atomic.Pointer[tracerBox]
+	conns     []*netConn
+	next      atomic.Uint64
+	followers []*netConn
+	fnext     atomic.Uint64
+	engine    string
+	trc       atomic.Pointer[tracerBox]
 
 	watchWG sync.WaitGroup
 	clock   kv.Clock
@@ -87,6 +99,14 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		}
 		c.conns = append(c.conns, cn)
 	}
+	for _, addr := range o.followers {
+		cn, err := dialConn(addr, o.dialTimeout)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.followers = append(c.followers, cn)
+	}
 	hello, err := c.conns[0].roundTrip(wire.Msg{Kind: wire.KindHello})
 	if err != nil {
 		c.Close()
@@ -103,6 +123,9 @@ func (c *Client) Close() error {
 		return nil
 	}
 	for _, cn := range c.conns {
+		cn.close(ErrClosed)
+	}
+	for _, cn := range c.followers {
 		cn.close(ErrClosed)
 	}
 	return nil
@@ -129,6 +152,43 @@ func (c *Client) do(m wire.Msg) (wire.Msg, error) {
 		return wire.Msg{}, ErrClosed
 	}
 	return c.pick().roundTrip(m)
+}
+
+// doFollower runs one unary round trip on a replica connection, falling
+// back to the primary pool when no replicas are configured.
+func (c *Client) doFollower(m wire.Msg) (wire.Msg, error) {
+	if c.closed.Load() {
+		return wire.Msg{}, ErrClosed
+	}
+	if len(c.followers) == 0 {
+		return c.pick().roundTrip(m)
+	}
+	return c.followers[c.fnext.Add(1)%uint64(len(c.followers))].roundTrip(m)
+}
+
+// FollowerGet implements kv.FollowerReader: a read served by a replica,
+// returning the value's revision and the replica's applied watermark (the
+// revision up to which it has provably replayed the primary's log).
+func (c *Client) FollowerGet(key []byte) ([]byte, kv.Revision, kv.Revision, error) {
+	return c.ReadAt(key, 0)
+}
+
+// ReadAt implements kv.FollowerReader: like FollowerGet but the replica
+// rejects the read with kv.ErrTooStale unless its watermark has reached
+// floor, so the caller can demand read-your-writes against a revision it
+// learned from the primary.
+func (c *Client) ReadAt(key []byte, floor kv.Revision) ([]byte, kv.Revision, kv.Revision, error) {
+	if kv.IsReservedKey(key) {
+		return nil, 0, 0, kv.ErrReservedKey
+	}
+	r, err := c.doFollower(wire.Msg{Kind: wire.KindFollowerGet, Key: key, Rev: floor})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if r.Flags&wire.FlagAbsent != 0 {
+		return nil, 0, r.Lease, kv.ErrNotFound
+	}
+	return r.Value, r.Rev, r.Lease, nil
 }
 
 // Get implements kv.DB.
@@ -316,3 +376,4 @@ func (it *sliceIter) Value() []byte { return it.entries[it.i-1].Value }
 func (it *sliceIter) Err() error    { return it.err }
 
 var _ kv.DB = (*Client)(nil)
+var _ kv.FollowerReader = (*Client)(nil)

@@ -1,7 +1,9 @@
 package client_test
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"testing"
 
 	"rhtm"
@@ -10,8 +12,10 @@ import (
 	"rhtm/internal/enginetest/dbtest"
 	"rhtm/kv"
 	"rhtm/obs"
+	"rhtm/repl"
 	"rhtm/server"
 	"rhtm/store"
+	"rhtm/wal"
 )
 
 // startRig serves db on an ephemeral port and dials a pooled client,
@@ -84,6 +88,110 @@ func netClusterFactory(engineName string, systems, inject int) dbtest.DBFactory 
 		db := kv.NewCluster(c, kv.WithClock(clock), kv.WithMetrics(reg))
 		cl := startRig(t, db, reg, engineName, 3)
 		return cl, clock, c.Validate
+	}
+}
+
+// TestFollowerReadsOverWire serves a WAL-shipping replica on its own port
+// and routes the client's follower reads there with WithFollowerReads: the
+// staleness contract (floor honored, rev never above the watermark) must
+// survive the wire, including the ErrTooStale and absent-key shapes.
+func TestFollowerReadsOverWire(t *testing.T) {
+	newSys := func() (rhtm.Engine, kv.Storer) {
+		s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+		return rhtm.NewTL2(s), store.New(s, store.Options{ArenaWords: 1 << 14})
+	}
+	eng, st := newSys()
+	stg := wal.NewMemStorage()
+	dev, err := stg.Device("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := kv.OpenLocal(eng, st, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := repl.NewLocalGroup(primary, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	reng, rst := newSys()
+	f, err := g.AddLocalReplica(reng, rst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Primary and replica each get their own server; the client dials the
+	// primary and learns the replica address for follower routing.
+	psrv := server.New(primary)
+	paddr, err := psrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psrv.Close()
+	rsrv := server.New(f.DB())
+	raddr, err := rsrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+	cl, err := client.Dial(paddr.String(), client.WithConns(2),
+		client.WithFollowerReads(raddr.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var floor kv.Revision
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("fk-%02d", i))
+		if err := cl.Put(k, []byte(fmt.Sprintf("fv-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, rev, err := cl.GetRev(k); err != nil {
+			t.Fatal(err)
+		} else if rev > floor {
+			floor = rev
+		}
+	}
+	if err := f.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("fk-%02d", i))
+		v, rev, wm, err := cl.ReadAt(k, floor)
+		if err != nil {
+			t.Fatalf("ReadAt(%s, %d): %v", k, floor, err)
+		}
+		if !bytes.Equal(v, []byte(fmt.Sprintf("fv-%d", i))) {
+			t.Fatalf("ReadAt(%s): value %q", k, v)
+		}
+		if rev > wm {
+			t.Fatalf("ReadAt(%s): rev %d above watermark %d", k, rev, wm)
+		}
+	}
+	// Absence at a watermark is a fact, not a failure: wm still travels.
+	if _, _, wm, err := cl.FollowerGet([]byte("fk-missing")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("missing key: err = %v", err)
+	} else if wm == 0 {
+		t.Fatal("missing key: watermark lost on the absent path")
+	}
+	// An unreachable floor surfaces as the kv sentinel across the wire.
+	if _, _, _, err := cl.ReadAt([]byte("fk-00"), 1<<40); !errors.Is(err, kv.ErrTooStale) {
+		t.Fatalf("huge floor: err = %v, want kv.ErrTooStale", err)
+	}
+
+	// With no replica addresses the same calls fall back to the primary,
+	// which serves its own follower-read surface at watermark = now.
+	direct, err := client.Dial(paddr.String(), client.WithConns(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	if v, rev, wm, err := direct.ReadAt([]byte("fk-00"), floor); err != nil {
+		t.Fatalf("primary fallback: %v", err)
+	} else if !bytes.Equal(v, []byte("fv-0")) || rev > wm {
+		t.Fatalf("primary fallback: v=%q rev=%d wm=%d", v, rev, wm)
 	}
 }
 

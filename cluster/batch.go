@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"errors"
 	"sort"
 
 	"rhtm"
@@ -189,6 +190,13 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 		}
 
 		commit := !conflict && hard == nil
+		keysOf := func(nodeID int) [][]byte {
+			keys := make([][]byte, len(byNode[nodeID]))
+			for i := range byNode[nodeID] {
+				keys[i] = byNode[nodeID][i].key
+			}
+			return keys
+		}
 		var decisionOps []wal.Op
 		if c.wal != nil && commit {
 			decisionOps = batchDecisionOps(byNode, participants, ops)
@@ -201,18 +209,20 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 			unlockDrain = c.walMu.RUnlock
 			if err := c.wal.Coord.Commit(txid, wal.FlagCross, decisionOps); err != nil {
 				unlockDrain()
+				if errors.Is(err, wal.ErrFenced) {
+					// Aborted by omission under an epoch fence: release the
+					// prepared intents so the deposed primary's memory stays
+					// consistent (see commitCross).
+					c.decide(txid, false, participants)
+					for _, nodeID := range prepared {
+						_ = cl.finish(nodeID, txid, keysOf(nodeID), false)
+					}
+					c.crossAborts.Add(1)
+				}
 				return err
 			}
 		}
 		c.decide(txid, commit, participants)
-
-		keysOf := func(nodeID int) [][]byte {
-			keys := make([][]byte, len(byNode[nodeID]))
-			for i := range byNode[nodeID] {
-				keys[i] = byNode[nodeID][i].key
-			}
-			return keys
-		}
 		if !commit {
 			unlockDrain()
 			for _, nodeID := range prepared {
@@ -229,12 +239,17 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 		}
 		for _, nodeID := range participants {
 			if err := cl.finish(nodeID, txid, keysOf(nodeID), true); err != nil {
+				if errors.Is(err, wal.ErrFenced) {
+					// Durably decided: committed regardless; keep
+					// discharging intents (see commitCross).
+					continue
+				}
 				unlockDrain()
 				return err
 			}
 		}
 		if c.wal != nil && len(decisionOps) > 0 {
-			if err := c.wal.Coord.Mark(txid, 0); err != nil {
+			if err := c.wal.Coord.Mark(txid, 0); err != nil && !errors.Is(err, wal.ErrFenced) {
 				unlockDrain()
 				return err
 			}

@@ -589,6 +589,13 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 	// before any apply runs — the *durable* commit point — and the region
 	// from decision to resolution mark holds the checkpoint drain lock.
 	commit := !conflict && hard == nil
+	keysOf := func(nodeID int) [][]byte {
+		keys := make([][]byte, len(byNode[nodeID]))
+		for i := range byNode[nodeID] {
+			keys[i] = byNode[nodeID][i].key
+		}
+		return keys
+	}
 	var decisionOps []wal.Op
 	if c.wal != nil && commit {
 		decisionOps = crossDecisionOps(byNode, participants)
@@ -597,18 +604,22 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 		c.walMu.RLock()
 		defer c.walMu.RUnlock()
 		if err := c.wal.Coord.Commit(txid, wal.FlagCross, decisionOps); err != nil {
+			if errors.Is(err, wal.ErrFenced) {
+				// The durable commit point was refused by an epoch fence:
+				// the transaction aborted by omission, exactly as a crash
+				// here would decide it. Abort it in memory too — releasing
+				// the prepared intents keeps the deposed primary internally
+				// consistent instead of wedging its remaining clients.
+				c.decide(txid, false, participants)
+				for _, nodeID := range prepared {
+					_ = cl.finish(nodeID, txid, keysOf(nodeID), false)
+				}
+				c.crossAborts.Add(1)
+			}
 			return false, err
 		}
 	}
 	c.decide(txid, commit, participants)
-
-	keysOf := func(nodeID int) [][]byte {
-		keys := make([][]byte, len(byNode[nodeID]))
-		for i := range byNode[nodeID] {
-			keys[i] = byNode[nodeID][i].key
-		}
-		return keys
-	}
 	if !commit {
 		for _, nodeID := range prepared {
 			if err := cl.finish(nodeID, txid, keysOf(nodeID), false); err != nil && hard == nil {
@@ -624,6 +635,13 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 	}
 	for _, nodeID := range participants {
 		if err := cl.finish(nodeID, txid, keysOf(nodeID), true); err != nil {
+			if errors.Is(err, wal.ErrFenced) {
+				// The decision is already durably logged — the transaction
+				// IS committed; a failover resolves it forward from the
+				// decision record. Keep discharging the remaining intents
+				// (the fence only refused the redundant data-stream frame).
+				continue
+			}
 			return false, err
 		}
 	}
@@ -631,7 +649,9 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 		c.finishHist.Observe(uint64(time.Since(finStart)))
 	}
 	if c.wal != nil && len(decisionOps) > 0 {
-		if err := c.wal.Coord.Mark(txid, 0); err != nil {
+		if err := c.wal.Coord.Mark(txid, 0); err != nil && !errors.Is(err, wal.ErrFenced) {
+			// A missing resolution mark only costs recovery a redundant
+			// redo; a fenced mark is not a commit failure.
 			return false, err
 		}
 	}

@@ -47,6 +47,10 @@
 //	              the YCSB mix served over loopback TCP through the
 //	              network client, swept over -conns connection-pool sizes
 //	              (-pipeline toggles many-in-flight vs closed loop)
+//	repl          YCSB-B (95%% reads) with -replicas WAL-shipping followers
+//	              serving the reads at a revision watermark (-staleness
+//	              bounds how far behind a follower answer may be); the
+//	              K=0 point is the primary-only baseline
 //	all           everything above (cluster: the -a sweep only; net: the
 //	              -a sweep only)
 //
@@ -82,6 +86,16 @@
 // list; other experiments use the first value) and -pipeline toggles
 // many-in-flight requests per connection versus a strict closed loop.
 // Reports add the server.* counters (DESIGN.md §11).
+//
+// The repl experiment attaches -replicas (comma-separated sweep) full
+// Systems to the primary's write-ahead log through repl/: each follower
+// tails the log, replays every committed transaction at its original
+// revision, and serves the mix's reads at its applied watermark. Reports
+// add the repl.* counters (applied LSN/revision per replica, lag frames,
+// apply-batch sizes) and the harness follower-read counters (served /
+// stale-fallback / miss). ops/kinterval charges only the primary's
+// accesses — the replicas replay in parallel — so the K>0 rows measure
+// the read offload against the K=0 baseline.
 //
 // -json FILE appends one machine-readable JSON line per measured point
 // (engine, workload, threads, ops, ops/kacc, ops/kinterval, abort ratio,
@@ -137,12 +151,14 @@ func main() {
 		pipe    = flag.Bool("pipeline", true, "allow many in-flight requests per connection in net runs (off = closed loop)")
 		useWAL  = flag.Bool("wal", false, "attach a write-ahead log (in-memory device) to the KV experiments")
 		syncEv  = flag.Int("syncevery", 0, "relax WAL syncs to every N logged transactions (0/1 = every group commit; needs -wal)")
+		replsF  = flag.String("replicas", "0,1,2", "comma-separated WAL-shipping replica counts for the repl experiment")
+		staleF  = flag.Int("staleness", 0, "bounded-staleness floor for follower reads in the repl experiment (0 = any staleness)")
 		jsonOut = flag.String("json", "", "append machine-readable JSON result lines to this file (\"-\" = stdout)")
 		metrics = flag.Bool("metrics", false, "embed each run's structured counters (flattened obs snapshot) in the -json rows")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|batch|session-cache|lock-service|recovery|cluster-ycsb-a..f|cluster-bank|cluster-session-cache|cluster-lock-service|net-ycsb-a..f|all>")
+		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|batch|session-cache|lock-service|recovery|cluster-ycsb-a..f|cluster-bank|cluster-session-cache|cluster-lock-service|net-ycsb-a..f|repl|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -219,6 +235,15 @@ func main() {
 	connsList, err := parseInts(*connsF, "connection count", 1, 1<<12)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	replList, err := parseInts(*replsF, "replica count", 0, 64)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *staleF < 0 {
+		fmt.Fprintln(os.Stderr, "rhbench: -staleness must be non-negative")
 		os.Exit(2)
 	}
 	cspec := harness.KVSpec{
@@ -326,14 +351,14 @@ func main() {
 			"fig3a", "fig3b", "fig3c", "ext-clock", "ext-capacity", "ext-hybrids",
 			"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "batch",
 			"session-cache", "lock-service", "recovery", "cluster-ycsb-a",
-			"net-ycsb-a"} {
+			"net-ycsb-a", "repl"} {
 			em.exp = e
-			runExperiment(e, em, sc, *capLim, spec, sweep, nets, batchList, recoveryOps)
+			runExperiment(e, em, sc, *capLim, spec, sweep, nets, batchList, recoveryOps, replList, *staleF)
 			fmt.Println()
 		}
 		return
 	}
-	runExperiment(exp, em, sc, *capLim, spec, sweep, nets, batchList, recoveryOps)
+	runExperiment(exp, em, sc, *capLim, spec, sweep, nets, batchList, recoveryOps, replList, *staleF)
 }
 
 // emitter routes one experiment's artifacts: human-readable series to out,
@@ -418,7 +443,7 @@ func (ns netSweep) run(em *emitter, sc harness.Scale, spec harness.KVSpec, mix s
 }
 
 // runExperiment dispatches one experiment id and prints its artifact.
-func runExperiment(exp string, em *emitter, sc harness.Scale, capLim int, spec harness.KVSpec, sweep clusterSweep, nets netSweep, batchList, recoveryOps []int) {
+func runExperiment(exp string, em *emitter, sc harness.Scale, capLim int, spec harness.KVSpec, sweep clusterSweep, nets netSweep, batchList, recoveryOps, replList []int, staleness int) {
 	out := em.out
 	switch exp {
 	case "recovery":
@@ -507,6 +532,30 @@ func runExperiment(exp string, em *emitter, sc harness.Scale, capLim int, spec h
 				fmt.Sprintf("Batching: YCSB-A with batch size %d (%d records, %s distribution)",
 					size, bs.Records, bs.Dist),
 				harness.SweepKV(sc, bs))
+			fmt.Fprintln(out)
+		}
+	case "repl":
+		// The read-heavy mix is where follower reads pay: 95% of the ops
+		// can leave the primary. Every point runs with the WAL attached —
+		// the K=0 baseline pays the same logging cost the replicated points
+		// do, so the delta is the offload, not the log.
+		for _, k := range replList {
+			s := spec
+			s.Mix = "b"
+			s.WAL, s.Net, s.Conns, s.Pipeline = true, false, 0, false
+			s.Replicas, s.Staleness = k, 0
+			if k > 0 {
+				s.Staleness = staleness
+			}
+			title := fmt.Sprintf("Replication: YCSB-B, %d WAL-shipping replicas serving the reads (%d records, %s distribution)",
+				k, s.Records, s.Dist)
+			if k == 0 {
+				title = fmt.Sprintf("Replication baseline: YCSB-B, primary only, WAL attached (%d records, %s distribution)",
+					s.Records, s.Dist)
+			} else if s.Staleness > 0 {
+				title += fmt.Sprintf(", staleness bound %d revisions", s.Staleness)
+			}
+			em.series(title, harness.SweepKV(sc, s))
 			fmt.Fprintln(out)
 		}
 	case "net-ycsb-a", "net-ycsb-b", "net-ycsb-c", "net-ycsb-d", "net-ycsb-e", "net-ycsb-f":

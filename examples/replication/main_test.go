@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReplicationExample smoke-tests the full scenario: log shipping to
+// two replicas, follower reads at a floor, kill-the-primary failover with
+// a fencing-token handoff, and life under the new epoch.
+func TestReplicationExample(t *testing.T) {
+	summary, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "replication ok") {
+		t.Fatalf("summary = %q", summary)
+	}
+	if !strings.Contains(summary, "epoch 1 -> 2") {
+		t.Fatalf("summary missing epoch handoff: %q", summary)
+	}
+}

@@ -78,6 +78,9 @@ func RunDB(t *testing.T, name string, factory DBFactory, opts ...BatteryOption) 
 	if bo.recovery != nil {
 		t.Run(name+"/DBRecovery", func(t *testing.T) { testDBRecovery(t, bo.recovery) })
 	}
+	if bo.repl != nil {
+		t.Run(name+"/DBReplication", func(t *testing.T) { testDBReplication(t, bo.repl) })
+	}
 }
 
 // BatteryOption extends RunDB with optional sections.
@@ -85,12 +88,20 @@ type BatteryOption func(*batteryOptions)
 
 type batteryOptions struct {
 	recovery RecoveryFactory
+	repl     ReplFactory
 }
 
 // WithRecovery enables the DBRecovery crash-injection section against rigs
 // built by rf (durable DBs over crash-injectable storage).
 func WithRecovery(rf RecoveryFactory) BatteryOption {
 	return func(o *batteryOptions) { o.recovery = rf }
+}
+
+// WithReplication enables the DBReplication section — live follower-read
+// staleness audits and kill-the-primary failover — against replication
+// groups built by rf.
+func WithReplication(rf ReplFactory) BatteryOption {
+	return func(o *batteryOptions) { o.repl = rf }
 }
 
 // testDBSequentialOracle runs a random single-client operation stream — a

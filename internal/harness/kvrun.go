@@ -14,6 +14,7 @@ import (
 	"rhtm/cluster"
 	"rhtm/containers"
 	"rhtm/kv"
+	"rhtm/repl"
 	"rhtm/store"
 	"rhtm/wal"
 )
@@ -57,6 +58,12 @@ type storeBackend struct {
 	db    *kv.Local
 	clock *kv.ManualClock
 	wal   bool
+
+	// WAL-shipping replicas (spec.Replicas > 0): each follower is a full
+	// System tailing the primary's log; reads route to them round-robin.
+	group       *repl.Group
+	followers   []*repl.Follower
+	replicaEngs []rhtm.Engine
 }
 
 func openStoreBackend(spec KVSpec, engineName string, cfg RunConfig) (*storeBackend, error) {
@@ -84,10 +91,41 @@ func openStoreBackend(spec KVSpec, engineName string, cfg RunConfig) (*storeBack
 		if err != nil {
 			return nil, err
 		}
+		if spec.Replicas > 0 {
+			b.group, err = repl.NewLocalGroup(b.db, dev)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < spec.Replicas; i++ {
+				rs, err := rhtm.NewSystem(rhtm.DefaultConfig(
+					spec.Shards*(arenaWords+store.DefaultLogWords+64) + 8192))
+				if err != nil {
+					return nil, err
+				}
+				reng, err := Build(rs, engineName, cfg.InjectPct)
+				if err != nil {
+					return nil, err
+				}
+				rsh := store.NewSharded(rs, spec.Shards, store.Options{ArenaWords: arenaWords})
+				f, err := b.group.AddLocalReplica(reng, rsh)
+				if err != nil {
+					return nil, err
+				}
+				b.followers = append(b.followers, f)
+				b.replicaEngs = append(b.replicaEngs, reng)
+			}
+		}
 		return b, nil
 	}
 	b.db = kv.NewLocal(eng, sh, kv.WithClock(clock))
 	return b, nil
+}
+
+// Close tears down the replication group (no-op without replicas).
+func (b *storeBackend) Close() {
+	if b.group != nil {
+		b.group.Close()
+	}
 }
 
 func (b *storeBackend) DB() kv.DB { return b.db }
@@ -117,6 +155,26 @@ func (b *storeBackend) Finish(res *Result) {
 		res.Stats.MetadataReads + res.Stats.MetadataWrites
 	res.Counters = b.db.Metrics().Flatten()
 	res.Notes = "store: " + b.sh.Stats(containers.SetupTx(b.sys)).String()
+	if b.group != nil {
+		// Drain the followers so the repl.* gauges are final (lag 0), then
+		// report the replication counters alongside the DB's. The primary's
+		// accesses are the critical path — replicas replay and serve reads
+		// in parallel — so ops/kinterval measures the read offload while
+		// ops/kaccess keeps charging the whole fleet's work.
+		for _, f := range b.followers {
+			if err := f.WaitIdle(); err != nil {
+				res.Notes += fmt.Sprintf(" repl-drain-err=%v", err)
+			}
+		}
+		res.CriticalAccesses = res.Accesses
+		for _, eng := range b.replicaEngs {
+			st := eng.Snapshot()
+			res.Accesses += st.Reads + st.Writes + st.MetadataReads + st.MetadataWrites
+		}
+		for k, v := range b.group.Metrics().Flatten() {
+			res.Counters[k] = v
+		}
+	}
 }
 
 func (b *storeBackend) Validate() error { return b.sh.Validate() }
@@ -298,6 +356,18 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 			return Result{}, fmt.Errorf("harness: watch: %w", err)
 		}
 	}
+	var followers []*repl.Follower
+	if sb, ok := be.(*storeBackend); ok {
+		followers = sb.followers
+		// Let the replicas absorb the populate phase before measuring:
+		// the run quantifies steady-state read offload, not cold catch-up
+		// (misses during the run still fall back to the primary, counted).
+		for _, f := range followers {
+			if err := f.WaitIdle(); err != nil {
+				return Result{}, fmt.Errorf("harness: replica catch-up: %w", err)
+			}
+		}
+	}
 	var stop atomic.Bool
 	var totalOps atomic.Uint64
 	var wg sync.WaitGroup
@@ -309,7 +379,8 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 		go func() {
 			defer wg.Done()
 			w := &kvWorker{id: id, spec: spec, be: be, db: be.DB(), rng: rng,
-				zipf: zipf, shared: shared, coord: coord}
+				zipf: zipf, shared: shared, coord: coord,
+				followers: followers, fi: id}
 			ops := driveWorker(cfg, &stop, func() {
 				if err := w.step(); err != nil {
 					// Worker bodies never return user errors; failures are
@@ -404,6 +475,12 @@ type kvShared struct {
 	scanned         atomic.Uint64 // entries yielded by scans (e)
 	batches         atomic.Uint64 // batch flushes
 
+	// Replication (spec.Replicas > 0).
+	followerReads  atomic.Uint64 // reads served by a replica
+	followerStale  atomic.Uint64 // ErrTooStale fallbacks to the primary
+	followerMisses atomic.Uint64 // not-yet-applied misses, served by the primary
+	hiWatermark    atomic.Uint64 // highest watermark any worker observed
+
 	// Coordination mixes (session / lock).
 	opSeq          atomic.Uint64 // global op counter driving the expiry pump
 	expired        atomic.Uint64 // leases reclaimed by ExpireLeases
@@ -448,6 +525,11 @@ func (sh *kvShared) counters(spec KVSpec, out map[string]int64) {
 	if spec.BatchSize > 1 {
 		out["harness.batches"] = int64(sh.batches.Load())
 	}
+	if spec.Replicas > 0 {
+		out["harness.follower_reads"] = int64(sh.followerReads.Load())
+		out["harness.follower_stale"] = int64(sh.followerStale.Load())
+		out["harness.follower_misses"] = int64(sh.followerMisses.Load())
+	}
 }
 
 // notes renders the mix-specific counters for Result.Notes. For mix "f" it
@@ -481,22 +563,28 @@ func (sh *kvShared) notes(spec KVSpec, be kvBackend) string {
 	if spec.BatchSize > 1 {
 		out += fmt.Sprintf(" batches=%d", sh.batches.Load())
 	}
+	if spec.Replicas > 0 {
+		out += fmt.Sprintf(" follower-reads=%d stale-fallbacks=%d misses=%d",
+			sh.followerReads.Load(), sh.followerStale.Load(), sh.followerMisses.Load())
+	}
 	return out
 }
 
 // kvWorker generates and executes one thread's operations against a kv.DB.
 type kvWorker struct {
-	id       int
-	spec     KVSpec
-	be       kvBackend
-	db       kv.DB
-	rng      *rand.Rand
-	zipf     *zipfian
-	shared   *kvShared
-	coord    *coordState
-	buf      []byte
-	pending  []kv.Op
-	tokenSeq uint64
+	id        int
+	spec      KVSpec
+	be        kvBackend
+	db        kv.DB
+	rng       *rand.Rand
+	zipf      *zipfian
+	shared    *kvShared
+	coord     *coordState
+	followers []*repl.Follower
+	fi        int
+	buf       []byte
+	pending   []kv.Op
+	tokenSeq  uint64
 }
 
 // records returns the current record-space size (grows under d/e inserts).
@@ -544,6 +632,9 @@ func (w *kvWorker) singleOp(isRead bool) error {
 		if w.spec.BatchSize > 1 {
 			return w.enqueue(kv.Op{Kind: kv.OpGet, Key: key})
 		}
+		if len(w.followers) > 0 {
+			return w.followerRead(key)
+		}
 		_, err := w.db.Get(key)
 		if errors.Is(err, kv.ErrNotFound) {
 			return fmt.Errorf("record %s missing", key)
@@ -576,6 +667,50 @@ func (w *kvWorker) singleOp(isRead bool) error {
 		return w.enqueue(kv.Op{Kind: kv.OpPut, Key: key, Value: val})
 	}
 	return w.db.Put(key, w.buf)
+}
+
+// followerRead serves one read from a replica. With Staleness set, the
+// read demands floor = hi - Staleness against the highest watermark any
+// worker has observed — a bounded-staleness contract the replica must keep
+// up with — and falls back to the primary when it answers ErrTooStale. A
+// miss (the replica has not applied the record's load yet) also falls
+// back; a successful read must never report a revision above its
+// watermark.
+func (w *kvWorker) followerRead(key []byte) error {
+	f := w.followers[w.fi%len(w.followers)]
+	w.fi++
+	var floor kv.Revision
+	if w.spec.Staleness > 0 {
+		if hi := w.shared.hiWatermark.Load(); hi > uint64(w.spec.Staleness) {
+			floor = kv.Revision(hi - uint64(w.spec.Staleness))
+		}
+	}
+	_, rev, wm, err := f.ReadAt(key, floor)
+	switch {
+	case errors.Is(err, kv.ErrTooStale):
+		w.shared.followerStale.Add(1)
+	case errors.Is(err, kv.ErrNotFound):
+		w.shared.followerMisses.Add(1)
+	case err != nil:
+		return err
+	default:
+		if rev > wm {
+			return fmt.Errorf("follower read %s: rev %d above watermark %d", key, rev, wm)
+		}
+		w.shared.followerReads.Add(1)
+		for {
+			hi := w.shared.hiWatermark.Load()
+			if uint64(wm) <= hi || w.shared.hiWatermark.CompareAndSwap(hi, uint64(wm)) {
+				break
+			}
+		}
+		return nil
+	}
+	_, err = w.db.Get(key)
+	if errors.Is(err, kv.ErrNotFound) {
+		return fmt.Errorf("record %s missing", key)
+	}
+	return err
 }
 
 // enqueue buffers a batch op, flushing at BatchSize.

@@ -95,6 +95,17 @@ type KVSpec struct {
 	// SyncEvery relaxes the WAL's durability barrier to every N logged
 	// transactions (0/1 = every group commit). Requires WAL.
 	SyncEvery int
+	// Replicas attaches this many WAL-shipping replicas to the primary
+	// (each a full System tailing the log through repl.Group) and routes
+	// the single-key reads of mixes a/b/c/f to them round-robin as
+	// follower reads. Requires WAL; store backend, in-process only.
+	Replicas int
+	// Staleness bounds how far behind a follower read may be: each read
+	// demands floor = hi - Staleness, where hi is the highest watermark
+	// any worker has observed, and falls back to the primary (counted)
+	// when the replica answers kv.ErrTooStale. 0 accepts any staleness.
+	// Requires Replicas.
+	Staleness int
 }
 
 // readPct returns the percentage of plain reads (or, for "e", scans) in
@@ -198,6 +209,12 @@ func (sp KVSpec) Name() string {
 			name += "/pipe"
 		}
 	}
+	if sp.Replicas > 0 {
+		name += fmt.Sprintf("/repl=%d", sp.Replicas)
+		if sp.Staleness > 0 {
+			name += fmt.Sprintf("/stale=%d", sp.Staleness)
+		}
+	}
 	return name
 }
 
@@ -236,6 +253,23 @@ func (sp KVSpec) validate() error {
 	}
 	if sp.SyncEvery > 1 && !sp.WAL {
 		return fmt.Errorf("harness: SyncEvery needs WAL")
+	}
+	if sp.Replicas < 0 || sp.Staleness < 0 {
+		return fmt.Errorf("harness: Replicas and Staleness must be non-negative")
+	}
+	if sp.Replicas > 0 {
+		if !sp.WAL {
+			return fmt.Errorf("harness: Replicas needs WAL (replicas tail the primary's log)")
+		}
+		if sp.Backend != BackendStore {
+			return fmt.Errorf("harness: Replicas runs on the store backend")
+		}
+		if sp.Net {
+			return fmt.Errorf("harness: Replicas is in-process (no Net)")
+		}
+	}
+	if sp.Staleness > 0 && sp.Replicas == 0 {
+		return fmt.Errorf("harness: Staleness needs Replicas")
 	}
 	if !sp.Net && (sp.Conns != 0 || sp.Pipeline) {
 		return fmt.Errorf("harness: Conns/Pipeline need Net")

@@ -229,6 +229,48 @@ func TestKVBatchedRuns(t *testing.T) {
 	}
 }
 
+// TestKVReplicatedRun: Replicas attaches WAL-shipping followers and routes
+// the mix's reads to them; the run must serve reads from replicas, report
+// the harness.follower_* counters, and merge the repl.* schema (applied
+// watermarks, lag, promotions) into the structured counter map.
+func TestKVReplicatedRun(t *testing.T) {
+	spec := KVSpec{Mix: "b", Records: 256, ValueBytes: 32, Dist: DistUniform,
+		Shards: 2, WAL: true, Replicas: 2, Staleness: 1 << 20}
+	r := MustRunKV(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 200, Seed: 1})
+	if r.Ops != 400 {
+		t.Fatalf("ops = %d, want 400", r.Ops)
+	}
+	if !strings.Contains(r.Workload, "repl=2") {
+		t.Fatalf("workload name %q missing replica count", r.Workload)
+	}
+	if got := r.Counters["harness.follower_reads"]; got == 0 {
+		t.Fatalf("no reads served by replicas: %q", r.Notes)
+	}
+	// The drained run's repl.* gauges: both replicas fully applied, no
+	// promotions or fencing, and a non-empty apply-batch histogram.
+	if lag := r.Counters["repl.lag_frames"]; lag != 0 {
+		t.Fatalf("drained run reports lag_frames = %d", lag)
+	}
+	if r.Counters["repl.promotions"] != 0 || r.Counters["repl.fenced_frames"] != 0 {
+		t.Fatalf("steady-state run promoted or fenced: %v", r.Counters)
+	}
+	if r.Counters["repl.apply_batch.count"] == 0 {
+		t.Fatal("apply-batch histogram empty")
+	}
+	for _, replica := range []string{"replica-0", "replica-1"} {
+		name := "repl.applied_lsn{replica=" + replica + ",stream=wal}"
+		if r.Counters[name] == 0 {
+			t.Fatalf("%s missing or zero in counters", name)
+		}
+	}
+	// The critical path is the primary: offloaded reads must make the run
+	// cheaper per primary access than per fleet access.
+	if r.OpsPerKInterval <= r.OpsPerKAccess {
+		t.Fatalf("ops/kinterval %.1f <= ops/kaccess %.1f: reads not offloaded",
+			r.OpsPerKInterval, r.OpsPerKAccess)
+	}
+}
+
 // TestKVRejectsBadSpecs documents that invalid specs fail with a clean
 // error from RunKV (the old workload constructors panicked instead).
 func TestKVRejectsBadSpecs(t *testing.T) {
@@ -242,6 +284,10 @@ func TestKVRejectsBadSpecs(t *testing.T) {
 		"batchmix":  {Mix: "f", BatchSize: 8},
 		"backend":   {Mix: "a", Backend: "paper"},
 		"systems":   {Mix: "a", Backend: BackendStore, Systems: 3},
+		"replicas":  {Mix: "b", Replicas: 2},
+		"staleness": {Mix: "b", WAL: true, Staleness: 8},
+		"replnet":   {Mix: "b", WAL: true, Replicas: 1, Net: true},
+		"replclust": {Mix: "b", WAL: true, Replicas: 1, Backend: BackendCluster, Systems: 2},
 	}
 	for name, spec := range cases {
 		if _, err := RunKV(spec, EngTL2, RunConfig{Threads: 1, OpsPerThread: 1}); err == nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,6 +45,11 @@ type ClusterDB struct {
 	// sessions holds maxSessions slots, pre-filled with nil placeholders;
 	// a nil slot lazily becomes a registered client on first use.
 	sessions chan *cluster.Client
+
+	// frMu serializes the follower-read clock threads (one lazily-registered
+	// engine thread per System — see clockRev in repl.go).
+	frMu  sync.Mutex
+	frThs []rhtm.Thread
 }
 
 // NewCluster builds a DB over c. Call during single-threaded setup.

@@ -83,9 +83,11 @@ func clusterFactory(engineName string, systems, inject int) dbtest.DBFactory {
 func TestDBConformance(t *testing.T) {
 	for _, eng := range allEngines {
 		dbtest.RunDB(t, "Local/Sharded4/"+eng, localFactory(eng, 4, 10),
-			dbtest.WithRecovery(localRecoveryFactory(eng, 4, 10)))
+			dbtest.WithRecovery(localRecoveryFactory(eng, 4, 10)),
+			dbtest.WithReplication(localReplFactory(eng, 4, 10)))
 		dbtest.RunDB(t, "Cluster3/"+eng, clusterFactory(eng, 3, 20),
-			dbtest.WithRecovery(clusterRecoveryFactory(eng, 3, 20)))
+			dbtest.WithRecovery(clusterRecoveryFactory(eng, 3, 20)),
+			dbtest.WithReplication(clusterReplFactory(eng, 3, 20)))
 	}
 	// The unsharded store and the degenerate one-System cluster share the
 	// same contract; a spot check per family keeps the matrix tractable.

@@ -262,50 +262,8 @@ func OpenCluster(c *cluster.Cluster, stg wal.Storage, opts ...Option) (*ClusterD
 	// commit point.
 	coordWriter := wal.NewWriter(coordDev, csr.NextLSN, nil, wal.Options{})
 
-	// Resolve in-doubt decisions forward, in decision order.
-	var inDoubt, resolved uint64
-	for _, g := range csr.Txns {
-		if csr.Marks[g.TxID] {
-			continue
-		}
-		inDoubt++
-		for _, op := range g.Ops {
-			if applied[g.TxID][string(op.Key)] {
-				continue
-			}
-			s := op.Part
-			if s < 0 || s >= n {
-				return nil, fmt.Errorf("kv: decision %d names system %d of %d", g.TxID, s, n)
-			}
-			st := c.Node(s).Store()
-			tx := containers.SetupTx(st.System())
-			rec := wal.Op{Kind: op.Kind, Key: op.Key, Value: op.Value, Lease: op.Lease}
-			if op.Kind == wal.OpPut {
-				rev, err := st.PutStamped(tx, op.Key, op.Value, op.Lease)
-				if err != nil {
-					return nil, fmt.Errorf("kv: redo decision %d: %w", g.TxID, err)
-				}
-				rec.Rev = rev
-			} else {
-				rev, ok := st.DeleteStamped(tx, op.Key)
-				if !ok {
-					continue // deleting an absent key: nothing to redo
-				}
-				rec.Rev = rev
-			}
-			if err := dataWriters[s].Commit(g.TxID, wal.FlagCross, []wal.Op{rec}); err != nil {
-				return nil, err
-			}
-			if err := dataWriters[s].Sync(); err != nil {
-				return nil, err
-			}
-		}
-		if err := coordWriter.Mark(g.TxID, 0); err != nil {
-			return nil, err
-		}
-		resolved++
-	}
-	if err := coordWriter.Sync(); err != nil {
+	inDoubt, resolved, err := resolveInDoubt(c, dataWriters, coordWriter, csr.Txns, csr.Marks, applied)
+	if err != nil {
 		return nil, err
 	}
 
@@ -329,6 +287,62 @@ func OpenCluster(c *cluster.Cluster, stg wal.Storage, opts ...Option) (*ClusterD
 	}
 	db.leaseSeq.Store(maxLease)
 	return db, nil
+}
+
+// resolveInDoubt replays the coordinator's undecided commit decisions
+// forward, in decision order: a logged decision without its resolution mark
+// is re-applied — skipping writes the System streams already hold (the
+// applied filter, keyed by cluster transaction id) — re-logged durably, and
+// marked resolved. Shared by OpenCluster (crash recovery) and
+// ClusterDB.Promote (failover), so the two paths cannot drift.
+func resolveInDoubt(c *cluster.Cluster, dataWriters []*wal.Writer, coordWriter *wal.Writer,
+	decisions []wal.TxnGroup, marks map[uint64]bool, applied map[uint64]map[string]bool) (inDoubt, resolved uint64, err error) {
+	n := c.NumSystems()
+	for _, g := range decisions {
+		if marks[g.TxID] {
+			continue
+		}
+		inDoubt++
+		for _, op := range g.Ops {
+			if applied[g.TxID][string(op.Key)] {
+				continue
+			}
+			s := op.Part
+			if s < 0 || s >= n {
+				return 0, 0, fmt.Errorf("kv: decision %d names system %d of %d", g.TxID, s, n)
+			}
+			st := c.Node(s).Store()
+			tx := containers.SetupTx(st.System())
+			rec := wal.Op{Kind: op.Kind, Key: op.Key, Value: op.Value, Lease: op.Lease}
+			if op.Kind == wal.OpPut {
+				rev, err := st.PutStamped(tx, op.Key, op.Value, op.Lease)
+				if err != nil {
+					return 0, 0, fmt.Errorf("kv: redo decision %d: %w", g.TxID, err)
+				}
+				rec.Rev = rev
+			} else {
+				rev, ok := st.DeleteStamped(tx, op.Key)
+				if !ok {
+					continue // deleting an absent key: nothing to redo
+				}
+				rec.Rev = rev
+			}
+			if err := dataWriters[s].Commit(g.TxID, wal.FlagCross, []wal.Op{rec}); err != nil {
+				return 0, 0, err
+			}
+			if err := dataWriters[s].Sync(); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := coordWriter.Mark(g.TxID, 0); err != nil {
+			return 0, 0, err
+		}
+		resolved++
+	}
+	if err := coordWriter.Sync(); err != nil {
+		return 0, 0, err
+	}
+	return inDoubt, resolved, nil
 }
 
 // Checkpoint implements DB: every System's stream gets a full-state

@@ -1,0 +1,419 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rhtm"
+	"rhtm/cluster"
+	"rhtm/kv"
+	"rhtm/store"
+	"rhtm/wal"
+)
+
+var (
+	errNotLocal     = errors.New("repl: AddLocalReplica on a cluster group")
+	errNotCluster   = errors.New("repl: AddClusterReplica on a local group")
+	errSizeMismatch = errors.New("repl: replica cluster size differs from primary")
+)
+
+// Follower is one replica: a DB built without a log, fed by per-stream
+// apply pumps tailing the primary's devices. Until promotion it serves only
+// the follower-read surface (FollowerGet/ReadAt); Group.Promote turns it
+// into a full primary kv.DB.
+type Follower struct {
+	g    *Group
+	name string
+
+	localDB *kv.Local     // nil on a cluster follower
+	cdb     *kv.ClusterDB // nil on a local follower
+	db      kv.DB
+
+	streams []*stream // data streams, one per System
+	coord   *stream   // cluster decision-log mirror, nil on a local follower
+	wms     *store.Watermarks
+	wg      sync.WaitGroup
+
+	stopMu  sync.Mutex
+	stopped bool
+
+	// Coordinator bookkeeping, mirrored live from the streams so a
+	// promotion can resolve in-doubt decisions exactly as crash recovery
+	// would from a scan. bmu is shared by the coord pump (decisions, marks)
+	// and the data pumps (applied, maxTxID from cross groups).
+	bmu       sync.Mutex
+	decisions []wal.TxnGroup
+	marks     map[uint64]bool
+	applied   map[uint64]map[string]bool
+	maxTxID   uint64
+}
+
+// stream is one device being tailed: the cursor the pump has applied
+// through, published under mu for drain waiters and gauges.
+type stream struct {
+	name string
+	dev  wal.Device
+	tl   *wal.Tailer
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	appliedOff int
+	appliedLSN uint64
+	appliedRev uint64
+	err        error
+	done       bool
+}
+
+func newStream(name string, dev wal.Device) *stream {
+	s := &stream{name: name, dev: dev, tl: wal.NewTailer(dev, 0, 1)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *stream) lsn() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appliedLSN
+}
+
+func (s *stream) rev() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appliedRev
+}
+
+// advance publishes the cursor past one applied unit.
+func (s *stream) advance(u wal.Unit, maxRev uint64) {
+	s.mu.Lock()
+	s.appliedOff = u.EndOff
+	s.appliedLSN = u.EndLSN
+	if maxRev > s.appliedRev {
+		s.appliedRev = maxRev
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// finish marks the pump done (on close) or failed (on a bad stream or an
+// apply error) and wakes drain waiters.
+func (s *stream) finish(err error) {
+	s.mu.Lock()
+	s.done = true
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// drained blocks until the pump has applied everything the device holds, or
+// has failed. Convergence after a fence is guaranteed: no new frames land,
+// so appliedOff catches the (now fixed) device size.
+func (s *stream) drained() error {
+	target := s.dev.Size()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil {
+			return s.err
+		}
+		if s.appliedOff >= target {
+			return nil
+		}
+		if s.done {
+			return wal.ErrTailerClosed
+		}
+		s.cond.Wait()
+	}
+}
+
+// AddLocalReplica grows the group with a replica for a single-System
+// primary: a fresh engine and store (same shard geometry as the primary)
+// that will tail the stream from offset zero. Returns the Follower serving
+// follower reads. opts mirror kv.NewLocal's.
+func (g *Group) AddLocalReplica(eng rhtm.Engine, st kv.Storer, opts ...kv.Option) (*Follower, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.local == nil {
+		return nil, errNotLocal
+	}
+	if g.killed {
+		return nil, ErrKilled
+	}
+	f := &Follower{g: g, name: g.nextName()}
+	f.localDB = kv.NewLocal(eng, st, opts...)
+	f.db = f.localDB
+	f.wms = store.NewWatermarks(len(st.EventLogs()))
+	s := newStream("wal", g.dev)
+	f.streams = []*stream{s}
+	f.wg.Add(1)
+	go f.pumpData(s, eng, st, -1)
+	g.register(f)
+	return f, nil
+}
+
+// AddClusterReplica grows the group with a replica for a cluster primary:
+// a fresh cluster of the same size whose Systems tail the per-System
+// streams while a coordinator pump mirrors the decision log's bookkeeping.
+func (g *Group) AddClusterReplica(rc *cluster.Cluster, opts ...kv.Option) (*Follower, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cdb == nil {
+		return nil, errNotCluster
+	}
+	if g.killed {
+		return nil, ErrKilled
+	}
+	if rc.NumSystems() != len(g.dataDevs) {
+		return nil, errSizeMismatch
+	}
+	f := &Follower{
+		g: g, name: g.nextName(),
+		marks:   map[uint64]bool{},
+		applied: map[uint64]map[string]bool{},
+	}
+	f.cdb = kv.NewCluster(rc, opts...)
+	f.db = f.cdb
+	f.wms = store.NewWatermarks(rc.NumSystems())
+	for i, dev := range g.dataDevs {
+		s := newStream(kv.WALDataName(i), dev)
+		f.streams = append(f.streams, s)
+		f.wg.Add(1)
+		go f.pumpData(s, rc.Node(i).Engine(), rc.Node(i).Store(), i)
+	}
+	f.coord = newStream(kv.WALCoordName, g.coordDev)
+	f.wg.Add(1)
+	go f.pumpCoord(f.coord)
+	g.register(f)
+	return f, nil
+}
+
+func (g *Group) nextName() string {
+	g.nextID++
+	return fmt.Sprintf("replica-%d", g.nextID-1)
+}
+
+// Name returns the follower's membership name.
+func (f *Follower) Name() string { return f.name }
+
+// FollowerGet implements kv.FollowerReader against the replica: the
+// returned watermark is the partition clock the apply pump has provably
+// reached, read in the same engine transaction as the key.
+func (f *Follower) FollowerGet(key []byte) ([]byte, kv.Revision, kv.Revision, error) {
+	return f.db.(kv.FollowerReader).FollowerGet(key)
+}
+
+// ReadAt implements kv.FollowerReader against the replica.
+func (f *Follower) ReadAt(key []byte, floor kv.Revision) ([]byte, kv.Revision, kv.Revision, error) {
+	return f.db.(kv.FollowerReader).ReadAt(key, floor)
+}
+
+// DB exposes the replica's DB. Before promotion, anything beyond the
+// FollowerReader surface (writes, leases, watches) is the caller's own
+// risk: the apply pumps own the replica's mutation path.
+func (f *Follower) DB() kv.DB { return f.db }
+
+// AppliedRev returns partition part's applied watermark — advisory lag
+// accounting (the follower-read watermark is always read transactionally).
+func (f *Follower) AppliedRev(part int) uint64 { return f.wms.Get(part) }
+
+// WaitIdle blocks until the follower has applied every frame its devices
+// currently hold — the test hook for deterministic catch-up, and the drain
+// step of promotion.
+func (f *Follower) WaitIdle() error { return f.drain() }
+
+func (f *Follower) drain() error {
+	for _, s := range f.allStreams() {
+		if err := s.drained(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Follower) allStreams() []*stream {
+	if f.coord == nil {
+		return f.streams
+	}
+	return append(append([]*stream(nil), f.streams...), f.coord)
+}
+
+func (f *Follower) appliedTotal() uint64 {
+	var t uint64
+	for _, s := range f.allStreams() {
+		t += s.lsn()
+	}
+	return t
+}
+
+func (f *Follower) kick() {
+	for _, s := range f.allStreams() {
+		s.tl.Kick()
+	}
+}
+
+// stop closes the tailers and joins the pumps. Idempotent.
+func (f *Follower) stop() {
+	f.stopMu.Lock()
+	if f.stopped {
+		f.stopMu.Unlock()
+		return
+	}
+	f.stopped = true
+	f.stopMu.Unlock()
+	for _, s := range f.allStreams() {
+		s.tl.Close()
+	}
+	f.wg.Wait()
+}
+
+// pumpData tails one data stream and applies whole units to the replica
+// System through the replay entry points, on a dedicated engine thread.
+// part >= 0 pins the watermark partition (cluster streams log Part 0 for a
+// whole System); -1 uses each op's own partition (sharded local stores).
+func (f *Follower) pumpData(s *stream, eng rhtm.Engine, st kv.Storer, part int) {
+	defer f.wg.Done()
+	th := eng.NewThread()
+	for {
+		u, err := s.tl.Next()
+		if err != nil {
+			if err == wal.ErrTailerClosed {
+				s.finish(nil)
+			} else {
+				s.finish(err)
+			}
+			return
+		}
+		var maxRev uint64
+		switch u.Kind {
+		case wal.UnitTxn:
+			maxRev, err = f.applyOps(th, st, u.Txn.Ops, part)
+			if err == nil && u.Txn.Cross {
+				f.recordApplied(u.Txn)
+			}
+		case wal.UnitCheckpoint:
+			// Fully redundant for a caught-up follower (snapshots hold only
+			// live keys at their current revisions, all <= the applied
+			// watermark); the per-key guard in applyOps skips them. A
+			// follower attached mid-log uses them as its catch-up base.
+			maxRev, err = f.applyOps(th, st, u.Checkpoint, part)
+		case wal.UnitMark, wal.UnitEpoch:
+			// Resolution marks carry no System state; epoch frames fence
+			// the log, not the data. Both just move the cursor.
+		}
+		if err != nil {
+			s.finish(err)
+			return
+		}
+		s.advance(u, maxRev)
+	}
+}
+
+// applyOps applies one unit's ops in a single engine transaction — the
+// unit's atomicity on the replica — with a per-key revision guard making
+// re-delivery (checkpoint overlap, reattached cursors) idempotent.
+func (f *Follower) applyOps(th rhtm.Thread, st kv.Storer, ops []wal.Op, part int) (uint64, error) {
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	var maxRev uint64
+	err := th.Atomic(func(tx rhtm.Tx) error {
+		maxRev = 0 // the body re-executes on engine aborts
+		for i := range ops {
+			op := &ops[i]
+			if op.Rev > maxRev {
+				maxRev = op.Rev
+			}
+			_, cur, _, ok := st.Read(tx, op.Key)
+			if ok && op.Rev <= cur {
+				continue
+			}
+			if op.Kind == wal.OpPut {
+				if err := st.ReplayPut(tx, op.Key, op.Value, op.Rev, op.Lease); err != nil {
+					return err
+				}
+			} else {
+				st.ReplayDelete(tx, op.Key, op.Rev)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	f.g.applyBatch.Observe(uint64(len(ops)))
+	for i := range ops {
+		p := part
+		if p < 0 {
+			p = ops[i].Part
+		}
+		f.wms.Set(p, ops[i].Rev)
+	}
+	return maxRev, nil
+}
+
+// recordApplied tracks which keys of a cross-System transaction reached
+// this System's stream — the redo filter a promotion's in-doubt resolution
+// uses, exactly as OpenCluster rebuilds it from a scan.
+func (f *Follower) recordApplied(g wal.TxnGroup) {
+	f.bmu.Lock()
+	defer f.bmu.Unlock()
+	if g.TxID > f.maxTxID {
+		f.maxTxID = g.TxID
+	}
+	if f.applied == nil {
+		return // local follower: no coordinator bookkeeping
+	}
+	keys := f.applied[g.TxID]
+	if keys == nil {
+		keys = map[string]bool{}
+		f.applied[g.TxID] = keys
+	}
+	for _, op := range g.Ops {
+		keys[string(op.Key)] = true
+	}
+}
+
+// pumpCoord mirrors the decision log into the follower's bookkeeping,
+// tracking exactly what a wal.Scan of the same prefix would report:
+// commit decisions since the last global mark, their resolution marks, and
+// the transaction-id high water.
+func (f *Follower) pumpCoord(s *stream) {
+	defer f.wg.Done()
+	for {
+		u, err := s.tl.Next()
+		if err != nil {
+			if err == wal.ErrTailerClosed {
+				s.finish(nil)
+			} else {
+				s.finish(err)
+			}
+			return
+		}
+		f.bmu.Lock()
+		switch u.Kind {
+		case wal.UnitTxn:
+			f.decisions = append(f.decisions, u.Txn)
+			if u.Txn.Cross && u.TxID > f.maxTxID {
+				f.maxTxID = u.TxID
+			}
+		case wal.UnitMark:
+			if u.TxID > f.maxTxID {
+				f.maxTxID = u.TxID
+			}
+			if u.Flags&wal.FlagGlobal != 0 {
+				f.decisions = nil
+				f.marks = map[uint64]bool{}
+			} else {
+				f.marks[u.TxID] = true
+			}
+		case wal.UnitCheckpoint:
+			f.decisions = nil
+		case wal.UnitEpoch:
+			// Membership history; the group tracks the live view.
+		}
+		f.bmu.Unlock()
+		s.advance(u, 0)
+	}
+}

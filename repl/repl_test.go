@@ -1,0 +1,328 @@
+package repl_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rhtm"
+	"rhtm/cluster"
+	"rhtm/kv"
+	"rhtm/repl"
+	"rhtm/store"
+	"rhtm/wal"
+)
+
+// The repl battery runs on TL2 (software, deterministic); the full 6-engine
+// sweep lives in the kv DBReplication battery.
+
+func newLocalPrimary(t *testing.T) (*kv.Local, *wal.MemStorage, wal.Device) {
+	t.Helper()
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+	eng := rhtm.NewTL2(s)
+	st := store.New(s, store.Options{ArenaWords: 1 << 14})
+	stg := wal.NewMemStorage()
+	dev, err := stg.Device("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := kv.OpenLocal(eng, st, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, stg, dev
+}
+
+func newLocalReplica(t *testing.T, g *repl.Group) *repl.Follower {
+	t.Helper()
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+	eng := rhtm.NewTL2(s)
+	st := store.New(s, store.Options{ArenaWords: 1 << 14})
+	f, err := g.AddLocalReplica(eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestLocalReplication: a replica tails the primary's log and serves
+// follower reads whose watermark is never ahead of the data and never
+// behind a drained log.
+func TestLocalReplication(t *testing.T) {
+	db, _, dev := newLocalPrimary(t)
+	g, err := repl.NewLocalGroup(db, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	f := newLocalReplica(t, g)
+
+	keys := map[string]kv.Revision{}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k-%02d", i)
+		if err := db.Put([]byte(k), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k-%02d", i)
+		_, rev, err := db.GetRev([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[k] = rev
+	}
+	if err := f.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range keys {
+		val, rev, wm, err := f.FollowerGet([]byte(k))
+		if err != nil {
+			t.Fatalf("FollowerGet(%s): %v", k, err)
+		}
+		if rev != want {
+			t.Fatalf("%s: follower rev %d, primary rev %d", k, rev, want)
+		}
+		if rev > wm {
+			t.Fatalf("%s: rev %d above watermark %d", k, rev, wm)
+		}
+		if string(val) != fmt.Sprintf("v-%s", k[2:]) && len(val) == 0 {
+			t.Fatalf("%s: empty value", k)
+		}
+		// Read-your-writes at the primary's revision: a drained follower
+		// must prove it.
+		if _, _, _, err := f.ReadAt([]byte(k), want); err != nil {
+			t.Fatalf("ReadAt(%s, %d): %v", k, want, err)
+		}
+	}
+	// A floor beyond the log is provably too stale.
+	if _, _, _, err := f.ReadAt([]byte("k-00"), 1<<40); !errors.Is(err, kv.ErrTooStale) {
+		t.Fatalf("ReadAt(future floor): %v, want ErrTooStale", err)
+	}
+	// Absent key: ErrNotFound, watermark still meaningful.
+	if _, _, wm, err := f.FollowerGet([]byte("missing")); !errors.Is(err, kv.ErrNotFound) || wm == 0 {
+		t.Fatalf("FollowerGet(missing): wm=%d err=%v", wm, err)
+	}
+
+	snap := g.Metrics().Flatten()
+	if snap["repl.lag_frames"] != 0 {
+		t.Fatalf("drained lag = %d, want 0", snap["repl.lag_frames"])
+	}
+	if snap["repl.applied_lsn{replica=replica-0,stream=wal}"] == 0 {
+		t.Fatalf("applied_lsn gauge missing or zero: %v", snap)
+	}
+}
+
+// TestLocalFailover: kill the primary mid-life, promote the most-caught-up
+// of two replicas, verify zero acknowledged writes lost, zombie commits
+// fenced, the epoch frame durable, and the surviving replica following the
+// new primary.
+func TestLocalFailover(t *testing.T) {
+	db, _, dev := newLocalPrimary(t)
+	g, err := repl.NewLocalGroup(db, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	f0 := newLocalReplica(t, g)
+	f1 := newLocalReplica(t, g)
+
+	acked := map[string]string{}
+	for i := 0; i < 40; i++ {
+		k, v := fmt.Sprintf("a-%02d", i), fmt.Sprintf("val-%d", i)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		acked[k] = v
+	}
+	if err := db.Delete([]byte("a-00")); err != nil {
+		t.Fatal(err)
+	}
+	delete(acked, "a-00")
+
+	g.Kill()
+	// The zombie's writes are rejected before any frame reaches the device.
+	if err := db.Put([]byte("zombie"), []byte("x")); !errors.Is(err, kv.ErrFenced) {
+		t.Fatalf("zombie Put: %v, want ErrFenced", err)
+	}
+
+	newDB, promoted, err := g.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted != f0 && promoted != f1 {
+		t.Fatalf("promoted unknown follower %v", promoted.Name())
+	}
+	for k, v := range acked {
+		got, err := newDB.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("after promotion Get(%s) = %q, %v; want %q", k, got, err, v)
+		}
+	}
+	if _, err := newDB.Get([]byte("a-00")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("deleted key resurrected: %v", err)
+	}
+	if _, err := newDB.Get([]byte("zombie")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("zombie write survived the fence: %v", err)
+	}
+
+	m := g.Membership()
+	if m.Epoch != 2 || m.Primary != promoted.Name() || len(m.Replicas) != 1 {
+		t.Fatalf("membership after promotion: %+v", m)
+	}
+	// The epoch frame is the durable membership record.
+	sr, err := wal.OpenDevice(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Epoch != 2 {
+		t.Fatalf("durable epoch %d, want 2", sr.Epoch)
+	}
+
+	// The new primary serves writes; the surviving replica follows it.
+	if err := newDB.Put([]byte("after"), []byte("promo")); err != nil {
+		t.Fatal(err)
+	}
+	survivor := f0
+	if promoted == f0 {
+		survivor = f1
+	}
+	if err := survivor.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if val, _, _, err := survivor.FollowerGet([]byte("after")); err != nil || string(val) != "promo" {
+		t.Fatalf("survivor read after failover: %q, %v", val, err)
+	}
+
+	snap := g.Metrics().Flatten()
+	if snap["repl.promotions"] != 1 {
+		t.Fatalf("promotions = %d, want 1", snap["repl.promotions"])
+	}
+	if snap["repl.fenced_frames"] == 0 {
+		t.Fatalf("fenced_frames = 0, want the zombie rejection counted")
+	}
+}
+
+func newClusterPrimary(t *testing.T, systems int) (*kv.ClusterDB, *wal.MemStorage) {
+	t.Helper()
+	c := cluster.MustNew(cluster.Config{
+		Systems:    systems,
+		DataWords:  1 << 15,
+		ArenaWords: 1 << 13,
+		NewEngine: func(s *rhtm.System) (rhtm.Engine, error) {
+			return rhtm.NewTL2(s), nil
+		},
+	})
+	stg := wal.NewMemStorage()
+	db, err := kv.OpenCluster(c, stg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, stg
+}
+
+func newClusterReplica(t *testing.T, g *repl.Group, systems int) *repl.Follower {
+	t.Helper()
+	rc := cluster.MustNew(cluster.Config{
+		Systems:    systems,
+		DataWords:  1 << 15,
+		ArenaWords: 1 << 13,
+		NewEngine: func(s *rhtm.System) (rhtm.Engine, error) {
+			return rhtm.NewTL2(s), nil
+		},
+	})
+	f, err := g.AddClusterReplica(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestClusterFailover: replicate a multi-System primary — including
+// cross-System transactions — kill it, promote, and verify the committed
+// state (transfer invariant included) survived intact.
+func TestClusterFailover(t *testing.T) {
+	const systems = 3
+	db, stg := newClusterPrimary(t, systems)
+	g, err := repl.NewClusterGroup(db, stg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	f := newClusterReplica(t, g, systems)
+
+	// A transfer workload: value conservation across keys that land on
+	// different Systems is the all-or-nothing witness.
+	const accounts = 8
+	key := func(i int) []byte { return []byte(fmt.Sprintf("acct-%d", i)) }
+	for i := 0; i < accounts; i++ {
+		if err := db.Put(key(i), []byte{100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		from, to := i%accounts, (i+3)%accounts
+		if from == to {
+			continue
+		}
+		err := db.Update(func(tx kv.Txn) error {
+			a, err := tx.Get(key(from))
+			if err != nil {
+				return err
+			}
+			b, err := tx.Get(key(to))
+			if err != nil {
+				return err
+			}
+			if a[0] == 0 {
+				return nil
+			}
+			if err := tx.Put(key(from), []byte{a[0] - 1}); err != nil {
+				return err
+			}
+			return tx.Put(key(to), []byte{b[0] + 1})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g.Kill()
+	if err := db.Put([]byte("zombie"), []byte("x")); !errors.Is(err, kv.ErrFenced) {
+		t.Fatalf("zombie Put: %v, want ErrFenced", err)
+	}
+	newDB, promoted, err := g.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted != f {
+		t.Fatalf("promoted %v", promoted.Name())
+	}
+
+	total := 0
+	for i := 0; i < accounts; i++ {
+		v, err := newDB.Get(key(i))
+		if err != nil {
+			t.Fatalf("Get(acct-%d): %v", i, err)
+		}
+		total += int(v[0])
+	}
+	if total != accounts*100 {
+		t.Fatalf("transfer invariant broken across failover: total %d, want %d", total, accounts*100)
+	}
+	if _, err := newDB.Get([]byte("zombie")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("zombie write survived: %v", err)
+	}
+	// The new primary accepts cross-System commits under the new epoch.
+	if err := newDB.Update(func(tx kv.Txn) error {
+		if err := tx.Put([]byte("x-0"), []byte("1")); err != nil {
+			return err
+		}
+		return tx.Put([]byte("x-7"), []byte("2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m := g.Membership(); m.Epoch != 2 {
+		t.Fatalf("epoch %d, want 2", m.Epoch)
+	}
+}

@@ -162,7 +162,8 @@ func (c *conn) dispatch(m wire.Msg) bool {
 		c.enqueueOp(m, kv.Op{Kind: kv.OpPut, Key: m.Key, Value: m.Value})
 	case wire.KindGetRev, wire.KindPutIf, wire.KindDeleteIf, wire.KindBatch,
 		wire.KindTxn, wire.KindScan, wire.KindGrant, wire.KindKeepAlive,
-		wire.KindRevoke, wire.KindExpire, wire.KindCheckpoint, wire.KindMetrics:
+		wire.KindRevoke, wire.KindExpire, wire.KindCheckpoint, wire.KindMetrics,
+		wire.KindFollowerGet:
 		c.spawn(m)
 	default:
 		return false
@@ -257,6 +258,22 @@ func (c *conn) handle(m wire.Msg) {
 			return
 		}
 		c.send(wire.Msg{ID: m.ID, Kind: wire.KindValue, Value: data})
+	case wire.KindFollowerGet:
+		fr, ok := db.(kv.FollowerReader)
+		if !ok {
+			c.send(errMsg(m.ID, errors.New("server: backend has no follower-read surface")))
+			return
+		}
+		v, rev, wm, err := fr.ReadAt(m.Key, m.Rev)
+		switch {
+		case errors.Is(err, kv.ErrNotFound):
+			// Absence is a fact at the watermark, not a failure.
+			c.send(wire.Msg{ID: m.ID, Kind: wire.KindFollowerValue, Flags: wire.FlagAbsent, Lease: wm})
+		case err != nil:
+			c.send(errMsg(m.ID, err))
+		default:
+			c.send(wire.Msg{ID: m.ID, Kind: wire.KindFollowerValue, Value: v, Rev: rev, Lease: wm})
+		}
 	}
 }
 

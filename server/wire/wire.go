@@ -138,6 +138,15 @@ const (
 	// KindWatchEnd closes a watch stream (after cancel, disconnect, or
 	// server shutdown).
 	KindWatchEnd
+	// KindFollowerGet reads one key at a staleness floor (Rev; 0 = none)
+	// against a replica or the primary (response: FollowerValue, or Err
+	// with CodeTooStale when the watermark has not reached the floor).
+	KindFollowerGet
+	// KindFollowerValue answers FollowerGet: the value and its revision as
+	// in a Value frame, plus the applied watermark the read is provably
+	// current to riding in Lease (FlagAbsent marks a missing key, the
+	// watermark still meaningful).
+	KindFollowerValue
 	kindMax
 )
 
@@ -151,6 +160,7 @@ var kindNames = [...]string{
 	KindWatchIdle: "watchidle", KindCheckpoint: "checkpoint", KindMetrics: "metrics",
 	KindOK: "ok", KindErr: "err", KindValue: "value", KindEntries: "entries",
 	KindResults: "results", KindEvent: "event", KindWatchEnd: "watchend",
+	KindFollowerGet: "followerget", KindFollowerValue: "followervalue",
 }
 
 func (k Kind) String() string {
@@ -201,6 +211,12 @@ const (
 	// CodeShutdown maps ErrShutdown: the server is draining and refused or
 	// abandoned the request.
 	CodeShutdown
+	// CodeTooStale maps kv.ErrTooStale: a follower read's staleness floor
+	// is above the replica's applied watermark.
+	CodeTooStale
+	// CodeFenced maps kv.ErrFenced: the server's DB was deposed by an
+	// epoch fence — retry against the new primary.
+	CodeFenced
 )
 
 // ErrShutdown is the sentinel a draining server answers with; clients see
@@ -314,7 +330,7 @@ func Encode(dst []byte, m Msg) ([]byte, error) {
 		dst = appendU64(dst, m.Rev)
 	case KindKeepAlive, KindRevoke:
 		dst = appendU64(dst, m.Lease)
-	case KindWatch:
+	case KindWatch, KindFollowerGet:
 		dst = appendBytes(dst, m.Key)
 		dst = appendU64(dst, m.Rev)
 	case KindOK, KindWatchCancel:
@@ -326,6 +342,10 @@ func Encode(dst []byte, m Msg) ([]byte, error) {
 	case KindValue:
 		dst = appendBytes(dst, m.Value)
 		dst = appendU64(dst, m.Rev)
+	case KindFollowerValue:
+		dst = appendBytes(dst, m.Value)
+		dst = appendU64(dst, m.Rev)
+		dst = appendU64(dst, m.Lease)
 	case KindEntries:
 		dst = appendU32(dst, uint32(len(m.Entries)))
 		for _, e := range m.Entries {
@@ -465,7 +485,7 @@ func decodeBody(body []byte) (Msg, error) {
 		m.Rev = d.u64()
 	case KindKeepAlive, KindRevoke:
 		m.Lease = d.u64()
-	case KindWatch:
+	case KindWatch, KindFollowerGet:
 		m.Key = d.bytes()
 		m.Rev = d.u64()
 	case KindOK, KindWatchCancel:
@@ -476,6 +496,10 @@ func decodeBody(body []byte) (Msg, error) {
 	case KindValue:
 		m.Value = d.bytes()
 		m.Rev = d.u64()
+	case KindFollowerValue:
+		m.Value = d.bytes()
+		m.Rev = d.u64()
+		m.Lease = d.u64()
 	case KindEntries:
 		n := d.count(16) // two length words + rev
 		for i := 0; i < n && d.err == nil; i++ {
@@ -679,6 +703,10 @@ func CodeOf(err error) uint8 {
 		return CodeNoWAL
 	case errors.Is(err, ErrShutdown):
 		return CodeShutdown
+	case errors.Is(err, kv.ErrTooStale):
+		return CodeTooStale
+	case errors.Is(err, kv.ErrFenced):
+		return CodeFenced
 	default:
 		return CodeErr
 	}
@@ -706,6 +734,10 @@ func Sentinel(code uint8) error {
 		return kv.ErrNoWAL
 	case CodeShutdown:
 		return ErrShutdown
+	case CodeTooStale:
+		return kv.ErrTooStale
+	case CodeFenced:
+		return kv.ErrFenced
 	default:
 		return nil
 	}

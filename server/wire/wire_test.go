@@ -147,6 +147,32 @@ func TestWireGoldenVectors(t *testing.T) {
 	}
 }
 
+// TestWireFollowerRead pins the follower-read pair: the request carries
+// Key + Rev (the staleness floor), the response Value + Rev + Lease (the
+// watermark), and an absent key keeps its watermark under FlagAbsent.
+func TestWireFollowerRead(t *testing.T) {
+	msgs := []Msg{
+		{ID: 20, Kind: KindFollowerGet, Key: []byte("k"), Rev: 7},
+		{ID: 21, Kind: KindFollowerValue, Value: []byte("v"), Rev: 7, Lease: 9},
+		{ID: 22, Kind: KindFollowerValue, Flags: FlagAbsent, Lease: 9},
+	}
+	for _, want := range msgs {
+		frame, err := Encode(nil, want)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", want.Kind, err)
+		}
+		got, n, err := Decode(frame)
+		if err != nil || n != len(frame) {
+			t.Fatalf("%v: decode: n=%d err=%v", want.Kind, n, err)
+		}
+		if got.ID != want.ID || got.Kind != want.Kind || got.Flags != want.Flags ||
+			!bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) ||
+			got.Rev != want.Rev || got.Lease != want.Lease {
+			t.Errorf("%v: round trip got %+v want %+v", want.Kind, got, want)
+		}
+	}
+}
+
 // TestWireCorruption: every single-byte corruption of a frame must be
 // rejected with ErrCorrupt (or shorten into ErrTorn via the length word) —
 // never decode into a different message.
@@ -318,6 +344,7 @@ func TestWireErrorMapping(t *testing.T) {
 		kv.ErrNotFound, kv.ErrConflict, kv.ErrRevisionMismatch,
 		kv.ErrLeaseNotFound, kv.ErrReservedKey, kv.ErrArenaFull,
 		kv.ErrTooLarge, kv.ErrNoWAL, ErrShutdown,
+		kv.ErrTooStale, kv.ErrFenced,
 	}
 	for _, sent := range sentinels {
 		code := CodeOf(sent)

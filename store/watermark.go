@@ -1,0 +1,52 @@
+package store
+
+import "sync/atomic"
+
+// Watermarks is a lock-free per-partition vector of applied revisions — the
+// replication layer's progress accounting. Each replica apply pump bumps
+// its partition's entry after committing a replayed transaction, and lag
+// metrics read the vector without touching the engine. It is advisory: the
+// *correctness* watermark a follower read reports is the partition's
+// revision clock read inside the same engine transaction as the key, which
+// is what makes never-future provable. This vector only has to be monotone
+// and cheap.
+type Watermarks struct {
+	revs []atomic.Uint64
+}
+
+// NewWatermarks builds a zeroed vector for parts partitions.
+func NewWatermarks(parts int) *Watermarks {
+	return &Watermarks{revs: make([]atomic.Uint64, parts)}
+}
+
+// Set raises partition part's watermark to rev (monotone: lower values are
+// ignored, so racing pumps can publish out of order).
+func (w *Watermarks) Set(part int, rev uint64) {
+	for {
+		cur := w.revs[part].Load()
+		if rev <= cur || w.revs[part].CompareAndSwap(cur, rev) {
+			return
+		}
+	}
+}
+
+// Get returns partition part's watermark.
+func (w *Watermarks) Get(part int) uint64 { return w.revs[part].Load() }
+
+// Min returns the lowest watermark across all partitions — the floor every
+// partition has provably reached.
+func (w *Watermarks) Min() uint64 {
+	if len(w.revs) == 0 {
+		return 0
+	}
+	min := w.revs[0].Load()
+	for i := 1; i < len(w.revs); i++ {
+		if v := w.revs[i].Load(); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Parts returns the vector length.
+func (w *Watermarks) Parts() int { return len(w.revs) }

@@ -1,0 +1,40 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWatermarksMonotone: Set never lowers an entry, Min is the floor, and
+// racing publishers keep the vector consistent.
+func TestWatermarksMonotone(t *testing.T) {
+	w := NewWatermarks(3)
+	w.Set(0, 5)
+	w.Set(0, 3) // ignored
+	if got := w.Get(0); got != 5 {
+		t.Fatalf("Get(0) = %d, want 5", got)
+	}
+	if got := w.Min(); got != 0 {
+		t.Fatalf("Min = %d, want 0 (untouched partitions)", got)
+	}
+	w.Set(1, 7)
+	w.Set(2, 6)
+	if got := w.Min(); got != 5 {
+		t.Fatalf("Min = %d, want 5", got)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rev := uint64(1); rev <= 1000; rev++ {
+				w.Set(0, rev)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Get(0); got != 1000 {
+		t.Fatalf("after racing publishers Get(0) = %d, want 1000", got)
+	}
+}

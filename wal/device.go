@@ -238,6 +238,28 @@ func (d *MemDevice) Size() int {
 	return d.size
 }
 
+// ContentsFrom reads the bytes appended at or after offset off — the
+// tailer's incremental read path (the capability Tailer probes for, so it
+// avoids re-reading the whole device on every wakeup).
+func (d *MemDevice) ContentsFrom(off int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 || off > d.size {
+		return nil, fmt.Errorf("wal: read at %d outside device of %d bytes", off, d.size)
+	}
+	out := make([]byte, 0, d.size-off)
+	skip := off
+	for _, seg := range d.segs {
+		if skip >= len(seg.buf) {
+			skip -= len(seg.buf)
+			continue
+		}
+		out = append(out, seg.buf[skip:]...)
+		skip = 0
+	}
+	return out, nil
+}
+
 // Syncs returns how many Sync barriers the device has served (tests).
 func (d *MemDevice) Syncs() int {
 	d.mu.Lock()
@@ -297,6 +319,19 @@ func (d *FileDevice) Sync() error { return d.f.Sync() }
 func (d *FileDevice) Contents() ([]byte, error) {
 	out := make([]byte, d.size)
 	if _, err := d.f.ReadAt(out, 0); err != nil && d.size > 0 {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ContentsFrom reads the bytes at or after offset off (the tailer's
+// incremental read capability).
+func (d *FileDevice) ContentsFrom(off int) ([]byte, error) {
+	if off < 0 || off > d.size {
+		return nil, fmt.Errorf("wal: read at %d outside device of %d bytes", off, d.size)
+	}
+	out := make([]byte, d.size-off)
+	if _, err := d.f.ReadAt(out, int64(off)); err != nil && len(out) > 0 {
 		return nil, err
 	}
 	return out, nil

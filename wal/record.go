@@ -25,6 +25,7 @@ import (
 //	                        u32 value length, value bytes
 //	CheckpointBegin:        (empty)
 //	CheckpointEnd:          u64 entry count
+//	Epoch:                  u64 epoch, u32 blob length, membership blob
 //
 // The CRC is the torn-tail detector: recovery reads frames until one is
 // incomplete or fails its checksum and treats everything after as lost.
@@ -52,6 +53,13 @@ const (
 	// decision before it is fully resolved; without, the single transaction
 	// it names is.
 	KindMark
+	// KindEpoch is a membership record: the stream's primary epoch number
+	// rides in the TxID field and an opaque membership blob (the repl
+	// layer's role map, JSON) in Meta. Promotion appends one, synced, as
+	// its first frame — the durable fencing evidence: a writer of an older
+	// epoch was fenced before this frame could exist, so no frame after it
+	// can have come from the deposed primary.
+	KindEpoch
 	kindMax
 )
 
@@ -94,10 +102,12 @@ type Record struct {
 	Flags uint8
 	LSN   uint64
 	// TxID is the group id for Begin/Commit/Mark, the entry count for
-	// CheckpointEnd, and unused otherwise.
+	// CheckpointEnd, the epoch number for Epoch, and unused otherwise.
 	TxID uint64
 	// Op carries the payload of KindOp and KindCheckpointEntry frames.
 	Op Op
+	// Meta carries the membership blob of KindEpoch frames.
+	Meta []byte
 }
 
 // ErrTorn reports an incomplete trailing frame: the crash cut mid-record.
@@ -139,6 +149,10 @@ func Encode(dst []byte, r Record) []byte {
 		dst = append(dst, r.Op.Value...)
 	case KindCheckpointBegin:
 		// empty payload
+	case KindEpoch:
+		dst = appendU64(dst, r.TxID)
+		dst = appendU32(dst, uint32(len(r.Meta)))
+		dst = append(dst, r.Meta...)
 	default:
 		panic(fmt.Sprintf("wal: encode of unknown kind %d", r.Kind))
 	}
@@ -210,6 +224,18 @@ func Decode(b []byte) (Record, int, error) {
 	case KindCheckpointBegin:
 		if len(p) != 0 {
 			return Record{}, 0, fmt.Errorf("%w: checkpoint-begin payload", ErrCorrupt)
+		}
+	case KindEpoch:
+		if len(p) < 12 {
+			return Record{}, 0, fmt.Errorf("%w: epoch payload %d bytes", ErrCorrupt, len(p))
+		}
+		r.TxID = binary.LittleEndian.Uint64(p)
+		mlen := int(binary.LittleEndian.Uint32(p[8:]))
+		if mlen != len(p)-12 {
+			return Record{}, 0, fmt.Errorf("%w: epoch blob length %d of %d", ErrCorrupt, mlen, len(p)-12)
+		}
+		if mlen > 0 {
+			r.Meta = append([]byte(nil), p[12:]...)
 		}
 	default:
 		return Record{}, 0, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, r.Kind)

@@ -36,6 +36,11 @@ type ScanResult struct {
 	// (including resolved history) — the floor for a recovered coordinator's
 	// transaction-id counter.
 	MaxTxID uint64
+	// Epoch is the largest primary epoch recorded in the log (0 when no
+	// KindEpoch frame exists), and Membership the blob of the latest such
+	// frame — the repl layer's durable role map.
+	Epoch      uint64
+	Membership []byte
 }
 
 // Scan parses one stream's bytes into its recovery view. Scanning is
@@ -118,6 +123,15 @@ func Scan(data []byte) ScanResult {
 				sr.Marks = map[uint64]bool{}
 			} else {
 				sr.Marks[rec.TxID] = true
+			}
+		case KindEpoch:
+			if open != nil || inCkpt {
+				bad = true
+				break
+			}
+			if rec.TxID >= sr.Epoch {
+				sr.Epoch = rec.TxID
+				sr.Membership = rec.Meta
 			}
 		default:
 			bad = true

@@ -1,0 +1,295 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestEpochFrameRoundTrip: KindEpoch survives Encode/Decode and Scan keeps
+// the newest epoch/membership.
+func TestEpochFrameRoundTrip(t *testing.T) {
+	blob := []byte(`{"epoch":3,"primary":"sys-01"}`)
+	buf := Encode(nil, Record{Kind: KindEpoch, LSN: 1, TxID: 3, Meta: blob})
+	rec, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(buf) || rec.Kind != KindEpoch || rec.TxID != 3 || !bytes.Equal(rec.Meta, blob) {
+		t.Fatalf("roundtrip mismatch: %+v consumed %d of %d", rec, n, len(buf))
+	}
+
+	// Empty membership blobs are legal.
+	buf2 := Encode(nil, Record{Kind: KindEpoch, LSN: 2, TxID: 4})
+	if rec, _, err = Decode(buf2); err != nil || rec.TxID != 4 || rec.Meta != nil {
+		t.Fatalf("empty blob roundtrip: %+v, %v", rec, err)
+	}
+
+	sr := Scan(append(buf, buf2...))
+	if sr.Epoch != 4 || sr.Membership != nil {
+		t.Fatalf("scan epoch %d membership %q, want 4/nil", sr.Epoch, sr.Membership)
+	}
+	if sr.ValidBytes != len(buf)+len(buf2) || sr.NextLSN != 3 {
+		t.Fatalf("scan cursor %d/%d", sr.ValidBytes, sr.NextLSN)
+	}
+}
+
+// TestWriterAppendEpoch: the epoch frame is appended synced and a scan of
+// the device sees it alongside ordinary traffic.
+func TestWriterAppendEpoch(t *testing.T) {
+	dev := &MemDevice{}
+	w := NewWriter(dev, 1, map[int]uint64{0: 1}, Options{})
+	if err := w.Commit(1, 0, []Op{{Part: 0, Kind: OpPut, Key: []byte("a"), Value: []byte("1"), Rev: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendEpoch(7, []byte("members")); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Size() != dev.synced {
+		t.Fatalf("epoch frame not covered by a sync: %d of %d", dev.synced, dev.Size())
+	}
+	sr := scanDev(t, dev)
+	if sr.Epoch != 7 || string(sr.Membership) != "members" || len(sr.Txns) != 1 {
+		t.Fatalf("scan: epoch %d membership %q txns %d", sr.Epoch, sr.Membership, len(sr.Txns))
+	}
+	st := w.Stats()
+	if st.LastLSN == 0 || st.DurableLSN != st.LastLSN {
+		t.Fatalf("stats: last %d durable %d", st.LastLSN, st.DurableLSN)
+	}
+}
+
+// TestWriterFence: a fenced writer rejects everything with ErrFenced, never
+// touches the device again, and counts the rejections.
+func TestWriterFence(t *testing.T) {
+	dev := &MemDevice{}
+	w := NewWriter(dev, 1, map[int]uint64{0: 1}, Options{})
+	if err := w.Commit(1, 0, []Op{{Part: 0, Kind: OpPut, Key: []byte("a"), Value: []byte("1"), Rev: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	before := dev.Size()
+	w.Fence()
+	if err := w.Commit(2, 0, []Op{{Part: 0, Kind: OpPut, Key: []byte("b"), Value: []byte("2"), Rev: 2}}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("commit after fence: %v", err)
+	}
+	if err := w.Mark(9, 0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("mark after fence: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("sync after fence: %v", err)
+	}
+	if err := w.AppendEpoch(2, nil); !errors.Is(err, ErrFenced) {
+		t.Fatalf("epoch after fence: %v", err)
+	}
+	if dev.Size() != before {
+		t.Fatalf("fenced writer appended %d bytes", dev.Size()-before)
+	}
+	if got := w.Stats().Fenced; got != 4 {
+		t.Fatalf("fenced rejections %d, want 4", got)
+	}
+	// The pre-fence commit is still intact — fencing cuts the future, not
+	// the past.
+	if sr := scanDev(t, dev); len(sr.Txns) != 1 {
+		t.Fatalf("scan after fence: %d txns", len(sr.Txns))
+	}
+}
+
+// TestWriterFenceWakesParked: a transaction parked behind a revision hole
+// is woken and failed by Fence instead of hanging forever.
+func TestWriterFenceWakesParked(t *testing.T) {
+	dev := &MemDevice{}
+	w := NewWriter(dev, 1, map[int]uint64{0: 1}, Options{})
+	done := make(chan error, 1)
+	go func() {
+		// Rev 2 with rev 1 never published: gate-parked.
+		done <- w.Commit(2, 0, []Op{{Part: 0, Kind: OpPut, Key: []byte("b"), Value: []byte("2"), Rev: 2}})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("parked commit returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.Fence()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrFenced) {
+			t.Fatalf("parked commit: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("parked commit not woken by fence")
+	}
+}
+
+// TestTailerStreamsUnits: a tailer decodes commits, marks, checkpoints, and
+// epoch frames as whole units in log order, with a consistent cursor.
+func TestTailerStreamsUnits(t *testing.T) {
+	dev := &MemDevice{}
+	w := NewWriter(dev, 1, map[int]uint64{0: 1}, Options{})
+	tl := NewTailer(dev, 0, 1)
+	w.SetOnAppend(tl.Kick)
+
+	if err := w.Commit(1, 0, []Op{
+		{Part: 0, Kind: OpPut, Key: []byte("a"), Value: []byte("1"), Rev: 1},
+		{Part: 0, Kind: OpDelete, Key: []byte("a"), Rev: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Mark(1, FlagGlobal); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(func() ([]Op, error) {
+		return []Op{{Part: 0, Kind: OpPut, Key: []byte("k"), Value: []byte("v"), Rev: 2}}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendEpoch(1, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+
+	u, err := tl.Next()
+	if err != nil || u.Kind != UnitTxn || u.TxID != 1 || len(u.Txn.Ops) != 2 || u.EndLSN != 4 {
+		t.Fatalf("unit 1: %+v, %v", u, err)
+	}
+	u, err = tl.Next()
+	if err != nil || u.Kind != UnitMark || u.TxID != 1 || u.Flags&FlagGlobal == 0 {
+		t.Fatalf("unit 2: %+v, %v", u, err)
+	}
+	u, err = tl.Next()
+	if err != nil || u.Kind != UnitCheckpoint || len(u.Checkpoint) != 1 {
+		t.Fatalf("unit 3: %+v, %v", u, err)
+	}
+	u, err = tl.Next()
+	if err != nil || u.Kind != UnitEpoch || u.TxID != 1 || string(u.Meta) != "m" {
+		t.Fatalf("unit 4: %+v, %v", u, err)
+	}
+	if tl.Offset() != dev.Size() || tl.NextLSN() != u.EndLSN+1 {
+		t.Fatalf("cursor %d/%d after draining device of %d bytes", tl.Offset(), tl.NextLSN(), dev.Size())
+	}
+	if _, ok, err := tl.TryNext(); ok || err != nil {
+		t.Fatalf("TryNext at EOF: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestTailerBlocksUntilAppend: Next blocks at the readable end and the
+// writer's append hook wakes it.
+func TestTailerBlocksUntilAppend(t *testing.T) {
+	dev := &MemDevice{}
+	w := NewWriter(dev, 1, map[int]uint64{0: 1}, Options{})
+	tl := NewTailer(dev, 0, 1)
+	w.SetOnAppend(tl.Kick)
+
+	got := make(chan Unit, 1)
+	go func() {
+		u, err := tl.Next()
+		if err != nil {
+			t.Errorf("next: %v", err)
+		}
+		got <- u
+	}()
+	select {
+	case u := <-got:
+		t.Fatalf("Next returned on an empty log: %+v", u)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := w.Commit(1, 0, []Op{{Part: 0, Kind: OpPut, Key: []byte("a"), Value: []byte("1"), Rev: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-got:
+		if u.Kind != UnitTxn || u.TxID != 1 {
+			t.Fatalf("unit: %+v", u)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("tailer not woken by append")
+	}
+
+	// Close wakes a blocked reader with ErrTailerClosed.
+	errs := make(chan error, 1)
+	go func() {
+		_, err := tl.Next()
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	tl.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrTailerClosed) {
+			t.Fatalf("after close: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Next not woken by Close")
+	}
+}
+
+// TestTailerResumesFromCursor: a fresh tailer at a unit's EndOff/EndLSN
+// cursor sees exactly the suffix.
+func TestTailerResumesFromCursor(t *testing.T) {
+	dev := &MemDevice{}
+	w := NewWriter(dev, 1, map[int]uint64{0: 1}, Options{})
+	for i := uint64(1); i <= 3; i++ {
+		if err := w.Commit(i, 0, []Op{{Part: 0, Kind: OpPut, Key: []byte{byte(i)}, Value: []byte{byte(i)}, Rev: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tl := NewTailer(dev, 0, 1)
+	u, err := tl.Next()
+	if err != nil || u.TxID != 1 {
+		t.Fatalf("first unit: %+v, %v", u, err)
+	}
+	resumed := NewTailer(dev, u.EndOff, u.EndLSN+1)
+	for want := uint64(2); want <= 3; want++ {
+		u, err = resumed.Next()
+		if err != nil || u.TxID != want {
+			t.Fatalf("resumed unit: %+v, %v (want txid %d)", u, err, want)
+		}
+	}
+}
+
+// TestTailerRejectsBadStream: a corrupt frame below the readable end is a
+// permanent ErrBadStream, not a silent tail.
+func TestTailerRejectsBadStream(t *testing.T) {
+	dev := &MemDevice{}
+	w := NewWriter(dev, 1, map[int]uint64{0: 1}, Options{})
+	if err := w.Commit(1, 0, []Op{{Part: 0, Kind: OpPut, Key: []byte("a"), Value: []byte("1"), Rev: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage that parses as a complete frame with a bad checksum.
+	if err := dev.Append([]byte{4, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(dev, 0, 1)
+	if u, err := tl.Next(); err != nil || u.Kind != UnitTxn {
+		t.Fatalf("good prefix: %+v, %v", u, err)
+	}
+	if _, err := tl.Next(); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("corrupt frame: %v", err)
+	}
+	// The failure is permanent.
+	if _, _, err := tl.TryNext(); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("after failure: %v", err)
+	}
+}
+
+// TestDeviceContentsFrom: the incremental read capability matches a suffix
+// of Contents on both paths (multi-segment mem device).
+func TestDeviceContentsFrom(t *testing.T) {
+	dev := &MemDevice{}
+	for _, p := range [][]byte{[]byte("abc"), []byte("defg"), []byte("h")} {
+		if err := dev.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, _ := dev.Contents()
+	for off := 0; off <= len(full); off++ {
+		got, err := dev.ContentsFrom(off)
+		if err != nil {
+			t.Fatalf("ContentsFrom(%d): %v", off, err)
+		}
+		if !bytes.Equal(got, full[off:]) {
+			t.Fatalf("ContentsFrom(%d) = %q, want %q", off, got, full[off:])
+		}
+	}
+	if _, err := dev.ContentsFrom(len(full) + 1); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+}

@@ -1,11 +1,19 @@
 package wal
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"rhtm/obs"
 )
+
+// ErrFenced reports an operation on a writer whose epoch was fenced off:
+// the stream has a new primary and this writer must never reach the device
+// again. Unlike device errors the rejection is deliberate — a deposed
+// primary's commits fail here, before any frame is appended, which is the
+// whole zombie-rejection mechanism.
+var ErrFenced = errors.New("wal: writer fenced (stream has a newer epoch)")
 
 // Writer is the group-commit appender of one WAL stream. Committers call
 // Commit with a whole committed transaction; the writer sequences it behind
@@ -51,6 +59,12 @@ type Writer struct {
 
 	stats statsWords
 
+	// onAppend, when set, runs at the end of every successful device append,
+	// under w.mu — the replication layer's wakeup hook. It must not call back
+	// into the writer; tailer kicks (which take only the tailer's own lock)
+	// are the intended use.
+	onAppend func()
+
 	// Optional observability (SetMetrics). batchHist records transactions
 	// covered per sync barrier — the group-commit amortization
 	// distribution; intervalHist records nanoseconds between consecutive
@@ -89,6 +103,7 @@ type statsWords struct {
 	checkptLSN uint64
 	checkptOps uint64
 	marks      uint64
+	fenced     uint64
 }
 
 // Stats is a snapshot of a writer's counters.
@@ -106,6 +121,12 @@ type Stats struct {
 	DurableLSN, CheckpointLSN uint64
 	// CheckpointOps counts entries written by the last checkpoint.
 	CheckpointOps uint64
+	// LastLSN is the last LSN assigned to an appended frame (whether or not
+	// a sync covers it yet) — the replication lag reference point.
+	LastLSN uint64
+	// Fenced counts operations rejected with ErrFenced after Fence — the
+	// zombie-primary commits that never reached the device.
+	Fenced uint64
 }
 
 // NewWriter builds a writer over dev, which must already be truncated to a
@@ -140,6 +161,66 @@ func (w *Writer) SetMetrics(batch, interval *obs.Histogram) {
 	w.intervalHist = interval
 }
 
+// SetOnAppend attaches a hook invoked (under the writer lock) after every
+// successful device append — the replication layer registers its tailer
+// wakeup here. The hook must be non-blocking and must not call back into
+// the writer. Call before the writer is shared.
+func (w *Writer) SetOnAppend(fn func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onAppend = fn
+}
+
+// Fence permanently rejects every future operation with ErrFenced. A fenced
+// writer never appends another byte: promotion fences the old primary's
+// writer first, so any frame present after the new epoch's marker provably
+// came from the new primary. Committers blocked inside the writer are woken
+// and fail. Fencing an already-failed writer keeps the original error.
+func (w *Writer) Fence() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed == nil {
+		w.failed = ErrFenced
+	}
+	w.cond.Broadcast()
+}
+
+// failedLocked returns the writer's permanent failure, counting fenced
+// rejections as it hands them out.
+func (w *Writer) failedLocked() error {
+	if w.failed == ErrFenced {
+		w.stats.fenced++
+	}
+	return w.failed
+}
+
+// AppendEpoch appends a synced membership frame: the new primary epoch and
+// its opaque membership blob. Promotion writes one as the first frame of the
+// new reign — durable evidence the previous epoch was fenced before any
+// later frame existed.
+func (w *Writer) AppendEpoch(epoch uint64, membership []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failedLocked()
+	}
+	w.buf = w.buf[:0]
+	w.lsn++
+	w.buf = Encode(w.buf, Record{Kind: KindEpoch, LSN: w.lsn, TxID: epoch, Meta: membership})
+	if err := w.appendLocked(w.buf, 1); err != nil {
+		return err
+	}
+	if err := w.dev.Sync(); err != nil {
+		w.failed = err
+		w.cond.Broadcast()
+		return err
+	}
+	w.stats.syncs++
+	w.durable = w.appended
+	w.stats.durableLSN = w.lsn
+	return nil
+}
+
 // observeSyncLocked records one completed barrier covering batch txns.
 func (w *Writer) observeSyncLocked(batch uint64) {
 	w.batchHist.Observe(batch)
@@ -163,7 +244,7 @@ func (w *Writer) Commit(id uint64, flags uint8, ops []Op) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
-		return w.failed
+		return w.failedLocked()
 	}
 	w.parked = append(w.parked, t)
 	w.flushReadyLocked()
@@ -174,7 +255,7 @@ func (w *Writer) Commit(id uint64, flags uint8, ops []Op) error {
 		return t.err
 	}
 	if w.failed != nil {
-		return w.failed
+		return w.failedLocked()
 	}
 	if w.syncEvery > 1 {
 		if w.sinceSync >= uint64(w.syncEvery) && !w.syncing {
@@ -185,7 +266,7 @@ func (w *Writer) Commit(id uint64, flags uint8, ops []Op) error {
 	// Full durability: wait for (or perform) a sync covering this txn.
 	for t.end > w.durable {
 		if w.failed != nil {
-			return w.failed
+			return w.failedLocked()
 		}
 		if w.syncing {
 			w.cond.Wait()
@@ -205,7 +286,7 @@ func (w *Writer) Mark(txid uint64, flags uint8) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
-		return w.failed
+		return w.failedLocked()
 	}
 	w.buf = w.buf[:0]
 	w.lsn++
@@ -229,7 +310,7 @@ func (w *Writer) Checkpoint(fn func() ([]Op, error)) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
-		return w.failed
+		return w.failedLocked()
 	}
 	ops, err := fn()
 	if err != nil {
@@ -269,7 +350,7 @@ func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
-		return w.failed
+		return w.failedLocked()
 	}
 	if w.durable == w.appended {
 		return nil
@@ -289,6 +370,8 @@ func (w *Writer) Stats() Stats {
 		DurableLSN:    w.stats.durableLSN,
 		CheckpointLSN: w.stats.checkptLSN,
 		CheckpointOps: w.stats.checkptOps,
+		LastLSN:       w.lsn,
+		Fenced:        w.stats.fenced,
 	}
 }
 
@@ -387,6 +470,9 @@ func (w *Writer) appendLocked(buf []byte, frames uint64) error {
 	w.appended += len(buf)
 	w.stats.frames += frames
 	w.stats.bytes += uint64(len(buf))
+	if w.onAppend != nil {
+		w.onAppend()
+	}
 	return nil
 }
 
