@@ -261,6 +261,27 @@ func BenchmarkYCSB(b *testing.B) {
 	}
 }
 
+// --- Extension: the table/ record layer over the KV store ---
+
+// BenchmarkTableQuery runs the planner-driven table mixes — "query"
+// (point / index-range / covering order-limit / upsert churn) and "eidx"
+// (YCSB-E re-served from a secondary index) — so the record layer's full
+// stack (ordered codec, write-through index maintenance, statistics,
+// planner) shows up in accesses/op next to the raw KV mixes.
+func BenchmarkTableQuery(b *testing.B) {
+	engines := []string{harness.EngRH1Mix2, harness.EngTL2}
+	for _, mix := range []string{"query", "eidx"} {
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("%s/%s", mix, eng), func(b *testing.B) {
+				spec := harness.KVSpec{Mix: mix, Records: 1024, ValueBytes: 64,
+					Dist: harness.DistUniform, Shards: 4, ScanMax: 16,
+					Tables: 2, IdxSel: 32}
+				benchKV(b, spec, eng, 4)
+			})
+		}
+	}
+}
+
 // --- Extension: batching amortization (the ROADMAP batching item) ---
 
 // BenchmarkBatch sweeps the batch size on YCSB-A: grouping independent

@@ -158,6 +158,7 @@ type Cluster struct {
 	prepareConflicts atomic.Uint64 // individual prepare transactions refused
 	snapshotScans    atomic.Uint64 // validated snapshot scans returned
 	scanRetries      atomic.Uint64 // scan passes torn by a concurrent commit
+	phantomConflicts atomic.Uint64 // commits refused by scan-range revalidation
 
 	// Optional 2PC phase histograms (SetMetrics): wall nanoseconds of the
 	// prepare sweep and the phase-2 apply sweep of each cross-System
@@ -328,7 +329,7 @@ func (c *Cluster) SetMetrics(prepare, finish *obs.Histogram) {
 type Counters struct {
 	LocalTxns, LocalConflicts                                           uint64
 	CrossTxns, CrossCommits, CrossAborts, PrepareConflicts, IntentWaits uint64
-	SnapshotScans, ScanRetries                                          uint64
+	SnapshotScans, ScanRetries, PhantomConflicts                        uint64
 }
 
 // Counters snapshots the protocol counters without quiescence.
@@ -343,6 +344,7 @@ func (c *Cluster) Counters() Counters {
 		IntentWaits:      c.intentWaits.Load(),
 		SnapshotScans:    c.snapshotScans.Load(),
 		ScanRetries:      c.scanRetries.Load(),
+		PhantomConflicts: c.phantomConflicts.Load(),
 	}
 }
 
@@ -366,8 +368,10 @@ type Stats struct {
 	// IntentWaits reads retried against a pending intent.
 	CrossTxns, CrossCommits, CrossAborts, PrepareConflicts, IntentWaits uint64
 	// SnapshotScans counts validated snapshot scans returned; ScanRetries
-	// counts scan attempts torn by a concurrent commit and re-run.
-	SnapshotScans, ScanRetries uint64
+	// counts scan attempts torn by a concurrent commit and re-run;
+	// PhantomConflicts counts commits refused because a key entered a range
+	// the transaction had scanned.
+	SnapshotScans, ScanRetries, PhantomConflicts uint64
 }
 
 // Stats snapshots the cluster. Only call while no clients are inside an
@@ -383,6 +387,7 @@ func (c *Cluster) Stats() Stats {
 		IntentWaits:       c.intentWaits.Load(),
 		SnapshotScans:     c.snapshotScans.Load(),
 		ScanRetries:       c.scanRetries.Load(),
+		PhantomConflicts:  c.phantomConflicts.Load(),
 		PerSystemAccesses: make([]uint64, len(c.nodes)),
 	}
 	for i, n := range c.nodes {

@@ -18,6 +18,12 @@ import (
 // escapes the package.
 var errConflict = errors.New("cluster: conflict")
 
+// errPhantom is errConflict's sibling for scan-range revalidation failures:
+// a key entered (or is about to enter, as a pending intent) a range this
+// transaction scanned. Counted separately, retried identically. It never
+// escapes the package.
+var errPhantom = errors.New("cluster: phantom")
+
 // Client is a session against the cluster: it owns one engine thread per
 // System. Like rhtm.Thread, a Client is not safe for concurrent use — each
 // goroutine obtains its own from NewClient.
@@ -246,6 +252,17 @@ type Txn struct {
 	cl     *Client
 	reads  map[string]readRec
 	writes map[string]writeRec
+	scans  []scanRange
+}
+
+// scanRange is one range a Txn.Scan observed, re-validated at commit for
+// phantom protection: a committed key inside it that is not in the read set
+// entered after the scan, and a pending write intent inside it is a phantom
+// in waiting. Bounds follow Scan's convention: [start, end), nil end
+// unbounded (a limited scan records succ(last yielded key) as its end — keys
+// past the limit were never observed and are not protected).
+type scanRange struct {
+	start, end []byte
 }
 
 // Get returns key's value as of this transaction: buffered writes win,
@@ -343,9 +360,11 @@ func inRange(k string, start, end []byte) bool {
 // a validated committed snapshot (Client.ScanSnapshot) overlaid with the
 // transaction's own buffered writes and earlier reads, at most limit
 // entries (0 = unbounded). Every committed entry the scan yields is
-// recorded as a read, so commit re-validates it; keys that *entered* the
-// range after the scan are not re-checked at commit (no phantom
-// protection), though the returned snapshot itself is phantom-free.
+// recorded as a read, so commit re-validates it — and the *range itself* is
+// recorded too, so commit additionally refuses when a key outside the read
+// set has entered it (phantom protection; see scansValid for the exact
+// guarantee). A limited scan protects only the observed prefix, up to the
+// successor of the last key the snapshot fetched.
 func (t *Txn) Scan(start, end []byte, limit int) ([]Entry, error) {
 	fetch := 0
 	if limit > 0 {
@@ -357,6 +376,20 @@ func (t *Txn) Scan(start, end []byte, limit int) ([]Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	var r scanRange // nil bounds stay nil (unbounded)
+	if start != nil {
+		r.start = copyVal(start)
+	}
+	if end != nil {
+		r.end = copyVal(end)
+	}
+	if fetch > 0 && len(raw) == fetch {
+		// The snapshot was clipped at the over-fetch bound: only the prefix
+		// up to the last fetched key was observed, so only it is protected.
+		last := raw[len(raw)-1].Key
+		r.end = append(append(make([]byte, 0, len(last)+1), last...), 0)
+	}
+	t.scans = append(t.scans, r)
 	merged := map[string][]byte{}
 	for _, e := range raw {
 		k := string(e.Key)
@@ -465,13 +498,45 @@ func (cl *Client) footprint(t *Txn) (map[int][]txnKey, []int) {
 func (cl *Client) commit(t *Txn) (bool, error) {
 	cl.lastRev = 0
 	byNode, participants := cl.footprint(t)
+	// Phantom protection outside the footprint: hash routing interleaves a
+	// scanned range over every System, but the commit path only validates
+	// participant Systems. Check the rest read-only first. On a
+	// single-System cluster every range is re-checked inside the commit's
+	// own engine transaction, making the protection airtight; with several
+	// Systems the window between this check and the applies remains
+	// (DESIGN.md §13).
+	if len(t.scans) > 0 {
+		inFoot := make(map[int]bool, len(participants))
+		for _, id := range participants {
+			inFoot[id] = true
+		}
+		for _, n := range cl.c.nodes {
+			if inFoot[n.id] {
+				continue
+			}
+			node := n
+			err := cl.threads[n.id].Atomic(func(tx rhtm.Tx) error {
+				if !scansValid(tx, node, t) {
+					return errPhantom
+				}
+				return nil
+			})
+			if err == errPhantom {
+				cl.c.phantomConflicts.Add(1)
+				return false, nil
+			}
+			if err != nil {
+				return false, err
+			}
+		}
+	}
 	switch len(participants) {
 	case 0:
-		return true, nil // empty transaction
+		return true, nil // empty (or scan-only, validated above) transaction
 	case 1:
-		return cl.commitLocal(participants[0], byNode[participants[0]])
+		return cl.commitLocal(participants[0], byNode[participants[0]], t)
 	default:
-		return cl.commitCross(byNode, participants)
+		return cl.commitCross(byNode, participants, t)
 	}
 }
 
@@ -481,13 +546,16 @@ func (cl *Client) commit(t *Txn) (bool, error) {
 // System, and the intent check keeps it correct against in-flight 2PC —
 // written keys must wait for any pending intent (pinned readers included),
 // read-only keys only for write intents.
-func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
+func (cl *Client) commitLocal(nodeID int, keys []txnKey, t *Txn) (bool, error) {
 	n := cl.c.nodes[nodeID]
 	var recs []wal.Op
 	var maxRev uint64
 	err := cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
 		recs = recs[:0] // the body re-executes on engine aborts
 		maxRev = 0
+		if len(t.scans) > 0 && !scansValid(tx, n, t) {
+			return errPhantom
+		}
 		for i := range keys {
 			k := &keys[i]
 			if k.write != nil {
@@ -544,13 +612,16 @@ func (cl *Client) commitLocal(nodeID int, keys []txnKey) (bool, error) {
 	case errConflict:
 		cl.c.localConflicts.Add(1)
 		return false, nil
+	case errPhantom:
+		cl.c.phantomConflicts.Add(1)
+		return false, nil
 	default:
 		return false, err
 	}
 }
 
 // commitCross runs two-phase commit over the participant Systems.
-func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool, error) {
+func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int, t *Txn) (bool, error) {
 	c := cl.c
 	c.crossTxns.Add(1)
 	txid := c.nextTxID.Add(1)
@@ -566,13 +637,16 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int) (bool
 		prepStart = time.Now()
 	}
 	for _, nodeID := range participants {
-		err := cl.prepare(nodeID, txid, byNode[nodeID])
+		err := cl.prepare(nodeID, txid, byNode[nodeID], t)
 		if err == nil {
 			prepared = append(prepared, nodeID)
 			continue
 		}
 		if err == errConflict {
 			c.prepareConflicts.Add(1)
+			conflict = true
+		} else if err == errPhantom {
+			c.phantomConflicts.Add(1)
 			conflict = true
 		} else {
 			hard = err
@@ -693,10 +767,39 @@ func validRead(tx rhtm.Tx, n *Node, k *txnKey) bool {
 	return ok == k.read.ok && (!ok || rev == k.read.rev)
 }
 
-// prepare runs the phase-1 transaction on one participant.
-func (cl *Client) prepare(nodeID int, txid uint64, keys []txnKey) error {
+// scansValid re-checks every recorded scan range against System n's
+// committed state: a committed key inside a range but outside the read set
+// entered after the scan (a phantom), and a pending write intent inside a
+// range is a phantom in waiting — both refuse the commit. Keys that ARE in
+// the read set are validated by revision like any other read, so range
+// validation plus read validation together pin the exact scanned contents.
+// Must run before this transaction installs its own intents on n (it would
+// mistake them for a concurrent writer's).
+func scansValid(tx rhtm.Tx, n *Node, t *Txn) bool {
+	for _, r := range t.scans {
+		clean := true
+		n.st.ScanLimitRev(tx, r.start, r.end, 0, func(k, v []byte, rev uint64) bool {
+			if _, seen := t.reads[string(k)]; !seen {
+				clean = false
+				return false
+			}
+			return true
+		})
+		if !clean || n.st.HasWriteIntentInRange(tx, r.start, r.end) {
+			return false
+		}
+	}
+	return true
+}
+
+// prepare runs the phase-1 transaction on one participant. The scan-range
+// check runs first, before any of this transaction's own intents land.
+func (cl *Client) prepare(nodeID int, txid uint64, keys []txnKey, t *Txn) error {
 	n := cl.c.nodes[nodeID]
 	return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
+		if len(t.scans) > 0 && !scansValid(tx, n, t) {
+			return errPhantom
+		}
 		for i := range keys {
 			k := &keys[i]
 			if k.read != nil && !validRead(tx, n, k) {

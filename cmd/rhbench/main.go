@@ -26,6 +26,15 @@
 //	ycsb-d        sharded KV store, YCSB-D (95%% latest-skewed reads / 5%% inserts)
 //	ycsb-e        sharded KV store, YCSB-E (95%% short ordered scans / 5%% inserts)
 //	ycsb-f        sharded KV store, YCSB-F (50%% reads / 50%% read-modify-writes)
+//	ycsb-e-index  YCSB-E re-served by the table/ record layer from a
+//	              secondary index: ordered bucket scans the planner bounds
+//	              at the limit, inserts maintaining the index write-through
+//	table-query   planner-driven table mix: 45%% point gets, 25%% index
+//	              range scans, 20%% covering order-limit reads, 10%% upsert
+//	              churn moving index entries (-tables/-idxsel shape it)
+//	index-lookup  the selective bucket-equality query served twice from
+//	              the same rows — planner-picked index scan vs forced full
+//	              scan — quantifying what the secondary index buys
 //	batch         YCSB-A with single-key ops grouped into kv.DB.Batch
 //	              transactions, swept over -batchsizes (amortization experiment)
 //	cluster-ycsb-a/b/c/d/e/f
@@ -143,6 +152,8 @@ func main() {
 		crossPc = flag.String("cross", "0,10", "comma-separated cross-System txn percentages for cluster-* experiments")
 		ckeys   = flag.Int("crosskeys", 2, "keys per cross-System transaction")
 		scanMax = flag.Int("scanmax", 100, "maximum YCSB-E scan length")
+		tablesF = flag.Int("tables", 1, "table count for the table mixes (ycsb-e-index / table-query)")
+		idxSel  = flag.Int("idxsel", 100, "index selectivity for the table mixes: distinct bucket values per table")
 		batches = flag.String("batchsizes", "1,8,64", "comma-separated batch sizes for the batch experiment")
 		ttl     = flag.Int("ttl", 16, "lease TTL in virtual clock ticks (session-cache / lock-service)")
 		pump    = flag.Int("pumpevery", 32, "ops between virtual-clock ticks / expiry pumps (session-cache / lock-service)")
@@ -158,7 +169,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|batch|session-cache|lock-service|recovery|cluster-ycsb-a..f|cluster-bank|cluster-session-cache|cluster-lock-service|net-ycsb-a..f|repl|all>")
+		fmt.Fprintln(os.Stderr, "usage: rhbench [flags] <fig1|fig2a|fig2b|fig2c|tab1|tab2|fig3a|fig3b|fig3c|ext-clock|ext-capacity|ext-hybrids|ycsb-a..f|ycsb-e-index|table-query|index-lookup|batch|session-cache|lock-service|recovery|cluster-ycsb-a..f|cluster-bank|cluster-session-cache|cluster-lock-service|net-ycsb-a..f|repl|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -197,6 +208,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rhbench: -scanmax must be positive")
 		os.Exit(2)
 	}
+	if *tablesF <= 0 || *idxSel <= 0 {
+		fmt.Fprintln(os.Stderr, "rhbench: -tables and -idxsel must be positive")
+		os.Exit(2)
+	}
 	if *ttl <= 0 || *pump <= 0 {
 		fmt.Fprintln(os.Stderr, "rhbench: -ttl and -pumpevery must be positive")
 		os.Exit(2)
@@ -212,6 +227,8 @@ func main() {
 		Dist:       *dist,
 		Theta:      *theta,
 		ScanMax:    *scanMax,
+		Tables:     *tablesF,
+		IdxSel:     *idxSel,
 		TTL:        *ttl,
 		PumpEvery:  *pump,
 		WAL:        *useWAL,
@@ -290,6 +307,13 @@ func main() {
 		spec.Records = 512
 		spec.Shards = 4
 		cspec.Records = 512
+		// An explicit -records also survives -quick (the index-lookup gate
+		// point runs at full table scale under the quick harness sizes).
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "records" {
+				spec.Records, cspec.Records = *records, *records
+			}
+		})
 		systemsList = []int{1, 4}
 		crossList = []int{0, 20}
 		batchList = []int{1, 16}
@@ -349,7 +373,8 @@ func main() {
 	if exp == "all" {
 		for _, e := range []string{"fig1", "fig2a", "fig2b", "fig2c", "tab1", "tab2",
 			"fig3a", "fig3b", "fig3c", "ext-clock", "ext-capacity", "ext-hybrids",
-			"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "batch",
+			"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f",
+			"ycsb-e-index", "table-query", "index-lookup", "batch",
 			"session-cache", "lock-service", "recovery", "cluster-ycsb-a",
 			"net-ycsb-a", "repl"} {
 			em.exp = e
@@ -511,6 +536,39 @@ func runExperiment(exp string, em *emitter, sc harness.Scale, capLim int, spec h
 			fmt.Sprintf("YCSB-%s (%s), %d records, %s distribution, %d-shard store",
 				strings.ToUpper(spec.Mix), readPct, spec.Records, spec.Dist, spec.Shards),
 			harness.SweepKV(sc, spec))
+	case "ycsb-e-index":
+		spec.Mix = "eidx"
+		em.series(
+			fmt.Sprintf("YCSB-E from the secondary index (95%% planner-bounded bucket scans / 5%% inserts), %d records over %d table(s), idxsel %d, %s distribution",
+				spec.Records, spec.Tables, spec.IdxSel, spec.Dist),
+			harness.SweepKV(sc, spec))
+	case "table-query":
+		spec.Mix = "query"
+		em.series(
+			fmt.Sprintf("Table query mix (45%% point / 25%% range / 20%% covering order-limit / 10%% upserts), %d records over %d table(s), idxsel %d, %s distribution",
+				spec.Records, spec.Tables, spec.IdxSel, spec.Dist),
+			harness.SweepKV(sc, spec))
+	case "index-lookup":
+		queries := sc.OpsPerThread
+		if queries <= 0 {
+			queries = 300
+		}
+		for _, eng := range []string{harness.EngRH1Mix2, harness.EngTL2} {
+			results, err := harness.IndexLookup(eng, spec.Records, queries)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rhbench:", err)
+				os.Exit(1)
+			}
+			// One series per mode: both run at one thread on the same
+			// engine, so a shared table would collapse them.
+			for _, r := range results {
+				em.series(
+					fmt.Sprintf("%s: %d rows, %d bucket-equality queries, %s",
+						r.Workload, spec.Records, queries, eng),
+					[]harness.Result{r})
+			}
+			fmt.Fprintln(out)
+		}
 	case "session-cache":
 		spec.Mix = "session"
 		em.series(

@@ -1,0 +1,719 @@
+// minisql is a tiny SQL front end over the table/ record layer, served
+// through the network client — the whole PR 9 stack in one REPL. Every
+// statement crosses loopback TCP: CREATE TABLE declares a schema, CREATE
+// [UNIQUE] INDEX backfills a secondary index online, INSERT writes typed
+// rows (index entries and statistics maintained in the same transaction),
+// and SELECT hands the planner a declarative query — WHERE / ORDER BY /
+// LIMIT — which it serves as a point get, an index scan, a covering index
+// scan, or a full scan. EXPLAIN shows which, with the cost estimate.
+//
+//	$ go run ./examples/minisql
+//	minisql> CREATE TABLE users (id INT, city TEXT, age INT, PRIMARY KEY (id));
+//	minisql> INSERT INTO users VALUES (1, 'ams', 34), (2, 'bos', 28);
+//	minisql> CREATE INDEX by_city ON users (city);
+//	minisql> EXPLAIN SELECT * FROM users WHERE city = 'ams';
+//	index(by_city eq "ams") fetch cost=2
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"rhtm"
+	"rhtm/client"
+	"rhtm/kv"
+	"rhtm/server"
+	"rhtm/store"
+	"rhtm/table"
+)
+
+func main() {
+	db, cleanup, err := dialBackend()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	fmt.Println("minisql: typed tables with secondary indexes over a transactional KV store,")
+	fmt.Println("served over loopback TCP. Type HELP for the grammar, QUIT to leave.")
+	if err := repl(db, os.Stdin, os.Stdout, "minisql> "); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// dialBackend builds the real stack — engine, sharded store, kv.Local —
+// serves it over loopback TCP, and dials it back through the client, so
+// the REPL's kv.DB is the network one.
+func dialBackend() (kv.DB, func(), error) {
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 19))
+	local := kv.NewLocal(rhtm.NewTL2(s), store.NewSharded(s, 4, store.Options{ArenaWords: 1 << 15}))
+	srv := server.New(local)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	cl, err := client.Dial(addr.String())
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	return cl, func() { cl.Close(); srv.Close() }, nil
+}
+
+// repl reads statements line by line from in, executes them against db,
+// and prints each result (or "error: ...") to out. A non-empty prompt is
+// printed before each read. Statement errors do not end the loop.
+func repl(db kv.DB, in io.Reader, out io.Writer, prompt string) error {
+	s := &session{db: db, tables: map[string]*table.Table{}}
+	sc := bufio.NewScanner(in)
+	for {
+		if prompt != "" {
+			fmt.Fprint(out, prompt)
+		}
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		line = strings.TrimSuffix(line, ";")
+		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			return nil
+		}
+		res, err := s.exec(line)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			continue
+		}
+		fmt.Fprintln(out, res)
+	}
+}
+
+// session holds the REPL's table handles. The rows live in the DB; the
+// handles only carry schemas, so re-binding after CREATE INDEX is cheap.
+type session struct {
+	db     kv.DB
+	tables map[string]*table.Table
+}
+
+func (s *session) table(name string) (*table.Table, error) {
+	tbl, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("no such table %q", name)
+	}
+	return tbl, nil
+}
+
+// exec runs one statement and returns its printable result.
+func (s *session) exec(stmt string) (string, error) {
+	toks, err := lex(stmt)
+	if err != nil {
+		return "", err
+	}
+	p := &parser{toks: toks}
+	switch {
+	case p.kw("CREATE"):
+		switch {
+		case p.kw("TABLE"):
+			return s.createTable(p)
+		case p.kw("UNIQUE"):
+			if err := p.expectKw("INDEX"); err != nil {
+				return "", err
+			}
+			return s.createIndex(p, true)
+		case p.kw("INDEX"):
+			return s.createIndex(p, false)
+		}
+		return "", errors.New("CREATE must be followed by TABLE or [UNIQUE] INDEX")
+	case p.kw("INSERT"):
+		return s.insert(p)
+	case p.kw("SELECT"):
+		tbl, q, err := s.selectQuery(p)
+		if err != nil {
+			return "", err
+		}
+		return renderSelect(tbl, q)
+	case p.kw("EXPLAIN"):
+		if err := p.expectKw("SELECT"); err != nil {
+			return "", err
+		}
+		tbl, q, err := s.selectQuery(p)
+		if err != nil {
+			return "", err
+		}
+		return tbl.Explain(q)
+	case p.kw("DELETE"):
+		return s.deleteRow(p)
+	case p.kw("HELP"):
+		return helpText, nil
+	}
+	return "", errors.New("unrecognized statement (try HELP)")
+}
+
+const helpText = `statements:
+  CREATE TABLE t (col INT|TEXT, ..., PRIMARY KEY (col, ...))
+  CREATE [UNIQUE] INDEX idx ON t (col, ...)      -- online backfill
+  INSERT INTO t VALUES (lit, ...), (lit, ...)
+  SELECT *|cols FROM t [WHERE col op lit [AND ...]] [ORDER BY col] [LIMIT n]
+      op: =  <  <=  >  >=
+  EXPLAIN SELECT ...                             -- show the planner's pick
+  DELETE FROM t WHERE pk = lit [AND ...]         -- full primary key only
+  QUIT`
+
+func (s *session) createTable(p *parser) (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if _, exists := s.tables[name]; exists {
+		return "", fmt.Errorf("table %q already exists", name)
+	}
+	if err := p.expectP("("); err != nil {
+		return "", err
+	}
+	sch := table.Schema{Name: name}
+	for {
+		if p.kw("PRIMARY") {
+			if err := p.expectKw("KEY"); err != nil {
+				return "", err
+			}
+			if err := p.expectP("("); err != nil {
+				return "", err
+			}
+			if sch.Key, err = p.identList(); err != nil {
+				return "", err
+			}
+		} else {
+			var f table.Field
+			if f.Name, err = p.ident(); err != nil {
+				return "", err
+			}
+			tname, err := p.ident()
+			if err != nil {
+				return "", err
+			}
+			switch strings.ToUpper(tname) {
+			case "INT", "INTEGER":
+				f.Type = table.TInt64
+			case "TEXT", "STRING", "VARCHAR":
+				f.Type = table.TString
+			default:
+				return "", fmt.Errorf("unknown type %q (INT or TEXT)", tname)
+			}
+			sch.Fields = append(sch.Fields, f)
+		}
+		if !p.punct(",") {
+			break
+		}
+	}
+	if err := p.expectP(")"); err != nil {
+		return "", err
+	}
+	if len(sch.Key) == 0 {
+		return "", errors.New("CREATE TABLE needs a PRIMARY KEY clause")
+	}
+	tbl, err := table.New(s.db, sch)
+	if err != nil {
+		return "", err
+	}
+	s.tables[name] = tbl
+	return "CREATE TABLE", nil
+}
+
+// createIndex declares the index on a fresh schema binding and backfills
+// it online — existing rows get entries in bounded batches while the
+// handle is already live for new writes.
+func (s *session) createIndex(p *parser, unique bool) (string, error) {
+	idxName, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return "", err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	tbl, err := s.table(tname)
+	if err != nil {
+		return "", err
+	}
+	if err := p.expectP("("); err != nil {
+		return "", err
+	}
+	cols, err := p.identList()
+	if err != nil {
+		return "", err
+	}
+	sch := tbl.Schema()
+	for _, ix := range sch.Indexes {
+		if ix.Name == idxName {
+			return "", fmt.Errorf("index %q already exists", idxName)
+		}
+	}
+	sch.Indexes = append(sch.Indexes, table.Index{Name: idxName, Fields: cols, Unique: unique})
+	ntbl, err := table.New(s.db, sch)
+	if err != nil {
+		return "", err
+	}
+	stats, err := ntbl.BuildIndex(idxName, 64)
+	if err != nil {
+		return "", err
+	}
+	s.tables[tname] = ntbl
+	return fmt.Sprintf("CREATE INDEX (%d rows backfilled in %d batches)",
+		stats.Rows, stats.Batches), nil
+}
+
+func (s *session) insert(p *parser) (string, error) {
+	if err := p.expectKw("INTO"); err != nil {
+		return "", err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	tbl, err := s.table(tname)
+	if err != nil {
+		return "", err
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return "", err
+	}
+	fields := tbl.Schema().Fields
+	count := 0
+	for {
+		if err := p.expectP("("); err != nil {
+			return "", err
+		}
+		row := make([]table.Value, 0, len(fields))
+		for i, f := range fields {
+			if i > 0 {
+				if err := p.expectP(","); err != nil {
+					return "", err
+				}
+			}
+			v, err := litValue(f, p.next())
+			if err != nil {
+				return "", err
+			}
+			row = append(row, v)
+		}
+		if err := p.expectP(")"); err != nil {
+			return "", err
+		}
+		if err := tbl.Insert(row); err != nil {
+			return "", err
+		}
+		count++
+		if !p.punct(",") {
+			break
+		}
+	}
+	if err := p.end(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("INSERT %d", count), nil
+}
+
+// selectQuery parses the clause after SELECT into the table handle and
+// the declarative Query the planner executes.
+func (s *session) selectQuery(p *parser) (*table.Table, table.Query, error) {
+	var q table.Query
+	if !p.punct("*") {
+		for {
+			f, err := p.ident()
+			if err != nil {
+				return nil, q, err
+			}
+			q.Fields = append(q.Fields, f)
+			if !p.punct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, q, err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return nil, q, err
+	}
+	tbl, err := s.table(tname)
+	if err != nil {
+		return nil, q, err
+	}
+	if p.kw("WHERE") {
+		if q.Conds, err = s.conds(p, tbl); err != nil {
+			return nil, q, err
+		}
+	}
+	if p.kw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, q, err
+		}
+		if q.Order, err = p.ident(); err != nil {
+			return nil, q, err
+		}
+	}
+	if p.kw("LIMIT") {
+		t := p.next()
+		n, convErr := strconv.Atoi(t.s)
+		if t.kind != 'n' || convErr != nil || n <= 0 {
+			return nil, q, fmt.Errorf("LIMIT needs a positive integer, got %q", t.s)
+		}
+		q.Limit = n
+	}
+	return tbl, q, p.end()
+}
+
+// conds parses "field op lit [AND ...]" into one Cond per field, merging
+// bounds so "age >= 30 AND age < 40" becomes a single range condition.
+func (s *session) conds(p *parser, tbl *table.Table) ([]table.Cond, error) {
+	var order []string
+	byField := map[string]*table.Cond{}
+	for {
+		fname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		field, ok := fieldOf(tbl, fname)
+		if !ok {
+			return nil, fmt.Errorf("no column %q in table %q", fname, tbl.Schema().Name)
+		}
+		op := p.next()
+		if op.kind != 'p' || !strings.ContainsAny(op.s, "=<>") {
+			return nil, fmt.Errorf("expected comparison operator, got %q", op.s)
+		}
+		v, err := litValue(field, p.next())
+		if err != nil {
+			return nil, err
+		}
+		c := byField[fname]
+		if c == nil {
+			c = &table.Cond{Field: fname}
+			byField[fname] = c
+			order = append(order, fname)
+		}
+		switch op.s {
+		case "=":
+			c.Eq = &v
+		case ">=":
+			c.Lo = &v
+		case "<":
+			c.Hi = &v
+		case ">":
+			nv := successor(v)
+			c.Lo = &nv
+		case "<=":
+			nv := successor(v)
+			c.Hi = &nv
+		default:
+			return nil, fmt.Errorf("unsupported operator %q", op.s)
+		}
+		if c.Eq != nil && (c.Lo != nil || c.Hi != nil) {
+			return nil, fmt.Errorf("conflicting conditions on %q", fname)
+		}
+		if !p.kw("AND") {
+			break
+		}
+	}
+	conds := make([]table.Cond, 0, len(order))
+	for _, f := range order {
+		conds = append(conds, *byField[f])
+	}
+	return conds, nil
+}
+
+func (s *session) deleteRow(p *parser) (string, error) {
+	if err := p.expectKw("FROM"); err != nil {
+		return "", err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	tbl, err := s.table(tname)
+	if err != nil {
+		return "", err
+	}
+	if err := p.expectKw("WHERE"); err != nil {
+		return "", err
+	}
+	conds, err := s.conds(p, tbl)
+	if err != nil {
+		return "", err
+	}
+	if err := p.end(); err != nil {
+		return "", err
+	}
+	// Only a fully pinned primary key deletes: match each key field to
+	// exactly one equality.
+	key := tbl.Schema().Key
+	if len(conds) != len(key) {
+		return "", fmt.Errorf("DELETE needs equality on the full primary key (%s)",
+			strings.Join(key, ", "))
+	}
+	pk := make([]table.Value, len(key))
+	for _, c := range conds {
+		i := indexOf(key, c.Field)
+		if i < 0 || c.Eq == nil {
+			return "", fmt.Errorf("DELETE needs equality on the full primary key (%s)",
+				strings.Join(key, ", "))
+		}
+		pk[i] = *c.Eq
+	}
+	switch err := tbl.Delete(pk...); {
+	case errors.Is(err, table.ErrRowNotFound):
+		return "DELETE 0", nil
+	case err != nil:
+		return "", err
+	}
+	return "DELETE 1", nil
+}
+
+// renderSelect executes the query and formats the rows.
+func renderSelect(tbl *table.Table, q table.Query) (string, error) {
+	rows, err := tbl.Select(q)
+	if err != nil {
+		return "", err
+	}
+	cols := q.Fields
+	if cols == nil {
+		for _, f := range tbl.Schema().Fields {
+			cols = append(cols, f.Name)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(cols, " | ") + "\n")
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		b.WriteString(strings.Join(parts, " | ") + "\n")
+	}
+	plural := "s"
+	if len(rows) == 1 {
+		plural = ""
+	}
+	fmt.Fprintf(&b, "(%d row%s)", len(rows), plural)
+	return b.String(), nil
+}
+
+// --- small helpers ---
+
+func fieldOf(tbl *table.Table, name string) (table.Field, bool) {
+	for _, f := range tbl.Schema().Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return table.Field{}, false
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// litValue converts one literal token to the field's type.
+func litValue(f table.Field, t tok) (table.Value, error) {
+	switch f.Type {
+	case table.TInt64:
+		n, err := strconv.ParseInt(t.s, 10, 64)
+		if t.kind != 'n' || err != nil {
+			return table.Value{}, fmt.Errorf("column %q needs an integer, got %q", f.Name, t.s)
+		}
+		return table.Int64(n), nil
+	case table.TString:
+		if t.kind != 's' {
+			return table.Value{}, fmt.Errorf("column %q needs a quoted string, got %q", f.Name, t.s)
+		}
+		return table.String(t.s), nil
+	}
+	return table.Value{}, fmt.Errorf("column %q has unsupported type %s", f.Name, f.Type)
+}
+
+// successor maps the strict/inclusive operators onto the Cond contract
+// (inclusive Lo, exclusive Hi): the next value up in the type's order.
+func successor(v table.Value) table.Value {
+	if v.Type() == table.TInt64 {
+		return table.Int64(v.Int() + 1)
+	}
+	return table.String(v.Text() + "\x00")
+}
+
+// --- lexer / parser ---
+
+// tok is one token: kind 'i' identifier/keyword, 'n' integer literal,
+// 's' string literal (quotes stripped), 'p' punctuation/operator.
+type tok struct {
+	kind byte
+	s    string
+}
+
+func isIdentByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case !first && (c >= '0' && c <= '9'):
+		return true
+	}
+	return false
+}
+
+func lex(src string) ([]tok, error) {
+	var toks []tok
+	for i := 0; i < len(src); {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '\'':
+			var b strings.Builder
+			j := i + 1
+			for {
+				if j >= len(src) {
+					return nil, errors.New("unterminated string literal")
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' { // '' escapes a quote
+						b.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, tok{'s', b.String()})
+			i = j + 1
+		case c == '<' || c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, tok{'p', src[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, tok{'p', string(c)})
+				i++
+			}
+		case c == '(' || c == ')' || c == ',' || c == '=' || c == '*':
+			toks = append(toks, tok{'p', string(c)})
+			i++
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i + 1
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			if c == '-' && j == i+1 {
+				return nil, errors.New("stray '-'")
+			}
+			toks = append(toks, tok{'n', src[i:j]})
+			i = j
+		case isIdentByte(c, true):
+			j := i + 1
+			for j < len(src) && isIdentByte(src[j], false) {
+				j++
+			}
+			toks = append(toks, tok{'i', src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q", string(c))
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+// next consumes and returns the next token (zero tok at end of input).
+func (p *parser) next() tok {
+	if p.pos >= len(p.toks) {
+		return tok{}
+	}
+	p.pos++
+	return p.toks[p.pos-1]
+}
+
+// kw consumes the next token iff it is the given keyword (case-folded).
+func (p *parser) kw(w string) bool {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == 'i' && strings.EqualFold(p.toks[p.pos].s, w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// punct consumes the next token iff it is the given punctuation.
+func (p *parser) punct(s string) bool {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == 'p' && p.toks[p.pos].s == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(w string) error {
+	if !p.kw(w) {
+		return fmt.Errorf("expected %s", w)
+	}
+	return nil
+}
+
+func (p *parser) expectP(s string) error {
+	if !p.punct(s) {
+		return fmt.Errorf("expected %q", s)
+	}
+	return nil
+}
+
+// ident consumes an identifier.
+func (p *parser) ident() (string, error) {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == 'i' {
+		p.pos++
+		return p.toks[p.pos-1].s, nil
+	}
+	return "", errors.New("expected identifier")
+}
+
+// identList consumes "ident {, ident} )" and returns the names.
+func (p *parser) identList() ([]string, error) {
+	var out []string
+	for {
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if !p.punct(",") {
+			break
+		}
+	}
+	if err := p.expectP(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// end fails if input remains.
+func (p *parser) end() error {
+	if p.pos < len(p.toks) {
+		return fmt.Errorf("trailing input at %q", p.toks[p.pos].s)
+	}
+	return nil
+}

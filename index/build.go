@@ -1,0 +1,137 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"rhtm/kv"
+)
+
+// Source describes how a base-table key range maps into an index: the
+// row range to read and how each row yields its entry. Extract returns
+// nil for rows the index does not cover.
+type Source struct {
+	Start, End []byte
+	Extract    func(key, value []byte) (*Entry, error)
+}
+
+// BuildStats summarizes an online backfill.
+type BuildStats struct {
+	Rows    int // base rows visited (including ones skipped as deleted)
+	Batches int // closure transactions committed
+}
+
+// Build backfills def's entries from src while traffic continues. It
+// snapshots the base range in slices of at most batch keys, then indexes
+// each slice inside one Update closure that re-reads every row: a row
+// that changed since the snapshot is indexed at its current value (the
+// closure's commit validation is the revision guard), a row deleted
+// since is skipped, and a row a concurrent writer already indexed via
+// Map is overwritten with the identical entry — idempotent. Writers must
+// already be running Map for this index when Build starts (the standard
+// online-build contract: enable maintenance first, then backfill).
+func Build(db kv.DB, def Def, src Source, batch int) (BuildStats, error) {
+	if batch <= 0 {
+		batch = 256
+	}
+	var stats BuildStats
+	cursor := src.Start
+	for {
+		var keys [][]byte
+		it := db.Scan(cursor, src.End, batch)
+		for it.Next() {
+			keys = append(keys, bytes.Clone(it.Key()))
+		}
+		if err := it.Err(); err != nil {
+			return stats, fmt.Errorf("index %s: backfill scan: %w", def.Name, err)
+		}
+		if len(keys) == 0 {
+			return stats, nil
+		}
+		err := db.Update(func(tx kv.Txn) error {
+			for _, k := range keys {
+				v, err := tx.Get(k)
+				if errors.Is(err, kv.ErrNotFound) {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				e, err := src.Extract(k, v)
+				if err != nil {
+					return err
+				}
+				if e == nil {
+					continue
+				}
+				added, err := putEntry(tx, def, e)
+				if err != nil {
+					return err
+				}
+				if added {
+					def.Metrics.entriesAdd(1)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return stats, fmt.Errorf("index %s: backfill batch: %w", def.Name, err)
+		}
+		stats.Rows += len(keys)
+		stats.Batches++
+		def.Metrics.buildBatchDone(len(keys))
+		cursor = append(keys[len(keys)-1], 0x00) // succ(last): resume after it
+	}
+}
+
+// Mismatch is one inconsistency Verify found.
+type Mismatch struct {
+	Key    []byte // the index entry key (orphans) or base row key (missing)
+	Reason string // "missing entry", "orphan entry", or "entry value mismatch"
+}
+
+// Verify audits def against src in both directions: every base row's
+// expected entry must exist with the right value, and every entry in the
+// index's range must correspond to a base row. The two scans are
+// separate snapshots, so run it quiesced (or retry on transient diffs)
+// for an exact audit; dbtest runs it after workers stop.
+func Verify(db kv.DB, def Def, src Source) ([]Mismatch, error) {
+	expected := map[string][]byte{} // entry key → pk
+	it := db.Scan(src.Start, src.End, 0)
+	for it.Next() {
+		e, err := src.Extract(it.Key(), it.Value())
+		if err != nil {
+			return nil, fmt.Errorf("index %s: verify extract: %w", def.Name, err)
+		}
+		if e != nil {
+			expected[string(Key(def, e.Val, e.PK))] = bytes.Clone(e.PK)
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, fmt.Errorf("index %s: verify base scan: %w", def.Name, err)
+	}
+
+	var diffs []Mismatch
+	start, end := Range(def, nil, nil)
+	ix := db.Scan(start, end, 0)
+	for ix.Next() {
+		k := string(ix.Key())
+		pk, ok := expected[k]
+		switch {
+		case !ok:
+			diffs = append(diffs, Mismatch{Key: bytes.Clone(ix.Key()), Reason: "orphan entry"})
+		case !bytes.Equal(ix.Value(), pk):
+			diffs = append(diffs, Mismatch{Key: bytes.Clone(ix.Key()), Reason: "entry value mismatch"})
+		}
+		delete(expected, k)
+	}
+	if err := ix.Err(); err != nil {
+		return nil, fmt.Errorf("index %s: verify index scan: %w", def.Name, err)
+	}
+	for k := range expected {
+		diffs = append(diffs, Mismatch{Key: []byte(k), Reason: "missing entry"})
+	}
+	def.Metrics.verified(len(diffs))
+	return diffs, nil
+}

@@ -1,0 +1,84 @@
+package index
+
+import "rhtm/obs"
+
+// Metrics instruments one index's maintenance, backfill, and audit in
+// the flat obs schema (DESIGN.md §10/§13):
+//
+//	index.entries{idx=NAME}         gauge    live entry count
+//	index.maintain.ops{idx=NAME,op=insert|delete|update}
+//	index.unique.violations{idx=NAME}
+//	index.build.rows{idx=NAME}      backfill rows visited
+//	index.build.batches{idx=NAME}   backfill closure transactions
+//	index.verify.runs{idx=NAME}, index.verify.diffs{idx=NAME}
+//
+// A nil *Metrics is a valid no-op, so uninstrumented callers pay
+// nothing.
+type Metrics struct {
+	entries    *obs.Gauge
+	insertOps  *obs.Counter
+	deleteOps  *obs.Counter
+	updateOps  *obs.Counter
+	uniqueViol *obs.Counter
+	buildRows  *obs.Counter
+	buildBatch *obs.Counter
+	verifyRuns *obs.Counter
+	verifyDiff *obs.Counter
+}
+
+// NewMetrics resolves the index's instruments in reg under label
+// idx=name.
+func NewMetrics(reg *obs.Registry, name string) *Metrics {
+	l := func(base string) string { return obs.Name(base, "idx", name) }
+	return &Metrics{
+		entries:    reg.Gauge(l("index.entries")),
+		insertOps:  reg.Counter(obs.Name("index.maintain.ops", "idx", name, "op", "insert")),
+		deleteOps:  reg.Counter(obs.Name("index.maintain.ops", "idx", name, "op", "delete")),
+		updateOps:  reg.Counter(obs.Name("index.maintain.ops", "idx", name, "op", "update")),
+		uniqueViol: reg.Counter(l("index.unique.violations")),
+		buildRows:  reg.Counter(l("index.build.rows")),
+		buildBatch: reg.Counter(l("index.build.batches")),
+		verifyRuns: reg.Counter(l("index.verify.runs")),
+		verifyDiff: reg.Counter(l("index.verify.diffs")),
+	}
+}
+
+func (m *Metrics) entriesAdd(d int64) {
+	if m != nil {
+		m.entries.Add(d)
+	}
+}
+
+func (m *Metrics) maintained(old, new *Entry) {
+	if m == nil {
+		return
+	}
+	switch {
+	case old == nil && new != nil:
+		m.insertOps.Inc()
+	case old != nil && new == nil:
+		m.deleteOps.Inc()
+	case old != nil && new != nil:
+		m.updateOps.Inc()
+	}
+}
+
+func (m *Metrics) uniqueViolation() {
+	if m != nil {
+		m.uniqueViol.Inc()
+	}
+}
+
+func (m *Metrics) buildBatchDone(rows int) {
+	if m != nil {
+		m.buildRows.Add(uint64(rows))
+		m.buildBatch.Inc()
+	}
+}
+
+func (m *Metrics) verified(diffs int) {
+	if m != nil {
+		m.verifyRuns.Inc()
+		m.verifyDiff.Add(uint64(diffs))
+	}
+}

@@ -75,6 +75,7 @@ func RunDB(t *testing.T, name string, factory DBFactory, opts ...BatteryOption) 
 	t.Run(name+"/DBWatchCoalesce", func(t *testing.T) { testDBWatchCoalesce(t, factory) })
 	t.Run(name+"/DBMetrics", func(t *testing.T) { testDBMetrics(t, factory) })
 	t.Run(name+"/DBTrace", func(t *testing.T) { testDBTrace(t, factory) })
+	t.Run(name+"/DBIndex", func(t *testing.T) { testDBIndex(t, factory) })
 	if bo.recovery != nil {
 		t.Run(name+"/DBRecovery", func(t *testing.T) { testDBRecovery(t, bo.recovery) })
 	}

@@ -274,7 +274,7 @@ func (b *clusterBackend) Validate() error { return b.c.Validate() }
 // headroom for one extra record population — past it, inserts fall back to
 // overwrites (counted in the run notes) rather than failing the run.
 func insertBudget(spec KVSpec, cfg RunConfig) int {
-	if spec.Mix != "d" && spec.Mix != "e" {
+	if spec.Mix != "d" && spec.Mix != "e" && spec.Mix != "eidx" {
 		return 0
 	}
 	if cfg.OpsPerThread > 0 {
@@ -300,15 +300,22 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 		return Result{}, fmt.Errorf("harness: need Duration or OpsPerThread")
 	}
 
+	// The backends size arenas and intent slack from the spec; table rows
+	// cost more than raw records, so the table mixes hand them an inflated
+	// copy (worker behavior still follows the real spec).
+	bspec := spec
+	if spec.tableMix() {
+		bspec = tableSizing(spec)
+	}
 	var be kvBackend
 	var err error
 	switch {
 	case spec.Net:
-		be, err = openNetBackend(spec, engineName, cfg)
+		be, err = openNetBackend(bspec, engineName, cfg)
 	case spec.Backend == BackendCluster:
-		be, err = openClusterBackend(spec, engineName, cfg)
+		be, err = openClusterBackend(bspec, engineName, cfg)
 	default:
-		be, err = openStoreBackend(spec, engineName, cfg)
+		be, err = openStoreBackend(bspec, engineName, cfg)
 	}
 	if err != nil {
 		return Result{}, err
@@ -321,7 +328,7 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 	// coordination mixes start empty: sessions are created by logins, locks
 	// by acquisitions.
 	coordMix := spec.Mix == "session" || spec.Mix == "lock"
-	if !coordMix {
+	if !coordMix && !spec.tableMix() {
 		loadRng := rand.New(rand.NewSource(loaderSeed))
 		val := make([]byte, spec.ValueBytes)
 		for i := 0; i < spec.Records; i++ {
@@ -333,6 +340,16 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 			if err := be.Load(ycsbKey(i), val); err != nil {
 				return Result{}, fmt.Errorf("harness: KV load: %w", err)
 			}
+		}
+	}
+	// The table mixes populate through Table.Insert instead of the raw
+	// setup path: every row needs its index entry and statistics shards
+	// maintained on the way in, which only the record layer's own write
+	// transactions do.
+	var tables *tableState
+	if spec.tableMix() {
+		if tables, err = openTables(spec, be.DB()); err != nil {
+			return Result{}, fmt.Errorf("harness: table populate: %w", err)
 		}
 	}
 
@@ -379,7 +396,7 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 		go func() {
 			defer wg.Done()
 			w := &kvWorker{id: id, spec: spec, be: be, db: be.DB(), rng: rng,
-				zipf: zipf, shared: shared, coord: coord,
+				zipf: zipf, shared: shared, coord: coord, tables: tables,
 				followers: followers, fi: id}
 			ops := driveWorker(cfg, &stop, func() {
 				if err := w.step(); err != nil {
@@ -432,6 +449,14 @@ func RunKV(spec KVSpec, engineName string, cfg RunConfig) (Result, error) {
 		res.Counters = map[string]int64{}
 	}
 	shared.counters(spec, res.Counters)
+	if tables != nil {
+		// The tables' registry is separate from the DB's, so the table.*
+		// and index.* counters merge in under their own names without
+		// collisions (same pattern as the net backend's server.*).
+		for k, v := range tables.reg.Snapshot().Flatten() {
+			res.Counters[k] = v
+		}
+	}
 
 	if spec.Mix == "lock" {
 		if err := coord.auditMutualExclusion(); err != nil {
@@ -470,10 +495,15 @@ func MustRunKV(spec KVSpec, engineName string, cfg RunConfig) Result {
 type kvShared struct {
 	inserts         atomic.Int64  // records inserted (d/e)
 	insertFallbacks atomic.Uint64 // inserts converted to overwrites (arena full)
-	updates         atomic.Uint64 // committed RMW updates (f)
-	scans           atomic.Uint64 // scans executed (e)
-	scanned         atomic.Uint64 // entries yielded by scans (e)
+	updates         atomic.Uint64 // committed RMW updates (f) / upserts (query)
+	scans           atomic.Uint64 // scans executed (e / eidx)
+	scanned         atomic.Uint64 // entries yielded by scans and range queries
 	batches         atomic.Uint64 // batch flushes
+
+	// Table mixes (eidx / query).
+	pointQs atomic.Uint64 // planner-served point queries
+	rangeQs atomic.Uint64 // bucket-range queries
+	orderQs atomic.Uint64 // covering order-limit queries
 
 	// Replication (spec.Replicas > 0).
 	followerReads  atomic.Uint64 // reads served by a replica
@@ -508,6 +538,17 @@ func (sh *kvShared) counters(spec KVSpec, out map[string]int64) {
 		}
 	case "f":
 		out["harness.updates"] = int64(sh.updates.Load())
+	case "eidx":
+		out["harness.inserts"] = sh.inserts.Load()
+		out["harness.insert_fallbacks"] = int64(sh.insertFallbacks.Load())
+		out["harness.scans"] = int64(sh.scans.Load())
+		out["harness.scanned"] = int64(sh.scanned.Load())
+	case "query":
+		out["harness.point_queries"] = int64(sh.pointQs.Load())
+		out["harness.range_queries"] = int64(sh.rangeQs.Load())
+		out["harness.order_queries"] = int64(sh.orderQs.Load())
+		out["harness.upserts"] = int64(sh.updates.Load())
+		out["harness.scanned"] = int64(sh.scanned.Load())
 	case "session":
 		out["harness.hits"] = int64(sh.hits.Load())
 		out["harness.misses"] = int64(sh.misses.Load())
@@ -551,6 +592,13 @@ func (sh *kvShared) notes(spec KVSpec, be kvBackend) string {
 			}
 		}
 		out += fmt.Sprintf(" fsum=%d updates=%d", sum, sh.updates.Load())
+	case "eidx":
+		out += fmt.Sprintf(" inserts=%d insert-fallbacks=%d scans=%d scanned=%d",
+			sh.inserts.Load(), sh.insertFallbacks.Load(), sh.scans.Load(), sh.scanned.Load())
+	case "query":
+		out += fmt.Sprintf(" points=%d ranges=%d order-limits=%d upserts=%d scanned=%d",
+			sh.pointQs.Load(), sh.rangeQs.Load(), sh.orderQs.Load(),
+			sh.updates.Load(), sh.scanned.Load())
 	case "session":
 		out += fmt.Sprintf(" hits=%d misses=%d logins=%d expired=%d watched-deletes=%d",
 			sh.hits.Load(), sh.misses.Load(), sh.logins.Load(),
@@ -580,6 +628,7 @@ type kvWorker struct {
 	zipf      *zipfian
 	shared    *kvShared
 	coord     *coordState
+	tables    *tableState
 	followers []*repl.Follower
 	fi        int
 	buf       []byte
@@ -616,6 +665,8 @@ func (w *kvWorker) step() error {
 			return w.scan()
 		}
 		return w.insert()
+	case "eidx", "query":
+		return w.tableStep()
 	}
 	readPct, _ := w.spec.readPct()
 	isRead := w.rng.Intn(100) < readPct

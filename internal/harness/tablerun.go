@@ -1,0 +1,323 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"rhtm"
+	"rhtm/kv"
+	"rhtm/obs"
+	"rhtm/store"
+	"rhtm/table"
+)
+
+// The table mixes run the table/ record layer over the same backends as
+// the raw KV mixes: "eidx" re-serves YCSB-E's short ordered scans from a
+// secondary index (the planner turns each query into a bounded index
+// range scan with base-row fetches), and "query" is a planner-driven
+// point/range/order-limit mix with upsert churn. Every operation pays
+// the record layer's real costs — ordered-codec encoding, write-through
+// index maintenance, statistics shards, planner-chosen scans — so the
+// architectural metric compares the layered store against the raw one.
+// The tables report through their own registry; RunKV merges the
+// table.* / index.* counters into Result.Counters next to the DB's.
+
+// tableState carries one run's table handles and their metrics registry.
+type tableState struct {
+	spec   KVSpec
+	reg    *obs.Registry
+	tables []*table.Table
+	pad    string
+}
+
+// tableSchema is the i-th table of the mix: an integer primary key, an
+// indexed low-cardinality bucket (IdxSel sets its domain), and a payload
+// string sized by ValueBytes.
+func tableSchema(i int) table.Schema {
+	return table.Schema{
+		Name: fmt.Sprintf("kv%d", i),
+		Fields: []table.Field{
+			{Name: "id", Type: table.TInt64},
+			{Name: "bucket", Type: table.TInt64},
+			{Name: "pad", Type: table.TString},
+		},
+		Key:     []string{"id"},
+		Indexes: []table.Index{{Name: "by_bucket", Fields: []string{"bucket"}}},
+	}
+}
+
+// openTables binds the run's tables over db — all reporting through one
+// fresh registry — and populates the Records rows through Table.Insert,
+// so every row gets its index entry and statistics on the way in.
+func openTables(spec KVSpec, db kv.DB) (*tableState, error) {
+	ts := &tableState{spec: spec, reg: obs.NewRegistry(),
+		pad: strings.Repeat("x", spec.ValueBytes)}
+	for i := 0; i < spec.Tables; i++ {
+		tbl, err := table.New(db, tableSchema(i), table.WithMetrics(ts.reg))
+		if err != nil {
+			return nil, err
+		}
+		ts.tables = append(ts.tables, tbl)
+	}
+	for i := 0; i < spec.Records; i++ {
+		if err := ts.tableFor(i).Insert(ts.row(i)); err != nil {
+			return nil, err
+		}
+	}
+	return ts, nil
+}
+
+// row materializes the i-th record: the bucket cycles through the
+// IdxSel-value domain within the row's table, so every table holds all
+// buckets at equal depth.
+func (ts *tableState) row(i int) []table.Value {
+	return []table.Value{
+		table.Int64(int64(i)),
+		table.Int64(int64((i / ts.spec.Tables) % ts.spec.IdxSel)),
+		table.String(ts.pad),
+	}
+}
+
+// tableFor places record i (records round-robin over the tables).
+func (ts *tableState) tableFor(i int) *table.Table {
+	return ts.tables[i%ts.spec.Tables]
+}
+
+// tableSizing inflates the spec the backends size their arenas and
+// intent slack from: a table row costs more than a raw record — prefixed
+// row and index keys, codec overhead, statistics shards — and one row
+// transaction holds several write intents at once on the cluster.
+func tableSizing(spec KVSpec) KVSpec {
+	spec.Records = spec.Records*3 + 64
+	spec.ValueBytes += 64
+	if spec.CrossKeys < 8 {
+		spec.CrossKeys = 8
+	}
+	return spec
+}
+
+// tableStep dispatches one table-mix operation.
+func (w *kvWorker) tableStep() error {
+	if w.spec.Mix == "eidx" {
+		if w.rng.Intn(100) < 95 {
+			return w.eidxScan()
+		}
+		return w.tableInsert()
+	}
+	switch r := w.rng.Intn(100); {
+	case r < 45:
+		return w.tablePoint()
+	case r < 70:
+		return w.tableRange()
+	case r < 90:
+		return w.tableOrderLimit()
+	default:
+		return w.tableUpsert()
+	}
+}
+
+// eidxScan is the index-served YCSB-E scan: a short ordered read of the
+// secondary index starting at a drawn bucket. The lower bound, order,
+// and limit let the planner bound the index scan at the limit — the
+// record-layer analog of mix "e"'s raw range cursor.
+func (w *kvWorker) eidxScan() error {
+	t := w.tables.tableFor(w.record())
+	lo := int64(w.rng.Intn(w.spec.IdxSel))
+	rows, err := t.Select(table.Query{
+		Conds: []table.Cond{table.Ge("bucket", table.Int64(lo))},
+		Order: "bucket",
+		Limit: 1 + w.rng.Intn(w.spec.ScanMax),
+	})
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 && lo == 0 {
+		return fmt.Errorf("index scan from bucket 0 yielded nothing")
+	}
+	w.shared.scans.Add(1)
+	w.shared.scanned.Add(uint64(len(rows)))
+	return nil
+}
+
+// tableInsert appends one new row past the loaded id space. When the
+// arena cannot hold more rows, the insert degrades to an upsert of an
+// existing row (counted), keeping the op mix alive — same contract as
+// the raw mixes' insert.
+func (w *kvWorker) tableInsert() error {
+	id := w.spec.Records + int(w.shared.inserts.Add(1)) - 1
+	err := w.tables.tableFor(id).Insert(w.tables.row(id))
+	if errors.Is(err, kv.ErrArenaFull) {
+		w.shared.inserts.Add(-1)
+		w.shared.insertFallbacks.Add(1)
+		rid := w.record()
+		return w.tables.tableFor(rid).Upsert(w.tables.row(rid))
+	}
+	return err
+}
+
+// tablePoint is a planner-served point read: the filter pins the primary
+// key, so the plan must be the cost-1 point get.
+func (w *kvWorker) tablePoint() error {
+	id := w.record()
+	rows, err := w.tables.tableFor(id).Select(table.Query{
+		Conds: []table.Cond{table.Eq("id", table.Int64(int64(id)))},
+	})
+	if err != nil {
+		return err
+	}
+	if len(rows) != 1 {
+		return fmt.Errorf("point query id=%d yielded %d rows, want 1", id, len(rows))
+	}
+	w.shared.pointQs.Add(1)
+	return nil
+}
+
+// tableRange is a bounded bucket-range read: Between on the indexed
+// field plus order and limit, which the planner serves from the index
+// with the limit bounding the scan.
+func (w *kvWorker) tableRange() error {
+	lo := int64(w.rng.Intn(w.spec.IdxSel))
+	rows, err := w.tables.tableFor(w.record()).Select(table.Query{
+		Conds: []table.Cond{table.Between("bucket",
+			table.Int64(lo), table.Int64(lo+1+int64(w.rng.Intn(4))))},
+		Order: "bucket",
+		Limit: 1 + w.rng.Intn(w.spec.ScanMax),
+	})
+	if err != nil {
+		return err
+	}
+	w.shared.rangeQs.Add(1)
+	w.shared.scanned.Add(uint64(len(rows)))
+	return nil
+}
+
+// tableOrderLimit is the covering top-K read: order by the indexed
+// bucket, projecting only fields the index entries (plus the primary
+// key) carry, so the planner answers from the index alone with no
+// base-row fetches.
+func (w *kvWorker) tableOrderLimit() error {
+	rows, err := w.tables.tableFor(w.record()).Select(table.Query{
+		Order:  "bucket",
+		Limit:  1 + w.rng.Intn(w.spec.ScanMax),
+		Fields: []string{"id", "bucket"},
+	})
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("order-limit query yielded nothing")
+	}
+	w.shared.orderQs.Add(1)
+	w.shared.scanned.Add(uint64(len(rows)))
+	return nil
+}
+
+// tableUpsert rewrites an existing row with a freshly drawn bucket: the
+// index entry moves and the cardinality statistics adjust inside the
+// row's own transaction.
+func (w *kvWorker) tableUpsert() error {
+	id := w.record()
+	row := []table.Value{
+		table.Int64(int64(id)),
+		table.Int64(int64(w.rng.Intn(w.spec.IdxSel))),
+		table.String(w.tables.pad),
+	}
+	if err := w.tables.tableFor(id).Upsert(row); err != nil {
+		return err
+	}
+	w.shared.updates.Add(1)
+	return nil
+}
+
+// --- the index-lookup experiment ---
+
+// IndexLookup measures what the secondary index buys on a selective
+// query: one store, one table of rows rows, and two schema bindings of
+// the same keyspace — one declaring by_bucket, one not — so the planner
+// serves the identical bucket-equality query as an index scan on the
+// first handle and a full table scan on the second. Returns one Result
+// per mode ("index" then "fullscan"); throughput and the architectural
+// metric both carry the gap.
+func IndexLookup(engineName string, rows, queries int) ([]Result, error) {
+	if rows <= 0 || queries <= 0 {
+		return nil, fmt.Errorf("harness: IndexLookup needs positive rows and queries")
+	}
+	spec := KVSpec{Mix: "query", Records: rows, ValueBytes: 64, Shards: 8}.withDefaults()
+	sizing := tableSizing(spec)
+	perRecord := store.RecordFootprintWords(len(ycsbKey(0)), sizing.ValueBytes)
+	arenaWords := (sizing.Records/spec.Shards+1)*perRecord*2 + 4096
+	s, err := rhtm.NewSystem(rhtm.DefaultConfig(spec.Shards*(arenaWords+store.DefaultLogWords+64) + 8192))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := Build(s, engineName, 0)
+	if err != nil {
+		return nil, err
+	}
+	sh := store.NewSharded(s, spec.Shards, store.Options{ArenaWords: arenaWords})
+	db := kv.NewLocal(eng, sh)
+
+	indexed, err := openTables(spec, db)
+	if err != nil {
+		return nil, err
+	}
+	bare := tableSchema(0)
+	bare.Indexes = nil
+	full, err := table.New(db, bare, table.WithMetrics(indexed.reg))
+	if err != nil {
+		return nil, err
+	}
+
+	accesses := func() uint64 {
+		st := eng.Snapshot()
+		return st.Reads + st.Writes + st.MetadataReads + st.MetadataWrites
+	}
+	run := func(mode string, tbl *table.Table) (Result, error) {
+		q := table.Query{Conds: []table.Cond{table.Eq("bucket", table.Int64(0))}}
+		plan, err := tbl.Explain(q)
+		if err != nil {
+			return Result{}, err
+		}
+		before := accesses()
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			q.Conds[0] = table.Eq("bucket", table.Int64(int64(i%spec.IdxSel)))
+			if rs, err := tbl.Select(q); err != nil {
+				return Result{}, err
+			} else if len(rs) == 0 {
+				return Result{}, fmt.Errorf("harness: IndexLookup %s: bucket %d empty", mode, i%spec.IdxSel)
+			}
+		}
+		elapsed := time.Since(start)
+		res := Result{
+			Workload: "index-lookup/" + mode,
+			Engine:   eng.Name(),
+			Threads:  1,
+			Ops:      uint64(queries),
+			Elapsed:  elapsed,
+			Stats:    eng.Snapshot(),
+			Accesses: accesses() - before,
+			Notes:    "plan: " + plan,
+		}
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+		res.OpsPerKAccess = 1000 * float64(res.Ops) / float64(res.Accesses)
+		return res, nil
+	}
+	idxRes, err := run("index", indexed.tables[0])
+	if err != nil {
+		return nil, err
+	}
+	fullRes, err := run("fullscan", full)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range []*Result{&idxRes, &fullRes} {
+		r.Counters = map[string]int64{}
+		for k, v := range indexed.reg.Snapshot().Flatten() {
+			r.Counters[k] = v
+		}
+	}
+	return []Result{idxRes, fullRes}, sh.Validate()
+}

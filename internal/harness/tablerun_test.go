@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rhtm/obs"
+)
+
+// requireCounter fails unless res carries the named counter with a
+// positive value.
+func requireCounter(t *testing.T, res Result, name string) {
+	t.Helper()
+	v, ok := res.Counters[name]
+	if !ok {
+		t.Errorf("Result.Counters missing %q", name)
+	} else if v <= 0 {
+		t.Errorf("Result.Counters[%q] = %d, want > 0", name, v)
+	}
+}
+
+// TestKVTableMixes runs both table mixes on the store backend and checks
+// that the run's Result carries the record layer's counters: the
+// harness-side op tallies, the table.* instruments of every table, the
+// index.* maintenance counters, and the planner's pick taxonomy.
+func TestKVTableMixes(t *testing.T) {
+	spec := KVSpec{Records: 240, ValueBytes: 32, Shards: 4,
+		Tables: 2, IdxSel: 8, ScanMax: 8}
+	cfg := RunConfig{Threads: 2, OpsPerThread: 120, Seed: 1}
+
+	t.Run("eidx", func(t *testing.T) {
+		s := spec
+		s.Mix = "eidx"
+		res, err := RunKV(s, EngTL2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 240 {
+			t.Errorf("Ops = %d, want 240", res.Ops)
+		}
+		requireCounter(t, res, "harness.scans")
+		requireCounter(t, res, "harness.scanned")
+		for i := 0; i < s.Tables; i++ {
+			name := fmt.Sprintf("kv%d", i)
+			requireCounter(t, res, obs.Name("table.selects", "table", name))
+			requireCounter(t, res, obs.Name("table.ops", "table", name, "op", "insert"))
+			requireCounter(t, res, obs.Name("table.planner.picks", "table", name, "plan", "index"))
+			requireCounter(t, res,
+				obs.Name("index.maintain.ops", "idx", name+".by_bucket", "op", "insert"))
+		}
+		if !strings.Contains(res.Workload, "ycsb-e-index") ||
+			!strings.Contains(res.Workload, "tables=2") {
+			t.Errorf("workload name %q missing table-mix markers", res.Workload)
+		}
+	})
+
+	t.Run("query", func(t *testing.T) {
+		s := spec
+		s.Mix = "query"
+		res, err := RunKV(s, EngTL2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireCounter(t, res, "harness.point_queries")
+		requireCounter(t, res, "harness.range_queries")
+		requireCounter(t, res, "harness.order_queries")
+		requireCounter(t, res, "harness.upserts")
+		requireCounter(t, res, obs.Name("table.planner.picks", "table", "kv0", "plan", "point"))
+		requireCounter(t, res, obs.Name("table.planner.picks", "table", "kv0", "plan", "covering"))
+		requireCounter(t, res, obs.Name("table.planner.picks", "table", "kv0", "plan", "index"))
+		requireCounter(t, res, obs.Name("table.ops", "table", "kv0", "op", "upsert"))
+		requireCounter(t, res, obs.Name("table.rows.scanned", "table", "kv0"))
+		// The upsert churn moves index entries: update maintenance ops.
+		requireCounter(t, res,
+			obs.Name("index.maintain.ops", "idx", "kv1.by_bucket", "op", "insert"))
+	})
+
+	// The same mix must run unchanged on the 2PC cluster backend — the
+	// record layer only sees kv.DB.
+	t.Run("query/cluster", func(t *testing.T) {
+		s := spec
+		s.Mix = "query"
+		s.Records, s.Tables, s.Backend, s.Systems = 120, 1, BackendCluster, 2
+		res, err := RunKV(s, EngTL2, RunConfig{Threads: 2, OpsPerThread: 40, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireCounter(t, res, "harness.point_queries")
+		requireCounter(t, res, obs.Name("table.selects", "table", "kv0"))
+	})
+}
+
+// TestIndexLookupBeatsScan is the PR's acceptance gate: on a 10k-row
+// table, the planner's index-served bucket-equality lookup must beat the
+// same query forced through a full scan by at least 10x in throughput,
+// on two engines. (The architectural gap is larger still: the index scan
+// visits ~rows/IdxSel entries where the full scan visits every row.)
+func TestIndexLookupBeatsScan(t *testing.T) {
+	const rows, queries = 10_000, 60
+	for _, eng := range []string{EngRH1Mix2, EngTL2} {
+		t.Run(eng, func(t *testing.T) {
+			results, err := IndexLookup(eng, rows, queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx, full := results[0], results[1]
+			if !strings.HasPrefix(idx.Notes, "plan: index(by_bucket") {
+				t.Errorf("indexed handle planned %q, want an index scan", idx.Notes)
+			}
+			if !strings.HasPrefix(full.Notes, "plan: scan(kv0)") {
+				t.Errorf("bare handle planned %q, want a full scan", full.Notes)
+			}
+			if idx.Throughput < 10*full.Throughput {
+				t.Errorf("index lookup %.0f ops/s vs full scan %.0f ops/s: want >= 10x",
+					idx.Throughput, full.Throughput)
+			}
+			if idx.Accesses*10 > full.Accesses {
+				t.Errorf("index lookup cost %d accesses vs full scan %d: want >= 10x gap",
+					idx.Accesses, full.Accesses)
+			}
+		})
+	}
+}

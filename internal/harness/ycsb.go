@@ -36,7 +36,10 @@ type KVSpec struct {
 	// inserts), "e" (95% short ordered scans / 5% inserts), "f" (50% reads
 	// / 50% read-modify-writes) — or "bank": every operation transfers
 	// between two 8-byte balances and the run fails if the total is not
-	// conserved.
+	// conserved. The table mixes run the table/ record layer instead of
+	// raw records: "eidx" re-serves YCSB-E's short ordered scans from a
+	// secondary index, "query" is a planner-driven point/range/order-limit
+	// mix (see tablerun.go).
 	Mix string
 	// Records is the number of pre-loaded records (or bank accounts).
 	Records int
@@ -63,8 +66,17 @@ type KVSpec struct {
 	// (default 2).
 	CrossKeys int
 	// ScanMax bounds mix "e" scan lengths: each scan draws a uniform
-	// length in [1, ScanMax] (default 100).
+	// length in [1, ScanMax] (default 100). The table mixes draw their
+	// query limits from the same bound.
 	ScanMax int
+	// Tables spreads the table mixes' rows over this many tables — each
+	// with its own keyspace, secondary index, and statistics (default 1).
+	Tables int
+	// IdxSel is the table mixes' index selectivity: the indexed bucket
+	// field cycles through this many distinct values per table, so an
+	// equality on the index matches about Records/(Tables×IdxSel) rows
+	// (default 100).
+	IdxSel int
 	// TTL is the lease time-to-live in virtual clock ticks for the
 	// coordination mixes "session" and "lock" (default 16).
 	TTL int
@@ -114,7 +126,7 @@ func (sp KVSpec) readPct() (int, error) {
 	switch sp.Mix {
 	case "a", "f":
 		return 50, nil
-	case "b", "d", "e":
+	case "b", "d", "e", "eidx":
 		return 95, nil
 	case "c":
 		return 100, nil
@@ -122,10 +134,17 @@ func (sp KVSpec) readPct() (int, error) {
 		return 0, nil
 	case "session":
 		return 95, nil
+	case "query":
+		return 90, nil
 	default:
-		return 0, fmt.Errorf("harness: unknown KV mix %q (want a, b, c, d, e, f, bank, session or lock)", sp.Mix)
+		return 0, fmt.Errorf("harness: unknown KV mix %q (want a, b, c, d, e, f, eidx, query, bank, session or lock)", sp.Mix)
 	}
 }
+
+// tableMix reports whether the workload runs through the table/ record
+// layer (typed rows, secondary indexes, the planner) rather than raw
+// ycsbKey records.
+func (sp KVSpec) tableMix() bool { return sp.Mix == "eidx" || sp.Mix == "query" }
 
 // withDefaults fills unset (zero or negative) fields.
 func (sp KVSpec) withDefaults() KVSpec {
@@ -173,6 +192,12 @@ func (sp KVSpec) withDefaults() KVSpec {
 	if sp.ScanMax <= 0 {
 		sp.ScanMax = 100
 	}
+	if sp.Tables <= 0 {
+		sp.Tables = 1
+	}
+	if sp.IdxSel <= 0 {
+		sp.IdxSel = 100
+	}
 	if sp.Net && sp.Conns <= 0 {
 		sp.Conns = 4
 	}
@@ -190,9 +215,16 @@ func (sp KVSpec) Name() string {
 		name = "session-cache/" + sp.Dist
 	case "lock":
 		name = "lock-service/" + sp.Dist
+	case "eidx":
+		name = "ycsb-e-index/" + sp.Dist
+	case "query":
+		name = "table-query/" + sp.Dist
 	}
 	if sp.Backend == BackendCluster {
 		name = fmt.Sprintf("cluster-%s/%s/s=%d/x=%d", sp.Mix, sp.Dist, sp.Systems, sp.CrossPct)
+	}
+	if sp.tableMix() {
+		name += fmt.Sprintf("/tables=%d/idxsel=%d", sp.Tables, sp.IdxSel)
 	}
 	if sp.BatchSize > 1 {
 		name += fmt.Sprintf("/batch=%d", sp.BatchSize)
@@ -270,6 +302,20 @@ func (sp KVSpec) validate() error {
 	}
 	if sp.Staleness > 0 && sp.Replicas == 0 {
 		return fmt.Errorf("harness: Staleness needs Replicas")
+	}
+	if sp.tableMix() {
+		if sp.Tables > 64 {
+			return fmt.Errorf("harness: Tables must be at most 64, got %d", sp.Tables)
+		}
+		if sp.Records < sp.Tables {
+			return fmt.Errorf("harness: %d tables need at least as many records, got %d", sp.Tables, sp.Records)
+		}
+		if sp.CrossPct != 0 {
+			return fmt.Errorf("harness: CrossPct applies to the raw KV mixes, not %q", sp.Mix)
+		}
+		if sp.Replicas > 0 {
+			return fmt.Errorf("harness: follower reads serve the raw single-key mixes, not %q", sp.Mix)
+		}
 	}
 	if !sp.Net && (sp.Conns != 0 || sp.Pipeline) {
 		return fmt.Errorf("harness: Conns/Pipeline need Net")

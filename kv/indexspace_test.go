@@ -1,0 +1,109 @@
+package kv_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"rhtm"
+	"rhtm/kv"
+	"rhtm/store"
+)
+
+// TestIndexSpaceSemantics pins the index-namespace carve-out of the
+// reserved keyspace (DESIGN.md §13): keys under kv.IndexSpace are
+// user-addressable, default scans and nil-prefix watches never see them,
+// a scan cursor started inside the namespace is clamped at
+// kv.IndexSpaceEnd so it cannot bleed into user keys, and the rest of the
+// 0x00 namespace stays reserved.
+func TestIndexSpaceSemantics(t *testing.T) {
+	s := rhtm.MustNewSystem(rhtm.DefaultConfig(1 << 17))
+	db := kv.NewLocal(rhtm.NewTL2(s), store.New(s, store.Options{ArenaWords: 1 << 14}))
+
+	idxKey := append(append([]byte{}, kv.IndexSpace...), []byte("idx-a")...)
+	userKey := []byte("user-a")
+
+	// Index-namespace keys accept the full user-facing surface.
+	if err := db.Put(idxKey, []byte("entry")); err != nil {
+		t.Fatalf("Put(index-space key): %v", err)
+	}
+	if err := db.Put(userKey, []byte("row")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Get(idxKey); err != nil || !bytes.Equal(v, []byte("entry")) {
+		t.Fatalf("Get(index-space key) = %q, %v", v, err)
+	}
+
+	// The neighbouring 0x00 regions stay reserved on both sides of 'i'.
+	for _, k := range [][]byte{{0x00, 'h', 1}, {0x00, 'j'}, {0x00}, {}} {
+		if err := db.Put(k, []byte("x")); err != kv.ErrReservedKey {
+			t.Errorf("Put(%q) err = %v, want ErrReservedKey", k, err)
+		}
+		if kv.IsReservedKey(append(kv.IndexSpace[:len(kv.IndexSpace):len(kv.IndexSpace)], 'x')) {
+			t.Error("IsReservedKey claims an index-space key is reserved")
+		}
+	}
+
+	// A default (nil-bound) scan sees only user keys; a scan started at
+	// IndexSpace sees only index entries, even with an oversized end.
+	collect := func(start, end []byte) [][]byte {
+		var keys [][]byte
+		it := db.Scan(start, end, 0)
+		for it.Next() {
+			keys = append(keys, append([]byte{}, it.Key()...))
+		}
+		if err := it.Err(); err != nil {
+			t.Fatalf("scan [%q, %q): %v", start, end, err)
+		}
+		return keys
+	}
+	for _, k := range collect(nil, nil) {
+		if bytes.HasPrefix(k, kv.IndexSpace) {
+			t.Errorf("default scan leaked index entry %q", k)
+		}
+	}
+	inIdx := collect(kv.IndexSpace, []byte("zzz"))
+	if len(inIdx) != 1 || !bytes.Equal(inIdx[0], idxKey) {
+		t.Errorf("index-space scan saw %q, want just %q (clamped at IndexSpaceEnd)", inIdx, idxKey)
+	}
+	if got := collect(kv.IndexSpace, kv.IndexSpace); len(got) != 0 {
+		t.Errorf("empty index-space range yielded %q", got)
+	}
+
+	// A nil-prefix watch is user-keyspace only; naming the IndexSpace
+	// prefix opts in to index-entry events.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	all, err := db.Watch(ctx, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxWatch, err := db.Watch(ctx, kv.IndexSpace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(idxKey, []byte("entry-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(userKey, []byte("row-2")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	select {
+	case ev := <-idxWatch:
+		if !bytes.Equal(ev.Key, idxKey) {
+			t.Errorf("index watch saw %q, want %q", ev.Key, idxKey)
+		}
+	case <-deadline:
+		t.Fatal("index-space watch never delivered the entry event")
+	}
+	select {
+	case ev := <-all:
+		if !bytes.Equal(ev.Key, userKey) {
+			t.Errorf("nil-prefix watch saw %q, want only user key %q", ev.Key, userKey)
+		}
+	case <-deadline:
+		t.Fatal("nil-prefix watch never delivered the user event")
+	}
+}

@@ -48,6 +48,19 @@
 // the ordinary transactional keyspace — and therefore the ordinary commit
 // paths, including cross-System 2PC — without leaking into user reads.
 //
+// One carve-out: the index namespace, keys prefixed by IndexSpace
+// (0x00 'i'). Index entries are ordinary records a record layer (package
+// index) writes inside the caller's own Update closures, so they must be
+// reachable through every DB implementation — Local, the cluster, and the
+// network client — with no protocol changes. Keys under IndexSpace are
+// therefore NOT reserved: user-facing operations accept them, and a Scan
+// whose start lies inside the namespace stays inside it (the cursor is
+// clamped at the namespace end, never bleeding into user keys). The
+// default views are unchanged: a nil-bounded Scan still starts at the
+// first user key, and a nil-prefix Watch still delivers user-key events
+// only — index traffic is visible exactly to callers that name the
+// namespace.
+//
 // # Retry policy
 //
 // Update re-executes fn when the transaction cannot commit due to
@@ -353,24 +366,56 @@ func backoff(attempt int) {
 	time.Sleep(time.Duration(1+rand.Intn(1<<shift)) * time.Microsecond)
 }
 
+// IndexSpace is the prefix of the index namespace: the one region of the
+// 0x00 system keyspace that user-facing operations may address (see the
+// package comment). Secondary-index entries live at
+// IndexSpace ‖ indexID ‖ encoded-value ‖ primary-key, so a range Scan
+// starting inside the namespace IS an index scan. Treat as read-only.
+var IndexSpace = []byte{0x00, 'i'}
+
+// IndexSpaceEnd is the exclusive upper bound of the index namespace:
+// every index-entry key k satisfies IndexSpace <= k < IndexSpaceEnd.
+// Treat as read-only.
+var IndexSpaceEnd = []byte{0x00, 'j'}
+
+// indexSpaceKey reports whether k lies in the index namespace.
+func indexSpaceKey(k []byte) bool {
+	return len(k) >= 2 && k[0] == 0x00 && k[1] == 'i'
+}
+
 // reservedKey reports whether k is in the system namespace (see the
-// package comment).
+// package comment). Index-namespace keys are deliberately not reserved.
 func reservedKey(k []byte) bool {
-	return len(k) == 0 || k[0] == 0x00
+	return (len(k) == 0 || k[0] == 0x00) && !indexSpaceKey(k)
 }
 
 // IsReservedKey reports whether k is in the reserved system namespace
-// (empty, or first byte 0x00). Exported for front ends — the network
-// server and client — that must reject reserved keys with ErrReservedKey
-// before an operation ever reaches a transaction.
+// (empty, or first byte 0x00, excluding the IndexSpace carve-out).
+// Exported for front ends — the network server and client — that must
+// reject reserved keys with ErrReservedKey before an operation ever
+// reaches a transaction.
 func IsReservedKey(k []byte) bool { return reservedKey(k) }
 
-// userSpaceStart is the smallest non-reserved key.
+// userSpaceStart is the smallest non-reserved key outside the index
+// namespace.
 var userSpaceStart = []byte{0x01}
 
-// clampUserRange narrows [start, end) to the user keyspace, returning
-// empty=true when nothing user-visible remains.
+// clampUserRange narrows [start, end) to the user-visible keyspace,
+// returning empty=true when nothing user-visible remains. A start inside
+// the index namespace selects that namespace: the range is clamped at
+// IndexSpaceEnd so an index cursor can never bleed into user keys. Any
+// other start (nil included) is clamped up to the first user key, so
+// default scans never see index entries.
 func clampUserRange(start, end []byte) (s, e []byte, empty bool) {
+	if indexSpaceKey(start) {
+		if end == nil || bytes.Compare(end, IndexSpaceEnd) > 0 {
+			end = IndexSpaceEnd
+		}
+		if bytes.Compare(end, start) <= 0 {
+			return nil, nil, true
+		}
+		return start, end, false
+	}
 	if start == nil || bytes.Compare(start, userSpaceStart) < 0 {
 		start = userSpaceStart
 	}

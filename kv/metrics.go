@@ -144,6 +144,7 @@ func mergeClusterCounters(out *obs.Snapshot, cc cluster.Counters) {
 	c["cluster.intent_waits"] = cc.IntentWaits
 	c["cluster.snapshot_scans"] = cc.SnapshotScans
 	c["cluster.scan_retries"] = cc.ScanRetries
+	c["cluster.phantom_conflicts"] = cc.PhantomConflicts
 }
 
 // tracerBox wraps a Tracer for atomic replacement (SetTracer may race

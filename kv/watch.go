@@ -355,10 +355,11 @@ type watchSub struct {
 
 // matches reports whether key belongs to this subscription. A nil/empty
 // prefix means "all user keys": reserved-namespace events (lease records)
-// are only visible to a watcher that names their prefix explicitly.
+// and index-namespace events are only visible to a watcher that names
+// their prefix explicitly.
 func (s *watchSub) matches(key []byte) bool {
 	if len(s.prefix) == 0 {
-		return !reservedKey(key)
+		return !reservedKey(key) && !indexSpaceKey(key)
 	}
 	return bytes.HasPrefix(key, s.prefix)
 }

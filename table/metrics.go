@@ -1,0 +1,64 @@
+package table
+
+import "rhtm/obs"
+
+// metrics instruments one Table in the flat obs schema (DESIGN.md §13):
+//
+//	table.rows{table=NAME}             gauge   live row count
+//	table.ops{table=NAME,op=insert|upsert|delete|get}
+//	table.selects{table=NAME}
+//	table.planner.picks{table=NAME,plan=point|covering|index|full}
+//	table.rows.scanned{table=NAME}     rows or entries a Select visited
+//
+// A nil *metrics is a valid no-op.
+type metrics struct {
+	rows        *obs.Gauge
+	inserts     *obs.Counter
+	upserts     *obs.Counter
+	deletes     *obs.Counter
+	gets        *obs.Counter
+	selects     *obs.Counter
+	rowsScanned *obs.Counter
+	picks       [4]*obs.Counter // indexed by PlanKind
+}
+
+func newMetrics(reg *obs.Registry, name string) *metrics {
+	l := func(base string) string { return obs.Name(base, "table", name) }
+	pick := func(plan string) *obs.Counter {
+		return reg.Counter(obs.Name("table.planner.picks", "table", name, "plan", plan))
+	}
+	return &metrics{
+		rows:        reg.Gauge(l("table.rows")),
+		inserts:     reg.Counter(obs.Name("table.ops", "table", name, "op", "insert")),
+		upserts:     reg.Counter(obs.Name("table.ops", "table", name, "op", "upsert")),
+		deletes:     reg.Counter(obs.Name("table.ops", "table", name, "op", "delete")),
+		gets:        reg.Counter(obs.Name("table.ops", "table", name, "op", "get")),
+		selects:     reg.Counter(l("table.selects")),
+		rowsScanned: reg.Counter(l("table.rows.scanned")),
+		picks:       [4]*obs.Counter{pick("point"), pick("covering"), pick("index"), pick("full")},
+	}
+}
+
+func (m *metrics) rowsAdd(d int64) {
+	if m != nil {
+		m.rows.Add(d)
+	}
+}
+
+func (m *metrics) op(c func(*metrics) *obs.Counter) {
+	if m != nil {
+		c(m).Inc()
+	}
+}
+
+func (m *metrics) picked(k PlanKind) {
+	if m != nil && int(k) < len(m.picks) {
+		m.picks[k].Inc()
+	}
+}
+
+func (m *metrics) scanned(n int) {
+	if m != nil {
+		m.rowsScanned.Add(uint64(n))
+	}
+}

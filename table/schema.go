@@ -1,0 +1,126 @@
+package table
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Field declares one typed column of a schema.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Index declares one secondary index over a schema's fields. Entries are
+// maintained transactionally with every row write; Unique additionally
+// rejects two rows sharing the indexed value.
+type Index struct {
+	Name   string
+	Fields []string // indexed fields, in significance order
+	Unique bool
+}
+
+// Schema declares a table: its fields, the primary key, and the
+// secondary indexes. Field, key, and index names must be non-empty
+// identifiers ([A-Za-z_][A-Za-z0-9_]*) so that table names can never
+// collide inside composed keys.
+type Schema struct {
+	Name    string
+	Fields  []Field
+	Key     []string // primary key fields, in significance order
+	Indexes []Index
+}
+
+// ident reports whether s is a valid identifier.
+func ident(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the schema's internal consistency: identifier names,
+// no duplicate fields or indexes, every key/index field declared, a
+// non-empty primary key.
+func (s *Schema) Validate() error {
+	if !ident(s.Name) {
+		return fmt.Errorf("table: bad table name %q", s.Name)
+	}
+	if len(s.Fields) == 0 {
+		return fmt.Errorf("table %s: no fields", s.Name)
+	}
+	fields := make(map[string]Type, len(s.Fields))
+	for _, f := range s.Fields {
+		if !ident(f.Name) {
+			return fmt.Errorf("table %s: bad field name %q", s.Name, f.Name)
+		}
+		if f.Type < TInt64 || f.Type > TBytes {
+			return fmt.Errorf("table %s: field %s has invalid type", s.Name, f.Name)
+		}
+		if _, dup := fields[f.Name]; dup {
+			return fmt.Errorf("table %s: duplicate field %s", s.Name, f.Name)
+		}
+		fields[f.Name] = f.Type
+	}
+	if len(s.Key) == 0 {
+		return fmt.Errorf("table %s: empty primary key", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, k := range s.Key {
+		if _, ok := fields[k]; !ok {
+			return fmt.Errorf("table %s: key field %s not declared", s.Name, k)
+		}
+		if seen[k] {
+			return fmt.Errorf("table %s: duplicate key field %s", s.Name, k)
+		}
+		seen[k] = true
+	}
+	idxNames := map[string]bool{}
+	for _, ix := range s.Indexes {
+		if !ident(ix.Name) {
+			return fmt.Errorf("table %s: bad index name %q", s.Name, ix.Name)
+		}
+		if idxNames[ix.Name] {
+			return fmt.Errorf("table %s: duplicate index %s", s.Name, ix.Name)
+		}
+		idxNames[ix.Name] = true
+		if len(ix.Fields) == 0 {
+			return fmt.Errorf("table %s: index %s has no fields", s.Name, ix.Name)
+		}
+		ifSeen := map[string]bool{}
+		for _, f := range ix.Fields {
+			if _, ok := fields[f]; !ok {
+				return fmt.Errorf("table %s: index %s field %s not declared", s.Name, ix.Name, f)
+			}
+			if ifSeen[f] {
+				return fmt.Errorf("table %s: index %s duplicate field %s", s.Name, ix.Name, f)
+			}
+			ifSeen[f] = true
+		}
+	}
+	return nil
+}
+
+// indexID derives the stable 64-bit id an index's entries are keyed
+// under: FNV-64a of "table.index". Stable across processes, so a Table
+// reopened elsewhere (or over the network client) addresses the same
+// entries with no catalog lookup.
+func indexID(table, index string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(table))
+	h.Write([]byte{'.'})
+	h.Write([]byte(index))
+	return h.Sum64()
+}
