@@ -40,6 +40,7 @@ type options struct {
 	conns       int
 	dialTimeout time.Duration
 	followers   []string
+	traceSample int
 }
 
 // WithConns sets the connection pool size (default 2).
@@ -65,6 +66,17 @@ func WithFollowerReads(addrs ...string) Option {
 	return func(o *options) { o.followers = append(o.followers, addrs...) }
 }
 
+// WithTraceSampling traces one request in every n end to end: the sampled
+// frame carries FlagTraced plus a client-chosen trace id, the server
+// records the request's server-side stages into its flight recorder under
+// that id, and the client records the net stage (round trip minus the
+// server's echoed handling time) into its own recorder under the same id.
+// n <= 0 (the default) disables sampling; the disabled path is a single
+// predicted branch per request.
+func WithTraceSampling(n int) Option {
+	return func(o *options) { o.traceSample = n }
+}
+
 // Client implements kv.DB over a pool of server connections.
 type Client struct {
 	conns     []*netConn
@@ -73,6 +85,13 @@ type Client struct {
 	fnext     atomic.Uint64
 	engine    string
 	trc       atomic.Pointer[tracerBox]
+
+	// sampler/flight/traceID implement WithTraceSampling: the sampler
+	// picks requests, traceID names them on the wire, and the flight
+	// recorder retains the client-observed side of each trace.
+	sampler *obs.Sampler
+	flight  *obs.Flight
+	traceID atomic.Uint64
 
 	watchWG sync.WaitGroup
 	clock   kv.Clock
@@ -88,7 +107,10 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	c := &Client{}
+	c := &Client{
+		sampler: obs.NewSampler(o.traceSample),
+		flight:  obs.NewFlight(0),
+	}
 	c.trc.Store(&tracerBox{})
 	c.clock = &remoteClock{c: c}
 	for i := 0; i < o.conns; i++ {
@@ -146,12 +168,13 @@ func (c *Client) pick() *netConn {
 	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
 }
 
-// do runs one unary round trip on a pooled connection.
+// do runs one unary round trip on a pooled connection, sampling it for
+// end-to-end tracing when WithTraceSampling is armed.
 func (c *Client) do(m wire.Msg) (wire.Msg, error) {
 	if c.closed.Load() {
 		return wire.Msg{}, ErrClosed
 	}
-	return c.pick().roundTrip(m)
+	return c.roundTripT(c.pick(), m)
 }
 
 // doFollower runs one unary round trip on a replica connection, falling
@@ -161,9 +184,92 @@ func (c *Client) doFollower(m wire.Msg) (wire.Msg, error) {
 		return wire.Msg{}, ErrClosed
 	}
 	if len(c.followers) == 0 {
-		return c.pick().roundTrip(m)
+		return c.roundTripT(c.pick(), m)
 	}
-	return c.followers[c.fnext.Add(1)%uint64(len(c.followers))].roundTrip(m)
+	return c.roundTripT(c.followers[c.fnext.Add(1)%uint64(len(c.followers))], m)
+}
+
+// beginTrace makes the sampling decision for one request. When sampled,
+// it opens the client-side trace and stamps the frame so the server opens
+// the matching server-side trace under the same id.
+func (c *Client) beginTrace(m *wire.Msg) *obs.Trace {
+	if !c.sampler.Sample() {
+		return nil
+	}
+	tr := c.flight.NewTrace(c.traceID.Add(1), m.Kind.String())
+	m.Flags |= wire.FlagTraced
+	m.Trace = tr.ID()
+	return tr
+}
+
+// finishTrace records the net stage — the observed round trip minus the
+// handling time the server echoed on the traced response — and finishes
+// the client-side trace.
+func (c *Client) finishTrace(tr *obs.Trace, r wire.Msg, err error) {
+	net := tr.Elapsed()
+	if srv := time.Duration(r.Trace); r.Flags&wire.FlagTraced != 0 && srv > 0 && srv < net {
+		net -= srv
+	}
+	tr.Stage(obs.StageNet, net)
+	tr.Finish(err)
+}
+
+// roundTripT is roundTrip with the sampling decision wrapped around it.
+func (c *Client) roundTripT(cn *netConn, m wire.Msg) (wire.Msg, error) {
+	tr := c.beginTrace(&m)
+	if tr == nil {
+		return cn.roundTrip(m)
+	}
+	r, err := cn.roundTrip(m)
+	c.finishTrace(tr, r, err)
+	return r, err
+}
+
+// Flight returns the client-side flight recorder sampled requests are
+// retained in (net-stage timings keyed by the on-wire trace ids).
+func (c *Client) Flight() *obs.Flight { return c.flight }
+
+// AdminMetrics fetches the server's metrics snapshot (KindMetrics) —
+// Metrics with the error surfaced instead of swallowed.
+func (c *Client) AdminMetrics() (obs.Snapshot, error) {
+	r, err := c.do(wire.Msg{Kind: wire.KindMetrics})
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(r.Value, &snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("client: metrics body: %w", err)
+	}
+	return snap, nil
+}
+
+// AdminTraces dumps the server's flight recorder (KindTraceDump): per
+// request kind, the slowest traces, recent errors, recent traces, and
+// per-stage latency quantiles.
+func (c *Client) AdminTraces() (obs.FlightDump, error) {
+	r, err := c.do(wire.Msg{Kind: wire.KindTraceDump})
+	if err != nil {
+		return obs.FlightDump{}, err
+	}
+	var d obs.FlightDump
+	if err := json.Unmarshal(r.Value, &d); err != nil {
+		return obs.FlightDump{}, fmt.Errorf("client: trace dump body: %w", err)
+	}
+	return d, nil
+}
+
+// AdminHealth fetches the server's health view (KindHealth): uptime,
+// connection and request counts, and per-replica watermarks and lag.
+func (c *Client) AdminHealth() (wire.Health, error) {
+	r, err := c.do(wire.Msg{Kind: wire.KindHealth})
+	if err != nil {
+		return wire.Health{}, err
+	}
+	var h wire.Health
+	if err := json.Unmarshal(r.Value, &h); err != nil {
+		return wire.Health{}, fmt.Errorf("client: health body: %w", err)
+	}
+	return h, nil
 }
 
 // FollowerGet implements kv.FollowerReader: a read served by a replica,
@@ -274,11 +380,16 @@ func (c *Client) Scan(start, end []byte, limit int) kv.Iterator {
 	if c.closed.Load() {
 		return &sliceIter{err: ErrClosed}
 	}
-	entries, err := c.pick().scan(wire.Msg{Kind: wire.KindScan, Key: start, End: end, Rev: uint64(limit)})
+	m := wire.Msg{Kind: wire.KindScan, Key: start, End: end, Rev: uint64(limit)}
+	tr := c.beginTrace(&m)
+	r, err := c.pick().scan(m)
+	if tr != nil {
+		c.finishTrace(tr, r, err)
+	}
 	if err != nil {
 		return &sliceIter{err: err}
 	}
-	return &sliceIter{entries: entries}
+	return &sliceIter{entries: r.Entries}
 }
 
 // Grant implements kv.DB.

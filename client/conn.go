@@ -130,22 +130,24 @@ func (cn *netConn) roundTrip(m wire.Msg) (wire.Msg, error) {
 	}
 }
 
-// scan sends one Scan request and collects the chunked response.
-func (cn *netConn) scan(m wire.Msg) ([]wire.Entry, error) {
+// scan sends one Scan request and collects the chunked response. The
+// returned frame is the final one with all chunks' entries merged in — so
+// the caller also sees the final frame's trace stamp.
+func (cn *netConn) scan(m wire.Msg) (wire.Msg, error) {
 	w := &waiter{ch: make(chan wire.Msg, 1), scan: true}
 	m.ID = cn.register(w)
 	if err := cn.write(m); err != nil {
 		cn.unregister(m.ID)
-		return nil, err
+		return wire.Msg{}, err
 	}
 	select {
 	case r := <-w.ch:
 		if r.Kind == wire.KindErr {
-			return nil, wire.ErrOf(r.Code, r.Text)
+			return wire.Msg{}, wire.ErrOf(r.Code, r.Text)
 		}
-		return r.Entries, nil
+		return r, nil
 	case <-cn.dead:
-		return nil, cn.termErr
+		return wire.Msg{}, cn.termErr
 	}
 }
 

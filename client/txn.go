@@ -210,13 +210,19 @@ func (t *clientTxn) Scan(start, end []byte, limit int) kv.Iterator {
 	if fetch > 0 {
 		fetch += len(t.writes)
 	}
-	entries, err := t.c.pick().scan(wire.Msg{
+	sm := wire.Msg{
 		Kind: wire.KindScan, Flags: wire.FlagWithRev,
 		Key: start, End: end, Rev: uint64(fetch),
-	})
+	}
+	str := t.c.beginTrace(&sm)
+	r, err := t.c.pick().scan(sm)
+	if str != nil {
+		t.c.finishTrace(str, r, err)
+	}
 	if err != nil {
 		return &sliceIter{err: err}
 	}
+	entries := r.Entries
 	merged := make(map[string][]byte, len(entries))
 	for _, e := range entries {
 		k := string(e.Key)

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"sort"
+	"time"
 
 	"rhtm"
+	"rhtm/obs"
 	"rhtm/store"
 	"rhtm/wal"
 )
@@ -61,6 +63,7 @@ func (cl *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	cl.lastRev = 0
 	results := make([]BatchResult, len(ops))
 
 	// Group op indices by owning System, then by distinct key within each
@@ -98,9 +101,11 @@ func (cl *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 func (cl *Client) batchLocal(nodeID int, keys []batchKey, ops []BatchOp, results []BatchResult) error {
 	n := cl.c.nodes[nodeID]
 	var recs []wal.Op
+	var maxRev uint64
 	err := cl.localRetry(func() error {
 		return cl.threads[nodeID].Atomic(func(tx rhtm.Tx) error {
 			recs = recs[:0] // the body re-executes on engine aborts
+			maxRev = 0
 			for i := range keys {
 				written := false
 				for _, op := range keys[i].ops {
@@ -127,6 +132,9 @@ func (cl *Client) batchLocal(nodeID int, keys []batchKey, ops []BatchOp, results
 					if err != nil {
 						return err
 					}
+					if rev > maxRev {
+						maxRev = rev
+					}
 					if cl.c.wal != nil {
 						recs = append(recs, wal.Op{Kind: wal.OpPut,
 							Key: ops[op].Key, Value: ops[op].Value, Rev: rev})
@@ -134,8 +142,13 @@ func (cl *Client) batchLocal(nodeID int, keys []batchKey, ops []BatchOp, results
 					results[op] = BatchResult{}
 				default:
 					rev, found := n.st.DeleteStamped(tx, ops[op].Key)
-					if found && cl.c.wal != nil {
-						recs = append(recs, wal.Op{Kind: wal.OpDelete, Key: ops[op].Key, Rev: rev})
+					if found {
+						if rev > maxRev {
+							maxRev = rev
+						}
+						if cl.c.wal != nil {
+							recs = append(recs, wal.Op{Kind: wal.OpDelete, Key: ops[op].Key, Rev: rev})
+						}
 					}
 					results[op] = BatchResult{Found: found}
 				}
@@ -145,6 +158,9 @@ func (cl *Client) batchLocal(nodeID int, keys []batchKey, ops []BatchOp, results
 	})
 	if err == nil {
 		cl.c.localTxns.Add(1)
+		if maxRev > cl.lastRev {
+			cl.lastRev = maxRev
+		}
 		return cl.logLocal(nodeID, recs)
 	}
 	return err
@@ -174,6 +190,10 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 		var prepared []int
 		var conflict bool
 		var hard error
+		var prepStart time.Time
+		if c.prepareHist != nil || cl.sink != nil {
+			prepStart = time.Now()
+		}
 		for _, nodeID := range participants {
 			err := cl.prepareBatch(nodeID, txid, byNode[nodeID], ops, results)
 			if err == nil {
@@ -187,6 +207,13 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 				hard = err
 			}
 			break
+		}
+		if c.prepareHist != nil || cl.sink != nil {
+			d := time.Since(prepStart)
+			c.prepareHist.Observe(uint64(d)) // nil instrument is a no-op
+			if cl.sink != nil {
+				cl.sink.Stage(obs.Stage2PCPrepare, d)
+			}
 		}
 
 		commit := !conflict && hard == nil
@@ -207,7 +234,16 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 			// the resolution mark (see commitCross).
 			c.walMu.RLock()
 			unlockDrain = c.walMu.RUnlock
-			if err := c.wal.Coord.Commit(txid, wal.FlagCross, decisionOps); err != nil {
+			var syncStart time.Time
+			if cl.sink != nil {
+				syncStart = time.Now()
+			}
+			err := c.wal.Coord.Commit(txid, wal.FlagCross, decisionOps)
+			if cl.sink != nil {
+				// Durable-commit-point wait, as in commitCross.
+				cl.sink.Stage(obs.StageWALSync, time.Since(syncStart))
+			}
+			if err != nil {
 				unlockDrain()
 				if errors.Is(err, wal.ErrFenced) {
 					// Aborted by omission under an epoch fence: release the
@@ -237,6 +273,10 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 			cl.backoff(attempt)
 			continue
 		}
+		var finStart time.Time
+		if c.finishHist != nil || cl.sink != nil {
+			finStart = time.Now()
+		}
 		for _, nodeID := range participants {
 			if err := cl.finish(nodeID, txid, keysOf(nodeID), true); err != nil {
 				if errors.Is(err, wal.ErrFenced) {
@@ -246,6 +286,13 @@ func (cl *Client) batchCross(byNode map[int][]batchKey, participants []int, ops 
 				}
 				unlockDrain()
 				return err
+			}
+		}
+		if c.finishHist != nil || cl.sink != nil {
+			d := time.Since(finStart)
+			c.finishHist.Observe(uint64(d)) // nil instrument is a no-op
+			if cl.sink != nil {
+				cl.sink.Stage(obs.Stage2PCFinish, d)
 			}
 		}
 		if c.wal != nil && len(decisionOps) > 0 {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rhtm"
+	"rhtm/obs"
 	"rhtm/store"
 	"rhtm/wal"
 )
@@ -31,8 +32,19 @@ type Client struct {
 	c       *Cluster
 	threads []rhtm.Thread
 	rng     *rand.Rand
-	lastRev uint64 // max revision stamped by the most recent committed Txn
+	lastRev uint64 // max revision stamped by the most recent committed Txn/Batch
+	// sink, when non-nil, receives the 2PC phase and coordinator-sync
+	// stages of this session's commits (SetStageSink). Single-session
+	// state like everything else on Client.
+	sink obs.StageRecorder
 }
+
+// SetStageSink attaches (or with nil detaches) a per-stage trace sink:
+// commits from then on report 2pc_prepare, wal_sync (the coordinator
+// decision sync), and 2pc_finish stage durations to it. Client is
+// single-session, so callers set it around one call and clear it after;
+// the nil default costs one predicted branch per phase.
+func (cl *Client) SetStageSink(s obs.StageRecorder) { cl.sink = s }
 
 // NewClient registers a thread on every System's engine and returns the
 // session. Panics (via the engines) when a System's thread-ID space is
@@ -63,8 +75,9 @@ func (cl *Client) backoff(attempt int) {
 }
 
 // LastCommitRev returns the highest revision stamped by this client's most
-// recent committed Txn — 0 for read-only footprints. Like everything else
-// on Client it is single-session state: read it right after Txn returns.
+// recent committed Txn or Batch — 0 for read-only footprints. Like
+// everything else on Client it is single-session state: read it right
+// after the call returns.
 func (cl *Client) LastCommitRev() uint64 { return cl.lastRev }
 
 // StoreStats sums the committed-state store counters of every System, each
@@ -633,7 +646,7 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int, t *Tx
 	var conflict bool
 	var hard error
 	var prepStart time.Time
-	if c.prepareHist != nil {
+	if c.prepareHist != nil || cl.sink != nil {
 		prepStart = time.Now()
 	}
 	for _, nodeID := range participants {
@@ -653,8 +666,12 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int, t *Tx
 		}
 		break
 	}
-	if c.prepareHist != nil {
-		c.prepareHist.Observe(uint64(time.Since(prepStart)))
+	if c.prepareHist != nil || cl.sink != nil {
+		d := time.Since(prepStart)
+		c.prepareHist.Observe(uint64(d)) // nil instrument is a no-op
+		if cl.sink != nil {
+			cl.sink.Stage(obs.Stage2PCPrepare, d)
+		}
 	}
 
 	// Decision: commit iff every participant prepared. The log append is
@@ -677,7 +694,17 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int, t *Tx
 	if c.wal != nil && commit && len(decisionOps) > 0 {
 		c.walMu.RLock()
 		defer c.walMu.RUnlock()
-		if err := c.wal.Coord.Commit(txid, wal.FlagCross, decisionOps); err != nil {
+		var syncStart time.Time
+		if cl.sink != nil {
+			syncStart = time.Now()
+		}
+		err := c.wal.Coord.Commit(txid, wal.FlagCross, decisionOps)
+		if cl.sink != nil {
+			// The coordinator append blocks through its group-commit sync:
+			// this duration is the durable-commit-point wait.
+			cl.sink.Stage(obs.StageWALSync, time.Since(syncStart))
+		}
+		if err != nil {
 			if errors.Is(err, wal.ErrFenced) {
 				// The durable commit point was refused by an epoch fence:
 				// the transaction aborted by omission, exactly as a crash
@@ -704,7 +731,7 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int, t *Tx
 		return false, hard
 	}
 	var finStart time.Time
-	if c.finishHist != nil {
+	if c.finishHist != nil || cl.sink != nil {
 		finStart = time.Now()
 	}
 	for _, nodeID := range participants {
@@ -719,8 +746,12 @@ func (cl *Client) commitCross(byNode map[int][]txnKey, participants []int, t *Tx
 			return false, err
 		}
 	}
-	if c.finishHist != nil {
-		c.finishHist.Observe(uint64(time.Since(finStart)))
+	if c.finishHist != nil || cl.sink != nil {
+		d := time.Since(finStart)
+		c.finishHist.Observe(uint64(d)) // nil instrument is a no-op
+		if cl.sink != nil {
+			cl.sink.Stage(obs.Stage2PCFinish, d)
+		}
 	}
 	if c.wal != nil && len(decisionOps) > 0 {
 		if err := c.wal.Coord.Mark(txid, 0); err != nil && !errors.Is(err, wal.ErrFenced) {

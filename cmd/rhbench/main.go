@@ -114,6 +114,12 @@
 // flattened obs snapshot: engine.*, store.*, wal.*, cluster.*, plus the
 // workload's harness.* counters) in every JSON row.
 //
+// -trace-sample N traces every N-th Update/Batch end to end (DESIGN.md
+// §14): the flight recorder's per-stage latency quantiles (engine,
+// wal_sync, the 2PC phases, replica apply — and on -net runs the client's
+// net stage) join the counter map under trace.* / client.trace.*, so a
+// -json -metrics row carries the full stage breakdown per point.
+//
 // The default scale matches the paper (100K-node tree, threads 1..20,
 // 1s per point), which takes a while on a small machine; use -quick for a
 // reduced sweep or the individual -nodes/-threads/-dur flags.
@@ -164,6 +170,7 @@ func main() {
 		syncEv  = flag.Int("syncevery", 0, "relax WAL syncs to every N logged transactions (0/1 = every group commit; needs -wal)")
 		replsF  = flag.String("replicas", "0,1,2", "comma-separated WAL-shipping replica counts for the repl experiment")
 		staleF  = flag.Int("staleness", 0, "bounded-staleness floor for follower reads in the repl experiment (0 = any staleness)")
+		traceN  = flag.Int("trace-sample", 0, "trace every N-th Update/Batch end to end (0 = off); stage quantiles land in the -json counters as trace.*")
 		jsonOut = flag.String("json", "", "append machine-readable JSON result lines to this file (\"-\" = stdout)")
 		metrics = flag.Bool("metrics", false, "embed each run's structured counters (flattened obs snapshot) in the -json rows")
 	)
@@ -220,19 +227,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rhbench: -syncevery needs -wal")
 		os.Exit(2)
 	}
+	if *traceN < 0 {
+		fmt.Fprintln(os.Stderr, "rhbench: -trace-sample must be non-negative")
+		os.Exit(2)
+	}
 	spec := harness.KVSpec{
-		Records:    *records,
-		ValueBytes: *vbytes,
-		Shards:     *shards,
-		Dist:       *dist,
-		Theta:      *theta,
-		ScanMax:    *scanMax,
-		Tables:     *tablesF,
-		IdxSel:     *idxSel,
-		TTL:        *ttl,
-		PumpEvery:  *pump,
-		WAL:        *useWAL,
-		SyncEvery:  *syncEv,
+		Records:     *records,
+		ValueBytes:  *vbytes,
+		Shards:      *shards,
+		Dist:        *dist,
+		Theta:       *theta,
+		ScanMax:     *scanMax,
+		Tables:      *tablesF,
+		IdxSel:      *idxSel,
+		TTL:         *ttl,
+		PumpEvery:   *pump,
+		WAL:         *useWAL,
+		SyncEvery:   *syncEv,
+		TraceSample: *traceN,
 	}
 	systemsList, err := parseInts(*systems, "system count", 1, 1<<20)
 	if err != nil {
@@ -264,17 +276,18 @@ func main() {
 		os.Exit(2)
 	}
 	cspec := harness.KVSpec{
-		Records:    *records,
-		ValueBytes: *vbytes,
-		Backend:    harness.BackendCluster,
-		Dist:       harness.DistUniform, // scaling claims need balanced load
-		Theta:      *theta,
-		CrossKeys:  *ckeys,
-		ScanMax:    *scanMax,
-		TTL:        *ttl,
-		PumpEvery:  *pump,
-		WAL:        *useWAL,
-		SyncEvery:  *syncEv,
+		Records:     *records,
+		ValueBytes:  *vbytes,
+		Backend:     harness.BackendCluster,
+		Dist:        harness.DistUniform, // scaling claims need balanced load
+		Theta:       *theta,
+		CrossKeys:   *ckeys,
+		ScanMax:     *scanMax,
+		TTL:         *ttl,
+		PumpEvery:   *pump,
+		WAL:         *useWAL,
+		SyncEvery:   *syncEv,
+		TraceSample: *traceN,
 	}
 	// An explicit -dist overrides the cluster default (the flag's own
 	// default stays zipfian for the ycsb-* experiments, as YCSB specifies).

@@ -1,0 +1,83 @@
+// Command rhtop is a live terminal dashboard over a running rhtm server's
+// admin RPCs (DESIGN.md §14). Each tick it polls the three admin surfaces
+// — Metrics (the shared obs registry: engine.*, store.*, wal.*, server.*),
+// TraceDump (the flight recorder's slowest/recent sampled traces with
+// their per-stage quantiles), and Health (uptime, connections, request
+// totals, replica apply lag) — and renders one frame: request throughput
+// from consecutive request-counter deltas, the engine's commit/abort
+// taxonomy, wire latency quantiles and batch fill, WAL group-commit
+// amortization and sync cadence, per-replica lag, and the slowest sampled
+// requests broken down by typed stage.
+//
+// Usage:
+//
+//	rhtop [-interval 1s] [-n 0] [-plain] host:port
+//
+// -n bounds the number of frames (0 = run until interrupted); -plain
+// appends frames instead of redrawing in place (for logs and pipes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rhtm/client"
+)
+
+func main() {
+	var (
+		interval = flag.Duration("interval", time.Second, "poll interval")
+		frames   = flag.Int("n", 0, "number of frames to render (0 = until interrupted)")
+		plain    = flag.Bool("plain", false, "append frames instead of redrawing in place")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rhtop [flags] host:port")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	addr := flag.Arg(0)
+
+	cl, err := client.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhtop:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	var prev *Sample
+	for i := 0; *frames == 0 || i < *frames; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		cur, err := Poll(cl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rhtop:", err)
+			os.Exit(1)
+		}
+		if !*plain {
+			fmt.Print("\033[H\033[2J") // cursor home + clear screen
+		}
+		Render(os.Stdout, addr, cur, prev)
+		prev = &cur
+	}
+}
+
+// Poll fetches one Sample over the client's admin RPCs.
+func Poll(cl *client.Client) (Sample, error) {
+	snap, err := cl.AdminMetrics()
+	if err != nil {
+		return Sample{}, err
+	}
+	dump, err := cl.AdminTraces()
+	if err != nil {
+		return Sample{}, err
+	}
+	health, err := cl.AdminHealth()
+	if err != nil {
+		return Sample{}, err
+	}
+	return Sample{When: time.Now(), Snap: snap, Dump: dump, Health: health}, nil
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"rhtm/obs"
+	"rhtm/server/wire"
+)
+
+// Sample is one poll of the server's three admin surfaces, stamped with
+// the local receive time so consecutive samples define a rate window.
+type Sample struct {
+	When   time.Time
+	Snap   obs.Snapshot
+	Dump   obs.FlightDump
+	Health wire.Health
+}
+
+// Render writes one dashboard frame for cur. prev, when non-nil, is the
+// previous poll of the same server and supplies the rate window: request
+// throughput is the request-counter delta over the wall-clock delta. The
+// function is pure over its inputs — the smoke test drives it directly.
+func Render(w io.Writer, addr string, cur Sample, prev *Sample) {
+	fmt.Fprintf(w, "rhtop — %s    up %s    conns %d    requests %d%s\n\n",
+		addr, time.Duration(cur.Health.UptimeNS).Round(time.Millisecond),
+		cur.Health.Connections, cur.Health.Requests, rate(cur, prev))
+
+	renderEngine(w, cur.Snap)
+	renderServer(w, cur.Snap)
+	renderWAL(w, cur.Snap)
+	renderReplicas(w, cur.Health)
+	renderTraces(w, cur.Dump)
+}
+
+// rate formats the per-second request throughput between two samples.
+func rate(cur Sample, prev *Sample) string {
+	if prev == nil {
+		return ""
+	}
+	dt := cur.When.Sub(prev.When).Seconds()
+	if dt <= 0 || cur.Health.Requests < prev.Health.Requests {
+		return ""
+	}
+	return fmt.Sprintf(" (%.1f/s)", float64(cur.Health.Requests-prev.Health.Requests)/dt)
+}
+
+// renderEngine shows the commit/abort taxonomy of the engine counters.
+func renderEngine(w io.Writer, s obs.Snapshot) {
+	var commits, aborts uint64
+	var parts []string
+	for _, path := range []string{"fast", "slow", "slowslow", "readonly"} {
+		c := s.Counter(obs.Name("engine.commits", "path", path))
+		commits += c
+		parts = append(parts, fmt.Sprintf("%s=%d", path, c))
+	}
+	var abortParts []string
+	for _, path := range []string{"fast", "slow"} {
+		a := s.Counter(obs.Name("engine.aborts", "path", path))
+		aborts += a
+		abortParts = append(abortParts, fmt.Sprintf("%s=%d", path, a))
+	}
+	ratio := 0.0
+	if commits+aborts > 0 {
+		ratio = 100 * float64(aborts) / float64(commits+aborts)
+	}
+	fmt.Fprintf(w, "engine    commits %s    aborts %s    abort ratio %.1f%%\n",
+		strings.Join(parts, " "), strings.Join(abortParts, " "), ratio)
+}
+
+// renderServer shows the wire path: request latency quantiles, batch fill,
+// and byte counters.
+func renderServer(w io.Writer, s obs.Snapshot) {
+	req, okReq := s.Histograms["server.request_ns"]
+	fill, okFill := s.Histograms["server.batch_fill"]
+	if !okReq && !okFill {
+		return
+	}
+	fmt.Fprint(w, "server    ")
+	if okReq && req.Count > 0 {
+		fmt.Fprintf(w, "req p50/p99 %s/%s    ",
+			dur(req.P(0.50)), dur(req.P(0.99)))
+	}
+	if okFill && fill.Count > 0 {
+		fmt.Fprintf(w, "batch fill avg %.1f p99 %d    ",
+			float64(fill.Sum)/float64(fill.Count), fill.P(0.99))
+	}
+	fmt.Fprintf(w, "bytes in/out %d/%d\n",
+		s.Counter("server.bytes_in"), s.Counter("server.bytes_out"))
+}
+
+// renderWAL shows group-commit amortization and the sync cadence.
+func renderWAL(w io.Writer, s obs.Snapshot) {
+	syncs := s.Counter("wal.syncs")
+	if syncs == 0 {
+		return
+	}
+	txns := s.Counter("wal.txns")
+	fmt.Fprintf(w, "wal       syncs %d    txns/sync %.1f", syncs, float64(txns)/float64(syncs))
+	if h, ok := s.Histograms["wal.sync_interval_ns"]; ok && h.Count > 0 {
+		fmt.Fprintf(w, "    sync interval p50 %s p99 %s", dur(h.P(0.50)), dur(h.P(0.99)))
+	}
+	fmt.Fprintln(w)
+}
+
+// renderReplicas shows one row per replica stream with its apply lag.
+func renderReplicas(w io.Writer, h wire.Health) {
+	for _, r := range h.Replicas {
+		fmt.Fprintf(w, "replica   %s    stream %s    lsn %d    rev %d    lag %d frames\n",
+			r.Name, r.Stream, r.AppliedLSN, r.AppliedRev, r.LagFrames)
+	}
+}
+
+// renderTraces shows the flight recorder: per kind the sampled count,
+// errors, the engine/net stage p99, and the slowest retained trace with
+// its stage breakdown.
+func renderTraces(w io.Writer, d obs.FlightDump) {
+	if len(d.Kinds) == 0 {
+		return
+	}
+	kinds := make([]string, 0, len(d.Kinds))
+	for k := range d.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintln(w, "\nslowest sampled requests")
+	for _, kind := range kinds {
+		kd := d.Kinds[kind]
+		fmt.Fprintf(w, "  %-8s n=%d err=%d", kind, kd.Count, kd.Errors)
+		if len(kd.Slowest) > 0 {
+			t := kd.Slowest[0]
+			fmt.Fprintf(w, "  worst %s [%s]",
+				dur(t.WallNS), stageLine(t))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// stageLine compresses a trace's stages into "name dur" pairs.
+func stageLine(t obs.TraceSnapshot) string {
+	parts := make([]string, 0, len(t.Stages))
+	for _, st := range t.Stages {
+		parts = append(parts, fmt.Sprintf("%s %s", st.Name, dur(uint64(st.Dur))))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// dur renders a nanosecond quantity at µs-level precision.
+func dur(ns uint64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

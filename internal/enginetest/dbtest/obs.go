@@ -160,6 +160,36 @@ func testDBMetrics(t *testing.T, factory DBFactory) {
 	if flat["lease.grants"] != int64(after.Counter("lease.grants")) {
 		t.Fatalf("Flatten disagrees with Counter on lease.grants")
 	}
+
+	// Net rigs share one registry between the DB and its server, so the
+	// same snapshot also carries the server.* taxonomy. The presence of
+	// the connections gauge identifies such a backend; the rest of the
+	// schema must then be populated and consistent with the workload that
+	// just ran over the wire.
+	if _, net := after.Gauges["server.connections"]; net {
+		if after.Gauge("server.connections") <= 0 {
+			t.Fatalf("server.connections = %d with a live client attached", after.Gauge("server.connections"))
+		}
+		for _, name := range []string{"server.bytes_in", "server.bytes_out"} {
+			if after.Counter(name) == 0 {
+				t.Fatalf("%s = 0 after a wire workload", name)
+			}
+		}
+		for _, name := range []string{"server.request_ns", "server.batch_fill"} {
+			if _, ok := after.Histograms[name]; !ok {
+				t.Fatalf("net snapshot missing histogram %q", name)
+			}
+		}
+		var reqs uint64
+		for name, v := range after.Counters {
+			if len(name) > len("server.requests") && name[:len("server.requests")] == "server.requests" {
+				reqs += v
+			}
+		}
+		if reqs == 0 {
+			t.Fatalf("no server.requests{kind=...} counters moved during the workload")
+		}
+	}
 	if validate != nil {
 		if err := validate(); err != nil {
 			t.Fatalf("validate: %v", err)

@@ -14,6 +14,7 @@ import (
 	"rhtm/cluster"
 	"rhtm/containers"
 	"rhtm/kv"
+	"rhtm/obs"
 	"rhtm/repl"
 	"rhtm/store"
 	"rhtm/wal"
@@ -82,12 +83,16 @@ func openStoreBackend(spec KVSpec, engineName string, cfg RunConfig) (*storeBack
 	sh := store.NewSharded(s, spec.Shards, store.Options{ArenaWords: arenaWords})
 	clock := kv.NewManualClock()
 	b := &storeBackend{sys: s, eng: eng, sh: sh, clock: clock, wal: spec.WAL}
+	dbOpts := []kv.Option{kv.WithClock(clock)}
+	if spec.TraceSample > 0 {
+		dbOpts = append(dbOpts, kv.WithTraceSampling(spec.TraceSample))
+	}
 	if spec.WAL {
 		dev, err := wal.NewMemStorage().Device("wal")
 		if err != nil {
 			return nil, err
 		}
-		b.db, err = kv.OpenLocal(eng, sh, dev, kv.WithClock(clock), kv.WithSyncEvery(spec.SyncEvery))
+		b.db, err = kv.OpenLocal(eng, sh, dev, append(dbOpts, kv.WithSyncEvery(spec.SyncEvery))...)
 		if err != nil {
 			return nil, err
 		}
@@ -95,6 +100,11 @@ func openStoreBackend(spec KVSpec, engineName string, cfg RunConfig) (*storeBack
 			b.group, err = repl.NewLocalGroup(b.db, dev)
 			if err != nil {
 				return nil, err
+			}
+			if f := b.db.Flight(); f != nil {
+				// Sampled traces get their replica_apply stage annotated as
+				// the followers replay each commit revision.
+				b.group.SetFlight(f)
 			}
 			for i := 0; i < spec.Replicas; i++ {
 				rs, err := rhtm.NewSystem(rhtm.DefaultConfig(
@@ -117,7 +127,7 @@ func openStoreBackend(spec KVSpec, engineName string, cfg RunConfig) (*storeBack
 		}
 		return b, nil
 	}
-	b.db = kv.NewLocal(eng, sh, kv.WithClock(clock))
+	b.db = kv.NewLocal(eng, sh, dbOpts...)
 	return b, nil
 }
 
@@ -175,6 +185,8 @@ func (b *storeBackend) Finish(res *Result) {
 			res.Counters[k] = v
 		}
 	}
+	// After the drain, so replica_apply stage stats cover every commit.
+	traceCounters(b.db.Flight(), "trace.", res.Counters)
 }
 
 func (b *storeBackend) Validate() error { return b.sh.Validate() }
@@ -217,15 +229,19 @@ func openClusterBackend(spec KVSpec, engineName string, cfg RunConfig) (*cluster
 	}
 	clock := kv.NewManualClock()
 	b := &clusterBackend{c: c, clock: clock, wal: spec.WAL}
+	dbOpts := []kv.Option{kv.WithClock(clock)}
+	if spec.TraceSample > 0 {
+		dbOpts = append(dbOpts, kv.WithTraceSampling(spec.TraceSample))
+	}
 	if spec.WAL {
 		b.db, err = kv.OpenCluster(c, wal.NewMemStorage(),
-			kv.WithClock(clock), kv.WithSyncEvery(spec.SyncEvery))
+			append(dbOpts, kv.WithSyncEvery(spec.SyncEvery))...)
 		if err != nil {
 			return nil, err
 		}
 		return b, nil
 	}
-	b.db = kv.NewCluster(c, kv.WithClock(clock))
+	b.db = kv.NewCluster(c, dbOpts...)
 	return b, nil
 }
 
@@ -260,6 +276,7 @@ func (b *clusterBackend) Finish(res *Result) {
 		}
 	}
 	res.Counters = b.db.Metrics().Flatten()
+	traceCounters(b.db.Flight(), "trace.", res.Counters)
 	res.Notes = fmt.Sprintf(
 		"2pc: cross=%d commit=%d abort=%d prep-conflicts=%d local=%d local-conflicts=%d intent-waits=%d scans=%d scan-retries=%d | store: %s",
 		cs.CrossTxns, cs.CrossCommits, cs.CrossAborts, cs.PrepareConflicts,
@@ -268,6 +285,27 @@ func (b *clusterBackend) Finish(res *Result) {
 }
 
 func (b *clusterBackend) Validate() error { return b.c.Validate() }
+
+// traceCounters folds a flight recorder's dump into a run's counter map:
+// per trace kind the sampled count and error tally, per typed stage the
+// observation count and latency quantiles. A nil flight (tracing
+// disabled) contributes nothing, so untraced runs' JSONL rows are
+// byte-for-byte what they were before tracing existed.
+func traceCounters(f *obs.Flight, prefix string, out map[string]int64) {
+	if f == nil || out == nil {
+		return
+	}
+	for kind, kd := range f.Dump().Kinds {
+		out[prefix+kind+".count"] = int64(kd.Count)
+		out[prefix+kind+".errors"] = int64(kd.Errors)
+		for stage, st := range kd.Stages {
+			base := prefix + kind + "." + stage
+			out[base+".count"] = int64(st.Count)
+			out[base+".p50_ns"] = int64(st.P50NS)
+			out[base+".p99_ns"] = int64(st.P99NS)
+		}
+	}
+}
 
 // insertBudget estimates how many inserts a d/e run can issue, for arena
 // sizing. Count-based runs are exact to the op budget; time-based runs get

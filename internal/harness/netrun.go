@@ -29,12 +29,16 @@ type netBackend struct {
 }
 
 func openNetBackend(spec KVSpec, engineName string, cfg RunConfig) (*netBackend, error) {
+	// On a net run the client owns the sampling decision (the trace rides
+	// the wire frame); DB-level sampling would double-trace every N-th op.
+	innerSpec := spec
+	innerSpec.TraceSample = 0
 	var inner kvBackend
 	var err error
 	if spec.Backend == BackendCluster {
-		inner, err = openClusterBackend(spec, engineName, cfg)
+		inner, err = openClusterBackend(innerSpec, engineName, cfg)
 	} else {
-		inner, err = openStoreBackend(spec, engineName, cfg)
+		inner, err = openStoreBackend(innerSpec, engineName, cfg)
 	}
 	if err != nil {
 		return nil, err
@@ -46,7 +50,11 @@ func openNetBackend(spec KVSpec, engineName string, cfg RunConfig) (*netBackend,
 	if err != nil {
 		return nil, err
 	}
-	cl, err := client.Dial(addr.String(), client.WithConns(spec.Conns))
+	clOpts := []client.Option{client.WithConns(spec.Conns)}
+	if spec.TraceSample > 0 {
+		clOpts = append(clOpts, client.WithTraceSampling(spec.TraceSample))
+	}
+	cl, err := client.Dial(addr.String(), clOpts...)
 	if err != nil {
 		srv.Close()
 		return nil, err
@@ -80,6 +88,12 @@ func (b *netBackend) Finish(res *Result) {
 	// merge in under their own server.* names without collisions.
 	for k, v := range b.reg.Snapshot().Flatten() {
 		res.Counters[k] = v
+	}
+	if b.spec.TraceSample > 0 {
+		// The server's flight carries the typed handling stages; the
+		// client's carries the other half of each trace — the net stage.
+		traceCounters(b.srv.Flight(), "trace.", res.Counters)
+		traceCounters(b.cl.Flight(), "client.trace.", res.Counters)
 	}
 	mode := "closed-loop"
 	if b.spec.Pipeline {

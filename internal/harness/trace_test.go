@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceSampleCounters: TraceSample wires the flight recorder through
+// both rig shapes, and the per-stage quantile summaries land in the flat
+// counter map — in-process runs under trace.*, net runs splitting the
+// server's handling stages (trace.*) from the client's net stage
+// (client.trace.*).
+func TestTraceSampleCounters(t *testing.T) {
+	// In-process with a WAL: a sampled closure update's trace spans the
+	// engine attempts and the group-commit sync. Mix f's updates are
+	// closure transactions, the path the kv-level sampler covers.
+	spec := KVSpec{Mix: "f", Records: 256, ValueBytes: 32, Shards: 4,
+		WAL: true, TraceSample: 4}
+	r := MustRunKV(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 60, Seed: 1})
+	if !strings.HasSuffix(r.Workload, "/trace=4") {
+		t.Fatalf("workload name %q does not carry the trace tag", r.Workload)
+	}
+	if r.Counters["trace.update.count"] <= 0 {
+		t.Fatalf("no sampled update traces in counters: %v", r.Counters)
+	}
+	for _, name := range []string{
+		"trace.update.engine.count",
+		"trace.update.engine.p99_ns",
+		"trace.update.wal_sync.count",
+	} {
+		if r.Counters[name] <= 0 {
+			t.Fatalf("counter %s missing or zero: %v", name, r.Counters)
+		}
+	}
+
+	// Untraced runs carry no trace.* keys at all — the rows stay what they
+	// were before tracing existed.
+	spec.TraceSample = 0
+	r0 := MustRunKV(spec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 60, Seed: 1})
+	for name := range r0.Counters {
+		if strings.HasPrefix(name, "trace.") {
+			t.Fatalf("untraced run leaked counter %s", name)
+		}
+	}
+
+	// Over the wire the client owns the sampling decision: the server's
+	// flight carries the typed stages, the client's the net stage, and the
+	// two halves of each trace share a wire id.
+	nspec := KVSpec{Mix: "a", Records: 256, ValueBytes: 32, Shards: 4,
+		Net: true, Conns: 2, Pipeline: true, TraceSample: 2}
+	nr := MustRunKV(nspec, EngTL2, RunConfig{Threads: 2, OpsPerThread: 60, Seed: 1})
+	var traced, clientTraced bool
+	for name, v := range nr.Counters {
+		if strings.HasPrefix(name, "trace.") && strings.HasSuffix(name, ".count") && v > 0 {
+			traced = true
+		}
+		if strings.HasPrefix(name, "client.trace.") && strings.Contains(name, ".net.") && v > 0 {
+			clientTraced = true
+		}
+	}
+	if !traced || !clientTraced {
+		t.Fatalf("net run missing trace summaries (server=%v client=%v): %v",
+			traced, clientTraced, nr.Counters)
+	}
+}

@@ -118,6 +118,15 @@ type KVSpec struct {
 	// when the replica answers kv.ErrTooStale. 0 accepts any staleness.
 	// Requires Replicas.
 	Staleness int
+	// TraceSample enables end-to-end request tracing at 1/N: every N-th
+	// Update or Batch opens an obs.Trace whose typed stages (engine,
+	// wal_sync, 2PC phases, replica apply — DESIGN.md §14) land in the
+	// backend's flight recorder; the run's Counters then carry per-stage
+	// quantile summaries under trace.*. On Net runs the client owns the
+	// sampling decision and propagates the trace id over the wire, so the
+	// summaries split into the server's stages (trace.*) and the client's
+	// net stage (client.trace.*). 0 disables tracing entirely.
+	TraceSample int
 }
 
 // readPct returns the percentage of plain reads (or, for "e", scans) in
@@ -247,6 +256,9 @@ func (sp KVSpec) Name() string {
 			name += fmt.Sprintf("/stale=%d", sp.Staleness)
 		}
 	}
+	if sp.TraceSample > 0 {
+		name += fmt.Sprintf("/trace=%d", sp.TraceSample)
+	}
 	return name
 }
 
@@ -319,6 +331,9 @@ func (sp KVSpec) validate() error {
 	}
 	if !sp.Net && (sp.Conns != 0 || sp.Pipeline) {
 		return fmt.Errorf("harness: Conns/Pipeline need Net")
+	}
+	if sp.TraceSample < 0 {
+		return fmt.Errorf("harness: TraceSample must be non-negative, got %d", sp.TraceSample)
 	}
 	return nil
 }

@@ -39,6 +39,11 @@ type ClusterDB struct {
 	met kvMetrics
 	trc atomic.Pointer[tracerBox]
 
+	// sampler/flight: DB-level tracing hooks; see Local's field comment.
+	sampler *obs.Sampler
+	flight  *obs.Flight
+	traceID atomic.Uint64
+
 	leaseSeq atomic.Uint64
 	hub      *watchHub
 
@@ -76,6 +81,8 @@ func NewCluster(c *cluster.Cluster, opts ...Option) *ClusterDB {
 	db.hub.lost = db.met.watchLost
 	registerWatchDepth(db.reg, db.hub)
 	db.trc.Store(&tracerBox{o.tracer})
+	db.sampler = obs.NewSampler(o.traceSample)
+	db.flight = o.flight
 	// 2PC phase timings flow from the cluster's commit path into the DB's
 	// registry; nil instruments (WithMetrics(nil)) disable the timing.
 	c.SetMetrics(db.met.prepare2PC, db.met.finish2PC)
@@ -220,29 +227,66 @@ func (db *ClusterDB) Update(fn func(tx Txn) error) error {
 // closure's writes were stamped with — 0 for a read-only closure; see
 // Local.UpdateRev.
 func (db *ClusterDB) UpdateRev(fn func(tx Txn) error) (Revision, error) {
+	if db.sampler.Sample() {
+		t := db.flight.NewTrace(db.traceID.Add(1), "update")
+		rev, err := db.updateRevT(t, fn)
+		t.Finish(err)
+		return rev, err
+	}
+	return db.updateRevT(nil, fn)
+}
+
+// updateRevT is the UpdateRev core; see Local.updateRevT for the sink
+// contract. On a cluster the engine stage covers the whole buffered
+// transaction — commit machinery included — and the finer 2pc_prepare /
+// wal_sync / 2pc_finish stages come from the client's stage sink, wired
+// for the duration of the call (clients are single-session, so the field
+// cannot race with another request).
+func (db *ClusterDB) updateRevT(sink obs.TraceSink, fn func(tx Txn) error) (Revision, error) {
 	cl := db.getClient()
 	defer db.putClient(cl)
 	trc := db.tracer()
+	if sink != nil {
+		cl.SetStageSink(sink)
+		defer cl.SetStageSink(nil)
+	}
+	var engStart time.Time
+	if sink != nil {
+		engStart = time.Now()
+	}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		var start time.Time
-		if trc != nil {
+		if trc != nil || sink != nil {
 			start = time.Now()
 		}
 		err := cl.Txn(func(t *cluster.Txn) error {
 			return fn(&clusterTxn{t: t})
 		})
-		if trc != nil {
-			trc.TxnAttempt(attemptSpan(db.c.Node(0).Engine().Name(), attempt,
-				mapErr(err), cl.LastCommitRev(), time.Since(start), db.clock.Now()))
-		}
-		if !errors.Is(err, ErrConflict) {
-			if err == nil {
-				db.hub.wake()
-				return cl.LastCommitRev(), nil
+		if trc != nil || sink != nil {
+			sp := attemptSpan(db.c.Node(0).Engine().Name(), attempt,
+				mapErr(err), cl.LastCommitRev(), time.Since(start), db.clock.Now())
+			if trc != nil {
+				trc.TxnAttempt(sp)
 			}
+			if sink != nil {
+				sink.Attempt(sp)
+			}
+		}
+		if errors.Is(err, ErrConflict) {
+			backoff(attempt)
+			continue
+		}
+		if sink != nil {
+			sink.Stage(obs.StageEngine, time.Since(engStart))
+		}
+		if err != nil {
 			return 0, mapErr(err)
 		}
-		backoff(attempt)
+		if sink != nil {
+			sink.SetCommitRev(cl.LastCommitRev())
+		}
+		db.hub.wake()
+		return cl.LastCommitRev(), nil
 	}
 	return 0, errRetriesExhausted()
 }
@@ -252,16 +296,38 @@ func (db *ClusterDB) UpdateRev(fn func(tx Txn) error) (Revision, error) {
 // carrying lease attachments fall back to the closure path, where the
 // lease records ride the same transaction.
 func (db *ClusterDB) Batch(ops []Op) ([]OpResult, error) {
+	if db.sampler.Sample() {
+		t := db.flight.NewTrace(db.traceID.Add(1), "batch")
+		res, err := db.BatchTraced(t, ops)
+		t.Finish(err)
+		return res, err
+	}
+	return db.BatchTraced(nil, ops)
+}
+
+// BatchTraced is Batch reporting through sink (nil: exactly Batch, minus
+// the DB-level sampling). The engine stage covers the whole grouped
+// prepare/decide sweep; 2PC phase and WAL stages come from the client's
+// stage sink, as in updateRevT.
+func (db *ClusterDB) BatchTraced(sink obs.TraceSink, ops []Op) ([]OpResult, error) {
 	for _, op := range ops {
 		if reservedKey(op.Key) {
 			return nil, ErrReservedKey
 		}
 		if op.Lease != 0 {
-			return batchViaUpdate(db, ops)
+			results := make([]OpResult, len(ops))
+			if _, err := db.updateRevT(sink, batchBody(ops, results)); err != nil {
+				return nil, err
+			}
+			return results, nil
 		}
 	}
 	cl := db.getClient()
 	defer db.putClient(cl)
+	if sink != nil {
+		cl.SetStageSink(sink)
+		defer cl.SetStageSink(nil)
+	}
 	cops := make([]cluster.BatchOp, len(ops))
 	for i, op := range ops {
 		switch op.Kind {
@@ -273,7 +339,14 @@ func (db *ClusterDB) Batch(ops []Op) ([]OpResult, error) {
 			cops[i] = cluster.BatchOp{Kind: cluster.BatchDelete, Key: op.Key}
 		}
 	}
+	var engStart time.Time
+	if sink != nil {
+		engStart = time.Now()
+	}
 	cres, err := cl.Batch(cops)
+	if sink != nil {
+		sink.Stage(obs.StageEngine, time.Since(engStart))
+	}
 	if err != nil {
 		return nil, mapErr(err)
 	}
@@ -298,6 +371,9 @@ func (db *ClusterDB) Batch(ops []Op) ([]OpResult, error) {
 		}
 	}
 	if wrote {
+		if sink != nil {
+			sink.SetCommitRev(cl.LastCommitRev())
+		}
 		db.hub.wake()
 	}
 	return results, nil

@@ -45,11 +45,13 @@ var (
 type Option func(*dbOptions)
 
 type dbOptions struct {
-	clock      Clock
-	syncEvery  int
-	metrics    *obs.Registry
-	metricsSet bool // distinguishes WithMetrics(nil) from the default
-	tracer     obs.Tracer
+	clock       Clock
+	syncEvery   int
+	metrics     *obs.Registry
+	metricsSet  bool // distinguishes WithMetrics(nil) from the default
+	tracer      obs.Tracer
+	traceSample int
+	flight      *obs.Flight
 }
 
 // WithClock injects the virtual-time source lease deadlines are measured
@@ -69,6 +71,11 @@ func applyOptions(opts []Option) dbOptions {
 	}
 	if !o.metricsSet {
 		o.metrics = obs.NewRegistry()
+	}
+	if o.traceSample > 0 && o.flight == nil {
+		// Sampling without an explicit recorder still retains traces: a
+		// default-depth flight backs the DB's Flight() accessor.
+		o.flight = obs.NewFlight(0)
 	}
 	return o
 }
@@ -95,6 +102,14 @@ type Local struct {
 	reg *obs.Registry
 	met kvMetrics
 	trc atomic.Pointer[tracerBox]
+
+	// sampler/flight are the DB-level tracing hooks (WithTraceSampling,
+	// WithFlight): a sampled Update or Batch opens its own trace. The
+	// network server bypasses them and passes its traces down through
+	// UpdateRevTraced/BatchTraced instead.
+	sampler *obs.Sampler
+	flight  *obs.Flight
+	traceID atomic.Uint64
 
 	leaseSeq atomic.Uint64
 	hub      *watchHub
@@ -136,6 +151,8 @@ func NewLocal(eng rhtm.Engine, st Storer, opts ...Option) *Local {
 	db.hub.lost = db.met.watchLost
 	registerWatchDepth(db.reg, db.hub)
 	db.trc.Store(&tracerBox{o.tracer})
+	db.sampler = obs.NewSampler(o.traceSample)
+	db.flight = o.flight
 	return db
 }
 
@@ -197,14 +214,33 @@ func (db *Local) Update(fn func(tx Txn) error) error {
 // ends (the network server) use it to report the commit revision over the
 // wire without a second transaction.
 func (db *Local) UpdateRev(fn func(tx Txn) error) (Revision, error) {
+	if db.sampler.Sample() {
+		t := db.flight.NewTrace(db.traceID.Add(1), "update")
+		rev, err := db.updateRevT(t, fn)
+		t.Finish(err)
+		return rev, err
+	}
+	return db.updateRevT(nil, fn)
+}
+
+// updateRevT is the UpdateRev core. sink, when non-nil, receives the
+// request's trace events: one engine stage spanning every closure attempt
+// (retries and backoff included), one span per attempt, the WAL
+// group-commit wait, and the commit revision. A nil sink pays one
+// predicted branch per site — no stamps, no allocations.
+func (db *Local) updateRevT(sink obs.TraceSink, fn func(tx Txn) error) (Revision, error) {
 	th := db.getThread()
 	defer db.putThread(th)
 	trc := db.tracer()
 	var ops []wal.Op
 	lt := &localTxn{st: db.st}
+	var engStart time.Time
+	if sink != nil {
+		engStart = time.Now()
+	}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		var start time.Time
-		if trc != nil {
+		if trc != nil || sink != nil {
 			start = time.Now()
 		}
 		err := th.Atomic(func(tx rhtm.Tx) error {
@@ -218,21 +254,45 @@ func (db *Local) UpdateRev(fn func(tx Txn) error) (Revision, error) {
 			}
 			return fn(lt)
 		})
-		if trc != nil {
-			trc.TxnAttempt(attemptSpan(db.eng.Name(), attempt, err,
-				lt.maxRev, time.Since(start), db.clock.Now()))
-		}
-		if !errors.Is(err, ErrConflict) {
-			if err != nil {
-				return 0, err
+		if trc != nil || sink != nil {
+			sp := attemptSpan(db.eng.Name(), attempt, err,
+				lt.maxRev, time.Since(start), db.clock.Now())
+			if trc != nil {
+				trc.TxnAttempt(sp)
 			}
-			if werr := db.walCommit(ops); werr != nil {
-				return 0, werr
+			if sink != nil {
+				sink.Attempt(sp)
 			}
-			db.hub.wake()
-			return lt.maxRev, nil
 		}
-		backoff(attempt)
+		if errors.Is(err, ErrConflict) {
+			backoff(attempt)
+			continue
+		}
+		if sink != nil {
+			sink.Stage(obs.StageEngine, time.Since(engStart))
+		}
+		if err != nil {
+			return 0, err
+		}
+		// wal_sync is only a stage when there is a durable wait to time:
+		// read-only closures and volatile DBs skip the stamp entirely.
+		var syncStart time.Time
+		traceSync := sink != nil && db.wal != nil && len(ops) > 0
+		if traceSync {
+			syncStart = time.Now()
+		}
+		werr := db.walCommit(ops)
+		if traceSync {
+			sink.Stage(obs.StageWALSync, time.Since(syncStart))
+		}
+		if werr != nil {
+			return 0, werr
+		}
+		if sink != nil {
+			sink.SetCommitRev(lt.maxRev)
+		}
+		db.hub.wake()
+		return lt.maxRev, nil
 	}
 	return 0, errRetriesExhausted()
 }
@@ -338,7 +398,13 @@ func (db *Local) DeleteIf(key []byte, rev Revision) error {
 
 // Batch implements DB: one engine transaction executes every op in order.
 func (db *Local) Batch(ops []Op) ([]OpResult, error) {
-	return batchViaUpdate(db, ops)
+	if db.sampler.Sample() {
+		t := db.flight.NewTrace(db.traceID.Add(1), "batch")
+		res, err := db.BatchTraced(t, ops)
+		t.Finish(err)
+		return res, err
+	}
+	return db.BatchTraced(nil, ops)
 }
 
 // Scan implements DB: the prefix is collected inside one engine

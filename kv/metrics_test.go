@@ -70,6 +70,16 @@ func TestMetricsZeroAllocOnHotPath(t *testing.T) {
 		t.Fatalf("instrumented Update allocates %.1f allocs/op, no-op %.1f — instrumentation added allocations", got, base)
 	}
 
+	// Trace sampling off the sampled path is the same contract: a sampler
+	// that never fires within the measured window (the warm-up run absorbs
+	// the always-sampled first request) must add nothing over the no-op
+	// build, and a DB without WithTraceSampling at all pays only the nil
+	// sampler's predicted branch.
+	sampled := newBenchLocal(t, 64, kv.WithMetrics(nil), kv.WithTraceSampling(1<<30))
+	if got := run(sampled); got > base {
+		t.Fatalf("sampling-armed Update allocates %.1f allocs/op off the sampled path, no-op %.1f — tracing added allocations", got, base)
+	}
+
 	// The no-op registry's own primitives are additionally pinned to an
 	// absolute zero in obs's tests; here pin the one kv-level no-op site
 	// reachable without a DB: a nil registry resolving instruments.

@@ -1,0 +1,80 @@
+package kv
+
+import (
+	"rhtm/obs"
+)
+
+// Request tracing for the kv layer. A DB built WithTraceSampling(n) opens
+// one obs.Trace for every n-th Update or Batch: the trace collects the
+// typed stages of DESIGN.md §14 — engine (all closure attempts, with one
+// obs.Span each), wal_sync (the group-commit wait), and on a cluster the
+// 2pc_prepare/2pc_finish phases reported through the client's stage sink —
+// and is retained by the DB's obs.Flight recorder, linked to the replica
+// apply that later replays its commit revision.
+//
+// Front ends that own the sampling decision (the network server, which
+// decides per wire frame) bypass the DB's sampler and pass their trace
+// down through UpdateRevTraced/BatchTraced; a nil sink there is exactly
+// the untraced path — one predicted branch per site, no stamps, no
+// allocations (TestMetricsZeroAllocOnHotPath pins this).
+
+// WithTraceSampling enables deterministic head-based trace sampling: one
+// request in every n is traced (the first, then every n-th after it, per
+// obs.Sampler). n <= 0 — the default — disables sampling entirely.
+func WithTraceSampling(n int) Option {
+	return func(o *dbOptions) { o.traceSample = n }
+}
+
+// WithFlight injects the flight recorder sampled traces are retained in.
+// The default — option absent with sampling enabled — is a fresh
+// obs.NewFlight(0); without sampling there is no recorder at all.
+func WithFlight(f *obs.Flight) Option {
+	return func(o *dbOptions) { o.flight = f }
+}
+
+// Flight returns the DB's flight recorder (nil when tracing is disabled).
+func (db *Local) Flight() *obs.Flight { return db.flight }
+
+// Flight returns the DB's flight recorder (nil when tracing is disabled).
+func (db *ClusterDB) Flight() *obs.Flight { return db.flight }
+
+// UpdateRevTraced is UpdateRev reporting through sink instead of the DB's
+// own sampler (nil: exactly UpdateRev, minus the DB-level sampling). The
+// caller owns the trace's lifecycle — typically the server's dispatch
+// path, which opens the trace from the wire frame and finishes it when
+// the response is written.
+func (db *Local) UpdateRevTraced(sink obs.TraceSink, fn func(tx Txn) error) (Revision, error) {
+	return db.updateRevT(sink, fn)
+}
+
+// UpdateRevTraced is UpdateRev reporting through sink; see
+// Local.UpdateRevTraced.
+func (db *ClusterDB) UpdateRevTraced(sink obs.TraceSink, fn func(tx Txn) error) (Revision, error) {
+	return db.updateRevT(sink, fn)
+}
+
+// BatchTraced is Batch reporting through sink (nil: exactly Batch, minus
+// the DB-level sampling); one engine transaction executes every op, so
+// the batch's stages are the transaction's.
+func (db *Local) BatchTraced(sink obs.TraceSink, ops []Op) ([]OpResult, error) {
+	results := make([]OpResult, len(ops))
+	if _, err := db.updateRevT(sink, batchBody(ops, results)); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// batchBody is batchViaUpdate's closure, split out so the traced batch
+// paths can run it under an explicit sink.
+func batchBody(ops []Op, results []OpResult) func(tx Txn) error {
+	return func(tx Txn) error {
+		for i, op := range ops {
+			r, err := execOp(tx, op)
+			if err != nil {
+				return err
+			}
+			results[i] = r
+		}
+		return nil
+	}
+}

@@ -22,6 +22,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -122,6 +123,17 @@ func (h *Histogram) Sum() uint64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Snapshot captures the histogram's current state. The nil instrument
+// snapshots empty. Exported so callers holding a bare *Histogram (the
+// flight recorder's per-stage aggregates, rhtop) can summarize it with
+// HistogramSnapshot.P without going through a Registry.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.snapshot()
 }
 
 // snapshot captures the histogram's current state.
@@ -299,6 +311,45 @@ type HistogramSnapshot struct {
 	Count   uint64   `json:"count"`
 	Sum     uint64   `json:"sum"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// P estimates the q-quantile (0 < q <= 1) of the observed distribution
+// by linear interpolation inside the log₂ bucket holding rank
+// ceil(q·Count). A bucket with upper bound Le = 2^i − 1 spans values
+// [2^(i-1), Le] (bucket 0 holds only the value 0): the estimate is
+// lo + frac·(hi − lo) where frac is the rank's position within the
+// bucket, so the last rank of a bucket lands exactly on its Le boundary.
+// Returns 0 on an empty snapshot.
+func (h HistogramSnapshot) P(q float64) uint64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		if cum+b.Count < rank {
+			cum += b.Count
+			continue
+		}
+		if b.Le == 0 {
+			return 0
+		}
+		lo := b.Le/2 + 1 // 2^(i-1) for Le = 2^i - 1
+		hi := b.Le
+		frac := float64(rank-cum) / float64(b.Count)
+		return lo + uint64(frac*float64(hi-lo))
+	}
+	// Unreachable when bucket counts sum to Count; be defensive.
+	if n := len(h.Buckets); n > 0 {
+		return h.Buckets[n-1].Le
+	}
+	return 0
 }
 
 // Snapshot is one capture of a metrics surface, the type kv.DB.Metrics

@@ -59,6 +59,17 @@ type Tracer interface {
 }
 
 // RecordingTracer is a bounded in-memory Tracer for tests and debugging.
+//
+// Concurrency contract: every method serializes on one internal mutex, so
+// TxnAttempt, Spans, Dropped, and Reset may race freely from any number
+// of goroutines. Two consequences callers can rely on: (1) Spans returns
+// a fresh copy, never an alias of the live buffer — a slice obtained
+// before a concurrent Reset stays intact even though Reset truncates the
+// live buffer in place and later TxnAttempts reuse its backing array;
+// (2) a TxnAttempt concurrent with Reset lands either entirely before it
+// (discarded) or entirely after it (retained against a zeroed bound) —
+// never a torn span and never a stale dropped count. The contract is
+// exercised under -race by TestRecordingTracerConcurrentReset.
 type RecordingTracer struct {
 	mu      sync.Mutex
 	spans   []Span

@@ -1,0 +1,431 @@
+package obs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantiles pins the interpolation convention at exact
+// bucket boundaries: the last rank of a bucket lands on its Le, the
+// first rank interpolates up from the bucket's lower bound, and the
+// zero bucket always reports 0.
+func TestHistogramQuantiles(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		if got := h.Snapshot().P(0.99); got != 0 {
+			t.Fatalf("P on empty = %d, want 0", got)
+		}
+	})
+	t.Run("all-zero", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 4; i++ {
+			h.Observe(0)
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.95, 1} {
+			if got := s.P(q); got != 0 {
+				t.Fatalf("P(%v) = %d, want 0 (zero bucket)", q, got)
+			}
+		}
+	})
+	t.Run("single-obs-hits-le", func(t *testing.T) {
+		// One observation of 4 lands in bucket [4,7] (Le=7): with one
+		// rank in the bucket, every quantile is the bucket's Le exactly.
+		var h Histogram
+		h.Observe(4)
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+			if got := s.P(q); got != 7 {
+				t.Fatalf("P(%v) = %d, want 7 (bucket boundary)", q, got)
+			}
+		}
+	})
+	t.Run("two-buckets", func(t *testing.T) {
+		// 1 → bucket Le=1; 8 → bucket [8,15]. Rank 1 resolves in the
+		// first bucket at its boundary (1), rank 2 in the second at its
+		// boundary (15).
+		var h Histogram
+		h.Observe(1)
+		h.Observe(8)
+		s := h.Snapshot()
+		if got := s.P(0.5); got != 1 {
+			t.Fatalf("P(0.5) = %d, want 1", got)
+		}
+		if got := s.P(1); got != 15 {
+			t.Fatalf("P(1) = %d, want 15", got)
+		}
+	})
+	t.Run("interpolation-within-bucket", func(t *testing.T) {
+		// Four observations in bucket [8,15]: lo=8, hi=15, span 7.
+		// Rank r of 4 sits at frac r/4: 8+1=9, 8+3=11, 8+5=13, 15.
+		var h Histogram
+		for i := 0; i < 4; i++ {
+			h.Observe(9)
+		}
+		s := h.Snapshot()
+		want := map[float64]uint64{0.25: 9, 0.5: 11, 0.75: 13, 1: 15}
+		for q, w := range want {
+			if got := s.P(q); got != w {
+				t.Fatalf("P(%v) = %d, want %d", q, got, w)
+			}
+		}
+	})
+	t.Run("p99-tail", func(t *testing.T) {
+		// 99 fast observations (value 1) and one slow (value 1000,
+		// bucket [512,1023]): P(0.99) still resolves in the fast bucket
+		// (rank 99), P(1) on the slow bucket's boundary.
+		var h Histogram
+		for i := 0; i < 99; i++ {
+			h.Observe(1)
+		}
+		h.Observe(1000)
+		s := h.Snapshot()
+		if got := s.P(0.99); got != 1 {
+			t.Fatalf("P(0.99) = %d, want 1", got)
+		}
+		if got := s.P(1); got != 1023 {
+			t.Fatalf("P(1) = %d, want 1023", got)
+		}
+	})
+	t.Run("nil-histogram", func(t *testing.T) {
+		var h *Histogram
+		if got := h.Snapshot().P(0.5); got != 0 {
+			t.Fatalf("nil histogram P = %d, want 0", got)
+		}
+	})
+}
+
+// TestSamplerDeterminism: head-based sampling is a pure function of the
+// request ordinal — one in every N, starting at the first.
+func TestSamplerDeterminism(t *testing.T) {
+	s := NewSampler(4)
+	var picked []int
+	for i := 0; i < 16; i++ {
+		if s.Sample() {
+			picked = append(picked, i)
+		}
+	}
+	want := []int{0, 4, 8, 12}
+	if len(picked) != len(want) {
+		t.Fatalf("sampled %v, want %v", picked, want)
+	}
+	for i := range want {
+		if picked[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", picked, want)
+		}
+	}
+	if NewSampler(0) != nil || NewSampler(-3) != nil {
+		t.Fatal("non-positive N must disable sampling (nil sampler)")
+	}
+	var off *Sampler
+	if off.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+	if off.N() != 0 || s.N() != 4 {
+		t.Fatal("N() mismatch")
+	}
+	one := NewSampler(1)
+	for i := 0; i < 5; i++ {
+		if !one.Sample() {
+			t.Fatal("1-in-1 sampler must always sample")
+		}
+	}
+}
+
+// The disabled sampling path is the hot path: a nil sampler decision
+// must not allocate.
+func TestSamplerDisabledZeroAllocs(t *testing.T) {
+	var s *Sampler
+	allocs := testing.AllocsPerRun(1000, func() {
+		if s.Sample() {
+			panic("sampled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled sampler allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestTraceRender pins the normalized rendering: kind, stages in start
+// order, the engine stage folding in the attempt summary, notes kept,
+// no wall-clock values.
+func TestTraceRender(t *testing.T) {
+	fl := NewFlight(4)
+	tr := fl.NewTrace(7, "put")
+	tr.Stage(StageQueueWait, 0)
+	tr.Stage(StageBatchWait, 0)
+	tr.Attempt(Span{Engine: "TL2", Attempt: 0, Outcome: OutcomeConflict})
+	tr.Attempt(Span{Engine: "TL2", Attempt: 1, Outcome: OutcomeCommit, CommitRev: 9})
+	tr.Stage(StageEngine, 0)
+	tr.Stage(StageWALSync, 0)
+	tr.SetCommitRev(9)
+	tr.Finish(nil)
+	fl.ReplicaApplied("r0", 9, 1, time.Millisecond)
+
+	want := "trace put\n" +
+		"  queue_wait\n" +
+		"  batch_wait\n" +
+		"  engine attempts=2 commit\n" +
+		"  wal_sync\n" +
+		"  replica_apply replica=r0\n"
+	if got := tr.Snapshot().Render(); got != want {
+		t.Fatalf("render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	errTr := fl.NewTrace(8, "txn")
+	errTr.Stage(StageEngine, 0)
+	errTr.Attempt(Span{Engine: "TL2", Outcome: OutcomeError, Err: "boom"})
+	errTr.Finish(errors.New("boom"))
+	if got := errTr.Snapshot().Render(); got != "trace txn err=boom\n  engine attempts=1 error\n" {
+		t.Fatalf("error render mismatch:\n%s", got)
+	}
+}
+
+// TestTraceStampsMonotonic: stage start offsets are monotonic in record
+// order — the host monotonic clock is the only stamp source.
+func TestTraceStampsMonotonic(t *testing.T) {
+	fl := NewFlight(2)
+	tr := fl.NewTrace(1, "get")
+	for _, name := range []string{StageQueueWait, StageEngine, StageWALSync} {
+		tr.Stage(name, 0)
+	}
+	tr.Finish(nil)
+	snap := tr.Snapshot()
+	for i := 1; i < len(snap.Stages); i++ {
+		if snap.Stages[i].Start < snap.Stages[i-1].Start {
+			t.Fatalf("stage %d starts before stage %d: %+v", i, i-1, snap.Stages)
+		}
+	}
+	if snap.WallNS == 0 {
+		t.Fatal("finished trace has zero wall time")
+	}
+}
+
+// TestFlightRetention: the recorder always keeps the K slowest and the K
+// most recent errors per kind, evicting everything else.
+func TestFlightRetention(t *testing.T) {
+	fl := NewFlight(2)
+	finish := func(id uint64, kind string, hold time.Duration, err error) {
+		tr := fl.NewTrace(id, kind)
+		tr.Stage(StageEngine, hold)
+		if hold > 0 {
+			time.Sleep(hold)
+		}
+		tr.Finish(err)
+	}
+	finish(1, "put", 0, nil)
+	finish(2, "put", 8*time.Millisecond, nil)
+	finish(3, "put", 16*time.Millisecond, nil)
+	finish(4, "put", 2*time.Millisecond, nil)
+	for i := uint64(10); i < 13; i++ {
+		finish(i, "put", 0, errors.New("fenced"))
+	}
+
+	d := fl.Dump()
+	kd, ok := d.Kinds["put"]
+	if !ok {
+		t.Fatalf("kind missing from dump: %+v", d)
+	}
+	if kd.Count != 7 || kd.Errors != 3 {
+		t.Fatalf("count=%d errors=%d, want 7/3", kd.Count, kd.Errors)
+	}
+	if len(kd.Slowest) != 2 || kd.Slowest[0].ID != 3 || kd.Slowest[1].ID != 2 {
+		t.Fatalf("slowest = %+v, want ids 3,2", kd.Slowest)
+	}
+	if kd.Slowest[0].WallNS < kd.Slowest[1].WallNS {
+		t.Fatal("slowest list not descending")
+	}
+	if len(kd.RecentErrors) != 2 || kd.RecentErrors[0].ID != 11 || kd.RecentErrors[1].ID != 12 {
+		t.Fatalf("recent errors = %+v, want ids 11,12", kd.RecentErrors)
+	}
+	if len(kd.Recent) != 2 || kd.Recent[1].ID != 12 {
+		t.Fatalf("recent = %+v, want newest id 12 last", kd.Recent)
+	}
+	st, ok := kd.Stages[StageEngine]
+	if !ok || st.Count != 7 {
+		t.Fatalf("engine stage stat = %+v, want count 7", st)
+	}
+	if st.P99NS < st.P50NS {
+		t.Fatalf("p99 %d < p50 %d", st.P99NS, st.P50NS)
+	}
+}
+
+// TestFlightAwaitingBounded: the awaiting-apply table cannot grow past
+// 4×K — a replica-less deployment sheds the oldest links.
+func TestFlightAwaitingBounded(t *testing.T) {
+	fl := NewFlight(2)
+	for rev := uint64(1); rev <= 20; rev++ {
+		tr := fl.NewTrace(rev, "put")
+		tr.SetCommitRev(rev)
+		tr.Finish(nil)
+	}
+	if got := fl.AwaitingApply(); got != 8 {
+		t.Fatalf("awaiting = %d, want 8 (4×K bound)", got)
+	}
+	fl.ReplicaApplied("r0", 16, 4, time.Millisecond)
+	if got := fl.AwaitingApply(); got != 4 {
+		t.Fatalf("awaiting after apply(16) = %d, want 4", got)
+	}
+	fl.ReplicaApplied("r0", 20, 4, time.Millisecond)
+	if got := fl.AwaitingApply(); got != 0 {
+		t.Fatalf("awaiting after apply(20) = %d, want 0", got)
+	}
+	// The traces inside the retained window got their replica stage.
+	d := fl.Dump()
+	var annotated int
+	for _, ts := range d.Kinds["put"].Recent {
+		for _, st := range ts.Stages {
+			if st.Name == StageReplicaApply {
+				annotated++
+			}
+		}
+	}
+	if annotated == 0 {
+		t.Fatal("no retained trace gained a replica_apply stage")
+	}
+}
+
+// TestMultiSinkBroadcast: one shared DB call fans its stages, spans, and
+// commit rev out to every traced op in the batch.
+func TestMultiSinkBroadcast(t *testing.T) {
+	fl := NewFlight(4)
+	a, b := fl.NewTrace(1, "put"), fl.NewTrace(2, "put")
+	sink := MultiSink{a, b}
+	sink.Stage(StageEngine, time.Microsecond)
+	sink.Attempt(Span{Engine: "TL2", Outcome: OutcomeCommit})
+	sink.SetCommitRev(5)
+	for _, tr := range []*Trace{a, b} {
+		s := tr.Snapshot()
+		if len(s.Stages) != 1 || len(s.Spans) != 1 || s.CommitRev != 5 {
+			t.Fatalf("broadcast missed trace %d: %+v", s.ID, s)
+		}
+	}
+	if fl.AwaitingApply() != 1 {
+		t.Fatal("duplicate rev must collapse to one awaiting entry")
+	}
+}
+
+// TestRecordingTracerConcurrentReset is the -race hammer for the
+// documented contract: TxnAttempt, Spans, Dropped, and Reset racing from
+// many goroutines never tear a span or corrupt the bound.
+func TestRecordingTracerConcurrentReset(t *testing.T) {
+	tr := NewRecordingTracer(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.TxnAttempt(Span{Engine: "RH1", Attempt: i, Outcome: OutcomeConflict, Wall: time.Duration(g)})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			for _, s := range tr.Spans() {
+				if s.Engine != "RH1" {
+					panic("torn span")
+				}
+			}
+			tr.Dropped()
+			tr.Reset()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	tr.Reset()
+	if len(tr.Spans()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset did not clear after hammer")
+	}
+	tr.TxnAttempt(Span{Engine: "RH1"})
+	if len(tr.Spans()) != 1 {
+		t.Fatal("tracer unusable after hammer")
+	}
+}
+
+// TestSnapshotConcurrentWithUpdates: Snapshot/Flatten taken while every
+// registered instrument type is being updated stay internally consistent
+// — counters are monotone across successive snapshots, label-pair names
+// never tear, and Flatten always agrees with the snapshot it came from.
+func TestSnapshotConcurrentWithUpdates(t *testing.T) {
+	r := NewRegistry()
+	cFast := r.Counter(Name("engine.commits", "path", "fast"))
+	cSlow := r.Counter(Name("engine.commits", "path", "slow"))
+	g := r.Gauge("depth")
+	h := r.Histogram("latency")
+	var fn int64
+	r.GaugeFunc("live", func() int64 { return fn })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cFast.Inc()
+				cSlow.Add(2)
+				g.Set(int64(i % 97))
+				h.Observe(i % 1024)
+				// Register a fresh label pair mid-flight occasionally so
+				// snapshots race with registry growth too.
+				if i%512 == 0 {
+					r.Counter(Name("engine.aborts", "path", "fast")).Inc()
+				}
+			}
+		}()
+	}
+
+	wantNames := map[string]bool{
+		"engine.commits{path=fast}": true,
+		"engine.commits{path=slow}": true,
+	}
+	var prevFast, prevSlow uint64
+	for i := 0; i < 300; i++ {
+		snap := r.Snapshot()
+		for name := range snap.Counters {
+			if name != "engine.commits{path=fast}" &&
+				name != "engine.commits{path=slow}" &&
+				name != "engine.aborts{path=fast}" {
+				t.Fatalf("torn or unknown counter name %q", name)
+			}
+		}
+		for want := range wantNames {
+			if _, ok := snap.Counters[want]; !ok {
+				t.Fatalf("snapshot lost counter %q", want)
+			}
+		}
+		fast, slow := snap.Counter("engine.commits{path=fast}"), snap.Counter("engine.commits{path=slow}")
+		if fast < prevFast || slow < prevSlow {
+			t.Fatalf("counter went backwards: fast %d→%d slow %d→%d", prevFast, fast, prevSlow, slow)
+		}
+		prevFast, prevSlow = fast, slow
+		hs := snap.Histograms["latency"]
+		flat := snap.Flatten()
+		if flat["engine.commits{path=fast}"] != int64(fast) {
+			t.Fatal("flatten disagrees with its snapshot")
+		}
+		if flat["latency.count"] != int64(hs.Count) || flat["latency.sum"] != int64(hs.Sum) {
+			t.Fatal("flatten histogram fields disagree with snapshot")
+		}
+		fn++
+	}
+	close(stop)
+	wg.Wait()
+}

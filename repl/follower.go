@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"rhtm"
 	"rhtm/cluster"
@@ -317,6 +318,11 @@ func (f *Follower) applyOps(th rhtm.Thread, st kv.Storer, ops []wal.Op, part int
 	if len(ops) == 0 {
 		return 0, nil
 	}
+	fl := f.g.flight.Load()
+	var applyStart time.Time
+	if fl != nil {
+		applyStart = time.Now()
+	}
 	var maxRev uint64
 	err := th.Atomic(func(tx rhtm.Tx) error {
 		maxRev = 0 // the body re-executes on engine aborts
@@ -349,6 +355,11 @@ func (f *Follower) applyOps(th rhtm.Thread, st kv.Storer, ops []wal.Op, part int
 			p = ops[i].Part
 		}
 		f.wms.Set(p, ops[i].Rev)
+	}
+	// Close the tracing loop: traces awaiting a commit revision at or
+	// below this unit's watermark gain their replica_apply stage.
+	if fl != nil {
+		fl.ReplicaApplied(f.name, maxRev, len(ops), time.Since(applyStart))
 	}
 	return maxRev, nil
 }

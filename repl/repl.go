@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rhtm/kv"
 	"rhtm/obs"
@@ -113,6 +114,11 @@ type Group struct {
 	reg        *obs.Registry
 	promotions *obs.Counter
 	applyBatch *obs.Histogram
+
+	// flight, when set, closes the tracing loop: every follower apply
+	// reports its watermark so traces awaiting their commit revision gain
+	// a replica_apply stage (obs.Flight.ReplicaApplied).
+	flight atomic.Pointer[obs.Flight]
 }
 
 // NewLocalGroup wraps a single-System primary (from kv.OpenLocal) whose log
@@ -236,6 +242,52 @@ func (g *Group) lagFrames() int64 {
 	return lag
 }
 
+// ReplicaStatus is one replica stream's applied watermarks and lag — the
+// health view Status reports and a server's KindHealth adapter forwards.
+type ReplicaStatus struct {
+	// Name is the replica's membership name.
+	Name string `json:"name"`
+	// Stream names the WAL stream within the replica (one per System).
+	Stream string `json:"stream"`
+	// AppliedLSN is the stream's applied log cursor.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// AppliedRev is the stream's applied revision watermark.
+	AppliedRev uint64 `json:"applied_rev"`
+	// LagFrames is how many LSNs the cursor trails the primary writer's
+	// last append at sampling time.
+	LagFrames uint64 `json:"lag_frames"`
+}
+
+// Status reports every follower stream's applied watermark and lag, in
+// registration order — the per-replica breakdown of the lag_frames gauge.
+func (g *Group) Status() []ReplicaStatus {
+	g.wmu.Lock()
+	ws := append([]*wal.Writer(nil), g.ws...)
+	g.wmu.Unlock()
+	lasts := make([]uint64, len(ws))
+	for i, w := range ws {
+		lasts[i] = w.Stats().LastLSN
+	}
+	g.fmu.RLock()
+	defer g.fmu.RUnlock()
+	var out []ReplicaStatus
+	for _, f := range g.followers {
+		for i, s := range f.allStreams() {
+			st := ReplicaStatus{
+				Name:       f.name,
+				Stream:     s.name,
+				AppliedLSN: s.lsn(),
+				AppliedRev: s.rev(),
+			}
+			if i < len(lasts) && lasts[i] > st.AppliedLSN {
+				st.LagFrames = lasts[i] - st.AppliedLSN
+			}
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
 // Membership returns the current epoch-numbered role map.
 func (g *Group) Membership() Membership {
 	g.mu.Lock()
@@ -254,6 +306,12 @@ func (g *Group) Primary() kv.DB {
 
 // Metrics snapshots the group's repl.* instruments.
 func (g *Group) Metrics() obs.Snapshot { return g.reg.Snapshot() }
+
+// SetFlight attaches (or, with nil, detaches) the flight recorder the
+// followers' apply pumps report watermarks to. Wire it to the same Flight
+// the tracing front end records into — that is what links a trace to the
+// replica apply of its commit revision. Safe to call while pumps run.
+func (g *Group) SetFlight(f *obs.Flight) { g.flight.Store(f) }
 
 // register adds f to the live follower list and membership.
 func (g *Group) register(f *Follower) {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rhtm/kv"
+	"rhtm/obs"
 	"rhtm/server/wire"
 )
 
@@ -14,6 +15,10 @@ type pendingOp struct {
 	id    uint64
 	op    kv.Op
 	start time.Time
+	// tr is the op's server-side trace when the request frame carried
+	// FlagTraced; the batcher stamps its batch_wait stage and broadcasts
+	// the merged transaction's stages to it.
+	tr *obs.Trace
 }
 
 // batcher merges independent single-key requests from every connection
@@ -118,10 +123,25 @@ func (b *batcher) loop() {
 func (b *batcher) exec(batch []pendingOp) {
 	b.met.batchFill.Observe(uint64(len(batch)))
 	ops := make([]kv.Op, len(batch))
+	var sink obs.MultiSink
 	for i, p := range batch {
 		ops[i] = p.op
+		if p.tr != nil {
+			// From enqueue until the merged transaction starts, the op sat
+			// in the batcher's window.
+			p.tr.StageSince(obs.StageBatchWait, p.start)
+			sink = append(sink, p.tr)
+		}
 	}
-	results, err := b.db.Batch(ops)
+	var results []kv.OpResult
+	var err error
+	if bt, ok := b.db.(batchTracer); ok && len(sink) > 0 {
+		// Every traced op in the merged batch shares the one underlying
+		// transaction, so each receives its engine/wal_sync/2PC stages.
+		results, err = bt.BatchTraced(sink, ops)
+	} else {
+		results, err = b.db.Batch(ops)
+	}
 	if err != nil || len(results) != len(batch) {
 		for _, p := range batch {
 			b.execOne(p)
@@ -152,14 +172,21 @@ func (b *batcher) execOne(p pendingOp) {
 // connection's stalled reader (out.go holds the invariant; the write
 // timeout bounds the resulting overflow).
 func (b *batcher) respond(p pendingOp, v []byte, err error) {
+	var m wire.Msg
 	switch {
 	case err != nil:
-		p.c.sendNoWait(errMsg(p.id, err))
+		m = errMsg(p.id, err)
 	case p.op.Kind == kv.OpGet:
-		p.c.sendNoWait(wire.Msg{ID: p.id, Kind: wire.KindValue, Value: v})
+		m = wire.Msg{ID: p.id, Kind: wire.KindValue, Value: v}
 	default:
-		p.c.sendNoWait(wire.Msg{ID: p.id, Kind: wire.KindOK})
+		m = wire.Msg{ID: p.id, Kind: wire.KindOK}
 	}
+	if p.tr != nil {
+		m.Flags |= wire.FlagTraced
+		m.Trace = uint64(p.tr.Elapsed())
+		p.tr.Finish(err)
+	}
+	p.c.sendNoWait(m)
 	b.met.requestNs.Observe(uint64(time.Since(p.start)))
 	p.c.pending.Done()
 }

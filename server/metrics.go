@@ -21,7 +21,7 @@ import (
 //	server.watch.events_lost  counter    EventLost frames pushed to clients
 type serverMetrics struct {
 	connections *obs.Gauge
-	requests    [wire.KindMetrics + 1]*obs.Counter
+	requests    [wire.KindHealth + 1]*obs.Counter
 	batchFill   *obs.Histogram
 	requestNs   *obs.Histogram
 	bytesIn     *obs.Counter
@@ -39,6 +39,12 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		watchLost:   reg.Counter("server.watch.events_lost"),
 	}
 	for k := wire.KindHello; k <= wire.KindMetrics; k++ {
+		m.requests[k] = reg.Counter(obs.Name("server.requests", "kind", k.String()))
+	}
+	// Request kinds past the contiguous block (response kinds sit between
+	// them in the numbering; their slots stay nil, and the nil counter
+	// makes request() a no-op for misdirected response kinds).
+	for _, k := range []wire.Kind{wire.KindFollowerGet, wire.KindTraceDump, wire.KindHealth} {
 		m.requests[k] = reg.Counter(obs.Name("server.requests", "kind", k.String()))
 	}
 	return m

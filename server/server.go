@@ -21,12 +21,15 @@ package server
 
 import (
 	"errors"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rhtm/kv"
 	"rhtm/obs"
+	"rhtm/server/wire"
 )
 
 // ErrServerClosed is returned by Serve after Close, and by Start/Serve on
@@ -68,6 +71,9 @@ type options struct {
 	drain        time.Duration
 	writeTimeout time.Duration
 	maxInflight  int
+	flight       *obs.Flight
+	replicas     func() []wire.ReplicaHealth
+	closeDump    io.Writer
 }
 
 // WithMetrics registers the server's instruments (server.* names; see
@@ -118,14 +124,46 @@ func WithWriteTimeout(d time.Duration) Option {
 	}
 }
 
+// WithFlight injects the flight recorder traced requests are retained in.
+// Wire the same Flight into repl.Group.SetFlight and traces gain their
+// replica_apply stage. The default is a fresh recorder of default depth —
+// KindTraceDump always has something to serve.
+func WithFlight(f *obs.Flight) Option {
+	return func(o *options) {
+		if f != nil {
+			o.flight = f
+		}
+	}
+}
+
+// WithReplicaStatus injects the per-replica watermark source KindHealth
+// reports (typically a thin adapter over repl.Group.Status). Nil — the
+// default — reports no replicas.
+func WithReplicaStatus(fn func() []wire.ReplicaHealth) Option {
+	return func(o *options) { o.replicas = fn }
+}
+
+// WithCloseDump makes Close write the flight recorder's final dump,
+// JSON-encoded, to w — the post-mortem slow-op log for a server that is
+// going away along with its in-memory traces.
+func WithCloseDump(w io.Writer) Option {
+	return func(o *options) { o.closeDump = w }
+}
+
 // Server serves one kv.DB to many connections.
 type Server struct {
 	db     kv.DB
 	opts   options
 	met    serverMetrics
 	batch  *batcher
+	flight *obs.Flight
+	start  time.Time
 	wg     sync.WaitGroup // serve loops + per-connection lifecycles
 	connWG sync.WaitGroup // per-connection teardown completion
+
+	// reqTotal counts every request frame read, independent of the
+	// optional registry — KindHealth's throughput-monotonicity field.
+	reqTotal atomic.Uint64
 
 	mu     sync.Mutex
 	lns    []net.Listener
@@ -147,15 +185,25 @@ func New(db kv.DB, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.flight == nil {
+		o.flight = obs.NewFlight(0)
+	}
 	s := &Server{
-		db:    db,
-		opts:  o,
-		met:   newServerMetrics(o.reg),
-		conns: make(map[*conn]struct{}),
+		db:     db,
+		opts:   o,
+		met:    newServerMetrics(o.reg),
+		flight: o.flight,
+		start:  time.Now(),
+		conns:  make(map[*conn]struct{}),
 	}
 	s.batch = newBatcher(db, o.batchWindow, o.batchMax, &s.met)
 	return s
 }
+
+// Flight returns the server's flight recorder — wire it to
+// repl.Group.SetFlight so traces gain their replica_apply stage, or dump
+// it directly in tests.
+func (s *Server) Flight() *obs.Flight { return s.flight }
 
 // Serve accepts connections on ln until Close. It returns ErrServerClosed
 // after a clean shutdown, or the listener's error.
@@ -229,6 +277,13 @@ func (s *Server) Close() error {
 	s.connWG.Wait()
 	s.batch.close()
 	s.wg.Wait()
+	if s.opts.closeDump != nil {
+		// The final flight-recorder dump: every in-flight request has
+		// drained, so this is the complete slow-op log of the run.
+		if err := writeFlightDump(s.opts.closeDump, s.flight); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -268,6 +323,20 @@ func (s *Server) removeConn(c *conn) {
 // Txn handler uses it so clients can stamp CommitRev on tracer spans.
 type updateRever interface {
 	UpdateRev(fn func(tx kv.Txn) error) (kv.Revision, error)
+}
+
+// updateRevTracer is the traced form of updateRever: the sink receives
+// the engine/wal_sync/2PC stages of the closure transaction. Both kv
+// backends implement it.
+type updateRevTracer interface {
+	UpdateRevTraced(sink obs.TraceSink, fn func(tx kv.Txn) error) (kv.Revision, error)
+}
+
+// batchTracer is the traced form of DB.Batch; both kv backends implement
+// it. The shared batcher passes an obs.MultiSink so every traced op in a
+// merged batch receives the one underlying transaction's stages.
+type batchTracer interface {
+	BatchTraced(sink obs.TraceSink, ops []kv.Op) ([]kv.OpResult, error)
 }
 
 // watchIdler is the optional quiesce hook both kv backends implement.

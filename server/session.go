@@ -3,7 +3,6 @@ package server
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"rhtm/kv"
+	"rhtm/obs"
 	"rhtm/server/wire"
 )
 
@@ -105,6 +105,7 @@ func (c *conn) readLoop() {
 			break
 		}
 		c.srv.met.request(m.Kind)
+		c.srv.reqTotal.Add(1)
 		if !c.dispatch(m) {
 			break
 		}
@@ -136,7 +137,24 @@ func (c *conn) teardown() {
 // subscribe, cancel, and idle stay ordered with each other); everything
 // else runs on a semaphore-bounded goroutine. Returns false on a protocol
 // violation — a kind only servers may send — which kills the connection.
+//
+// A frame carrying FlagTraced opens a server-side trace under the
+// client's trace id: its stages (queue_wait, batch_wait, engine,
+// wal_sync, 2PC phases) are recorded into the flight recorder, and the
+// terminal response frame echoes the server's handling time so the
+// client can attribute the rest of the round trip to the network.
 func (c *conn) dispatch(m wire.Msg) bool {
+	var tr *obs.Trace
+	if m.Flags&wire.FlagTraced != 0 {
+		switch m.Kind {
+		case wire.KindWatch, wire.KindWatchCancel, wire.KindWatchIdle:
+			// Watch control is stream-oriented (many frames under one id):
+			// there is no single handling interval to trace, so the flag is
+			// ignored.
+		default:
+			tr = c.srv.flight.NewTrace(m.Trace, m.Kind.String())
+		}
+	}
 	switch m.Kind {
 	case wire.KindWatch:
 		c.handleWatch(m)
@@ -145,26 +163,26 @@ func (c *conn) dispatch(m wire.Msg) bool {
 	case wire.KindWatchIdle:
 		c.handleWatchIdle(m)
 	case wire.KindHello:
-		c.send(wire.Msg{ID: m.ID, Kind: wire.KindValue, Value: []byte(c.srv.opts.engine)})
+		c.sendT(tr, nil, wire.Msg{ID: m.ID, Kind: wire.KindValue, Value: []byte(c.srv.opts.engine)})
 	case wire.KindClockNow:
-		c.send(wire.Msg{ID: m.ID, Kind: wire.KindOK, Rev: c.srv.db.Clock().Now()})
+		c.sendT(tr, nil, wire.Msg{ID: m.ID, Kind: wire.KindOK, Rev: c.srv.db.Clock().Now()})
 	case wire.KindGet:
-		c.enqueueOp(m, kv.Op{Kind: kv.OpGet, Key: m.Key})
+		c.enqueueOp(m, kv.Op{Kind: kv.OpGet, Key: m.Key}, tr)
 	case wire.KindDelete:
-		c.enqueueOp(m, kv.Op{Kind: kv.OpDelete, Key: m.Key})
+		c.enqueueOp(m, kv.Op{Kind: kv.OpDelete, Key: m.Key}, tr)
 	case wire.KindPut:
 		if m.Lease != 0 {
 			// Leased puts must observe lease liveness at execution time;
 			// they take the ordinary handler path.
-			c.spawn(m)
+			c.spawn(m, tr)
 			return true
 		}
-		c.enqueueOp(m, kv.Op{Kind: kv.OpPut, Key: m.Key, Value: m.Value})
+		c.enqueueOp(m, kv.Op{Kind: kv.OpPut, Key: m.Key, Value: m.Value}, tr)
 	case wire.KindGetRev, wire.KindPutIf, wire.KindDeleteIf, wire.KindBatch,
 		wire.KindTxn, wire.KindScan, wire.KindGrant, wire.KindKeepAlive,
 		wire.KindRevoke, wire.KindExpire, wire.KindCheckpoint, wire.KindMetrics,
-		wire.KindFollowerGet:
-		c.spawn(m)
+		wire.KindFollowerGet, wire.KindTraceDump, wire.KindHealth:
+		c.spawn(m, tr)
 	default:
 		return false
 	}
@@ -174,16 +192,16 @@ func (c *conn) dispatch(m wire.Msg) bool {
 // enqueueOp routes one single-key request into the cross-connection
 // batcher, pre-rejecting reserved keys so a bad op never poisons the
 // merged transaction it would have joined.
-func (c *conn) enqueueOp(m wire.Msg, op kv.Op) {
+func (c *conn) enqueueOp(m wire.Msg, op kv.Op, tr *obs.Trace) {
 	if kv.IsReservedKey(op.Key) {
-		c.send(errMsg(m.ID, kv.ErrReservedKey))
+		c.sendT(tr, kv.ErrReservedKey, errMsg(m.ID, kv.ErrReservedKey))
 		return
 	}
 	c.pending.Add(1)
-	c.srv.batch.enqueue(pendingOp{c: c, id: m.ID, op: op, start: time.Now()})
+	c.srv.batch.enqueue(pendingOp{c: c, id: m.ID, op: op, start: time.Now(), tr: tr})
 }
 
-func (c *conn) spawn(m wire.Msg) {
+func (c *conn) spawn(m wire.Msg, tr *obs.Trace) {
 	c.pending.Add(1)
 	c.sem <- struct{}{}
 	go func() {
@@ -191,28 +209,42 @@ func (c *conn) spawn(m wire.Msg) {
 			<-c.sem
 			c.pending.Done()
 		}()
+		if tr != nil {
+			// Everything between trace begin (frame decode) and here —
+			// reader handoff plus the inflight-semaphore wait — is queueing.
+			tr.StageSince(obs.StageQueueWait, tr.Begin())
+		}
 		start := time.Now()
-		c.handle(m)
+		c.handle(m, tr)
 		c.srv.met.requestNs.Observe(uint64(time.Since(start)))
 	}()
 }
 
+// sinkOf converts an optional trace into an optional TraceSink without
+// producing the classic non-nil interface around a nil pointer.
+func sinkOf(tr *obs.Trace) obs.TraceSink {
+	if tr == nil {
+		return nil
+	}
+	return tr
+}
+
 // handle executes one non-batched request and enqueues its response(s).
-func (c *conn) handle(m wire.Msg) {
+func (c *conn) handle(m wire.Msg, tr *obs.Trace) {
 	db := c.srv.db
 	switch m.Kind {
 	case wire.KindGetRev:
 		v, rev, err := db.GetRev(m.Key)
 		switch {
 		case errors.Is(err, kv.ErrNotFound):
-			c.send(wire.Msg{ID: m.ID, Kind: wire.KindValue, Flags: wire.FlagAbsent})
+			c.sendT(tr, nil, wire.Msg{ID: m.ID, Kind: wire.KindValue, Flags: wire.FlagAbsent})
 		case err != nil:
-			c.send(errMsg(m.ID, err))
+			c.sendT(tr, err, errMsg(m.ID, err))
 		default:
-			c.send(wire.Msg{ID: m.ID, Kind: wire.KindValue, Value: v, Rev: rev})
+			c.sendT(tr, nil, wire.Msg{ID: m.ID, Kind: wire.KindValue, Value: v, Rev: rev})
 		}
 	case wire.KindPut: // lease-attached (lease 0 went through the batcher)
-		c.reply(m.ID, 0, db.Put(m.Key, m.Value, kv.WithLease(m.Lease)))
+		c.replyT(tr, m.ID, 0, db.Put(m.Key, m.Value, kv.WithLease(m.Lease)))
 	case wire.KindPutIf:
 		var err error
 		if m.Lease != 0 {
@@ -220,70 +252,92 @@ func (c *conn) handle(m wire.Msg) {
 		} else {
 			err = db.PutIf(m.Key, m.Value, m.Rev)
 		}
-		c.reply(m.ID, 0, err)
+		c.replyT(tr, m.ID, 0, err)
 	case wire.KindDeleteIf:
-		c.reply(m.ID, 0, db.DeleteIf(m.Key, m.Rev))
+		c.replyT(tr, m.ID, 0, db.DeleteIf(m.Key, m.Rev))
 	case wire.KindBatch:
-		results, err := db.Batch(m.Ops)
+		var results []kv.OpResult
+		var err error
+		if bt, ok := db.(batchTracer); ok && tr != nil {
+			results, err = bt.BatchTraced(tr, m.Ops)
+		} else {
+			results, err = db.Batch(m.Ops)
+		}
 		if err != nil {
-			c.send(errMsg(m.ID, err))
+			c.sendT(tr, err, errMsg(m.ID, err))
 			return
 		}
 		rs := make([]wire.Result, len(results))
 		for i, r := range results {
 			rs[i] = wire.Result{Code: wire.CodeOf(r.Err), Value: r.Value}
 		}
-		c.send(wire.Msg{ID: m.ID, Kind: wire.KindResults, Results: rs})
+		c.sendT(tr, nil, wire.Msg{ID: m.ID, Kind: wire.KindResults, Results: rs})
 	case wire.KindTxn:
-		rev, err := c.srv.execTxn(m.Conds, m.Ops)
-		c.reply(m.ID, rev, err)
+		rev, err := c.srv.execTxn(m.Conds, m.Ops, sinkOf(tr))
+		c.replyT(tr, m.ID, rev, err)
 	case wire.KindScan:
-		c.handleScan(m)
+		c.handleScan(m, tr)
 	case wire.KindGrant:
 		id, err := db.Grant(m.Rev)
-		c.reply(m.ID, id, err)
+		c.replyT(tr, m.ID, id, err)
 	case wire.KindKeepAlive:
-		c.reply(m.ID, 0, db.KeepAlive(m.Lease))
+		c.replyT(tr, m.ID, 0, db.KeepAlive(m.Lease))
 	case wire.KindRevoke:
-		c.reply(m.ID, 0, db.Revoke(m.Lease))
+		c.replyT(tr, m.ID, 0, db.Revoke(m.Lease))
 	case wire.KindExpire:
 		n, err := db.ExpireLeases()
-		c.reply(m.ID, uint64(n), err)
+		c.replyT(tr, m.ID, uint64(n), err)
 	case wire.KindCheckpoint:
-		c.reply(m.ID, 0, db.Checkpoint())
-	case wire.KindMetrics:
-		data, err := json.Marshal(db.Metrics())
-		if err != nil {
-			c.send(errMsg(m.ID, err))
-			return
-		}
-		c.send(wire.Msg{ID: m.ID, Kind: wire.KindValue, Value: data})
+		c.replyT(tr, m.ID, 0, db.Checkpoint())
+	case wire.KindMetrics, wire.KindTraceDump, wire.KindHealth:
+		c.handleAdmin(m, tr)
 	case wire.KindFollowerGet:
 		fr, ok := db.(kv.FollowerReader)
 		if !ok {
-			c.send(errMsg(m.ID, errors.New("server: backend has no follower-read surface")))
+			err := errors.New("server: backend has no follower-read surface")
+			c.sendT(tr, err, errMsg(m.ID, err))
 			return
 		}
 		v, rev, wm, err := fr.ReadAt(m.Key, m.Rev)
 		switch {
 		case errors.Is(err, kv.ErrNotFound):
 			// Absence is a fact at the watermark, not a failure.
-			c.send(wire.Msg{ID: m.ID, Kind: wire.KindFollowerValue, Flags: wire.FlagAbsent, Lease: wm})
+			c.sendT(tr, nil, wire.Msg{ID: m.ID, Kind: wire.KindFollowerValue, Flags: wire.FlagAbsent, Lease: wm})
 		case err != nil:
-			c.send(errMsg(m.ID, err))
+			c.sendT(tr, err, errMsg(m.ID, err))
 		default:
-			c.send(wire.Msg{ID: m.ID, Kind: wire.KindFollowerValue, Value: v, Rev: rev, Lease: wm})
+			c.sendT(tr, nil, wire.Msg{ID: m.ID, Kind: wire.KindFollowerValue, Value: v, Rev: rev, Lease: wm})
 		}
 	}
 }
 
+// sendT enqueues a request's terminal response frame. When the request
+// was traced, the frame echoes FlagTraced with the server's handling time
+// in the Trace field — the client subtracts it from its observed round
+// trip to get the net stage — and the trace is finished into the flight
+// recorder. Multi-frame responses (Scan chunks) stamp only the FlagFinal
+// frame.
+func (c *conn) sendT(tr *obs.Trace, err error, m wire.Msg) {
+	if tr != nil {
+		m.Flags |= wire.FlagTraced
+		m.Trace = uint64(tr.Elapsed())
+		tr.Finish(err)
+	}
+	c.send(m)
+}
+
 // reply sends OK carrying rev, or the mapped error.
 func (c *conn) reply(id, rev uint64, err error) {
+	c.replyT(nil, id, rev, err)
+}
+
+// replyT is reply with trace finishing (see sendT).
+func (c *conn) replyT(tr *obs.Trace, id, rev uint64, err error) {
 	if err != nil {
-		c.send(errMsg(id, err))
+		c.sendT(tr, err, errMsg(id, err))
 		return
 	}
-	c.send(wire.Msg{ID: id, Kind: wire.KindOK, Rev: rev})
+	c.sendT(tr, nil, wire.Msg{ID: id, Kind: wire.KindOK, Rev: rev})
 }
 
 func errMsg(id uint64, err error) wire.Msg {
@@ -293,16 +347,21 @@ func errMsg(id uint64, err error) wire.Msg {
 // handleScan streams a range read as chunked Entries frames. The plain
 // form snapshots via DB.Scan; FlagWithRev additionally reports each
 // yielded key's revision, collected inside one closure transaction so the
-// entries form the validated read set of a client-side transaction.
-func (c *conn) handleScan(m wire.Msg) {
+// entries form the validated read set of a client-side transaction. Only
+// the FlagFinal frame carries the trace stamp — it is the terminal frame.
+func (c *conn) handleScan(m wire.Msg, tr *obs.Trace) {
 	if m.Flags&wire.FlagWithRev != 0 {
-		entries, err := c.srv.scanRev(m.Key, m.End, int(m.Rev))
+		entries, err := c.srv.scanRev(m.Key, m.End, int(m.Rev), sinkOf(tr))
 		if err != nil {
-			c.send(errMsg(m.ID, err))
+			c.sendT(tr, err, errMsg(m.ID, err))
 			return
 		}
-		c.sendEntries(m.ID, entries)
+		c.sendEntries(m.ID, entries, tr)
 		return
+	}
+	var engStart time.Time
+	if tr != nil {
+		engStart = time.Now()
 	}
 	it := c.srv.db.Scan(m.Key, m.End, int(m.Rev))
 	var chunk []wire.Entry
@@ -316,28 +375,33 @@ func (c *conn) handleScan(m wire.Msg) {
 			chunk = nil
 		}
 	}
+	if tr != nil {
+		// A snapshot scan never enters a closure transaction; its engine
+		// stage is the iteration itself.
+		tr.StageSince(obs.StageEngine, engStart)
+	}
 	if err := it.Err(); err != nil {
-		c.send(errMsg(m.ID, err))
+		c.sendT(tr, err, errMsg(m.ID, err))
 		return
 	}
-	c.send(wire.Msg{ID: m.ID, Kind: wire.KindEntries, Flags: wire.FlagFinal, Entries: chunk})
+	c.sendT(tr, nil, wire.Msg{ID: m.ID, Kind: wire.KindEntries, Flags: wire.FlagFinal, Entries: chunk})
 }
 
-func (c *conn) sendEntries(id uint64, entries []wire.Entry) {
+func (c *conn) sendEntries(id uint64, entries []wire.Entry, tr *obs.Trace) {
 	for len(entries) > scanChunk {
 		c.send(wire.Msg{ID: id, Kind: wire.KindEntries, Entries: entries[:scanChunk]})
 		entries = entries[scanChunk:]
 	}
-	c.send(wire.Msg{ID: id, Kind: wire.KindEntries, Flags: wire.FlagFinal, Entries: entries})
+	c.sendT(tr, nil, wire.Msg{ID: id, Kind: wire.KindEntries, Flags: wire.FlagFinal, Entries: entries})
 }
 
 // scanRev runs one closure transaction that scans [start, end) and pairs
 // every yielded entry with its revision — each Revision call records the
 // key in the transaction's read set, mirroring the cluster transaction's
 // scan semantics (committed entries are validated; phantoms are not).
-func (s *Server) scanRev(start, end []byte, limit int) ([]wire.Entry, error) {
+func (s *Server) scanRev(start, end []byte, limit int, sink obs.TraceSink) ([]wire.Entry, error) {
 	var out []wire.Entry
-	err := s.db.Update(func(tx kv.Txn) error {
+	fn := func(tx kv.Txn) error {
 		out = out[:0]
 		it := tx.Scan(start, end, limit)
 		for it.Next() {
@@ -353,7 +417,13 @@ func (s *Server) scanRev(start, end []byte, limit int) ([]wire.Entry, error) {
 			out = append(out, e)
 		}
 		return it.Err()
-	})
+	}
+	var err error
+	if ut, ok := s.db.(updateRevTracer); ok && sink != nil {
+		_, err = ut.UpdateRevTraced(sink, fn)
+	} else {
+		err = s.db.Update(fn)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +435,7 @@ func (s *Server) scanRev(start, end []byte, limit int) ([]wire.Entry, error) {
 // 0 = absent), then apply the buffered ops, all inside one server-side
 // closure. A failed condition surfaces as one kv.ErrConflict to the
 // client, which re-runs its closure; see errTxnCondFailed.
-func (s *Server) execTxn(conds []wire.Cond, ops []kv.Op) (kv.Revision, error) {
+func (s *Server) execTxn(conds []wire.Cond, ops []kv.Op, sink obs.TraceSink) (kv.Revision, error) {
 	for _, cd := range conds {
 		if kv.IsReservedKey(cd.Key) {
 			return 0, kv.ErrReservedKey
@@ -411,7 +481,9 @@ func (s *Server) execTxn(conds []wire.Cond, ops []kv.Op) (kv.Revision, error) {
 	}
 	var rev kv.Revision
 	var err error
-	if ur, ok := s.db.(updateRever); ok {
+	if ut, ok := s.db.(updateRevTracer); ok && sink != nil {
+		rev, err = ut.UpdateRevTraced(sink, fn)
+	} else if ur, ok := s.db.(updateRever); ok {
 		rev, err = ur.UpdateRev(fn)
 	} else {
 		err = s.db.Update(fn)

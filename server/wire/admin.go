@@ -1,0 +1,42 @@
+package wire
+
+// Admin response bodies. The admin kinds (KindMetrics, KindTraceDump,
+// KindHealth) answer with JSON inside a Value frame rather than new binary
+// layouts: they are low-rate introspection RPCs, and JSON keeps them
+// consumable by anything that can open a TCP connection. The bodies for
+// KindMetrics and KindTraceDump are obs.Snapshot and obs.FlightDump; the
+// KindHealth body is defined here so both ends of the wire (and tools like
+// cmd/rhtop) share one schema without importing the server.
+
+// Health is the KindHealth response body: liveness, throughput, and
+// per-replica watermarks.
+type Health struct {
+	// UptimeNS is time since the server was constructed.
+	UptimeNS uint64 `json:"uptime_ns"`
+	// Connections is the number of currently open client connections.
+	Connections int `json:"connections"`
+	// Requests counts every request frame ever read — monotone, so two
+	// polls measure throughput.
+	Requests uint64 `json:"requests"`
+	// AwaitingApply is how many traced commit revisions still await a
+	// replica apply (0 in replica-less deployments).
+	AwaitingApply int `json:"awaiting_apply"`
+	// Replicas reports the server's configured replica-status source;
+	// absent without one.
+	Replicas []ReplicaHealth `json:"replicas,omitempty"`
+}
+
+// ReplicaHealth is one replica stream's applied watermark and lag as
+// reported by KindHealth.
+type ReplicaHealth struct {
+	// Name is the replica's membership name.
+	Name string `json:"name"`
+	// Stream names the WAL stream within the replica (one per System).
+	Stream string `json:"stream"`
+	// AppliedLSN is the stream's applied log cursor.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// AppliedRev is the stream's applied revision watermark.
+	AppliedRev uint64 `json:"applied_rev"`
+	// LagFrames is how many LSNs the cursor trails the primary writer.
+	LagFrames uint64 `json:"lag_frames"`
+}

@@ -147,6 +147,14 @@ const (
 	// current to riding in Lease (FlagAbsent marks a missing key, the
 	// watermark still meaningful).
 	KindFollowerValue
+	// KindTraceDump dumps the server's flight recorder — per-kind slowest
+	// and recent-error traces with stage quantiles, JSON-encoded
+	// (response: Value).
+	KindTraceDump
+	// KindHealth reports the server's health view: uptime, connection and
+	// request counts, per-replica applied watermarks and lag, JSON-encoded
+	// (response: Value).
+	KindHealth
 	kindMax
 )
 
@@ -161,6 +169,7 @@ var kindNames = [...]string{
 	KindOK: "ok", KindErr: "err", KindValue: "value", KindEntries: "entries",
 	KindResults: "results", KindEvent: "event", KindWatchEnd: "watchend",
 	KindFollowerGet: "followerget", KindFollowerValue: "followervalue",
+	KindTraceDump: "tracedump", KindHealth: "health",
 }
 
 func (k Kind) String() string {
@@ -183,6 +192,14 @@ const (
 	// as a condition, not an error, so absence travels as a flag and the
 	// public Get/GetRev surface reconstructs kv.ErrNotFound from it.
 	FlagAbsent = 1 << 2
+	// FlagTraced marks a sampled frame: a u64 trace id follows the body
+	// header, before the kind's payload. On a request it is the client's
+	// trace id (the propagation key); on a response it echoes the server's
+	// handling time in nanoseconds so the client can attribute the
+	// remainder of the round trip to the network. Untraced frames carry no
+	// extra bytes, so the sampling-off wire image is byte-identical to
+	// earlier protocol revisions.
+	FlagTraced = 1 << 3
 )
 
 // Error codes carried by Err frames and per-op Results, mapping the kv
@@ -257,9 +274,13 @@ type Result struct {
 // Msg is one decoded frame. Only the fields its Kind names are meaningful;
 // Encode ignores the rest, Decode leaves them zero.
 type Msg struct {
-	ID      uint64
-	Kind    Kind
-	Flags   uint8
+	ID    uint64
+	Kind  Kind
+	Flags uint8
+	// Trace is the FlagTraced word: the trace id on requests, the
+	// server's handling nanoseconds on responses. Encoded only when
+	// FlagTraced is set.
+	Trace   uint64
 	Code    uint8 // Err: error code; Event: event kind
 	Key     []byte
 	Value   []byte
@@ -295,9 +316,12 @@ func Encode(dst []byte, m Msg) ([]byte, error) {
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
 	dst = appendU64(dst, m.ID)
 	dst = append(dst, byte(m.Kind), m.Flags)
+	if m.Flags&FlagTraced != 0 {
+		dst = appendU64(dst, m.Trace)
+	}
 	switch m.Kind {
 	case KindHello, KindExpire, KindClockNow, KindWatchIdle,
-		KindCheckpoint, KindMetrics, KindWatchEnd:
+		KindCheckpoint, KindMetrics, KindTraceDump, KindHealth, KindWatchEnd:
 		// empty payload
 	case KindGet, KindGetRev, KindDelete:
 		dst = appendBytes(dst, m.Key)
@@ -448,9 +472,12 @@ func decodeBody(body []byte) (Msg, error) {
 		Flags: body[9],
 	}
 	d := &decoder{p: body[bodyHeader:]}
+	if m.Flags&FlagTraced != 0 {
+		m.Trace = d.u64()
+	}
 	switch m.Kind {
 	case KindHello, KindExpire, KindClockNow, KindWatchIdle,
-		KindCheckpoint, KindMetrics, KindWatchEnd:
+		KindCheckpoint, KindMetrics, KindTraceDump, KindHealth, KindWatchEnd:
 		// empty payload
 	case KindGet, KindGetRev, KindDelete:
 		m.Key = d.bytes()

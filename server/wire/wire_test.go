@@ -380,3 +380,135 @@ type errRetryWrap struct{}
 
 func (errRetryWrap) Error() string { return "wrapped" }
 func (errRetryWrap) Unwrap() error { return kv.ErrConflict }
+
+// TestWireTracedGoldenVectors pins the FlagTraced encoding: a u64 trace
+// word between the body header and the kind's payload, on requests (the
+// propagation key) and responses (the server's handling nanoseconds),
+// plus the empty-payload admin kinds. A change here is a protocol break.
+func TestWireTracedGoldenVectors(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  Msg
+		want []byte
+	}{
+		{
+			name: "traced-get",
+			msg:  Msg{ID: 7, Kind: KindGet, Flags: FlagTraced, Trace: 0x0102030405060708, Key: []byte("k")},
+			want: []byte{
+				0x17, 0x00, 0x00, 0x00, // body length 23
+				0xb4, 0xbe, 0xcb, 0x15, // crc32c
+				0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // id 7
+				0x02,                                           // kind get
+				0x08,                                           // flags: traced
+				0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // trace id
+				0x01, 0x00, 0x00, 0x00, // key length 1
+				0x6b, // 'k'
+			},
+		},
+		{
+			name: "traced-ok",
+			msg:  Msg{ID: 7, Kind: KindOK, Flags: FlagTraced, Trace: 1500, Rev: 3},
+			want: []byte{
+				0x1a, 0x00, 0x00, 0x00, // body length 26
+				0x7c, 0xd6, 0x0f, 0xb7, // crc32c
+				0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // id 7
+				0x15,                                           // kind ok
+				0x08,                                           // flags: traced
+				0xdc, 0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // server ns 1500
+				0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rev 3
+			},
+		},
+		{
+			name: "tracedump",
+			msg:  Msg{ID: 13, Kind: KindTraceDump},
+			want: []byte{
+				0x0a, 0x00, 0x00, 0x00, // body length 10
+				0x4c, 0x76, 0x22, 0x86, // crc32c
+				0x0d, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // id 13
+				0x1e, // kind tracedump
+				0x00, // flags
+			},
+		},
+		{
+			name: "health",
+			msg:  Msg{ID: 14, Kind: KindHealth},
+			want: []byte{
+				0x0a, 0x00, 0x00, 0x00, // body length 10
+				0x25, 0x14, 0x96, 0xcd, // crc32c
+				0x0e, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // id 14
+				0x1f, // kind health
+				0x00, // flags
+			},
+		},
+	}
+	for _, c := range cases {
+		got, err := Encode(nil, c.msg)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.name, err)
+		}
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("%s: encoded\n % x\nwant\n % x", c.name, got, c.want)
+		}
+		back, n, err := Decode(c.want)
+		if err != nil || n != len(c.want) {
+			t.Errorf("%s: decode: n=%d err=%v", c.name, n, err)
+			continue
+		}
+		if back.Trace != c.msg.Trace || back.Flags != c.msg.Flags {
+			t.Errorf("%s: trace word round trip: got %d/%#x want %d/%#x",
+				c.name, back.Trace, back.Flags, c.msg.Trace, c.msg.Flags)
+		}
+		re, err := Encode(nil, back)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", c.name, err)
+		}
+		if !bytes.Equal(re, c.want) {
+			t.Errorf("%s: decode/encode not canonical:\n % x\nwant\n % x", c.name, re, c.want)
+		}
+	}
+}
+
+// TestWireUntracedUnchanged: a frame without FlagTraced is byte-identical
+// whatever Trace holds — sampling off leaves the wire image exactly as it
+// was before tracing existed.
+func TestWireUntracedUnchanged(t *testing.T) {
+	plain, err := Encode(nil, Msg{ID: 7, Kind: KindGet, Key: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := Encode(nil, Msg{ID: 7, Kind: KindGet, Key: []byte("k"), Trace: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, dirty) {
+		t.Fatalf("untraced frame depends on Trace field:\n % x\n % x", plain, dirty)
+	}
+	m, _, err := Decode(plain)
+	if err != nil || m.Trace != 0 {
+		t.Fatalf("untraced decode: trace=%d err=%v, want 0/nil", m.Trace, err)
+	}
+}
+
+// TestWireTracedTruncation: a traced frame whose trace word is cut short
+// (behind a refit checksum) is rejected, not misparsed as payload.
+func TestWireTracedTruncation(t *testing.T) {
+	frame, err := Encode(nil, Msg{ID: 1, Kind: KindClockNow, Flags: FlagTraced, Trace: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append([]byte(nil), frame[frameHeader:]...)
+	body = body[:len(body)-3] // cut into the trace word
+	out := make([]byte, frameHeader, frameHeader+len(body))
+	out = append(out, body...)
+	le := func(off int, v uint32) {
+		out[off] = byte(v)
+		out[off+1] = byte(v >> 8)
+		out[off+2] = byte(v >> 16)
+		out[off+3] = byte(v >> 24)
+	}
+	le(0, uint32(len(body)))
+	le(4, crcOf(body))
+	if _, _, err := Decode(out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated trace word: err = %v, want ErrCorrupt", err)
+	}
+}
